@@ -1,0 +1,99 @@
+// Ablation: the §3.2.2 recovery serialization rule (highest penalty-rate
+// first) against alternatives, echoing the authors' follow-up work on
+// recovery scheduling ("On the road to recovery", EuroSys 2006).
+//
+// Two designs are re-priced under each ordering policy:
+//   * the design tool's solution (failover-heavy: bring-up tasks are short
+//     and uniform, so ordering matters little — that robustness is itself a
+//     property of the tool's designs), and
+//   * a deliberately contended all-reconstruct design: every application
+//     consolidated on one array with "Sync mirror (R) with backup", where a
+//     single array failure queues eight bulk restores of very different
+//     sizes and penalty rates on the same devices.
+//
+//   ./bench_ablation_recovery_order [--apps=8] [--time-budget-ms=1500]
+//                                   [--seed=42] [--csv]
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+#include "protection/catalog.hpp"
+#include "resources/catalog.hpp"
+
+namespace {
+
+using namespace depstor;
+
+/// All apps on one primary array/site with reconstruct-style protection.
+Candidate contended_design(const Environment& env) {
+  DesignChoice choice;
+  choice.technique = protection::mirror_technique(
+      MirrorMode::Sync, RecoveryMode::Reconstruct, true);
+  choice.primary_site = 0;
+  choice.secondary_site = 1;
+  choice.primary_array_type = resources::xp1200().name;
+  choice.mirror_array_type = resources::xp1200().name;
+  choice.tape_type = resources::tape_library_high().name;
+  choice.link_type = resources::network_high().name;
+  Candidate cand(&env);
+  for (int i = 0; i < static_cast<int>(env.apps.size()); ++i) {
+    cand.place_app(i, choice);
+  }
+  return cand;
+}
+
+void report(const char* title, const Environment& env,
+            const Candidate& cand, bool csv) {
+  std::cout << "-- " << title << " --\n";
+  depstor::bench::HarnessConfig cfg;  // only for print_table
+  (void)cfg;
+  Table table({"Ordering", "Outage penalty/yr", "Worst app E[outage] h/yr",
+               "Total penalties/yr"});
+  for (RecoveryOrder order : {RecoveryOrder::PriorityPenalty,
+                              RecoveryOrder::ShortestFirst,
+                              RecoveryOrder::FifoById}) {
+    ModelParams params = env.params;
+    params.recovery_order = order;
+    const CostBreakdown cost = evaluate_cost(
+        env.apps, cand.assignments(), cand.pool(), env.failures, params);
+    double worst = 0.0;
+    for (const auto& d : cost.per_app) {
+      worst = std::max(worst, d.expected_outage_hours);
+    }
+    table.add_row({to_string(order), Table::money(cost.outage_penalty),
+                   Table::num(worst, 2), Table::money(cost.penalty())});
+  }
+  depstor::bench::print_table(table, csv);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int apps = flags.get_int("apps", 8);
+    flags.reject_unknown();
+
+    Environment env = scenarios::peer_sites(apps);
+    std::cout << "== Recovery-ordering ablation (" << apps << " apps) ==\n\n";
+
+    report("contended all-reconstruct design (one array, one site)", env,
+           contended_design(env), cfg.csv);
+
+    DesignTool tool(env);
+    const auto designed = tool.design(cfg.solver_options());
+    if (designed.feasible) {
+      report("design tool's solution", env, *designed.best, cfg.csv);
+    }
+    std::cout << "(Loss penalties are ordering-invariant; the ordering only "
+                 "moves outage time\nbetween applications of different "
+                 "penalty rates. The paper's priority rule should\nminimize "
+                 "the penalty-weighted outage on the contended design.)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

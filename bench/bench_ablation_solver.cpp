@@ -1,0 +1,87 @@
+// Ablation: which parts of the design solver earn their keep (not a paper
+// artifact — it justifies the paper's design choices quantitatively).
+//
+// Variants, all at the same wall-clock budget and seed:
+//   full             greedy + refit, scoped config solve per node (default)
+//   no-refit         greedy best-fit only (stage 1), best over restarts
+//   literal-alg1     full every-app config sweep at every node (§3 taken
+//                    literally; far fewer nodes per second)
+//   narrow-search    b=1, d=1 — hill-climb instead of the b×d walk
+//   greedy-max       deterministic max-penalty greedy order (Algorithm 1
+//                    line 4) instead of the §3.1.1 weighted-random order
+//   no-load-balance  α_util=0 — resource choice by usage-diversity only
+//
+//   ./bench_ablation_solver [--apps=8] [--time-budget-ms=1500] [--seed=42]
+//                           [--csv]
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int apps = flags.get_int("apps", 8);
+    flags.reject_unknown();
+
+    DesignTool tool(scenarios::peer_sites(apps));
+
+    struct Variant {
+      const char* name;
+      DesignSolverOptions options;
+    };
+    std::vector<Variant> variants;
+    const DesignSolverOptions base = cfg.solver_options();
+    variants.push_back({"full", base});
+    {
+      auto o = base;
+      o.max_refit_iterations = 0;
+      variants.push_back({"no-refit", o});
+    }
+    {
+      auto o = base;
+      o.full_config_solve_every_node = true;
+      variants.push_back({"literal-alg1", o});
+    }
+    {
+      auto o = base;
+      o.breadth = 1;
+      o.depth = 1;
+      variants.push_back({"narrow-search", o});
+    }
+    {
+      auto o = base;
+      o.greedy_order = GreedyOrder::MaxPenalty;
+      variants.push_back({"greedy-max", o});
+    }
+    {
+      auto o = base;
+      o.reconfigure.alpha_util = 0.0;
+      variants.push_back({"no-load-balance", o});
+    }
+
+    std::cout << "== Solver ablation, peer sites (" << apps << " apps, "
+              << cfg.time_budget_ms << " ms/variant) ==\n\n";
+    double full_total = 0.0;
+    Table table({"Variant", "Total/yr", "vs full", "Nodes", "Refit iters"});
+    for (const auto& v : variants) {
+      const auto result = tool.design(v.options);
+      if (!result.feasible) {
+        table.add_row({v.name, "infeasible", "-", "-", "-"});
+        continue;
+      }
+      if (std::string(v.name) == "full") full_total = result.cost.total();
+      table.add_row({v.name, Table::money(result.cost.total()),
+                     full_total > 0.0 ? ratio(result.cost.total(), full_total)
+                                      : "-",
+                     std::to_string(result.nodes_evaluated),
+                     std::to_string(result.refit_iterations)});
+    }
+    print_table(table, cfg.csv);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

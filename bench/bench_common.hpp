@@ -1,0 +1,61 @@
+// Shared helpers for the experiment harnesses (bench_fig*/bench_table*).
+//
+// Each harness reproduces one table or figure from the paper. They are
+// standalone binaries (not google-benchmark: the paper's artifacts are cost
+// comparisons, not timings) that print the same rows/series the paper
+// reports, with CLI flags to scale the run budgets.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/design_tool.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace depstor::bench {
+
+/// Budgets shared by every harness, parsed from common flags:
+///   --time-budget-ms (per heuristic), --seed, --csv
+struct HarnessConfig {
+  double time_budget_ms = 1500.0;
+  std::uint64_t seed = 42;
+  bool csv = false;
+
+  static HarnessConfig from_flags(const CliFlags& flags) {
+    HarnessConfig cfg;
+    cfg.time_budget_ms = flags.get_double("time-budget-ms", 1500.0);
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    cfg.csv = flags.get_bool("csv", false);
+    return cfg;
+  }
+
+  DesignSolverOptions solver_options() const {
+    DesignSolverOptions o;
+    o.time_budget_ms = time_budget_ms;
+    o.seed = seed;
+    return o;
+  }
+
+  BaselineOptions baseline_options() const {
+    BaselineOptions o;
+    o.time_budget_ms = time_budget_ms;
+    o.seed = seed;
+    return o;
+  }
+};
+
+inline void print_table(const Table& table, bool csv) {
+  std::cout << (csv ? table.render_csv() : table.render());
+}
+
+/// Ratio cell "x1.93" or "-" when the base is missing.
+inline std::string ratio(double value, double base) {
+  if (base <= 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "x%.2f", value / base);
+  return buf;
+}
+
+}  // namespace depstor::bench

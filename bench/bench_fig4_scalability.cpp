@@ -1,0 +1,62 @@
+// Figure 4: scalability of the three heuristics over four fully connected
+// sites, applications scaled four at a time — one per Table 1 class
+// (paper §4.4).
+//
+// Expected shape: the design tool is consistently cheapest (2-3X in the
+// paper; larger here — see EXPERIMENTS.md); past a scale threshold the
+// guided searches (design solver, human) fail to find feasible designs in
+// the fixed-resource environment while the random generator still does.
+//
+//   ./bench_fig4_scalability [--min-apps=4] [--max-apps=24] [--step=4]
+//                            [--sites=4] [--links=6] [--time-budget-ms=1500]
+//                            [--seed=42] [--csv]
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int min_apps = flags.get_int("min-apps", 4);
+    const int max_apps = flags.get_int("max-apps", 24);
+    const int step = flags.get_int("step", 4);
+    const int sites = flags.get_int("sites", 4);
+    const int links = flags.get_int("links", 6);
+    flags.reject_unknown();
+
+    std::cout << "== Figure 4: scalability, " << sites
+              << " fully connected sites, " << cfg.time_budget_ms
+              << " ms/heuristic ==\n\n";
+    Table table({"Apps", "Design tool", "Human heuristic", "Random heuristic",
+                 "Human vs tool", "Random vs tool"});
+
+    for (int apps = min_apps; apps <= max_apps; apps += step) {
+      DesignTool tool(scenarios::multi_site(apps, sites, links));
+      const auto solver = tool.design(cfg.solver_options());
+      const auto human = tool.design_human(cfg.baseline_options());
+      const auto random = tool.design_random(cfg.baseline_options());
+
+      auto cell = [](bool feasible, const CostBreakdown& cost) {
+        return feasible ? Table::money(cost.total())
+                        : std::string("infeasible");
+      };
+      table.add_row(
+          {std::to_string(apps), cell(solver.feasible, solver.cost),
+           cell(human.feasible, human.cost),
+           cell(random.feasible, random.cost),
+           solver.feasible && human.feasible
+               ? ratio(human.cost.total(), solver.cost.total())
+               : "-",
+           solver.feasible && random.feasible
+               ? ratio(random.cost.total(), solver.cost.total())
+               : "-"});
+    }
+    print_table(table, cfg.csv);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,38 @@
+// Figure 5: design tool solution cost vs the likelihood of data object
+// failure, swept from twice a year to once in ten years (paper §4.5).
+//
+// Expected shape: cost grows with the rate; beyond a threshold the solver
+// can no longer compensate with extra resources because the loss floor of
+// the freshest point-in-time copy scales linearly with the rate.
+//
+//   ./bench_fig5_object_sensitivity [--apps=16] [--sites=4] [--links=6]
+//                                   [--time-budget-ms=1500] [--seed=42]
+//                                   [--csv]
+#include "bench_sensitivity_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int apps = flags.get_int("apps", 16);
+    const int sites = flags.get_int("sites", 4);
+    const int links = flags.get_int("links", 6);
+    flags.reject_unknown();
+
+    const std::vector<SweepPoint> points = {
+        {"2 / yr", 2.0},      {"1 / yr", 1.0},      {"1 / 2 yr", 0.5},
+        {"1 / 3 yr", 1.0 / 3}, {"1 / 5 yr", 0.2},   {"1 / 10 yr", 0.1},
+    };
+    run_sensitivity_sweep("Figure 5", "data object failure likelihood",
+                          points, cfg, apps, sites, links,
+                          [](FailureModel& f, double rate) {
+                            f.data_object_rate = rate;
+                          });
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

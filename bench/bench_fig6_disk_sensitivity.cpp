@@ -1,0 +1,38 @@
+// Figure 6: design tool solution cost vs the likelihood of disk array
+// failure, swept from once in two years to once in twenty years (paper
+// §4.5).
+//
+// Expected shape: nearly flat — the solver compensates for more frequent
+// array failures with slightly larger resource allocations (failover
+// capacity, faster restore paths).
+//
+//   ./bench_fig6_disk_sensitivity [--apps=16] [--sites=4] [--links=6]
+//                                 [--time-budget-ms=1500] [--seed=42] [--csv]
+#include "bench_sensitivity_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int apps = flags.get_int("apps", 16);
+    const int sites = flags.get_int("sites", 4);
+    const int links = flags.get_int("links", 6);
+    flags.reject_unknown();
+
+    const std::vector<SweepPoint> points = {
+        {"1 / 2 yr", 0.5},     {"1 / 3 yr", 1.0 / 3}, {"1 / 5 yr", 0.2},
+        {"1 / 10 yr", 0.1},    {"1 / 20 yr", 0.05},
+    };
+    run_sensitivity_sweep("Figure 6", "disk array failure likelihood", points,
+                          cfg, apps, sites, links,
+                          [](FailureModel& f, double rate) {
+                            f.disk_array_rate = rate;
+                          });
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

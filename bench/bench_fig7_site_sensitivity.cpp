@@ -1,0 +1,36 @@
+// Figure 7: design tool solution cost vs the likelihood of a site disaster,
+// swept from once in five years to once in fifty years (paper §4.5).
+//
+// Expected shape: nearly flat, like Figure 6 — mirrored/failover designs
+// absorb more frequent disasters with modest extra outlay.
+//
+//   ./bench_fig7_site_sensitivity [--apps=16] [--sites=4] [--links=6]
+//                                 [--time-budget-ms=1500] [--seed=42] [--csv]
+#include "bench_sensitivity_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int apps = flags.get_int("apps", 16);
+    const int sites = flags.get_int("sites", 4);
+    const int links = flags.get_int("links", 6);
+    flags.reject_unknown();
+
+    const std::vector<SweepPoint> points = {
+        {"1 / 5 yr", 0.2},   {"1 / 10 yr", 0.1},  {"1 / 20 yr", 0.05},
+        {"1 / 35 yr", 1.0 / 35}, {"1 / 50 yr", 0.02},
+    };
+    run_sensitivity_sweep("Figure 7", "site disaster likelihood", points, cfg,
+                          apps, sites, links,
+                          [](FailureModel& f, double rate) {
+                            f.site_disaster_rate = rate;
+                          });
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,49 @@
+// Shared driver for the Figure 5/6/7 failure-likelihood sensitivity sweeps
+// (paper §4.5): 16 applications on four fully connected sites; the §4.5
+// baseline rates (object 2/yr, disk 1/5yr, site 1/20yr) with one rate swept
+// at a time. The design tool REDESIGNS at every point (that is what lets it
+// compensate by buying resources), and the resulting outlay/penalty split is
+// reported.
+#pragma once
+
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+
+namespace depstor::bench {
+
+struct SweepPoint {
+  std::string label;     ///< e.g. "1/5 yr"
+  double rate_per_year;  ///< annualized likelihood
+};
+
+inline void run_sensitivity_sweep(
+    const char* figure, const char* swept_name,
+    const std::vector<SweepPoint>& points, const HarnessConfig& cfg, int apps,
+    int sites, int links,
+    const std::function<void(FailureModel&, double)>& apply_rate) {
+  std::cout << "== " << figure << ": sensitivity to " << swept_name << " ("
+            << apps << " apps, " << sites << " sites, " << cfg.time_budget_ms
+            << " ms/point) ==\n\n";
+  Table table({"Rate", "Outlays/yr", "Loss penalty/yr", "Outage penalty/yr",
+               "Total/yr"});
+  for (const auto& point : points) {
+    Environment env = scenarios::multi_site(apps, sites, links);
+    env.failures = FailureModel::sensitivity_baseline();
+    apply_rate(env.failures, point.rate_per_year);
+    DesignTool tool(std::move(env));
+    const auto result = tool.design(cfg.solver_options());
+    if (!result.feasible) {
+      table.add_row({point.label, "infeasible", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({point.label, Table::money(result.cost.outlay),
+                   Table::money(result.cost.loss_penalty),
+                   Table::money(result.cost.outage_penalty),
+                   Table::money(result.cost.total())});
+  }
+  print_table(table, cfg.csv);
+}
+
+}  // namespace depstor::bench

@@ -1,0 +1,122 @@
+// Solver kernel throughput (google-benchmark).
+//
+// Not a paper artifact: these microbenchmarks size the evaluation budget —
+// how many candidate evaluations, recovery simulations, and reconfiguration
+// moves per second the search heuristics get to spend. Useful when tuning
+// the time budgets of the figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "core/scenarios.hpp"
+#include "model/recovery_sim.hpp"
+#include "solver/config_solver.hpp"
+#include "solver/design_solver.hpp"
+#include "solver/reconfigure.hpp"
+#include "test_helpers_bench.hpp"
+
+namespace {
+
+using namespace depstor;
+
+/// Fully-placed peer-sites candidate used as the evaluation workload.
+Candidate placed_candidate(const Environment& env) {
+  Candidate cand(&env);
+  Rng rng(99);
+  Reconfigurator rec(&env, &rng);
+  for (int i = 0; i < static_cast<int>(env.apps.size()); ++i) {
+    if (!rec.reconfigure_app(cand, i)) {
+      throw InfeasibleError("bench setup could not place app");
+    }
+  }
+  return cand;
+}
+
+void BM_CandidateEvaluate(benchmark::State& state) {
+  // Peer sites fit ≤8 failover-capable apps (8 compute slots per site);
+  // larger counts use the 4-site environment.
+  const int apps = static_cast<int>(state.range(0));
+  const Environment env =
+      apps <= 8 ? scenarios::peer_sites(apps) : scenarios::multi_site(apps);
+  const Candidate cand = placed_candidate(env);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cand.evaluate().total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CandidateEvaluate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RecoverySimulation(benchmark::State& state) {
+  const Environment env =
+      scenarios::peer_sites(static_cast<int>(state.range(0)));
+  const Candidate cand = placed_candidate(env);
+  const auto scenarios_list = enumerate_scenarios(
+      env.apps, cand.assignments(), cand.pool(), env.failures);
+  for (auto _ : state) {
+    for (const auto& s : scenarios_list) {
+      benchmark::DoNotOptimize(simulate_recovery(
+          s, env.apps, cand.assignments(), cand.pool(), env.params));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(scenarios_list.size()));
+}
+BENCHMARK(BM_RecoverySimulation)->Arg(4)->Arg(8);
+
+void BM_ConfigSolver(benchmark::State& state) {
+  const Environment env =
+      scenarios::peer_sites(static_cast<int>(state.range(0)));
+  const Candidate base = placed_candidate(env);
+  ConfigSolver solver(&env);
+  for (auto _ : state) {
+    Candidate cand = base;
+    benchmark::DoNotOptimize(solver.solve(cand).total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConfigSolver)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ReconfigureMove(benchmark::State& state) {
+  const Environment env = scenarios::peer_sites(8);
+  Candidate cand = placed_candidate(env);
+  Rng rng(7);
+  Reconfigurator rec(&env, &rng);
+  const CostBreakdown cost = cand.evaluate();
+  for (auto _ : state) {
+    const int app = rec.pick_app_to_reconfigure(cand, cost);
+    benchmark::DoNotOptimize(rec.reconfigure_app(cand, app));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReconfigureMove)->Unit(benchmark::kMillisecond);
+
+void BM_PlaceRemoveApp(benchmark::State& state) {
+  const Environment env = scenarios::peer_sites(1);
+  Candidate cand(&env);
+  const DesignChoice choice =
+      bench_testing::full_protection_choice();
+  for (auto _ : state) {
+    cand.place_app(0, choice);
+    cand.remove_app(0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlaceRemoveApp);
+
+void BM_FullDesignSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Environment env = scenarios::peer_sites(8);
+    state.ResumeTiming();
+    DesignSolverOptions o;
+    o.time_budget_ms = 1e9;  // bounded by repetitions instead
+    o.max_repetitions = 1;
+    o.max_refit_iterations = 1;
+    o.seed = 5;
+    DesignSolver solver(&env, o);
+    benchmark::DoNotOptimize(solver.solve().feasible);
+  }
+}
+BENCHMARK(BM_FullDesignSolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Table 4: the data protection solution chosen by the design tool for the
+// peer-sites case study (paper §4.3.2), plus the input catalogs (Tables 1-3)
+// with --show-inputs.
+//
+// Expected shape: applications with high outage penalty rates employ
+// failover; every application carries some form of tape backup; the
+// sync-vs-async mirror choice is a near-tie under the Table 3 prices (see
+// EXPERIMENTS.md).
+//
+//   ./bench_table4_case_study [--apps=8] [--time-budget-ms=1500] [--seed=42]
+//                             [--show-inputs] [--csv]
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+#include "protection/catalog.hpp"
+#include "resources/catalog.hpp"
+#include "workload/catalog.hpp"
+
+namespace {
+
+using namespace depstor;
+
+void print_inputs(const Environment& env, bool csv) {
+  using depstor::bench::print_table;
+  std::cout << "-- Table 1: application classes --\n";
+  Table t1({"Type", "Outage $/hr", "Loss $/hr", "Size GB", "Avg upd MB/s",
+            "Peak upd MB/s", "Access MB/s", "Category"});
+  for (const auto& app : workload::all_prototypes()) {
+    t1.add_row({app.type_code, Table::money(app.outage_penalty_rate),
+                Table::money(app.loss_penalty_rate),
+                Table::num(app.data_size_gb, 0),
+                Table::num(app.avg_update_mbps, 1),
+                Table::num(app.peak_update_mbps, 1),
+                Table::num(app.avg_access_mbps, 1),
+                to_string(app.category())});
+  }
+  print_table(t1, csv);
+
+  std::cout << "\n-- Table 2: data protection techniques --\n";
+  Table t2({"Technique", "Recovery", "Category", "Mirror accWin"});
+  for (const auto& tech : protection::all_techniques()) {
+    t2.add_row({tech.name, to_string(tech.recovery), to_string(tech.category),
+                tech.has_mirror() ? Table::hours(tech.mirror_accumulation_hours)
+                                  : "-"});
+  }
+  print_table(t2, csv);
+
+  std::cout << "\n-- Table 3: device catalog --\n";
+  Table t3({"Device", "Class", "Fixed $", "Per cap unit $", "Per BW unit $",
+            "Max cap units", "Max BW units", "GB/unit", "MB/s/unit"});
+  for (const auto& d : {resources::xp1200(), resources::eva8000(),
+                        resources::msa1500(), resources::tape_library_high(),
+                        resources::tape_library_med(),
+                        resources::network_high(), resources::network_med(),
+                        resources::compute_high()}) {
+    t3.add_row({d.name, to_string(d.cls), Table::money(d.fixed_cost),
+                Table::money(d.cost_per_capacity_unit),
+                Table::money(d.cost_per_bandwidth_unit),
+                std::to_string(d.max_capacity_units),
+                std::to_string(d.max_bandwidth_units),
+                Table::num(d.capacity_unit_gb, 0),
+                Table::num(d.bandwidth_unit_mbps, 0)});
+  }
+  print_table(t3, csv);
+  std::cout << "\n";
+  (void)env;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  using namespace depstor::bench;
+  try {
+    const CliFlags flags(argc, argv);
+    const auto cfg = HarnessConfig::from_flags(flags);
+    const int apps = flags.get_int("apps", 8);
+    const bool show_inputs = flags.get_bool("show-inputs", false);
+    flags.reject_unknown();
+
+    DesignTool tool(scenarios::peer_sites(apps));
+    if (show_inputs) print_inputs(tool.env(), cfg.csv);
+
+    std::cout << "== Table 4: design chosen by the tool, peer sites (" << apps
+              << " apps) ==\n\n";
+    const auto result = tool.design(cfg.solver_options());
+    if (!result.feasible) {
+      std::cout << "no feasible design found within the budget\n";
+      return 1;
+    }
+    std::cout << DesignTool::describe(tool.env(), *result.best) << "\n";
+    std::cout << DesignTool::describe_cost(tool.env(), result.cost) << "\n";
+
+    // The §4.3.2 headline observations, checked mechanically.
+    int failover_high_outage = 0;
+    int high_outage = 0;
+    int with_backup = 0;
+    for (const auto& asg : result.best->assignments()) {
+      const auto& app = tool.env().app(asg.app_id);
+      if (app.outage_penalty_rate >= 1e6) {
+        ++high_outage;
+        if (asg.technique.recovery == RecoveryMode::Failover) {
+          ++failover_high_outage;
+        }
+      }
+      if (asg.technique.has_backup) ++with_backup;
+    }
+    std::cout << "high-outage apps using failover: " << failover_high_outage
+              << "/" << high_outage << "\n"
+              << "apps with tape backup: " << with_backup << "/"
+              << result.best->assigned_count() << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,24 @@
+// Small builders shared by the perf benchmarks.
+#pragma once
+
+#include "protection/catalog.hpp"
+#include "resources/catalog.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor::bench_testing {
+
+/// Sync-mirror-with-backup choice on the high-end devices, sites 0 → 1.
+inline DesignChoice full_protection_choice() {
+  DesignChoice c;
+  c.technique = protection::mirror_technique(MirrorMode::Sync,
+                                             RecoveryMode::Failover, true);
+  c.primary_site = 0;
+  c.secondary_site = 1;
+  c.primary_array_type = resources::xp1200().name;
+  c.mirror_array_type = resources::xp1200().name;
+  c.tape_type = resources::tape_library_high().name;
+  c.link_type = resources::network_high().name;
+  return c;
+}
+
+}  // namespace depstor::bench_testing

@@ -1,0 +1,59 @@
+// Capacity planning with the design tool: how many applications fit into a
+// fixed two-site infrastructure before the cost curve bends or feasibility
+// breaks (paper §4.4's question, asked like an operator would).
+//
+// For each application count the tool designs from scratch; the output
+// table tracks total cost, cost per application, and the marginal cost of
+// the last four applications — the knee in the marginal column is where the
+// infrastructure runs out of cheap capacity.
+//
+//   ./capacity_planning [--max-apps=16] [--time-budget-ms=1000] [--seed=31]
+#include <iostream>
+#include <optional>
+
+#include "core/design_tool.hpp"
+#include "core/scenarios.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace depstor;
+  try {
+    const CliFlags flags(argc, argv);
+    const int max_apps = flags.get_int("max-apps", 16);
+    const double budget = flags.get_double("time-budget-ms", 1000.0);
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 31));
+    flags.reject_unknown();
+
+    DesignSolverOptions options;
+    options.time_budget_ms = budget;
+    options.seed = seed;
+
+    Table table({"Apps", "Total/yr", "Per app/yr", "Marginal (last 4)/yr"});
+    std::optional<double> previous_total;
+    for (int apps = 4; apps <= max_apps; apps += 4) {
+      DesignTool tool(scenarios::peer_sites(apps));
+      const auto result = tool.design(options);
+      if (!result.feasible) {
+        table.add_row({std::to_string(apps), "infeasible", "-", "-"});
+        previous_total.reset();
+        continue;
+      }
+      const double total = result.cost.total();
+      table.add_row({std::to_string(apps), Table::money(total),
+                     Table::money(total / apps),
+                     previous_total ? Table::money(total - *previous_total)
+                                    : "-"});
+      previous_total = total;
+    }
+    std::cout << "Capacity planning on the peer-sites infrastructure:\n\n"
+              << table.render()
+              << "\nA jump in the marginal column means the last batch of "
+                 "applications forced\nexpensive provisioning (new arrays, "
+                 "more links) or degraded protection.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

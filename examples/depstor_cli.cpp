@@ -1,0 +1,200 @@
+// depstor_cli — command-line driver for the design tool.
+//
+//   depstor_cli design   [scenario flags] [--json=<path>] [--recovery-report]
+//                        [--threat-report] [--workers=N]
+//   depstor_cli compare  [scenario flags]          # tool vs human vs random
+//   depstor_cli sample   [scenario flags] [--samples=N] [--workers=N]
+//   depstor_cli validate [scenario flags] [--years=N]  # Monte Carlo check
+//
+// Scenario flags (shared):
+//   --env=<path>            environment file (see core/env_loader.hpp);
+//                           overrides --scenario/--apps/--sites/--links
+//   --scenario=peer|multi   (default peer)
+//   --apps=N                (default 8)
+//   --sites=N --links=N     (multi only; defaults 4 / 6)
+//   --object-rate --disk-rate --site-rate --regional-rate   (per year)
+//   --time-budget-ms --seed
+#include <fstream>
+#include <iostream>
+
+#include "core/design_tool.hpp"
+#include "core/env_loader.hpp"
+#include "core/report.hpp"
+#include "core/scenarios.hpp"
+#include "sim/monte_carlo.hpp"
+#include "solver/parallel.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace depstor;
+
+Environment environment_from_flags(const CliFlags& flags) {
+  const std::string env_path = flags.get_string("env", "");
+  const std::string scenario = flags.get_string("scenario", "peer");
+  const int apps = flags.get_int("apps", 8);
+  Environment env;
+  if (!env_path.empty()) {
+    env = load_environment(env_path);
+    // Flag overrides still apply to the failure rates below.
+  } else if (scenario == "peer") {
+    env = scenarios::peer_sites(apps);
+  } else if (scenario == "multi") {
+    env = scenarios::multi_site(apps, flags.get_int("sites", 4),
+                                flags.get_int("links", 6));
+  } else {
+    throw InvalidArgument("unknown --scenario: " + scenario +
+                          " (expected peer|multi)");
+  }
+  env.failures.data_object_rate =
+      flags.get_double("object-rate", env.failures.data_object_rate);
+  env.failures.disk_array_rate =
+      flags.get_double("disk-rate", env.failures.disk_array_rate);
+  env.failures.site_disaster_rate =
+      flags.get_double("site-rate", env.failures.site_disaster_rate);
+  env.failures.regional_disaster_rate =
+      flags.get_double("regional-rate", env.failures.regional_disaster_rate);
+  env.validate();
+  return env;
+}
+
+int cmd_design(const CliFlags& flags, Environment env) {
+  DesignSolverOptions options;
+  options.time_budget_ms = flags.get_double("time-budget-ms", 2000.0);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const int workers = flags.get_int("workers", 1);
+  const std::string json_path = flags.get_string("json", "");
+  const bool show_recovery = flags.get_bool("recovery-report", false);
+  const bool show_threats = flags.get_bool("threat-report", false);
+  flags.reject_unknown();
+
+  DesignTool tool(std::move(env));
+  const SolveResult result =
+      workers > 1 ? solve_parallel(&tool.env(), options, workers)
+                  : tool.design(options);
+  if (!result.feasible) {
+    std::cout << "no feasible design found within the budget\n";
+    return 1;
+  }
+  std::cout << DesignTool::describe(tool.env(), *result.best) << "\n"
+            << DesignTool::describe_cost(tool.env(), result.cost);
+  if (show_threats) {
+    std::cout << "\nThreat attribution:\n"
+              << threat_report(tool.env(), *result.best);
+  }
+  if (show_recovery) {
+    std::cout << "\nPer-scenario recovery behavior:\n"
+              << recovery_report(tool.env(), *result.best);
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << solution_to_json(tool.env(), *result.best, result.cost) << "\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const CliFlags& flags, Environment env) {
+  const double budget = flags.get_double("time-budget-ms", 2000.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  flags.reject_unknown();
+
+  DesignTool tool(std::move(env));
+  DesignSolverOptions d;
+  d.time_budget_ms = budget;
+  d.seed = seed;
+  BaselineOptions b;
+  b.time_budget_ms = budget;
+  b.seed = seed;
+  const auto solver = tool.design(d);
+  const auto human = tool.design_human(b);
+  const auto random = tool.design_random(b);
+
+  Table table({"Heuristic", "Outlays/yr", "Loss/yr", "Outage/yr",
+               "Total/yr"});
+  auto add = [&](const char* name, bool ok, const CostBreakdown& c) {
+    table.add_row({name, ok ? Table::money(c.outlay) : "-",
+                   ok ? Table::money(c.loss_penalty) : "-",
+                   ok ? Table::money(c.outage_penalty) : "-",
+                   ok ? Table::money(c.total()) : "infeasible"});
+  };
+  add("design tool", solver.feasible, solver.cost);
+  add("human heuristic", human.feasible, human.cost);
+  add("random heuristic", random.feasible, random.cost);
+  std::cout << table.render();
+  return solver.feasible ? 0 : 1;
+}
+
+int cmd_sample(const CliFlags& flags, Environment env) {
+  const int samples = flags.get_int("samples", 10000);
+  const int workers = flags.get_int("workers", 1);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  flags.reject_unknown();
+
+  const SampleStats stats =
+      workers > 1 ? sample_parallel(&env, samples, seed, workers)
+                  : SolutionSpaceSampler(&env).sample(samples, seed);
+  std::cout << "feasible samples: " << stats.feasible << " of "
+            << stats.attempted << " drawn\n"
+            << "min: " << Table::money(stats.costs.min())
+            << "  mean: " << Table::money(stats.costs.mean())
+            << "  max: " << Table::money(stats.costs.max()) << "\n\n";
+  LogHistogram hist(stats.costs.min(), stats.costs.max() * 1.0001, 20);
+  for (double s : stats.samples) hist.add(s);
+  std::cout << hist.render(48);
+  return 0;
+}
+
+int cmd_validate(const CliFlags& flags, Environment env) {
+  DesignSolverOptions options;
+  options.time_budget_ms = flags.get_double("time-budget-ms", 2000.0);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const double years = flags.get_double("years", 2000.0);
+  flags.reject_unknown();
+
+  DesignTool tool(std::move(env));
+  const auto result = tool.design(options);
+  if (!result.feasible) {
+    std::cout << "no feasible design to validate\n";
+    return 1;
+  }
+  MonteCarloSimulator sim(&tool.env());
+  const auto mc = sim.run(*result.best, {.years = years,
+                                         .seed = options.seed});
+  Table table({"Quantity", "Analytic", "Simulated"});
+  table.add_row({"annual outage penalty",
+                 Table::money(result.cost.outage_penalty),
+                 Table::money(mc.annual_outage_penalty())});
+  table.add_row({"annual loss penalty",
+                 Table::money(result.cost.loss_penalty),
+                 Table::money(mc.annual_loss_penalty())});
+  std::cout << table.render() << "(" << mc.events << " failure events over "
+            << years << " simulated years)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    if (flags.positional().size() != 1) {
+      std::cerr << "usage: depstor_cli design|compare|sample|validate "
+                   "[flags]\n(see the header of examples/depstor_cli.cpp)\n";
+      return 2;
+    }
+    const std::string& command = flags.positional()[0];
+    Environment env = environment_from_flags(flags);
+    if (command == "design") return cmd_design(flags, std::move(env));
+    if (command == "compare") return cmd_compare(flags, std::move(env));
+    if (command == "sample") return cmd_sample(flags, std::move(env));
+    if (command == "validate") return cmd_validate(flags, std::move(env));
+    std::cerr << "unknown command: " << command << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Shape regression guard: assert the paper's qualitative results hold in a
+# bench_output.txt produced by scripts/run_experiments.sh.
+#
+#   scripts/check_shapes.sh [bench_output.txt]
+#
+# Checks shapes, not absolute dollars (see EXPERIMENTS.md): who wins, which
+# behaviors appear, which curves stay flat.
+set -uo pipefail
+
+FILE="${1:-bench_output.txt}"
+[ -f "$FILE" ] || { echo "no such file: $FILE" >&2; exit 2; }
+
+failures=0
+check() {  # check <description> <grep-pattern>
+  if grep -qE "$2" "$FILE"; then
+    echo "ok   $1"
+  else
+    echo "FAIL $1   (missing: $2)"
+    failures=$((failures + 1))
+  fi
+}
+
+# Table 4 (§4.3.2): failover for every high-outage app; backup everywhere.
+check "high-outage apps all use failover"   "high-outage apps using failover: ([0-9]+)/\1"
+check "every app carries tape backup"       "apps with tape backup: ([0-9]+)/\1"
+
+# Figure 2 (§4.3.1): order-of-magnitude spread; tool in the lowest percentile.
+check "solution-space spread exceeds 10x"   "spread: x[0-9]{2,}"
+check "tool lands in percentile 0"          "percentile 0\.0[0-9]% of the sampled space"
+
+# Figure 3: the design tool is the 1.00x baseline and both heuristics cost more.
+check "design tool is the cheapest (fig 3)" "design tool .*x1\.00"
+check "human heuristic costs more (fig 3)"  "human heuristic .*x([2-9]|[1-9][0-9])\."
+
+# Figure 4: the tool leads by >2x at 8..20 apps (any such row suffices).
+check "tool leads by >2x at scale (fig 4)"  "^(8|12|16|20) .*x([2-9]|[1-9][0-9]+)\.[0-9]+ *$"
+
+# Figures 5-7: headers present; flatness of 6/7 is asserted via EXPERIMENTS.
+check "figure 5 sweep ran"                  "sensitivity to data object failure"
+check "figure 6 sweep ran"                  "sensitivity to disk array failure"
+check "figure 7 sweep ran"                  "sensitivity to site disaster"
+
+# Monte Carlo validation: outage ~ x1.0x, loss ~ x0.4-0.6 of the bound.
+check "MC outage matches analytic"          "annual outage penalty .*x(0\.9[0-9]|1\.0[0-9])"
+check "MC loss within the worst-case bound" "annual loss penalty .*x0\.[4-6][0-9]?"
+
+# Ablations: the full solver is the baseline; priority ordering appears.
+check "solver ablation baseline present"    "full .*x1\.00"
+check "recovery-order ablation ran"         "priority-penalty"
+check "backup-cycle ablation picks incrementals somewhere" "full\+incrementals"
+
+if [ "$failures" -gt 0 ]; then
+  echo; echo "$failures shape check(s) FAILED" >&2
+  exit 1
+fi
+echo; echo "all shape checks passed"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact (EXPERIMENTS.md's numbers) plus the
+# validation and ablation benches.
+#
+#   scripts/run_experiments.sh [build-dir] [time-budget-ms]
+#
+# Budgets: the paper ran 30 minutes per heuristic; the default here is 5 s,
+# which preserves every reported shape. Raise the budget for tighter random-
+# baseline numbers.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BUDGET_MS="${2:-5000}"
+SEED="${SEED:-42}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+for bench in \
+    bench_table4_case_study \
+    bench_fig2_solution_space \
+    bench_fig3_heuristic_comparison \
+    bench_fig4_scalability \
+    bench_fig5_object_sensitivity \
+    bench_fig6_disk_sensitivity \
+    bench_fig7_site_sensitivity \
+    bench_model_validation \
+    bench_ablation_solver \
+    bench_ablation_recovery_order \
+    bench_ablation_backup_cycle; do
+  echo "===== ${bench} ====="
+  "$BUILD_DIR/bench/$bench" --time-budget-ms="$BUDGET_MS" --seed="$SEED"
+  echo
+done
+
+echo "===== bench_solver_perf ====="
+"$BUILD_DIR/bench/bench_solver_perf" --benchmark_min_time=0.1

@@ -1,0 +1,32 @@
+// Shared result/option types for the comparison heuristics (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cost/breakdown.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor {
+
+struct BaselineOptions {
+  /// Soft wall-clock budget; complete designs are generated and priced until
+  /// it runs out (the paper ran each heuristic for thirty minutes).
+  double time_budget_ms = 1000.0;
+  /// Hard cap on complete designs generated (0 = unlimited within time).
+  int max_designs = 0;
+  /// Attempts to place a single application before the design is abandoned.
+  int placement_retries = 8;
+  std::uint64_t seed = 1;
+};
+
+struct BaselineResult {
+  std::optional<Candidate> best;
+  CostBreakdown cost;
+  bool feasible = false;
+  int designs_tried = 0;
+  int designs_feasible = 0;
+  double elapsed_ms = 0.0;
+};
+
+}  // namespace depstor

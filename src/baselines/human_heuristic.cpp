@@ -1,0 +1,224 @@
+#include "baselines/human_heuristic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <chrono>
+
+#include "protection/catalog.hpp"
+#include "solver/config_solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace depstor {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// The device of the wanted class, falling back to the nearest class present
+/// (environments may stock fewer models than classes).
+const DeviceTypeSpec& pick_class(const std::vector<DeviceTypeSpec>& types,
+                                 DeviceClass wanted) {
+  DEPSTOR_EXPECTS(!types.empty());
+  const DeviceTypeSpec* best = &types.front();
+  int best_distance = 1000;
+  for (const auto& t : types) {
+    const int distance =
+        std::abs(static_cast<int>(t.cls) - static_cast<int>(wanted));
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = &t;
+    }
+  }
+  return *best;
+}
+
+/// Preference-ordered device types for an application class: the
+/// class-matched model first, then the remaining models nearest-class-first
+/// (architects fall back when the matched model does not fit — e.g. a site
+/// already hosts its maximum number of arrays).
+std::vector<const DeviceTypeSpec*> preference_order(
+    const std::vector<DeviceTypeSpec>& types, DeviceClass wanted) {
+  std::vector<const DeviceTypeSpec*> order;
+  order.reserve(types.size());
+  for (const auto& t : types) order.push_back(&t);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const DeviceTypeSpec* a, const DeviceTypeSpec* b) {
+                     return std::abs(static_cast<int>(a->cls) -
+                                     static_cast<int>(wanted)) <
+                            std::abs(static_cast<int>(b->cls) -
+                                     static_cast<int>(wanted));
+                   });
+  return order;
+}
+
+DeviceClass class_for_app(AppCategory cls) {
+  switch (cls) {
+    case AppCategory::Gold:
+      return DeviceClass::High;
+    case AppCategory::Silver:
+      return DeviceClass::Med;
+    case AppCategory::Bronze:
+      return DeviceClass::Low;
+  }
+  return DeviceClass::Low;
+}
+
+}  // namespace
+
+HumanHeuristic::HumanHeuristic(const Environment* env, BaselineOptions options)
+    : env_(env), options_(options) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  env_->validate();
+}
+
+const DeviceTypeSpec& HumanHeuristic::array_for_class(AppCategory cls) const {
+  return pick_class(env_->array_types, class_for_app(cls));
+}
+
+const DeviceTypeSpec& HumanHeuristic::tape_for_class(AppCategory cls) const {
+  // Tape / network catalogs have no Low class; bronze shares Med.
+  return pick_class(env_->tape_types, cls == AppCategory::Gold
+                                          ? DeviceClass::High
+                                          : DeviceClass::Med);
+}
+
+const DeviceTypeSpec& HumanHeuristic::network_for_class(
+    AppCategory cls) const {
+  return pick_class(env_->network_types, cls == AppCategory::Gold
+                                             ? DeviceClass::High
+                                             : DeviceClass::Med);
+}
+
+BaselineResult HumanHeuristic::solve() {
+  const auto start = Clock::now();
+  BaselineResult result;
+  Rng rng(options_.seed);
+  ConfigSolver config_solver(env_);
+  const int n_apps = static_cast<int>(env_->apps.size());
+
+  while (elapsed_ms(start) < options_.time_budget_ms &&
+         (options_.max_designs == 0 ||
+          result.designs_tried < options_.max_designs)) {
+    ++result.designs_tried;
+    Candidate cand(env_);
+
+    // Randomized priority order: repeatedly draw the next application with
+    // probability weighted by its penalty-rate sum.
+    std::vector<int> order;
+    {
+      std::vector<int> remaining(static_cast<std::size_t>(n_apps));
+      for (int i = 0; i < n_apps; ++i) remaining[static_cast<std::size_t>(i)] = i;
+      while (!remaining.empty()) {
+        std::vector<double> weights;
+        weights.reserve(remaining.size());
+        for (int id : remaining) {
+          weights.push_back(env_->app(id).penalty_rate_sum());
+        }
+        const auto pick = rng.weighted_index(weights);
+        order.push_back(remaining[pick]);
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+
+    std::vector<int> site_load(
+        static_cast<std::size_t>(env_->topology.site_count()), 0);
+    bool failed = false;
+
+    // Architects "assign a standard data protection design depending upon
+    // the category" (§1) and apply "the data protection techniques ... from
+    // a given class to the applications in the corresponding class" (§4.1):
+    // one technique is drawn per class — uniformly within that class — and
+    // applied to every application of the class in this design.
+    std::map<AppCategory, TechniqueSpec> standard;
+    for (AppCategory cls :
+         {AppCategory::Gold, AppCategory::Silver, AppCategory::Bronze}) {
+      const auto class_techs = protection::techniques_in_class(cls);
+      DEPSTOR_ENSURES(!class_techs.empty());
+      standard.emplace(cls, class_techs[rng.index(class_techs.size())]);
+    }
+
+    for (int app_id : order) {
+      const AppCategory cls = env_->app_category(app_id);
+
+      const auto array_prefs =
+          preference_order(env_->array_types, class_for_app(cls));
+      const auto tape_prefs =
+          preference_order(env_->tape_types, cls == AppCategory::Gold
+                                                 ? DeviceClass::High
+                                                 : DeviceClass::Med);
+      const auto net_prefs =
+          preference_order(env_->network_types, cls == AppCategory::Gold
+                                                    ? DeviceClass::High
+                                                    : DeviceClass::Med);
+      bool placed = false;
+      for (int attempt = 0;
+           attempt < options_.placement_retries && !placed; ++attempt) {
+        // Later attempts walk down the class-preference lists: the matched
+        // model first, then the nearest fallback.
+        const auto pref = static_cast<std::size_t>(attempt);
+        DesignChoice choice;
+        choice.technique = standard.at(cls);
+        choice.primary_array_type =
+            array_prefs[pref % array_prefs.size()]->name;
+        choice.mirror_array_type =
+            array_prefs[pref % array_prefs.size()]->name;
+        choice.tape_type = tape_prefs[pref % tape_prefs.size()]->name;
+        choice.link_type = net_prefs[pref % net_prefs.size()]->name;
+
+        // Spread uniformly: least-loaded site first, random tie-break.
+        std::vector<int> sites(site_load.size());
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+          sites[s] = static_cast<int>(s);
+        }
+        rng.shuffle(sites);
+        std::stable_sort(sites.begin(), sites.end(), [&](int a, int b) {
+          return site_load[static_cast<std::size_t>(a)] <
+                 site_load[static_cast<std::size_t>(b)];
+        });
+        choice.primary_site = sites[static_cast<std::size_t>(attempt) %
+                                    sites.size()];
+        if (choice.technique.has_mirror()) {
+          const auto neighbors =
+              env_->topology.neighbors(choice.primary_site);
+          if (neighbors.empty()) continue;
+          // Secondary site: the least-loaded connected site.
+          choice.secondary_site = *std::min_element(
+              neighbors.begin(), neighbors.end(), [&](int a, int b) {
+                return site_load[static_cast<std::size_t>(a)] <
+                       site_load[static_cast<std::size_t>(b)];
+              });
+        }
+        try {
+          cand.place_app(app_id, choice);
+          cand.check_feasible();
+          placed = true;
+          ++site_load[static_cast<std::size_t>(choice.primary_site)];
+        } catch (const InfeasibleError&) {
+          if (cand.is_assigned(app_id)) cand.remove_app(app_id);
+        }
+      }
+      if (!placed) {
+        failed = true;  // restart the whole design (§4.1)
+        break;
+      }
+    }
+    if (failed) continue;
+
+    const CostBreakdown cost = config_solver.solve(cand);
+    ++result.designs_feasible;
+    if (!result.best || cost.total() < result.cost.total()) {
+      result.best = std::move(cand);
+      result.cost = cost;
+      result.feasible = true;
+    }
+  }
+  result.elapsed_ms = elapsed_ms(start);
+  return result;
+}
+
+}  // namespace depstor

@@ -1,0 +1,42 @@
+// Human-architect emulation (paper §4.1).
+//
+// Storage architects categorize applications, techniques and resources into
+// gold / silver / bronze and match them up:
+//
+//  * every application gets a technique drawn uniformly from its own class;
+//  * resources come from the matching class (gold app → high-end array, …);
+//  * applications are processed in randomized priority order (weighted by
+//    penalty-rate sum);
+//  * applications are spread uniformly over the sites (least-loaded site
+//    first, ties broken randomly);
+//  * once every application is placed, the configuration solver optimizes
+//    the remaining parameters.
+//
+// Infeasible assignments restart the design; the minimum-cost design found
+// within the time budget is returned.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "core/environment.hpp"
+
+namespace depstor {
+
+class HumanHeuristic {
+ public:
+  explicit HumanHeuristic(const Environment* env, BaselineOptions options = {});
+
+  BaselineResult solve();
+
+  /// Class-matched device picks (exposed for tests): gold → High array,
+  /// silver → Med, bronze → Low; gold apps get High tape/network, others Med
+  /// (when those classes exist in the environment).
+  const DeviceTypeSpec& array_for_class(AppCategory cls) const;
+  const DeviceTypeSpec& tape_for_class(AppCategory cls) const;
+  const DeviceTypeSpec& network_for_class(AppCategory cls) const;
+
+ private:
+  const Environment* env_;
+  BaselineOptions options_;
+};
+
+}  // namespace depstor

@@ -1,0 +1,91 @@
+#include "baselines/random_heuristic.hpp"
+
+#include <chrono>
+
+#include "protection/catalog.hpp"
+#include "solver/config_solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace depstor {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+RandomHeuristic::RandomHeuristic(const Environment* env,
+                                 BaselineOptions options)
+    : env_(env), options_(options) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  env_->validate();
+}
+
+BaselineResult RandomHeuristic::solve() {
+  const auto start = Clock::now();
+  BaselineResult result;
+  Rng rng(options_.seed);
+  ConfigSolver config_solver(env_);
+  const auto techniques = protection::all_techniques();
+  const int n_apps = static_cast<int>(env_->apps.size());
+  const int n_sites = env_->topology.site_count();
+
+  while (elapsed_ms(start) < options_.time_budget_ms &&
+         (options_.max_designs == 0 ||
+          result.designs_tried < options_.max_designs)) {
+    ++result.designs_tried;
+    Candidate cand(env_);
+    bool failed = false;
+
+    for (int app_id = 0; app_id < n_apps && !failed; ++app_id) {
+      bool placed = false;
+      for (int attempt = 0;
+           attempt < options_.placement_retries && !placed; ++attempt) {
+        DesignChoice choice;
+        choice.technique = techniques[rng.index(techniques.size())];
+        choice.primary_site = rng.uniform_int(0, n_sites - 1);
+        choice.primary_array_type =
+            env_->array_types[rng.index(env_->array_types.size())].name;
+        if (choice.technique.has_mirror()) {
+          const auto neighbors =
+              env_->topology.neighbors(choice.primary_site);
+          if (neighbors.empty()) continue;
+          choice.secondary_site = neighbors[rng.index(neighbors.size())];
+          choice.mirror_array_type =
+              env_->array_types[rng.index(env_->array_types.size())].name;
+          choice.link_type =
+              env_->network_types[rng.index(env_->network_types.size())].name;
+        }
+        if (choice.technique.has_backup) {
+          choice.tape_type =
+              env_->tape_types[rng.index(env_->tape_types.size())].name;
+        }
+        try {
+          cand.place_app(app_id, choice);
+          cand.check_feasible();
+          placed = true;
+        } catch (const InfeasibleError&) {
+          if (cand.is_assigned(app_id)) cand.remove_app(app_id);
+        }
+      }
+      failed = !placed;
+    }
+    if (failed) continue;
+
+    const CostBreakdown cost = config_solver.solve(cand);
+    ++result.designs_feasible;
+    if (!result.best || cost.total() < result.cost.total()) {
+      result.best = std::move(cand);
+      result.cost = cost;
+      result.feasible = true;
+    }
+  }
+  result.elapsed_ms = elapsed_ms(start);
+  return result;
+}
+
+}  // namespace depstor

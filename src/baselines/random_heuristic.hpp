@@ -1,0 +1,28 @@
+// Random design selection (paper §4).
+//
+// Generates fully random complete designs — uniform technique from the whole
+// catalog, uniform sites and device types — prices each with the
+// configuration solver, and keeps the cheapest within the time budget.
+// Because feasibility of a random design is quick to test, this baseline
+// keeps finding feasible designs at scales where the guided searches stall
+// (paper §4.4).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "core/environment.hpp"
+
+namespace depstor {
+
+class RandomHeuristic {
+ public:
+  explicit RandomHeuristic(const Environment* env,
+                           BaselineOptions options = {});
+
+  BaselineResult solve();
+
+ private:
+  const Environment* env_;
+  BaselineOptions options_;
+};
+
+}  // namespace depstor

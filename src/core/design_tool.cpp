@@ -1,0 +1,88 @@
+#include "core/design_tool.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace depstor {
+
+DesignTool::DesignTool(Environment env) : env_(std::move(env)) {
+  env_.validate();
+}
+
+SolveResult DesignTool::design(const DesignSolverOptions& options) const {
+  DesignSolver solver(&env_, options);
+  return solver.solve();
+}
+
+BaselineResult DesignTool::design_human(const BaselineOptions& options) const {
+  HumanHeuristic heuristic(&env_, options);
+  return heuristic.solve();
+}
+
+BaselineResult DesignTool::design_random(
+    const BaselineOptions& options) const {
+  RandomHeuristic heuristic(&env_, options);
+  return heuristic.solve();
+}
+
+CostBreakdown DesignTool::evaluate_under(const Candidate& candidate,
+                                         const FailureModel& failures) const {
+  return evaluate_cost(env_.apps, candidate.assignments(), candidate.pool(),
+                       failures, env_.params);
+}
+
+std::string DesignTool::describe(const Environment& env,
+                                 const Candidate& candidate) {
+  Table table({"App", "Type", "Data protection technique", "Primary site",
+               "Secondary site", "Array", "Mirror array", "Tape lib",
+               "Links"});
+  for (const auto& asg : candidate.assignments()) {
+    const auto& app = env.app(asg.app_id);
+    if (!asg.assigned) {
+      table.add_row({app.name, app.type_code, "(unassigned)", "-", "-", "-",
+                     "-", "-", "-"});
+      continue;
+    }
+    const auto& pool = candidate.pool();
+    auto dev_name = [&](int id) -> std::string {
+      if (id < 0) return "-";
+      const auto& dev = pool.device(id);
+      return dev.type.name + "@" + env.topology.site(dev.site_id).name;
+    };
+    std::string links = "-";
+    if (asg.mirror_link >= 0) {
+      const auto& dev = pool.device(asg.mirror_link);
+      links = dev.type.name + " x" + std::to_string(dev.bandwidth_units);
+    }
+    table.add_row(
+        {app.name, app.type_code, asg.technique.name,
+         env.topology.site(asg.primary_site).name,
+         asg.secondary_site >= 0 ? env.topology.site(asg.secondary_site).name
+                                 : "-",
+         dev_name(asg.primary_array), dev_name(asg.mirror_array),
+         dev_name(asg.tape_library), links});
+  }
+  return table.render();
+}
+
+std::string DesignTool::describe_cost(const Environment& env,
+                                      const CostBreakdown& cost) {
+  std::ostringstream os;
+  Table table({"App", "Outage penalty/yr", "Loss penalty/yr",
+               "E[outage] h/yr", "E[loss] h/yr"});
+  for (const auto& d : cost.per_app) {
+    table.add_row({env.app(d.app_id).name, Table::money(d.outage_penalty),
+                   Table::money(d.loss_penalty),
+                   Table::num(d.expected_outage_hours),
+                   Table::num(d.expected_loss_hours)});
+  }
+  os << table.render();
+  os << "outlays/yr: " << Table::money(cost.outlay)
+     << "  outage penalty/yr: " << Table::money(cost.outage_penalty)
+     << "  loss penalty/yr: " << Table::money(cost.loss_penalty)
+     << "  TOTAL: " << Table::money(cost.total()) << "\n";
+  return os.str();
+}
+
+}  // namespace depstor

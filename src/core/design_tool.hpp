@@ -1,0 +1,55 @@
+// DesignTool: the public facade of the automated design tool (paper Fig. 1).
+//
+// Wraps the design solver, the two comparison heuristics, and the reporting
+// helpers the experiments use. Typical use:
+//
+//   Environment env = scenarios::peer_sites(8);
+//   DesignTool tool(env);
+//   auto result = tool.design({.time_budget_ms = 2000, .seed = 7});
+//   std::cout << DesignTool::describe(env, *result.best);
+#pragma once
+
+#include <string>
+
+#include "baselines/human_heuristic.hpp"
+#include "baselines/random_heuristic.hpp"
+#include "core/environment.hpp"
+#include "solver/design_solver.hpp"
+
+namespace depstor {
+
+class DesignTool {
+ public:
+  explicit DesignTool(Environment env);
+
+  const Environment& env() const { return env_; }
+
+  /// Run the two-stage design solver (Algorithm 1).
+  SolveResult design(const DesignSolverOptions& options = {}) const;
+
+  /// Run the emulated human architect (§4.1).
+  BaselineResult design_human(const BaselineOptions& options = {}) const;
+
+  /// Run the random design baseline (§4).
+  BaselineResult design_random(const BaselineOptions& options = {}) const;
+
+  /// Re-evaluate a candidate's cost under a different failure model
+  /// (sensitivity studies re-price a fixed design, or redesign; §4.5
+  /// redesigns — see bench_fig5..7).
+  CostBreakdown evaluate_under(const Candidate& candidate,
+                               const FailureModel& failures) const;
+
+  /// Render a Table 4-style description of the chosen design: one row per
+  /// application with technique, primary site and the devices it touches.
+  static std::string describe(const Environment& env,
+                              const Candidate& candidate);
+
+  /// Render the per-app penalty/outage detail of a cost breakdown.
+  static std::string describe_cost(const Environment& env,
+                                   const CostBreakdown& cost);
+
+ private:
+  Environment env_;
+};
+
+}  // namespace depstor

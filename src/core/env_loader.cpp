@@ -1,0 +1,153 @@
+#include "core/env_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "resources/catalog.hpp"
+#include "util/check.hpp"
+#include "util/ini.hpp"
+#include "workload/generator.hpp"
+
+namespace depstor {
+
+namespace {
+
+int resolve_site(const Environment& env, const std::string& ref,
+                 const IniSection& section) {
+  for (const auto& site : env.topology.sites) {
+    if (site.name == ref) return site.id;
+  }
+  char* end = nullptr;
+  const long index = std::strtol(ref.c_str(), &end, 10);
+  if (end && *end == '\0' && index >= 0 &&
+      index < env.topology.site_count()) {
+    return static_cast<int>(index);
+  }
+  throw InvalidArgument("[" + section.name + "] (line " +
+                        std::to_string(section.line) +
+                        ") references unknown site: " + ref);
+}
+
+ApplicationSpec parse_application(const IniSection& s) {
+  ApplicationSpec app;
+  app.name = s.get_string("name");
+  app.type_code = s.get_string_or("type", app.name);
+  app.outage_penalty_rate = s.get_double("outage_penalty_rate");
+  app.loss_penalty_rate = s.get_double("loss_penalty_rate");
+  app.data_size_gb = s.get_double("data_size_gb");
+  app.avg_update_mbps = s.get_double("avg_update_mbps");
+  app.peak_update_mbps =
+      s.get_double_or("peak_update_mbps", app.avg_update_mbps);
+  app.avg_access_mbps =
+      s.get_double_or("avg_access_mbps", app.avg_update_mbps);
+  app.unique_update_mbps =
+      s.get_double_or("unique_update_mbps", 0.4 * app.avg_update_mbps);
+  app.validate();
+  return app;
+}
+
+SiteSpec parse_site(const IniSection& s, int id) {
+  SiteSpec site;
+  site.id = id;
+  site.name = s.get_string("name");
+  site.region = s.get_int_or("region", 0);
+  site.max_disk_arrays = s.get_int_or("max_disk_arrays", 2);
+  site.max_spare_arrays = s.get_int_or("max_spare_arrays", 1);
+  site.max_tape_libraries = s.get_int_or("max_tape_libraries", 1);
+  site.max_compute_slots = s.get_int_or("max_compute_slots", 8);
+  site.fixed_cost = s.get_double_or("fixed_cost", 1000000.0);
+  site.validate();
+  return site;
+}
+
+std::vector<DeviceTypeSpec> parse_catalog_list(const IniSection& s,
+                                               const std::string& key,
+                                               DeviceKind kind) {
+  std::vector<DeviceTypeSpec> out;
+  for (const auto& name : split_list(s.get_string(key))) {
+    DeviceTypeSpec type = resources::by_name(name);
+    DEPSTOR_EXPECTS_MSG(type.kind == kind,
+                        "[catalog] " + key + ": " + name +
+                            " is not of the expected device kind");
+    out.push_back(std::move(type));
+  }
+  DEPSTOR_EXPECTS_MSG(!out.empty(), "[catalog] " + key + " is empty");
+  return out;
+}
+
+}  // namespace
+
+Environment environment_from_ini(const std::string& text) {
+  const auto sections = parse_ini(text);
+  Environment env;
+  env.array_types = resources::disk_arrays();
+  env.tape_types = resources::tape_libraries();
+  env.network_types = resources::networks();
+  env.compute_type = resources::compute_high();
+
+  // Pass 1: sites (links and applications may reference them by name).
+  for (const auto& s : sections) {
+    if (s.name == "site") {
+      env.topology.sites.push_back(
+          parse_site(s, static_cast<int>(env.topology.sites.size())));
+    }
+  }
+  DEPSTOR_EXPECTS_MSG(!env.topology.sites.empty(),
+                      "environment file declares no [site]");
+
+  // Pass 2: everything else.
+  for (const auto& s : sections) {
+    if (s.name == "site") continue;
+    if (s.name == "link") {
+      Topology::PairLimit pair;
+      pair.site_a = resolve_site(env, s.get_string("a"), s);
+      pair.site_b = resolve_site(env, s.get_string("b"), s);
+      pair.max_links = s.get_int("max_links");
+      env.topology.pair_limits.push_back(pair);
+    } else if (s.name == "application") {
+      env.apps.push_back(parse_application(s));
+    } else if (s.name == "failures") {
+      env.failures.data_object_rate =
+          s.get_double_or("data_object_rate", env.failures.data_object_rate);
+      env.failures.disk_array_rate =
+          s.get_double_or("disk_array_rate", env.failures.disk_array_rate);
+      env.failures.site_disaster_rate = s.get_double_or(
+          "site_disaster_rate", env.failures.site_disaster_rate);
+      env.failures.regional_disaster_rate = s.get_double_or(
+          "regional_disaster_rate", env.failures.regional_disaster_rate);
+    } else if (s.name == "catalog") {
+      if (s.has("arrays")) {
+        env.array_types =
+            parse_catalog_list(s, "arrays", DeviceKind::DiskArray);
+      }
+      if (s.has("tapes")) {
+        env.tape_types =
+            parse_catalog_list(s, "tapes", DeviceKind::TapeLibrary);
+      }
+      if (s.has("networks")) {
+        env.network_types =
+            parse_catalog_list(s, "networks", DeviceKind::NetworkLink);
+      }
+    } else {
+      throw InvalidArgument("unknown section [" + s.name + "] at line " +
+                            std::to_string(s.line));
+    }
+  }
+  DEPSTOR_EXPECTS_MSG(!env.apps.empty(),
+                      "environment file declares no [application]");
+  workload::assign_ids(env.apps);
+  env.validate();
+  return env;
+}
+
+Environment load_environment(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgument("cannot open environment file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return environment_from_ini(buffer.str());
+}
+
+}  // namespace depstor

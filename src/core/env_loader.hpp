@@ -1,0 +1,56 @@
+// Environment files: declare a whole design problem in a text file and run
+// the tool against it (depstor_cli --env=<path>).
+//
+// Format (INI, see util/ini.hpp), sections in any order:
+//
+//   [site]                        # one per site, ids in declaration order
+//   name = east-1
+//   region = 0                    # optional (default 0)
+//   max_disk_arrays = 2           # optional (defaults in parentheses)
+//   max_spare_arrays = 1
+//   max_tape_libraries = 1
+//   max_compute_slots = 8
+//   fixed_cost = 1000000
+//
+//   [link]                        # one per connected site pair
+//   a = east-1                    # site name or index
+//   b = west-1
+//   max_links = 16
+//
+//   [application]                 # one per application
+//   name = billing
+//   type = BIL                    # optional display code
+//   outage_penalty_rate = 2e6     # US$/hr
+//   loss_penalty_rate = 8e6
+//   data_size_gb = 900
+//   avg_update_mbps = 3
+//   peak_update_mbps = 25         # optional (default = avg)
+//   avg_access_mbps = 30          # optional (default = avg)
+//   unique_update_mbps = 1.2      # optional (default = 0.4 × avg)
+//
+//   [failures]                    # optional; §4.2 defaults
+//   data_object_rate = 0.333      # per year
+//   disk_array_rate = 0.333
+//   site_disaster_rate = 0.2
+//   regional_disaster_rate = 0
+//
+//   [catalog]                     # optional; defaults to the full Table 3
+//   arrays = XP1200, EVA8000      # names from resources::by_name
+//   tapes = TapeLib-High
+//   networks = Net-High, Net-Med
+#pragma once
+
+#include <string>
+
+#include "core/environment.hpp"
+
+namespace depstor {
+
+/// Build an Environment from environment-file text. Throws InvalidArgument
+/// with section/line context on any problem; the result is validate()d.
+Environment environment_from_ini(const std::string& text);
+
+/// Convenience: read the file and parse it.
+Environment load_environment(const std::string& path);
+
+}  // namespace depstor

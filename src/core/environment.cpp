@@ -1,0 +1,63 @@
+#include "core/environment.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+void PolicyRanges::validate() const {
+  DEPSTOR_EXPECTS(!snapshot_intervals_hours.empty());
+  DEPSTOR_EXPECTS(!backup_intervals_hours.empty());
+  for (double v : snapshot_intervals_hours) DEPSTOR_EXPECTS(v > 0.0);
+  for (double v : backup_intervals_hours) DEPSTOR_EXPECTS(v > 0.0);
+  const double max_snap = *std::max_element(snapshot_intervals_hours.begin(),
+                                            snapshot_intervals_hours.end());
+  const double min_backup = *std::min_element(backup_intervals_hours.begin(),
+                                              backup_intervals_hours.end());
+  DEPSTOR_EXPECTS_MSG(min_backup >= max_snap,
+                      "backups cannot be more frequent than snapshots");
+  if (allow_incremental_backups) {
+    DEPSTOR_EXPECTS(!incremental_intervals_hours.empty());
+    for (double v : incremental_intervals_hours) DEPSTOR_EXPECTS(v > 0.0);
+  }
+  DEPSTOR_EXPECTS(max_resource_increments >= 0);
+}
+
+const ApplicationSpec& Environment::app(int id) const {
+  DEPSTOR_EXPECTS(id >= 0 && id < static_cast<int>(apps.size()));
+  return apps[static_cast<std::size_t>(id)];
+}
+
+void Environment::validate() const {
+  DEPSTOR_EXPECTS_MSG(!apps.empty(), "environment needs applications");
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    DEPSTOR_EXPECTS_MSG(apps[i].id == static_cast<int>(i),
+                        "application ids must be dense and ordered");
+    apps[i].validate();
+  }
+  topology.validate();
+  DEPSTOR_EXPECTS_MSG(!array_types.empty(), "need at least one array model");
+  DEPSTOR_EXPECTS_MSG(!tape_types.empty(), "need at least one tape model");
+  DEPSTOR_EXPECTS_MSG(!network_types.empty(),
+                      "need at least one network model");
+  for (const auto& t : array_types) {
+    t.validate();
+    DEPSTOR_EXPECTS(t.kind == DeviceKind::DiskArray);
+  }
+  for (const auto& t : tape_types) {
+    t.validate();
+    DEPSTOR_EXPECTS(t.kind == DeviceKind::TapeLibrary);
+  }
+  for (const auto& t : network_types) {
+    t.validate();
+    DEPSTOR_EXPECTS(t.kind == DeviceKind::NetworkLink);
+  }
+  compute_type.validate();
+  DEPSTOR_EXPECTS(compute_type.kind == DeviceKind::Compute);
+  failures.validate();
+  params.validate();
+  policies.validate();
+}
+
+}  // namespace depstor

@@ -1,0 +1,61 @@
+// The full problem description handed to the design tool (paper §2.6):
+// applications with business requirements, site topology, available device
+// models, failure likelihoods, model parameters, and the policy ranges the
+// configuration solver may search over.
+#pragma once
+
+#include <vector>
+
+#include "model/failure.hpp"
+#include "model/params.hpp"
+#include "protection/technique.hpp"
+#include "resources/device.hpp"
+#include "resources/site.hpp"
+#include "workload/application.hpp"
+
+namespace depstor {
+
+/// Discretized value ranges for the configuration parameters (§3.2: "valid
+/// ranges of values are based on policies", e.g. 12-hour backup increments).
+/// Table 2's values (12 h snapshots, 7-day backups) are members of the
+/// default ranges.
+struct PolicyRanges {
+  std::vector<double> snapshot_intervals_hours = {4.0, 8.0, 12.0, 24.0};
+  std::vector<double> backup_intervals_hours = {84.0, 168.0, 336.0};
+  /// Incremental-cycle options swept when `allow_incremental_backups`.
+  std::vector<double> incremental_intervals_hours = {12.0, 24.0};
+  bool allow_incremental_backups = true;
+  /// Let the increment loop buy hot-spare array enclosures (shortening the
+  /// array repair lead) when a spare pays for itself.
+  bool allow_spare_arrays = true;
+  /// Ceiling on the §3.2.2 resource-increment loop (extra links / drives /
+  /// array units added while cost keeps dropping).
+  int max_resource_increments = 8;
+
+  void validate() const;
+};
+
+struct Environment {
+  ApplicationList apps;
+  Topology topology;
+
+  /// Device models deployable in this environment.
+  std::vector<DeviceTypeSpec> array_types;
+  std::vector<DeviceTypeSpec> tape_types;
+  std::vector<DeviceTypeSpec> network_types;
+  DeviceTypeSpec compute_type;
+
+  FailureModel failures;
+  ModelParams params;
+  CategoryThresholds thresholds;
+  PolicyRanges policies;
+
+  const ApplicationSpec& app(int id) const;
+  AppCategory app_category(int id) const {
+    return app(id).category(thresholds);
+  }
+
+  void validate() const;
+};
+
+}  // namespace depstor

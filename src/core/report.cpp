@@ -1,0 +1,146 @@
+#include "core/report.hpp"
+
+#include "cost/outlay.hpp"
+#include "cost/penalty.hpp"
+#include "model/recovery_sim.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace depstor {
+
+std::string solution_to_json(const Environment& env,
+                             const Candidate& candidate,
+                             const CostBreakdown& cost) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("applications").begin_array();
+  for (const auto& asg : candidate.assignments()) {
+    const auto& app = env.app(asg.app_id);
+    w.begin_object();
+    w.field("name", app.name);
+    w.field("type", app.type_code);
+    w.field("assigned", asg.assigned);
+    if (asg.assigned) {
+      w.field("technique", asg.technique.name);
+      w.field("category", to_string(asg.technique.category));
+      w.field("recovery", to_string(asg.technique.recovery));
+      w.field("primary_site", env.topology.site(asg.primary_site).name);
+      if (asg.secondary_site >= 0) {
+        w.field("secondary_site", env.topology.site(asg.secondary_site).name);
+      }
+      if (asg.has_backup()) {
+        w.key("backup").begin_object();
+        w.field("snapshot_interval_hours",
+                asg.backup.snapshot_interval_hours);
+        w.field("backup_interval_hours", asg.backup.backup_interval_hours);
+        w.field("cycle", to_string(asg.backup.cycle));
+        if (asg.backup.has_incrementals()) {
+          w.field("incremental_interval_hours",
+                  asg.backup.incremental_interval_hours);
+        }
+        w.field("vault_interval_hours", asg.backup.vault_interval_hours);
+        w.end_object();
+      }
+      w.key("devices").begin_object();
+      auto dev_field = [&](const char* name, int id) {
+        if (id < 0) return;
+        const auto& dev = candidate.pool().device(id);
+        w.field(name, dev.type.name + "@" +
+                          env.topology.site(dev.site_id).name);
+      };
+      dev_field("primary_array", asg.primary_array);
+      dev_field("mirror_array", asg.mirror_array);
+      dev_field("tape_library", asg.tape_library);
+      if (asg.mirror_link >= 0) {
+        const auto& link = candidate.pool().device(asg.mirror_link);
+        w.field("mirror_link", link.type.name + " x" +
+                                   std::to_string(link.bandwidth_units));
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("devices").begin_array();
+  for (const auto& dev : candidate.pool().devices()) {
+    if (!candidate.pool().in_use(dev.id)) continue;
+    w.begin_object();
+    w.field("id", dev.id);
+    w.field("type", dev.type.name);
+    w.field("kind", to_string(dev.type.kind));
+    w.field("site", env.topology.site(dev.site_id).name);
+    if (dev.site_b_id >= 0) {
+      w.field("site_b", env.topology.site(dev.site_b_id).name);
+    }
+    w.field("capacity_units", dev.capacity_units);
+    w.field("bandwidth_units", dev.bandwidth_units);
+    w.field("purchase_cost", dev.purchase_cost());
+    w.field("annual_cost",
+            annual_device_outlay(candidate.pool(), dev.id, env.params));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("cost").begin_object();
+  w.field("annual_outlay", cost.outlay);
+  w.field("annual_outage_penalty", cost.outage_penalty);
+  w.field("annual_loss_penalty", cost.loss_penalty);
+  w.field("annual_total", cost.total());
+  w.key("per_application").begin_array();
+  for (const auto& d : cost.per_app) {
+    w.begin_object();
+    w.field("name", env.app(d.app_id).name);
+    w.field("outage_penalty", d.outage_penalty);
+    w.field("loss_penalty", d.loss_penalty);
+    w.field("expected_outage_hours", d.expected_outage_hours);
+    w.field("expected_loss_hours", d.expected_loss_hours);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+std::string threat_report(const Environment& env,
+                          const Candidate& candidate) {
+  Table table({"Failure scope", "Scenarios", "Rate/yr each",
+               "Outage penalty/yr", "Loss penalty/yr", "Total/yr"});
+  const auto scopes =
+      compute_scope_penalties(env.apps, candidate.assignments(),
+                              candidate.pool(), env.failures, env.params);
+  for (const auto& sp : scopes) {
+    if (sp.scenarios == 0 && env.failures.rate(sp.scope) <= 0.0) continue;
+    table.add_row({to_string(sp.scope), std::to_string(sp.scenarios),
+                   Table::num(env.failures.rate(sp.scope), 3),
+                   Table::money(sp.outage_penalty),
+                   Table::money(sp.loss_penalty), Table::money(sp.total())});
+  }
+  return table.render();
+}
+
+std::string recovery_report(const Environment& env,
+                            const Candidate& candidate) {
+  Table table({"Scenario", "Rate/yr", "App", "Action", "Copy used", "Outage",
+               "Recent loss"});
+  const auto scenarios =
+      enumerate_scenarios(env.apps, candidate.assignments(), candidate.pool(),
+                          env.failures, /*with_names=*/true);
+  for (const auto& scenario : scenarios) {
+    const auto results = simulate_recovery(
+        scenario, env.apps, candidate.assignments(), candidate.pool(),
+        env.params);
+    for (const auto& r : results) {
+      table.add_row({scenario.name, Table::num(scenario.annual_rate, 3),
+                     env.app(r.app_id).name, to_string(r.action),
+                     to_string(r.copy), Table::hours(r.outage_hours),
+                     Table::hours(r.loss_hours)});
+    }
+  }
+  return table.render();
+}
+
+}  // namespace depstor

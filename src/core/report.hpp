@@ -1,0 +1,32 @@
+// Machine- and operator-readable reports of a finished design.
+//
+//  * solution_to_json — the full design as a JSON document: application
+//    assignments (technique, sites, chain configuration), provisioned
+//    devices (units, purchase and annualized costs), and the cost breakdown
+//    with per-application penalties. Stable field names; intended for
+//    dashboards or diffing two designs.
+//  * recovery_report — the per-scenario recovery behavior as a table: for
+//    every concrete failure scenario, each affected application's recovery
+//    action, the copy used, and the resulting outage / recent-loss times.
+//    This is the evaluation detail behind the penalty numbers.
+#pragma once
+
+#include <string>
+
+#include "core/environment.hpp"
+#include "cost/breakdown.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor {
+
+std::string solution_to_json(const Environment& env, const Candidate& candidate,
+                             const CostBreakdown& cost);
+
+std::string recovery_report(const Environment& env,
+                            const Candidate& candidate);
+
+/// Penalty attribution by failure scope ("what threat drives this design's
+/// expected cost") as a table.
+std::string threat_report(const Environment& env, const Candidate& candidate);
+
+}  // namespace depstor

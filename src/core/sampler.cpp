@@ -1,0 +1,92 @@
+#include "core/sampler.hpp"
+
+#include <algorithm>
+
+#include "protection/catalog.hpp"
+#include "solver/config_solver.hpp"
+#include "solver/solution.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace depstor {
+
+double SampleStats::percentile_of(double cost) const {
+  if (samples.empty()) return 0.0;
+  const auto below = std::count_if(samples.begin(), samples.end(),
+                                   [&](double s) { return s < cost; });
+  return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+SolutionSpaceSampler::SolutionSpaceSampler(const Environment* env)
+    : env_(env) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  env_->validate();
+}
+
+SampleStats SolutionSpaceSampler::sample(int count, std::uint64_t seed,
+                                         bool configure,
+                                         int max_attempts_factor) const {
+  DEPSTOR_EXPECTS(count >= 1);
+  DEPSTOR_EXPECTS(max_attempts_factor >= 1);
+  SampleStats stats;
+  stats.samples.reserve(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  ConfigSolver config_solver(env_);
+  const auto techniques = protection::all_techniques();
+  const int n_apps = static_cast<int>(env_->apps.size());
+  const int n_sites = env_->topology.site_count();
+  const long max_attempts = static_cast<long>(count) * max_attempts_factor;
+
+  // A design draws a technique uniformly per application; the layout draw is
+  // retried a few times per app (like the random heuristic) so that sampled
+  // designs differ in protection choices rather than dying on device-type
+  // collisions at a site.
+  constexpr int kLayoutRetries = 8;
+  while (stats.feasible < count && stats.attempted < max_attempts) {
+    ++stats.attempted;
+    Candidate cand(env_);
+    bool failed = false;
+    for (int app_id = 0; app_id < n_apps && !failed; ++app_id) {
+      const TechniqueSpec& technique = techniques[rng.index(techniques.size())];
+      bool placed = false;
+      for (int attempt = 0; attempt < kLayoutRetries && !placed; ++attempt) {
+        DesignChoice choice;
+        choice.technique = technique;
+        choice.primary_site = rng.uniform_int(0, n_sites - 1);
+        choice.primary_array_type =
+            env_->array_types[rng.index(env_->array_types.size())].name;
+        if (choice.technique.has_mirror()) {
+          const auto neighbors =
+              env_->topology.neighbors(choice.primary_site);
+          if (neighbors.empty()) continue;
+          choice.secondary_site = neighbors[rng.index(neighbors.size())];
+          choice.mirror_array_type =
+              env_->array_types[rng.index(env_->array_types.size())].name;
+          choice.link_type =
+              env_->network_types[rng.index(env_->network_types.size())].name;
+        }
+        if (choice.technique.has_backup) {
+          choice.tape_type =
+              env_->tape_types[rng.index(env_->tape_types.size())].name;
+        }
+        try {
+          cand.place_app(app_id, choice);
+          cand.check_feasible();
+          placed = true;
+        } catch (const InfeasibleError&) {
+          if (cand.is_assigned(app_id)) cand.remove_app(app_id);
+        }
+      }
+      failed = !placed;
+    }
+    if (failed) continue;
+    const double cost = configure ? config_solver.solve(cand).total()
+                                  : cand.evaluate().total();
+    stats.costs.add(cost);
+    stats.samples.push_back(cost);
+    ++stats.feasible;
+  }
+  return stats;
+}
+
+}  // namespace depstor

@@ -1,0 +1,46 @@
+// Solution-space sampler (paper §4.3.1 / Figure 2).
+//
+// The optimal design is intractable, so the paper estimates solution quality
+// by randomly sampling a large collection of complete designs and locating
+// the heuristics' solutions within the empirical cost distribution. This
+// sampler draws fully random feasible designs (the random heuristic's
+// generator without the keep-min loop), prices each, and feeds a histogram.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "cost/breakdown.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace depstor {
+
+struct SampleStats {
+  RunningStats costs;
+  std::vector<double> samples;  ///< every sampled total cost
+  int attempted = 0;            ///< designs drawn (incl. infeasible)
+  int feasible = 0;
+
+  /// Fraction of samples cheaper than `cost` (the percentile of a
+  /// heuristic's solution within the sampled space).
+  double percentile_of(double cost) const;
+};
+
+class SolutionSpaceSampler {
+ public:
+  explicit SolutionSpaceSampler(const Environment* env);
+
+  /// Draw until `count` feasible designs are priced (or `max_attempts`
+  /// draws). `configure` toggles running the configuration solver on each
+  /// sample (slower; the paper's samples are raw designs, default off).
+  SampleStats sample(int count, std::uint64_t seed, bool configure = false,
+                     int max_attempts_factor = 20) const;
+
+ private:
+  const Environment* env_;
+};
+
+}  // namespace depstor

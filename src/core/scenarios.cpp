@@ -1,0 +1,53 @@
+#include "core/scenarios.hpp"
+
+#include "resources/catalog.hpp"
+#include "util/check.hpp"
+#include "workload/generator.hpp"
+
+namespace depstor::scenarios {
+
+namespace {
+
+Environment base_environment(int app_count) {
+  DEPSTOR_EXPECTS(app_count >= 1);
+  Environment env;
+  env.apps = workload::mixed_set(app_count);
+  env.array_types = resources::disk_arrays();
+  env.tape_types = resources::tape_libraries();
+  env.network_types = resources::networks();
+  env.compute_type = resources::compute_high();
+  env.failures = FailureModel::baseline();
+  return env;
+}
+
+SiteSpec site_prototype(int compute_slots) {
+  SiteSpec s;
+  s.name = "site";
+  s.max_disk_arrays = 2;
+  s.max_tape_libraries = 1;
+  s.max_compute_slots = compute_slots;
+  s.fixed_cost = 1000000.0;
+  return s;
+}
+
+}  // namespace
+
+Environment peer_sites(int app_count) {
+  Environment env = base_environment(app_count);
+  env.topology = Topology::fully_connected(
+      2, site_prototype(kComputeSlotsPerSite), /*max_links=*/32);
+  env.validate();
+  return env;
+}
+
+Environment multi_site(int app_count, int site_count, int max_links) {
+  DEPSTOR_EXPECTS(site_count >= 2);
+  DEPSTOR_EXPECTS(max_links >= 1);
+  Environment env = base_environment(app_count);
+  env.topology = Topology::fully_connected(
+      site_count, site_prototype(kComputeSlotsPerSite), max_links);
+  env.validate();
+  return env;
+}
+
+}  // namespace depstor::scenarios

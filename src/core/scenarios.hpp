@@ -1,0 +1,23 @@
+// Factories for the paper's experimental environments (§4.2-§4.5).
+#pragma once
+
+#include "core/environment.hpp"
+
+namespace depstor::scenarios {
+
+/// §4.3 peer sites: two sites, each able to host two disk arrays, one tape
+/// library and compute for eight applications; up to 32 links between them;
+/// `app_count` applications cycling through the Table 1 classes (default 8 —
+/// two of each class).
+Environment peer_sites(int app_count = 8);
+
+/// §4.4 / §4.5 multi-site: `site_count` fully connected sites (default 4),
+/// `app_count` applications (scaled four at a time in the paper), up to
+/// `max_links` per site pair (paper: six network links per pair).
+Environment multi_site(int app_count = 16, int site_count = 4,
+                       int max_links = 6);
+
+/// Default compute capacity per site used by both factories.
+inline constexpr int kComputeSlotsPerSite = 8;
+
+}  // namespace depstor::scenarios

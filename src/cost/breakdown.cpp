@@ -1,0 +1,23 @@
+#include "cost/breakdown.hpp"
+
+#include "cost/outlay.hpp"
+#include "cost/penalty.hpp"
+
+namespace depstor {
+
+CostBreakdown evaluate_cost(const ApplicationList& apps,
+                            const std::vector<AppAssignment>& assignments,
+                            const ResourcePool& pool,
+                            const FailureModel& failures,
+                            const ModelParams& params) {
+  CostBreakdown cost;
+  cost.outlay = annual_outlay(pool, assignments, params);
+  cost.per_app = compute_penalties(apps, assignments, pool, failures, params);
+  for (const auto& d : cost.per_app) {
+    cost.outage_penalty += d.outage_penalty;
+    cost.loss_penalty += d.loss_penalty;
+  }
+  return cost;
+}
+
+}  // namespace depstor

@@ -1,0 +1,46 @@
+// Solution cost accounting (paper §2.5).
+//
+// Overall cost = annualized outlays + expected annual penalties.
+// Outlays amortize device purchase prices over their lifetime (3 years) and
+// include site facilities; penalties weight each failure scenario's outage
+// and recent-data-loss times by its annual likelihood and the application's
+// penalty rates.
+#pragma once
+
+#include <vector>
+
+#include "model/assignment.hpp"
+#include "model/failure.hpp"
+#include "model/params.hpp"
+#include "resources/pool.hpp"
+#include "workload/application.hpp"
+
+namespace depstor {
+
+struct AppPenaltyDetail {
+  int app_id = -1;
+  double outage_penalty = 0.0;  ///< expected annual, US$
+  double loss_penalty = 0.0;    ///< expected annual, US$
+  double expected_outage_hours = 0.0;  ///< rate-weighted annual outage
+  double expected_loss_hours = 0.0;    ///< rate-weighted annual loss
+};
+
+struct CostBreakdown {
+  double outlay = 0.0;          ///< annualized, US$
+  double outage_penalty = 0.0;  ///< expected annual, US$
+  double loss_penalty = 0.0;    ///< expected annual, US$
+  std::vector<AppPenaltyDetail> per_app;
+
+  double penalty() const { return outage_penalty + loss_penalty; }
+  double total() const { return outlay + penalty(); }
+};
+
+/// Full evaluation of a (possibly partial) candidate: annualized outlays for
+/// everything provisioned plus expected penalties for every assigned app.
+CostBreakdown evaluate_cost(const ApplicationList& apps,
+                            const std::vector<AppAssignment>& assignments,
+                            const ResourcePool& pool,
+                            const FailureModel& failures,
+                            const ModelParams& params);
+
+}  // namespace depstor

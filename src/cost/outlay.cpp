@@ -1,0 +1,42 @@
+#include "cost/outlay.hpp"
+
+namespace depstor {
+
+double annual_device_outlay(const ResourcePool& pool, int device_id,
+                            const ModelParams& params) {
+  if (!pool.in_use(device_id)) return 0.0;
+  return pool.device(device_id).purchase_cost() / params.device_lifetime_years;
+}
+
+double annual_site_outlay(const ResourcePool& pool,
+                          const ModelParams& params) {
+  double total = 0.0;
+  for (int site : pool.sites_in_use()) {
+    total += pool.topology().site(site).fixed_cost /
+             params.device_lifetime_years;
+  }
+  return total;
+}
+
+double annual_vault_outlay(const std::vector<AppAssignment>& assignments,
+                           const ModelParams& params) {
+  double total = 0.0;
+  for (const auto& asg : assignments) {
+    if (asg.has_backup()) total += params.vault_annual_fee;
+  }
+  return total;
+}
+
+double annual_outlay(const ResourcePool& pool,
+                     const std::vector<AppAssignment>& assignments,
+                     const ModelParams& params) {
+  params.validate();
+  double total = annual_site_outlay(pool, params) +
+                 annual_vault_outlay(assignments, params);
+  for (int id = 0; id < pool.device_count(); ++id) {
+    total += annual_device_outlay(pool, id, params);
+  }
+  return total;
+}
+
+}  // namespace depstor

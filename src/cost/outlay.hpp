@@ -1,0 +1,29 @@
+// Annualized infrastructure outlays (paper §2.3, §2.5).
+#pragma once
+
+#include <vector>
+
+#include "model/assignment.hpp"
+#include "model/params.hpp"
+#include "resources/pool.hpp"
+
+namespace depstor {
+
+/// Annualized cost of one provisioned device (purchase price amortized over
+/// the device lifetime). Idle devices cost nothing.
+double annual_device_outlay(const ResourcePool& pool, int device_id,
+                            const ModelParams& params);
+
+/// Annualized facilities cost of every site hosting in-use devices.
+double annual_site_outlay(const ResourcePool& pool, const ModelParams& params);
+
+/// Annual vault service fees (one per assigned app whose technique backs up).
+double annual_vault_outlay(const std::vector<AppAssignment>& assignments,
+                           const ModelParams& params);
+
+/// Total annualized outlay: devices + sites + vault fees.
+double annual_outlay(const ResourcePool& pool,
+                     const std::vector<AppAssignment>& assignments,
+                     const ModelParams& params);
+
+}  // namespace depstor

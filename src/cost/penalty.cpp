@@ -1,0 +1,61 @@
+#include "cost/penalty.hpp"
+
+namespace depstor {
+
+std::vector<AppPenaltyDetail> compute_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures,
+    const ModelParams& params) {
+  std::vector<AppPenaltyDetail> details(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    details[i].app_id = static_cast<int>(i);
+  }
+
+  for (const auto& scenario :
+       enumerate_scenarios(apps, assignments, pool, failures)) {
+    if (scenario.annual_rate <= 0.0) continue;
+    for (const auto& res :
+         simulate_recovery(scenario, apps, assignments, pool, params)) {
+      const auto& app = apps.at(static_cast<std::size_t>(res.app_id));
+      auto& d = details.at(static_cast<std::size_t>(res.app_id));
+      d.expected_outage_hours += scenario.annual_rate * res.outage_hours;
+      d.expected_loss_hours += scenario.annual_rate * res.loss_hours;
+      d.outage_penalty +=
+          scenario.annual_rate * res.outage_hours * app.outage_penalty_rate;
+      d.loss_penalty +=
+          scenario.annual_rate * res.loss_hours * app.loss_penalty_rate;
+    }
+  }
+  return details;
+}
+
+std::vector<ScopePenalty> compute_scope_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures,
+    const ModelParams& params) {
+  std::vector<ScopePenalty> out;
+  for (FailureScope scope :
+       {FailureScope::DataObject, FailureScope::DiskArray,
+        FailureScope::SiteDisaster, FailureScope::RegionalDisaster}) {
+    ScopePenalty sp;
+    sp.scope = scope;
+    out.push_back(sp);
+  }
+  for (const auto& scenario :
+       enumerate_scenarios(apps, assignments, pool, failures)) {
+    auto& sp = out.at(static_cast<std::size_t>(scenario.scope));
+    ++sp.scenarios;
+    if (scenario.annual_rate <= 0.0) continue;
+    for (const auto& res :
+         simulate_recovery(scenario, apps, assignments, pool, params)) {
+      const auto& app = apps.at(static_cast<std::size_t>(res.app_id));
+      sp.outage_penalty +=
+          scenario.annual_rate * res.outage_hours * app.outage_penalty_rate;
+      sp.loss_penalty +=
+          scenario.annual_rate * res.loss_hours * app.loss_penalty_rate;
+    }
+  }
+  return out;
+}
+
+}  // namespace depstor

@@ -1,0 +1,39 @@
+// Expected annual penalty computation (paper §2.4, §2.5).
+//
+// Every concrete failure scenario is simulated (with multi-application
+// contention); the resulting outage and recent-data-loss times are weighted
+// by the scenario's annual likelihood and the application's penalty rates.
+#pragma once
+
+#include <vector>
+
+#include "cost/breakdown.hpp"
+#include "model/recovery_sim.hpp"
+
+namespace depstor {
+
+/// Expected annual penalties per assigned application, summed over all
+/// concrete failure scenarios.
+std::vector<AppPenaltyDetail> compute_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures,
+    const ModelParams& params);
+
+/// Expected annual penalties attributed to one failure scope.
+struct ScopePenalty {
+  FailureScope scope = FailureScope::DataObject;
+  int scenarios = 0;             ///< concrete scenarios of this scope
+  double outage_penalty = 0.0;   ///< expected annual, US$
+  double loss_penalty = 0.0;     ///< expected annual, US$
+  double total() const { return outage_penalty + loss_penalty; }
+};
+
+/// Penalty attribution by failure scope: answers "what threat drives this
+/// design's expected cost". Scopes with no scenarios still appear (zeroed)
+/// so callers can tabulate uniformly.
+std::vector<ScopePenalty> compute_scope_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures,
+    const ModelParams& params);
+
+}  // namespace depstor

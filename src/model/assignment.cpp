@@ -1,0 +1,30 @@
+#include "model/assignment.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+void AppAssignment::validate() const {
+  DEPSTOR_EXPECTS(app_id >= 0);
+  if (!assigned) return;
+  technique.validate();
+  DEPSTOR_EXPECTS_MSG(primary_site >= 0, technique.name);
+  DEPSTOR_EXPECTS_MSG(primary_array >= 0, technique.name);
+  DEPSTOR_EXPECTS_MSG(primary_compute >= 0, technique.name);
+  if (technique.has_mirror()) {
+    DEPSTOR_EXPECTS_MSG(secondary_site >= 0 && secondary_site != primary_site,
+                        technique.name + ": mirror needs a distinct site");
+    DEPSTOR_EXPECTS_MSG(mirror_array >= 0, technique.name);
+    DEPSTOR_EXPECTS_MSG(mirror_link >= 0, technique.name);
+  }
+  if (technique.has_backup) {
+    backup.validate();
+    DEPSTOR_EXPECTS_MSG(tape_library >= 0, technique.name);
+  }
+  if (technique.recovery == RecoveryMode::Failover) {
+    DEPSTOR_EXPECTS_MSG(failover_compute >= 0,
+                        technique.name + ": failover needs spare compute");
+  }
+}
+
+}  // namespace depstor

@@ -1,0 +1,37 @@
+// The per-application design decision record: which technique protects the
+// application, how its backup chain is configured, and which provisioned
+// devices hold its primary and secondary copies (paper §2.6 item 4).
+//
+// Device fields are ids into the candidate solution's ResourcePool; -1 means
+// "not used by this technique".
+#pragma once
+
+#include "protection/technique.hpp"
+
+namespace depstor {
+
+struct AppAssignment {
+  int app_id = -1;
+  bool assigned = false;  ///< false in partial candidates (greedy stage)
+
+  TechniqueSpec technique;
+  BackupChainConfig backup;  ///< meaningful when technique.has_backup
+
+  int primary_site = -1;
+  int secondary_site = -1;  ///< mirror site; -1 when no mirror
+
+  int primary_array = -1;   ///< device id of the primary copy's array
+  int mirror_array = -1;    ///< device id of the mirror copy's array
+  int tape_library = -1;    ///< device id of the backup tape library
+  int mirror_link = -1;     ///< device id of the inter-site link group
+  int primary_compute = -1; ///< device id of compute at the primary site
+  int failover_compute = -1;///< device id of spare compute at the secondary
+
+  bool has_mirror() const { return assigned && technique.has_mirror(); }
+  bool has_backup() const { return assigned && technique.has_backup; }
+
+  /// Structural sanity: every feature of the technique has its devices.
+  void validate() const;
+};
+
+}  // namespace depstor

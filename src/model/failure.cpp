@@ -1,0 +1,52 @@
+#include "model/failure.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(FailureScope s) {
+  switch (s) {
+    case FailureScope::DataObject:
+      return "data-object";
+    case FailureScope::DiskArray:
+      return "disk-array";
+    case FailureScope::SiteDisaster:
+      return "site-disaster";
+    case FailureScope::RegionalDisaster:
+      return "regional-disaster";
+  }
+  return "?";
+}
+
+double FailureModel::rate(FailureScope scope) const {
+  switch (scope) {
+    case FailureScope::DataObject:
+      return data_object_rate;
+    case FailureScope::DiskArray:
+      return disk_array_rate;
+    case FailureScope::SiteDisaster:
+      return site_disaster_rate;
+    case FailureScope::RegionalDisaster:
+      return regional_disaster_rate;
+  }
+  return 0.0;
+}
+
+void FailureModel::validate() const {
+  DEPSTOR_EXPECTS(data_object_rate >= 0.0);
+  DEPSTOR_EXPECTS(disk_array_rate >= 0.0);
+  DEPSTOR_EXPECTS(site_disaster_rate >= 0.0);
+  DEPSTOR_EXPECTS(regional_disaster_rate >= 0.0);
+}
+
+FailureModel FailureModel::baseline() { return FailureModel{}; }
+
+FailureModel FailureModel::sensitivity_baseline() {
+  FailureModel m;
+  m.data_object_rate = 2.0;
+  m.disk_array_rate = 1.0 / 5.0;
+  m.site_disaster_rate = 1.0 / 20.0;
+  return m;
+}
+
+}  // namespace depstor

@@ -1,0 +1,40 @@
+// Failure model (paper §2.4).
+//
+// Three failure scopes threaten an application's primary copy:
+//   * data object failure — loss/corruption by human or software error, no
+//     hardware failure; the corruption propagates to mirrors;
+//   * disk array failure — the array hosting the primary copy fails;
+//   * site disaster — every device at the primary site fails.
+//
+// Each scope has an annualized likelihood. Experiment §4.2 uses 1/3, 1/3 and
+// 1/5 per year; the sensitivity study (§4.5) re-bases to 2, 1/5 and 1/20 per
+// year and sweeps one at a time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+enum class FailureScope { DataObject, DiskArray, SiteDisaster, RegionalDisaster };
+
+const char* to_string(FailureScope s);
+
+struct FailureModel {
+  double data_object_rate = 1.0 / 3.0;   ///< events per app-year
+  double disk_array_rate = 1.0 / 3.0;    ///< events per array-year
+  double site_disaster_rate = 1.0 / 5.0; ///< events per site-year
+  /// Regional disasters (§2.4) destroy every site of a region at once.
+  /// Off by default — the paper's experiments use the three scopes above.
+  double regional_disaster_rate = 0.0;   ///< events per region-year
+
+  double rate(FailureScope scope) const;
+  void validate() const;
+
+  /// §4.2 baseline (1/3, 1/3, 1/5 per year).
+  static FailureModel baseline();
+  /// §4.5 sensitivity baseline (2, 1/5, 1/20 per year).
+  static FailureModel sensitivity_baseline();
+};
+
+}  // namespace depstor

@@ -1,0 +1,37 @@
+#include "model/params.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(RecoveryOrder order) {
+  switch (order) {
+    case RecoveryOrder::PriorityPenalty:
+      return "priority-penalty";
+    case RecoveryOrder::ShortestFirst:
+      return "shortest-first";
+    case RecoveryOrder::FifoById:
+      return "fifo-by-id";
+  }
+  return "?";
+}
+
+void ModelParams::validate() const {
+  DEPSTOR_EXPECTS(failover_hours >= 0.0);
+  DEPSTOR_EXPECTS(snapshot_restore_hours >= 0.0);
+  DEPSTOR_EXPECTS(tape_load_hours >= 0.0);
+  DEPSTOR_EXPECTS(incremental_load_hours >= 0.0);
+  DEPSTOR_EXPECTS(detection_hours >= 0.0);
+  DEPSTOR_EXPECTS(repair_data_object_hours >= 0.0);
+  DEPSTOR_EXPECTS(repair_disk_array_hours >= 0.0);
+  DEPSTOR_EXPECTS(repair_site_hours >= 0.0);
+  DEPSTOR_EXPECTS(repair_regional_hours >= 0.0);
+  DEPSTOR_EXPECTS(repair_with_spare_hours >= 0.0);
+  DEPSTOR_EXPECTS(unprotected_loss_hours > 0.0);
+  DEPSTOR_EXPECTS(backup_window_target_hours > 0.0);
+  DEPSTOR_EXPECTS(vault_retrieval_hours >= 0.0);
+  DEPSTOR_EXPECTS(vault_annual_fee >= 0.0);
+  DEPSTOR_EXPECTS(device_lifetime_years > 0.0);
+}
+
+}  // namespace depstor

@@ -1,0 +1,136 @@
+#include "model/recovery_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::Failover:
+      return "failover";
+    case RecoveryAction::SnapshotRevert:
+      return "snapshot-revert";
+    case RecoveryAction::Reconstruct:
+      return "reconstruct";
+    case RecoveryAction::Unrecoverable:
+      return "unrecoverable";
+  }
+  return "?";
+}
+
+namespace {
+
+double repair_lead_hours(FailureScope scope, const ModelParams& params) {
+  switch (scope) {
+    case FailureScope::DataObject:
+      return params.repair_data_object_hours;
+    case FailureScope::DiskArray:
+      return params.repair_disk_array_hours;
+    case FailureScope::SiteDisaster:
+      return params.repair_site_hours;
+    case FailureScope::RegionalDisaster:
+      return params.repair_regional_hours;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
+                           const ResourcePool& pool, FailureScope scope,
+                           const ModelParams& params) {
+  DEPSTOR_EXPECTS(asg.assigned);
+  DEPSTOR_EXPECTS(app.id == asg.app_id);
+
+  RecoveryPlan plan;
+  plan.app_id = app.id;
+  plan.scope = scope;
+
+  double staleness = 0.0;
+  plan.copy = best_recovery_level(app, asg, pool, scope, &staleness);
+
+  if (plan.copy == CopyLevel::None) {
+    plan.action = RecoveryAction::Unrecoverable;
+    plan.loss_hours = params.unprotected_loss_hours;
+    plan.lead_hours = params.unprotected_loss_hours;
+    return plan;
+  }
+  plan.loss_hours = staleness;
+
+  // Failover: allowed whenever the technique is failover-capable and the
+  // freshest surviving copy is the mirror (§2.1: fail over, fail back later).
+  // Concurrent failovers serialize on the spare compute at the target site:
+  // bringing applications up is a sequential admin operation, so a site
+  // disaster that fails many applications over to one secondary pays
+  // `failover_hours` per position in the queue.
+  if (asg.technique.recovery == RecoveryMode::Failover &&
+      plan.copy == CopyLevel::Mirror) {
+    plan.action = RecoveryAction::Failover;
+    plan.lead_hours = params.detection_hours;
+    plan.fixed_restore_hours = params.failover_hours;
+    DEPSTOR_ENSURES(asg.failover_compute >= 0);
+    plan.shared_devices.push_back(asg.failover_compute);
+    return plan;
+  }
+
+  // Data object failure with a surviving snapshot: in-place revert.
+  if (scope == FailureScope::DataObject && plan.copy == CopyLevel::Snapshot) {
+    plan.action = RecoveryAction::SnapshotRevert;
+    plan.lead_hours = params.detection_hours;
+    plan.fixed_restore_hours = params.snapshot_restore_hours;
+    return plan;
+  }
+
+  // Everything else is a bulk reconstruct onto the (repaired) primary array.
+  plan.action = RecoveryAction::Reconstruct;
+  double repair = repair_lead_hours(scope, params);
+  if (scope == FailureScope::DiskArray &&
+      pool.has_spare_array(asg.primary_site,
+                           pool.device(asg.primary_array).type.name)) {
+    // A hot-spare enclosure of the same model stands by at the site.
+    repair = std::min(repair, params.repair_with_spare_hours);
+  }
+  plan.lead_hours = params.detection_hours + repair;
+  plan.transfer_gb = app.data_size_gb;
+  plan.shared_devices.push_back(asg.primary_array);
+  switch (plan.copy) {
+    case CopyLevel::Mirror:
+      DEPSTOR_ENSURES(asg.mirror_array >= 0 && asg.mirror_link >= 0);
+      plan.shared_devices.push_back(asg.mirror_array);
+      plan.shared_devices.push_back(asg.mirror_link);
+      break;
+    case CopyLevel::TapeBackup: {
+      DEPSTOR_ENSURES(asg.tape_library >= 0);
+      plan.shared_devices.push_back(asg.tape_library);
+      plan.fixed_restore_hours = params.tape_load_hours;
+      // Restoring an incremental cycle replays the full plus (worst case)
+      // every incremental of the cycle, with a mount/locate overhead each.
+      const int incrementals = asg.backup.incrementals_per_cycle();
+      if (incrementals > 0) {
+        plan.transfer_gb +=
+            incrementals * incremental_size_gb(app, asg.backup);
+        plan.fixed_restore_hours +=
+            incrementals * params.incremental_load_hours;
+      }
+      break;
+    }
+    case CopyLevel::Vault:
+      DEPSTOR_ENSURES(asg.tape_library >= 0);
+      plan.shared_devices.push_back(asg.tape_library);
+      plan.fixed_restore_hours = params.tape_load_hours;
+      plan.lead_hours += params.vault_retrieval_hours;
+      break;
+    case CopyLevel::Snapshot:
+      // Snapshot reconstruct outside a data-object failure cannot happen:
+      // the snapshot does not survive array/site scopes.
+      throw InternalError("snapshot reconstruct for scope " +
+                          std::string(to_string(scope)));
+    case CopyLevel::None:
+      throw InternalError("unreachable: copy == None");
+  }
+  return plan;
+}
+
+}  // namespace depstor

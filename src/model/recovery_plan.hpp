@@ -1,0 +1,58 @@
+// Per-application recovery planning (paper §3.2.2).
+//
+// Given a failure scope, the plan decides *how* the application comes back:
+//
+//  * Failover — the technique is failover-capable and the mirror survived:
+//    computation resumes at the secondary site after a short restart; the
+//    bulk fail-back copy happens in the background and does not contribute
+//    to the outage.
+//  * Snapshot revert — a data object failure with an intact array: the array
+//    reverts to the last snapshot in-place, no bulk transfer.
+//  * Reconstruct — repair/replace the failed hardware (lead time), then copy
+//    the dataset back from the recovery copy (mirror over the inter-site
+//    link, or tape through the library), contending with other recovering
+//    applications for the shared devices.
+//  * Unrecoverable — no copy survived the scope; a fixed catastrophic
+//    loss/outage time is charged.
+#pragma once
+
+#include <vector>
+
+#include "model/assignment.hpp"
+#include "model/failure.hpp"
+#include "model/params.hpp"
+#include "model/staleness.hpp"
+#include "resources/pool.hpp"
+#include "workload/application.hpp"
+
+namespace depstor {
+
+enum class RecoveryAction { Failover, SnapshotRevert, Reconstruct, Unrecoverable };
+
+const char* to_string(RecoveryAction a);
+
+struct RecoveryPlan {
+  int app_id = -1;
+  FailureScope scope = FailureScope::DataObject;
+  RecoveryAction action = RecoveryAction::Unrecoverable;
+  CopyLevel copy = CopyLevel::None;  ///< copy used for recovery
+
+  double loss_hours = 0.0;  ///< recent data loss (staleness of `copy`)
+  double lead_hours = 0.0;  ///< detection + repair + vault retrieval
+  double fixed_restore_hours = 0.0;  ///< snapshot revert / tape load overhead
+  double transfer_gb = 0.0;          ///< bulk data copied on the critical path
+
+  /// Devices the bulk transfer is serialized on (source copy's device, the
+  /// inter-site link for cross-site restores, and the rebuilt primary array).
+  std::vector<int> shared_devices;
+
+  bool needs_transfer() const { return transfer_gb > 0.0; }
+};
+
+/// Build the recovery plan for one application under one failure scope.
+/// Precondition: asg.assigned.
+RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
+                           const ResourcePool& pool, FailureScope scope,
+                           const ModelParams& params);
+
+}  // namespace depstor

@@ -1,0 +1,80 @@
+// Multi-application recovery simulation (paper §3.2.2).
+//
+// This is the modeling extension the paper adds over the single-application
+// framework of Keeton & Merchant: when a shared failure (array, site) takes
+// down several applications at once, their recovery operations contend for
+// the same devices. Recovery is serialized per resource by priority — the
+// sum of each application's penalty rates — so lower-priority recoveries wait
+// for higher-priority ones to release the shared device.
+//
+// Unaffected applications and their data protection workloads keep running:
+// only the bandwidth headroom left by their allocations is available to
+// recovery transfers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/assignment.hpp"
+#include "model/failure.hpp"
+#include "model/params.hpp"
+#include "model/recovery_plan.hpp"
+#include "resources/pool.hpp"
+#include "workload/application.hpp"
+
+namespace depstor {
+
+/// One concrete failure event: a scope plus the failed entity.
+struct ScenarioSpec {
+  FailureScope scope = FailureScope::DataObject;
+  int failed_app = -1;     ///< DataObject: the app whose object is corrupted
+  int failed_array = -1;   ///< DiskArray: pool device id of the failed array
+  int failed_site = -1;    ///< SiteDisaster: the destroyed site
+  int failed_region = -1;  ///< RegionalDisaster: the destroyed region
+  double annual_rate = 0.0;
+  std::string name;
+};
+
+/// All concrete failure scenarios of an (assigned subset of a) candidate:
+/// one data-object failure per assigned app, one array failure per in-use
+/// primary-hosting array, one disaster per site hosting primaries.
+/// `with_names` fills the human-readable scenario names (off in the solver
+/// hot path — string building is measurable there).
+std::vector<ScenarioSpec> enumerate_scenarios(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures,
+    bool with_names = false);
+
+/// Ids of the applications whose primary copy the scenario destroys.
+std::vector<int> affected_apps(const ScenarioSpec& scenario,
+                               const std::vector<AppAssignment>& assignments,
+                               const Topology& topology);
+
+struct AppRecoveryResult {
+  int app_id = -1;
+  RecoveryAction action = RecoveryAction::Unrecoverable;
+  CopyLevel copy = CopyLevel::None;
+  double outage_hours = 0.0;
+  double loss_hours = 0.0;
+};
+
+/// Simulate the recovery of every affected application under the scenario,
+/// with per-device priority serialization and headroom-limited transfer
+/// bandwidth. Results are returned in priority order (highest first).
+std::vector<AppRecoveryResult> simulate_recovery(
+    const ScenarioSpec& scenario, const ApplicationList& apps,
+    const std::vector<AppAssignment>& assignments, const ResourcePool& pool,
+    const ModelParams& params);
+
+/// Bandwidth (MB/s) available to recovery on `device_id` while the apps in
+/// `failed` are down: provisioned bandwidth minus unaffected allocations,
+/// floored at `min_recovery_bandwidth_mbps` to keep times finite.
+double recovery_bandwidth_mbps(const ResourcePool& pool, int device_id,
+                               const std::vector<int>& failed);
+
+/// Floor for recovery bandwidth when a device has no headroom: recovery
+/// crawls instead of deadlocking, which penalizes (rather than crashes)
+/// under-provisioned designs.
+inline constexpr double kMinRecoveryBandwidthMbps = 0.1;
+
+}  // namespace depstor

@@ -1,0 +1,212 @@
+#include "model/staleness.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+
+const char* to_string(CopyLevel level) {
+  switch (level) {
+    case CopyLevel::Mirror:
+      return "mirror";
+    case CopyLevel::Snapshot:
+      return "snapshot";
+    case CopyLevel::TapeBackup:
+      return "tape-backup";
+    case CopyLevel::Vault:
+      return "vault";
+    case CopyLevel::None:
+      return "none";
+  }
+  return "?";
+}
+
+bool level_maintained(const TechniqueSpec& technique, CopyLevel level) {
+  switch (level) {
+    case CopyLevel::Mirror:
+      return technique.has_mirror();
+    case CopyLevel::Snapshot:
+    case CopyLevel::TapeBackup:
+    case CopyLevel::Vault:
+      return technique.has_backup;
+    case CopyLevel::None:
+      return false;
+  }
+  return false;
+}
+
+bool level_survives(CopyLevel level, FailureScope scope) {
+  switch (scope) {
+    case FailureScope::DataObject:
+      // Hardware is intact but corruption propagates to mirrors; only
+      // point-in-time copies are usable.
+      return level != CopyLevel::Mirror && level != CopyLevel::None;
+    case FailureScope::DiskArray:
+      // Snapshots are internal to the failed primary array.
+      return level != CopyLevel::Snapshot && level != CopyLevel::None;
+    case FailureScope::SiteDisaster:
+      // Snapshots and the backup tape library live at the primary site;
+      // the mirror is at the secondary site and the vault is offsite.
+      return level == CopyLevel::Mirror || level == CopyLevel::Vault;
+    case FailureScope::RegionalDisaster:
+      // Without placement information, assume the mirror shares the
+      // region: only the vault certainly survives.
+      return level == CopyLevel::Vault;
+  }
+  return false;
+}
+
+bool level_survives(CopyLevel level, FailureScope scope,
+                    const AppAssignment& asg, const Topology& topology) {
+  if (scope == FailureScope::RegionalDisaster && level == CopyLevel::Mirror &&
+      asg.has_mirror()) {
+    return topology.site(asg.secondary_site).region !=
+           topology.site(asg.primary_site).region;
+  }
+  return level_survives(level, scope);
+}
+
+std::vector<CopyLevel> surviving_levels(const TechniqueSpec& technique,
+                                        FailureScope scope) {
+  std::vector<CopyLevel> out;
+  for (CopyLevel level : {CopyLevel::Mirror, CopyLevel::Snapshot,
+                          CopyLevel::TapeBackup, CopyLevel::Vault}) {
+    if (level_maintained(technique, level) && level_survives(level, scope)) {
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+std::vector<CopyLevel> surviving_levels(const AppAssignment& asg,
+                                        const Topology& topology,
+                                        FailureScope scope) {
+  std::vector<CopyLevel> out;
+  for (CopyLevel level : {CopyLevel::Mirror, CopyLevel::Snapshot,
+                          CopyLevel::TapeBackup, CopyLevel::Vault}) {
+    if (level_maintained(asg.technique, level) &&
+        level_survives(level, scope, asg, topology)) {
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+double bandwidth_share_mbps(const ResourcePool& pool, int device_id,
+                            int app_id, Purpose purpose) {
+  const auto& allocs = pool.allocations(device_id);
+  int sharers = 0;
+  bool present = false;
+  for (const auto& a : allocs) {
+    if (a.purpose == purpose) {
+      ++sharers;
+      if (a.app_id == app_id) present = true;
+    }
+  }
+  if (!present || sharers == 0) return 0.0;
+  return pool.device(device_id).bandwidth_mbps() / sharers;
+}
+
+namespace {
+
+/// Mirror staleness: one accumulation window of updates plus the time to
+/// drain that window's worth of data over the app's share of the link.
+StalenessBound mirror_staleness(const ApplicationSpec& app,
+                                const AppAssignment& asg,
+                                const ResourcePool& pool) {
+  DEPSTOR_EXPECTS(asg.has_mirror());
+  const double acc = asg.technique.mirror_accumulation_hours;
+  const double share =
+      bandwidth_share_mbps(pool, asg.mirror_link, app.id, Purpose::MirrorTraffic);
+  DEPSTOR_ENSURES_MSG(share > 0.0, "mirror without link bandwidth");
+  const double window_gb = units::accumulated_gb(app.avg_update_mbps, acc);
+  return {units::transfer_hours(window_gb, share), acc};
+}
+
+}  // namespace
+
+double backup_window_hours(const ApplicationSpec& app, const AppAssignment& asg,
+                           const ResourcePool& pool) {
+  DEPSTOR_EXPECTS(asg.has_backup());
+  const double share =
+      bandwidth_share_mbps(pool, asg.tape_library, app.id, Purpose::Backup);
+  DEPSTOR_ENSURES_MSG(share > 0.0, "backup without tape bandwidth");
+  return units::transfer_hours(app.data_size_gb, share);
+}
+
+double incremental_size_gb(const ApplicationSpec& app,
+                           const BackupChainConfig& cfg) {
+  if (!cfg.has_incrementals()) return 0.0;
+  return units::accumulated_gb(app.unique_update_mbps,
+                               cfg.incremental_interval_hours);
+}
+
+StalenessBound staleness_bound(CopyLevel level, const ApplicationSpec& app,
+                               const AppAssignment& asg,
+                               const ResourcePool& pool) {
+  DEPSTOR_EXPECTS(asg.assigned);
+  DEPSTOR_EXPECTS_MSG(level_maintained(asg.technique, level),
+                      "technique does not maintain this copy level");
+  switch (level) {
+    case CopyLevel::Mirror:
+      return mirror_staleness(app, asg, pool);
+    case CopyLevel::Snapshot:
+      // Point-in-time copy internal to the array: no propagation delay;
+      // worst case the failure arrives just before the next snapshot.
+      return {0.0, asg.backup.snapshot_interval_hours};
+    case CopyLevel::TapeBackup: {
+      // Backups are cut from the latest snapshot and take a backup window
+      // to land on tape; worst case the failure arrives just before a new
+      // cut completes. With incrementals the freshest tape copy is at most
+      // one incremental interval old (plus its much shorter propagation).
+      if (asg.backup.has_incrementals()) {
+        const double share = bandwidth_share_mbps(pool, asg.tape_library,
+                                                  app.id, Purpose::Backup);
+        DEPSTOR_ENSURES_MSG(share > 0.0, "backup without tape bandwidth");
+        const double incr_window = units::transfer_hours(
+            incremental_size_gb(app, asg.backup), share);
+        return {asg.backup.snapshot_interval_hours + incr_window,
+                asg.backup.incremental_interval_hours};
+      }
+      return {asg.backup.snapshot_interval_hours +
+                  backup_window_hours(app, asg, pool),
+              asg.backup.backup_interval_hours};
+    }
+    case CopyLevel::Vault:
+      return {asg.backup.snapshot_interval_hours +
+                  asg.backup.vault_shipping_hours,
+              asg.backup.vault_interval_hours};
+    case CopyLevel::None:
+      break;
+  }
+  throw InvalidArgument("staleness of CopyLevel::None is undefined");
+}
+
+double staleness_hours(CopyLevel level, const ApplicationSpec& app,
+                       const AppAssignment& asg, const ResourcePool& pool) {
+  return staleness_bound(level, app, asg, pool).worst();
+}
+
+CopyLevel best_recovery_level(const ApplicationSpec& app,
+                              const AppAssignment& asg,
+                              const ResourcePool& pool, FailureScope scope,
+                              double* staleness_out) {
+  CopyLevel best = CopyLevel::None;
+  double best_staleness = std::numeric_limits<double>::infinity();
+  for (CopyLevel level : surviving_levels(asg, pool.topology(), scope)) {
+    const double s = staleness_hours(level, app, asg, pool);
+    if (s < best_staleness) {
+      best_staleness = s;
+      best = level;
+    }
+  }
+  if (staleness_out) {
+    *staleness_out = best == CopyLevel::None ? 0.0 : best_staleness;
+  }
+  return best;
+}
+
+}  // namespace depstor

@@ -1,0 +1,100 @@
+// Worst-case staleness (recent data loss) of each secondary-copy level, and
+// the copy-survival matrix per failure scope (paper §3.2.1, after Keeton &
+// Merchant DSN'04).
+//
+// The staleness of a level bounds how out-of-date a recovery from that level
+// can be: it accumulates the level's own accumulation window, the time a copy
+// takes to propagate to the level (a function of provisioned bandwidth), and
+// the staleness the source copy already had when the propagation started.
+#pragma once
+
+#include <vector>
+
+#include "model/assignment.hpp"
+#include "resources/pool.hpp"
+#include "workload/application.hpp"
+#include "model/failure.hpp"
+
+namespace depstor {
+
+/// Secondary-copy levels in the protection hierarchy, freshest first.
+enum class CopyLevel { Mirror, Snapshot, TapeBackup, Vault, None };
+
+const char* to_string(CopyLevel level);
+
+/// Staleness of a copy level decomposed into the part that is always there
+/// (propagation delays, upstream-copy age) and the level's own accumulation
+/// window. A failure arriving uniformly within the cycle loses
+/// `fixed + U[0,1]·window` hours; the worst case is `fixed + window`.
+struct StalenessBound {
+  double fixed_hours = 0.0;
+  double window_hours = 0.0;
+  double worst() const { return fixed_hours + window_hours; }
+  double expected() const { return fixed_hours + window_hours / 2.0; }
+};
+
+/// Staleness bound of the copy at `level` for this application, under the
+/// assignment's configuration and the pool's provisioned bandwidths.
+/// Precondition: the assignment's technique maintains `level`.
+StalenessBound staleness_bound(CopyLevel level, const ApplicationSpec& app,
+                               const AppAssignment& asg,
+                               const ResourcePool& pool);
+
+/// Worst-case staleness (hours): staleness_bound(...).worst(). This is what
+/// the configuration solver prices (§3.2.1 computes upper bounds).
+double staleness_hours(CopyLevel level, const ApplicationSpec& app,
+                       const AppAssignment& asg, const ResourcePool& pool);
+
+/// True when the technique maintains a copy at `level` at all.
+bool level_maintained(const TechniqueSpec& technique, CopyLevel level);
+
+/// True when a copy at `level` remains *usable* after a failure of `scope`
+/// hits the application's primary copy. (Mirrors do not survive data object
+/// failures — the corruption propagates; anything stored at the primary site
+/// does not survive a site disaster; snapshots live on the primary array.)
+/// For RegionalDisaster this placement-free overload assumes the mirror sits
+/// in the same region (the conservative answer); use the placement-aware
+/// overload when an assignment is available.
+bool level_survives(CopyLevel level, FailureScope scope);
+
+/// Placement-aware survival: identical to the overload above except that a
+/// mirror survives a regional disaster when the secondary site's region
+/// differs from the primary's (§2.4: geographic distribution).
+bool level_survives(CopyLevel level, FailureScope scope,
+                    const AppAssignment& asg, const Topology& topology);
+
+/// Levels that are both maintained and surviving, ordered freshest first
+/// (placement-free; conservative for regional disasters).
+std::vector<CopyLevel> surviving_levels(const TechniqueSpec& technique,
+                                        FailureScope scope);
+
+/// Placement-aware variant used by recovery planning.
+std::vector<CopyLevel> surviving_levels(const AppAssignment& asg,
+                                        const Topology& topology,
+                                        FailureScope scope);
+
+/// The surviving level with minimal staleness, or CopyLevel::None when the
+/// failure is unrecoverable for this technique.
+CopyLevel best_recovery_level(const ApplicationSpec& app,
+                              const AppAssignment& asg,
+                              const ResourcePool& pool, FailureScope scope,
+                              double* staleness_out = nullptr);
+
+/// Time (hours) a full backup of the dataset takes with the tape bandwidth
+/// the application can use on its assigned library (device bandwidth shared
+/// equally among the apps backing up to it).
+double backup_window_hours(const ApplicationSpec& app,
+                           const AppAssignment& asg, const ResourcePool& pool);
+
+/// Size (GB) of one incremental cut: the unique updates accumulated over an
+/// incremental interval.
+double incremental_size_gb(const ApplicationSpec& app,
+                           const BackupChainConfig& cfg);
+
+/// Per-application share of a device's provisioned bandwidth: total
+/// provisioned bandwidth divided equally among apps with allocations of the
+/// given purpose. Returns 0 when the app has no such allocation.
+double bandwidth_share_mbps(const ResourcePool& pool, int device_id,
+                            int app_id, Purpose purpose);
+
+}  // namespace depstor

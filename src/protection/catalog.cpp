@@ -1,0 +1,76 @@
+#include "protection/catalog.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor::protection {
+
+TechniqueSpec mirror_technique(MirrorMode mirror, RecoveryMode recovery,
+                               bool with_backup) {
+  DEPSTOR_EXPECTS(mirror != MirrorMode::None);
+  TechniqueSpec t;
+  t.mirror = mirror;
+  t.recovery = recovery;
+  t.has_backup = with_backup;
+  t.mirror_accumulation_hours = mirror == MirrorMode::Sync
+                                    ? kSyncAccumulationHours
+                                    : kAsyncAccumulationHours;
+  t.category = classify_technique(mirror, recovery, with_backup);
+  t.name = std::string(mirror == MirrorMode::Sync ? "Sync" : "Async") +
+           " mirror (" +
+           (recovery == RecoveryMode::Failover ? "F" : "R") + ")" +
+           (with_backup ? " with backup" : "");
+  t.validate();
+  return t;
+}
+
+TechniqueSpec tape_backup_only() {
+  TechniqueSpec t;
+  t.mirror = MirrorMode::None;
+  t.recovery = RecoveryMode::Reconstruct;
+  t.has_backup = true;
+  t.category = AppCategory::Bronze;
+  t.name = "Tape backup";
+  t.validate();
+  return t;
+}
+
+std::vector<TechniqueSpec> all_techniques() {
+  std::vector<TechniqueSpec> out;
+  for (bool backup : {true, false}) {
+    for (MirrorMode mirror : {MirrorMode::Sync, MirrorMode::Async}) {
+      for (RecoveryMode rec : {RecoveryMode::Failover,
+                               RecoveryMode::Reconstruct}) {
+        out.push_back(mirror_technique(mirror, rec, backup));
+      }
+    }
+  }
+  out.push_back(tape_backup_only());
+  return out;
+}
+
+std::vector<TechniqueSpec> techniques_in_class(AppCategory cls) {
+  std::vector<TechniqueSpec> out;
+  for (auto& t : all_techniques()) {
+    if (t.category == cls) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<TechniqueSpec> eligible_techniques(AppCategory cls) {
+  std::vector<TechniqueSpec> out;
+  for (auto& t : all_techniques()) {
+    if (static_cast<int>(t.category) >= static_cast<int>(cls)) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+TechniqueSpec by_name(const std::string& name) {
+  for (auto& t : all_techniques()) {
+    if (t.name == name) return t;
+  }
+  throw InvalidArgument("unknown technique: " + name);
+}
+
+}  // namespace depstor::protection

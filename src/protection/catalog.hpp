@@ -1,0 +1,41 @@
+// Table 2: the nine data protection technique alternatives.
+//
+//   sync  mirror + backup, failover     (Gold)
+//   sync  mirror + backup, reconstruct  (Silver)
+//   async mirror + backup, failover     (Gold)
+//   async mirror + backup, reconstruct  (Silver)
+//   sync  mirror, failover              (Gold)
+//   sync  mirror, reconstruct           (Silver)
+//   async mirror, failover              (Gold)
+//   async mirror, reconstruct           (Silver)
+//   tape backup only                    (Bronze)
+#pragma once
+
+#include <vector>
+
+#include "protection/technique.hpp"
+
+namespace depstor::protection {
+
+/// Mirror accumulation windows from Table 2.
+inline constexpr double kSyncAccumulationHours = 0.5 / 60.0;  // 0.5 min
+inline constexpr double kAsyncAccumulationHours = 10.0 / 60.0;  // 10 min
+
+TechniqueSpec mirror_technique(MirrorMode mirror, RecoveryMode recovery,
+                               bool with_backup);
+TechniqueSpec tape_backup_only();
+
+/// All nine techniques, strongest (gold) first.
+std::vector<TechniqueSpec> all_techniques();
+
+/// Techniques of exactly the given protection class.
+std::vector<TechniqueSpec> techniques_in_class(AppCategory cls);
+
+/// Techniques eligible for an application of class `cls`: the same class or
+/// better (§3.1.3).
+std::vector<TechniqueSpec> eligible_techniques(AppCategory cls);
+
+/// Catalog lookup by name; throws InvalidArgument when unknown.
+TechniqueSpec by_name(const std::string& name);
+
+}  // namespace depstor::protection

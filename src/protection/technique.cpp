@@ -1,0 +1,99 @@
+#include "protection/technique.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(MirrorMode m) {
+  switch (m) {
+    case MirrorMode::None:
+      return "none";
+    case MirrorMode::Sync:
+      return "sync";
+    case MirrorMode::Async:
+      return "async";
+  }
+  return "?";
+}
+
+const char* to_string(RecoveryMode r) {
+  switch (r) {
+    case RecoveryMode::Reconstruct:
+      return "reconstruct";
+    case RecoveryMode::Failover:
+      return "failover";
+  }
+  return "?";
+}
+
+const char* to_string(BackupCycleMode m) {
+  switch (m) {
+    case BackupCycleMode::FullOnly:
+      return "full-only";
+    case BackupCycleMode::FullPlusIncrementals:
+      return "full+incrementals";
+  }
+  return "?";
+}
+
+int BackupChainConfig::incrementals_per_cycle() const {
+  if (!has_incrementals()) return 0;
+  const int cuts = static_cast<int>(backup_interval_hours /
+                                    incremental_interval_hours);
+  return std::max(0, cuts - 1);  // the boundary cut is the full itself
+}
+
+void BackupChainConfig::validate() const {
+  DEPSTOR_EXPECTS(snapshot_interval_hours > 0.0);
+  DEPSTOR_EXPECTS(snapshots_retained >= 1);
+  DEPSTOR_EXPECTS(backup_interval_hours >= snapshot_interval_hours);
+  DEPSTOR_EXPECTS(backups_retained >= 1);
+  if (has_incrementals()) {
+    DEPSTOR_EXPECTS(incremental_interval_hours >= snapshot_interval_hours);
+    DEPSTOR_EXPECTS(incremental_interval_hours <= backup_interval_hours);
+  }
+  DEPSTOR_EXPECTS(vault_interval_hours >= backup_interval_hours);
+  DEPSTOR_EXPECTS(vault_shipping_hours >= 0.0);
+}
+
+double TechniqueSpec::mirror_bandwidth_demand(
+    const ApplicationSpec& app) const {
+  switch (mirror) {
+    case MirrorMode::None:
+      return 0.0;
+    case MirrorMode::Sync:
+      return app.peak_update_mbps;
+    case MirrorMode::Async:
+      return app.avg_update_mbps;
+  }
+  return 0.0;
+}
+
+void TechniqueSpec::validate() const {
+  DEPSTOR_EXPECTS_MSG(!name.empty(), "technique needs a name");
+  DEPSTOR_EXPECTS_MSG(has_mirror() || has_backup,
+                      name + ": technique protects nothing");
+  if (has_mirror()) {
+    DEPSTOR_EXPECTS_MSG(mirror_accumulation_hours > 0.0, name);
+  } else {
+    DEPSTOR_EXPECTS_MSG(recovery == RecoveryMode::Reconstruct,
+                        name + ": failover requires a mirror");
+  }
+  DEPSTOR_EXPECTS_MSG(category == classify_technique(mirror, recovery,
+                                                     has_backup),
+                      name + ": category inconsistent with features");
+}
+
+AppCategory classify_technique(MirrorMode mirror, RecoveryMode recovery,
+                               bool has_backup) {
+  (void)has_backup;  // backup presence does not change the §3.1.3 class
+  if (mirror != MirrorMode::None && recovery == RecoveryMode::Failover) {
+    return AppCategory::Gold;
+  }
+  if (mirror != MirrorMode::None) return AppCategory::Silver;
+  return AppCategory::Bronze;
+}
+
+}  // namespace depstor

@@ -1,0 +1,98 @@
+// Data protection and recovery technique model (paper §2.1, Table 2).
+//
+// Techniques are modeled as a hierarchy of secondary-copy levels above the
+// primary copy:
+//
+//   level 1a  inter-site mirror (sync: 0.5 min accumulation; async: 10 min),
+//             propagated over provisioned network links
+//   level 1b  local array snapshots (12 hr accumulation, space-efficient)
+//   level 2   tape backup at the primary site (weekly full by default),
+//             propagated at tape-drive bandwidth
+//   level 3   offsite vault (every 28 days, 1 day shipping)
+//
+// The accumulation window is the time between successive copies at a level;
+// the propagation window is the time a copy takes to reach that level. The
+// two bound the staleness (recent data loss) of a recovery from that level.
+//
+// Each technique also fixes the recovery style after failures that leave the
+// mirror intact: Failover (resume at the secondary site) or Reconstruct
+// (copy data back and restart at the primary site).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/application.hpp"
+
+namespace depstor {
+
+enum class MirrorMode { None, Sync, Async };
+enum class RecoveryMode { Reconstruct, Failover };
+
+const char* to_string(MirrorMode m);
+const char* to_string(RecoveryMode r);
+
+/// Tape backup cycle styles (level 2). FullOnly cuts a full copy every
+/// backup interval. FullPlusIncrementals additionally cuts an incremental
+/// (the unique updates since the previous cut) every incremental interval —
+/// fresher tape copies for a little extra capacity, paid back at restore
+/// time by replaying the incremental chain.
+enum class BackupCycleMode { FullOnly, FullPlusIncrementals };
+
+const char* to_string(BackupCycleMode m);
+
+/// Backup-chain configuration (levels 1b/2/3). The intervals are the
+/// *configurable* parameters the configuration solver searches over; the
+/// Table 2 defaults are the initial values.
+struct BackupChainConfig {
+  double snapshot_interval_hours = 12.0;  ///< level 1b accumulation window
+  int snapshots_retained = 2;
+  double backup_interval_hours = 7.0 * 24.0;  ///< level 2 accumulation window
+  /// Full copies kept in the library; older fulls migrate offsite on the
+  /// level-3 vault cycle, so only the recent ones consume cartridges.
+  int backups_retained = 2;
+  BackupCycleMode cycle = BackupCycleMode::FullOnly;
+  double incremental_interval_hours = 24.0;  ///< within a full cycle
+  double vault_interval_hours = 28.0 * 24.0;  ///< level 3 accumulation window
+  double vault_shipping_hours = 24.0;         ///< level 3 propagation window
+
+  bool has_incrementals() const {
+    return cycle == BackupCycleMode::FullPlusIncrementals;
+  }
+
+  /// Incrementals cut per full-backup cycle (0 for FullOnly). The cut at
+  /// the cycle boundary is the full itself.
+  int incrementals_per_cycle() const;
+
+  void validate() const;
+};
+
+struct TechniqueSpec {
+  std::string name;  ///< e.g. "Async mirror (F) with backup"
+  MirrorMode mirror = MirrorMode::None;
+  RecoveryMode recovery = RecoveryMode::Reconstruct;
+  bool has_backup = false;  ///< snapshot + tape + vault chain present
+  AppCategory category = AppCategory::Bronze;  ///< protection class (§3.1.3)
+
+  /// Mirror accumulation window (hours); 0 when no mirror.
+  double mirror_accumulation_hours = 0.0;
+
+  bool has_mirror() const { return mirror != MirrorMode::None; }
+
+  /// Network bandwidth (MB/s) the mirror stream needs for an application:
+  /// peak update rate for synchronous, average for asynchronous (§2.2).
+  double mirror_bandwidth_demand(const ApplicationSpec& app) const;
+
+  /// Short display code, e.g. "Async mirror (F) + backup".
+  std::string display() const { return name; }
+
+  void validate() const;
+};
+
+/// Protection category implied by technique features (§3.1.3): mirroring
+/// with failover → Gold, mirroring with reconstruction → Silver, backup
+/// alone → Bronze.
+AppCategory classify_technique(MirrorMode mirror, RecoveryMode recovery,
+                               bool has_backup);
+
+}  // namespace depstor

@@ -1,0 +1,94 @@
+#include "resources/catalog.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor::resources {
+
+namespace {
+DeviceTypeSpec make(std::string name, DeviceKind kind, DeviceClass cls,
+                    double fixed, double per_cap, double per_bw, int max_cap,
+                    int max_bw, double cap_gb, double bw_mbps,
+                    double max_agg_bw) {
+  DeviceTypeSpec d;
+  d.name = std::move(name);
+  d.kind = kind;
+  d.cls = cls;
+  d.fixed_cost = fixed;
+  d.cost_per_capacity_unit = per_cap;
+  d.cost_per_bandwidth_unit = per_bw;
+  d.max_capacity_units = max_cap;
+  d.max_bandwidth_units = max_bw;
+  d.capacity_unit_gb = cap_gb;
+  d.bandwidth_unit_mbps = bw_mbps;
+  d.max_aggregate_bandwidth_mbps = max_agg_bw;
+  d.validate();
+  return d;
+}
+
+constexpr double kCartridgeCost = 100.0;  // per 60 GB cartridge
+}  // namespace
+
+DeviceTypeSpec xp1200() {
+  return make("XP1200", DeviceKind::DiskArray, DeviceClass::High, 375000.0,
+              8723.0, 0.0, 1024, 0, 143.0, 25.0, 512.0);
+}
+
+DeviceTypeSpec eva8000() {
+  return make("EVA8000", DeviceKind::DiskArray, DeviceClass::Med, 123000.0,
+              3720.0, 0.0, 512, 0, 143.0, 10.0, 256.0);
+}
+
+DeviceTypeSpec msa1500() {
+  return make("MSA1500", DeviceKind::DiskArray, DeviceClass::Low, 123000.0,
+              3720.0, 0.0, 128, 0, 143.0, 8.0, 128.0);
+}
+
+DeviceTypeSpec tape_library_high() {
+  return make("TapeLib-High", DeviceKind::TapeLibrary, DeviceClass::High,
+              141000.0, kCartridgeCost, 18400.0, 720, 24, 60.0, 120.0, 2400.0);
+}
+
+DeviceTypeSpec tape_library_med() {
+  return make("TapeLib-Med", DeviceKind::TapeLibrary, DeviceClass::Med,
+              76000.0, kCartridgeCost, 10400.0, 120, 4, 60.0, 120.0, 400.0);
+}
+
+DeviceTypeSpec network_high() {
+  return make("Net-High", DeviceKind::NetworkLink, DeviceClass::High, 0.0, 0.0,
+              500000.0, 0, 32, 0.0, 20.0, 640.0);
+}
+
+DeviceTypeSpec network_med() {
+  return make("Net-Med", DeviceKind::NetworkLink, DeviceClass::Med, 0.0, 0.0,
+              200000.0, 0, 16, 0.0, 10.0, 160.0);
+}
+
+DeviceTypeSpec compute_high() {
+  // Capacity units are application slots (see header); one slot runs one
+  // application, $125,000 per slot, no meaningful bandwidth dimension.
+  return make("Compute-High", DeviceKind::Compute, DeviceClass::High, 0.0,
+              125000.0, 0.0, 64, 0, 1.0, 0.0, 0.0);
+}
+
+std::vector<DeviceTypeSpec> disk_arrays() {
+  return {xp1200(), eva8000(), msa1500()};
+}
+
+std::vector<DeviceTypeSpec> tape_libraries() {
+  return {tape_library_high(), tape_library_med()};
+}
+
+std::vector<DeviceTypeSpec> networks() {
+  return {network_high(), network_med()};
+}
+
+DeviceTypeSpec by_name(const std::string& name) {
+  for (const auto& d :
+       {xp1200(), eva8000(), msa1500(), tape_library_high(),
+        tape_library_med(), network_high(), network_med(), compute_high()}) {
+    if (d.name == name) return d;
+  }
+  throw InvalidArgument("unknown device type: " + name);
+}
+
+}  // namespace depstor::resources

@@ -1,0 +1,43 @@
+// Table 3 device catalog (unamortized purchase prices, US$).
+//
+// Interpretation notes (see DESIGN.md §4):
+//  * Tape libraries: the incremental column is split following §2.3's
+//    "tape cartridges and tape drives" wording — $18,400 (high) / $10,400
+//    (med) buys a tape *drive* (bandwidth unit); cartridges (capacity
+//    units, 60 GB) cost $100 each.
+//  * The Med network per-link cost appears in the paper as "200,00"; we read
+//    it as $200,000.
+//  * Compute is modeled with capacity units = application slots (one slot
+//    hosts one application's computation); `capacity_unit_gb` is 1.0 and
+//    means "slots", not gigabytes, for this kind only.
+#pragma once
+
+#include <vector>
+
+#include "resources/device.hpp"
+
+namespace depstor::resources {
+
+DeviceTypeSpec xp1200();   ///< high-end disk array
+DeviceTypeSpec eva8000();  ///< mid-range disk array (paper: "EVA800")
+DeviceTypeSpec msa1500();  ///< low-end disk array
+
+DeviceTypeSpec tape_library_high();
+DeviceTypeSpec tape_library_med();
+
+DeviceTypeSpec network_high();
+DeviceTypeSpec network_med();
+
+DeviceTypeSpec compute_high();
+
+/// All disk array types, high to low.
+std::vector<DeviceTypeSpec> disk_arrays();
+/// All tape library types, high to low.
+std::vector<DeviceTypeSpec> tape_libraries();
+/// All network link types, high to low.
+std::vector<DeviceTypeSpec> networks();
+
+/// Catalog lookup by name; throws InvalidArgument when unknown.
+DeviceTypeSpec by_name(const std::string& name);
+
+}  // namespace depstor::resources

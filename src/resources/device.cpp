@@ -1,0 +1,105 @@
+#include "resources/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::DiskArray:
+      return "disk-array";
+    case DeviceKind::TapeLibrary:
+      return "tape-library";
+    case DeviceKind::NetworkLink:
+      return "network";
+    case DeviceKind::Compute:
+      return "compute";
+  }
+  return "?";
+}
+
+const char* to_string(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::Low:
+      return "Low";
+    case DeviceClass::Med:
+      return "Med";
+    case DeviceClass::High:
+      return "High";
+  }
+  return "?";
+}
+
+double DeviceTypeSpec::capacity_gb(int units) const {
+  DEPSTOR_EXPECTS(units >= 0);
+  return capacity_unit_gb * units;
+}
+
+double DeviceTypeSpec::bandwidth_mbps(int cap_units, int bw_units) const {
+  DEPSTOR_EXPECTS(cap_units >= 0 && bw_units >= 0);
+  double bw = 0.0;
+  if (kind == DeviceKind::DiskArray) {
+    bw = bandwidth_unit_mbps * cap_units;
+  } else {
+    bw = bandwidth_unit_mbps * bw_units;
+  }
+  if (max_aggregate_bandwidth_mbps > 0.0) {
+    bw = std::min(bw, max_aggregate_bandwidth_mbps);
+  }
+  return bw;
+}
+
+double DeviceTypeSpec::max_bandwidth_mbps() const {
+  return bandwidth_mbps(max_capacity_units, max_bandwidth_units);
+}
+
+int DeviceTypeSpec::min_capacity_units(double cap_gb, double bw_mbps) const {
+  DEPSTOR_EXPECTS(cap_gb >= 0.0 && bw_mbps >= 0.0);
+  if (max_capacity_units == 0) return cap_gb > 0.0 ? -1 : 0;
+  int units = static_cast<int>(std::ceil(cap_gb / capacity_unit_gb));
+  if (kind == DeviceKind::DiskArray && bw_mbps > 0.0) {
+    if (bw_mbps > max_bandwidth_mbps()) return -1;
+    units = std::max(
+        units, static_cast<int>(std::ceil(bw_mbps / bandwidth_unit_mbps)));
+  }
+  return units <= max_capacity_units ? units : -1;
+}
+
+int DeviceTypeSpec::min_bandwidth_units(double bw_mbps) const {
+  DEPSTOR_EXPECTS(bw_mbps >= 0.0);
+  if (bw_mbps <= 0.0) return 0;
+  if (kind == DeviceKind::DiskArray) return 0;  // derives from capacity
+  if (max_bandwidth_units == 0) return -1;
+  if (max_aggregate_bandwidth_mbps > 0.0 &&
+      bw_mbps > max_aggregate_bandwidth_mbps) {
+    return -1;
+  }
+  const int units = static_cast<int>(std::ceil(bw_mbps / bandwidth_unit_mbps));
+  return units <= max_bandwidth_units ? units : -1;
+}
+
+double DeviceTypeSpec::purchase_cost(int cap_units, int bw_units) const {
+  DEPSTOR_EXPECTS(cap_units >= 0 && bw_units >= 0);
+  return fixed_cost + cost_per_capacity_unit * cap_units +
+         cost_per_bandwidth_unit * bw_units;
+}
+
+void DeviceTypeSpec::validate() const {
+  DEPSTOR_EXPECTS_MSG(!name.empty(), "device type needs a name");
+  DEPSTOR_EXPECTS_MSG(fixed_cost >= 0.0, name);
+  DEPSTOR_EXPECTS_MSG(cost_per_capacity_unit >= 0.0, name);
+  DEPSTOR_EXPECTS_MSG(cost_per_bandwidth_unit >= 0.0, name);
+  DEPSTOR_EXPECTS_MSG(max_capacity_units >= 0, name);
+  DEPSTOR_EXPECTS_MSG(max_bandwidth_units >= 0, name);
+  if (max_capacity_units > 0) {
+    DEPSTOR_EXPECTS_MSG(capacity_unit_gb > 0.0, name);
+  }
+  if (kind == DeviceKind::DiskArray || max_bandwidth_units > 0) {
+    DEPSTOR_EXPECTS_MSG(bandwidth_unit_mbps > 0.0, name);
+  }
+}
+
+}  // namespace depstor

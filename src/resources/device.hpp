@@ -1,0 +1,105 @@
+// Device infrastructure model (paper §2.3, Table 3).
+//
+// Every device type allocates capacity and bandwidth in discrete units and
+// carries a fixed acquisition cost plus per-unit incremental costs. The three
+// kinds behave differently:
+//
+//  * Disk arrays: capacity units are disk shelves (143 GB each); array
+//    bandwidth *derives* from the number of capacity units (25/10/8 MB/s per
+//    unit) up to a fixed aggregate ceiling (512/256/128 MB/s). There are no
+//    separately purchasable bandwidth units.
+//  * Tape libraries: capacity units are cartridges (60 GB), bandwidth units
+//    are tape drives (120 MB/s each, max 24/4).
+//  * Network links: bandwidth units are links (20/10 MB/s each); no capacity
+//    dimension.
+//  * Compute: capacity units are servers (one application each).
+#pragma once
+
+#include <string>
+
+namespace depstor {
+
+enum class DeviceKind { DiskArray, TapeLibrary, NetworkLink, Compute };
+enum class DeviceClass { Low = 0, Med = 1, High = 2 };
+
+const char* to_string(DeviceKind k);
+const char* to_string(DeviceClass c);
+
+struct DeviceTypeSpec {
+  std::string name;  ///< e.g. "XP1200"
+  DeviceKind kind = DeviceKind::DiskArray;
+  DeviceClass cls = DeviceClass::Med;
+
+  double fixed_cost = 0.0;               ///< per instance (unamortized, US$)
+  double cost_per_capacity_unit = 0.0;   ///< US$ per capacity unit
+  double cost_per_bandwidth_unit = 0.0;  ///< US$ per bandwidth unit
+
+  int max_capacity_units = 0;   ///< 0 when the kind has no capacity dimension
+  int max_bandwidth_units = 0;  ///< 0 when bandwidth derives from capacity
+
+  double capacity_unit_gb = 0.0;
+  double bandwidth_unit_mbps = 0.0;
+
+  /// Aggregate bandwidth ceiling (arrays: controller limit). 0 = no ceiling
+  /// beyond max units.
+  double max_aggregate_bandwidth_mbps = 0.0;
+
+  /// Usable capacity with `units` capacity units.
+  double capacity_gb(int units) const;
+
+  /// Deliverable bandwidth with the given unit counts. For disk arrays the
+  /// bandwidth comes from capacity units; otherwise from bandwidth units.
+  double bandwidth_mbps(int capacity_units, int bandwidth_units) const;
+
+  /// Hard ceiling on deliverable bandwidth when fully provisioned.
+  double max_bandwidth_mbps() const;
+
+  /// Hard ceiling on capacity when fully provisioned.
+  double max_capacity_gb() const { return capacity_gb(max_capacity_units); }
+
+  /// Minimum capacity units covering `cap_gb` of data — and, for disk
+  /// arrays, also delivering `bw_mbps`. Returns -1 when impossible.
+  int min_capacity_units(double cap_gb, double bw_mbps) const;
+
+  /// Minimum bandwidth units delivering `bw_mbps` (tape drives, links).
+  /// Returns -1 when impossible.
+  int min_bandwidth_units(double bw_mbps) const;
+
+  /// Unamortized purchase price of an instance with the given units.
+  double purchase_cost(int capacity_units, int bandwidth_units) const;
+
+  void validate() const;
+};
+
+/// A provisioned device in a candidate solution.
+///
+/// Unit counts are stored as the minimum implied by the allocations placed on
+/// the device (maintained by ResourcePool) plus solver-chosen extras
+/// (extra links / tape drives bought to shorten recovery, §3.2.2).
+struct DeviceInstance {
+  int id = -1;
+  DeviceTypeSpec type;
+  int site_id = -1;    ///< hosting site (network: endpoint A)
+  int site_b_id = -1;  ///< network links only: endpoint B
+
+  int capacity_units = 0;   ///< provisioned (≥ minimum implied by allocations)
+  int bandwidth_units = 0;  ///< provisioned
+  int extra_capacity_units = 0;   ///< solver-added beyond the minimum
+  int extra_bandwidth_units = 0;  ///< solver-added beyond the minimum
+
+  double capacity_gb() const { return type.capacity_gb(capacity_units); }
+  double bandwidth_mbps() const {
+    return type.bandwidth_mbps(capacity_units, bandwidth_units);
+  }
+  double purchase_cost() const {
+    return type.purchase_cost(capacity_units, bandwidth_units);
+  }
+
+  bool is_link_between(int a, int b) const {
+    return type.kind == DeviceKind::NetworkLink &&
+           ((site_id == a && site_b_id == b) ||
+            (site_id == b && site_b_id == a));
+  }
+};
+
+}  // namespace depstor

@@ -1,0 +1,300 @@
+#include "resources/pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(Purpose p) {
+  switch (p) {
+    case Purpose::Primary:
+      return "primary";
+    case Purpose::Mirror:
+      return "mirror";
+    case Purpose::Snapshot:
+      return "snapshot";
+    case Purpose::Backup:
+      return "backup";
+    case Purpose::MirrorTraffic:
+      return "mirror-traffic";
+    case Purpose::ComputePrimary:
+      return "compute-primary";
+    case Purpose::ComputeFailover:
+      return "compute-failover";
+    case Purpose::Spare:
+      return "spare";
+  }
+  return "?";
+}
+
+ResourcePool::ResourcePool(Topology topology) : topology_(std::move(topology)) {
+  topology_.validate();
+}
+
+int ResourcePool::add_device(const DeviceTypeSpec& type, int site,
+                             int site_b) {
+  type.validate();
+  DEPSTOR_EXPECTS(site >= 0 && site < topology_.site_count());
+  if (type.kind == DeviceKind::NetworkLink) {
+    DEPSTOR_EXPECTS_MSG(site_b >= 0 && site_b < topology_.site_count() &&
+                            site_b != site,
+                        "network links need two distinct endpoints");
+    if (!topology_.connected(site, site_b)) {
+      throw InfeasibleError("no link group between sites " +
+                            std::to_string(site) + " and " +
+                            std::to_string(site_b));
+    }
+  } else {
+    DEPSTOR_EXPECTS_MSG(site_b == -1,
+                        "only network links span two sites");
+  }
+  DeviceInstance dev;
+  dev.id = device_count();
+  dev.type = type;
+  dev.site_id = site;
+  dev.site_b_id = site_b;
+  devices_.push_back(std::move(dev));
+  allocs_.emplace_back();
+  return devices_.back().id;
+}
+
+const DeviceInstance& ResourcePool::device(int id) const {
+  DEPSTOR_EXPECTS(id >= 0 && id < device_count());
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<Allocation>& ResourcePool::allocations(int id) const {
+  DEPSTOR_EXPECTS(id >= 0 && id < device_count());
+  return allocs_[static_cast<std::size_t>(id)];
+}
+
+void ResourcePool::allocate(int device_id, const Allocation& alloc) {
+  DEPSTOR_EXPECTS(device_id >= 0 && device_id < device_count());
+  DEPSTOR_EXPECTS(alloc.app_id >= 0);
+  DEPSTOR_EXPECTS(alloc.capacity_gb >= 0.0 && alloc.bandwidth_mbps >= 0.0);
+  auto& list = allocs_[static_cast<std::size_t>(device_id)];
+  list.push_back(alloc);
+  try {
+    recompute_units(device_id);
+  } catch (const InfeasibleError&) {
+    list.pop_back();  // strong guarantee: failed allocations leave no trace
+    recompute_units(device_id);
+    throw;
+  }
+}
+
+void ResourcePool::release_app(int app_id) {
+  DEPSTOR_EXPECTS(app_id >= 0);
+  for (int id = 0; id < device_count(); ++id) {
+    auto& list = allocs_[static_cast<std::size_t>(id)];
+    const auto old_size = list.size();
+    std::erase_if(list, [&](const Allocation& a) { return a.app_id == app_id; });
+    if (list.size() != old_size) {
+      if (list.empty()) {
+        // Idle devices drop their solver-chosen extras too: the next user
+        // re-decides provisioning from scratch.
+        auto& dev = devices_[static_cast<std::size_t>(id)];
+        dev.extra_capacity_units = 0;
+        dev.extra_bandwidth_units = 0;
+      }
+      recompute_units(id);
+    }
+  }
+}
+
+double ResourcePool::used_capacity_gb(int id) const {
+  double total = 0.0;
+  for (const auto& a : allocations(id)) total += a.capacity_gb;
+  return total;
+}
+
+double ResourcePool::used_bandwidth_mbps(int id) const {
+  double total = 0.0;
+  for (const auto& a : allocations(id)) total += a.bandwidth_mbps;
+  return total;
+}
+
+double ResourcePool::utilization(int id) const {
+  const DeviceInstance& dev = device(id);
+  double util = 0.0;
+  if (dev.type.max_capacity_units > 0) {
+    util = std::max(util, used_capacity_gb(id) / dev.type.max_capacity_gb());
+  }
+  const double max_bw = dev.type.max_bandwidth_mbps();
+  if (max_bw > 0.0) {
+    util = std::max(util, used_bandwidth_mbps(id) / max_bw);
+  }
+  return std::min(util, 1.0);
+}
+
+double ResourcePool::bandwidth_headroom_mbps(int id) const {
+  return std::max(0.0, device(id).bandwidth_mbps() - used_bandwidth_mbps(id));
+}
+
+int ResourcePool::set_extra_bandwidth_units(int device_id, int extra) {
+  DEPSTOR_EXPECTS(extra >= 0);
+  auto& dev = devices_[static_cast<std::size_t>(device_id)];
+  const int base = dev.bandwidth_units - dev.extra_bandwidth_units;
+  dev.extra_bandwidth_units =
+      std::min(extra, std::max(0, dev.type.max_bandwidth_units - base));
+  recompute_units(device_id);
+  return dev.extra_bandwidth_units;
+}
+
+int ResourcePool::set_extra_capacity_units(int device_id, int extra) {
+  DEPSTOR_EXPECTS(extra >= 0);
+  auto& dev = devices_[static_cast<std::size_t>(device_id)];
+  const int base = dev.capacity_units - dev.extra_capacity_units;
+  dev.extra_capacity_units =
+      std::min(extra, std::max(0, dev.type.max_capacity_units - base));
+  recompute_units(device_id);
+  return dev.extra_capacity_units;
+}
+
+std::vector<int> ResourcePool::devices_at(int site, DeviceKind kind) const {
+  std::vector<int> out;
+  for (const auto& dev : devices_) {
+    if (dev.site_id == site && dev.type.kind == kind) out.push_back(dev.id);
+  }
+  return out;
+}
+
+int ResourcePool::find_link(int a, int b, const std::string& type_name) const {
+  for (const auto& dev : devices_) {
+    if (dev.is_link_between(a, b) && dev.type.name == type_name) return dev.id;
+  }
+  return -1;
+}
+
+std::vector<int> ResourcePool::links_between(int a, int b) const {
+  std::vector<int> out;
+  for (const auto& dev : devices_) {
+    if (dev.is_link_between(a, b)) out.push_back(dev.id);
+  }
+  return out;
+}
+
+std::vector<int> ResourcePool::sites_in_use() const {
+  std::vector<bool> used(static_cast<std::size_t>(topology_.site_count()),
+                         false);
+  for (const auto& dev : devices_) {
+    if (!in_use(dev.id)) continue;
+    used[static_cast<std::size_t>(dev.site_id)] = true;
+    if (dev.site_b_id >= 0) used[static_cast<std::size_t>(dev.site_b_id)] = true;
+  }
+  std::vector<int> out;
+  for (int s = 0; s < topology_.site_count(); ++s) {
+    if (used[static_cast<std::size_t>(s)]) out.push_back(s);
+  }
+  return out;
+}
+
+bool ResourcePool::is_spare_device(int id) const {
+  const auto& allocs = allocations(id);
+  if (allocs.empty()) return false;
+  for (const auto& a : allocs) {
+    if (a.purpose != Purpose::Spare) return false;
+  }
+  return true;
+}
+
+bool ResourcePool::has_spare_array(int site,
+                                   const std::string& type_name) const {
+  for (int id : devices_at(site, DeviceKind::DiskArray)) {
+    if (device(id).type.name == type_name && is_spare_device(id)) return true;
+  }
+  return false;
+}
+
+void ResourcePool::check_feasible() const {
+  for (int s = 0; s < topology_.site_count(); ++s) {
+    const SiteSpec& site = topology_.site(s);
+    int arrays = 0;
+    int spares = 0;
+    int tapes = 0;
+    int compute_slots = 0;
+    for (const auto& dev : devices_) {
+      if (dev.site_id != s || !in_use(dev.id)) continue;
+      switch (dev.type.kind) {
+        case DeviceKind::DiskArray:
+          if (is_spare_device(dev.id)) {
+            ++spares;
+          } else {
+            ++arrays;
+          }
+          break;
+        case DeviceKind::TapeLibrary:
+          ++tapes;
+          break;
+        case DeviceKind::Compute:
+          compute_slots += dev.capacity_units;
+          break;
+        case DeviceKind::NetworkLink:
+          break;  // counted per pair below
+      }
+    }
+    if (arrays > site.max_disk_arrays) {
+      throw InfeasibleError(site.name + ": " + std::to_string(arrays) +
+                            " disk arrays exceed the site limit of " +
+                            std::to_string(site.max_disk_arrays));
+    }
+    if (spares > site.max_spare_arrays) {
+      throw InfeasibleError(site.name + ": " + std::to_string(spares) +
+                            " spare arrays exceed the site limit of " +
+                            std::to_string(site.max_spare_arrays));
+    }
+    if (tapes > site.max_tape_libraries) {
+      throw InfeasibleError(site.name + ": " + std::to_string(tapes) +
+                            " tape libraries exceed the site limit of " +
+                            std::to_string(site.max_tape_libraries));
+    }
+    if (compute_slots > site.max_compute_slots) {
+      throw InfeasibleError(site.name + ": " + std::to_string(compute_slots) +
+                            " compute slots exceed the site limit of " +
+                            std::to_string(site.max_compute_slots));
+    }
+  }
+  for (int a = 0; a < topology_.site_count(); ++a) {
+    for (int b = a + 1; b < topology_.site_count(); ++b) {
+      int links = 0;
+      for (int id : links_between(a, b)) {
+        if (in_use(id)) links += device(id).bandwidth_units;
+      }
+      if (links > topology_.max_links(a, b)) {
+        throw InfeasibleError("sites " + std::to_string(a) + "-" +
+                              std::to_string(b) + ": " +
+                              std::to_string(links) +
+                              " links exceed the pair limit of " +
+                              std::to_string(topology_.max_links(a, b)));
+      }
+    }
+  }
+}
+
+void ResourcePool::recompute_units(int id) {
+  auto& dev = devices_[static_cast<std::size_t>(id)];
+  const double cap = used_capacity_gb(id);
+  const double bw = used_bandwidth_mbps(id);
+
+  const int min_cap = dev.type.min_capacity_units(cap, bw);
+  if (min_cap < 0) {
+    throw InfeasibleError(dev.type.name + " #" + std::to_string(id) +
+                          " cannot supply " + std::to_string(cap) + " GB / " +
+                          std::to_string(bw) + " MB/s");
+  }
+  const int min_bw = dev.type.min_bandwidth_units(bw);
+  if (min_bw < 0) {
+    throw InfeasibleError(dev.type.name + " #" + std::to_string(id) +
+                          " cannot supply " + std::to_string(bw) + " MB/s");
+  }
+  dev.capacity_units = std::min(min_cap + dev.extra_capacity_units,
+                                dev.type.max_capacity_units);
+  dev.extra_capacity_units = dev.capacity_units - min_cap;
+  dev.bandwidth_units = std::min(min_bw + dev.extra_bandwidth_units,
+                                 dev.type.max_bandwidth_units);
+  dev.extra_bandwidth_units = dev.bandwidth_units - min_bw;
+}
+
+}  // namespace depstor

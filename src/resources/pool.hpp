@@ -1,0 +1,119 @@
+// ResourcePool: the provisioned devices of one candidate solution, plus the
+// per-device allocations that applications and their data protection
+// workloads place on them (paper §2.3, §3.1.3).
+//
+// Devices are created on demand by the solvers; unit counts are maintained as
+// the minimum implied by the device's allocations plus any solver-chosen
+// extra units (extra network links / tape drives bought to shorten recovery,
+// §3.2.2). A device with no allocations is "idle": it contributes no outlay
+// and does not count against site limits, but keeps its id so assignments
+// never dangle.
+#pragma once
+
+#include <vector>
+
+#include "resources/device.hpp"
+#include "resources/site.hpp"
+
+namespace depstor {
+
+/// Why an allocation exists. Used for reporting, for identifying which
+/// copies survive a failure scope, and for recovery planning.
+enum class Purpose {
+  Primary,          ///< primary copy (array capacity + access bandwidth)
+  Mirror,           ///< remote mirror copy (array capacity + update bandwidth)
+  Snapshot,         ///< space-efficient point-in-time copies on the primary array
+  Backup,           ///< tape backup (cartridge capacity + drive bandwidth)
+  MirrorTraffic,    ///< inter-site link bandwidth for mirror propagation
+  ComputePrimary,   ///< compute slot running the application
+  ComputeFailover,  ///< spare compute slot at the secondary site
+  Spare,            ///< hot-spare device reservation (shortens repair leads)
+};
+
+/// Owner id used for site-level spare allocations (spares belong to a site,
+/// not an application): kSpareOwnerBase + site id. Far above any real app id.
+inline constexpr int kSpareOwnerBase = 1'000'000;
+
+const char* to_string(Purpose p);
+
+struct Allocation {
+  int app_id = -1;
+  Purpose purpose = Purpose::Primary;
+  double capacity_gb = 0.0;     ///< compute devices: slots
+  double bandwidth_mbps = 0.0;
+};
+
+class ResourcePool {
+ public:
+  explicit ResourcePool(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+
+  /// Add a device at `site` (network links: between `site` and `site_b`).
+  /// Returns the new device id. Site limits are only enforced by
+  /// check_feasible(), so the search may transiently exceed them.
+  int add_device(const DeviceTypeSpec& type, int site, int site_b = -1);
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  const DeviceInstance& device(int id) const;
+  const std::vector<DeviceInstance>& devices() const { return devices_; }
+
+  bool in_use(int id) const { return !allocations(id).empty(); }
+
+  /// Place an allocation, growing the device's units as needed.
+  /// Throws InfeasibleError when the device cannot grow enough.
+  void allocate(int device_id, const Allocation& alloc);
+
+  /// Remove every allocation belonging to `app_id` across all devices and
+  /// shrink unit counts accordingly.
+  void release_app(int app_id);
+
+  const std::vector<Allocation>& allocations(int id) const;
+
+  double used_capacity_gb(int id) const;
+  double used_bandwidth_mbps(int id) const;
+
+  /// Fraction of the device's *maximum* provisioning consumed (max of the
+  /// capacity and bandwidth dimensions). Used by the reconfiguration
+  /// operator's load-balancing bias.
+  double utilization(int id) const;
+
+  /// Headroom available for recovery traffic on a device: provisioned
+  /// bandwidth minus allocations that keep running during recovery.
+  double bandwidth_headroom_mbps(int id) const;
+
+  /// Buy extra units beyond the allocation-implied minimum (clamped to the
+  /// device maximum; returns the extras actually applied).
+  int set_extra_bandwidth_units(int device_id, int extra);
+  int set_extra_capacity_units(int device_id, int extra);
+
+  /// Existing (in-use or idle) devices of a kind at a site.
+  std::vector<int> devices_at(int site, DeviceKind kind) const;
+
+  /// Device id of the link group between the pair using `type`, or -1.
+  int find_link(int a, int b, const std::string& type_name) const;
+  /// All link-group device ids between a pair (any type).
+  std::vector<int> links_between(int a, int b) const;
+
+  /// Sites hosting at least one in-use device.
+  std::vector<int> sites_in_use() const;
+
+  /// True when `id`'s allocations are all hot-spare reservations.
+  bool is_spare_device(int id) const;
+
+  /// True when an in-use hot spare of the given array type sits at `site`.
+  bool has_spare_array(int site, const std::string& type_name) const;
+
+  /// Verify per-site device limits and per-pair link limits; throws
+  /// InfeasibleError describing the first violation.
+  void check_feasible() const;
+
+ private:
+  void recompute_units(int id);
+
+  Topology topology_;
+  std::vector<DeviceInstance> devices_;
+  std::vector<std::vector<Allocation>> allocs_;
+};
+
+}  // namespace depstor

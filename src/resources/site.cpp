@@ -1,0 +1,76 @@
+#include "resources/site.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+void SiteSpec::validate() const {
+  DEPSTOR_EXPECTS_MSG(!name.empty(), "site needs a name");
+  DEPSTOR_EXPECTS_MSG(region >= 0, name);
+  DEPSTOR_EXPECTS_MSG(max_disk_arrays >= 0, name);
+  DEPSTOR_EXPECTS_MSG(max_spare_arrays >= 0, name);
+  DEPSTOR_EXPECTS_MSG(max_tape_libraries >= 0, name);
+  DEPSTOR_EXPECTS_MSG(max_compute_slots >= 0, name);
+  DEPSTOR_EXPECTS_MSG(fixed_cost >= 0.0, name);
+}
+
+const SiteSpec& Topology::site(int id) const {
+  DEPSTOR_EXPECTS(id >= 0 && id < site_count());
+  return sites[static_cast<std::size_t>(id)];
+}
+
+bool Topology::connected(int a, int b) const { return max_links(a, b) > 0; }
+
+int Topology::max_links(int a, int b) const {
+  for (const auto& p : pair_limits) {
+    if ((p.site_a == a && p.site_b == b) ||
+        (p.site_a == b && p.site_b == a)) {
+      return p.max_links;
+    }
+  }
+  return 0;
+}
+
+std::vector<int> Topology::neighbors(int id) const {
+  std::vector<int> out;
+  for (int s = 0; s < site_count(); ++s) {
+    if (s != id && connected(id, s)) out.push_back(s);
+  }
+  return out;
+}
+
+void Topology::validate() const {
+  DEPSTOR_EXPECTS_MSG(!sites.empty(), "topology needs at least one site");
+  for (int i = 0; i < site_count(); ++i) {
+    DEPSTOR_EXPECTS_MSG(sites[static_cast<std::size_t>(i)].id == i,
+                        "site ids must be dense and ordered");
+    sites[static_cast<std::size_t>(i)].validate();
+  }
+  for (const auto& p : pair_limits) {
+    DEPSTOR_EXPECTS(p.site_a >= 0 && p.site_a < site_count());
+    DEPSTOR_EXPECTS(p.site_b >= 0 && p.site_b < site_count());
+    DEPSTOR_EXPECTS_MSG(p.site_a != p.site_b, "self-links are meaningless");
+    DEPSTOR_EXPECTS(p.max_links > 0);
+  }
+}
+
+Topology Topology::fully_connected(int n, const SiteSpec& prototype,
+                                   int max_links) {
+  DEPSTOR_EXPECTS(n >= 1);
+  Topology t;
+  for (int i = 0; i < n; ++i) {
+    SiteSpec s = prototype;
+    s.id = i;
+    s.name = "P" + std::to_string(i + 1);
+    t.sites.push_back(std::move(s));
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      t.pair_limits.push_back({a, b, max_links});
+    }
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace depstor

@@ -1,0 +1,64 @@
+// Data-center sites and inter-site topology (paper §2.3, §4.3, §4.4).
+//
+// A site hosts disk arrays, tape libraries, and compute, subject to per-site
+// maxima (e.g., the peer-sites case study allows at most two arrays — one
+// high-end, one low-end — one tape library, and compute for eight
+// applications per site). Site pairs are connected by link groups with a
+// maximum number of links.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resources/device.hpp"
+
+namespace depstor {
+
+struct SiteSpec {
+  int id = -1;
+  std::string name;
+  /// Geographic region (§2.4: regional disasters destroy every site in a
+  /// region — mirrors protect against them only when the secondary site
+  /// sits in a different region). All sites share region 0 by default.
+  int region = 0;
+  int max_disk_arrays = 2;
+  /// Hot-spare array enclosures (floor space separate from the live arrays).
+  int max_spare_arrays = 1;
+  int max_tape_libraries = 1;
+  int max_compute_slots = 8;  ///< application slots of compute
+  double fixed_cost = 1000000.0;  ///< facilities, unamortized US$
+
+  void validate() const;
+};
+
+struct Topology {
+  std::vector<SiteSpec> sites;
+
+  struct PairLimit {
+    int site_a = -1;
+    int site_b = -1;
+    int max_links = 0;  ///< across all link types between the pair
+  };
+  std::vector<PairLimit> pair_limits;
+
+  int site_count() const { return static_cast<int>(sites.size()); }
+
+  const SiteSpec& site(int id) const;
+
+  /// True when a link group exists between the (unordered) pair.
+  bool connected(int a, int b) const;
+
+  /// Maximum total links between the pair (0 when not connected).
+  int max_links(int a, int b) const;
+
+  /// All site ids except `id` that are connected to `id`.
+  std::vector<int> neighbors(int id) const;
+
+  void validate() const;
+
+  /// `n` identical sites, fully connected with `max_links` per pair.
+  static Topology fully_connected(int n, const SiteSpec& prototype,
+                                  int max_links);
+};
+
+}  // namespace depstor

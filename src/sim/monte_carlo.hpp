@@ -1,0 +1,80 @@
+// Monte Carlo validation of the analytic dependability model.
+//
+// The configuration solver prices designs analytically: expected annual
+// penalty = Σ scenarios (annual rate × worst-case consequence). This module
+// cross-checks that arithmetic by *living through* the failures instead:
+// failure events arrive as independent Poisson processes (one per concrete
+// scenario — each app's data objects, each primary-hosting array, each
+// primary site), every event is pushed through the same recovery planner and
+// contention scheduler, and the realized outage / recent-loss hours are
+// accumulated over thousands of simulated years.
+//
+// Two deliberate fidelity differences from the analytic path make the
+// comparison informative rather than circular:
+//
+//  * recent data loss is *sampled*: a failure lands uniformly within the
+//    recovery copy's accumulation cycle, losing `fixed + U·window` hours
+//    (the analytic model charges the worst case `fixed + window`, which
+//    §3.2.1 describes as an upper bound — the simulator verifies it is one,
+//    and that the gap is ≈ window/2);
+//  * overlapping failures are handled: if an application is hit again while
+//    still recovering, only the *additional* downtime extends its outage
+//    (the analytic model prices events independently).
+//
+// Expected relationships, asserted by tests and printed by
+// bench_model_validation:
+//   simulated outage ≈ analytic outage        (outages are not sampled)
+//   analytic/2 ≲ simulated loss ≤ analytic    (worst-case vs uniform)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor {
+
+struct MonteCarloOptions {
+  double years = 2000.0;  ///< simulated horizon
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct AppSimStats {
+  int app_id = -1;
+  long long failure_events = 0;  ///< events whose scope hit this app
+  double outage_hours = 0.0;     ///< realized downtime over the horizon
+  double loss_hours = 0.0;       ///< realized recent-data-loss hours
+  double outage_penalty = 0.0;   ///< realized, US$ over the horizon
+  double loss_penalty = 0.0;
+};
+
+struct MonteCarloResult {
+  double years = 0.0;
+  long long events = 0;  ///< failure events injected
+  std::vector<AppSimStats> per_app;
+
+  double annual_outage_penalty() const;
+  double annual_loss_penalty() const;
+  double annual_penalty() const {
+    return annual_outage_penalty() + annual_loss_penalty();
+  }
+};
+
+class MonteCarloSimulator {
+ public:
+  explicit MonteCarloSimulator(const Environment* env);
+
+  /// Inject Poisson failures against the candidate's design for the given
+  /// horizon and return the realized statistics. The candidate must be a
+  /// complete feasible design.
+  MonteCarloResult run(const Candidate& candidate,
+                       const MonteCarloOptions& options) const;
+
+ private:
+  const Environment* env_;
+};
+
+}  // namespace depstor

@@ -1,0 +1,236 @@
+#include "solver/config_solver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+namespace {
+
+/// Devices an assignment touches (for scoped increment loops).
+std::vector<int> devices_of(const AppAssignment& asg) {
+  std::vector<int> out;
+  for (int id : {asg.primary_array, asg.mirror_array, asg.tape_library,
+                 asg.mirror_link}) {
+    if (id >= 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+ConfigSolver::ConfigSolver(const Environment* env) : env_(env) {
+  DEPSTOR_EXPECTS(env != nullptr);
+}
+
+CostBreakdown ConfigSolver::solve(Candidate& candidate) const {
+  // Applications visited in descending priority: their chains share tape
+  // drive bandwidth, so the important apps settle their intervals first.
+  std::vector<int> order;
+  for (const auto& asg : candidate.assignments()) {
+    if (asg.assigned && asg.technique.has_backup) order.push_back(asg.app_id);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double pa = env_->app(a).penalty_rate_sum();
+    const double pb = env_->app(b).penalty_rate_sum();
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  for (int app_id : order) {
+    sweep_app(candidate, app_id);
+  }
+  return increment_resources(candidate);
+}
+
+CostBreakdown ConfigSolver::solve_for_app(Candidate& candidate,
+                                          int app_id) const {
+  const auto& asg = candidate.assignment(app_id);
+  DEPSTOR_EXPECTS(asg.assigned);
+  if (asg.technique.has_backup) {
+    sweep_app(candidate, app_id);
+  }
+  return increment_resources(candidate, devices_of(asg));
+}
+
+CostBreakdown ConfigSolver::solve_increments_only(Candidate& candidate) const {
+  return increment_resources(candidate);
+}
+
+void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
+  // The discretized grid: snapshot interval × backup interval × cycle
+  // style (full-only, or full+incrementals at each allowed incremental
+  // interval).
+  struct CyclePoint {
+    BackupCycleMode mode;
+    double incremental_hours;
+  };
+  std::vector<CyclePoint> cycles = {{BackupCycleMode::FullOnly, 24.0}};
+  if (env_->policies.allow_incremental_backups) {
+    for (double incr : env_->policies.incremental_intervals_hours) {
+      cycles.push_back({BackupCycleMode::FullPlusIncrementals, incr});
+    }
+  }
+
+  BackupChainConfig best = candidate.assignment(app_id).backup;
+  double best_cost = candidate.evaluate().total();
+  ++stats_.evaluations;
+  for (double snap : env_->policies.snapshot_intervals_hours) {
+    for (double backup : env_->policies.backup_intervals_hours) {
+      if (backup < snap) continue;
+      for (const auto& cycle : cycles) {
+        if (cycle.mode == BackupCycleMode::FullPlusIncrementals &&
+            (cycle.incremental_hours < snap ||
+             cycle.incremental_hours > backup)) {
+          continue;
+        }
+        BackupChainConfig cfg = candidate.assignment(app_id).backup;
+        cfg.snapshot_interval_hours = snap;
+        cfg.backup_interval_hours = backup;
+        cfg.cycle = cycle.mode;
+        cfg.incremental_interval_hours = cycle.incremental_hours;
+        try {
+          candidate.set_backup_config(app_id, cfg);
+        } catch (const InfeasibleError&) {
+          continue;  // e.g. snapshot space no longer fits; skip this point
+        }
+        const double cost = candidate.evaluate().total();
+        ++stats_.evaluations;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cfg;
+        }
+      }
+    }
+  }
+  candidate.set_backup_config(app_id, best);
+}
+
+CostBreakdown ConfigSolver::increment_resources(
+    Candidate& candidate,
+    const std::optional<std::vector<int>>& devices) const {
+  CostBreakdown current = candidate.evaluate();
+  ++stats_.evaluations;
+
+  auto in_scope = [&](int device_id) {
+    if (!devices) return true;
+    return std::find(devices->begin(), devices->end(), device_id) !=
+           devices->end();
+  };
+
+  // Hot-spare candidates: (site, array type) pairs of in-scope primary
+  // arrays. Buying a spare shortens the array repair lead (§3.2.2's "add
+  // resources until no cost savings", extended to lead times).
+  std::vector<std::pair<int, std::string>> spare_candidates;
+  if (env_->policies.allow_spare_arrays) {
+    for (const auto& asg : candidate.assignments()) {
+      if (!asg.assigned || !in_scope(asg.primary_array)) continue;
+      const auto& dev = candidate.pool().device(asg.primary_array);
+      std::pair<int, std::string> key{dev.site_id, dev.type.name};
+      if (std::find(spare_candidates.begin(), spare_candidates.end(), key) ==
+          spare_candidates.end()) {
+        spare_candidates.push_back(std::move(key));
+      }
+    }
+  }
+
+  for (int round = 0; round < env_->policies.max_resource_increments;
+       ++round) {
+    // Try buying one extra unit on every in-scope device — or one hot
+    // spare — and keep the single best improvement (steepest-descent over
+    // unit purchases).
+    int best_device = -1;
+    bool best_is_bandwidth = true;
+    int best_spare = -1;  // index into spare_candidates
+    CostBreakdown best = current;
+
+    for (std::size_t i = 0; i < spare_candidates.size(); ++i) {
+      const auto& [site, type_name] = spare_candidates[i];
+      if (candidate.has_spare_array(site, type_name)) continue;
+      try {
+        candidate.set_spare_array(site, type_name, true);
+      } catch (const InfeasibleError&) {
+        continue;  // spare limit reached at this site
+      }
+      const CostBreakdown cost = candidate.evaluate();
+      ++stats_.evaluations;
+      if (cost.total() < best.total()) {
+        best = cost;
+        best_spare = static_cast<int>(i);
+        best_device = -1;
+      }
+      candidate.set_spare_array(site, type_name, false);  // roll back probe
+    }
+
+    for (const auto& dev : candidate.pool().devices()) {
+      if (!candidate.pool().in_use(dev.id) || !in_scope(dev.id)) continue;
+
+      const bool try_bandwidth = dev.type.max_bandwidth_units > 0;
+      const bool try_capacity = dev.type.kind == DeviceKind::DiskArray;
+      for (bool bandwidth : {true, false}) {
+        if (bandwidth && !try_bandwidth) continue;
+        if (!bandwidth && !try_capacity) continue;
+        const int extra = bandwidth ? dev.extra_bandwidth_units
+                                    : dev.extra_capacity_units;
+        const int applied =
+            bandwidth
+                ? candidate.set_extra_bandwidth_units(dev.id, extra + 1)
+                : candidate.set_extra_capacity_units(dev.id, extra + 1);
+        bool valid = applied == extra + 1;
+        if (valid) {
+          try {
+            // Topology-level limits (e.g. links per site pair) are not
+            // visible to the per-device clamp; re-check them here.
+            candidate.pool().check_feasible();
+          } catch (const InfeasibleError&) {
+            valid = false;
+          }
+        }
+        if (!valid) {
+          // Device (or topology) is at its maximum; restore and move on.
+          if (bandwidth) {
+            candidate.set_extra_bandwidth_units(dev.id, extra);
+          } else {
+            candidate.set_extra_capacity_units(dev.id, extra);
+          }
+          continue;
+        }
+        const CostBreakdown cost = candidate.evaluate();
+        ++stats_.evaluations;
+        if (cost.total() < best.total()) {
+          best = cost;
+          best_device = dev.id;
+          best_is_bandwidth = bandwidth;
+          best_spare = -1;
+        }
+        // Roll back the probe.
+        if (bandwidth) {
+          candidate.set_extra_bandwidth_units(dev.id, extra);
+        } else {
+          candidate.set_extra_capacity_units(dev.id, extra);
+        }
+      }
+    }
+
+    if (best_device < 0 && best_spare < 0) break;  // nothing pays for itself
+    if (best_spare >= 0) {
+      const auto& [site, type_name] =
+          spare_candidates[static_cast<std::size_t>(best_spare)];
+      candidate.set_spare_array(site, type_name, true);
+    } else {
+      const auto& dev = candidate.pool().device(best_device);
+      if (best_is_bandwidth) {
+        candidate.set_extra_bandwidth_units(best_device,
+                                            dev.extra_bandwidth_units + 1);
+      } else {
+        candidate.set_extra_capacity_units(best_device,
+                                           dev.extra_capacity_units + 1);
+      }
+    }
+    current = best;
+    ++stats_.increments_bought;
+  }
+  return current;
+}
+
+}  // namespace depstor

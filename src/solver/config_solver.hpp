@@ -1,0 +1,74 @@
+// Configuration solver (paper §3.2).
+//
+// Given a candidate whose high-level design decisions (techniques, device and
+// site choices) are fixed, the configuration solver completes the design:
+//
+//  1. For each application with a backup chain, it exhaustively searches the
+//     discretized policy ranges — snapshot interval × backup interval ×
+//     cycle style (full-only / full+incrementals) — and keeps the
+//     overall-cost-minimizing combination. Applications are visited in
+//     descending penalty-rate order since they share tape bandwidth.
+//  2. It then runs the §3.2.2 resource-increment loop: starting from the
+//     minimum provisioning implied by the allocations, it repeatedly buys the
+//     single extra unit (network link, tape drive, or array capacity unit)
+//     with the best cost improvement, until no purchase pays for itself.
+//
+// Recovery times — including multi-application contention — are evaluated by
+// the recovery simulator inside Candidate::evaluate().
+//
+// `solve()` is the full pass. `solve_for_app()` is the scoped variant the
+// design solver uses per search node: the search edge changed exactly one
+// application, so only that application's chain parameters and the devices
+// it touches need re-optimization — the other applications keep their
+// previously optimized configurations. A full pass still runs at greedy
+// completion and as an end-of-search polish.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cost/breakdown.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor {
+
+struct ConfigSolverStats {
+  int evaluations = 0;        ///< full cost evaluations performed
+  int increments_bought = 0;  ///< extra units kept by the increment loop
+};
+
+class ConfigSolver {
+ public:
+  explicit ConfigSolver(const Environment* env);
+
+  /// Optimize every application's configuration parameters plus the global
+  /// resource increments; returns the resulting cost. The candidate must be
+  /// structurally feasible.
+  CostBreakdown solve(Candidate& candidate) const;
+
+  /// Scoped re-optimization after a single application changed: sweep that
+  /// application's chain parameters and run the increment loop over the
+  /// devices it touches.
+  CostBreakdown solve_for_app(Candidate& candidate, int app_id) const;
+
+  /// Increment loop only (used when probing many technique alternatives
+  /// cheaply inside the reconfiguration operator).
+  CostBreakdown solve_increments_only(Candidate& candidate) const;
+
+  const ConfigSolverStats& stats() const { return stats_; }
+
+ private:
+  /// Exhaustive sweep of one application's backup-chain parameters.
+  void sweep_app(Candidate& candidate, int app_id) const;
+
+  /// Resource-increment loop; when `devices` is given, only those devices
+  /// are considered for extra units.
+  CostBreakdown increment_resources(
+      Candidate& candidate,
+      const std::optional<std::vector<int>>& devices = std::nullopt) const;
+
+  const Environment* env_;
+  mutable ConfigSolverStats stats_;
+};
+
+}  // namespace depstor

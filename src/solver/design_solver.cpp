@@ -1,0 +1,189 @@
+#include "solver/design_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace depstor {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Node {
+  Candidate candidate;
+  CostBreakdown cost;
+};
+
+}  // namespace
+
+DesignSolver::DesignSolver(const Environment* env, DesignSolverOptions options)
+    : env_(env), options_(options) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  DEPSTOR_EXPECTS(options_.breadth >= 1);
+  DEPSTOR_EXPECTS(options_.depth >= 1);
+  DEPSTOR_EXPECTS(options_.max_refit_iterations >= 0);
+  DEPSTOR_EXPECTS(options_.max_greedy_restarts >= 1);
+  env_->validate();
+}
+
+SolveResult DesignSolver::solve() {
+  const auto start = Clock::now();
+  SolveResult result;
+  Rng rng(options_.seed);
+  Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
+  ConfigSolver config_solver(env_);
+
+  auto out_of_time = [&] {
+    return elapsed_ms(start) >= options_.time_budget_ms;
+  };
+
+  // Complete a node after the edge changed `changed_app` (§3.2): scoped
+  // re-optimization by default, the literal full sweep when asked.
+  auto complete_node = [&](Candidate& cand, int changed_app) -> CostBreakdown {
+    ++result.nodes_evaluated;
+    return options_.full_config_solve_every_node
+               ? config_solver.solve(cand)
+               : config_solver.solve_for_app(cand, changed_app);
+  };
+
+  auto reconfig_step = [&](Node& node) -> bool {
+    const int app =
+        reconfigurator.pick_app_to_reconfigure(node.candidate, node.cost);
+    if (!reconfigurator.reconfigure_app(node.candidate, app)) return false;
+    node.cost = complete_node(node.candidate, app);
+    return true;
+  };
+
+  // ---- Stage 1: greedy best-fit (Algorithm 1 lines 3-8) ----
+  auto greedy_stage = [&]() -> std::optional<Node> {
+    for (int restart = 0; restart < options_.max_greedy_restarts; ++restart) {
+      ++result.greedy_restarts;
+      Candidate cand(env_);
+      bool failed = false;
+      while (cand.assigned_count() < static_cast<int>(env_->apps.size())) {
+        const auto unassigned = cand.unassigned_apps();
+        int next = -1;
+        if (options_.greedy_order == GreedyOrder::MaxPenalty) {
+          next = *std::max_element(
+              unassigned.begin(), unassigned.end(), [&](int a, int b) {
+                return env_->app(a).penalty_rate_sum() <
+                       env_->app(b).penalty_rate_sum();
+              });
+        } else {
+          std::vector<double> weights;
+          weights.reserve(unassigned.size());
+          for (int id : unassigned) {
+            weights.push_back(env_->app(id).penalty_rate_sum());
+          }
+          next = unassigned[rng.weighted_index(weights)];
+        }
+        if (!reconfigurator.reconfigure_app(cand, next)) {
+          failed = true;  // cannot place the remaining apps: restart greedy
+          break;
+        }
+        complete_node(cand, next);
+      }
+      if (!failed) {
+        // Full configuration pass over the completed greedy design.
+        ++result.nodes_evaluated;
+        const CostBreakdown cost = config_solver.solve(cand);
+        return Node{std::move(cand), cost};
+      }
+      if (out_of_time()) break;
+    }
+    return std::nullopt;
+  };
+
+  // ---- Stage 2: refit (Algorithm 1 lines 14-42) ----
+  // Walks `breadth` siblings of the incumbent; from each, a depth-`depth`
+  // descent evaluates `breadth` random neighbors per level and moves to the
+  // level's best even when it is worse than the current node (that is how
+  // the search escapes local minima). Returns the best node seen.
+  auto refit_stage = [&](Node start_node) -> Node {
+    Node best = std::move(start_node);
+    for (int iter = 0; iter < options_.max_refit_iterations; ++iter) {
+      if (out_of_time()) break;
+      ++result.refit_iterations;
+      bool improved = false;
+      const Node initial = best;
+
+      for (int sibling = 0; sibling < options_.breadth; ++sibling) {
+        Node cur = initial;  // each sibling walk restarts from the incumbent
+        if (!reconfig_step(cur)) continue;
+        if (cur.cost.total() < best.cost.total()) {
+          best = cur;
+          improved = true;
+        }
+        for (int level = 0; level < options_.depth; ++level) {
+          if (out_of_time()) break;
+          std::optional<Node> level_best;
+          for (int k = 0; k < options_.breadth; ++k) {
+            Node neighbor = cur;
+            if (!reconfig_step(neighbor)) continue;
+            if (!level_best ||
+                neighbor.cost.total() < level_best->cost.total()) {
+              level_best = std::move(neighbor);
+            }
+          }
+          if (!level_best) break;
+          cur = std::move(*level_best);
+          if (cur.cost.total() < best.cost.total()) {
+            best = cur;
+            improved = true;
+          }
+        }
+        if (out_of_time()) break;
+      }
+      if (!improved) break;  // local optimum (Algorithm 1 termination)
+    }
+    return best;
+  };
+
+  // The two-stage search is repeated (randomized restarts) until the time
+  // budget is exhausted; the best design over all repetitions is returned
+  // (§3.1: "the search is repeated multiple times...").
+  std::optional<Node> global_best;
+  int repetitions = 0;
+  do {
+    ++repetitions;
+    std::optional<Node> incumbent = greedy_stage();
+    if (!incumbent) continue;  // restart budget burned; retry while time lasts
+    Node local = refit_stage(std::move(*incumbent));
+    if (!global_best || local.cost.total() < global_best->cost.total()) {
+      global_best = std::move(local);
+    }
+  } while (!out_of_time() &&
+           (options_.max_repetitions == 0 ||
+            repetitions < options_.max_repetitions));
+
+  if (!global_best) {
+    result.elapsed_ms = elapsed_ms(start);
+    return result;
+  }
+
+  // Final polish: one full configuration pass over the winner (scoped
+  // per-node passes may have left cross-application interval interactions
+  // unexplored).
+  global_best->cost = config_solver.solve(global_best->candidate);
+  result.elapsed_ms = elapsed_ms(start);
+
+  DEPSTOR_LOG(Info, "design solver: cost " << global_best->cost.total()
+                                           << " after "
+                                           << result.nodes_evaluated
+                                           << " nodes");
+  global_best->candidate.check_feasible();
+  result.cost = global_best->cost;
+  result.best = std::move(global_best->candidate);
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace depstor

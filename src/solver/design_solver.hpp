@@ -1,0 +1,82 @@
+// Design solver (paper §3.1, Algorithm 1).
+//
+// Stage 1 (greedy best-fit): starting from an empty design, applications are
+// added one at a time — each chosen randomly with probability weighted by its
+// penalty-rate sum (stringent apps first) — and given the
+// incremental-cost-minimizing technique/layout by the reconfiguration
+// operator. If an application cannot be placed, the stage restarts from
+// scratch (bounded).
+//
+// Stage 2 (refit): randomized local search around the greedy design. Each
+// iteration explores `b` siblings of the incumbent; from each sibling a
+// depth-`d` walk evaluates `b` random neighbors per level and descends to the
+// level's best (worsening moves allowed — that is how the search escapes
+// local minima). The walk restarts from the incumbent for the next sibling.
+// The incumbent advances to the best node seen; a local optimum is declared
+// when a full iteration brings no improvement.
+//
+// Every node is completed and priced by the configuration solver before
+// comparison, exactly as in Algorithm 1 (lines 6, 18, 25).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "solver/config_solver.hpp"
+#include "solver/reconfigure.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor {
+
+/// Ordering of the greedy stage. Algorithm 1 line 4 says "maximum penalty";
+/// §3.1.1's prose says randomized, penalty-weighted. Both are provided; the
+/// prose behavior is the default (it is what lets restarts differ).
+enum class GreedyOrder { WeightedRandom, MaxPenalty };
+
+struct DesignSolverOptions {
+  int breadth = 3;  ///< b: siblings / neighbors per level
+  int depth = 5;    ///< d: depth of each refit walk
+  int max_refit_iterations = 30;
+  int max_greedy_restarts = 25;
+  /// Soft wall-clock budget for the whole solve (checked between nodes).
+  double time_budget_ms = 2000.0;
+  /// Cap on greedy+refit repetitions (0 = until the time budget runs out).
+  /// With a cap and a generous budget the solve is exactly reproducible.
+  int max_repetitions = 0;
+  std::uint64_t seed = 1;
+  GreedyOrder greedy_order = GreedyOrder::WeightedRandom;
+  /// The configuration solver completes every node either way; this picks
+  /// its scope. false (default): per-node re-optimization covers only the
+  /// application the search edge changed (plus its devices), with a full
+  /// pass at greedy completion and a final polish — O(grid) per node.
+  /// true: the full every-application sweep at every node — Algorithm 1
+  /// taken literally, O(apps × grid) per node, prohibitive beyond ~12 apps.
+  bool full_config_solve_every_node = false;
+  ReconfigureOptions reconfigure;
+};
+
+struct SolveResult {
+  std::optional<Candidate> best;  ///< empty when no feasible design found
+  CostBreakdown cost;
+  bool feasible = false;
+  int greedy_restarts = 0;
+  int refit_iterations = 0;
+  int nodes_evaluated = 0;
+  double elapsed_ms = 0.0;
+};
+
+class DesignSolver {
+ public:
+  explicit DesignSolver(const Environment* env,
+                        DesignSolverOptions options = {});
+
+  /// Run greedy + refit once within the time budget and return the best
+  /// design found. Never throws for infeasibility — inspect `feasible`.
+  SolveResult solve();
+
+ private:
+  const Environment* env_;
+  DesignSolverOptions options_;
+};
+
+}  // namespace depstor

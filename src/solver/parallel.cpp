@@ -1,0 +1,111 @@
+#include "solver/parallel.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+namespace {
+
+/// Run `workers` jobs on their own threads; job k computes results[k].
+template <typename Result, typename Job>
+std::vector<Result> run_workers(int workers, const Job& job) {
+  DEPSTOR_EXPECTS(workers >= 1);
+  std::vector<Result> results(static_cast<std::size_t>(workers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(workers));
+  for (int k = 0; k < workers; ++k) {
+    threads.emplace_back([&, k] {
+      try {
+        results[static_cast<std::size_t>(k)] = job(k);
+      } catch (...) {
+        errors[static_cast<std::size_t>(k)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace
+
+SolveResult solve_parallel(const Environment* env,
+                           const DesignSolverOptions& options, int workers) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  auto results = run_workers<SolveResult>(workers, [&](int k) {
+    DesignSolverOptions worker_options = options;
+    worker_options.seed = options.seed + static_cast<std::uint64_t>(k);
+    DesignSolver solver(env, worker_options);
+    return solver.solve();
+  });
+
+  SolveResult merged;
+  for (auto& r : results) {
+    merged.nodes_evaluated += r.nodes_evaluated;
+    merged.refit_iterations += r.refit_iterations;
+    merged.greedy_restarts += r.greedy_restarts;
+    merged.elapsed_ms = std::max(merged.elapsed_ms, r.elapsed_ms);
+    if (!r.feasible) continue;
+    if (!merged.feasible || r.cost.total() < merged.cost.total()) {
+      merged.feasible = true;
+      merged.cost = r.cost;
+      merged.best = std::move(r.best);
+    }
+  }
+  return merged;
+}
+
+BaselineResult random_parallel(const Environment* env,
+                               const BaselineOptions& options, int workers) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  auto results = run_workers<BaselineResult>(workers, [&](int k) {
+    BaselineOptions worker_options = options;
+    worker_options.seed = options.seed + static_cast<std::uint64_t>(k);
+    RandomHeuristic heuristic(env, worker_options);
+    return heuristic.solve();
+  });
+
+  BaselineResult merged;
+  for (auto& r : results) {
+    merged.designs_tried += r.designs_tried;
+    merged.designs_feasible += r.designs_feasible;
+    merged.elapsed_ms = std::max(merged.elapsed_ms, r.elapsed_ms);
+    if (!r.feasible) continue;
+    if (!merged.feasible || r.cost.total() < merged.cost.total()) {
+      merged.feasible = true;
+      merged.cost = r.cost;
+      merged.best = std::move(r.best);
+    }
+  }
+  return merged;
+}
+
+SampleStats sample_parallel(const Environment* env, int count,
+                            std::uint64_t seed, int workers) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  DEPSTOR_EXPECTS(count >= 1);
+  DEPSTOR_EXPECTS(workers >= 1);
+  const int per_worker = (count + workers - 1) / workers;
+  auto results = run_workers<SampleStats>(workers, [&](int k) {
+    SolutionSpaceSampler sampler(env);
+    return sampler.sample(per_worker, seed + static_cast<std::uint64_t>(k));
+  });
+
+  SampleStats merged;
+  for (const auto& r : results) {
+    merged.costs.merge(r.costs);
+    merged.samples.insert(merged.samples.end(), r.samples.begin(),
+                          r.samples.end());
+    merged.attempted += r.attempted;
+    merged.feasible += r.feasible;
+  }
+  return merged;
+}
+
+}  // namespace depstor

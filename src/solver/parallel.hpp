@@ -1,0 +1,37 @@
+// Parallel drivers for the randomized searches.
+//
+// The design solver's outer loop repeats independent greedy+refit searches
+// and keeps the global best (§3.1: "the search is repeated multiple times");
+// the solution-space sampler draws independent designs. Both parallelize
+// trivially: each worker gets a derived seed, runs the sequential algorithm,
+// and the results merge by minimum (solver) or concatenation (sampler).
+//
+// Determinism: with a fixed `seed` and `workers`, worker k always receives
+// seed `seed + k`, so results are reproducible regardless of thread
+// scheduling (the merge is order-independent).
+#pragma once
+
+#include "baselines/human_heuristic.hpp"
+#include "baselines/random_heuristic.hpp"
+#include "core/sampler.hpp"
+#include "solver/design_solver.hpp"
+
+namespace depstor {
+
+/// Run `workers` independent design solvers (seeds seed+0 … seed+workers-1)
+/// concurrently and return the cheapest feasible result. Node/iteration
+/// counters are summed across workers.
+SolveResult solve_parallel(const Environment* env,
+                           const DesignSolverOptions& options, int workers);
+
+/// Run `workers` independent random-heuristic searches concurrently and
+/// return the best result (design counters summed).
+BaselineResult random_parallel(const Environment* env,
+                               const BaselineOptions& options, int workers);
+
+/// Draw `count` feasible samples split across `workers` concurrent
+/// samplers; statistics and samples are merged.
+SampleStats sample_parallel(const Environment* env, int count,
+                            std::uint64_t seed, int workers);
+
+}  // namespace depstor

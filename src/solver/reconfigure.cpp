@@ -1,0 +1,369 @@
+#include "solver/reconfigure.hpp"
+
+#include <algorithm>
+
+#include "protection/catalog.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+
+namespace {
+
+std::string device_key(const DeviceInstance& dev) {
+  return "dev#" + std::to_string(dev.id);
+}
+
+std::string new_device_key(const DeviceTypeSpec& type, int site,
+                           int site_b = -1) {
+  std::string key = type.name + "@" + std::to_string(site);
+  if (site_b >= 0) key += "-" + std::to_string(site_b);
+  return key;
+}
+
+}  // namespace
+
+Reconfigurator::Reconfigurator(const Environment* env, Rng* rng,
+                               ReconfigureOptions options)
+    : env_(env), rng_(rng), options_(options), config_solver_(env) {
+  DEPSTOR_EXPECTS(env != nullptr && rng != nullptr);
+  DEPSTOR_EXPECTS(options_.alpha_util >= 0.0 && options_.alpha_util <= 1.0);
+  DEPSTOR_EXPECTS(options_.placement_retries >= 1);
+}
+
+int Reconfigurator::pick_app_to_reconfigure(const Candidate& candidate,
+                                            const CostBreakdown& cost) {
+  std::vector<int> ids;
+  std::vector<double> weights;
+  double max_penalty = 0.0;
+  for (const auto& d : cost.per_app) {
+    if (!candidate.is_assigned(d.app_id)) continue;
+    max_penalty = std::max(max_penalty, d.outage_penalty + d.loss_penalty);
+  }
+  for (const auto& d : cost.per_app) {
+    if (!candidate.is_assigned(d.app_id)) continue;
+    ids.push_back(d.app_id);
+    // Bias toward the big penalty contributors, but keep a floor so cheap
+    // apps can still be perturbed (their layout may block better designs).
+    weights.push_back(d.outage_penalty + d.loss_penalty +
+                      0.01 * max_penalty + 1.0);
+  }
+  DEPSTOR_EXPECTS_MSG(!ids.empty(), "no assigned application to reconfigure");
+  return ids[rng_->weighted_index(weights)];
+}
+
+void Reconfigurator::note_usage(int app_id, const std::string& key) {
+  ++usage_[app_id][key];
+}
+
+int Reconfigurator::usage_count(int app_id, const std::string& key) const {
+  const auto app_it = usage_.find(app_id);
+  if (app_it == usage_.end()) return 0;
+  const auto it = app_it->second.find(key);
+  return it == app_it->second.end() ? 0 : it->second;
+}
+
+double Reconfigurator::usage_fraction(int app_id,
+                                      const std::string& key) const {
+  const auto it = reconfig_count_.find(app_id);
+  const int total = it == reconfig_count_.end() ? 0 : it->second;
+  if (total == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(usage_count(app_id, key)) / total);
+}
+
+int Reconfigurator::pick_resource(const Candidate& candidate, int app_id,
+                                  const std::vector<std::string>& keys,
+                                  const std::vector<double>& utils) {
+  (void)candidate;
+  if (keys.empty()) return -1;
+  DEPSTOR_EXPECTS(keys.size() == utils.size());
+  std::vector<double> weights;
+  weights.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double w =
+        options_.alpha_util * (1.0 - utils[i]) +
+        (1.0 - options_.alpha_util) * (1.0 - usage_fraction(app_id, keys[i]));
+    weights.push_back(std::max(w, 1e-6));
+  }
+  return static_cast<int>(rng_->weighted_index(weights));
+}
+
+bool Reconfigurator::site_has_compute_room(const Candidate& candidate,
+                                           int site) const {
+  int slots = 0;
+  for (int id : candidate.pool().devices_at(site, DeviceKind::Compute)) {
+    if (candidate.pool().in_use(id)) {
+      slots += candidate.pool().device(id).capacity_units;
+    }
+  }
+  return slots + 1 <= env_->topology.site(site).max_compute_slots;
+}
+
+bool Reconfigurator::draw_layout(const Candidate& candidate, int app_id,
+                                 const TechniqueSpec& technique,
+                                 DesignChoice& out) {
+  const ApplicationSpec& app = env_->app(app_id);
+  const ResourcePool& pool = candidate.pool();
+  const Topology& topo = env_->topology;
+
+  out = DesignChoice{};
+  out.technique = technique;
+
+  // Capacity the primary array must absorb: the dataset plus (when backing
+  // up) the retained snapshots under the default configuration.
+  double primary_cap = app.data_size_gb;
+  if (technique.has_backup) {
+    primary_cap += out.backup.snapshots_retained *
+                   units::accumulated_gb(app.unique_update_mbps,
+                                         out.backup.snapshot_interval_hours);
+  }
+
+  // --- primary array (and with it, the primary site) ---
+  struct ArrayOption {
+    std::string key;
+    std::string type_name;
+    int site = -1;
+    double util = 0.0;
+  };
+  auto array_options = [&](double cap_gb, double bw_mbps, int exclude_site,
+                           bool needs_neighbor,
+                           bool needs_compute) -> std::vector<ArrayOption> {
+    std::vector<ArrayOption> in_use_opts;
+    std::vector<ArrayOption> fresh_opts;
+    auto site_ok = [&](int site) {
+      if (site == exclude_site) return false;
+      if (needs_neighbor && topo.neighbors(site).empty()) return false;
+      if (needs_compute && !site_has_compute_room(candidate, site)) {
+        return false;
+      }
+      return true;
+    };
+    for (const auto& dev : pool.devices()) {
+      if (dev.type.kind != DeviceKind::DiskArray) continue;
+      if (!site_ok(dev.site_id)) continue;
+      const double need_cap = pool.used_capacity_gb(dev.id) + cap_gb;
+      const double need_bw = pool.used_bandwidth_mbps(dev.id) + bw_mbps;
+      if (dev.type.min_capacity_units(need_cap, need_bw) < 0) continue;
+      ArrayOption opt{device_key(dev), dev.type.name, dev.site_id,
+                      pool.utilization(dev.id)};
+      (pool.in_use(dev.id) ? in_use_opts : fresh_opts).push_back(opt);
+    }
+    // Unused resources are considered only when no in-use device fits
+    // (§3.1.3); brand-new devices extend the fresh list.
+    if (!in_use_opts.empty()) return in_use_opts;
+    for (int site = 0; site < topo.site_count(); ++site) {
+      if (!site_ok(site)) continue;
+      int arrays_in_use = 0;
+      for (int id : pool.devices_at(site, DeviceKind::DiskArray)) {
+        if (pool.in_use(id)) ++arrays_in_use;
+      }
+      if (arrays_in_use >= topo.site(site).max_disk_arrays) continue;
+      for (const auto& type : env_->array_types) {
+        // Skip types already present (idle) at the site — covered above.
+        bool present = false;
+        for (int id : pool.devices_at(site, DeviceKind::DiskArray)) {
+          if (pool.device(id).type.name == type.name) present = true;
+        }
+        if (present) continue;
+        if (type.min_capacity_units(cap_gb, bw_mbps) < 0) continue;
+        fresh_opts.push_back({new_device_key(type, site), type.name, site, 0.0});
+      }
+    }
+    return fresh_opts;
+  };
+
+  const bool needs_failover_compute =
+      technique.recovery == RecoveryMode::Failover;
+  auto primaries = array_options(primary_cap, app.avg_access_mbps,
+                                 /*exclude_site=*/-1,
+                                 /*needs_neighbor=*/technique.has_mirror(),
+                                 /*needs_compute=*/true);
+  std::vector<std::string> keys;
+  std::vector<double> utils;
+  for (const auto& o : primaries) {
+    keys.push_back(o.key);
+    utils.push_back(o.util);
+  }
+  int pick = pick_resource(candidate, app_id, keys, utils);
+  if (pick < 0) return false;
+  out.primary_array_type = primaries[static_cast<std::size_t>(pick)].type_name;
+  out.primary_site = primaries[static_cast<std::size_t>(pick)].site;
+  note_usage(app_id, primaries[static_cast<std::size_t>(pick)].key);
+
+  // --- mirror array at a connected secondary site ---
+  if (technique.has_mirror()) {
+    auto mirror_sites = topo.neighbors(out.primary_site);
+    auto mirrors = array_options(app.data_size_gb, app.avg_update_mbps,
+                                 /*exclude_site=*/out.primary_site,
+                                 /*needs_neighbor=*/false,
+                                 needs_failover_compute);
+    std::erase_if(mirrors, [&](const ArrayOption& o) {
+      return std::find(mirror_sites.begin(), mirror_sites.end(), o.site) ==
+             mirror_sites.end();
+    });
+    if (mirrors.empty()) return false;
+    keys.clear();
+    utils.clear();
+    for (const auto& o : mirrors) {
+      keys.push_back(o.key);
+      utils.push_back(o.util);
+    }
+    pick = pick_resource(candidate, app_id, keys, utils);
+    out.mirror_array_type = mirrors[static_cast<std::size_t>(pick)].type_name;
+    out.secondary_site = mirrors[static_cast<std::size_t>(pick)].site;
+    note_usage(app_id, mirrors[static_cast<std::size_t>(pick)].key);
+
+    // --- inter-site links for the mirror stream ---
+    const double demand = technique.mirror_bandwidth_demand(app);
+    const int pair_limit = topo.max_links(out.primary_site,
+                                          out.secondary_site);
+    std::vector<std::string> link_keys;
+    std::vector<std::string> link_types;
+    std::vector<double> link_utils;
+    int links_in_use = 0;
+    for (int id : pool.links_between(out.primary_site, out.secondary_site)) {
+      if (pool.in_use(id)) links_in_use += pool.device(id).bandwidth_units;
+    }
+    for (const auto& type : env_->network_types) {
+      const int existing = pool.find_link(out.primary_site,
+                                          out.secondary_site, type.name);
+      double util = 0.0;
+      std::string key = new_device_key(type, out.primary_site,
+                                       out.secondary_site);
+      double base_bw = 0.0;
+      int base_links = 0;
+      if (existing >= 0) {
+        util = pool.utilization(existing);
+        key = device_key(pool.device(existing));
+        base_bw = pool.used_bandwidth_mbps(existing);
+        base_links = pool.device(existing).bandwidth_units;
+      }
+      const int need = type.min_bandwidth_units(base_bw + demand);
+      if (need < 0) continue;
+      if (links_in_use - base_links + need > pair_limit) continue;
+      link_keys.push_back(key);
+      link_types.push_back(type.name);
+      link_utils.push_back(util);
+    }
+    pick = pick_resource(candidate, app_id, link_keys, link_utils);
+    if (pick < 0) return false;
+    out.link_type = link_types[static_cast<std::size_t>(pick)];
+    note_usage(app_id, link_keys[static_cast<std::size_t>(pick)]);
+  }
+
+  // --- tape library at the primary site ---
+  if (technique.has_backup) {
+    const double window = std::min(env_->params.backup_window_target_hours,
+                                   out.backup.backup_interval_hours);
+    const double tape_bw = app.data_size_gb * units::kMBPerGB /
+                           (window * units::kSecondsPerHour);
+    const double tape_cap = out.backup.backups_retained * app.data_size_gb;
+
+    std::vector<std::string> tape_keys;
+    std::vector<std::string> tape_types;
+    std::vector<double> tape_utils;
+    int libs_in_use = 0;
+    for (int id : pool.devices_at(out.primary_site, DeviceKind::TapeLibrary)) {
+      if (pool.in_use(id)) ++libs_in_use;
+    }
+    for (const auto& type : env_->tape_types) {
+      int existing = -1;
+      for (int id :
+           pool.devices_at(out.primary_site, DeviceKind::TapeLibrary)) {
+        if (pool.device(id).type.name == type.name) existing = id;
+      }
+      double base_cap = 0.0;
+      double base_bw = 0.0;
+      double util = 0.0;
+      std::string key = new_device_key(type, out.primary_site);
+      bool counts_as_new_lib = true;
+      if (existing >= 0) {
+        base_cap = pool.used_capacity_gb(existing);
+        base_bw = pool.used_bandwidth_mbps(existing);
+        util = pool.utilization(existing);
+        key = device_key(pool.device(existing));
+        counts_as_new_lib = !pool.in_use(existing);
+      }
+      if (counts_as_new_lib &&
+          libs_in_use + 1 >
+              env_->topology.site(out.primary_site).max_tape_libraries) {
+        continue;
+      }
+      if (type.min_capacity_units(base_cap + tape_cap, 0.0) < 0) continue;
+      if (type.min_bandwidth_units(base_bw + tape_bw) < 0) continue;
+      tape_keys.push_back(key);
+      tape_types.push_back(type.name);
+      tape_utils.push_back(util);
+    }
+    pick = pick_resource(candidate, app_id, tape_keys, tape_utils);
+    if (pick < 0) return false;
+    out.tape_type = tape_types[static_cast<std::size_t>(pick)];
+    note_usage(app_id, tape_keys[static_cast<std::size_t>(pick)]);
+  }
+  return true;
+}
+
+bool Reconfigurator::reconfigure_app(Candidate& candidate, int app_id) {
+  const ApplicationSpec& app = env_->app(app_id);
+  std::optional<DesignChoice> previous;
+  if (candidate.is_assigned(app_id)) {
+    previous = candidate.choice(app_id);
+    candidate.remove_app(app_id);
+  }
+  ++reconfig_count_[app_id];
+
+  // Probe every eligible technique's incremental cost in context (§3.1.3).
+  const auto eligible =
+      protection::eligible_techniques(env_->app_category(app_id));
+  DEPSTOR_ENSURES(!eligible.empty());
+  std::vector<ProbeResult> probes;
+  for (const auto& technique : eligible) {
+    for (int attempt = 0; attempt < options_.placement_retries; ++attempt) {
+      DesignChoice choice;
+      if (!draw_layout(candidate, app_id, technique, choice)) continue;
+      try {
+        candidate.place_app(app_id, choice);
+        candidate.check_feasible();
+      } catch (const InfeasibleError&) {
+        if (candidate.is_assigned(app_id)) candidate.remove_app(app_id);
+        continue;
+      }
+      const double cost = options_.probe_with_config_solver
+                              ? config_solver_.solve(candidate).total()
+                              : candidate.evaluate().total();
+      candidate.remove_app(app_id);
+      probes.push_back({std::move(choice), cost});
+      break;
+    }
+  }
+
+  if (probes.empty()) {
+    if (previous) candidate.place_app(app_id, *previous);
+    return false;
+  }
+
+  // p(dpt) ∝ 1 − cost_dpt / Σ cost — biased toward inexpensive techniques.
+  // With a single probe the weight degenerates to uniform.
+  double total_cost = 0.0;
+  for (const auto& p : probes) total_cost += p.cost;
+  std::vector<double> weights;
+  weights.reserve(probes.size());
+  for (const auto& p : probes) {
+    weights.push_back(probes.size() == 1 ? 1.0
+                                         : std::max(1e-9, 1.0 - p.cost /
+                                                              total_cost));
+  }
+  const auto& chosen = probes[rng_->weighted_index(weights)];
+  try {
+    candidate.place_app(app_id, chosen.choice);
+    candidate.check_feasible();
+  } catch (const InfeasibleError&) {
+    // The probe placed once already, so this is unexpected; restore.
+    if (candidate.is_assigned(app_id)) candidate.remove_app(app_id);
+    if (previous) candidate.place_app(app_id, *previous);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace depstor

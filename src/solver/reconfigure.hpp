@@ -1,0 +1,88 @@
+// Reconfiguration operator (paper §3.1.3) — the edge generator of the design
+// solver's search graph.
+//
+// Reconfiguring an application removes it from the design and gives it a new
+// data protection technique and data layout:
+//
+//  * the application is chosen randomly, biased toward the ones contributing
+//    the most penalty to the current design;
+//  * eligible techniques (the app's class or better) are each probed in the
+//    context of the candidate to get their incremental cost, then one is
+//    drawn with probability ∝ (1 − cost/Σcost) — biased toward cheap;
+//  * resources are drawn with probability ∝ α·(1−util) + (1−α)·(1−usage),
+//    favoring under-utilized devices (load balance) and devices this app has
+//    not used before (diversity). In-use devices are preferred; new devices
+//    are considered only when no in-use device fits.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "solver/config_solver.hpp"
+#include "solver/solution.hpp"
+#include "util/rng.hpp"
+
+namespace depstor {
+
+struct ReconfigureOptions {
+  /// α_util: weight of load-balance vs usage-diversity in resource choice.
+  /// The paper sets it "close to one".
+  double alpha_util = 0.9;
+  /// Placement attempts (fresh random layouts) before giving up.
+  int placement_retries = 8;
+  /// Run the full configuration solver when probing each technique's
+  /// incremental cost (slower, slightly better-informed technique choice).
+  bool probe_with_config_solver = false;
+};
+
+class Reconfigurator {
+ public:
+  Reconfigurator(const Environment* env, Rng* rng,
+                 ReconfigureOptions options = {});
+
+  /// The application to reconfigure next: random, biased toward the apps
+  /// contributing the most penalty in `cost`. Only assigned apps are
+  /// eligible. Precondition: at least one app is assigned.
+  int pick_app_to_reconfigure(const Candidate& candidate,
+                              const CostBreakdown& cost);
+
+  /// Give `app_id` a (new) technique and layout. Works both for unassigned
+  /// apps (greedy stage) and assigned ones (refit stage; the old design is
+  /// restored on total failure). Returns true on success.
+  bool reconfigure_app(Candidate& candidate, int app_id);
+
+  /// Layouts this operator has chosen for an app (drives the diversity bias).
+  int usage_count(int app_id, const std::string& resource_key) const;
+
+ private:
+  struct ProbeResult {
+    DesignChoice choice;
+    double cost = 0.0;
+  };
+
+  /// Draw a full layout (sites + device types) for a technique. Returns
+  /// false when no feasible-looking layout exists.
+  bool draw_layout(const Candidate& candidate, int app_id,
+                   const TechniqueSpec& technique, DesignChoice& out);
+
+  /// Weighted pick among resource keys; -1 when `keys` is empty.
+  int pick_resource(const Candidate& candidate, int app_id,
+                    const std::vector<std::string>& keys,
+                    const std::vector<double>& utils);
+
+  void note_usage(int app_id, const std::string& resource_key);
+  double usage_fraction(int app_id, const std::string& resource_key) const;
+
+  /// Sites with a free compute slot (and, for arrays, room for the type).
+  bool site_has_compute_room(const Candidate& candidate, int site) const;
+
+  const Environment* env_;
+  Rng* rng_;
+  ReconfigureOptions options_;
+  ConfigSolver config_solver_;
+  /// app id → resource key → times chosen.
+  std::map<int, std::map<std::string, int>> usage_;
+  std::map<int, int> reconfig_count_;
+};
+
+}  // namespace depstor

@@ -1,0 +1,282 @@
+#include "solver/solution.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+
+Candidate::Candidate(const Environment* env)
+    : env_(env), pool_((DEPSTOR_EXPECTS(env != nullptr), env->topology)) {
+  env_->validate();
+  assignments_.resize(env_->apps.size());
+  choices_.resize(env_->apps.size());
+  for (std::size_t i = 0; i < assignments_.size(); ++i) {
+    assignments_[i].app_id = static_cast<int>(i);
+  }
+}
+
+const AppAssignment& Candidate::assignment(int app_id) const {
+  DEPSTOR_EXPECTS(app_id >= 0 &&
+                  app_id < static_cast<int>(assignments_.size()));
+  return assignments_[static_cast<std::size_t>(app_id)];
+}
+
+int Candidate::assigned_count() const {
+  int n = 0;
+  for (const auto& a : assignments_) n += a.assigned ? 1 : 0;
+  return n;
+}
+
+std::vector<int> Candidate::unassigned_apps() const {
+  std::vector<int> out;
+  for (const auto& a : assignments_) {
+    if (!a.assigned) out.push_back(a.app_id);
+  }
+  return out;
+}
+
+const DesignChoice& Candidate::choice(int app_id) const {
+  DEPSTOR_EXPECTS(is_assigned(app_id));
+  return *choices_[static_cast<std::size_t>(app_id)];
+}
+
+const DeviceTypeSpec& Candidate::type_by_name(const std::string& name) const {
+  for (const auto& t : env_->array_types) {
+    if (t.name == name) return t;
+  }
+  for (const auto& t : env_->tape_types) {
+    if (t.name == name) return t;
+  }
+  for (const auto& t : env_->network_types) {
+    if (t.name == name) return t;
+  }
+  if (env_->compute_type.name == name) return env_->compute_type;
+  throw InvalidArgument("device type not in this environment: " + name);
+}
+
+int Candidate::find_or_create_device(const DeviceTypeSpec& type, int site,
+                                     int site_b) {
+  if (type.kind == DeviceKind::NetworkLink) {
+    const int existing = pool_.find_link(site, site_b, type.name);
+    if (existing >= 0) return existing;
+  } else {
+    for (int id : pool_.devices_at(site, type.kind)) {
+      // Hot-spare reservations keep their device exclusively.
+      if (pool_.device(id).type.name == type.name &&
+          !pool_.is_spare_device(id)) {
+        return id;
+      }
+    }
+  }
+  return pool_.add_device(type, site, site_b);
+}
+
+void Candidate::place_app(int app_id, const DesignChoice& choice) {
+  const ApplicationSpec& app = env_->app(app_id);
+  DEPSTOR_EXPECTS_MSG(!is_assigned(app_id),
+                      app.name + " is already assigned");
+  const TechniqueSpec& tech = choice.technique;
+  tech.validate();
+  DEPSTOR_EXPECTS(choice.primary_site >= 0 &&
+                  choice.primary_site < env_->topology.site_count());
+  if (tech.has_mirror()) {
+    DEPSTOR_EXPECTS_MSG(choice.secondary_site >= 0 &&
+                            choice.secondary_site != choice.primary_site,
+                        "mirroring needs a distinct secondary site");
+    if (!env_->topology.connected(choice.primary_site,
+                                  choice.secondary_site)) {
+      throw InfeasibleError("sites " + std::to_string(choice.primary_site) +
+                            " and " + std::to_string(choice.secondary_site) +
+                            " are not connected");
+    }
+  }
+  if (tech.has_backup) choice.backup.validate();
+
+  AppAssignment asg;
+  asg.app_id = app_id;
+  asg.assigned = true;
+  asg.technique = tech;
+  asg.backup = choice.backup;
+  asg.primary_site = choice.primary_site;
+  asg.secondary_site = tech.has_mirror() ? choice.secondary_site : -1;
+
+  // Allocation is transactional: on any failure, roll back everything this
+  // app placed so the candidate is unchanged (strong exception guarantee).
+  try {
+    // Primary copy: dataset capacity plus the application's access stream.
+    const auto& primary_type = type_by_name(choice.primary_array_type);
+    DEPSTOR_EXPECTS(primary_type.kind == DeviceKind::DiskArray);
+    asg.primary_array =
+        find_or_create_device(primary_type, choice.primary_site);
+    pool_.allocate(asg.primary_array,
+                   {app_id, Purpose::Primary, app.data_size_gb,
+                    app.avg_access_mbps});
+
+    // Compute slot running the application.
+    asg.primary_compute =
+        find_or_create_device(env_->compute_type, choice.primary_site);
+    pool_.allocate(asg.primary_compute,
+                   {app_id, Purpose::ComputePrimary, 1.0, 0.0});
+
+    if (tech.has_mirror()) {
+      const auto& mirror_type = type_by_name(choice.mirror_array_type);
+      DEPSTOR_EXPECTS(mirror_type.kind == DeviceKind::DiskArray);
+      asg.mirror_array =
+          find_or_create_device(mirror_type, choice.secondary_site);
+      // The mirror array absorbs the sustained update stream.
+      pool_.allocate(asg.mirror_array,
+                     {app_id, Purpose::Mirror, app.data_size_gb,
+                      app.avg_update_mbps});
+
+      // Inter-site links sized for the mirror mode's bandwidth demand:
+      // peak update rate for synchronous, average for asynchronous (§2.2).
+      const auto& link_type = type_by_name(choice.link_type);
+      DEPSTOR_EXPECTS(link_type.kind == DeviceKind::NetworkLink);
+      asg.mirror_link = find_or_create_device(
+          link_type, choice.primary_site, choice.secondary_site);
+      pool_.allocate(asg.mirror_link,
+                     {app_id, Purpose::MirrorTraffic, 0.0,
+                      tech.mirror_bandwidth_demand(app)});
+    }
+
+    if (tech.has_backup) {
+      // Space-efficient snapshots on the primary array: each retained
+      // snapshot holds one interval's worth of unique updates.
+      const double snapshot_gb =
+          asg.backup.snapshots_retained *
+          units::accumulated_gb(app.unique_update_mbps,
+                                asg.backup.snapshot_interval_hours);
+      pool_.allocate(asg.primary_array,
+                     {app_id, Purpose::Snapshot, snapshot_gb, 0.0});
+
+      // Tape library at the primary site: cartridges for the retained full
+      // backups, drive bandwidth to finish a full backup within the window.
+      const auto& tape_type = type_by_name(choice.tape_type);
+      DEPSTOR_EXPECTS(tape_type.kind == DeviceKind::TapeLibrary);
+      asg.tape_library =
+          find_or_create_device(tape_type, choice.primary_site);
+      const double window = std::min(env_->params.backup_window_target_hours,
+                                     asg.backup.backup_interval_hours);
+      const double tape_bw =
+          app.data_size_gb * units::kMBPerGB /
+          (window * units::kSecondsPerHour);
+      // Cartridges: the retained fulls plus one cycle's worth of
+      // incrementals (older cycles migrate to the vault with their full).
+      const double incrementals_gb =
+          asg.backup.incrementals_per_cycle() *
+          units::accumulated_gb(app.unique_update_mbps,
+                                asg.backup.incremental_interval_hours);
+      pool_.allocate(asg.tape_library,
+                     {app_id, Purpose::Backup,
+                      asg.backup.backups_retained * app.data_size_gb +
+                          incrementals_gb,
+                      tape_bw});
+    }
+
+    if (tech.recovery == RecoveryMode::Failover) {
+      asg.failover_compute =
+          find_or_create_device(env_->compute_type, choice.secondary_site);
+      pool_.allocate(asg.failover_compute,
+                     {app_id, Purpose::ComputeFailover, 1.0, 0.0});
+    }
+  } catch (...) {
+    pool_.release_app(app_id);
+    throw;
+  }
+
+  asg.validate();
+  assignments_[static_cast<std::size_t>(app_id)] = asg;
+  choices_[static_cast<std::size_t>(app_id)] = choice;
+}
+
+void Candidate::remove_app(int app_id) {
+  DEPSTOR_EXPECTS(app_id >= 0 &&
+                  app_id < static_cast<int>(assignments_.size()));
+  pool_.release_app(app_id);
+  AppAssignment blank;
+  blank.app_id = app_id;
+  assignments_[static_cast<std::size_t>(app_id)] = blank;
+  choices_[static_cast<std::size_t>(app_id)].reset();
+}
+
+void Candidate::set_backup_config(int app_id,
+                                  const BackupChainConfig& config) {
+  DEPSTOR_EXPECTS(is_assigned(app_id));
+  DEPSTOR_EXPECTS_MSG(assignment(app_id).technique.has_backup,
+                      "technique has no backup chain to configure");
+  DesignChoice updated = choice(app_id);
+  const DesignChoice previous = updated;
+  updated.backup = config;
+  remove_app(app_id);
+  try {
+    place_app(app_id, updated);
+  } catch (...) {
+    place_app(app_id, previous);  // restore the old, known-feasible state
+    throw;
+  }
+}
+
+void Candidate::set_spare_array(int site, const std::string& type_name,
+                                bool enabled) {
+  DEPSTOR_EXPECTS(site >= 0 && site < env_->topology.site_count());
+  const int owner = kSpareOwnerBase + site;
+  if (!enabled) {
+    // Returning the spare: drop this site's spare allocations. Other sites'
+    // spares use different owner ids and are untouched.
+    if (pool_.has_spare_array(site, type_name)) {
+      for (int id : pool_.devices_at(site, DeviceKind::DiskArray)) {
+        if (pool_.device(id).type.name == type_name &&
+            pool_.is_spare_device(id)) {
+          pool_.release_app(owner);
+          return;
+        }
+      }
+    }
+    return;
+  }
+  if (pool_.has_spare_array(site, type_name)) return;  // already there
+
+  // A spare must live on its own (otherwise-idle) device: find an idle
+  // device of the type at the site or create one, then reserve it.
+  int device_id = -1;
+  for (int id : pool_.devices_at(site, DeviceKind::DiskArray)) {
+    if (pool_.device(id).type.name == type_name && !pool_.in_use(id)) {
+      device_id = id;
+      break;
+    }
+  }
+  if (device_id < 0) {
+    device_id = pool_.add_device(type_by_name(type_name), site);
+  }
+  pool_.allocate(device_id, {owner, Purpose::Spare, 0.0, 0.0});
+  try {
+    pool_.check_feasible();
+  } catch (const InfeasibleError&) {
+    pool_.release_app(owner);
+    throw;
+  }
+}
+
+int Candidate::set_extra_bandwidth_units(int device_id, int extra) {
+  return pool_.set_extra_bandwidth_units(device_id, extra);
+}
+
+int Candidate::set_extra_capacity_units(int device_id, int extra) {
+  return pool_.set_extra_capacity_units(device_id, extra);
+}
+
+CostBreakdown Candidate::evaluate() const {
+  return evaluate_cost(env_->apps, assignments_, pool_, env_->failures,
+                       env_->params);
+}
+
+void Candidate::check_feasible() const {
+  pool_.check_feasible();
+  for (const auto& asg : assignments_) {
+    asg.validate();
+  }
+}
+
+}  // namespace depstor

@@ -1,0 +1,101 @@
+// Candidate storage solution: the node type of the design solver's search
+// graph (paper §3.1).
+//
+// A Candidate owns a ResourcePool and one AppAssignment per application.
+// `place_app` turns a high-level DesignChoice (technique + device/site
+// choices) into concrete devices and allocations; `remove_app` releases them.
+// Candidates are value types — the refit search copies them freely.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "cost/breakdown.hpp"
+#include "model/assignment.hpp"
+#include "resources/pool.hpp"
+
+namespace depstor {
+
+/// High-level design decisions for one application, produced by the
+/// reconfiguration operator / baselines and consumed by Candidate::place_app.
+/// Device types are referenced by catalog name; sites by id.
+struct DesignChoice {
+  TechniqueSpec technique;
+  BackupChainConfig backup;  ///< initial configuration (solver tunes later)
+
+  int primary_site = -1;
+  int secondary_site = -1;  ///< required when the technique mirrors
+
+  std::string primary_array_type;
+  std::string mirror_array_type;  ///< required when the technique mirrors
+  std::string tape_type;          ///< required when the technique backs up
+  std::string link_type;          ///< required when the technique mirrors
+};
+
+class Candidate {
+ public:
+  explicit Candidate(const Environment* env);
+
+  const Environment& env() const { return *env_; }
+  const ResourcePool& pool() const { return pool_; }
+  const std::vector<AppAssignment>& assignments() const { return assignments_; }
+  const AppAssignment& assignment(int app_id) const;
+
+  bool is_assigned(int app_id) const { return assignment(app_id).assigned; }
+  int assigned_count() const;
+  /// Ids of applications not yet assigned a design.
+  std::vector<int> unassigned_apps() const;
+
+  /// The choice used to place an app (for re-placement and reporting).
+  const DesignChoice& choice(int app_id) const;
+
+  /// Realize `choice` for the application: find-or-create the devices and
+  /// place every allocation (primary copy, snapshot space, mirror copy and
+  /// traffic, tape backup, compute). Throws InfeasibleError — with the
+  /// candidate unchanged — when the devices cannot fit the load.
+  void place_app(int app_id, const DesignChoice& choice);
+
+  /// Release every allocation of the app; its devices stay (idle devices
+  /// cost nothing and keep ids stable).
+  void remove_app(int app_id);
+
+  /// Re-place the app with a new backup-chain configuration (configuration
+  /// solver knob). Throws InfeasibleError with the old config restored.
+  void set_backup_config(int app_id, const BackupChainConfig& config);
+
+  /// Buy extra units on a device (configuration solver knob; forwards to
+  /// ResourcePool). Returns the extras actually applied after clamping.
+  int set_extra_bandwidth_units(int device_id, int extra);
+  int set_extra_capacity_units(int device_id, int extra);
+
+  /// Buy / return a hot-spare array enclosure of `type_name` at `site`
+  /// (configuration solver knob: shortens array repair leads for primaries
+  /// of the same model at the site). Idempotent; throws InfeasibleError
+  /// when enabling would exceed the site's spare limit.
+  void set_spare_array(int site, const std::string& type_name, bool enabled);
+  bool has_spare_array(int site, const std::string& type_name) const {
+    return pool_.has_spare_array(site, type_name);
+  }
+
+  /// Full cost of the current state (partial candidates: penalties cover
+  /// assigned apps only, outlays cover everything provisioned).
+  CostBreakdown evaluate() const;
+
+  /// Site limits, link limits, per-assignment structural validity.
+  /// Throws InfeasibleError / InvalidArgument on violation.
+  void check_feasible() const;
+
+ private:
+  int find_or_create_device(const DeviceTypeSpec& type, int site,
+                            int site_b = -1);
+  const DeviceTypeSpec& type_by_name(const std::string& name) const;
+
+  const Environment* env_;
+  ResourcePool pool_;
+  std::vector<AppAssignment> assignments_;
+  std::vector<std::optional<DesignChoice>> choices_;
+};
+
+}  // namespace depstor

@@ -1,0 +1,27 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace depstor::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": `" << expr << "` failed at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(format("precondition", expr, file, line, msg));
+}
+
+void throw_internal_error(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  throw InternalError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace depstor::detail

@@ -1,0 +1,63 @@
+// Runtime contract checking for depstor.
+//
+// Following the C++ Core Guidelines (I.6/I.8), preconditions and invariants
+// are checked at runtime and violations reported by throwing. We use
+// exceptions rather than abort() so that search heuristics can treat a
+// contract violation in a candidate evaluation as "this candidate is broken"
+// at a coarse recovery boundary, and so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace depstor {
+
+/// Thrown when a function argument violates its precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a depstor bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a requested design is structurally impossible
+/// (e.g. no device can host a dataset). Callers in the search layer catch
+/// this and treat the candidate as infeasible.
+class InfeasibleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+}  // namespace detail
+
+/// Precondition check: throws InvalidArgument when `cond` is false.
+inline void expects(bool cond, const char* expr, const char* file, int line,
+                    const std::string& msg = {}) {
+  if (!cond) detail::throw_invalid_argument(expr, file, line, msg);
+}
+
+/// Invariant check: throws InternalError when `cond` is false.
+inline void ensures(bool cond, const char* expr, const char* file, int line,
+                    const std::string& msg = {}) {
+  if (!cond) detail::throw_internal_error(expr, file, line, msg);
+}
+
+}  // namespace depstor
+
+#define DEPSTOR_EXPECTS(cond) \
+  ::depstor::expects((cond), #cond, __FILE__, __LINE__)
+#define DEPSTOR_EXPECTS_MSG(cond, msg) \
+  ::depstor::expects((cond), #cond, __FILE__, __LINE__, (msg))
+#define DEPSTOR_ENSURES(cond) \
+  ::depstor::ensures((cond), #cond, __FILE__, __LINE__)
+#define DEPSTOR_ENSURES_MSG(cond, msg) \
+  ::depstor::ensures((cond), #cond, __FILE__, __LINE__, (msg))

@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& key) const {
+  consumed_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string CliFlags::get_string(const std::string& key,
+                                 const std::string& default_value) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double CliFlags::get_double(const std::string& key,
+                            double default_value) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  DEPSTOR_EXPECTS_MSG(end && *end == '\0',
+                      "flag --" + key + " is not a number: " + it->second);
+  return v;
+}
+
+int CliFlags::get_int(const std::string& key, int default_value) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  DEPSTOR_EXPECTS_MSG(end && *end == '\0',
+                      "flag --" + key + " is not an integer: " + it->second);
+  return static_cast<int>(v);
+}
+
+bool CliFlags::get_bool(const std::string& key, bool default_value) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgument("flag --" + key + " is not a boolean: " + v);
+}
+
+void CliFlags::reject_unknown() const {
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.count(key)) {
+      throw InvalidArgument("unknown flag --" + key);
+    }
+  }
+}
+
+}  // namespace depstor

@@ -1,0 +1,41 @@
+// Minimal --key=value flag parsing for the bench harnesses and examples.
+//
+// Supported forms: --key=value, --key value, --flag (boolean true).
+// Unknown flags are an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+class CliFlags {
+ public:
+  /// Parse argv. Throws InvalidArgument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& default_value) const;
+  double get_double(const std::string& key, double default_value) const;
+  int get_int(const std::string& key, int default_value) const;
+  bool get_bool(const std::string& key, bool default_value = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Call after all get_* calls: throws InvalidArgument when any provided
+  /// flag was never consumed (i.e. probably a typo).
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace depstor

@@ -1,0 +1,64 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), log_lo_(std::log(lo)), counts_(bins, 0) {
+  DEPSTOR_EXPECTS(lo > 0.0 && hi > lo);
+  DEPSTOR_EXPECTS(bins > 0);
+  log_step_ = (std::log(hi) - log_lo_) / static_cast<double>(bins);
+}
+
+std::size_t LogHistogram::bin_of(double x) const {
+  if (x < lo_) return 0;
+  const double raw = (std::log(x) - log_lo_) / log_step_;
+  const auto bin = static_cast<std::size_t>(std::max(0.0, raw));
+  return std::min(bin, counts_.size() - 1);
+}
+
+void LogHistogram::add(double x) {
+  DEPSTOR_EXPECTS_MSG(x > 0.0, "log histogram needs positive samples");
+  if (x < lo_) ++underflow_;
+  if (x >= bin_lower(counts_.size())) ++overflow_;
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(bin));
+}
+
+std::size_t LogHistogram::max_count() const {
+  if (counts_.empty()) return 0;
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::string LogHistogram::render(std::size_t width) const {
+  std::size_t first = 0;
+  std::size_t last = counts_.size();
+  while (first < last && counts_[first] == 0) ++first;
+  while (last > first && counts_[last - 1] == 0) --last;
+
+  const std::size_t peak = std::max<std::size_t>(max_count(), 1);
+  std::ostringstream os;
+  for (std::size_t i = first; i < last; ++i) {
+    const std::size_t bar = counts_[i] * width / peak;
+    os << "[";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%9.3g", bin_lower(i));
+    os << buf << ", ";
+    std::snprintf(buf, sizeof buf, "%9.3g", bin_upper(i));
+    os << buf << ") ";
+    os << std::string(bar, '#');
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace depstor

@@ -1,0 +1,52 @@
+// Logarithmic histogram for the Figure 2 solution-space cost distribution.
+//
+// Solution costs span more than an order of magnitude (paper §4.3.1), so the
+// distribution is binned geometrically. The histogram is streaming: bins are
+// fixed at construction and samples outside the range land in clamped
+// first/last bins (tracked separately as under/overflow counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+class LogHistogram {
+ public:
+  /// Bins span [lo, hi) divided geometrically into `bins` buckets.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// [lower, upper) edges of a bin.
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const { return bin_lower(bin + 1); }
+
+  /// Index of the bin a value falls in (clamped to the range).
+  std::size_t bin_of(double x) const;
+
+  /// Count of the fullest bin (for rendering).
+  std::size_t max_count() const;
+
+  /// Render an ASCII bar chart, one row per bin, bars scaled to `width`.
+  /// Empty leading/trailing bins are elided.
+  std::string render(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double log_lo_;
+  double log_step_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace depstor

@@ -1,0 +1,122 @@
+#include "util/ini.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+[[noreturn]] void missing(const IniSection& section, const std::string& key) {
+  throw InvalidArgument("[" + section.name + "] (line " +
+                        std::to_string(section.line) + ") is missing key '" +
+                        key + "'");
+}
+
+}  // namespace
+
+std::string IniSection::get_string(const std::string& key) const {
+  const auto it = values.find(key);
+  if (it == values.end()) missing(*this, key);
+  return it->second;
+}
+
+std::string IniSection::get_string_or(const std::string& key,
+                                      const std::string& fallback) const {
+  const auto it = values.find(key);
+  return it == values.end() ? fallback : it->second;
+}
+
+double IniSection::get_double(const std::string& key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  DEPSTOR_EXPECTS_MSG(end && *end == '\0',
+                      "[" + name + "] " + key + " is not a number: " + raw);
+  return v;
+}
+
+double IniSection::get_double_or(const std::string& key,
+                                 double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+int IniSection::get_int(const std::string& key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const long v = std::strtol(raw.c_str(), &end, 10);
+  DEPSTOR_EXPECTS_MSG(end && *end == '\0',
+                      "[" + name + "] " + key + " is not an integer: " + raw);
+  return static_cast<int>(v);
+}
+
+int IniSection::get_int_or(const std::string& key, int fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+std::vector<IniSection> parse_ini(const std::string& text) {
+  std::vector<IniSection> sections;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const std::string raw =
+        text.substr(pos, nl == std::string::npos ? nl : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++line_number;
+
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw InvalidArgument("line " + std::to_string(line_number) +
+                              ": malformed section header: " + line);
+      }
+      IniSection section;
+      section.name = trim(line.substr(1, line.size() - 2));
+      section.line = line_number;
+      sections.push_back(std::move(section));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("line " + std::to_string(line_number) +
+                            ": expected 'key = value': " + line);
+    }
+    if (sections.empty()) {
+      throw InvalidArgument("line " + std::to_string(line_number) +
+                            ": key/value before any [section]");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    if (key.empty()) {
+      throw InvalidArgument("line " + std::to_string(line_number) +
+                            ": empty key");
+    }
+    sections.back().values[key] = trim(line.substr(eq + 1));
+  }
+  return sections;
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const auto comma = value.find(',', pos);
+    const std::string item = trim(
+        value.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace depstor

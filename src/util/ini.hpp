@@ -1,0 +1,43 @@
+// Minimal INI-style parser for depstor's environment files.
+//
+// Grammar:
+//   # comment or ; comment        (whole-line only)
+//   [section-name]                (sections repeat; order preserved)
+//   key = value                   (whitespace-trimmed; values keep inner spaces)
+//
+// Unlike classic INI, repeated sections are kept separate — an environment
+// file declares one `[application]` section per application.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+struct IniSection {
+  std::string name;
+  std::map<std::string, std::string> values;
+  int line = 0;  ///< 1-based line of the section header (diagnostics)
+
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+
+  /// Typed getters: the *_or forms return the default when absent; the
+  /// required forms throw InvalidArgument naming the section and key.
+  std::string get_string(const std::string& key) const;
+  std::string get_string_or(const std::string& key,
+                            const std::string& fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  int get_int(const std::string& key) const;
+  int get_int_or(const std::string& key, int fallback) const;
+};
+
+/// Parse INI text. Throws InvalidArgument with a line number on malformed
+/// input (content before the first section, lines without '=').
+std::vector<IniSection> parse_ini(const std::string& text);
+
+/// Split a comma-separated value into trimmed, non-empty items.
+std::vector<std::string> split_list(const std::string& value);
+
+}  // namespace depstor

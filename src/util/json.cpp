@@ -1,0 +1,151 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+void JsonWriter::before_value() {
+  DEPSTOR_ENSURES_MSG(!complete(), "document already complete");
+  if (!stack_.empty()) {
+    if (stack_.back() == Frame::Object) {
+      DEPSTOR_ENSURES_MSG(pending_key_, "object members need a key first");
+    } else if (has_items_.back()) {
+      out_ += ',';
+    }
+  }
+  if (!stack_.empty() && stack_.back() == Frame::Array && !has_items_.back()) {
+    // first array element: nothing to emit
+  }
+  pending_key_ = false;
+  if (!has_items_.empty()) has_items_.back() = true;
+  started_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DEPSTOR_ENSURES_MSG(!stack_.empty() && stack_.back() == Frame::Object,
+                      "no open object to end");
+  DEPSTOR_ENSURES_MSG(!pending_key_, "dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DEPSTOR_ENSURES_MSG(!stack_.empty() && stack_.back() == Frame::Array,
+                      "no open array to end");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  DEPSTOR_ENSURES_MSG(!stack_.empty() && stack_.back() == Frame::Object,
+                      "keys only appear inside objects");
+  DEPSTOR_ENSURES_MSG(!pending_key_, "two keys in a row");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = false;  // before_value will set it for the value
+  write_escaped(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<long long>(v)); }
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  DEPSTOR_ENSURES_MSG(complete(), "unclosed containers in JSON document");
+  return out_;
+}
+
+void JsonWriter::write_escaped(const std::string& s) {
+  out_ += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace depstor

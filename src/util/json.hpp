@@ -1,0 +1,58 @@
+// Minimal JSON *writer* for depstor's machine-readable reports.
+//
+// Writer only — depstor never parses JSON. The builder keeps an explicit
+// stack of open containers, validates the grammar (keys only inside
+// objects, values only where a value may appear), and escapes strings per
+// RFC 8259. Numbers are emitted with enough digits to round-trip doubles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value; only valid directly inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finished document. Throws InternalError when containers remain open.
+  std::string str() const;
+
+  /// True when every container has been closed.
+  bool complete() const { return stack_.empty() && started_; }
+
+ private:
+  enum class Frame { Object, Array };
+
+  void before_value();
+  void write_escaped(const std::string& s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  ///< parallel to stack_
+  bool pending_key_ = false;
+  bool started_ = false;
+};
+
+}  // namespace depstor

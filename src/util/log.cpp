@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace depstor {
+
+namespace {
+LogLevel g_level = LogLevel::Off;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Off:
+      break;
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[depstor %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace depstor

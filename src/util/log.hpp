@@ -1,0 +1,32 @@
+// Leveled stderr logging, off by default (solvers evaluate millions of
+// candidates; logging in the hot path must cost one branch when disabled).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace depstor {
+
+enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+/// Process-wide log threshold (default Off). Not thread-safe by design:
+/// set it once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace depstor
+
+#define DEPSTOR_LOG(level, expr)                                       \
+  do {                                                                 \
+    if (static_cast<int>(::depstor::log_level()) >=                    \
+        static_cast<int>(::depstor::LogLevel::level)) {                \
+      std::ostringstream depstor_log_os;                               \
+      depstor_log_os << expr;                                          \
+      ::depstor::detail::log_line(::depstor::LogLevel::level,          \
+                                  depstor_log_os.str());               \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,28 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace depstor {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  DEPSTOR_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DEPSTOR_EXPECTS_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) return index(weights.size());
+  double target = uniform() * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  // Floating-point slack: target landed on the total; return last nonzero.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace depstor

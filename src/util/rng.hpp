@@ -1,0 +1,71 @@
+// Deterministic random number generation for the search heuristics.
+//
+// Every randomized component in depstor (design solver, reconfiguration,
+// human/random heuristics, solution-space sampler) draws from an explicit
+// Rng& so that any experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return dist_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    DEPSTOR_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    DEPSTOR_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform index into a container of `size` elements.
+  std::size_t index(std::size_t size) {
+    DEPSTOR_EXPECTS(size > 0);
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Index drawn with probability proportional to `weights[i]`.
+  /// Zero weights are legal as long as the total is positive; if all weights
+  /// are zero the pick degenerates to uniform.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Derive an independent child generator (for parallel restarts).
+  Rng split() { return Rng(engine_() ^ 0xd1342543de82ef95ULL); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+};
+
+}  // namespace depstor

@@ -1,0 +1,43 @@
+// Streaming and batch summary statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace depstor {
+
+/// Welford streaming accumulator: mean / variance / extrema in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-combine).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (linear interpolation between closest ranks).
+/// `q` in [0,1]. Sorts a copy; intended for end-of-run reporting.
+double percentile(std::vector<double> values, double q);
+
+/// Convenience: several percentiles of the same sample with a single sort.
+std::vector<double> percentiles(std::vector<double> values,
+                                const std::vector<double>& qs);
+
+}  // namespace depstor

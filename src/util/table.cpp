@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DEPSTOR_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DEPSTOR_EXPECTS_MSG(cells.size() == headers_.size(),
+                      "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::money(double dollars) {
+  char buf[64];
+  const double mag = std::fabs(dollars);
+  if (mag >= 1e9) {
+    std::snprintf(buf, sizeof buf, "$%.3gB", dollars / 1e9);
+  } else if (mag >= 1e6) {
+    std::snprintf(buf, sizeof buf, "$%.3gM", dollars / 1e6);
+  } else if (mag >= 1e3) {
+    std::snprintf(buf, sizeof buf, "$%.3gK", dollars / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "$%.0f", dollars);
+  }
+  return buf;
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::hours(double h) {
+  char buf[64];
+  if (h < 1.0 / 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", h * units::kSecondsPerHour);
+  } else if (h < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", units::to_minutes(h));
+  } else if (h < 2.0 * units::kHoursPerDay) {
+    std::snprintf(buf, sizeof buf, "%.2f h", h);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f d", units::to_days(h));
+  }
+  return buf;
+}
+
+std::string Table::yes_no(bool b) { return b ? "yes" : "-"; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << row[c]
+         << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c ? 2 : 0);
+  os << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(row[c]);
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace depstor

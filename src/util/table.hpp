@@ -1,0 +1,36 @@
+// ASCII table / CSV rendering used by the bench harnesses and examples to
+// print paper-style tables (Table 4, the Figure 3/4 series, …).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for common cell types.
+  static std::string money(double dollars);     ///< "$1.23M" style
+  static std::string num(double v, int prec = 2);
+  static std::string hours(double h);           ///< "3.2 h" / "12 min"
+  static std::string yes_no(bool b);            ///< "yes" / "-"
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header rule.
+  std::string render() const;
+
+  /// Render as CSV (no alignment, comma-escaped).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace depstor

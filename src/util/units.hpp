@@ -1,0 +1,54 @@
+// Time / data / money units used throughout depstor.
+//
+// All quantities are plain doubles with the canonical unit fixed by
+// convention and named conversion helpers, per the model in the paper:
+//   time       → hours
+//   data size  → gigabytes (GB, decimal)
+//   bandwidth  → megabytes per second (MB/s)
+//   money      → US dollars
+//   rates      → events per year (failure likelihoods), $ per hour (penalties)
+#pragma once
+
+namespace depstor::units {
+
+// --- time (canonical: hours) ---
+inline constexpr double kMinutesPerHour = 60.0;
+inline constexpr double kHoursPerDay = 24.0;
+inline constexpr double kHoursPerYear = 8760.0;
+
+constexpr double minutes(double m) { return m / kMinutesPerHour; }
+constexpr double hours(double h) { return h; }
+constexpr double days(double d) { return d * kHoursPerDay; }
+constexpr double years(double y) { return y * kHoursPerYear; }
+
+constexpr double to_minutes(double hours) { return hours * kMinutesPerHour; }
+constexpr double to_days(double hours) { return hours / kHoursPerDay; }
+
+// --- data (canonical: GB) / bandwidth (canonical: MB/s) ---
+inline constexpr double kMBPerGB = 1000.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+constexpr double gigabytes(double gb) { return gb; }
+constexpr double terabytes(double tb) { return tb * 1000.0; }
+
+/// Time (hours) to move `size_gb` at `bw_mbps`. Infinite bandwidth is not a
+/// thing in this model; callers must pass bw > 0.
+constexpr double transfer_hours(double size_gb, double bw_mbps) {
+  return size_gb * kMBPerGB / (bw_mbps * kSecondsPerHour);
+}
+
+/// Data (GB) accumulated over `hours` at `rate_mbps`.
+constexpr double accumulated_gb(double rate_mbps, double hours) {
+  return rate_mbps * kSecondsPerHour * hours / kMBPerGB;
+}
+
+// --- money ---
+constexpr double dollars(double d) { return d; }
+constexpr double kilodollars(double k) { return k * 1e3; }
+constexpr double megadollars(double m) { return m * 1e6; }
+
+// --- failure rates (canonical: events/year) ---
+constexpr double once_in_years(double y) { return 1.0 / y; }
+constexpr double times_per_year(double n) { return n; }
+
+}  // namespace depstor::units

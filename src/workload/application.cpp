@@ -1,0 +1,41 @@
+#include "workload/application.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(AppCategory c) {
+  switch (c) {
+    case AppCategory::Gold:
+      return "Gold";
+    case AppCategory::Silver:
+      return "Silver";
+    case AppCategory::Bronze:
+      return "Bronze";
+  }
+  return "?";
+}
+
+AppCategory ApplicationSpec::category(const CategoryThresholds& t) const {
+  const double sum = penalty_rate_sum();
+  if (sum >= t.gold_min) return AppCategory::Gold;
+  if (sum >= t.silver_min) return AppCategory::Silver;
+  return AppCategory::Bronze;
+}
+
+void ApplicationSpec::validate() const {
+  DEPSTOR_EXPECTS_MSG(!name.empty(), "application needs a name");
+  DEPSTOR_EXPECTS_MSG(outage_penalty_rate >= 0.0, name);
+  DEPSTOR_EXPECTS_MSG(loss_penalty_rate >= 0.0, name);
+  DEPSTOR_EXPECTS_MSG(data_size_gb > 0.0, name);
+  DEPSTOR_EXPECTS_MSG(avg_update_mbps >= 0.0, name);
+  DEPSTOR_EXPECTS_MSG(peak_update_mbps >= avg_update_mbps,
+                      name + ": peak update rate below average");
+  DEPSTOR_EXPECTS_MSG(avg_access_mbps >= avg_update_mbps,
+                      name + ": access rate below update rate");
+  DEPSTOR_EXPECTS_MSG(unique_update_mbps >= 0.0 &&
+                          unique_update_mbps <= avg_update_mbps,
+                      name + ": unique update rate out of range");
+}
+
+}  // namespace depstor

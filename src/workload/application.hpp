@@ -1,0 +1,60 @@
+// Application workload model (paper §2.2, §2.4, Table 1).
+//
+// An application is described by its business requirements — the data outage
+// and recent-data-loss penalty rates — and its workload characteristics:
+// dataset capacity, average / peak (non-unique) update rates, unique update
+// rate, and average access rate. Applications are classified gold / silver /
+// bronze by fixed thresholds on the sum of their penalty rates (§3.1.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace depstor {
+
+/// Business-importance class used by the reconfiguration operator and the
+/// human heuristic. Ordering is meaningful: Gold > Silver > Bronze.
+enum class AppCategory { Bronze = 0, Silver = 1, Gold = 2 };
+
+const char* to_string(AppCategory c);
+
+/// Fixed thresholds (US$/hr on the penalty-rate sum) that split applications
+/// into classes. Defaults chosen so Table 1's B→Gold, W/C→Silver, S→Bronze.
+struct CategoryThresholds {
+  double gold_min = 6e6;    ///< penalty sum ≥ this → Gold
+  double silver_min = 1e6;  ///< penalty sum ≥ this → Silver
+};
+
+struct ApplicationSpec {
+  int id = -1;              ///< dense index within an Environment
+  std::string name;         ///< e.g. "B1"
+  std::string type_code;    ///< "B", "W", "C", "S" per Table 1
+
+  // Business requirements (penalty rates, US$/hr).
+  double outage_penalty_rate = 0.0;
+  double loss_penalty_rate = 0.0;
+
+  // Workload characteristics.
+  double data_size_gb = 0.0;
+  double avg_update_mbps = 0.0;     ///< average non-unique update rate
+  double peak_update_mbps = 0.0;    ///< peak non-unique update rate
+  double avg_access_mbps = 0.0;     ///< average read+write rate
+  double unique_update_mbps = 0.0;  ///< unique-update rate (periodic copies)
+
+  /// Penalty-rate sum — the priority used for greedy ordering, recovery
+  /// serialization, and categorization.
+  double penalty_rate_sum() const {
+    return outage_penalty_rate + loss_penalty_rate;
+  }
+
+  /// Category under the given thresholds.
+  AppCategory category(const CategoryThresholds& t = {}) const;
+
+  /// Validate invariants (non-negative rates, positive size…); throws
+  /// InvalidArgument on violation.
+  void validate() const;
+};
+
+using ApplicationList = std::vector<ApplicationSpec>;
+
+}  // namespace depstor

@@ -1,0 +1,60 @@
+#include "workload/catalog.hpp"
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor::workload {
+
+namespace {
+ApplicationSpec make(const std::string& code, int instance, double outage,
+                     double loss, double size_gb, double avg_update,
+                     double peak_update, double access) {
+  ApplicationSpec app;
+  app.name = code + std::to_string(instance);
+  app.type_code = code;
+  app.outage_penalty_rate = outage;
+  app.loss_penalty_rate = loss;
+  app.data_size_gb = size_gb;
+  app.avg_update_mbps = avg_update;
+  app.peak_update_mbps = peak_update;
+  app.avg_access_mbps = access;
+  app.unique_update_mbps = kUniqueUpdateFraction * avg_update;
+  app.validate();
+  return app;
+}
+}  // namespace
+
+ApplicationSpec central_banking(int instance) {
+  return make("B", instance, units::megadollars(5), units::megadollars(5),
+              1300.0, 5.0, 50.0, 50.0);
+}
+
+ApplicationSpec web_service(int instance) {
+  return make("W", instance, units::megadollars(5), units::kilodollars(5),
+              4300.0, 2.0, 20.0, 20.0);
+}
+
+ApplicationSpec consumer_banking(int instance) {
+  return make("C", instance, units::kilodollars(5), units::megadollars(5),
+              4300.0, 1.0, 10.0, 10.0);
+}
+
+ApplicationSpec student_accounts(int instance) {
+  return make("S", instance, units::kilodollars(5), units::kilodollars(5),
+              500.0, 0.5, 5.0, 5.0);
+}
+
+ApplicationSpec by_type_code(const std::string& code, int instance) {
+  if (code == "B") return central_banking(instance);
+  if (code == "W") return web_service(instance);
+  if (code == "C") return consumer_banking(instance);
+  if (code == "S") return student_accounts(instance);
+  throw InvalidArgument("unknown application type code: " + code);
+}
+
+ApplicationList all_prototypes() {
+  return {central_banking(), web_service(), consumer_banking(),
+          student_accounts()};
+}
+
+}  // namespace depstor::workload

@@ -1,0 +1,31 @@
+// Table 1 application classes.
+//
+//  B  central banking   — $5M/hr outage, $5M/hr loss, 1300 GB, gold
+//  W  company web       — $5M/hr outage, $5K/hr loss, 4300 GB, silver
+//  C  consumer banking  — $5K/hr outage, $5M/hr loss, 4300 GB, silver
+//  S  student accounts  — $5K/hr outage, $5K/hr loss,  500 GB, bronze
+//
+// Workload characteristics are scaled versions of the cello2002 trace as
+// reported in the paper. The unique-update rate is not tabulated in the
+// paper; we use 0.4 × avg update rate (see DESIGN.md §4).
+#pragma once
+
+#include "workload/application.hpp"
+
+namespace depstor::workload {
+
+inline constexpr double kUniqueUpdateFraction = 0.4;
+
+/// The four application classes. `instance` numbers the copy (B1, B2, …).
+ApplicationSpec central_banking(int instance = 1);
+ApplicationSpec web_service(int instance = 1);
+ApplicationSpec consumer_banking(int instance = 1);
+ApplicationSpec student_accounts(int instance = 1);
+
+/// One application of the given Table 1 type code ("B","W","C","S").
+ApplicationSpec by_type_code(const std::string& code, int instance = 1);
+
+/// All four class prototypes (instance 1 of each).
+ApplicationList all_prototypes();
+
+}  // namespace depstor::workload

@@ -1,0 +1,52 @@
+#include "workload/generator.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+#include "workload/catalog.hpp"
+
+namespace depstor::workload {
+
+namespace {
+constexpr std::array<const char*, 4> kClassOrder = {"B", "C", "W", "S"};
+}
+
+ApplicationList& assign_ids(ApplicationList& apps) {
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    apps[i].id = static_cast<int>(i);
+  }
+  return apps;
+}
+
+ApplicationList mixed_set(int count) {
+  DEPSTOR_EXPECTS(count > 0);
+  ApplicationList apps;
+  apps.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int instance = i / static_cast<int>(kClassOrder.size()) + 1;
+    apps.push_back(by_type_code(kClassOrder[static_cast<std::size_t>(i) %
+                                            kClassOrder.size()],
+                                instance));
+  }
+  return assign_ids(apps);
+}
+
+ApplicationList perturbed_set(int count, double jitter, Rng& rng) {
+  DEPSTOR_EXPECTS(jitter >= 0.0 && jitter < 1.0);
+  ApplicationList apps = mixed_set(count);
+  for (auto& app : apps) {
+    const auto scale = [&] { return 1.0 + rng.uniform(-jitter, jitter); };
+    app.data_size_gb *= scale();
+    app.avg_update_mbps *= scale();
+    // Keep the spec invariants: peak ≥ avg, access ≥ avg, unique ≤ avg.
+    app.peak_update_mbps =
+        std::max(app.peak_update_mbps * scale(), app.avg_update_mbps);
+    app.avg_access_mbps =
+        std::max(app.avg_access_mbps * scale(), app.avg_update_mbps);
+    app.unique_update_mbps = kUniqueUpdateFraction * app.avg_update_mbps;
+    app.validate();
+  }
+  return apps;
+}
+
+}  // namespace depstor::workload

@@ -1,0 +1,28 @@
+// Workload-set generators for the paper's experiments.
+//
+// The scalability experiment (§4.4) scales the environment "by four
+// applications at a time, one from each class"; the peer-sites case study
+// (§4.3) deploys eight applications (two of each class). `mixed_set`
+// produces those sets; `perturbed_set` additionally jitters the workload
+// characteristics (not the penalty rates) for robustness testing.
+#pragma once
+
+#include "util/rng.hpp"
+#include "workload/application.hpp"
+
+namespace depstor::workload {
+
+/// `count` applications cycling through the class order B, C, W, S
+/// (so every prefix of 4k contains k of each class). Ids are assigned
+/// densely from 0.
+ApplicationList mixed_set(int count);
+
+/// Like mixed_set, but data sizes and rates are jittered by ±`jitter`
+/// fraction (uniform). Penalty rates are left exact so categorization is
+/// unchanged. Used by property tests and robustness studies.
+ApplicationList perturbed_set(int count, double jitter, Rng& rng);
+
+/// Assign dense ids (0..n-1) in place; returns the same list for chaining.
+ApplicationList& assign_ids(ApplicationList& apps);
+
+}  // namespace depstor::workload

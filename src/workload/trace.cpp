@@ -1,0 +1,166 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor::workload {
+
+void TraceGeneratorOptions::validate() const {
+  DEPSTOR_EXPECTS(duration_hours > 0.0);
+  DEPSTOR_EXPECTS(mean_iops > 0.0);
+  DEPSTOR_EXPECTS(diurnal_amplitude >= 0.0 && diurnal_amplitude <= 1.0);
+  DEPSTOR_EXPECTS(write_fraction >= 0.0 && write_fraction <= 1.0);
+  DEPSTOR_EXPECTS(working_set_blocks >= 2);
+  DEPSTOR_EXPECTS(zipf_theta >= 0.0 && zipf_theta < 1.0);
+  DEPSTOR_EXPECTS(block_kb > 0);
+}
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(TraceGeneratorOptions options)
+    : options_(std::move(options)) {
+  options_.validate();
+  if (options_.zipf_theta > 0.0) {
+    // ζ(n,θ) = Σ_{i=1..n} i^-θ, computed once (n is at most a few million).
+    const double theta = options_.zipf_theta;
+    double z = 0.0;
+    for (std::uint64_t i = 1; i <= options_.working_set_blocks; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zetan_ = z;
+    zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta);
+  }
+}
+
+std::uint64_t SyntheticTraceGenerator::sample_block(Rng& rng) const {
+  const auto n = options_.working_set_blocks;
+  if (options_.zipf_theta <= 0.0) {
+    return static_cast<std::uint64_t>(rng.index(n));
+  }
+  // Bounded Zipf via Gray et al.'s approximation ("Quickly generating
+  // billion-record synthetic databases", SIGMOD'94).
+  const double theta = options_.zipf_theta;
+  const double alpha = 1.0 / (1.0 - theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - zeta2_ / zetan_);
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  const auto block = static_cast<std::uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return std::min(block, n - 1);
+}
+
+std::vector<TraceRecord> SyntheticTraceGenerator::generate(Rng& rng) const {
+  std::vector<TraceRecord> trace;
+  trace.reserve(static_cast<std::size_t>(options_.mean_iops *
+                                         options_.duration_hours * 3600.0));
+  // Non-homogeneous Poisson by thinning against the peak rate.
+  const double peak_rate_per_hour =
+      options_.mean_iops * 3600.0 * (1.0 + options_.diurnal_amplitude);
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform()) / peak_rate_per_hour;
+    if (t >= options_.duration_hours) break;
+    const double rate_factor =
+        (1.0 + options_.diurnal_amplitude *
+                   std::sin(2.0 * M_PI * t / 24.0)) /
+        (1.0 + options_.diurnal_amplitude);
+    if (!rng.chance(rate_factor)) continue;
+    TraceRecord rec;
+    rec.time_hours = t;
+    rec.is_write = rng.chance(options_.write_fraction);
+    rec.block = sample_block(rng);
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+TraceCharacteristics characterize(const std::vector<TraceRecord>& trace,
+                                  std::uint32_t block_kb,
+                                  double window_minutes) {
+  DEPSTOR_EXPECTS(block_kb > 0);
+  DEPSTOR_EXPECTS(window_minutes > 0.0);
+  TraceCharacteristics out;
+  if (trace.empty()) return out;
+  out.duration_hours = trace.back().time_hours;
+  DEPSTOR_EXPECTS_MSG(out.duration_hours > 0.0,
+                      "trace must span positive time");
+
+  const double window_hours = window_minutes / 60.0;
+  const double block_mb = block_kb / 1000.0;
+
+  std::unordered_set<std::uint64_t> touched;
+  std::unordered_set<std::uint64_t> written;
+  long long window_writes = 0;
+  std::size_t window_index = 0;
+  long long peak_window_writes = 0;
+  double prev_time = 0.0;
+
+  for (const auto& rec : trace) {
+    DEPSTOR_EXPECTS_MSG(rec.time_hours >= prev_time,
+                        "trace records must be time-ordered");
+    prev_time = rec.time_hours;
+    touched.insert(rec.block);
+    if (rec.is_write) {
+      ++out.writes;
+      written.insert(rec.block);
+      const auto w =
+          static_cast<std::size_t>(rec.time_hours / window_hours);
+      if (w != window_index) {
+        peak_window_writes = std::max(peak_window_writes, window_writes);
+        window_writes = 0;
+        window_index = w;
+      }
+      ++window_writes;
+    } else {
+      ++out.reads;
+    }
+  }
+  peak_window_writes = std::max(peak_window_writes, window_writes);
+
+  const double duration_seconds =
+      out.duration_hours * units::kSecondsPerHour;
+  const double window_seconds = window_hours * units::kSecondsPerHour;
+  out.avg_update_mbps =
+      static_cast<double>(out.writes) * block_mb / duration_seconds;
+  out.peak_update_mbps =
+      static_cast<double>(peak_window_writes) * block_mb / window_seconds;
+  out.avg_access_mbps = static_cast<double>(out.reads + out.writes) *
+                        block_mb / duration_seconds;
+  out.unique_update_mbps =
+      static_cast<double>(written.size()) * block_mb / duration_seconds;
+  out.footprint_gb = static_cast<double>(touched.size()) * block_mb / 1000.0;
+
+  // Windowed peaks can undershoot the average in degenerate cases (a trace
+  // shorter than one window); clamp to keep the §2.2 invariants.
+  out.peak_update_mbps = std::max(out.peak_update_mbps, out.avg_update_mbps);
+  return out;
+}
+
+ApplicationSpec app_from_trace(const std::string& name,
+                               const std::string& type_code,
+                               double outage_penalty_rate,
+                               double loss_penalty_rate, double data_size_gb,
+                               const TraceCharacteristics& traits) {
+  ApplicationSpec app;
+  app.name = name;
+  app.type_code = type_code;
+  app.outage_penalty_rate = outage_penalty_rate;
+  app.loss_penalty_rate = loss_penalty_rate;
+  app.data_size_gb = data_size_gb;
+  app.avg_update_mbps = traits.avg_update_mbps;
+  app.peak_update_mbps = traits.peak_update_mbps;
+  app.avg_access_mbps =
+      std::max(traits.avg_access_mbps, traits.avg_update_mbps);
+  app.unique_update_mbps =
+      std::min(traits.unique_update_mbps, traits.avg_update_mbps);
+  app.validate();
+  return app;
+}
+
+}  // namespace depstor::workload

@@ -1,0 +1,107 @@
+// Exhaustive technique × failure-scope behavior matrix.
+//
+// Every entry is a literal expectation (not derived from the model's own
+// feature flags) so regressions in the action/copy selection logic cannot
+// hide behind a shared helper.
+#include <gtest/gtest.h>
+
+#include "model/recovery_plan.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+struct MatrixCase {
+  const char* technique;  // Table 2 name
+  FailureScope scope;
+  RecoveryAction action;
+  CopyLevel copy;
+};
+
+class ActionMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ActionMatrix, BehavesPerTable) {
+  const auto& c = GetParam();
+  Environment env = testing::tiny_env(workload::central_banking());
+  Candidate cand =
+      testing::candidate_with(env, protection::by_name(c.technique));
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  c.scope, env.params);
+  EXPECT_EQ(plan.action, c.action)
+      << c.technique << " / " << to_string(c.scope);
+  EXPECT_EQ(plan.copy, c.copy) << c.technique << " / " << to_string(c.scope);
+}
+
+constexpr FailureScope kObject = FailureScope::DataObject;
+constexpr FailureScope kArray = FailureScope::DiskArray;
+constexpr FailureScope kSite = FailureScope::SiteDisaster;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniquesAllScopes, ActionMatrix,
+    ::testing::Values(
+        // --- Sync mirror (F) with backup ---
+        MatrixCase{"Sync mirror (F) with backup", kObject,
+                   RecoveryAction::SnapshotRevert, CopyLevel::Snapshot},
+        MatrixCase{"Sync mirror (F) with backup", kArray,
+                   RecoveryAction::Failover, CopyLevel::Mirror},
+        MatrixCase{"Sync mirror (F) with backup", kSite,
+                   RecoveryAction::Failover, CopyLevel::Mirror},
+        // --- Sync mirror (R) with backup ---
+        MatrixCase{"Sync mirror (R) with backup", kObject,
+                   RecoveryAction::SnapshotRevert, CopyLevel::Snapshot},
+        MatrixCase{"Sync mirror (R) with backup", kArray,
+                   RecoveryAction::Reconstruct, CopyLevel::Mirror},
+        MatrixCase{"Sync mirror (R) with backup", kSite,
+                   RecoveryAction::Reconstruct, CopyLevel::Mirror},
+        // --- Async mirror (F) with backup ---
+        MatrixCase{"Async mirror (F) with backup", kObject,
+                   RecoveryAction::SnapshotRevert, CopyLevel::Snapshot},
+        MatrixCase{"Async mirror (F) with backup", kArray,
+                   RecoveryAction::Failover, CopyLevel::Mirror},
+        MatrixCase{"Async mirror (F) with backup", kSite,
+                   RecoveryAction::Failover, CopyLevel::Mirror},
+        // --- Async mirror (R) with backup ---
+        MatrixCase{"Async mirror (R) with backup", kObject,
+                   RecoveryAction::SnapshotRevert, CopyLevel::Snapshot},
+        MatrixCase{"Async mirror (R) with backup", kArray,
+                   RecoveryAction::Reconstruct, CopyLevel::Mirror},
+        MatrixCase{"Async mirror (R) with backup", kSite,
+                   RecoveryAction::Reconstruct, CopyLevel::Mirror},
+        // --- Sync mirror (F), no backup ---
+        MatrixCase{"Sync mirror (F)", kObject,
+                   RecoveryAction::Unrecoverable, CopyLevel::None},
+        MatrixCase{"Sync mirror (F)", kArray, RecoveryAction::Failover,
+                   CopyLevel::Mirror},
+        MatrixCase{"Sync mirror (F)", kSite, RecoveryAction::Failover,
+                   CopyLevel::Mirror},
+        // --- Sync mirror (R), no backup ---
+        MatrixCase{"Sync mirror (R)", kObject,
+                   RecoveryAction::Unrecoverable, CopyLevel::None},
+        MatrixCase{"Sync mirror (R)", kArray, RecoveryAction::Reconstruct,
+                   CopyLevel::Mirror},
+        MatrixCase{"Sync mirror (R)", kSite, RecoveryAction::Reconstruct,
+                   CopyLevel::Mirror},
+        // --- Async mirror (F), no backup ---
+        MatrixCase{"Async mirror (F)", kObject,
+                   RecoveryAction::Unrecoverable, CopyLevel::None},
+        MatrixCase{"Async mirror (F)", kArray, RecoveryAction::Failover,
+                   CopyLevel::Mirror},
+        MatrixCase{"Async mirror (F)", kSite, RecoveryAction::Failover,
+                   CopyLevel::Mirror},
+        // --- Async mirror (R), no backup ---
+        MatrixCase{"Async mirror (R)", kObject,
+                   RecoveryAction::Unrecoverable, CopyLevel::None},
+        MatrixCase{"Async mirror (R)", kArray, RecoveryAction::Reconstruct,
+                   CopyLevel::Mirror},
+        MatrixCase{"Async mirror (R)", kSite, RecoveryAction::Reconstruct,
+                   CopyLevel::Mirror},
+        // --- Tape backup only ---
+        MatrixCase{"Tape backup", kObject, RecoveryAction::SnapshotRevert,
+                   CopyLevel::Snapshot},
+        MatrixCase{"Tape backup", kArray, RecoveryAction::Reconstruct,
+                   CopyLevel::TapeBackup},
+        MatrixCase{"Tape backup", kSite, RecoveryAction::Reconstruct,
+                   CopyLevel::Vault}));
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/human_heuristic.hpp"
+#include "baselines/random_heuristic.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+BaselineOptions quick(std::uint64_t seed = 1) {
+  BaselineOptions o;
+  o.time_budget_ms = 400.0;
+  o.seed = seed;
+  return o;
+}
+
+// --- human heuristic ---
+
+TEST(HumanHeuristic, FindsFeasiblePeerSitesDesign) {
+  Environment env = peer_env(8);
+  HumanHeuristic heuristic(&env, quick());
+  const BaselineResult result = heuristic.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.best->assigned_count(), 8);
+  EXPECT_NO_THROW(result.best->check_feasible());
+  EXPECT_GT(result.designs_feasible, 0);
+  EXPECT_GE(result.designs_tried, result.designs_feasible);
+}
+
+TEST(HumanHeuristic, ClassMatchedArrays) {
+  Environment env = peer_env(1);
+  HumanHeuristic heuristic(&env, quick());
+  EXPECT_EQ(heuristic.array_for_class(AppCategory::Gold).name, "XP1200");
+  EXPECT_EQ(heuristic.array_for_class(AppCategory::Silver).name, "EVA8000");
+  EXPECT_EQ(heuristic.array_for_class(AppCategory::Bronze).name, "MSA1500");
+}
+
+TEST(HumanHeuristic, ClassMatchedTapeAndNetwork) {
+  Environment env = peer_env(1);
+  HumanHeuristic heuristic(&env, quick());
+  EXPECT_EQ(heuristic.tape_for_class(AppCategory::Gold).cls,
+            DeviceClass::High);
+  EXPECT_EQ(heuristic.tape_for_class(AppCategory::Silver).cls,
+            DeviceClass::Med);
+  EXPECT_EQ(heuristic.tape_for_class(AppCategory::Bronze).cls,
+            DeviceClass::Med);
+  EXPECT_EQ(heuristic.network_for_class(AppCategory::Gold).cls,
+            DeviceClass::High);
+}
+
+TEST(HumanHeuristic, TechniquesComeFromAppClassStandard) {
+  // One technique per class: every B app shares its technique with every
+  // other B app in the returned design, and its class matches.
+  Environment env = peer_env(8);
+  HumanHeuristic heuristic(&env, quick(3));
+  const BaselineResult result = heuristic.solve();
+  ASSERT_TRUE(result.feasible);
+  std::map<AppCategory, std::string> seen;
+  for (const auto& asg : result.best->assignments()) {
+    const AppCategory cls = env.app_category(asg.app_id);
+    EXPECT_EQ(asg.technique.category, cls) << env.app(asg.app_id).name;
+    const auto [it, inserted] = seen.emplace(cls, asg.technique.name);
+    EXPECT_EQ(it->second, asg.technique.name)
+        << "class standards must be uniform within a design";
+  }
+}
+
+TEST(HumanHeuristic, SpreadsPrimariesAcrossSites) {
+  Environment env = peer_env(8);
+  HumanHeuristic heuristic(&env, quick(4));
+  const BaselineResult result = heuristic.solve();
+  ASSERT_TRUE(result.feasible);
+  std::vector<int> load(2, 0);
+  for (const auto& asg : result.best->assignments()) {
+    ++load[static_cast<std::size_t>(asg.primary_site)];
+  }
+  // Eight apps over two sites: both sites host some primaries.
+  EXPECT_GT(load[0], 0);
+  EXPECT_GT(load[1], 0);
+}
+
+TEST(HumanHeuristic, DeterministicUnderSeedAndDesignCap) {
+  Environment env = peer_env(4);
+  BaselineOptions o = quick(9);
+  o.time_budget_ms = 60000.0;
+  o.max_designs = 10;
+  const auto r1 = HumanHeuristic(&env, o).solve();
+  Environment env2 = peer_env(4);
+  const auto r2 = HumanHeuristic(&env2, o).solve();
+  ASSERT_TRUE(r1.feasible);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_DOUBLE_EQ(r1.cost.total(), r2.cost.total());
+  EXPECT_EQ(r1.designs_tried, r2.designs_tried);
+}
+
+TEST(HumanHeuristic, InfeasibleEnvironmentGivesNoResult) {
+  Environment env = peer_env(1);  // B1 is gold: needs mirroring
+  env.topology.pair_limits.clear();
+  env.validate();
+  BaselineOptions o = quick();
+  o.time_budget_ms = 150.0;
+  const auto result = HumanHeuristic(&env, o).solve();
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.designs_feasible, 0);
+}
+
+// --- random heuristic ---
+
+TEST(RandomHeuristic, FindsFeasiblePeerSitesDesign) {
+  Environment env = peer_env(8);
+  RandomHeuristic heuristic(&env, quick(5));
+  const BaselineResult result = heuristic.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.best->assigned_count(), 8);
+  EXPECT_NO_THROW(result.best->check_feasible());
+}
+
+TEST(RandomHeuristic, KeepsTheMinimumCostDesign) {
+  Environment env = peer_env(4);
+  BaselineOptions o = quick(6);
+  o.max_designs = 30;
+  o.time_budget_ms = 60000.0;
+  const auto result = RandomHeuristic(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  // Rerun with a single design and the same seed: the 30-design run must be
+  // no worse than its own first design.
+  Environment env2 = peer_env(4);
+  BaselineOptions first = o;
+  first.max_designs = 1;
+  const auto one = RandomHeuristic(&env2, first).solve();
+  if (one.feasible) {
+    EXPECT_LE(result.cost.total(), one.cost.total() + 1e-6);
+  }
+}
+
+TEST(RandomHeuristic, DeterministicUnderSeedAndDesignCap) {
+  Environment env = peer_env(4);
+  BaselineOptions o = quick(7);
+  o.time_budget_ms = 60000.0;
+  o.max_designs = 10;
+  const auto r1 = RandomHeuristic(&env, o).solve();
+  Environment env2 = peer_env(4);
+  const auto r2 = RandomHeuristic(&env2, o).solve();
+  EXPECT_EQ(r1.feasible, r2.feasible);
+  if (r1.feasible) {
+    EXPECT_DOUBLE_EQ(r1.cost.total(), r2.cost.total());
+  }
+}
+
+TEST(RandomHeuristic, SurvivesResourceStarvedEnvironments) {
+  // 24 apps in the 4-site environment: the guided searches struggle but the
+  // random generator keeps producing testable designs (§4.4).
+  Environment env = scenarios::multi_site(24, 4, 6);
+  BaselineOptions o = quick(8);
+  o.time_budget_ms = 2500.0;
+  const auto result = RandomHeuristic(&env, o).solve();
+  EXPECT_GT(result.designs_tried, 0);
+  // Feasible designs exist at this scale; the random heuristic finds some.
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(Baselines, RespectMaxDesignsCap) {
+  Environment env = peer_env(2);
+  BaselineOptions o = quick(10);
+  o.max_designs = 3;
+  o.time_budget_ms = 60000.0;
+  EXPECT_EQ(HumanHeuristic(&env, o).solve().designs_tried, 3);
+  EXPECT_EQ(RandomHeuristic(&env, o).solve().designs_tried, 3);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,55 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace depstor {
+namespace {
+
+TEST(Check, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(DEPSTOR_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Check, ExpectsThrowsInvalidArgument) {
+  EXPECT_THROW(DEPSTOR_EXPECTS(false), InvalidArgument);
+}
+
+TEST(Check, EnsuresThrowsInternalError) {
+  EXPECT_THROW(DEPSTOR_ENSURES(false), InternalError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    DEPSTOR_EXPECTS_MSG(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Check, InvalidArgumentIsStdInvalidArgument) {
+  EXPECT_THROW(DEPSTOR_EXPECTS(false), std::invalid_argument);
+}
+
+TEST(Check, InternalErrorIsLogicError) {
+  EXPECT_THROW(DEPSTOR_ENSURES(false), std::logic_error);
+}
+
+TEST(Check, InfeasibleIsRuntimeError) {
+  EXPECT_THROW(throw InfeasibleError("x"), std::runtime_error);
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  DEPSTOR_EXPECTS(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace depstor

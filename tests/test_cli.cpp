@@ -1,0 +1,96 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+CliFlags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto flags = parse({"--count=42"});
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+}
+
+TEST(Cli, SpaceForm) {
+  const auto flags = parse({"--count", "42"});
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto flags = parse({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(flags.get_bool("b", false));
+  EXPECT_TRUE(flags.get_bool("b", true));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto flags = parse({"--rate=2.5"});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const auto flags = parse({"--n=abc"});
+  EXPECT_THROW(flags.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(flags.get_double("n", 0.0), InvalidArgument);
+}
+
+TEST(Cli, BoolForms) {
+  EXPECT_TRUE(parse({"--b=true"}).get_bool("b"));
+  EXPECT_TRUE(parse({"--b=1"}).get_bool("b"));
+  EXPECT_TRUE(parse({"--b=yes"}).get_bool("b"));
+  EXPECT_FALSE(parse({"--b=false"}).get_bool("b", true));
+  EXPECT_FALSE(parse({"--b=0"}).get_bool("b", true));
+  EXPECT_THROW(parse({"--b=maybe"}).get_bool("b"), InvalidArgument);
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto flags = parse({"one", "--k=v", "two"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "one");
+  EXPECT_EQ(flags.positional()[1], "two");
+}
+
+TEST(Cli, HasReportsPresence) {
+  const auto flags = parse({"--k=v"});
+  EXPECT_TRUE(flags.has("k"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Cli, RejectUnknownThrowsOnUnconsumed) {
+  const auto flags = parse({"--typo=1"});
+  EXPECT_THROW(flags.reject_unknown(), InvalidArgument);
+}
+
+TEST(Cli, RejectUnknownPassesAfterConsumption) {
+  const auto flags = parse({"--known=1"});
+  flags.get_int("known", 0);
+  EXPECT_NO_THROW(flags.reject_unknown());
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  // "--n -5": -5 does not start with "--", so it binds as the value.
+  const auto flags = parse({"--n", "-5"});
+  EXPECT_EQ(flags.get_int("n", 0), -5);
+}
+
+TEST(Cli, LastDuplicateWins) {
+  const auto flags = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace depstor

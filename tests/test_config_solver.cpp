@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "solver/config_solver.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::backup_only;
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_r_backup;
+
+TEST(ConfigSolver, NeverWorsensCost) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  const double before = cand.evaluate().total();
+  ConfigSolver solver(&env);
+  const double after = solver.solve(cand).total();
+  EXPECT_LE(after, before + 1e-6);
+}
+
+TEST(ConfigSolver, ReturnedCostMatchesCandidateState) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.place_app(1, full_choice(backup_only()));
+  ConfigSolver solver(&env);
+  const CostBreakdown reported = solver.solve(cand);
+  EXPECT_NEAR(reported.total(), cand.evaluate().total(), 1e-6);
+}
+
+TEST(ConfigSolver, PicksIntervalsFromPolicyRanges) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  for (const auto& asg : cand.assignments()) {
+    if (!asg.has_backup()) continue;
+    const auto& snaps = env.policies.snapshot_intervals_hours;
+    const auto& backups = env.policies.backup_intervals_hours;
+    EXPECT_NE(std::find(snaps.begin(), snaps.end(),
+                        asg.backup.snapshot_interval_hours),
+              snaps.end());
+    EXPECT_NE(std::find(backups.begin(), backups.end(),
+                        asg.backup.backup_interval_hours),
+              backups.end());
+  }
+}
+
+TEST(ConfigSolver, ShrinksSnapshotIntervalForLossCriticalApps) {
+  // Central banking loses $5M/hr: the sweep should pick the shortest
+  // snapshot interval the policy allows.
+  Environment env = peer_env(1);  // app 0 is B1
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  const double min_snap =
+      *std::min_element(env.policies.snapshot_intervals_hours.begin(),
+                        env.policies.snapshot_intervals_hours.end());
+  EXPECT_DOUBLE_EQ(cand.assignment(0).backup.snapshot_interval_hours,
+                   min_snap);
+}
+
+TEST(ConfigSolver, KeepsLongIntervalsForCheapApps) {
+  // Student accounts ($5K/hr): tighter snapshots buy almost nothing, so the
+  // solver should not pay capacity for the minimum interval.
+  Environment env = testing::tiny_env(workload::student_accounts());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(backup_only()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  const double min_snap =
+      *std::min_element(env.policies.snapshot_intervals_hours.begin(),
+                        env.policies.snapshot_intervals_hours.end());
+  EXPECT_GE(cand.assignment(0).backup.snapshot_interval_hours, min_snap);
+}
+
+TEST(ConfigSolver, IncrementLoopRespectsPairLinkLimit) {
+  Environment env = scenarios::multi_site(4, 4, /*max_links=*/2);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) {
+    cand.place_app(i, full_choice(testing::async_r_backup(), 0, 1));
+  }
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_NO_THROW(cand.check_feasible());
+  int links = 0;
+  for (int id : cand.pool().links_between(0, 1)) {
+    links += cand.pool().device(id).bandwidth_units;
+  }
+  EXPECT_LE(links, 2);
+}
+
+TEST(ConfigSolver, IncrementsBoundedByPolicy) {
+  Environment env = peer_env(4);
+  env.policies.max_resource_increments = 0;
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  for (const auto& dev : cand.pool().devices()) {
+    EXPECT_EQ(dev.extra_bandwidth_units, 0);
+    EXPECT_EQ(dev.extra_capacity_units, 0);
+  }
+}
+
+TEST(ConfigSolver, StatsCountEvaluations) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_GT(solver.stats().evaluations, 0);
+}
+
+TEST(ConfigSolver, IncrementsOnlySkipsIntervalSweep) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  DesignChoice choice = full_choice(sync_r_backup());
+  choice.backup.snapshot_interval_hours = 24.0;  // deliberately non-optimal
+  cand.place_app(0, choice);
+  ConfigSolver solver(&env);
+  solver.solve_increments_only(cand);
+  EXPECT_DOUBLE_EQ(cand.assignment(0).backup.snapshot_interval_hours, 24.0);
+}
+
+TEST(ConfigSolver, DeterministicForSameInput) {
+  Environment env = peer_env(4);
+  Candidate a(&env);
+  Candidate b(&env);
+  for (int i = 0; i < 4; ++i) {
+    a.place_app(i, full_choice(sync_r_backup()));
+    b.place_app(i, full_choice(sync_r_backup()));
+  }
+  ConfigSolver solver(&env);
+  EXPECT_DOUBLE_EQ(solver.solve(a).total(), solver.solve(b).total());
+}
+
+}  // namespace
+}  // namespace depstor

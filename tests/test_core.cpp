@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "core/sampler.hpp"
+#include "core/scenarios.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+// --- environment validation ---
+
+TEST(Environment, ValidatesDenseAppIds) {
+  Environment env = scenarios::peer_sites(2);
+  env.apps[1].id = 5;
+  EXPECT_THROW(env.validate(), InvalidArgument);
+}
+
+TEST(Environment, ValidatesCatalogKinds) {
+  Environment env = scenarios::peer_sites(2);
+  env.array_types[0] = resources::tape_library_high();  // wrong kind
+  EXPECT_THROW(env.validate(), InvalidArgument);
+}
+
+TEST(Environment, RejectsEmptyCatalogs) {
+  Environment env = scenarios::peer_sites(2);
+  env.tape_types.clear();
+  EXPECT_THROW(env.validate(), InvalidArgument);
+}
+
+TEST(Environment, AppCategoryUsesThresholds) {
+  Environment env = scenarios::peer_sites(4);
+  EXPECT_EQ(env.app_category(0), AppCategory::Gold);    // B1
+  EXPECT_EQ(env.app_category(1), AppCategory::Silver);  // C1
+  EXPECT_EQ(env.app_category(3), AppCategory::Bronze);  // S1
+}
+
+TEST(PolicyRanges, RejectsBackupFasterThanSnapshot) {
+  PolicyRanges p;
+  p.snapshot_intervals_hours = {24.0};
+  p.backup_intervals_hours = {12.0};
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+// --- scenario factories ---
+
+TEST(Scenarios, PeerSitesShape) {
+  const Environment env = scenarios::peer_sites(8);
+  EXPECT_EQ(env.apps.size(), 8u);
+  EXPECT_EQ(env.topology.site_count(), 2);
+  EXPECT_EQ(env.topology.max_links(0, 1), 32);
+  EXPECT_EQ(env.topology.site(0).max_disk_arrays, 2);
+  EXPECT_EQ(env.topology.site(0).max_tape_libraries, 1);
+  EXPECT_EQ(env.topology.site(0).max_compute_slots, 8);
+  EXPECT_EQ(env.array_types.size(), 3u);
+}
+
+TEST(Scenarios, MultiSiteShape) {
+  const Environment env = scenarios::multi_site(16, 4, 6);
+  EXPECT_EQ(env.apps.size(), 16u);
+  EXPECT_EQ(env.topology.site_count(), 4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_EQ(env.topology.max_links(a, b), 6);
+    }
+  }
+}
+
+TEST(Scenarios, BaselineFailureRates) {
+  const Environment env = scenarios::peer_sites(1);
+  EXPECT_NEAR(env.failures.data_object_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(env.failures.disk_array_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(env.failures.site_disaster_rate, 1.0 / 5.0, 1e-12);
+}
+
+TEST(FailureModel, SensitivityBaseline) {
+  const auto m = FailureModel::sensitivity_baseline();
+  EXPECT_DOUBLE_EQ(m.data_object_rate, 2.0);
+  EXPECT_DOUBLE_EQ(m.disk_array_rate, 0.2);
+  EXPECT_DOUBLE_EQ(m.site_disaster_rate, 0.05);
+}
+
+// --- design tool facade ---
+
+TEST(DesignTool, DesignAndDescribe) {
+  DesignTool tool(scenarios::peer_sites(4));
+  DesignSolverOptions o;
+  o.time_budget_ms = 300.0;
+  o.seed = 11;
+  const auto result = tool.design(o);
+  ASSERT_TRUE(result.feasible);
+  const std::string table = DesignTool::describe(tool.env(), *result.best);
+  EXPECT_NE(table.find("B1"), std::string::npos);
+  EXPECT_NE(table.find("mirror"), std::string::npos);
+  const std::string cost = DesignTool::describe_cost(tool.env(), result.cost);
+  EXPECT_NE(cost.find("TOTAL"), std::string::npos);
+}
+
+TEST(DesignTool, DescribeShowsUnassignedRows) {
+  Environment env = scenarios::peer_sites(2);
+  Candidate cand(&env);
+  cand.place_app(0, testing::full_choice(testing::backup_only()));
+  const std::string table = DesignTool::describe(env, cand);
+  EXPECT_NE(table.find("(unassigned)"), std::string::npos);
+}
+
+TEST(DesignTool, EvaluateUnderReweightsFailures) {
+  DesignTool tool(scenarios::peer_sites(4));
+  DesignSolverOptions o;
+  o.time_budget_ms = 300.0;
+  o.seed = 12;
+  const auto result = tool.design(o);
+  ASSERT_TRUE(result.feasible);
+  FailureModel calm;
+  calm.data_object_rate = 0.0;
+  calm.disk_array_rate = 0.0;
+  calm.site_disaster_rate = 0.0;
+  const auto calm_cost = tool.evaluate_under(*result.best, calm);
+  EXPECT_DOUBLE_EQ(calm_cost.penalty(), 0.0);
+  EXPECT_NEAR(calm_cost.outlay, result.cost.outlay, 1e-6);
+}
+
+// --- sampler ---
+
+TEST(Sampler, ProducesRequestedFeasibleCount) {
+  Environment env = scenarios::peer_sites(4);
+  SolutionSpaceSampler sampler(&env);
+  const auto stats = sampler.sample(50, /*seed=*/21);
+  EXPECT_EQ(stats.feasible, 50);
+  EXPECT_EQ(stats.samples.size(), 50u);
+  EXPECT_GE(stats.attempted, stats.feasible);
+  EXPECT_GT(stats.costs.min(), 0.0);
+}
+
+TEST(Sampler, DeterministicUnderSeed) {
+  Environment env = scenarios::peer_sites(4);
+  SolutionSpaceSampler sampler(&env);
+  const auto a = sampler.sample(20, 33);
+  const auto b = sampler.sample(20, 33);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+  }
+}
+
+TEST(Sampler, PercentileOfBoundaries) {
+  SampleStats stats;
+  stats.samples = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(stats.percentile_of(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.percentile_of(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(stats.percentile_of(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(SampleStats{}.percentile_of(5.0), 0.0);
+}
+
+TEST(Sampler, CostsSpreadWidely) {
+  // §4.3.1: solution costs vary by more than an order of magnitude.
+  Environment env = scenarios::peer_sites(8);
+  SolutionSpaceSampler sampler(&env);
+  const auto stats = sampler.sample(300, 55);
+  EXPECT_GT(stats.costs.max() / stats.costs.min(), 10.0);
+}
+
+TEST(Sampler, RejectsBadArguments) {
+  Environment env = scenarios::peer_sites(2);
+  SolutionSpaceSampler sampler(&env);
+  EXPECT_THROW(sampler.sample(0, 1), InvalidArgument);
+  EXPECT_THROW(sampler.sample(10, 1, false, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace depstor

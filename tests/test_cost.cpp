@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "cost/outlay.hpp"
+#include "cost/penalty.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::backup_only;
+using testing::candidate_with;
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+using testing::sync_r_backup;
+using testing::tiny_env;
+
+// --- outlays ---
+
+TEST(Outlay, DeviceAmortizedOverLifetime) {
+  Environment env = tiny_env(workload::student_accounts());
+  Candidate cand = candidate_with(env, backup_only());
+  const int array = cand.assignment(0).primary_array;
+  const double annual = annual_device_outlay(cand.pool(), array, env.params);
+  EXPECT_NEAR(annual,
+              cand.pool().device(array).purchase_cost() /
+                  env.params.device_lifetime_years,
+              1e-9);
+}
+
+TEST(Outlay, IdleDevicesAreFree) {
+  Environment env = tiny_env(workload::student_accounts());
+  Candidate cand = candidate_with(env, backup_only());
+  const int array = cand.assignment(0).primary_array;
+  cand.remove_app(0);
+  EXPECT_DOUBLE_EQ(annual_device_outlay(cand.pool(), array, env.params), 0.0);
+}
+
+TEST(Outlay, SitesChargedOnlyWhenUsed) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  // Backup-only at site 0: site 1 untouched → one site fee.
+  cand.place_app(0, full_choice(backup_only()));
+  const double sites = annual_site_outlay(cand.pool(), env.params);
+  EXPECT_NEAR(sites, 1000000.0 / 3.0, 1e-6);
+}
+
+TEST(Outlay, MirroringChargesBothSites) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  EXPECT_NEAR(annual_site_outlay(cand.pool(), env.params),
+              2.0 * 1000000.0 / 3.0, 1e-6);
+}
+
+TEST(Outlay, VaultFeePerBackupApp) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.place_app(1, full_choice(testing::sync_r_only()));
+  EXPECT_DOUBLE_EQ(annual_vault_outlay(cand.assignments(), env.params),
+                   env.params.vault_annual_fee);  // only app 0 backs up
+}
+
+TEST(Outlay, TotalIsSumOfParts) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.place_app(1, full_choice(backup_only()));
+  double devices = 0.0;
+  for (int id = 0; id < cand.pool().device_count(); ++id) {
+    devices += annual_device_outlay(cand.pool(), id, env.params);
+  }
+  EXPECT_NEAR(annual_outlay(cand.pool(), cand.assignments(), env.params),
+              devices + annual_site_outlay(cand.pool(), env.params) +
+                  annual_vault_outlay(cand.assignments(), env.params),
+              1e-6);
+}
+
+TEST(Outlay, LongerLifetimeLowersAnnualCost) {
+  Environment env = tiny_env(workload::student_accounts());
+  Candidate cand = candidate_with(env, backup_only());
+  ModelParams longer = env.params;
+  longer.device_lifetime_years = 6.0;
+  EXPECT_LT(annual_outlay(cand.pool(), cand.assignments(), longer),
+            annual_outlay(cand.pool(), cand.assignments(), env.params));
+}
+
+// --- penalties ---
+
+TEST(Penalty, ZeroRatesZeroPenalty) {
+  Environment env = tiny_env(workload::central_banking());
+  env.failures = FailureModel{};
+  env.failures.data_object_rate = 0.0;
+  env.failures.disk_array_rate = 0.0;
+  env.failures.site_disaster_rate = 0.0;
+  Candidate cand = candidate_with(env, sync_f_backup());
+  const auto details = compute_penalties(env.apps, cand.assignments(),
+                                         cand.pool(), env.failures,
+                                         env.params);
+  EXPECT_DOUBLE_EQ(details[0].outage_penalty, 0.0);
+  EXPECT_DOUBLE_EQ(details[0].loss_penalty, 0.0);
+}
+
+TEST(Penalty, ScalesLinearlyWithFailureRate) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, sync_f_backup());
+  FailureModel f1;
+  f1.data_object_rate = 1.0;
+  f1.disk_array_rate = 0.0;
+  f1.site_disaster_rate = 0.0;
+  FailureModel f3 = f1;
+  f3.data_object_rate = 3.0;
+  const auto d1 = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                    f1, env.params);
+  const auto d3 = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                    f3, env.params);
+  EXPECT_NEAR(d3[0].loss_penalty, 3.0 * d1[0].loss_penalty, 1e-6);
+  EXPECT_NEAR(d3[0].outage_penalty, 3.0 * d1[0].outage_penalty, 1e-6);
+}
+
+TEST(Penalty, UsesPerAppPenaltyRates) {
+  // Same design, same workload numbers, different rates → proportional
+  // penalties.
+  ApplicationSpec expensive = workload::student_accounts();
+  expensive.outage_penalty_rate = 1e6;
+  expensive.loss_penalty_rate = 2e6;
+  Environment env = tiny_env(expensive);
+  Candidate cand = candidate_with(env, backup_only());
+  const auto d = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                   env.failures, env.params);
+  EXPECT_NEAR(d[0].outage_penalty, d[0].expected_outage_hours * 1e6, 1e-6);
+  EXPECT_NEAR(d[0].loss_penalty, d[0].expected_loss_hours * 2e6, 1e-6);
+}
+
+TEST(Penalty, UnassignedAppsHaveZeroDetail) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const auto d = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                   env.failures, env.params);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_GT(d[0].loss_penalty, 0.0);
+  EXPECT_DOUBLE_EQ(d[1].outage_penalty, 0.0);
+  EXPECT_DOUBLE_EQ(d[1].loss_penalty, 0.0);
+}
+
+TEST(Penalty, FailoverBeatsReconstructOnOutage) {
+  Environment env_f = tiny_env(workload::web_service());
+  Environment env_r = tiny_env(workload::web_service());
+  Candidate f = candidate_with(env_f, sync_f_backup());
+  Candidate r = candidate_with(env_r, sync_r_backup());
+  const auto df = compute_penalties(env_f.apps, f.assignments(), f.pool(),
+                                    env_f.failures, env_f.params);
+  const auto dr = compute_penalties(env_r.apps, r.assignments(), r.pool(),
+                                    env_r.failures, env_r.params);
+  EXPECT_LT(df[0].outage_penalty, dr[0].outage_penalty);
+}
+
+TEST(Penalty, MirrorOnlyPaysUnprotectedObjectLoss) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, testing::sync_f_only());
+  const auto d = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                   env.failures, env.params);
+  // Object failures at 1/3 per year × 720 h unprotected loss.
+  EXPECT_GE(d[0].expected_loss_hours,
+            env.failures.data_object_rate * env.params.unprotected_loss_hours);
+}
+
+// --- full evaluation ---
+
+TEST(EvaluateCost, TotalsAreConsistent) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  const CostBreakdown cost = cand.evaluate();
+  double outage = 0.0;
+  double loss = 0.0;
+  for (const auto& d : cost.per_app) {
+    outage += d.outage_penalty;
+    loss += d.loss_penalty;
+  }
+  EXPECT_NEAR(cost.outage_penalty, outage, 1e-6);
+  EXPECT_NEAR(cost.loss_penalty, loss, 1e-6);
+  EXPECT_NEAR(cost.total(), cost.outlay + cost.penalty(), 1e-6);
+  EXPECT_GT(cost.outlay, 0.0);
+}
+
+TEST(EvaluateCost, EmptyCandidateHasNoCost) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  const CostBreakdown cost = cand.evaluate();
+  EXPECT_DOUBLE_EQ(cost.total(), 0.0);
+}
+
+class PenaltyMonotoneInRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(PenaltyMonotoneInRate, HigherObjectRateNeverCheapens) {
+  Environment env = tiny_env(workload::consumer_banking());
+  Candidate cand = candidate_with(env, sync_r_backup());
+  FailureModel low = env.failures;
+  FailureModel high = env.failures;
+  high.data_object_rate = low.data_object_rate * GetParam();
+  const auto dl = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                    low, env.params);
+  const auto dh = compute_penalties(env.apps, cand.assignments(), cand.pool(),
+                                    high, env.params);
+  EXPECT_GE(dh[0].loss_penalty + dh[0].outage_penalty,
+            dl[0].loss_penalty + dl[0].outage_penalty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, PenaltyMonotoneInRate,
+                         ::testing::Values(1.0, 2.0, 5.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,94 @@
+// Odds and ends: human-heuristic fallbacks, sampler configure mode,
+// describe output, config-solver statistics.
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "core/sampler.hpp"
+#include "solver/config_solver.hpp"
+#include "util/units.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_r_backup;
+
+TEST(HumanFallback, SucceedsWhenClassMatchedArraysCannotAllFit) {
+  // One array per site: gold (XP1200), silver (EVA8000) and bronze (MSA1500)
+  // class-matched choices cannot coexist — the architect's fallback order
+  // must still find a feasible design.
+  Environment env = peer_env(4);
+  for (auto& site : env.topology.sites) {
+    site.max_disk_arrays = 1;
+    site.max_compute_slots = 8;
+  }
+  env.validate();
+  BaselineOptions o;
+  o.time_budget_ms = 1500.0;
+  o.seed = 12;
+  const auto result = HumanHeuristic(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW(result.best->check_feasible());
+}
+
+TEST(Sampler, ConfigureModeRunsTheConfigSolver) {
+  Environment env = peer_env(2);
+  SolutionSpaceSampler sampler(&env);
+  const auto raw = sampler.sample(10, 5, /*configure=*/false);
+  const auto configured = sampler.sample(10, 5, /*configure=*/true);
+  ASSERT_EQ(raw.feasible, 10);
+  ASSERT_EQ(configured.feasible, 10);
+  // Same seed → same raw designs; configuration can only keep or lower each
+  // design's cost, so the configured mean is no higher.
+  EXPECT_LE(configured.costs.mean(), raw.costs.mean() + 1e-6);
+}
+
+TEST(DescribeCost, ListsEveryAppAndTotals) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.place_app(1, full_choice(sync_r_backup()));
+  const std::string out = DesignTool::describe_cost(env, cand.evaluate());
+  EXPECT_NE(out.find("B1"), std::string::npos);
+  EXPECT_NE(out.find("C1"), std::string::npos);
+  EXPECT_NE(out.find("outlays/yr"), std::string::npos);
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+}
+
+TEST(ConfigSolverStats, CountIncrementPurchases) {
+  // The web-service reconstruct design profits from extra resources, so the
+  // increment loop must buy at least one (links, drives, or a spare).
+  Environment env = testing::tiny_env(workload::web_service());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_GT(solver.stats().increments_bought, 0);
+  EXPECT_GT(solver.stats().evaluations, 10);
+}
+
+TEST(GreedyOrderMax, DeterministicFirstPlacement) {
+  // MaxPenalty ordering always places the highest-penalty app first; with
+  // 4 apps that is B1 (penalty sum $10M/hr).
+  Environment env = peer_env(4);
+  DesignSolverOptions o;
+  o.time_budget_ms = 60000.0;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 0;
+  o.greedy_order = GreedyOrder::MaxPenalty;
+  o.seed = 31;
+  const auto result = DesignSolver(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  // All assigned; B1's technique must be gold class (eligibility).
+  EXPECT_EQ(result.best->assignment(0).technique.category, AppCategory::Gold);
+}
+
+TEST(Units, TransferOfNothingIsInstant) {
+  EXPECT_DOUBLE_EQ(units::transfer_hours(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(units::accumulated_gb(0.0, 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace depstor

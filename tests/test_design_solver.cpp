@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "solver/design_solver.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+DesignSolverOptions quick_options(std::uint64_t seed = 1) {
+  DesignSolverOptions o;
+  o.time_budget_ms = 400.0;
+  o.seed = seed;
+  return o;
+}
+
+TEST(DesignSolver, FindsFeasiblePeerSitesDesign) {
+  Environment env = peer_env(8);
+  DesignSolver solver(&env, quick_options());
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.best->assigned_count(), 8);
+  EXPECT_NO_THROW(result.best->check_feasible());
+  EXPECT_GT(result.cost.total(), 0.0);
+  EXPECT_GT(result.nodes_evaluated, 0);
+}
+
+TEST(DesignSolver, ReportedCostMatchesCandidate) {
+  Environment env = peer_env(4);
+  DesignSolver solver(&env, quick_options(2));
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.cost.total(), result.best->evaluate().total(),
+              result.cost.total() * 1e-9);
+}
+
+TEST(DesignSolver, DeterministicUnderSeedWithRepetitionCap) {
+  // Bound by repetitions rather than wall clock for exact reproducibility.
+  DesignSolverOptions o;
+  o.time_budget_ms = 60000.0;  // generous; the repetition cap binds first
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 2;
+  o.breadth = 2;
+  o.depth = 2;
+  o.seed = 77;
+  Environment env = peer_env(4);
+  Environment env2 = peer_env(4);
+  const auto r1 = DesignSolver(&env, o).solve();
+  const auto r2 = DesignSolver(&env2, o).solve();
+  ASSERT_TRUE(r1.feasible);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_DOUBLE_EQ(r1.cost.total(), r2.cost.total());
+  EXPECT_EQ(r1.nodes_evaluated, r2.nodes_evaluated);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r1.best->assignment(i).technique.name,
+              r2.best->assignment(i).technique.name);
+  }
+}
+
+TEST(DesignSolver, AllCriticalAppsGetBackup) {
+  // §4.3.2: "All applications employ some form of tape backup to support
+  // recovery from user errors" — at minimum, the loss-critical ones must.
+  Environment env = peer_env(8);
+  DesignSolver solver(&env, quick_options(3));
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  for (const auto& asg : result.best->assignments()) {
+    const auto& app = env.app(asg.app_id);
+    if (app.loss_penalty_rate >= 1e6 || app.outage_penalty_rate >= 1e6) {
+      EXPECT_TRUE(asg.technique.has_backup)
+          << app.name << " lacks backup: " << asg.technique.name;
+    }
+  }
+}
+
+TEST(DesignSolver, HighOutageAppsEmployFailover) {
+  // §4.3.2: "applications with high data outage penalty rates always employ
+  // failover for recovery".
+  Environment env = peer_env(8);
+  DesignSolver solver(&env, quick_options(4));
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  for (const auto& asg : result.best->assignments()) {
+    const auto& app = env.app(asg.app_id);
+    if (app.outage_penalty_rate >= 1e6) {
+      EXPECT_EQ(asg.technique.recovery, RecoveryMode::Failover) << app.name;
+    }
+  }
+}
+
+TEST(DesignSolver, InfeasibleEnvironmentReportsInfeasible) {
+  // Gold apps demand mirroring, but the sites are disconnected.
+  Environment env = peer_env(1);
+  env.topology.pair_limits.clear();
+  env.validate();
+  DesignSolverOptions o = quick_options();
+  o.time_budget_ms = 200.0;
+  DesignSolver solver(&env, o);
+  const SolveResult result = solver.solve();
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.best.has_value());
+}
+
+TEST(DesignSolver, MaxPenaltyGreedyOrderAlsoWorks) {
+  Environment env = peer_env(4);
+  DesignSolverOptions o = quick_options(5);
+  o.greedy_order = GreedyOrder::MaxPenalty;
+  DesignSolver solver(&env, o);
+  const SolveResult result = solver.solve();
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(DesignSolver, RespectsTimeBudgetRoughly) {
+  Environment env = peer_env(8);
+  DesignSolverOptions o = quick_options(6);
+  o.time_budget_ms = 300.0;
+  DesignSolver solver(&env, o);
+  const auto start = std::chrono::steady_clock::now();
+  solver.solve();
+  const double elapsed =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Allow generous overshoot: the budget is checked between nodes.
+  EXPECT_LT(elapsed, 4000.0);
+}
+
+TEST(DesignSolver, MoreRepetitionsNeverHurt) {
+  // Identical seed and a repetition cap: repetition 1 is common to both
+  // runs, and the global best keeps the minimum, so three repetitions can
+  // only match or improve on one.
+  DesignSolverOptions one = quick_options(7);
+  one.time_budget_ms = 60000.0;
+  one.max_repetitions = 1;
+  one.max_refit_iterations = 1;
+  DesignSolverOptions three = one;
+  three.max_repetitions = 3;
+  Environment env = peer_env(8);
+  Environment env2 = peer_env(8);
+  const auto r_one = DesignSolver(&env, one).solve();
+  const auto r_three = DesignSolver(&env2, three).solve();
+  ASSERT_TRUE(r_one.feasible);
+  ASSERT_TRUE(r_three.feasible);
+  EXPECT_LE(r_three.cost.total(), r_one.cost.total() + 1e-6);
+}
+
+TEST(DesignSolver, OptionValidation) {
+  Environment env = peer_env(1);
+  DesignSolverOptions o;
+  o.breadth = 0;
+  EXPECT_THROW(DesignSolver(&env, o), InvalidArgument);
+  o = DesignSolverOptions{};
+  o.depth = 0;
+  EXPECT_THROW(DesignSolver(&env, o), InvalidArgument);
+  o = DesignSolverOptions{};
+  o.max_greedy_restarts = 0;
+  EXPECT_THROW(DesignSolver(&env, o), InvalidArgument);
+}
+
+TEST(DesignSolver, EveryAppAssignedExactlyOnce) {
+  Environment env = peer_env(8);
+  DesignSolver solver(&env, quick_options(8));
+  const auto result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  std::vector<bool> seen(8, false);
+  for (const auto& asg : result.best->assignments()) {
+    ASSERT_TRUE(asg.assigned);
+    ASSERT_GE(asg.app_id, 0);
+    ASSERT_LT(asg.app_id, 8);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(asg.app_id)]);
+    seen[static_cast<std::size_t>(asg.app_id)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace depstor

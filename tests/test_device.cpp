@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "resources/catalog.hpp"
+#include "resources/device.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+// --- disk array semantics ---
+
+TEST(DiskArray, BandwidthDerivesFromCapacityUnits) {
+  const auto xp = resources::xp1200();
+  EXPECT_DOUBLE_EQ(xp.bandwidth_mbps(4, 0), 100.0);  // 4 × 25 MB/s
+  EXPECT_DOUBLE_EQ(xp.bandwidth_mbps(0, 0), 0.0);
+}
+
+TEST(DiskArray, AggregateBandwidthCeiling) {
+  const auto xp = resources::xp1200();
+  // 1024 units × 25 = 25,600 but the controller caps at 512.
+  EXPECT_DOUBLE_EQ(xp.bandwidth_mbps(1024, 0), 512.0);
+  EXPECT_DOUBLE_EQ(xp.max_bandwidth_mbps(), 512.0);
+}
+
+TEST(DiskArray, CapacityPerUnit) {
+  const auto xp = resources::xp1200();
+  EXPECT_DOUBLE_EQ(xp.capacity_gb(10), 1430.0);
+  EXPECT_DOUBLE_EQ(xp.max_capacity_gb(), 1024 * 143.0);
+}
+
+TEST(DiskArray, MinCapacityUnitsCoversBothDimensions) {
+  const auto xp = resources::xp1200();
+  // 1000 GB needs 7 units; 300 MB/s needs 12 units → 12.
+  EXPECT_EQ(xp.min_capacity_units(1000.0, 300.0), 12);
+  // Capacity-bound case: 5000 GB needs 35 units; 100 MB/s needs 4 → 35.
+  EXPECT_EQ(xp.min_capacity_units(5000.0, 100.0), 35);
+}
+
+TEST(DiskArray, MinCapacityUnitsImpossible) {
+  const auto xp = resources::xp1200();
+  EXPECT_EQ(xp.min_capacity_units(0.0, 600.0), -1);   // above 512 MB/s cap
+  EXPECT_EQ(xp.min_capacity_units(2e5, 0.0), -1);     // above max capacity
+  const auto msa = resources::msa1500();
+  EXPECT_EQ(msa.min_capacity_units(0.0, 200.0), -1);  // above 128 MB/s cap
+}
+
+TEST(DiskArray, ZeroDemandNeedsZeroUnits) {
+  EXPECT_EQ(resources::xp1200().min_capacity_units(0.0, 0.0), 0);
+}
+
+// --- tape library semantics ---
+
+TEST(TapeLibrary, DrivesAreBandwidthUnits) {
+  const auto tape = resources::tape_library_high();
+  EXPECT_DOUBLE_EQ(tape.bandwidth_mbps(0, 2), 240.0);  // 2 drives × 120
+  EXPECT_EQ(tape.min_bandwidth_units(130.0), 2);
+  EXPECT_EQ(tape.min_bandwidth_units(0.0), 0);
+}
+
+TEST(TapeLibrary, DriveCountCapped) {
+  const auto tape = resources::tape_library_med();  // max 4 drives, 400 MB/s
+  // The library's aggregate ceiling (400 MB/s) binds before 4 × 120 MB/s.
+  EXPECT_EQ(tape.min_bandwidth_units(400.0), 4);
+  EXPECT_EQ(tape.min_bandwidth_units(401.0), -1);
+}
+
+TEST(TapeLibrary, CartridgesAreCapacityUnits) {
+  const auto tape = resources::tape_library_high();
+  EXPECT_EQ(tape.min_capacity_units(121.0, 0.0), 3);  // 3 × 60 GB
+  EXPECT_EQ(tape.min_capacity_units(720 * 60.0 + 1, 0.0), -1);
+}
+
+TEST(TapeLibrary, AggregateBandwidthCeiling) {
+  const auto tape = resources::tape_library_med();
+  // 4 drives × 120 = 480 but the library caps at 400.
+  EXPECT_DOUBLE_EQ(tape.bandwidth_mbps(0, 4), 400.0);
+}
+
+// --- network semantics ---
+
+TEST(Network, LinksAreBandwidthUnits) {
+  const auto net = resources::network_high();
+  EXPECT_DOUBLE_EQ(net.bandwidth_mbps(0, 3), 60.0);
+  EXPECT_EQ(net.min_bandwidth_units(45.0), 3);
+  EXPECT_EQ(net.min_bandwidth_units(20.0 * 32 + 1), -1);
+}
+
+TEST(Network, NoCapacityDimension) {
+  const auto net = resources::network_high();
+  EXPECT_EQ(net.max_capacity_units, 0);
+  EXPECT_EQ(net.min_capacity_units(0.0, 0.0), 0);
+  EXPECT_EQ(net.min_capacity_units(1.0, 0.0), -1);  // cannot store data
+}
+
+// --- purchase costs (Table 3) ---
+
+TEST(PurchaseCost, DiskArray) {
+  const auto xp = resources::xp1200();
+  EXPECT_DOUBLE_EQ(xp.purchase_cost(10, 0), 375000.0 + 10 * 8723.0);
+}
+
+TEST(PurchaseCost, TapeLibrarySplitsDrivesAndCartridges) {
+  const auto tape = resources::tape_library_high();
+  // fixed + 5 cartridges × $100 + 2 drives × $18,400.
+  EXPECT_DOUBLE_EQ(tape.purchase_cost(5, 2), 141000.0 + 500.0 + 36800.0);
+}
+
+TEST(PurchaseCost, NetworkPerLink) {
+  EXPECT_DOUBLE_EQ(resources::network_high().purchase_cost(0, 2), 1000000.0);
+  EXPECT_DOUBLE_EQ(resources::network_med().purchase_cost(0, 2), 400000.0);
+}
+
+TEST(PurchaseCost, ComputePerSlot) {
+  EXPECT_DOUBLE_EQ(resources::compute_high().purchase_cost(3, 0), 375000.0);
+}
+
+// --- catalog integrity ---
+
+TEST(ResourceCatalog, Table3Values) {
+  const auto eva = resources::eva8000();
+  EXPECT_DOUBLE_EQ(eva.fixed_cost, 123000.0);
+  EXPECT_DOUBLE_EQ(eva.cost_per_capacity_unit, 3720.0);
+  EXPECT_EQ(eva.max_capacity_units, 512);
+  EXPECT_DOUBLE_EQ(eva.bandwidth_unit_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(eva.max_aggregate_bandwidth_mbps, 256.0);
+
+  const auto msa = resources::msa1500();
+  EXPECT_EQ(msa.max_capacity_units, 128);
+  EXPECT_DOUBLE_EQ(msa.bandwidth_unit_mbps, 8.0);
+}
+
+TEST(ResourceCatalog, ClassesOrdered) {
+  EXPECT_EQ(resources::xp1200().cls, DeviceClass::High);
+  EXPECT_EQ(resources::eva8000().cls, DeviceClass::Med);
+  EXPECT_EQ(resources::msa1500().cls, DeviceClass::Low);
+  EXPECT_EQ(resources::tape_library_high().cls, DeviceClass::High);
+  EXPECT_EQ(resources::network_med().cls, DeviceClass::Med);
+}
+
+TEST(ResourceCatalog, GroupAccessors) {
+  EXPECT_EQ(resources::disk_arrays().size(), 3u);
+  EXPECT_EQ(resources::tape_libraries().size(), 2u);
+  EXPECT_EQ(resources::networks().size(), 2u);
+  for (const auto& a : resources::disk_arrays()) {
+    EXPECT_EQ(a.kind, DeviceKind::DiskArray);
+  }
+}
+
+TEST(ResourceCatalog, ByNameRoundTrip) {
+  EXPECT_EQ(resources::by_name("XP1200").name, "XP1200");
+  EXPECT_EQ(resources::by_name("Net-Med").kind, DeviceKind::NetworkLink);
+  EXPECT_THROW(resources::by_name("FloppyTower"), InvalidArgument);
+}
+
+TEST(ResourceCatalog, AllValidate) {
+  for (const auto& d :
+       {resources::xp1200(), resources::eva8000(), resources::msa1500(),
+        resources::tape_library_high(), resources::tape_library_med(),
+        resources::network_high(), resources::network_med(),
+        resources::compute_high()}) {
+    EXPECT_NO_THROW(d.validate()) << d.name;
+  }
+}
+
+// --- DeviceInstance ---
+
+TEST(DeviceInstance, LinkBetweenIsUnordered) {
+  DeviceInstance dev;
+  dev.type = resources::network_high();
+  dev.site_id = 0;
+  dev.site_b_id = 2;
+  EXPECT_TRUE(dev.is_link_between(0, 2));
+  EXPECT_TRUE(dev.is_link_between(2, 0));
+  EXPECT_FALSE(dev.is_link_between(0, 1));
+}
+
+TEST(DeviceInstance, NonLinkNeverMatches) {
+  DeviceInstance dev;
+  dev.type = resources::xp1200();
+  dev.site_id = 0;
+  EXPECT_FALSE(dev.is_link_between(0, 1));
+}
+
+TEST(DeviceTypeSpec, ToStringCoverage) {
+  EXPECT_STREQ(to_string(DeviceKind::DiskArray), "disk-array");
+  EXPECT_STREQ(to_string(DeviceKind::TapeLibrary), "tape-library");
+  EXPECT_STREQ(to_string(DeviceKind::NetworkLink), "network");
+  EXPECT_STREQ(to_string(DeviceKind::Compute), "compute");
+  EXPECT_STREQ(to_string(DeviceClass::High), "High");
+}
+
+TEST(DeviceTypeSpec, ValidateRejectsNegativeCosts) {
+  auto d = resources::xp1200();
+  d.fixed_cost = -1.0;
+  EXPECT_THROW(d.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,161 @@
+// Remaining edge cases across modules.
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "core/report.hpp"
+#include "model/recovery_sim.hpp"
+#include "sim/monte_carlo.hpp"
+#include "solver/parallel.hpp"
+#include "test_helpers.hpp"
+#include "util/histogram.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+using testing::sync_r_backup;
+
+TEST(EdgeCases, SpareOnlyCandidateHasOutlayButNoPenalty) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.set_spare_array(0, "MSA1500", true);
+  const auto cost = cand.evaluate();
+  EXPECT_GT(cost.outlay, 0.0);  // spare enclosure + site facilities
+  EXPECT_DOUBLE_EQ(cost.penalty(), 0.0);  // nothing deployed to fail
+}
+
+TEST(EdgeCases, SpareArraysDoNotSpawnFailureScenarios) {
+  // Array-failure scenarios exist per *primary-hosting* array; a spare must
+  // not add one.
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const auto before = enumerate_scenarios(env.apps, cand.assignments(),
+                                          cand.pool(), env.failures);
+  cand.set_spare_array(0, "EVA8000", true);
+  const auto after = enumerate_scenarios(env.apps, cand.assignments(),
+                                         cand.pool(), env.failures);
+  EXPECT_EQ(before.size(), after.size());
+}
+
+TEST(EdgeCases, HistogramBinOfAtExactUpperEdgeClamps) {
+  LogHistogram h(1.0, 100.0, 4);
+  EXPECT_EQ(h.bin_of(100.0), 3u);   // exact hi → clamped to last bin
+  EXPECT_EQ(h.bin_of(1000.0), 3u);  // beyond hi → clamped
+  EXPECT_EQ(h.bin_of(0.5), 0u);     // below lo → clamped to first
+}
+
+TEST(EdgeCases, RngSplitIsDeterministic) {
+  Rng a(77);
+  Rng b(77);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child_a.uniform(), child_b.uniform());
+  }
+}
+
+TEST(EdgeCases, HumanHeuristicHandlesRegionalEnvironments) {
+  Environment env = scenarios::multi_site(8, 4, 8);
+  env.topology.sites[2].region = 1;
+  env.topology.sites[3].region = 1;
+  env.failures.regional_disaster_rate = 0.05;
+  env.validate();
+  BaselineOptions o;
+  o.time_budget_ms = 1000.0;
+  o.seed = 3;
+  const auto result = HumanHeuristic(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW(result.best->check_feasible());
+}
+
+TEST(EdgeCases, ParallelSolveSumsWorkerCounters) {
+  DesignSolverOptions o;
+  o.time_budget_ms = 60000.0;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = 5;
+  Environment env = peer_env(4);
+  const auto merged = solve_parallel(&env, o, 2);
+  // Run the two workers' seeds sequentially and compare counter sums.
+  int nodes = 0;
+  for (int k = 0; k < 2; ++k) {
+    Environment env_k = peer_env(4);
+    DesignSolverOptions ok = o;
+    ok.seed = o.seed + static_cast<std::uint64_t>(k);
+    nodes += DesignSolver(&env_k, ok).solve().nodes_evaluated;
+  }
+  EXPECT_EQ(merged.nodes_evaluated, nodes);
+}
+
+TEST(EdgeCases, MonteCarloSnapshotLossBoundedByInterval) {
+  // Every sampled object-failure loss for a snapshot-revert design lies in
+  // [0, snapshot interval]; with many events the per-app mean must sit near
+  // interval/2.
+  Environment env = testing::tiny_env(workload::consumer_banking());
+  env.failures.disk_array_rate = 0.0;
+  env.failures.site_disaster_rate = 0.0;
+  env.failures.data_object_rate = 4.0;  // many events
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  const double interval = cand.assignment(0).backup.snapshot_interval_hours;
+  MonteCarloSimulator sim(&env);
+  const auto result = sim.run(cand, {.years = 500.0, .seed = 9});
+  ASSERT_GT(result.per_app[0].failure_events, 1000);
+  const double mean_loss =
+      result.per_app[0].loss_hours /
+      static_cast<double>(result.per_app[0].failure_events);
+  EXPECT_GT(mean_loss, interval * 0.4);
+  EXPECT_LT(mean_loss, interval * 0.6);
+}
+
+TEST(EdgeCases, RecoveryReportOnBackupOnlyDesign) {
+  Environment env = testing::tiny_env(workload::student_accounts());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(testing::backup_only()));
+  const std::string report = recovery_report(env, cand);
+  EXPECT_NE(report.find("tape-backup"), std::string::npos);
+  EXPECT_NE(report.find("vault"), std::string::npos);
+}
+
+TEST(EdgeCases, EvaluateUnderSweepsAllScopesIndependently) {
+  Environment env = peer_env(2);
+  DesignTool tool(env);
+  Candidate cand(&tool.env());
+  cand.place_app(0, full_choice(sync_f_backup()));
+  cand.place_app(1, full_choice(sync_r_backup()));
+  FailureModel only_object;
+  only_object.data_object_rate = 1.0;
+  only_object.disk_array_rate = 0.0;
+  only_object.site_disaster_rate = 0.0;
+  FailureModel only_site;
+  only_site.data_object_rate = 0.0;
+  only_site.disk_array_rate = 0.0;
+  only_site.site_disaster_rate = 1.0;
+  const auto obj = tool.evaluate_under(cand, only_object);
+  const auto site = tool.evaluate_under(cand, only_site);
+  EXPECT_GT(obj.penalty(), 0.0);
+  EXPECT_GT(site.penalty(), 0.0);
+  EXPECT_NE(obj.penalty(), site.penalty());
+  EXPECT_DOUBLE_EQ(obj.outlay, site.outlay);  // outlay is rate-independent
+}
+
+TEST(EdgeCases, TinyTimeBudgetStillReturnsSomething) {
+  // Even a ~1 ms budget must yield a well-formed result (feasible or not),
+  // never a crash or a corrupt candidate.
+  Environment env = peer_env(4);
+  DesignSolverOptions o;
+  o.time_budget_ms = 1.0;
+  o.seed = 2;
+  const auto result = DesignSolver(&env, o).solve();
+  if (result.feasible) {
+    EXPECT_NO_THROW(result.best->check_feasible());
+  } else {
+    EXPECT_FALSE(result.best.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace depstor

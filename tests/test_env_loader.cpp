@@ -1,0 +1,124 @@
+#include "core/env_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+const char* kMinimalEnv = R"(
+[site]
+name = east
+
+[site]
+name = west
+region = 1
+max_compute_slots = 4
+
+[link]
+a = east
+b = west
+max_links = 12
+
+[application]
+name = billing
+outage_penalty_rate = 2e6
+loss_penalty_rate = 8e6
+data_size_gb = 900
+avg_update_mbps = 3
+peak_update_mbps = 25
+avg_access_mbps = 30
+
+[application]
+name = wiki
+outage_penalty_rate = 2e3
+loss_penalty_rate = 8e3
+data_size_gb = 200
+avg_update_mbps = 0.2
+
+[failures]
+data_object_rate = 1.0
+regional_disaster_rate = 0.02
+)";
+
+TEST(EnvLoader, ParsesMinimalEnvironment) {
+  const Environment env = environment_from_ini(kMinimalEnv);
+  ASSERT_EQ(env.topology.site_count(), 2);
+  EXPECT_EQ(env.topology.site(0).name, "east");
+  EXPECT_EQ(env.topology.site(1).region, 1);
+  EXPECT_EQ(env.topology.site(1).max_compute_slots, 4);
+  EXPECT_EQ(env.topology.max_links(0, 1), 12);
+  ASSERT_EQ(env.apps.size(), 2u);
+  EXPECT_EQ(env.apps[0].name, "billing");
+  EXPECT_EQ(env.apps[0].id, 0);
+  EXPECT_DOUBLE_EQ(env.apps[0].outage_penalty_rate, 2e6);
+  EXPECT_DOUBLE_EQ(env.failures.data_object_rate, 1.0);
+  EXPECT_DOUBLE_EQ(env.failures.regional_disaster_rate, 0.02);
+}
+
+TEST(EnvLoader, AppliesDefaultsForOptionalFields) {
+  const Environment env = environment_from_ini(kMinimalEnv);
+  const auto& wiki = env.apps[1];
+  EXPECT_DOUBLE_EQ(wiki.peak_update_mbps, wiki.avg_update_mbps);
+  EXPECT_DOUBLE_EQ(wiki.avg_access_mbps, wiki.avg_update_mbps);
+  EXPECT_NEAR(wiki.unique_update_mbps, 0.4 * wiki.avg_update_mbps, 1e-12);
+  // Default catalogs: the full Table 3.
+  EXPECT_EQ(env.array_types.size(), 3u);
+  EXPECT_EQ(env.tape_types.size(), 2u);
+  // Default failure rates where unspecified.
+  EXPECT_NEAR(env.failures.disk_array_rate, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EnvLoader, SitesReferencedByIndexToo) {
+  const std::string text = std::string(kMinimalEnv) +
+                           "[link]\na = 0\nb = 1\nmax_links = 2\n";
+  // Duplicate pair is legal at parse level (validate() allows it; max_links
+  // queries return the first match).
+  const Environment env = environment_from_ini(text);
+  EXPECT_EQ(env.topology.pair_limits.size(), 2u);
+}
+
+TEST(EnvLoader, CatalogRestriction) {
+  const std::string text = std::string(kMinimalEnv) +
+                           "[catalog]\narrays = XP1200\ntapes = "
+                           "TapeLib-Med\nnetworks = Net-Med\n";
+  const Environment env = environment_from_ini(text);
+  ASSERT_EQ(env.array_types.size(), 1u);
+  EXPECT_EQ(env.array_types[0].name, "XP1200");
+  ASSERT_EQ(env.tape_types.size(), 1u);
+  EXPECT_EQ(env.tape_types[0].name, "TapeLib-Med");
+}
+
+TEST(EnvLoader, Errors) {
+  EXPECT_THROW(environment_from_ini("[application]\nname = x\n"),
+               InvalidArgument);  // no sites, missing app fields
+  EXPECT_THROW(environment_from_ini("[site]\nname = s\n"),
+               InvalidArgument);  // no applications
+  EXPECT_THROW(environment_from_ini(std::string(kMinimalEnv) +
+                                    "[mystery]\nk = v\n"),
+               InvalidArgument);  // unknown section
+  EXPECT_THROW(environment_from_ini(std::string(kMinimalEnv) +
+                                    "[link]\na = nowhere\nb = east\n"
+                                    "max_links = 1\n"),
+               InvalidArgument);  // unknown site reference
+  EXPECT_THROW(environment_from_ini(std::string(kMinimalEnv) +
+                                    "[catalog]\narrays = Net-High\n"),
+               InvalidArgument);  // wrong device kind
+  EXPECT_THROW(load_environment("/nonexistent/path.ini"), InvalidArgument);
+}
+
+TEST(EnvLoader, LoadedEnvironmentIsDesignable) {
+  Environment env = environment_from_ini(kMinimalEnv);
+  DesignTool tool(std::move(env));
+  DesignSolverOptions o;
+  o.time_budget_ms = 600.0;
+  o.seed = 19;
+  const auto result = tool.design(o);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.best->assigned_count(), 2);
+}
+
+}  // namespace
+}  // namespace depstor

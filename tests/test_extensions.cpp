@@ -1,0 +1,276 @@
+// Tests for the model extensions beyond the paper's baseline:
+// incremental backup cycles (level 2) and recovery-ordering policies.
+#include <gtest/gtest.h>
+
+#include "model/recovery_sim.hpp"
+#include "solver/config_solver.hpp"
+#include "test_helpers.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::backup_only;
+using testing::candidate_with;
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_r_backup;
+using testing::tiny_env;
+
+// --- incremental backup cycles ---
+
+TEST(IncrementalBackup, CycleCounting) {
+  BackupChainConfig cfg;
+  cfg.backup_interval_hours = 168.0;
+  cfg.incremental_interval_hours = 24.0;
+  cfg.cycle = BackupCycleMode::FullOnly;
+  EXPECT_EQ(cfg.incrementals_per_cycle(), 0);
+  cfg.cycle = BackupCycleMode::FullPlusIncrementals;
+  EXPECT_EQ(cfg.incrementals_per_cycle(), 6);  // 7 cuts, one is the full
+  cfg.incremental_interval_hours = 84.0;
+  EXPECT_EQ(cfg.incrementals_per_cycle(), 1);
+}
+
+TEST(IncrementalBackup, ValidateOrdering) {
+  BackupChainConfig cfg;
+  cfg.cycle = BackupCycleMode::FullPlusIncrementals;
+  cfg.incremental_interval_hours = cfg.snapshot_interval_hours / 2.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.incremental_interval_hours = cfg.backup_interval_hours * 2.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.incremental_interval_hours = 24.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(IncrementalBackup, SizeFromUniqueUpdates) {
+  const auto app = workload::central_banking();  // unique = 2 MB/s
+  BackupChainConfig cfg;
+  cfg.cycle = BackupCycleMode::FullPlusIncrementals;
+  cfg.incremental_interval_hours = 24.0;
+  EXPECT_NEAR(incremental_size_gb(app, cfg),
+              units::accumulated_gb(app.unique_update_mbps, 24.0), 1e-9);
+  cfg.cycle = BackupCycleMode::FullOnly;
+  EXPECT_DOUBLE_EQ(incremental_size_gb(app, cfg), 0.0);
+}
+
+TEST(IncrementalBackup, FreshensTapeStaleness) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, backup_only());
+
+  const double full_only = staleness_hours(
+      CopyLevel::TapeBackup, env.app(0), cand.assignment(0), cand.pool());
+
+  BackupChainConfig cfg = cand.assignment(0).backup;
+  cfg.cycle = BackupCycleMode::FullPlusIncrementals;
+  cfg.incremental_interval_hours = 24.0;
+  cand.set_backup_config(0, cfg);
+  const double with_incr = staleness_hours(
+      CopyLevel::TapeBackup, env.app(0), cand.assignment(0), cand.pool());
+
+  EXPECT_LT(with_incr, full_only);
+  EXPECT_LT(with_incr, 24.0 + cfg.snapshot_interval_hours + 1.0);
+}
+
+TEST(IncrementalBackup, SlowsTapeRestore) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, backup_only());
+
+  const auto plan_full = plan_recovery(env.app(0), cand.assignment(0),
+                                       cand.pool(), FailureScope::DiskArray,
+                                       env.params);
+
+  BackupChainConfig cfg = cand.assignment(0).backup;
+  cfg.cycle = BackupCycleMode::FullPlusIncrementals;
+  cfg.incremental_interval_hours = 24.0;
+  cand.set_backup_config(0, cfg);
+  const auto plan_incr = plan_recovery(env.app(0), cand.assignment(0),
+                                       cand.pool(), FailureScope::DiskArray,
+                                       env.params);
+
+  EXPECT_GT(plan_incr.transfer_gb, plan_full.transfer_gb);
+  EXPECT_GT(plan_incr.fixed_restore_hours, plan_full.fixed_restore_hours);
+}
+
+TEST(IncrementalBackup, ConsumesExtraCartridges) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, backup_only());
+  const double cap_full =
+      cand.pool().used_capacity_gb(cand.assignment(0).tape_library);
+
+  BackupChainConfig cfg = cand.assignment(0).backup;
+  cfg.cycle = BackupCycleMode::FullPlusIncrementals;
+  cfg.incremental_interval_hours = 24.0;
+  cand.set_backup_config(0, cfg);
+  const double cap_incr =
+      cand.pool().used_capacity_gb(cand.assignment(0).tape_library);
+  EXPECT_GT(cap_incr, cap_full);
+}
+
+TEST(IncrementalBackup, ConfigSolverPicksIncrementalsForLossCriticalApps) {
+  // Consumer banking: $5M/hr loss rate, cheap outage. Fresher tape copies
+  // are worth far more than the restore slowdown, so the sweep should pick
+  // the incremental cycle. (Only the backup chain protects against array
+  // failure here, because we strip the mirror.)
+  Environment env = tiny_env(workload::consumer_banking());
+  Candidate cand = candidate_with(env, backup_only());
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_EQ(cand.assignment(0).backup.cycle,
+            BackupCycleMode::FullPlusIncrementals);
+}
+
+TEST(IncrementalBackup, DisabledByPolicy) {
+  Environment env = tiny_env(workload::consumer_banking());
+  env.policies.allow_incremental_backups = false;
+  Candidate cand = candidate_with(env, backup_only());
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_EQ(cand.assignment(0).backup.cycle, BackupCycleMode::FullOnly);
+}
+
+TEST(IncrementalBackup, ToStringCoverage) {
+  EXPECT_STREQ(to_string(BackupCycleMode::FullOnly), "full-only");
+  EXPECT_STREQ(to_string(BackupCycleMode::FullPlusIncrementals),
+               "full+incrementals");
+}
+
+// --- recovery ordering policies ---
+
+Candidate shared_array_candidate(const Environment& env, int n) {
+  Candidate cand(&env);
+  for (int i = 0; i < n; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  return cand;
+}
+
+TEST(RecoveryOrder, PriorityPutsExpensiveAppsFirst) {
+  Environment env = peer_env(4);
+  env.params.recovery_order = RecoveryOrder::PriorityPenalty;
+  Candidate cand = shared_array_candidate(env, 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  // B1 (penalty sum $10M/hr) recovers first; S1 ($10K/hr) last.
+  EXPECT_EQ(results.front().app_id, 0);
+  EXPECT_EQ(results.back().app_id, 3);
+}
+
+TEST(RecoveryOrder, FifoOrdersById) {
+  Environment env = peer_env(4);
+  env.params.recovery_order = RecoveryOrder::FifoById;
+  Candidate cand = shared_array_candidate(env, 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].app_id, static_cast<int>(i));
+  }
+}
+
+TEST(RecoveryOrder, ShortestFirstOrdersBySoloDuration) {
+  // Same penalty class but very different dataset sizes → shortest-first
+  // puts the small dataset ahead.
+  Environment env = peer_env(2);
+  env.apps[0] = workload::web_service();      // 4300 GB
+  env.apps[1] = workload::web_service(2);     // same class
+  env.apps[1].data_size_gb = 100.0;           // tiny
+  env.apps[0].id = 0;
+  env.apps[1].id = 1;
+  env.params.recovery_order = RecoveryOrder::ShortestFirst;
+  Candidate cand = shared_array_candidate(env, 2);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  EXPECT_EQ(results.front().app_id, 1);
+}
+
+TEST(RecoveryOrder, PriorityMinimizesWeightedOutageCost) {
+  // The paper's rule should beat FIFO on penalty-weighted outage for a mix
+  // of expensive and cheap apps contending for one array.
+  Environment env = peer_env(4);
+  Candidate cand = shared_array_candidate(env, 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+
+  auto weighted_outage = [&](RecoveryOrder order) {
+    ModelParams p = env.params;
+    p.recovery_order = order;
+    double total = 0.0;
+    for (const auto& r :
+         simulate_recovery(s, env.apps, cand.assignments(), cand.pool(), p)) {
+      total += r.outage_hours *
+               env.apps[static_cast<std::size_t>(r.app_id)]
+                   .outage_penalty_rate;
+    }
+    return total;
+  };
+  EXPECT_LE(weighted_outage(RecoveryOrder::PriorityPenalty),
+            weighted_outage(RecoveryOrder::FifoById));
+}
+
+TEST(RecoveryOrder, PolicyDoesNotChangeWhoRecovers) {
+  Environment env = peer_env(4);
+  Candidate cand = shared_array_candidate(env, 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  for (RecoveryOrder order : {RecoveryOrder::PriorityPenalty,
+                              RecoveryOrder::ShortestFirst,
+                              RecoveryOrder::FifoById}) {
+    ModelParams p = env.params;
+    p.recovery_order = order;
+    const auto results =
+        simulate_recovery(s, env.apps, cand.assignments(), cand.pool(), p);
+    EXPECT_EQ(results.size(), 4u) << to_string(order);
+  }
+}
+
+TEST(RecoveryOrder, ToStringCoverage) {
+  EXPECT_STREQ(to_string(RecoveryOrder::PriorityPenalty), "priority-penalty");
+  EXPECT_STREQ(to_string(RecoveryOrder::ShortestFirst), "shortest-first");
+  EXPECT_STREQ(to_string(RecoveryOrder::FifoById), "fifo-by-id");
+}
+
+// --- scoped configuration solving ---
+
+TEST(ScopedConfigSolver, SolveForAppMatchesStateAndCost) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  const CostBreakdown reported = solver.solve_for_app(cand, 0);
+  EXPECT_NEAR(reported.total(), cand.evaluate().total(), 1e-6);
+}
+
+TEST(ScopedConfigSolver, ScopedNeverWorseThanUntouched) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_r_backup()));
+  const double before = cand.evaluate().total();
+  ConfigSolver solver(&env);
+  const double after = solver.solve_for_app(cand, 0).total();
+  EXPECT_LE(after, before + 1e-6);
+}
+
+TEST(ScopedConfigSolver, FullSolveAtLeastAsGoodAsScoped) {
+  Environment env = peer_env(4);
+  Candidate scoped(&env);
+  Candidate full(&env);
+  for (int i = 0; i < 4; ++i) {
+    scoped.place_app(i, full_choice(sync_r_backup()));
+    full.place_app(i, full_choice(sync_r_backup()));
+  }
+  ConfigSolver solver(&env);
+  const double scoped_cost = solver.solve_for_app(scoped, 0).total();
+  const double full_cost = solver.solve(full).total();
+  EXPECT_LE(full_cost, scoped_cost + 1e-6);
+}
+
+}  // namespace
+}  // namespace depstor

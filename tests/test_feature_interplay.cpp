@@ -1,0 +1,131 @@
+// Cross-feature interactions: spares × reports, regional × Monte Carlo,
+// parallel × multi-site, candidate copies with reservations.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "sim/monte_carlo.hpp"
+#include "solver/parallel.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+using testing::sync_r_backup;
+
+TEST(Interplay, SpareDevicesAppearInJsonReport) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.set_spare_array(0, "XP1200", true);
+  const std::string json = solution_to_json(env, cand, cand.evaluate());
+  // The spare is an in-use device with zero units and the fixed price.
+  EXPECT_NE(json.find("\"capacity_units\":0"), std::string::npos);
+  EXPECT_NE(json.find("375000"), std::string::npos);
+}
+
+TEST(Interplay, CandidateCopyKeepsSparesIndependent) {
+  Environment env = peer_env(1);
+  Candidate a(&env);
+  a.place_app(0, full_choice(sync_r_backup()));
+  a.set_spare_array(0, "XP1200", true);
+  Candidate b = a;
+  b.set_spare_array(0, "XP1200", false);
+  EXPECT_TRUE(a.has_spare_array(0, "XP1200"));
+  EXPECT_FALSE(b.has_spare_array(0, "XP1200"));
+}
+
+TEST(Interplay, RecoveryReportIncludesRegionalScenarios) {
+  Environment env = peer_env(1);
+  env.topology.sites[1].region = 1;
+  env.failures.regional_disaster_rate = 0.1;
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  const std::string report = recovery_report(env, cand);
+  EXPECT_NE(report.find("region(0)"), std::string::npos);
+  // Cross-region mirror → the regional event fails over.
+  EXPECT_NE(report.find("failover"), std::string::npos);
+}
+
+TEST(Interplay, MonteCarloCoversRegionalEvents) {
+  Environment env = peer_env(2);
+  env.topology.sites[1].region = 1;
+  env.failures.regional_disaster_rate = 0.5;
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  cand.place_app(1, full_choice(sync_f_backup()));
+  MonteCarloSimulator sim(&env);
+  const auto with_regional = sim.run(cand, {.years = 800.0, .seed = 3});
+
+  Environment env2 = peer_env(2);
+  env2.topology.sites[1].region = 1;
+  Candidate cand2(&env2);
+  cand2.place_app(0, full_choice(sync_f_backup()));
+  cand2.place_app(1, full_choice(sync_f_backup()));
+  MonteCarloSimulator sim2(&env2);
+  const auto without = sim2.run(cand2, {.years = 800.0, .seed = 3});
+
+  // Regional Poisson stream adds events (≈ 0.5/yr × 800 yr more).
+  EXPECT_GT(with_regional.events, without.events + 200);
+}
+
+TEST(Interplay, SpareReducesEvaluatedOutagePenalty) {
+  Environment env = testing::tiny_env(workload::web_service());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const double before = cand.evaluate().outage_penalty;
+  cand.set_spare_array(0, "XP1200", true);
+  const double after = cand.evaluate().outage_penalty;
+  EXPECT_LT(after, before);
+}
+
+TEST(Interplay, ParallelSolveOnMultiSite) {
+  Environment env = scenarios::multi_site(8, 4, 6);
+  DesignSolverOptions o;
+  o.time_budget_ms = 600.0;
+  o.seed = 55;
+  const auto result = solve_parallel(&env, o, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW(result.best->check_feasible());
+  EXPECT_EQ(result.best->assigned_count(), 8);
+}
+
+TEST(Interplay, SampleParallelWithMoreWorkersThanNeeded) {
+  Environment env = peer_env(2);
+  const auto stats = sample_parallel(&env, 5, 1, 8);
+  EXPECT_GE(stats.feasible, 5);
+}
+
+TEST(Interplay, IncrementalBackupSurvivesSetBackupConfigRoundTrip) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  DesignChoice choice = full_choice(testing::backup_only());
+  choice.backup.cycle = BackupCycleMode::FullPlusIncrementals;
+  choice.backup.incremental_interval_hours = 24.0;
+  cand.place_app(0, choice);
+  EXPECT_EQ(cand.assignment(0).backup.cycle,
+            BackupCycleMode::FullPlusIncrementals);
+  BackupChainConfig cfg = cand.assignment(0).backup;
+  cfg.snapshot_interval_hours = 8.0;
+  cand.set_backup_config(0, cfg);
+  EXPECT_EQ(cand.assignment(0).backup.cycle,
+            BackupCycleMode::FullPlusIncrementals);
+  const std::string json = solution_to_json(env, cand, cand.evaluate());
+  EXPECT_NE(json.find("full+incrementals"), std::string::npos);
+}
+
+TEST(Interplay, ThreatReportAfterFullConfigSolve) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) cand.place_app(i, full_choice(sync_f_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  const std::string report = threat_report(env, cand);
+  EXPECT_NE(report.find("data-object"), std::string::npos);
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,79 @@
+// Shared builders for the depstor test suite.
+#pragma once
+
+#include "core/environment.hpp"
+#include "core/scenarios.hpp"
+#include "protection/catalog.hpp"
+#include "resources/catalog.hpp"
+#include "solver/solution.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace depstor::testing {
+
+/// Two-site peer environment with `apps` applications (default: the §4.3
+/// case-study size).
+inline Environment peer_env(int apps = 8) {
+  return scenarios::peer_sites(apps);
+}
+
+/// Tiny environment — one app, two sites — for focused model tests.
+inline Environment tiny_env(const ApplicationSpec& app) {
+  Environment env = scenarios::peer_sites(1);
+  env.apps = {app};
+  env.apps[0].id = 0;
+  env.validate();
+  return env;
+}
+
+/// A standard full-protection design choice: technique + array/tape/link
+/// types resolved to the Table 3 high-end models, sites 0 → 1.
+inline DesignChoice full_choice(const TechniqueSpec& technique,
+                                int primary_site = 0, int secondary_site = 1) {
+  DesignChoice c;
+  c.technique = technique;
+  c.primary_site = primary_site;
+  c.secondary_site = technique.has_mirror() ? secondary_site : -1;
+  c.primary_array_type = resources::xp1200().name;
+  c.mirror_array_type = resources::xp1200().name;
+  c.tape_type = resources::tape_library_high().name;
+  c.link_type = resources::network_high().name;
+  return c;
+}
+
+/// Place one app with the given technique into a fresh candidate.
+inline Candidate candidate_with(const Environment& env,
+                                const TechniqueSpec& technique) {
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(technique));
+  return cand;
+}
+
+/// Shorthands for the Table 2 techniques used throughout the tests.
+inline TechniqueSpec sync_f_backup() {
+  return protection::mirror_technique(MirrorMode::Sync, RecoveryMode::Failover,
+                                      true);
+}
+inline TechniqueSpec sync_r_backup() {
+  return protection::mirror_technique(MirrorMode::Sync,
+                                      RecoveryMode::Reconstruct, true);
+}
+inline TechniqueSpec async_f_backup() {
+  return protection::mirror_technique(MirrorMode::Async,
+                                      RecoveryMode::Failover, true);
+}
+inline TechniqueSpec async_r_backup() {
+  return protection::mirror_technique(MirrorMode::Async,
+                                      RecoveryMode::Reconstruct, true);
+}
+inline TechniqueSpec sync_f_only() {
+  return protection::mirror_technique(MirrorMode::Sync, RecoveryMode::Failover,
+                                      false);
+}
+inline TechniqueSpec sync_r_only() {
+  return protection::mirror_technique(MirrorMode::Sync,
+                                      RecoveryMode::Reconstruct, false);
+}
+inline TechniqueSpec backup_only() { return protection::tape_backup_only(); }
+
+}  // namespace depstor::testing

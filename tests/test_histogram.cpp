@@ -1,0 +1,86 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+TEST(LogHistogram, BinEdgesAreGeometric) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_lower(1), 10.0, 1e-6);
+  EXPECT_NEAR(h.bin_lower(2), 100.0, 1e-4);
+  EXPECT_NEAR(h.bin_upper(2), 1000.0, 1e-3);
+}
+
+TEST(LogHistogram, CountsLandInRightBins) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(2.0);    // bin 0
+  h.add(50.0);   // bin 1
+  h.add(500.0);  // bin 2
+  h.add(999.0);  // bin 2
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LogHistogram, UnderOverflowClampedAndTracked) {
+  LogHistogram h(10.0, 100.0, 2);
+  h.add(1.0);     // below range → bin 0, underflow
+  h.add(5000.0);  // above range → last bin, overflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(LogHistogram, RejectsNonPositiveSamplesAndBadRange) {
+  LogHistogram h(1.0, 10.0, 2);
+  EXPECT_THROW(h.add(0.0), InvalidArgument);
+  EXPECT_THROW(h.add(-1.0), InvalidArgument);
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 2), InvalidArgument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 2), InvalidArgument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), InvalidArgument);
+}
+
+TEST(LogHistogram, MaxCount) {
+  LogHistogram h(1.0, 100.0, 2);
+  EXPECT_EQ(h.max_count(), 0u);
+  h.add(2.0);
+  h.add(3.0);
+  h.add(50.0);
+  EXPECT_EQ(h.max_count(), 2u);
+}
+
+TEST(LogHistogram, RenderShowsBarsAndCounts) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.add(2.0);
+  h.add(2.5);
+  h.add(50.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // fullest bin
+  EXPECT_NE(out.find(" 2\n"), std::string::npos);
+  EXPECT_NE(out.find(" 1\n"), std::string::npos);
+}
+
+TEST(LogHistogram, RenderElidesEmptyEdges) {
+  LogHistogram h(1.0, 1e6, 6);
+  h.add(150.0);  // only one populated bin in the middle
+  const std::string out = h.render(10);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(LogHistogram, BinOfIsConsistentWithEdges) {
+  LogHistogram h(1.0, 1024.0, 10);
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    const double mid = (h.bin_lower(b) + h.bin_upper(b)) / 2.0;
+    EXPECT_EQ(h.bin_of(mid), b);
+  }
+}
+
+}  // namespace
+}  // namespace depstor

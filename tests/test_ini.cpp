@@ -1,0 +1,84 @@
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+TEST(Ini, ParsesSectionsAndValues) {
+  const auto sections = parse_ini(
+      "# header comment\n"
+      "[alpha]\n"
+      "key = value\n"
+      "num=42\n"
+      "\n"
+      "[beta]\n"
+      "spaced key = spaced value here\n");
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].name, "alpha");
+  EXPECT_EQ(sections[0].get_string("key"), "value");
+  EXPECT_EQ(sections[0].get_int("num"), 42);
+  EXPECT_EQ(sections[1].get_string("spaced key"), "spaced value here");
+}
+
+TEST(Ini, RepeatedSectionsStaySeparate) {
+  const auto sections = parse_ini("[s]\na=1\n[s]\na=2\n");
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].get_int("a"), 1);
+  EXPECT_EQ(sections[1].get_int("a"), 2);
+}
+
+TEST(Ini, CommentsAndBlankLinesIgnored) {
+  const auto sections = parse_ini(
+      "[s]\n"
+      "; semicolon comment\n"
+      "# hash comment\n"
+      "\n"
+      "  \t \n"
+      "k = v\n");
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].get_string("k"), "v");
+}
+
+TEST(Ini, TracksSectionLineNumbers) {
+  const auto sections = parse_ini("# one\n# two\n[s]\nk=v\n");
+  EXPECT_EQ(sections[0].line, 3);
+}
+
+TEST(Ini, MalformedInputThrowsWithLineNumbers) {
+  try {
+    parse_ini("[s]\nvalue-without-equals\n");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_ini("key=before-section\n"), InvalidArgument);
+  EXPECT_THROW(parse_ini("[unclosed\nk=v\n"), InvalidArgument);
+  EXPECT_THROW(parse_ini("[]\n"), InvalidArgument);
+  EXPECT_THROW(parse_ini("[s]\n= novalue-key\n"), InvalidArgument);
+}
+
+TEST(Ini, TypedGettersValidate) {
+  const auto sections = parse_ini("[s]\nnum=7\nreal=2.5\ntext=abc\n");
+  const auto& s = sections[0];
+  EXPECT_EQ(s.get_int("num"), 7);
+  EXPECT_DOUBLE_EQ(s.get_double("real"), 2.5);
+  EXPECT_THROW(s.get_int("text"), InvalidArgument);
+  EXPECT_THROW(s.get_double("text"), InvalidArgument);
+  EXPECT_THROW(s.get_string("missing"), InvalidArgument);
+  EXPECT_EQ(s.get_int_or("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(s.get_double_or("missing", 1.5), 1.5);
+  EXPECT_EQ(s.get_string_or("missing", "d"), "d");
+}
+
+TEST(Ini, SplitList) {
+  EXPECT_EQ(split_list("a, b ,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list("single"), (std::vector<std::string>{"single"}));
+  EXPECT_EQ(split_list(" , ,"), (std::vector<std::string>{}));
+  EXPECT_TRUE(split_list("").empty());
+}
+
+}  // namespace
+}  // namespace depstor

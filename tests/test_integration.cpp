@@ -1,0 +1,145 @@
+// End-to-end behavior of the full design tool against the paper's headline
+// observations (§4.3, §4.4).
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "core/sampler.hpp"
+#include "core/scenarios.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+class PeerSitesIntegration : public ::testing::Test {
+ protected:
+  PeerSitesIntegration() : tool_(scenarios::peer_sites(8)) {
+    DesignSolverOptions o;
+    o.time_budget_ms = 1200.0;
+    o.seed = 101;
+    result_ = tool_.design(o);
+  }
+
+  DesignTool tool_;
+  SolveResult result_;
+};
+
+TEST_F(PeerSitesIntegration, DesignIsFeasibleAndComplete) {
+  ASSERT_TRUE(result_.feasible);
+  EXPECT_EQ(result_.best->assigned_count(), 8);
+  EXPECT_NO_THROW(result_.best->check_feasible());
+}
+
+TEST_F(PeerSitesIntegration, ToolBeatsHumanHeuristic) {
+  BaselineOptions o;
+  o.time_budget_ms = 1200.0;
+  o.seed = 101;
+  const auto human = tool_.design_human(o);
+  ASSERT_TRUE(result_.feasible);
+  ASSERT_TRUE(human.feasible);
+  EXPECT_LT(result_.cost.total(), human.cost.total());
+}
+
+TEST_F(PeerSitesIntegration, ToolBeatsRandomHeuristic) {
+  BaselineOptions o;
+  o.time_budget_ms = 1200.0;
+  o.seed = 101;
+  const auto random = tool_.design_random(o);
+  ASSERT_TRUE(result_.feasible);
+  ASSERT_TRUE(random.feasible);
+  EXPECT_LT(result_.cost.total(), random.cost.total());
+}
+
+TEST_F(PeerSitesIntegration, ToolLandsInLowestCostTailOfSolutionSpace) {
+  // §4.3.2: the design tool's solutions fall within the lowest cost
+  // percentile of the sampled solution space.
+  ASSERT_TRUE(result_.feasible);
+  SolutionSpaceSampler sampler(&tool_.env());
+  const auto stats = sampler.sample(500, 77);
+  EXPECT_LE(stats.percentile_of(result_.cost.total()), 0.02);
+}
+
+TEST_F(PeerSitesIntegration, AllAppsCarrySomeTapeBackup) {
+  // §4.3.2: "All applications employ some form of tape backup".
+  ASSERT_TRUE(result_.feasible);
+  for (const auto& asg : result_.best->assignments()) {
+    EXPECT_TRUE(asg.technique.has_backup) << tool_.env().app(asg.app_id).name;
+  }
+}
+
+TEST_F(PeerSitesIntegration, HighOutageAppsUseFailover) {
+  ASSERT_TRUE(result_.feasible);
+  for (const auto& asg : result_.best->assignments()) {
+    if (tool_.env().app(asg.app_id).outage_penalty_rate >= 1e6) {
+      EXPECT_EQ(asg.technique.recovery, RecoveryMode::Failover);
+    }
+  }
+}
+
+TEST_F(PeerSitesIntegration, PrimariesUseBothPeerSites) {
+  // Peer model: each site is primary for a fraction of the applications.
+  ASSERT_TRUE(result_.feasible);
+  std::vector<int> load(2, 0);
+  for (const auto& asg : result_.best->assignments()) {
+    ++load[static_cast<std::size_t>(asg.primary_site)];
+  }
+  EXPECT_GT(load[0], 0);
+  EXPECT_GT(load[1], 0);
+}
+
+TEST(ScalabilityIntegration, ToolBeatsBaselinesAtSixteenApps) {
+  DesignTool tool(scenarios::multi_site(16, 4, 6));
+  DesignSolverOptions d;
+  d.time_budget_ms = 1800.0;
+  d.seed = 7;
+  BaselineOptions b;
+  b.time_budget_ms = 1800.0;
+  b.seed = 7;
+  const auto solver = tool.design(d);
+  const auto human = tool.design_human(b);
+  ASSERT_TRUE(solver.feasible);
+  ASSERT_TRUE(human.feasible);
+  // §4.4: the design tool's solutions are cheaper by a clear factor.
+  EXPECT_LT(solver.cost.total() * 1.5, human.cost.total());
+}
+
+TEST(SensitivityIntegration, CostRisesWithObjectFailureRate) {
+  // §4.5 / Figure 5 shape: beyond a threshold, the solver can no longer buy
+  // off data-object failures, so total cost rises with the rate.
+  Environment lo_env = scenarios::multi_site(8, 4, 6);
+  lo_env.failures = FailureModel::sensitivity_baseline();
+  lo_env.failures.data_object_rate = 0.1;
+  Environment hi_env = lo_env;
+  hi_env.failures.data_object_rate = 2.0;
+
+  DesignSolverOptions o;
+  o.time_budget_ms = 1200.0;
+  o.seed = 13;
+  const auto lo = DesignTool(lo_env).design(o);
+  const auto hi = DesignTool(hi_env).design(o);
+  ASSERT_TRUE(lo.feasible);
+  ASSERT_TRUE(hi.feasible);
+  EXPECT_GT(hi.cost.total(), lo.cost.total());
+}
+
+TEST(SensitivityIntegration, CostNearlyFlatInSiteDisasterRate) {
+  // Figures 6/7 shape: the tool compensates for disk/site failure rates
+  // with modest outlay increases, so totals move much less than the rate.
+  Environment lo_env = scenarios::multi_site(8, 4, 6);
+  lo_env.failures = FailureModel::sensitivity_baseline();
+  lo_env.failures.site_disaster_rate = 0.02;  // once in 50 years
+  Environment hi_env = lo_env;
+  hi_env.failures.site_disaster_rate = 0.2;  // once in 5 years — 10×
+
+  DesignSolverOptions o;
+  o.time_budget_ms = 1200.0;
+  o.seed = 17;
+  const auto lo = DesignTool(lo_env).design(o);
+  const auto hi = DesignTool(hi_env).design(o);
+  ASSERT_TRUE(lo.feasible);
+  ASSERT_TRUE(hi.feasible);
+  // A 10× rate increase must cost far less than 10× (compensation works).
+  EXPECT_LT(hi.cost.total(), lo.cost.total() * 3.0);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,138 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+  JsonWriter a;
+  a.begin_array().end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(Json, ScalarFields) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "text")
+      .field("i", 42)
+      .field("d", 1.5)
+      .field("b", true)
+      .key("n")
+      .null()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"s":"text","i":42,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("list")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .begin_object()
+      .field("k", "v")
+      .end_object()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2,{"k":"v"}]})");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter w;
+  w.begin_object().field("k", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharacterEscaping) {
+  JsonWriter w;
+  w.begin_object().field("k", std::string("x\x01y")).end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"x\\u0001y\"}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::nan(""))
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, DoublesRoundTrip) {
+  JsonWriter w;
+  w.begin_array().value(0.1).end_array();
+  const std::string out = w.str();
+  const double parsed = std::strtod(out.c_str() + 1, nullptr);
+  EXPECT_DOUBLE_EQ(parsed, 0.1);
+}
+
+TEST(Json, GrammarViolationsThrow) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), InternalError);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), InternalError);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("a");
+    EXPECT_THROW(w.key("b"), InternalError);  // two keys in a row
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("a");
+    EXPECT_THROW(w.end_object(), InternalError);  // dangling key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), InternalError);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), InternalError);  // unclosed document
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), InternalError);  // two root values
+  }
+}
+
+TEST(Json, CompleteTracksState) {
+  JsonWriter w;
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, ArrayOfObjectsCommas) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 3; ++i) {
+    w.begin_object().field("i", i).end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1},{"i":2}])");
+}
+
+}  // namespace
+}  // namespace depstor

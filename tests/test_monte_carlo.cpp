@@ -1,0 +1,159 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/penalty.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+using testing::sync_r_backup;
+
+Candidate simple_design(const Environment& env) {
+  Candidate cand(&env);
+  for (int i = 0; i < static_cast<int>(env.apps.size()); ++i) {
+    cand.place_app(i, full_choice(sync_f_backup()));
+  }
+  return cand;
+}
+
+TEST(MonteCarlo, DeterministicUnderSeed) {
+  Environment env = peer_env(2);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const auto a = sim.run(cand, {.years = 50.0, .seed = 9});
+  const auto b = sim.run(cand, {.years = 50.0, .seed = 9});
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.annual_penalty(), b.annual_penalty());
+}
+
+TEST(MonteCarlo, EventCountMatchesPoissonRates) {
+  Environment env = peer_env(2);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const double years = 3000.0;
+  const auto result = sim.run(cand, {.years = years, .seed = 5});
+  // Scenario streams: 2 object (1/3 each) + 1 array (1/3) + 1 site (1/5).
+  const double expected_rate = 2.0 / 3.0 + 1.0 / 3.0 + 0.2;
+  const double expected_events = expected_rate * years;
+  EXPECT_NEAR(static_cast<double>(result.events), expected_events,
+              4.0 * std::sqrt(expected_events));  // 4σ band
+}
+
+TEST(MonteCarlo, ZeroRatesProduceNoEvents) {
+  Environment env = peer_env(2);
+  env.failures.data_object_rate = 0.0;
+  env.failures.disk_array_rate = 0.0;
+  env.failures.site_disaster_rate = 0.0;
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const auto result = sim.run(cand, {.years = 100.0, .seed = 1});
+  EXPECT_EQ(result.events, 0);
+  EXPECT_DOUBLE_EQ(result.annual_penalty(), 0.0);
+}
+
+TEST(MonteCarlo, SimulatedLossBoundedByAnalytic) {
+  // Analytic loss uses worst-case staleness; sampled losses are uniform in
+  // the cycle, so over a long horizon: analytic/2 ≲ simulated ≤ analytic.
+  Environment env = peer_env(4);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const auto mc = sim.run(cand, {.years = 4000.0, .seed = 11});
+
+  const auto analytic = compute_penalties(env.apps, cand.assignments(),
+                                          cand.pool(), env.failures,
+                                          env.params);
+  double analytic_loss = 0.0;
+  for (const auto& d : analytic) analytic_loss += d.loss_penalty;
+
+  const double simulated_loss = mc.annual_loss_penalty();
+  EXPECT_LE(simulated_loss, analytic_loss * 1.05);
+  EXPECT_GE(simulated_loss, analytic_loss * 0.40);
+}
+
+TEST(MonteCarlo, SimulatedOutageMatchesAnalytic) {
+  // Outage durations are not sampled, and overlaps are rare at these rates,
+  // so the simulated annual outage penalty converges to the analytic one.
+  Environment env = peer_env(4);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const auto mc = sim.run(cand, {.years = 4000.0, .seed = 13});
+
+  const auto analytic = compute_penalties(env.apps, cand.assignments(),
+                                          cand.pool(), env.failures,
+                                          env.params);
+  double analytic_outage = 0.0;
+  for (const auto& d : analytic) analytic_outage += d.outage_penalty;
+
+  EXPECT_NEAR(mc.annual_outage_penalty(), analytic_outage,
+              analytic_outage * 0.15);
+}
+
+TEST(MonteCarlo, PerAppEventCountsScaleWithExposure) {
+  // Every app gets its own object failures plus shared array/site events;
+  // apps sharing everything should see similar event counts.
+  Environment env = peer_env(4);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const auto result = sim.run(cand, {.years = 2000.0, .seed = 17});
+  for (const auto& s : result.per_app) {
+    EXPECT_GT(s.failure_events, 0);
+  }
+  const double first = static_cast<double>(result.per_app[0].failure_events);
+  for (const auto& s : result.per_app) {
+    EXPECT_NEAR(static_cast<double>(s.failure_events), first, first * 0.2);
+  }
+}
+
+TEST(MonteCarlo, OverlapNeverDoubleCountsOutage) {
+  // Crank the failure rates so overlaps are common: total realized outage
+  // per app cannot exceed the simulated horizon.
+  Environment env = peer_env(2);
+  env.failures.data_object_rate = 50.0;
+  env.failures.disk_array_rate = 50.0;
+  env.failures.site_disaster_rate = 50.0;
+  Candidate cand(&env);
+  // Reconstruct-style protection → recoveries take hours → heavy overlap.
+  for (int i = 0; i < 2; ++i) {
+    cand.place_app(i, full_choice(sync_r_backup()));
+  }
+  MonteCarloSimulator sim(&env);
+  const double years = 10.0;
+  const auto result = sim.run(cand, {.years = years, .seed = 23});
+  for (const auto& s : result.per_app) {
+    EXPECT_LE(s.outage_hours, years * 8760.0 * 1.01);
+  }
+}
+
+TEST(MonteCarlo, LongerHorizonTightensOutageAgreement) {
+  Environment env = peer_env(2);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const auto analytic = compute_penalties(env.apps, cand.assignments(),
+                                          cand.pool(), env.failures,
+                                          env.params);
+  double analytic_outage = 0.0;
+  for (const auto& d : analytic) analytic_outage += d.outage_penalty;
+
+  const auto short_run = sim.run(cand, {.years = 100.0, .seed = 3});
+  const auto long_run = sim.run(cand, {.years = 8000.0, .seed = 3});
+  const double err_short =
+      std::fabs(short_run.annual_outage_penalty() - analytic_outage);
+  const double err_long =
+      std::fabs(long_run.annual_outage_penalty() - analytic_outage);
+  EXPECT_LT(err_long, err_short + analytic_outage * 0.02);
+}
+
+TEST(MonteCarlo, RejectsBadOptions) {
+  Environment env = peer_env(1);
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  EXPECT_THROW(sim.run(cand, {.years = 0.0, .seed = 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,127 @@
+#include "solver/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+TEST(ParallelSolve, FindsFeasibleDesign) {
+  Environment env = peer_env(8);
+  DesignSolverOptions o;
+  o.time_budget_ms = 300.0;
+  o.seed = 4;
+  const auto result = solve_parallel(&env, o, 4);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW(result.best->check_feasible());
+  EXPECT_GT(result.nodes_evaluated, 0);
+}
+
+TEST(ParallelSolve, NeverWorseThanAnySingleWorkerSeed) {
+  // The merge keeps the minimum over workers; with repetition caps the
+  // sequential runs at seeds seed+0..seed+k-1 are exactly the worker runs.
+  DesignSolverOptions o;
+  o.time_budget_ms = 60000.0;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = 100;
+  Environment env = peer_env(4);
+  const auto parallel = solve_parallel(&env, o, 3);
+  ASSERT_TRUE(parallel.feasible);
+  for (int k = 0; k < 3; ++k) {
+    Environment env_k = peer_env(4);
+    DesignSolverOptions ok = o;
+    ok.seed = o.seed + static_cast<std::uint64_t>(k);
+    const auto single = DesignSolver(&env_k, ok).solve();
+    if (single.feasible) {
+      EXPECT_LE(parallel.cost.total(), single.cost.total() + 1e-6);
+    }
+  }
+}
+
+TEST(ParallelSolve, DeterministicMergeUnderRepetitionCap) {
+  DesignSolverOptions o;
+  o.time_budget_ms = 60000.0;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = 7;
+  Environment env1 = peer_env(4);
+  Environment env2 = peer_env(4);
+  const auto a = solve_parallel(&env1, o, 3);
+  const auto b = solve_parallel(&env2, o, 3);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
+  EXPECT_EQ(a.nodes_evaluated, b.nodes_evaluated);
+}
+
+TEST(ParallelSolve, SingleWorkerEqualsSequential) {
+  DesignSolverOptions o;
+  o.time_budget_ms = 60000.0;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = 13;
+  Environment env1 = peer_env(4);
+  Environment env2 = peer_env(4);
+  const auto par = solve_parallel(&env1, o, 1);
+  const auto seq = DesignSolver(&env2, o).solve();
+  ASSERT_EQ(par.feasible, seq.feasible);
+  EXPECT_DOUBLE_EQ(par.cost.total(), seq.cost.total());
+}
+
+TEST(ParallelSolve, RejectsBadWorkerCount) {
+  Environment env = peer_env(2);
+  EXPECT_THROW(solve_parallel(&env, {}, 0), InvalidArgument);
+}
+
+TEST(ParallelRandom, MergesBestAndCounters) {
+  Environment env = peer_env(4);
+  BaselineOptions o;
+  o.time_budget_ms = 60000.0;
+  o.max_designs = 5;
+  o.seed = 21;
+  const auto par = random_parallel(&env, o, 3);
+  EXPECT_EQ(par.designs_tried, 15);  // 3 workers × 5 designs
+  if (par.feasible) {
+    EXPECT_NO_THROW(par.best->check_feasible());
+  }
+}
+
+TEST(ParallelSample, ProducesRequestedCount) {
+  Environment env = peer_env(4);
+  const auto stats = sample_parallel(&env, 120, 31, 4);
+  EXPECT_GE(stats.feasible, 120);
+  EXPECT_EQ(stats.samples.size(), static_cast<std::size_t>(stats.feasible));
+  EXPECT_GT(stats.costs.min(), 0.0);
+}
+
+TEST(ParallelSample, MergedStatsMatchSamples) {
+  Environment env = peer_env(4);
+  const auto stats = sample_parallel(&env, 60, 37, 3);
+  double min = stats.samples.front();
+  double max = stats.samples.front();
+  double sum = 0.0;
+  for (double s : stats.samples) {
+    min = std::min(min, s);
+    max = std::max(max, s);
+    sum += s;
+  }
+  EXPECT_DOUBLE_EQ(stats.costs.min(), min);
+  EXPECT_DOUBLE_EQ(stats.costs.max(), max);
+  EXPECT_NEAR(stats.costs.mean(), sum / stats.samples.size(),
+              std::fabs(sum) * 1e-12);
+}
+
+TEST(ParallelSample, DeterministicUnderSeedAndWorkers) {
+  Environment env = peer_env(4);
+  const auto a = sample_parallel(&env, 50, 41, 2);
+  const auto b = sample_parallel(&env, 50, 41, 2);
+  EXPECT_EQ(a.samples.size(), b.samples.size());
+  EXPECT_DOUBLE_EQ(a.costs.mean(), b.costs.mean());
+}
+
+}  // namespace
+}  // namespace depstor

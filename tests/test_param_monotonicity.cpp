@@ -1,0 +1,133 @@
+// Monotonicity of the evaluated cost in every ModelParams knob: turning any
+// single recovery/penalty parameter worse must never make a fixed design
+// cheaper. These sweeps pin the sign conventions of the whole model — a
+// regression that flips one (e.g. a lead time subtracted instead of added)
+// fails loudly here.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+
+/// Fixed mixed design: two failover apps, one reconstruct, one tape-only —
+/// so every parameter's code path is exercised.
+Environment fixture_env() { return peer_env(4); }
+
+Candidate fixture_design(const Environment& env) {
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(testing::sync_f_backup()));
+  cand.place_app(1, full_choice(testing::sync_r_backup()));
+  cand.place_app(2, full_choice(testing::async_f_backup()));
+  cand.place_app(3, full_choice(testing::backup_only()));
+  return cand;
+}
+
+struct Knob {
+  const char* name;
+  std::function<void(ModelParams&, double)> set;
+  std::vector<double> values;  ///< increasing severity
+};
+
+class ParamMonotonicity : public ::testing::TestWithParam<int> {};
+
+const std::vector<Knob>& knobs() {
+  static const std::vector<Knob> kKnobs = {
+      {"failover_hours",
+       [](ModelParams& p, double v) { p.failover_hours = v; },
+       {0.05, 0.1, 0.5, 2.0}},
+      {"snapshot_restore_hours",
+       [](ModelParams& p, double v) { p.snapshot_restore_hours = v; },
+       {0.1, 0.25, 1.0, 4.0}},
+      {"tape_load_hours",
+       [](ModelParams& p, double v) { p.tape_load_hours = v; },
+       {0.1, 0.5, 2.0}},
+      {"detection_hours",
+       [](ModelParams& p, double v) { p.detection_hours = v; },
+       {0.0, 0.5, 2.0, 8.0}},
+      {"repair_disk_array_hours",
+       [](ModelParams& p, double v) { p.repair_disk_array_hours = v; },
+       {1.0, 6.0, 12.0, 48.0}},
+      {"repair_site_hours",
+       [](ModelParams& p, double v) { p.repair_site_hours = v; },
+       {6.0, 24.0, 72.0}},
+      {"unprotected_loss_hours",
+       [](ModelParams& p, double v) { p.unprotected_loss_hours = v; },
+       {24.0, 720.0, 2000.0}},
+      {"vault_retrieval_hours",
+       [](ModelParams& p, double v) { p.vault_retrieval_hours = v; },
+       {2.0, 24.0, 96.0}},
+      {"vault_annual_fee",
+       [](ModelParams& p, double v) { p.vault_annual_fee = v; },
+       {0.0, 5000.0, 50000.0}},
+      {"incremental_load_hours",
+       [](ModelParams& p, double v) { p.incremental_load_hours = v; },
+       {0.0, 0.1, 1.0}},
+  };
+  return kKnobs;
+}
+
+TEST_P(ParamMonotonicity, WorseParameterNeverCheapens) {
+  const Knob& knob = knobs().at(static_cast<std::size_t>(GetParam()));
+  Environment env = fixture_env();
+  Candidate cand = fixture_design(env);
+  double previous = -1.0;
+  for (double value : knob.values) {
+    ModelParams params = env.params;
+    knob.set(params, value);
+    params.validate();
+    const double total = evaluate_cost(env.apps, cand.assignments(),
+                                       cand.pool(), env.failures, params)
+                             .total();
+    EXPECT_GE(total, previous - 1e-6)
+        << knob.name << " = " << value << " made the design cheaper";
+    previous = total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, ParamMonotonicity,
+                         ::testing::Range(0, 10));
+
+TEST(ParamMonotonicity, LongerDeviceLifetimeOnlyCutsOutlay) {
+  Environment env = fixture_env();
+  Candidate cand = fixture_design(env);
+  ModelParams longer = env.params;
+  longer.device_lifetime_years = env.params.device_lifetime_years * 2.0;
+  const auto base = evaluate_cost(env.apps, cand.assignments(), cand.pool(),
+                                  env.failures, env.params);
+  const auto amortized = evaluate_cost(env.apps, cand.assignments(),
+                                       cand.pool(), env.failures, longer);
+  EXPECT_LT(amortized.outlay, base.outlay);
+  EXPECT_NEAR(amortized.penalty(), base.penalty(), base.penalty() * 1e-9);
+}
+
+TEST(ParamMonotonicity, SpareRepairBoundedByNormalRepair) {
+  // repair_with_spare_hours above the normal lead must not make recovery
+  // slower than having no spare (plan takes the min).
+  Environment env = testing::tiny_env(workload::web_service());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(testing::sync_r_backup()));
+  cand.set_spare_array(0, "XP1200", true);
+  ModelParams silly = env.params;
+  silly.repair_with_spare_hours = env.params.repair_disk_array_hours * 10.0;
+  const double with_silly_spare =
+      evaluate_cost(env.apps, cand.assignments(), cand.pool(), env.failures,
+                    silly)
+          .penalty();
+  Environment env2 = testing::tiny_env(workload::web_service());
+  Candidate bare(&env2);
+  bare.place_app(0, full_choice(testing::sync_r_backup()));
+  const double without_spare =
+      evaluate_cost(env2.apps, bare.assignments(), bare.pool(),
+                    env2.failures, env2.params)
+          .penalty();
+  EXPECT_LE(with_silly_spare, without_spare + 1e-6);
+}
+
+}  // namespace
+}  // namespace depstor

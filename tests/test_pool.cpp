@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "resources/catalog.hpp"
+#include "resources/pool.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+SiteSpec site_proto() {
+  SiteSpec s;
+  s.name = "s";
+  s.max_disk_arrays = 2;
+  s.max_tape_libraries = 1;
+  s.max_compute_slots = 4;
+  return s;
+}
+
+ResourcePool make_pool(int sites = 2, int max_links = 8) {
+  return ResourcePool(Topology::fully_connected(sites, site_proto(),
+                                                max_links));
+}
+
+TEST(Pool, AddDeviceAssignsDenseIds) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  const int b = pool.add_device(resources::eva8000(), 1);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(pool.device_count(), 2);
+  EXPECT_EQ(pool.device(a).type.name, "XP1200");
+  EXPECT_EQ(pool.device(b).site_id, 1);
+}
+
+TEST(Pool, LinksNeedTwoConnectedEndpoints) {
+  auto pool = make_pool();
+  EXPECT_NO_THROW(pool.add_device(resources::network_high(), 0, 1));
+  EXPECT_THROW(pool.add_device(resources::network_high(), 0), InvalidArgument);
+  EXPECT_THROW(pool.add_device(resources::network_high(), 0, 0),
+               InvalidArgument);
+  EXPECT_THROW(pool.add_device(resources::xp1200(), 0, 1), InvalidArgument);
+}
+
+TEST(Pool, DisconnectedPairRejected) {
+  Topology t;
+  SiteSpec s = site_proto();
+  s.id = 0;
+  t.sites.push_back(s);
+  s.id = 1;
+  s.name = "s2";
+  t.sites.push_back(s);
+  // no pair_limits: sites not connected
+  ResourcePool pool(t);
+  EXPECT_THROW(pool.add_device(resources::network_high(), 0, 1),
+               InfeasibleError);
+}
+
+TEST(Pool, AllocateGrowsUnitsToDemand) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  pool.allocate(a, {0, Purpose::Primary, 1000.0, 50.0});
+  // 1000 GB → 7 units; 50 MB/s → 2 units; max = 7.
+  EXPECT_EQ(pool.device(a).capacity_units, 7);
+  EXPECT_DOUBLE_EQ(pool.used_capacity_gb(a), 1000.0);
+  EXPECT_DOUBLE_EQ(pool.used_bandwidth_mbps(a), 50.0);
+}
+
+TEST(Pool, AllocateBandwidthBoundGrowsForBandwidth) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  pool.allocate(a, {0, Purpose::Primary, 100.0, 300.0});
+  // 100 GB → 1 unit but 300 MB/s → 12 units.
+  EXPECT_EQ(pool.device(a).capacity_units, 12);
+}
+
+TEST(Pool, AllocateBeyondDeviceThrowsAndRollsBack) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::msa1500(), 0);  // 128×143 GB max
+  pool.allocate(a, {0, Purpose::Primary, 1000.0, 8.0});
+  const int units_before = pool.device(a).capacity_units;
+  EXPECT_THROW(pool.allocate(a, {1, Purpose::Primary, 128 * 143.0, 0.0}),
+               InfeasibleError);
+  // Strong guarantee: the failed allocation left no trace.
+  EXPECT_EQ(pool.device(a).capacity_units, units_before);
+  EXPECT_EQ(pool.allocations(a).size(), 1u);
+}
+
+TEST(Pool, AllocateBeyondAggregateBandwidthThrows) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::msa1500(), 0);  // 128 MB/s cap
+  EXPECT_THROW(pool.allocate(a, {0, Purpose::Primary, 10.0, 200.0}),
+               InfeasibleError);
+}
+
+TEST(Pool, ReleaseAppRemovesAllAllocationsEverywhere) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  const int b = pool.add_device(resources::eva8000(), 1);
+  pool.allocate(a, {0, Purpose::Primary, 500.0, 10.0});
+  pool.allocate(b, {0, Purpose::Mirror, 500.0, 5.0});
+  pool.allocate(a, {1, Purpose::Primary, 300.0, 10.0});
+  pool.release_app(0);
+  EXPECT_EQ(pool.allocations(a).size(), 1u);
+  EXPECT_TRUE(pool.allocations(b).empty());
+  EXPECT_FALSE(pool.in_use(b));
+  EXPECT_TRUE(pool.in_use(a));
+  EXPECT_DOUBLE_EQ(pool.used_capacity_gb(a), 300.0);
+}
+
+TEST(Pool, IdleDeviceKeepsIdAndCostsNothingLater) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  pool.allocate(a, {0, Purpose::Primary, 100.0, 5.0});
+  pool.release_app(0);
+  EXPECT_EQ(pool.device(a).capacity_units, 0);
+  EXPECT_FALSE(pool.in_use(a));
+  EXPECT_EQ(pool.device(a).id, a);
+}
+
+TEST(Pool, UtilizationIsMaxOfDimensions) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::msa1500(), 0);
+  // Capacity: 64 of 128 units = 50%. Bandwidth: 6.4 of 128 MB/s = 5%.
+  pool.allocate(a, {0, Purpose::Primary, 64 * 143.0, 6.4});
+  EXPECT_NEAR(pool.utilization(a), 0.5, 1e-9);
+}
+
+TEST(Pool, UtilizationOfIdleIsZero) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  EXPECT_DOUBLE_EQ(pool.utilization(a), 0.0);
+}
+
+TEST(Pool, BandwidthHeadroom) {
+  auto pool = make_pool();
+  const int a = pool.add_device(resources::xp1200(), 0);
+  pool.allocate(a, {0, Purpose::Primary, 143.0 * 4, 60.0});
+  // 4 units → 100 MB/s provisioned; 60 used → 40 headroom.
+  EXPECT_DOUBLE_EQ(pool.bandwidth_headroom_mbps(a), 40.0);
+}
+
+TEST(Pool, ExtraBandwidthUnitsClampToMax) {
+  auto pool = make_pool();
+  const int link = pool.add_device(resources::network_med(), 0, 1);
+  pool.allocate(link, {0, Purpose::MirrorTraffic, 0.0, 10.0});  // 1 link min
+  const int applied = pool.set_extra_bandwidth_units(link, 100);
+  EXPECT_EQ(applied, 15);  // 16 max - 1 base
+  EXPECT_EQ(pool.device(link).bandwidth_units, 16);
+}
+
+TEST(Pool, ExtraUnitsSurviveUnrelatedRelease) {
+  auto pool = make_pool();
+  const int link = pool.add_device(resources::network_med(), 0, 1);
+  pool.allocate(link, {0, Purpose::MirrorTraffic, 0.0, 10.0});
+  pool.allocate(link, {1, Purpose::MirrorTraffic, 0.0, 10.0});
+  pool.set_extra_bandwidth_units(link, 3);
+  pool.release_app(1);
+  EXPECT_EQ(pool.device(link).extra_bandwidth_units, 3);
+  EXPECT_EQ(pool.device(link).bandwidth_units, 1 + 3);
+}
+
+TEST(Pool, ExtrasResetWhenDeviceGoesIdle) {
+  auto pool = make_pool();
+  const int link = pool.add_device(resources::network_med(), 0, 1);
+  pool.allocate(link, {0, Purpose::MirrorTraffic, 0.0, 10.0});
+  pool.set_extra_bandwidth_units(link, 3);
+  pool.release_app(0);
+  EXPECT_EQ(pool.device(link).extra_bandwidth_units, 0);
+  EXPECT_EQ(pool.device(link).bandwidth_units, 0);
+}
+
+TEST(Pool, DevicesAtFiltersBySiteAndKind) {
+  auto pool = make_pool();
+  pool.add_device(resources::xp1200(), 0);
+  pool.add_device(resources::eva8000(), 0);
+  pool.add_device(resources::xp1200(), 1);
+  pool.add_device(resources::tape_library_high(), 0);
+  EXPECT_EQ(pool.devices_at(0, DeviceKind::DiskArray).size(), 2u);
+  EXPECT_EQ(pool.devices_at(1, DeviceKind::DiskArray).size(), 1u);
+  EXPECT_EQ(pool.devices_at(0, DeviceKind::TapeLibrary).size(), 1u);
+}
+
+TEST(Pool, FindLinkByTypeAndPair) {
+  auto pool = make_pool(3);
+  const int hi = pool.add_device(resources::network_high(), 0, 1);
+  EXPECT_EQ(pool.find_link(0, 1, "Net-High"), hi);
+  EXPECT_EQ(pool.find_link(1, 0, "Net-High"), hi);
+  EXPECT_EQ(pool.find_link(0, 1, "Net-Med"), -1);
+  EXPECT_EQ(pool.find_link(0, 2, "Net-High"), -1);
+}
+
+TEST(Pool, SitesInUseTracksLinkEndpoints) {
+  auto pool = make_pool(3);
+  const int link = pool.add_device(resources::network_high(), 0, 2);
+  EXPECT_TRUE(pool.sites_in_use().empty());
+  pool.allocate(link, {0, Purpose::MirrorTraffic, 0.0, 5.0});
+  EXPECT_EQ(pool.sites_in_use(), (std::vector<int>{0, 2}));
+}
+
+TEST(Pool, CheckFeasibleArrayLimit) {
+  auto pool = make_pool();  // max 2 arrays per site
+  for (const auto& type :
+       {resources::xp1200(), resources::eva8000(), resources::msa1500()}) {
+    const int id = pool.add_device(type, 0);
+    pool.allocate(id, {id, Purpose::Primary, 100.0, 1.0});
+  }
+  EXPECT_THROW(pool.check_feasible(), InfeasibleError);
+}
+
+TEST(Pool, CheckFeasibleIgnoresIdleDevices) {
+  auto pool = make_pool();
+  for (const auto& type :
+       {resources::xp1200(), resources::eva8000(), resources::msa1500()}) {
+    pool.add_device(type, 0);  // three arrays, all idle
+  }
+  EXPECT_NO_THROW(pool.check_feasible());
+}
+
+TEST(Pool, CheckFeasibleComputeSlots) {
+  auto pool = make_pool();  // max 4 compute slots
+  const int c = pool.add_device(resources::compute_high(), 0);
+  for (int app = 0; app < 4; ++app) {
+    pool.allocate(c, {app, Purpose::ComputePrimary, 1.0, 0.0});
+  }
+  EXPECT_NO_THROW(pool.check_feasible());
+  pool.allocate(c, {4, Purpose::ComputePrimary, 1.0, 0.0});
+  EXPECT_THROW(pool.check_feasible(), InfeasibleError);
+}
+
+TEST(Pool, CheckFeasibleLinkPairLimitAcrossTypes) {
+  auto pool = make_pool(2, /*max_links=*/4);
+  const int hi = pool.add_device(resources::network_high(), 0, 1);
+  const int med = pool.add_device(resources::network_med(), 0, 1);
+  pool.allocate(hi, {0, Purpose::MirrorTraffic, 0.0, 60.0});   // 3 links
+  pool.allocate(med, {1, Purpose::MirrorTraffic, 0.0, 10.0});  // 1 link
+  EXPECT_NO_THROW(pool.check_feasible());
+  pool.allocate(med, {2, Purpose::MirrorTraffic, 0.0, 10.0});  // 2 links → 5
+  EXPECT_THROW(pool.check_feasible(), InfeasibleError);
+}
+
+TEST(Pool, CheckFeasibleTapeLimit) {
+  auto pool = make_pool();  // max 1 tape library per site
+  const int t1 = pool.add_device(resources::tape_library_high(), 0);
+  const int t2 = pool.add_device(resources::tape_library_med(), 0);
+  pool.allocate(t1, {0, Purpose::Backup, 60.0, 120.0});
+  EXPECT_NO_THROW(pool.check_feasible());
+  pool.allocate(t2, {1, Purpose::Backup, 60.0, 120.0});
+  EXPECT_THROW(pool.check_feasible(), InfeasibleError);
+}
+
+TEST(Pool, PurposeToString) {
+  EXPECT_STREQ(to_string(Purpose::Primary), "primary");
+  EXPECT_STREQ(to_string(Purpose::Backup), "backup");
+  EXPECT_STREQ(to_string(Purpose::ComputeFailover), "compute-failover");
+}
+
+}  // namespace
+}  // namespace depstor

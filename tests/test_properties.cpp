@@ -1,0 +1,236 @@
+// Cross-cutting property tests: invariants that must hold across seeds,
+// scales and techniques, swept with parameterized suites.
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "core/sampler.hpp"
+#include "model/recovery_sim.hpp"
+#include "solver/config_solver.hpp"
+#include "solver/design_solver.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+
+// --- every solver output is structurally sound, across seeds ---
+
+class SolverSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverSoundness, DesignSolverOutputsAreAlwaysFeasible) {
+  Environment env = peer_env(8);
+  DesignSolverOptions o;
+  o.time_budget_ms = 250.0;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const auto result = DesignSolver(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW(result.best->check_feasible());
+  EXPECT_EQ(result.best->assigned_count(), 8);
+  // Reported cost must match an independent re-evaluation of the candidate.
+  EXPECT_NEAR(result.cost.total(), result.best->evaluate().total(),
+              result.cost.total() * 1e-9);
+}
+
+TEST_P(SolverSoundness, BaselineOutputsAreAlwaysFeasible) {
+  Environment env = peer_env(8);
+  BaselineOptions o;
+  o.time_budget_ms = 250.0;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const auto human = HumanHeuristic(&env, o).solve();
+  if (human.feasible) {
+    EXPECT_NO_THROW(human.best->check_feasible());
+    EXPECT_EQ(human.best->assigned_count(), 8);
+  }
+  const auto random = RandomHeuristic(&env, o).solve();
+  if (random.feasible) {
+    EXPECT_NO_THROW(random.best->check_feasible());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSoundness, ::testing::Range(1, 11));
+
+// --- technique dominance: more protection never increases penalties ---
+
+class TechniqueDominance
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(TechniqueDominance, BackupNeverWorsensPenalty) {
+  // Same mirror mode and recovery style, with vs without backup: the
+  // with-backup variant must have penalties no larger (it strictly adds
+  // surviving copies).
+  const auto [app_index, is_sync] = GetParam();
+  const auto mirror = is_sync ? MirrorMode::Sync : MirrorMode::Async;
+
+  Environment env_with = peer_env(4);
+  Environment env_without = peer_env(4);
+  const auto with_backup =
+      protection::mirror_technique(mirror, RecoveryMode::Failover, true);
+  const auto without_backup =
+      protection::mirror_technique(mirror, RecoveryMode::Failover, false);
+
+  Candidate a(&env_with);
+  a.place_app(app_index, full_choice(with_backup));
+  Candidate b(&env_without);
+  b.place_app(app_index, full_choice(without_backup));
+
+  const auto pa = a.evaluate();
+  const auto pb = b.evaluate();
+  EXPECT_LE(pa.penalty(),
+            pb.penalty() + 1e-6)
+      << "backup increased penalties for app " << app_index;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndModes, TechniqueDominance,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3), ::testing::Bool()));
+
+// --- failover dominates reconstruct on outage, any app, any mirror mode ---
+
+class FailoverDominance
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(FailoverDominance, FailoverOutagePenaltyNeverLarger) {
+  const auto [app_index, is_sync] = GetParam();
+  const auto mirror = is_sync ? MirrorMode::Sync : MirrorMode::Async;
+  Environment env_f = peer_env(4);
+  Environment env_r = peer_env(4);
+  Candidate f(&env_f);
+  f.place_app(app_index,
+              full_choice(protection::mirror_technique(
+                  mirror, RecoveryMode::Failover, true)));
+  Candidate r(&env_r);
+  r.place_app(app_index,
+              full_choice(protection::mirror_technique(
+                  mirror, RecoveryMode::Reconstruct, true)));
+  EXPECT_LE(f.evaluate().outage_penalty, r.evaluate().outage_penalty + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndModes, FailoverDominance,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3), ::testing::Bool()));
+
+// --- contention monotonicity: adding co-hosted apps never speeds anyone up
+
+TEST(ContentionMonotonicity, MoreCohostedAppsNeverShortenOutage) {
+  double previous_worst = 0.0;
+  for (int n : {1, 2, 4}) {
+    Environment env = peer_env(4);
+    Candidate cand(&env);
+    for (int i = 0; i < n; ++i) {
+      cand.place_app(i, full_choice(testing::sync_r_backup()));
+    }
+    ScenarioSpec s;
+    s.scope = FailureScope::DiskArray;
+    s.failed_array = cand.assignment(0).primary_array;
+    double worst = 0.0;
+    for (const auto& r : simulate_recovery(s, env.apps, cand.assignments(),
+                                           cand.pool(), env.params)) {
+      worst = std::max(worst, r.outage_hours);
+    }
+    EXPECT_GE(worst, previous_worst);
+    previous_worst = worst;
+  }
+}
+
+// --- sampler cost floor: no sampled design beats the zero lower bound and
+// --- every sampled cost includes at least the outlay of one site ---
+
+class SamplerFloor : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerFloor, SampledCostsHaveSaneFloor) {
+  Environment env = peer_env(4);
+  SolutionSpaceSampler sampler(&env);
+  const auto stats =
+      sampler.sample(40, static_cast<std::uint64_t>(GetParam()));
+  // Any feasible design uses at least one site and one array: annualized
+  // site cost alone is $1M/3.
+  EXPECT_GE(stats.costs.min(), 1e6 / 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerFloor, ::testing::Range(1, 6));
+
+// --- penalties decompose: total == outlay + Σ per-app penalties ---
+
+class CostDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostDecomposition, HoldsForRandomDesigns) {
+  Environment env = peer_env(6);
+  SolutionSpaceSampler sampler(&env);
+  // Use the design tool quickly to get a feasible candidate; then check the
+  // decomposition identity on it.
+  DesignSolverOptions o;
+  o.time_budget_ms = 150.0;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const auto result = DesignSolver(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  const auto cost = result.best->evaluate();
+  double per_app = 0.0;
+  for (const auto& d : cost.per_app) {
+    per_app += d.outage_penalty + d.loss_penalty;
+  }
+  EXPECT_NEAR(cost.total(), cost.outlay + per_app,
+              1e-9 * std::max(1.0, cost.total()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostDecomposition, ::testing::Range(1, 6));
+
+// --- interval monotonicity: longer snapshot intervals never reduce loss ---
+
+class SnapshotIntervalMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnapshotIntervalMonotone, LossGrowsWithInterval) {
+  Environment env = testing::tiny_env(workload::consumer_banking());
+  Candidate cand = testing::candidate_with(env, testing::backup_only());
+  BackupChainConfig cfg = cand.assignment(0).backup;
+  cfg.snapshot_interval_hours = 4.0;
+  cand.set_backup_config(0, cfg);
+  const double loss_short = cand.evaluate().loss_penalty;
+
+  cfg.snapshot_interval_hours = GetParam();
+  cand.set_backup_config(0, cfg);
+  const double loss_long = cand.evaluate().loss_penalty;
+  EXPECT_GE(loss_long, loss_short - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, SnapshotIntervalMonotone,
+                         ::testing::Values(4.0, 8.0, 12.0, 24.0));
+
+// --- environment scaling sanity: more apps never cost less ---
+
+TEST(ScalingSanity, CostGrowsWithAppCount) {
+  double previous = 0.0;
+  for (int apps : {4, 8}) {
+    DesignTool tool(scenarios::peer_sites(apps));
+    DesignSolverOptions o;
+    o.time_budget_ms = 500.0;
+    o.seed = 3;
+    const auto result = tool.design(o);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_GT(result.cost.total(), previous);
+    previous = result.cost.total();
+  }
+}
+
+// --- perturbation robustness: the tool stays feasible under jitter ---
+
+class JitterRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitterRobustness, SolvesPerturbedWorkloads) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Environment env = peer_env(8);
+  env.apps = workload::perturbed_set(8, 0.25, rng);
+  env.validate();
+  DesignSolverOptions o;
+  o.time_budget_ms = 400.0;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const auto result = DesignSolver(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW(result.best->check_feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterRobustness, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace depstor

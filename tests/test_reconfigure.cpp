@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "solver/reconfigure.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_r_backup;
+
+TEST(Reconfigure, AssignsUnassignedApp) {
+  Environment env = peer_env(2);
+  Rng rng(1);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  EXPECT_TRUE(rec.reconfigure_app(cand, 0));
+  EXPECT_TRUE(cand.is_assigned(0));
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+TEST(Reconfigure, RespectsClassEligibility) {
+  Environment env = peer_env(8);
+  Rng rng(2);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rec.reconfigure_app(cand, i));
+  }
+  for (const auto& asg : cand.assignments()) {
+    const AppCategory app_cls = env.app_category(asg.app_id);
+    EXPECT_GE(static_cast<int>(asg.technique.category),
+              static_cast<int>(app_cls))
+        << env.app(asg.app_id).name << " got " << asg.technique.name;
+  }
+}
+
+TEST(Reconfigure, ReassignsAssignedApp) {
+  Environment env = peer_env(2);
+  Rng rng(3);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  EXPECT_TRUE(rec.reconfigure_app(cand, 0));
+  EXPECT_TRUE(cand.is_assigned(0));
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+TEST(Reconfigure, GoldAppsNeverGetBronzeTechniques) {
+  Environment env = peer_env(4);
+  Rng rng(4);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      if (cand.is_assigned(i)) cand.remove_app(i);
+      ASSERT_TRUE(rec.reconfigure_app(cand, i));
+    }
+    // App 0 is B1 (gold): must always have mirror + failover.
+    EXPECT_EQ(cand.assignment(0).technique.category, AppCategory::Gold);
+    EXPECT_TRUE(cand.assignment(0).technique.has_mirror());
+  }
+}
+
+TEST(Reconfigure, UsageHistoryAccumulates) {
+  Environment env = peer_env(1);
+  Rng rng(5);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  ASSERT_TRUE(rec.reconfigure_app(cand, 0));
+  const auto& choice = cand.choice(0);
+  // The chosen primary array must appear in the usage history under either
+  // its device key or its type@site key.
+  const std::string dev_key =
+      "dev#" + std::to_string(cand.assignment(0).primary_array);
+  const std::string new_key =
+      choice.primary_array_type + "@" + std::to_string(choice.primary_site);
+  EXPECT_GT(rec.usage_count(0, dev_key) + rec.usage_count(0, new_key), 0);
+}
+
+TEST(Reconfigure, PickAppPrefersPenaltyContributors) {
+  Environment env = peer_env(8);
+  Rng rng(6);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(rec.reconfigure_app(cand, i));
+  const CostBreakdown cost = cand.evaluate();
+
+  // Find the app with the largest penalty; over many draws it must be picked
+  // far more often than the cheapest app.
+  int max_app = 0;
+  double max_pen = -1.0;
+  for (const auto& d : cost.per_app) {
+    if (d.outage_penalty + d.loss_penalty > max_pen) {
+      max_pen = d.outage_penalty + d.loss_penalty;
+      max_app = d.app_id;
+    }
+  }
+  int hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (rec.pick_app_to_reconfigure(cand, cost) == max_app) ++hits;
+  }
+  EXPECT_GT(hits, 100);  // ≥20% for the dominant contributor
+}
+
+TEST(Reconfigure, PickAppOnlyReturnsAssigned) {
+  Environment env = peer_env(4);
+  Rng rng(7);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  ASSERT_TRUE(rec.reconfigure_app(cand, 2));
+  const CostBreakdown cost = cand.evaluate();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rec.pick_app_to_reconfigure(cand, cost), 2);
+  }
+}
+
+TEST(Reconfigure, PickAppThrowsWhenNothingAssigned) {
+  Environment env = peer_env(2);
+  Rng rng(8);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  EXPECT_THROW(rec.pick_app_to_reconfigure(cand, cand.evaluate()),
+               InvalidArgument);
+}
+
+TEST(Reconfigure, RestoresOldDesignWhenNoLayoutExists) {
+  // One site, no neighbors: mirror techniques cannot place, but the app is
+  // silver (eligible includes mirrors) — bronze isn't eligible... use a
+  // bronze app so backup-only works, then shrink the environment so nothing
+  // fits and verify restoration.
+  Environment env = scenarios::peer_sites(1);
+  env.apps = {workload::central_banking()};
+  env.apps[0].id = 0;
+  // Gold apps only accept mirror techniques; make mirroring impossible by
+  // disconnecting the sites.
+  env.topology.pair_limits.clear();
+  env.validate();
+  Rng rng(9);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  EXPECT_FALSE(rec.reconfigure_app(cand, 0));
+  EXPECT_FALSE(cand.is_assigned(0));
+}
+
+TEST(Reconfigure, FailedReconfigureKeepsPreviousAssignment) {
+  // Assign with a connected topology; the operator must keep the candidate
+  // valid even when a reconfiguration attempt fails internally.
+  Environment env = peer_env(1);
+  Rng rng(10);
+  Reconfigurator rec(&env, &rng);
+  Candidate cand(&env);
+  ASSERT_TRUE(rec.reconfigure_app(cand, 0));
+  const std::string technique_before = cand.assignment(0).technique.name;
+  for (int i = 0; i < 5; ++i) {
+    rec.reconfigure_app(cand, 0);
+    EXPECT_TRUE(cand.is_assigned(0));
+    EXPECT_NO_THROW(cand.check_feasible());
+  }
+  (void)technique_before;
+}
+
+TEST(Reconfigure, DeterministicUnderSeed) {
+  Environment env = peer_env(4);
+  Rng rng_a(42);
+  Rng rng_b(42);
+  Reconfigurator rec_a(&env, &rng_a);
+  Reconfigurator rec_b(&env, &rng_b);
+  Candidate cand_a(&env);
+  Candidate cand_b(&env);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rec_a.reconfigure_app(cand_a, i));
+    ASSERT_TRUE(rec_b.reconfigure_app(cand_b, i));
+    EXPECT_EQ(cand_a.assignment(i).technique.name,
+              cand_b.assignment(i).technique.name);
+    EXPECT_EQ(cand_a.assignment(i).primary_site,
+              cand_b.assignment(i).primary_site);
+  }
+}
+
+TEST(Reconfigure, OptionsValidation) {
+  Environment env = peer_env(1);
+  Rng rng(1);
+  ReconfigureOptions bad;
+  bad.alpha_util = 1.5;
+  EXPECT_THROW(Reconfigurator(&env, &rng, bad), InvalidArgument);
+  bad = ReconfigureOptions{};
+  bad.placement_retries = 0;
+  EXPECT_THROW(Reconfigurator(&env, &rng, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace depstor

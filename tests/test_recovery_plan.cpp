@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "model/recovery_plan.hpp"
+#include "model/recovery_sim.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::async_r_backup;
+using testing::backup_only;
+using testing::candidate_with;
+using testing::sync_f_backup;
+using testing::sync_f_only;
+using testing::sync_r_backup;
+using testing::tiny_env;
+
+RecoveryPlan plan_for(const TechniqueSpec& technique, FailureScope scope,
+                      ModelParams params = {}) {
+  Environment env = tiny_env(workload::central_banking());
+  env.params = params;
+  Candidate cand = candidate_with(env, technique);
+  return plan_recovery(env.app(0), cand.assignment(0), cand.pool(), scope,
+                       params);
+}
+
+// --- action selection matrix ---
+
+TEST(PlanAction, FailoverWhenMirrorSurvivesAndTechniqueAllows) {
+  EXPECT_EQ(plan_for(sync_f_backup(), FailureScope::DiskArray).action,
+            RecoveryAction::Failover);
+  EXPECT_EQ(plan_for(sync_f_backup(), FailureScope::SiteDisaster).action,
+            RecoveryAction::Failover);
+  EXPECT_EQ(plan_for(sync_f_only(), FailureScope::DiskArray).action,
+            RecoveryAction::Failover);
+}
+
+TEST(PlanAction, SnapshotRevertForObjectFailureWithBackup) {
+  EXPECT_EQ(plan_for(sync_f_backup(), FailureScope::DataObject).action,
+            RecoveryAction::SnapshotRevert);
+  EXPECT_EQ(plan_for(backup_only(), FailureScope::DataObject).action,
+            RecoveryAction::SnapshotRevert);
+}
+
+TEST(PlanAction, ReconstructForReconstructTechniques) {
+  EXPECT_EQ(plan_for(sync_r_backup(), FailureScope::DiskArray).action,
+            RecoveryAction::Reconstruct);
+  EXPECT_EQ(plan_for(async_r_backup(), FailureScope::SiteDisaster).action,
+            RecoveryAction::Reconstruct);
+  EXPECT_EQ(plan_for(backup_only(), FailureScope::DiskArray).action,
+            RecoveryAction::Reconstruct);
+}
+
+TEST(PlanAction, UnrecoverableForMirrorOnlyObjectFailure) {
+  const auto plan = plan_for(sync_f_only(), FailureScope::DataObject);
+  EXPECT_EQ(plan.action, RecoveryAction::Unrecoverable);
+  EXPECT_EQ(plan.copy, CopyLevel::None);
+  ModelParams p;
+  EXPECT_DOUBLE_EQ(plan.loss_hours, p.unprotected_loss_hours);
+}
+
+// --- copy choice ---
+
+TEST(PlanCopy, ReconstructUsesFreshestSurvivor) {
+  EXPECT_EQ(plan_for(sync_r_backup(), FailureScope::DiskArray).copy,
+            CopyLevel::Mirror);
+  EXPECT_EQ(plan_for(backup_only(), FailureScope::DiskArray).copy,
+            CopyLevel::TapeBackup);
+  EXPECT_EQ(plan_for(backup_only(), FailureScope::SiteDisaster).copy,
+            CopyLevel::Vault);
+}
+
+// --- timing composition ---
+
+TEST(PlanTiming, FailoverHasNoTransferAndShortFixedTime) {
+  ModelParams p;
+  const auto plan = plan_for(sync_f_backup(), FailureScope::SiteDisaster, p);
+  EXPECT_FALSE(plan.needs_transfer());
+  EXPECT_DOUBLE_EQ(plan.fixed_restore_hours, p.failover_hours);
+  // Failover serializes its bring-up on the spare compute device.
+  EXPECT_EQ(plan.shared_devices.size(), 1u);
+}
+
+TEST(PlanTiming, ConcurrentFailoversSerializeOnSpareCompute) {
+  Environment env = testing::peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) {
+    cand.place_app(i, testing::full_choice(sync_f_backup()));
+  }
+  ScenarioSpec s;
+  s.scope = FailureScope::SiteDisaster;
+  s.failed_site = 0;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  ASSERT_EQ(results.size(), 4u);
+  // All four fail over to the same secondary compute: the k-th in priority
+  // order completes after k bring-up slots.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_NEAR(results[i].outage_hours,
+                env.params.failover_hours * static_cast<double>(i + 1),
+                1e-9);
+  }
+}
+
+TEST(PlanTiming, SnapshotRevertUsesOverheadOnly) {
+  ModelParams p;
+  const auto plan = plan_for(backup_only(), FailureScope::DataObject, p);
+  EXPECT_FALSE(plan.needs_transfer());
+  EXPECT_DOUBLE_EQ(plan.fixed_restore_hours, p.snapshot_restore_hours);
+  EXPECT_DOUBLE_EQ(plan.loss_hours,
+                   BackupChainConfig{}.snapshot_interval_hours);
+}
+
+TEST(PlanTiming, ReconstructCarriesRepairLead) {
+  ModelParams p;
+  EXPECT_DOUBLE_EQ(
+      plan_for(sync_r_backup(), FailureScope::DiskArray, p).lead_hours,
+      p.repair_disk_array_hours);
+  EXPECT_DOUBLE_EQ(
+      plan_for(sync_r_backup(), FailureScope::SiteDisaster, p).lead_hours,
+      p.repair_site_hours);
+}
+
+TEST(PlanTiming, VaultRestoreAddsRetrievalLead) {
+  ModelParams p;
+  const auto plan = plan_for(backup_only(), FailureScope::SiteDisaster, p);
+  EXPECT_EQ(plan.copy, CopyLevel::Vault);
+  EXPECT_DOUBLE_EQ(plan.lead_hours,
+                   p.repair_site_hours + p.vault_retrieval_hours);
+  EXPECT_DOUBLE_EQ(plan.fixed_restore_hours, p.tape_load_hours);
+}
+
+TEST(PlanTiming, DetectionLatencyAddsEverywhere) {
+  ModelParams p;
+  p.detection_hours = 2.0;
+  const auto failover = plan_for(sync_f_backup(), FailureScope::DiskArray, p);
+  EXPECT_DOUBLE_EQ(failover.lead_hours, 2.0);
+  const auto reconstruct =
+      plan_for(sync_r_backup(), FailureScope::DiskArray, p);
+  EXPECT_DOUBLE_EQ(reconstruct.lead_hours, 2.0 + p.repair_disk_array_hours);
+}
+
+TEST(PlanTransfer, ReconstructMovesTheWholeDataset) {
+  const auto plan = plan_for(sync_r_backup(), FailureScope::DiskArray);
+  EXPECT_TRUE(plan.needs_transfer());
+  EXPECT_DOUBLE_EQ(plan.transfer_gb,
+                   workload::central_banking().data_size_gb);
+}
+
+TEST(PlanTransfer, MirrorRestoreSerializesOnArraysAndLink) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, sync_r_backup());
+  const auto& asg = cand.assignment(0);
+  const auto plan = plan_recovery(env.app(0), asg, cand.pool(),
+                                  FailureScope::DiskArray, env.params);
+  EXPECT_EQ(plan.shared_devices.size(), 3u);
+  EXPECT_NE(std::find(plan.shared_devices.begin(), plan.shared_devices.end(),
+                      asg.primary_array),
+            plan.shared_devices.end());
+  EXPECT_NE(std::find(plan.shared_devices.begin(), plan.shared_devices.end(),
+                      asg.mirror_array),
+            plan.shared_devices.end());
+  EXPECT_NE(std::find(plan.shared_devices.begin(), plan.shared_devices.end(),
+                      asg.mirror_link),
+            plan.shared_devices.end());
+}
+
+TEST(PlanTransfer, TapeRestoreSerializesOnLibraryAndArray) {
+  Environment env = tiny_env(workload::student_accounts());
+  Candidate cand = candidate_with(env, backup_only());
+  const auto& asg = cand.assignment(0);
+  const auto plan = plan_recovery(env.app(0), asg, cand.pool(),
+                                  FailureScope::DiskArray, env.params);
+  EXPECT_EQ(plan.shared_devices.size(), 2u);
+  EXPECT_NE(std::find(plan.shared_devices.begin(), plan.shared_devices.end(),
+                      asg.tape_library),
+            plan.shared_devices.end());
+}
+
+// --- loss values ---
+
+TEST(PlanLoss, FailoverLossIsMirrorStaleness) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, sync_f_backup());
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::SiteDisaster, env.params);
+  EXPECT_DOUBLE_EQ(plan.loss_hours,
+                   staleness_hours(CopyLevel::Mirror, env.app(0),
+                                   cand.assignment(0), cand.pool()));
+}
+
+TEST(PlanLoss, ReconstructTakesMinStalenessSurvivor) {
+  // Reconstruct with mirror + backup after array failure: mirror is fresher
+  // than tape, so loss should be the mirror's staleness.
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, sync_r_backup());
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::DiskArray, env.params);
+  EXPECT_EQ(plan.copy, CopyLevel::Mirror);
+  EXPECT_LT(plan.loss_hours, 1.0);  // minutes, not days
+}
+
+TEST(Plan, RequiresAssignedApp) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand(&env);
+  EXPECT_THROW(plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                             FailureScope::DataObject, env.params),
+               InvalidArgument);
+}
+
+TEST(Plan, ToStringCoverage) {
+  EXPECT_STREQ(to_string(RecoveryAction::Failover), "failover");
+  EXPECT_STREQ(to_string(RecoveryAction::SnapshotRevert), "snapshot-revert");
+  EXPECT_STREQ(to_string(RecoveryAction::Reconstruct), "reconstruct");
+  EXPECT_STREQ(to_string(RecoveryAction::Unrecoverable), "unrecoverable");
+}
+
+}  // namespace
+}  // namespace depstor

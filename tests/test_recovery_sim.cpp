@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/recovery_sim.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::backup_only;
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+using testing::sync_r_backup;
+
+/// Candidate with `n` apps all placed with the same technique at site 0
+/// (mirrors at site 1) on the same devices.
+Candidate colocated(const Environment& env, const TechniqueSpec& technique,
+                    int n) {
+  Candidate cand(&env);
+  for (int i = 0; i < n; ++i) {
+    cand.place_app(i, full_choice(technique));
+  }
+  return cand;
+}
+
+// --- scenario enumeration ---
+
+TEST(Scenarios, OneObjectFailurePerAssignedApp) {
+  Environment env = peer_env(4);
+  Candidate cand = colocated(env, sync_r_backup(), 4);
+  const auto scenarios = enumerate_scenarios(
+      env.apps, cand.assignments(), cand.pool(), env.failures, true);
+  const auto objects = std::count_if(
+      scenarios.begin(), scenarios.end(), [](const ScenarioSpec& s) {
+        return s.scope == FailureScope::DataObject;
+      });
+  EXPECT_EQ(objects, 4);
+}
+
+TEST(Scenarios, ArraysAndSitesDeduplicated) {
+  Environment env = peer_env(4);
+  Candidate cand = colocated(env, sync_r_backup(), 4);
+  // All four primaries share one array at one site.
+  const auto scenarios = enumerate_scenarios(
+      env.apps, cand.assignments(), cand.pool(), env.failures, true);
+  const auto arrays = std::count_if(
+      scenarios.begin(), scenarios.end(), [](const ScenarioSpec& s) {
+        return s.scope == FailureScope::DiskArray;
+      });
+  const auto sites = std::count_if(
+      scenarios.begin(), scenarios.end(), [](const ScenarioSpec& s) {
+        return s.scope == FailureScope::SiteDisaster;
+      });
+  EXPECT_EQ(arrays, 1);
+  EXPECT_EQ(sites, 1);
+  EXPECT_EQ(scenarios.size(), 6u);
+}
+
+TEST(Scenarios, PartialCandidatesOnlyCoverAssignedApps) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const auto scenarios = enumerate_scenarios(
+      env.apps, cand.assignments(), cand.pool(), env.failures);
+  EXPECT_EQ(scenarios.size(), 3u);  // 1 object + 1 array + 1 site
+}
+
+TEST(Scenarios, RatesComeFromFailureModel) {
+  Environment env = peer_env(1);
+  env.failures.data_object_rate = 2.0;
+  env.failures.disk_array_rate = 0.5;
+  env.failures.site_disaster_rate = 0.25;
+  Candidate cand = colocated(env, sync_r_backup(), 1);
+  for (const auto& s : enumerate_scenarios(env.apps, cand.assignments(),
+                                           cand.pool(), env.failures)) {
+    EXPECT_DOUBLE_EQ(s.annual_rate, env.failures.rate(s.scope));
+  }
+}
+
+TEST(Scenarios, NamesFilledOnlyOnRequest) {
+  Environment env = peer_env(1);
+  Candidate cand = colocated(env, sync_r_backup(), 1);
+  const auto without = enumerate_scenarios(env.apps, cand.assignments(),
+                                           cand.pool(), env.failures);
+  EXPECT_TRUE(without.front().name.empty());
+  const auto with = enumerate_scenarios(env.apps, cand.assignments(),
+                                        cand.pool(), env.failures, true);
+  EXPECT_FALSE(with.front().name.empty());
+}
+
+// --- affected apps ---
+
+TEST(AffectedApps, ObjectFailureHitsOneApp) {
+  Environment env = peer_env(4);
+  Candidate cand = colocated(env, sync_r_backup(), 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DataObject;
+  s.failed_app = 2;
+  EXPECT_EQ(affected_apps(s, cand.assignments(), cand.pool().topology()), (std::vector<int>{2}));
+}
+
+TEST(AffectedApps, ArrayFailureHitsCohostedPrimaries) {
+  Environment env = peer_env(4);
+  Candidate cand = colocated(env, sync_r_backup(), 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  EXPECT_EQ(affected_apps(s, cand.assignments(), cand.pool().topology()).size(), 4u);
+}
+
+TEST(AffectedApps, MirrorHostingArrayFailureHitsNobody) {
+  Environment env = peer_env(1);
+  Candidate cand = colocated(env, sync_r_backup(), 1);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).mirror_array;
+  EXPECT_TRUE(affected_apps(s, cand.assignments(), cand.pool().topology()).empty());
+}
+
+TEST(AffectedApps, SiteDisasterHitsPrimariesOnly) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup(), 0, 1));
+  cand.place_app(1, full_choice(sync_r_backup(), 1, 0));
+  ScenarioSpec s;
+  s.scope = FailureScope::SiteDisaster;
+  s.failed_site = 0;
+  EXPECT_EQ(affected_apps(s, cand.assignments(), cand.pool().topology()), (std::vector<int>{0}));
+}
+
+// --- recovery bandwidth / headroom ---
+
+TEST(RecoveryBandwidth, FailedAppsFreeTheirAllocations) {
+  Environment env = peer_env(2);
+  Candidate cand = colocated(env, sync_r_backup(), 2);
+  const int array = cand.assignment(0).primary_array;
+  const double total = cand.pool().device(array).bandwidth_mbps();
+  // Both apps failed: all provisioned bandwidth is available.
+  EXPECT_DOUBLE_EQ(recovery_bandwidth_mbps(cand.pool(), array, {0, 1}), total);
+  // Only app 0 failed: app 1's allocations still run.
+  const double partial = recovery_bandwidth_mbps(cand.pool(), array, {0});
+  EXPECT_LT(partial, total);
+  EXPECT_GT(partial, 0.0);
+}
+
+TEST(RecoveryBandwidth, FlooredWhenNoHeadroom) {
+  Environment env = peer_env(2);
+  Candidate cand = colocated(env, sync_r_backup(), 2);
+  const int array = cand.assignment(0).primary_array;
+  // Nobody failed → only the idle headroom remains; with a tightly sized
+  // array that may be ~0, and the floor keeps it positive.
+  const double bw = recovery_bandwidth_mbps(cand.pool(), array, {});
+  EXPECT_GE(bw, kMinRecoveryBandwidthMbps);
+}
+
+// --- simulation: contention and serialization ---
+
+TEST(Simulation, PriorityOrderIsByPenaltySum) {
+  Environment env = peer_env(4);  // B, C, W, S — shared primary array
+  Candidate cand = colocated(env, sync_r_backup(), 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  s.annual_rate = 1.0;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(env.apps[static_cast<std::size_t>(results[i - 1].app_id)]
+                  .penalty_rate_sum(),
+              env.apps[static_cast<std::size_t>(results[i].app_id)]
+                  .penalty_rate_sum());
+  }
+}
+
+TEST(Simulation, SharedResourceSerializesOutages) {
+  Environment env = peer_env(4);
+  Candidate cand = colocated(env, sync_r_backup(), 4);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  // Strictly increasing completion times down the priority order: each app
+  // waits for the previous transfers on the shared array/link.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GT(results[i].outage_hours, results[i - 1].outage_hours);
+  }
+}
+
+TEST(Simulation, FailoverAppsDoNotQueueBehindTransfers) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  // Three reconstruct apps and one failover app on the same array.
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.place_app(1, full_choice(sync_r_backup()));
+  cand.place_app(2, full_choice(sync_r_backup()));
+  cand.place_app(3, full_choice(sync_f_backup()));
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(3).primary_array;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  for (const auto& r : results) {
+    if (r.app_id == 3) {
+      EXPECT_EQ(r.action, RecoveryAction::Failover);
+      EXPECT_LT(r.outage_hours, 1.0);
+    }
+  }
+}
+
+TEST(Simulation, ReconstructOutageIncludesRepairLead) {
+  Environment env = peer_env(1);
+  Candidate cand = colocated(env, sync_r_backup(), 1);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].outage_hours, env.params.repair_disk_array_hours);
+}
+
+TEST(Simulation, UnrecoverableChargedFixedOutage) {
+  Environment env = peer_env(1);
+  Candidate cand = colocated(env, testing::sync_f_only(), 1);
+  ScenarioSpec s;
+  s.scope = FailureScope::DataObject;
+  s.failed_app = 0;
+  const auto results = simulate_recovery(s, env.apps, cand.assignments(),
+                                         cand.pool(), env.params);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].action, RecoveryAction::Unrecoverable);
+  EXPECT_DOUBLE_EQ(results[0].outage_hours,
+                   env.params.unprotected_loss_hours);
+  EXPECT_DOUBLE_EQ(results[0].loss_hours, env.params.unprotected_loss_hours);
+}
+
+TEST(Simulation, MoreTapeDrivesShortenTapeRestore) {
+  Environment env = peer_env(1);
+  env.apps[0] = workload::web_service();  // 4.3 TB: tape restore is long
+  env.apps[0].id = 0;
+  Candidate cand = colocated(env, backup_only(), 1);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+
+  const double base = simulate_recovery(s, env.apps, cand.assignments(),
+                                        cand.pool(), env.params)[0]
+                          .outage_hours;
+  cand.set_extra_bandwidth_units(cand.assignment(0).tape_library, 3);
+  const double faster = simulate_recovery(s, env.apps, cand.assignments(),
+                                          cand.pool(), env.params)[0]
+                            .outage_hours;
+  EXPECT_LT(faster, base);
+}
+
+TEST(Simulation, MoreLinksShortenMirrorRestore) {
+  Environment env = peer_env(1);
+  env.apps[0] = workload::web_service();
+  env.apps[0].id = 0;
+  Candidate cand = colocated(env, sync_r_backup(), 1);
+  ScenarioSpec s;
+  s.scope = FailureScope::SiteDisaster;
+  s.failed_site = 0;
+
+  const double base = simulate_recovery(s, env.apps, cand.assignments(),
+                                        cand.pool(), env.params)[0]
+                          .outage_hours;
+  cand.set_extra_bandwidth_units(cand.assignment(0).mirror_link, 8);
+  const double faster = simulate_recovery(s, env.apps, cand.assignments(),
+                                          cand.pool(), env.params)[0]
+                            .outage_hours;
+  EXPECT_LT(faster, base);
+}
+
+TEST(Simulation, DeterministicTieBreakOnEqualPriorities) {
+  Environment env = peer_env(8);  // two of each class → equal-priority pairs
+  Candidate cand = colocated(env, sync_r_backup(), 8);
+  ScenarioSpec s;
+  s.scope = FailureScope::DiskArray;
+  s.failed_array = cand.assignment(0).primary_array;
+  const auto a = simulate_recovery(s, env.apps, cand.assignments(),
+                                   cand.pool(), env.params);
+  const auto b = simulate_recovery(s, env.apps, cand.assignments(),
+                                   cand.pool(), env.params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app_id, b[i].app_id);
+    EXPECT_DOUBLE_EQ(a[i].outage_hours, b[i].outage_hours);
+  }
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,169 @@
+// Regional disasters (§2.4): correlated failure of every site in a region.
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "model/recovery_plan.hpp"
+#include "model/recovery_sim.hpp"
+#include "solver/design_solver.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::sync_f_backup;
+
+/// Four sites in two regions (0,1 → region 0; 2,3 → region 1), fully
+/// connected, regional rate enabled.
+Environment two_region_env(int apps, double regional_rate = 0.05) {
+  Environment env = scenarios::multi_site(apps, 4, 8);
+  env.topology.sites[0].region = 0;
+  env.topology.sites[1].region = 0;
+  env.topology.sites[2].region = 1;
+  env.topology.sites[3].region = 1;
+  env.failures.regional_disaster_rate = regional_rate;
+  env.validate();
+  return env;
+}
+
+TEST(Regional, PlacementFreeSurvivalIsConservative) {
+  EXPECT_FALSE(level_survives(CopyLevel::Mirror,
+                              FailureScope::RegionalDisaster));
+  EXPECT_FALSE(level_survives(CopyLevel::Snapshot,
+                              FailureScope::RegionalDisaster));
+  EXPECT_FALSE(level_survives(CopyLevel::TapeBackup,
+                              FailureScope::RegionalDisaster));
+  EXPECT_TRUE(level_survives(CopyLevel::Vault,
+                             FailureScope::RegionalDisaster));
+}
+
+TEST(Regional, CrossRegionMirrorSurvives) {
+  Environment env = two_region_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), /*primary=*/0,
+                                /*secondary=*/2));  // cross-region
+  EXPECT_TRUE(level_survives(CopyLevel::Mirror,
+                             FailureScope::RegionalDisaster,
+                             cand.assignment(0), env.topology));
+}
+
+TEST(Regional, SameRegionMirrorDies) {
+  Environment env = two_region_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), /*primary=*/0,
+                                /*secondary=*/1));  // same region
+  EXPECT_FALSE(level_survives(CopyLevel::Mirror,
+                              FailureScope::RegionalDisaster,
+                              cand.assignment(0), env.topology));
+}
+
+TEST(Regional, ScenarioEnumerationPerRegionWithPrimaries) {
+  Environment env = two_region_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), 0, 2));
+  cand.place_app(1, full_choice(sync_f_backup(), 2, 0));
+  const auto scenarios = enumerate_scenarios(
+      env.apps, cand.assignments(), cand.pool(), env.failures, true);
+  int regional = 0;
+  for (const auto& s : scenarios) {
+    if (s.scope == FailureScope::RegionalDisaster) ++regional;
+  }
+  EXPECT_EQ(regional, 2);  // primaries in both regions
+}
+
+TEST(Regional, DisabledRateProducesNoScenarios) {
+  Environment env = two_region_env(1, /*regional_rate=*/0.0);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), 0, 2));
+  for (const auto& s : enumerate_scenarios(env.apps, cand.assignments(),
+                                           cand.pool(), env.failures)) {
+    EXPECT_NE(s.scope, FailureScope::RegionalDisaster);
+  }
+}
+
+TEST(Regional, AffectedAppsCoverTheWholeRegion) {
+  Environment env = two_region_env(3);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), 0, 2));  // region 0
+  cand.place_app(1, full_choice(sync_f_backup(), 1, 3));  // region 0
+  cand.place_app(2, full_choice(sync_f_backup(), 2, 0));  // region 1
+  ScenarioSpec s;
+  s.scope = FailureScope::RegionalDisaster;
+  s.failed_region = 0;
+  EXPECT_EQ(affected_apps(s, cand.assignments(), env.topology),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(Regional, FailoverToCrossRegionMirrorWorks) {
+  Environment env = two_region_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), 0, 2));
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::RegionalDisaster, env.params);
+  EXPECT_EQ(plan.action, RecoveryAction::Failover);
+  EXPECT_EQ(plan.copy, CopyLevel::Mirror);
+}
+
+TEST(Regional, SameRegionMirrorFallsBackToVault) {
+  Environment env = two_region_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), 0, 1));  // same region
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::RegionalDisaster, env.params);
+  EXPECT_EQ(plan.copy, CopyLevel::Vault);
+  EXPECT_EQ(plan.action, RecoveryAction::Reconstruct);
+  EXPECT_DOUBLE_EQ(
+      plan.lead_hours,
+      env.params.repair_regional_hours + env.params.vault_retrieval_hours);
+}
+
+TEST(Regional, CrossRegionMirrorCheaperUnderRegionalThreat) {
+  // Identical designs except for the mirror's region: under a nonzero
+  // regional rate the cross-region placement must cost less.
+  Environment env_same = two_region_env(1, 0.1);
+  Environment env_cross = two_region_env(1, 0.1);
+  Candidate same(&env_same);
+  same.place_app(0, full_choice(sync_f_backup(), 0, 1));
+  Candidate cross(&env_cross);
+  cross.place_app(0, full_choice(sync_f_backup(), 0, 2));
+  EXPECT_GT(same.evaluate().penalty(), cross.evaluate().penalty());
+}
+
+TEST(Regional, DesignToolPrefersCrossRegionMirrorsUnderThreat) {
+  Environment env = two_region_env(4, /*regional_rate=*/0.2);
+  DesignSolverOptions o;
+  o.time_budget_ms = 1500.0;
+  o.seed = 21;
+  const auto result = DesignSolver(&env, o).solve();
+  ASSERT_TRUE(result.feasible);
+  int cross_region_mirrors = 0;
+  int mirrors = 0;
+  for (const auto& asg : result.best->assignments()) {
+    if (!asg.has_mirror()) continue;
+    ++mirrors;
+    if (env.topology.site(asg.primary_site).region !=
+        env.topology.site(asg.secondary_site).region) {
+      ++cross_region_mirrors;
+    }
+  }
+  ASSERT_GT(mirrors, 0);
+  // The loss-critical apps' mirrors must span regions; allow cheap apps to
+  // stay local.
+  EXPECT_GE(cross_region_mirrors * 2, mirrors);
+  for (const auto& asg : result.best->assignments()) {
+    const auto& app = env.app(asg.app_id);
+    if (app.penalty_rate_sum() >= 6e6 && asg.has_mirror()) {
+      EXPECT_NE(env.topology.site(asg.primary_site).region,
+                env.topology.site(asg.secondary_site).region)
+          << app.name << " left its mirror in-region under regional threat";
+    }
+  }
+}
+
+TEST(Regional, ToStringCoverage) {
+  EXPECT_STREQ(to_string(FailureScope::RegionalDisaster),
+               "regional-disaster");
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,103 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture() : env_(peer_env(2)), cand_(&env_) {
+    cand_.place_app(0, full_choice(sync_f_backup()));
+    cand_.place_app(1, full_choice(testing::backup_only()));
+    cost_ = cand_.evaluate();
+  }
+
+  Environment env_;
+  Candidate cand_;
+  CostBreakdown cost_;
+};
+
+TEST_F(ReportFixture, JsonContainsApplicationsDevicesAndCost) {
+  const std::string json = solution_to_json(env_, cand_, cost_);
+  EXPECT_NE(json.find("\"applications\""), std::string::npos);
+  EXPECT_NE(json.find("\"devices\""), std::string::npos);
+  EXPECT_NE(json.find("\"cost\""), std::string::npos);
+  EXPECT_NE(json.find("\"B1\""), std::string::npos);
+  EXPECT_NE(json.find("\"Sync mirror (F) with backup\""), std::string::npos);
+  EXPECT_NE(json.find("\"annual_total\""), std::string::npos);
+}
+
+TEST_F(ReportFixture, JsonIsBalanced) {
+  const std::string json = solution_to_json(env_, cand_, cost_);
+  // Writer throws on imbalance; double-check braces anyway.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(ReportFixture, JsonMarksUnassignedApps) {
+  Candidate partial(&env_);
+  partial.place_app(0, full_choice(sync_f_backup()));
+  const std::string json =
+      solution_to_json(env_, partial, partial.evaluate());
+  EXPECT_NE(json.find("\"assigned\":false"), std::string::npos);
+}
+
+TEST_F(ReportFixture, JsonSkipsIdleDevices) {
+  Candidate cand(&env_);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  cand.remove_app(0);  // devices exist but are idle
+  const std::string json = solution_to_json(env_, cand, cand.evaluate());
+  EXPECT_NE(json.find("\"devices\":[]"), std::string::npos);
+}
+
+TEST_F(ReportFixture, JsonIncludesBackupChainConfig) {
+  const std::string json = solution_to_json(env_, cand_, cost_);
+  EXPECT_NE(json.find("\"snapshot_interval_hours\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycle\""), std::string::npos);
+}
+
+TEST_F(ReportFixture, RecoveryReportCoversEveryScenarioAndApp) {
+  const std::string report = recovery_report(env_, cand_);
+  // 2 apps: 2 object scenarios + shared array + shared site (both on P1).
+  EXPECT_NE(report.find("object(B1)"), std::string::npos);
+  EXPECT_NE(report.find("object(C1)"), std::string::npos);
+  EXPECT_NE(report.find("array("), std::string::npos);
+  EXPECT_NE(report.find("site(P1)"), std::string::npos);
+  EXPECT_NE(report.find("failover"), std::string::npos);
+  EXPECT_NE(report.find("snapshot-revert"), std::string::npos);
+}
+
+TEST_F(ReportFixture, RecoveryReportShowsCopyLevels) {
+  const std::string report = recovery_report(env_, cand_);
+  EXPECT_NE(report.find("mirror"), std::string::npos);
+  EXPECT_NE(report.find("snapshot"), std::string::npos);
+}
+
+TEST(Report, EndToEndWithDesignTool) {
+  DesignTool tool(scenarios::peer_sites(4));
+  DesignSolverOptions o;
+  o.time_budget_ms = 300.0;
+  o.seed = 9;
+  const auto result = tool.design(o);
+  ASSERT_TRUE(result.feasible);
+  const std::string json =
+      solution_to_json(tool.env(), *result.best, result.cost);
+  EXPECT_GT(json.size(), 500u);
+  const std::string report = recovery_report(tool.env(), *result.best);
+  EXPECT_GT(report.size(), 200u);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,154 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace depstor {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(5.0, -3.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::array<int, 4> seen{};
+  for (int i = 0; i < 400; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng(7);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexZeroWeightNeverPickedAmongPositives) {
+  Rng rng(7);
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 500; ++i) {
+    const auto pick = rng.weighted_index(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3) << pick;
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(11);
+  const std::vector<double> weights = {1.0, 3.0};
+  int second = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(weights) == 1) ++second;
+  }
+  // Expect ~75%; allow generous tolerance (binomial stddev ≈ 0.3%).
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(7);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 300; ++i) {
+    ++seen[rng.weighted_index(weights)];
+  }
+  for (int count : seen) EXPECT_GT(count, 50);
+}
+
+TEST(Rng, WeightedIndexRejectsEmptyAndNegative) {
+  Rng rng(7);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{}), InvalidArgument);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), InvalidArgument);
+}
+
+TEST(Rng, WeightedIndexSingleElement) {
+  Rng rng(7);
+  const std::vector<double> weights = {42.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(7);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // The child should not replay the parent's stream.
+  Rng b(5);
+  b.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "cost/penalty.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+
+Candidate design(const Environment& env) {
+  Candidate cand(&env);
+  for (int i = 0; i < static_cast<int>(env.apps.size()); ++i) {
+    cand.place_app(i, full_choice(sync_f_backup()));
+  }
+  return cand;
+}
+
+TEST(ScopePenalties, SumMatchesTotalPenalties) {
+  Environment env = peer_env(4);
+  Candidate cand = design(env);
+  const auto scopes = compute_scope_penalties(
+      env.apps, cand.assignments(), cand.pool(), env.failures, env.params);
+  double scope_total = 0.0;
+  for (const auto& sp : scopes) scope_total += sp.total();
+  const auto cost = cand.evaluate();
+  EXPECT_NEAR(scope_total, cost.penalty(),
+              1e-9 * std::max(1.0, cost.penalty()));
+}
+
+TEST(ScopePenalties, AllFourScopesPresent) {
+  Environment env = peer_env(2);
+  Candidate cand = design(env);
+  const auto scopes = compute_scope_penalties(
+      env.apps, cand.assignments(), cand.pool(), env.failures, env.params);
+  ASSERT_EQ(scopes.size(), 4u);
+  EXPECT_EQ(scopes[0].scope, FailureScope::DataObject);
+  EXPECT_EQ(scopes[3].scope, FailureScope::RegionalDisaster);
+  EXPECT_EQ(scopes[3].scenarios, 0);  // regional disabled by default
+  EXPECT_DOUBLE_EQ(scopes[3].total(), 0.0);
+}
+
+TEST(ScopePenalties, ScenarioCountsMatchEnumeration) {
+  Environment env = peer_env(4);
+  Candidate cand = design(env);
+  const auto scopes = compute_scope_penalties(
+      env.apps, cand.assignments(), cand.pool(), env.failures, env.params);
+  EXPECT_EQ(scopes[0].scenarios, 4);  // one object scenario per app
+  EXPECT_GE(scopes[1].scenarios, 1);  // at least one primary array
+  EXPECT_GE(scopes[2].scenarios, 1);  // at least one primary site
+}
+
+TEST(ScopePenalties, DataObjectDominatesForSnapshotFloorDesigns) {
+  // With every app on mirror+backup at Table 1 rates, the snapshot-staleness
+  // loss on object failures dominates expected penalties (the Figure 5
+  // mechanism).
+  Environment env = peer_env(4);
+  Candidate cand = design(env);
+  const auto scopes = compute_scope_penalties(
+      env.apps, cand.assignments(), cand.pool(), env.failures, env.params);
+  EXPECT_GT(scopes[0].total(), scopes[1].total());
+  EXPECT_GT(scopes[0].total(), scopes[2].total());
+}
+
+TEST(ScopePenalties, ZeroRateZeroesTheScope) {
+  Environment env = peer_env(2);
+  env.failures.site_disaster_rate = 0.0;
+  Candidate cand = design(env);
+  const auto scopes = compute_scope_penalties(
+      env.apps, cand.assignments(), cand.pool(), env.failures, env.params);
+  EXPECT_DOUBLE_EQ(scopes[2].total(), 0.0);
+}
+
+TEST(ThreatReport, RendersPerScopeRows) {
+  Environment env = peer_env(2);
+  Candidate cand = design(env);
+  const std::string report = threat_report(env, cand);
+  EXPECT_NE(report.find("data-object"), std::string::npos);
+  EXPECT_NE(report.find("disk-array"), std::string::npos);
+  EXPECT_NE(report.find("site-disaster"), std::string::npos);
+  // Regional is disabled: its row is suppressed.
+  EXPECT_EQ(report.find("regional-disaster"), std::string::npos);
+}
+
+TEST(ThreatReport, ShowsRegionalWhenEnabled) {
+  Environment env = peer_env(2);
+  env.failures.regional_disaster_rate = 0.1;
+  Candidate cand = design(env);
+  const std::string report = threat_report(env, cand);
+  EXPECT_NE(report.find("regional-disaster"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "resources/site.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+SiteSpec proto() {
+  SiteSpec s;
+  s.name = "proto";
+  return s;
+}
+
+TEST(Topology, FullyConnectedFactory) {
+  const auto t = Topology::fully_connected(4, proto(), 6);
+  EXPECT_EQ(t.site_count(), 4);
+  EXPECT_EQ(t.pair_limits.size(), 6u);  // 4 choose 2
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_TRUE(t.connected(a, b));
+      EXPECT_EQ(t.max_links(a, b), 6);
+    }
+  }
+}
+
+TEST(Topology, SitesAreNamedAndDense) {
+  const auto t = Topology::fully_connected(3, proto(), 2);
+  EXPECT_EQ(t.site(0).name, "P1");
+  EXPECT_EQ(t.site(2).name, "P3");
+  EXPECT_EQ(t.site(1).id, 1);
+}
+
+TEST(Topology, ConnectivityIsSymmetric) {
+  Topology t;
+  t.sites = {proto(), proto(), proto()};
+  for (int i = 0; i < 3; ++i) t.sites[static_cast<std::size_t>(i)].id = i;
+  t.pair_limits = {{0, 1, 4}};
+  EXPECT_TRUE(t.connected(0, 1));
+  EXPECT_TRUE(t.connected(1, 0));
+  EXPECT_FALSE(t.connected(0, 2));
+  EXPECT_EQ(t.max_links(1, 0), 4);
+  EXPECT_EQ(t.max_links(0, 2), 0);
+}
+
+TEST(Topology, Neighbors) {
+  Topology t;
+  t.sites = {proto(), proto(), proto()};
+  for (int i = 0; i < 3; ++i) t.sites[static_cast<std::size_t>(i)].id = i;
+  t.pair_limits = {{0, 1, 1}, {0, 2, 1}};
+  EXPECT_EQ(t.neighbors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(t.neighbors(1), (std::vector<int>{0}));
+}
+
+TEST(Topology, SingleSiteHasNoNeighbors) {
+  const auto t = Topology::fully_connected(1, proto(), 5);
+  EXPECT_TRUE(t.neighbors(0).empty());
+  EXPECT_TRUE(t.pair_limits.empty());
+}
+
+TEST(Topology, ValidateRejectsBadIds) {
+  Topology t;
+  t.sites = {proto()};
+  t.sites[0].id = 7;  // not dense
+  EXPECT_THROW(t.validate(), InvalidArgument);
+}
+
+TEST(Topology, ValidateRejectsSelfLinks) {
+  Topology t;
+  t.sites = {proto(), proto()};
+  t.sites[0].id = 0;
+  t.sites[1].id = 1;
+  t.pair_limits = {{1, 1, 3}};
+  EXPECT_THROW(t.validate(), InvalidArgument);
+}
+
+TEST(Topology, ValidateRejectsOutOfRangePairs) {
+  Topology t;
+  t.sites = {proto(), proto()};
+  t.sites[0].id = 0;
+  t.sites[1].id = 1;
+  t.pair_limits = {{0, 5, 3}};
+  EXPECT_THROW(t.validate(), InvalidArgument);
+}
+
+TEST(Topology, SiteAccessorBoundsChecked) {
+  const auto t = Topology::fully_connected(2, proto(), 1);
+  EXPECT_THROW(t.site(-1), InvalidArgument);
+  EXPECT_THROW(t.site(2), InvalidArgument);
+}
+
+TEST(SiteSpec, ValidateRejectsNegatives) {
+  SiteSpec s = proto();
+  s.max_disk_arrays = -1;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = proto();
+  s.fixed_cost = -5.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = proto();
+  s.name.clear();
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace depstor

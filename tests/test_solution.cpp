@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::backup_only;
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_f_backup;
+using testing::sync_r_backup;
+using testing::sync_r_only;
+
+TEST(Candidate, StartsEmpty) {
+  Environment env = peer_env(3);
+  Candidate cand(&env);
+  EXPECT_EQ(cand.assigned_count(), 0);
+  EXPECT_EQ(cand.unassigned_apps(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(cand.pool().device_count(), 0);
+}
+
+TEST(Candidate, PlaceCreatesAllDevicesForFullTechnique) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  const auto& asg = cand.assignment(0);
+  EXPECT_TRUE(asg.assigned);
+  EXPECT_GE(asg.primary_array, 0);
+  EXPECT_GE(asg.mirror_array, 0);
+  EXPECT_GE(asg.tape_library, 0);
+  EXPECT_GE(asg.mirror_link, 0);
+  EXPECT_GE(asg.primary_compute, 0);
+  EXPECT_GE(asg.failover_compute, 0);
+  EXPECT_NO_THROW(asg.validate());
+}
+
+TEST(Candidate, BackupOnlyCreatesNoMirrorDevices) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(backup_only()));
+  const auto& asg = cand.assignment(0);
+  EXPECT_EQ(asg.mirror_array, -1);
+  EXPECT_EQ(asg.mirror_link, -1);
+  EXPECT_EQ(asg.secondary_site, -1);
+  EXPECT_EQ(asg.failover_compute, -1);
+  EXPECT_GE(asg.tape_library, 0);
+}
+
+TEST(Candidate, PrimaryAllocationsCoverDatasetAndAccess) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const auto& app = env.app(0);
+  const int array = cand.assignment(0).primary_array;
+  EXPECT_GE(cand.pool().used_capacity_gb(array), app.data_size_gb);
+  EXPECT_GE(cand.pool().used_bandwidth_mbps(array), app.avg_access_mbps);
+}
+
+TEST(Candidate, SnapshotSpaceScalesWithIntervalAndRetention) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  DesignChoice choice = full_choice(backup_only());
+  choice.backup.snapshot_interval_hours = 12.0;
+  choice.backup.snapshots_retained = 2;
+  cand.place_app(0, choice);
+  const auto& app = env.app(0);
+  const double expected_snapshot_gb =
+      2 * units::accumulated_gb(app.unique_update_mbps, 12.0);
+  EXPECT_NEAR(cand.pool().used_capacity_gb(cand.assignment(0).primary_array),
+              app.data_size_gb + expected_snapshot_gb, 1e-9);
+}
+
+TEST(Candidate, SyncMirrorLinksSizedForPeakRate) {
+  Environment env = peer_env(1);  // B1: peak 50 MB/s
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  const int link = cand.assignment(0).mirror_link;
+  EXPECT_DOUBLE_EQ(cand.pool().used_bandwidth_mbps(link), 50.0);
+  // 50 MB/s over 20 MB/s Net-High links → 3 links.
+  EXPECT_EQ(cand.pool().device(link).bandwidth_units, 3);
+}
+
+TEST(Candidate, AsyncMirrorLinksSizedForAverageRate) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(testing::async_f_backup()));
+  const int link = cand.assignment(0).mirror_link;
+  EXPECT_DOUBLE_EQ(cand.pool().used_bandwidth_mbps(link), 5.0);
+  EXPECT_EQ(cand.pool().device(link).bandwidth_units, 1);
+}
+
+TEST(Candidate, DevicesAreReusedAcrossApps) {
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.place_app(1, full_choice(sync_r_backup()));
+  EXPECT_EQ(cand.assignment(0).primary_array,
+            cand.assignment(1).primary_array);
+  EXPECT_EQ(cand.assignment(0).tape_library,
+            cand.assignment(1).tape_library);
+  EXPECT_EQ(cand.assignment(0).mirror_link, cand.assignment(1).mirror_link);
+}
+
+TEST(Candidate, RemoveReleasesEverything) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup()));
+  cand.remove_app(0);
+  EXPECT_FALSE(cand.is_assigned(0));
+  for (const auto& dev : cand.pool().devices()) {
+    EXPECT_FALSE(cand.pool().in_use(dev.id));
+  }
+}
+
+TEST(Candidate, DoublePlacementRejected) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(backup_only()));
+  EXPECT_THROW(cand.place_app(0, full_choice(backup_only())),
+               InvalidArgument);
+}
+
+TEST(Candidate, MirrorNeedsDistinctConnectedSite) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  DesignChoice choice = full_choice(sync_r_backup());
+  choice.secondary_site = choice.primary_site;
+  EXPECT_THROW(cand.place_app(0, choice), InvalidArgument);
+}
+
+TEST(Candidate, PlacementIsTransactionalOnFailure) {
+  // An app too large for the chosen array must leave the candidate
+  // unchanged (no partial allocations, no assignment).
+  ApplicationSpec huge = workload::web_service();
+  huge.data_size_gb = 200000.0;  // exceeds any array
+  Environment env = testing::tiny_env(huge);
+  Candidate cand(&env);
+  EXPECT_THROW(cand.place_app(0, full_choice(sync_r_backup())),
+               InfeasibleError);
+  EXPECT_FALSE(cand.is_assigned(0));
+  for (const auto& dev : cand.pool().devices()) {
+    EXPECT_TRUE(cand.pool().allocations(dev.id).empty());
+  }
+}
+
+TEST(Candidate, SetBackupConfigReplacesAllocations) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(backup_only()));
+  const double before =
+      cand.pool().used_capacity_gb(cand.assignment(0).primary_array);
+  BackupChainConfig cfg = cand.assignment(0).backup;
+  cfg.snapshot_interval_hours *= 2.0;  // double the snapshot space
+  cand.set_backup_config(0, cfg);
+  const double after =
+      cand.pool().used_capacity_gb(cand.assignment(0).primary_array);
+  EXPECT_GT(after, before);
+  EXPECT_DOUBLE_EQ(cand.assignment(0).backup.snapshot_interval_hours,
+                   cfg.snapshot_interval_hours);
+}
+
+TEST(Candidate, SetBackupConfigRestoresOnFailure) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(backup_only()));
+  const auto original = cand.assignment(0).backup;
+  BackupChainConfig bad = original;
+  bad.backups_retained = 1000;  // cartridge demand beyond any library
+  EXPECT_THROW(cand.set_backup_config(0, bad), InfeasibleError);
+  EXPECT_TRUE(cand.is_assigned(0));
+  EXPECT_EQ(cand.assignment(0).backup.backups_retained,
+            original.backups_retained);
+}
+
+TEST(Candidate, SetBackupConfigRequiresBackupTechnique) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_only()));
+  EXPECT_THROW(cand.set_backup_config(0, BackupChainConfig{}),
+               InvalidArgument);
+}
+
+TEST(Candidate, ChoiceIsRemembered) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  const DesignChoice choice = full_choice(sync_f_backup());
+  cand.place_app(0, choice);
+  EXPECT_EQ(cand.choice(0).technique.name, choice.technique.name);
+  EXPECT_EQ(cand.choice(0).primary_array_type, choice.primary_array_type);
+  cand.remove_app(0);
+  EXPECT_THROW(cand.choice(0), InvalidArgument);
+}
+
+TEST(Candidate, CopyIsIndependent) {
+  Environment env = peer_env(2);
+  Candidate a(&env);
+  a.place_app(0, full_choice(sync_r_backup()));
+  Candidate b = a;
+  b.place_app(1, full_choice(backup_only()));
+  EXPECT_EQ(a.assigned_count(), 1);
+  EXPECT_EQ(b.assigned_count(), 2);
+  b.remove_app(0);
+  EXPECT_TRUE(a.is_assigned(0));
+}
+
+TEST(Candidate, UnknownDeviceTypeRejected) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  DesignChoice choice = full_choice(backup_only());
+  choice.primary_array_type = "NotARealArray";
+  EXPECT_THROW(cand.place_app(0, choice), InvalidArgument);
+}
+
+TEST(Candidate, CheckFeasiblePassesForValidDesign) {
+  Environment env = peer_env(4);
+  Candidate cand(&env);
+  for (int i = 0; i < 4; ++i) {
+    cand.place_app(i, full_choice(sync_r_backup()));
+  }
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+TEST(Candidate, FailoverConsumesComputeAtSecondary) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_f_backup(), 0, 1));
+  const int spare = cand.assignment(0).failover_compute;
+  ASSERT_GE(spare, 0);
+  EXPECT_EQ(cand.pool().device(spare).site_id, 1);
+  EXPECT_EQ(cand.pool().device(spare).type.kind, DeviceKind::Compute);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,150 @@
+// Hot-spare array enclosures: a configuration-solver purchase that shortens
+// the array repair lead for primaries of the same model at the site.
+#include <gtest/gtest.h>
+
+#include "model/recovery_plan.hpp"
+#include "solver/config_solver.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_r_backup;
+
+TEST(Spares, EnableDisableRoundTrip) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  EXPECT_FALSE(cand.has_spare_array(0, "XP1200"));
+  cand.set_spare_array(0, "XP1200", true);
+  EXPECT_TRUE(cand.has_spare_array(0, "XP1200"));
+  cand.set_spare_array(0, "XP1200", true);  // idempotent
+  EXPECT_TRUE(cand.has_spare_array(0, "XP1200"));
+  cand.set_spare_array(0, "XP1200", false);
+  EXPECT_FALSE(cand.has_spare_array(0, "XP1200"));
+  cand.set_spare_array(0, "XP1200", false);  // idempotent
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+TEST(Spares, SpareCostsItsFixedPrice) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const double before = cand.evaluate().outlay;
+  cand.set_spare_array(0, "XP1200", true);
+  const double after = cand.evaluate().outlay;
+  // Annualized fixed price of a bare XP1200 enclosure: $375K / 3.
+  EXPECT_NEAR(after - before, 375000.0 / 3.0, 1.0);
+}
+
+TEST(Spares, ShortensArrayRepairLead) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  const auto without = plan_recovery(env.app(0), cand.assignment(0),
+                                     cand.pool(), FailureScope::DiskArray,
+                                     env.params);
+  EXPECT_DOUBLE_EQ(without.lead_hours, env.params.repair_disk_array_hours);
+
+  cand.set_spare_array(0, "XP1200", true);
+  const auto with = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::DiskArray, env.params);
+  EXPECT_DOUBLE_EQ(with.lead_hours, env.params.repair_with_spare_hours);
+}
+
+TEST(Spares, WrongModelDoesNotHelp) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));  // primary on XP1200
+  cand.set_spare_array(0, "MSA1500", true);
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::DiskArray, env.params);
+  EXPECT_DOUBLE_EQ(plan.lead_hours, env.params.repair_disk_array_hours);
+}
+
+TEST(Spares, DoesNotHelpSiteDisasters) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.set_spare_array(0, "XP1200", true);
+  const auto plan = plan_recovery(env.app(0), cand.assignment(0), cand.pool(),
+                                  FailureScope::SiteDisaster, env.params);
+  EXPECT_DOUBLE_EQ(plan.lead_hours, env.params.repair_site_hours);
+}
+
+TEST(Spares, SiteSpareLimitEnforced) {
+  Environment env = peer_env(1);  // max_spare_arrays = 1
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.set_spare_array(0, "XP1200", true);
+  EXPECT_THROW(cand.set_spare_array(0, "EVA8000", true), InfeasibleError);
+  // The failed enable must not leave residue.
+  EXPECT_FALSE(cand.has_spare_array(0, "EVA8000"));
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+TEST(Spares, SpareDeviceNotHijackedByPlacement) {
+  // An idle device reserved as a spare must not become someone's primary.
+  Environment env = peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.set_spare_array(0, "EVA8000", true);
+  DesignChoice choice = full_choice(sync_r_backup());
+  choice.primary_array_type = "EVA8000";
+  cand.place_app(1, choice);
+  // App 1's EVA8000 primary is a different device than the spare.
+  EXPECT_TRUE(cand.has_spare_array(0, "EVA8000"));
+  const auto& primary = cand.pool().device(cand.assignment(1).primary_array);
+  EXPECT_FALSE(cand.pool().is_spare_device(primary.id));
+  EXPECT_NO_THROW(cand.check_feasible());
+}
+
+TEST(Spares, SurviveAppReconfiguration) {
+  Environment env = peer_env(1);
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.set_spare_array(0, "XP1200", true);
+  cand.remove_app(0);
+  EXPECT_TRUE(cand.has_spare_array(0, "XP1200"));
+}
+
+TEST(Spares, ConfigSolverBuysSpareWhenItPaysOff) {
+  // A reconstruct-protected web service ($5M/hr outage) on its own array:
+  // cutting the repair lead from 6 h to 0.5 h saves
+  // (6 − 0.5) × $5M × (1/3)/yr ≈ $9.2M/yr against a $125K/yr spare.
+  Environment env = testing::tiny_env(workload::web_service());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_TRUE(cand.has_spare_array(0, "XP1200"));
+}
+
+TEST(Spares, ConfigSolverSkipsSpareWhenWorthless) {
+  // Failover apps never wait for the array repair: a spare buys nothing.
+  Environment env = testing::tiny_env(workload::web_service());
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(testing::sync_f_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_FALSE(cand.has_spare_array(0, "XP1200"));
+}
+
+TEST(Spares, PolicyCanDisable) {
+  Environment env = testing::tiny_env(workload::web_service());
+  env.policies.allow_spare_arrays = false;
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  ConfigSolver solver(&env);
+  solver.solve(cand);
+  EXPECT_FALSE(cand.has_spare_array(0, "XP1200"));
+}
+
+TEST(Spares, PurposeToString) {
+  EXPECT_STREQ(to_string(Purpose::Spare), "spare");
+}
+
+}  // namespace
+}  // namespace depstor

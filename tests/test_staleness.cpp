@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "model/staleness.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::async_f_backup;
+using testing::backup_only;
+using testing::candidate_with;
+using testing::sync_f_backup;
+using testing::sync_f_only;
+using testing::sync_r_backup;
+using testing::tiny_env;
+
+// --- survival matrix (§3.2.1, parameterized over scope × level) ---
+
+struct SurvivalCase {
+  CopyLevel level;
+  FailureScope scope;
+  bool survives;
+};
+
+class SurvivalMatrix : public ::testing::TestWithParam<SurvivalCase> {};
+
+TEST_P(SurvivalMatrix, MatchesPaperSemantics) {
+  const auto& c = GetParam();
+  EXPECT_EQ(level_survives(c.level, c.scope), c.survives)
+      << to_string(c.level) << " / " << to_string(c.scope);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, SurvivalMatrix,
+    ::testing::Values(
+        // Data object failure: corruption propagates to mirrors; PiT copies
+        // survive.
+        SurvivalCase{CopyLevel::Mirror, FailureScope::DataObject, false},
+        SurvivalCase{CopyLevel::Snapshot, FailureScope::DataObject, true},
+        SurvivalCase{CopyLevel::TapeBackup, FailureScope::DataObject, true},
+        SurvivalCase{CopyLevel::Vault, FailureScope::DataObject, true},
+        // Array failure: snapshots live on the failed array.
+        SurvivalCase{CopyLevel::Mirror, FailureScope::DiskArray, true},
+        SurvivalCase{CopyLevel::Snapshot, FailureScope::DiskArray, false},
+        SurvivalCase{CopyLevel::TapeBackup, FailureScope::DiskArray, true},
+        SurvivalCase{CopyLevel::Vault, FailureScope::DiskArray, true},
+        // Site disaster: only offsite copies survive.
+        SurvivalCase{CopyLevel::Mirror, FailureScope::SiteDisaster, true},
+        SurvivalCase{CopyLevel::Snapshot, FailureScope::SiteDisaster, false},
+        SurvivalCase{CopyLevel::TapeBackup, FailureScope::SiteDisaster, false},
+        SurvivalCase{CopyLevel::Vault, FailureScope::SiteDisaster, true}));
+
+TEST(Survival, NoneNeverSurvives) {
+  for (FailureScope s : {FailureScope::DataObject, FailureScope::DiskArray,
+                         FailureScope::SiteDisaster}) {
+    EXPECT_FALSE(level_survives(CopyLevel::None, s));
+  }
+}
+
+// --- level maintenance ---
+
+TEST(LevelMaintained, MirrorOnlyHasMirror) {
+  const auto t = sync_f_only();
+  EXPECT_TRUE(level_maintained(t, CopyLevel::Mirror));
+  EXPECT_FALSE(level_maintained(t, CopyLevel::Snapshot));
+  EXPECT_FALSE(level_maintained(t, CopyLevel::TapeBackup));
+  EXPECT_FALSE(level_maintained(t, CopyLevel::Vault));
+}
+
+TEST(LevelMaintained, BackupChainHasThreeLevels) {
+  const auto t = backup_only();
+  EXPECT_FALSE(level_maintained(t, CopyLevel::Mirror));
+  EXPECT_TRUE(level_maintained(t, CopyLevel::Snapshot));
+  EXPECT_TRUE(level_maintained(t, CopyLevel::TapeBackup));
+  EXPECT_TRUE(level_maintained(t, CopyLevel::Vault));
+}
+
+TEST(SurvivingLevels, MirrorOnlyUnderObjectFailureIsEmpty) {
+  EXPECT_TRUE(
+      surviving_levels(sync_f_only(), FailureScope::DataObject).empty());
+}
+
+TEST(SurvivingLevels, FullTechniqueUnderArrayFailure) {
+  const auto levels =
+      surviving_levels(sync_f_backup(), FailureScope::DiskArray);
+  EXPECT_EQ(levels, (std::vector<CopyLevel>{CopyLevel::Mirror,
+                                            CopyLevel::TapeBackup,
+                                            CopyLevel::Vault}));
+}
+
+// --- staleness values ---
+
+class StalenessFixture : public ::testing::Test {
+ protected:
+  StalenessFixture()
+      : env_(tiny_env(workload::central_banking())),
+        cand_(candidate_with(env_, sync_f_backup())) {}
+
+  const ApplicationSpec& app() const { return env_.app(0); }
+  const AppAssignment& asg() const { return cand_.assignment(0); }
+
+  Environment env_;
+  Candidate cand_;
+};
+
+TEST_F(StalenessFixture, SnapshotStalenessIsInterval) {
+  EXPECT_DOUBLE_EQ(
+      staleness_hours(CopyLevel::Snapshot, app(), asg(), cand_.pool()),
+      asg().backup.snapshot_interval_hours);
+}
+
+TEST_F(StalenessFixture, MirrorStalenessSlightlyAboveAccumulationWindow) {
+  const double s =
+      staleness_hours(CopyLevel::Mirror, app(), asg(), cand_.pool());
+  const double acc = asg().technique.mirror_accumulation_hours;
+  EXPECT_GT(s, acc);         // accumulation + drain time
+  EXPECT_LT(s, 2.0 * acc + 0.1);  // but the drain is small
+}
+
+TEST_F(StalenessFixture, TapeIncludesBackupWindowAndSnapshotAge) {
+  const double s =
+      staleness_hours(CopyLevel::TapeBackup, app(), asg(), cand_.pool());
+  const double floor = asg().backup.backup_interval_hours +
+                       asg().backup.snapshot_interval_hours;
+  EXPECT_GT(s, floor);
+  EXPECT_DOUBLE_EQ(s, floor + backup_window_hours(app(), asg(), cand_.pool()));
+}
+
+TEST_F(StalenessFixture, VaultIsTheStalest) {
+  const double vault =
+      staleness_hours(CopyLevel::Vault, app(), asg(), cand_.pool());
+  EXPECT_DOUBLE_EQ(vault, asg().backup.vault_interval_hours +
+                              asg().backup.snapshot_interval_hours +
+                              asg().backup.vault_shipping_hours);
+}
+
+TEST_F(StalenessFixture, FreshnessOrderingHolds) {
+  const auto& pool = cand_.pool();
+  const double mirror =
+      staleness_hours(CopyLevel::Mirror, app(), asg(), pool);
+  const double snapshot =
+      staleness_hours(CopyLevel::Snapshot, app(), asg(), pool);
+  const double tape =
+      staleness_hours(CopyLevel::TapeBackup, app(), asg(), pool);
+  const double vault = staleness_hours(CopyLevel::Vault, app(), asg(), pool);
+  EXPECT_LT(mirror, snapshot);
+  EXPECT_LT(snapshot, tape);
+  EXPECT_LT(tape, vault);
+}
+
+TEST_F(StalenessFixture, RequestingUnmaintainedLevelThrows) {
+  Environment env2 = tiny_env(workload::central_banking());
+  Candidate c2 = candidate_with(env2, sync_f_only());
+  EXPECT_THROW(
+      staleness_hours(CopyLevel::Snapshot, env2.app(0), c2.assignment(0),
+                      c2.pool()),
+      InvalidArgument);
+}
+
+TEST_F(StalenessFixture, AsyncMirrorIsStalerThanSync) {
+  Environment env2 = tiny_env(workload::central_banking());
+  Candidate c2 = candidate_with(env2, async_f_backup());
+  const double async_s = staleness_hours(CopyLevel::Mirror, env2.app(0),
+                                         c2.assignment(0), c2.pool());
+  const double sync_s =
+      staleness_hours(CopyLevel::Mirror, app(), asg(), cand_.pool());
+  EXPECT_GT(async_s, sync_s);
+}
+
+// --- best recovery level ---
+
+TEST_F(StalenessFixture, BestLevelPerScope) {
+  double s = 0.0;
+  EXPECT_EQ(best_recovery_level(app(), asg(), cand_.pool(),
+                                FailureScope::DataObject, &s),
+            CopyLevel::Snapshot);
+  EXPECT_DOUBLE_EQ(s, asg().backup.snapshot_interval_hours);
+  EXPECT_EQ(best_recovery_level(app(), asg(), cand_.pool(),
+                                FailureScope::DiskArray),
+            CopyLevel::Mirror);
+  EXPECT_EQ(best_recovery_level(app(), asg(), cand_.pool(),
+                                FailureScope::SiteDisaster),
+            CopyLevel::Mirror);
+}
+
+TEST(BestLevel, MirrorOnlyObjectFailureIsNone) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, sync_f_only());
+  double s = 123.0;
+  EXPECT_EQ(best_recovery_level(env.app(0), cand.assignment(0), cand.pool(),
+                                FailureScope::DataObject, &s),
+            CopyLevel::None);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(BestLevel, BackupOnlySiteDisasterFallsToVault) {
+  Environment env = tiny_env(workload::student_accounts());
+  Candidate cand = candidate_with(env, backup_only());
+  EXPECT_EQ(best_recovery_level(env.app(0), cand.assignment(0), cand.pool(),
+                                FailureScope::SiteDisaster),
+            CopyLevel::Vault);
+}
+
+// --- bandwidth sharing ---
+
+TEST(BandwidthShare, SplitsEquallyAmongSamePurpose) {
+  Environment env = testing::peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, testing::full_choice(sync_r_backup()));
+  cand.place_app(1, testing::full_choice(sync_r_backup()));
+  const auto& asg0 = cand.assignment(0);
+  const auto& asg1 = cand.assignment(1);
+  ASSERT_EQ(asg0.tape_library, asg1.tape_library);  // same site, same type
+  const double share0 = bandwidth_share_mbps(cand.pool(), asg0.tape_library,
+                                             0, Purpose::Backup);
+  const double share1 = bandwidth_share_mbps(cand.pool(), asg1.tape_library,
+                                             1, Purpose::Backup);
+  EXPECT_DOUBLE_EQ(share0, share1);
+  EXPECT_DOUBLE_EQ(
+      share0,
+      cand.pool().device(asg0.tape_library).bandwidth_mbps() / 2.0);
+}
+
+TEST(BandwidthShare, ZeroWhenAppAbsent) {
+  Environment env = tiny_env(workload::central_banking());
+  Candidate cand = candidate_with(env, sync_f_backup());
+  EXPECT_DOUBLE_EQ(bandwidth_share_mbps(cand.pool(),
+                                        cand.assignment(0).tape_library,
+                                        /*app_id=*/99, Purpose::Backup),
+                   0.0);
+}
+
+TEST(CopyLevelNames, ToString) {
+  EXPECT_STREQ(to_string(CopyLevel::Mirror), "mirror");
+  EXPECT_STREQ(to_string(CopyLevel::Vault), "vault");
+  EXPECT_STREQ(to_string(CopyLevel::None), "none");
+}
+
+}  // namespace
+}  // namespace depstor

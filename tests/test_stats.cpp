@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace depstor {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of that classic set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // Sorted: {10, 20}; p=0.25 → 12.5.
+  EXPECT_DOUBLE_EQ(percentile({20.0, 10.0}, 0.25), 12.5);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 1.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -0.1), InvalidArgument);
+}
+
+TEST(Percentile, BatchMatchesSingle) {
+  const std::vector<double> v = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const auto batch = percentiles(v, {0.0, 0.5, 0.9, 1.0});
+  EXPECT_DOUBLE_EQ(batch[0], percentile(v, 0.0));
+  EXPECT_DOUBLE_EQ(batch[1], percentile(v, 0.5));
+  EXPECT_DOUBLE_EQ(batch[2], percentile(v, 0.9));
+  EXPECT_DOUBLE_EQ(batch[3], percentile(v, 1.0));
+}
+
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, NonDecreasingInQ) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.uniform(0.0, 1000.0));
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double p = percentile(v, std::min(q, 1.0));
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+TEST(Table, RejectsEmptyHeaderAndMismatchedRow) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  // Split into lines and check the second column starts at the same offset
+  // in the header and in both rows.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header, rule, 2 rows
+  const auto col = lines[0].find("value");
+  ASSERT_NE(col, std::string::npos);
+  EXPECT_EQ(lines[2].find('1'), col);
+  EXPECT_EQ(lines[3].find("22"), col);
+}
+
+TEST(Table, RenderContainsRule) {
+  Table t({"h"});
+  t.add_row({"v"});
+  EXPECT_NE(t.render().find("-"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.render_csv(), "a\nplain\n");
+}
+
+TEST(TableFormat, MoneyScalesUnits) {
+  EXPECT_EQ(Table::money(950.0), "$950");
+  EXPECT_EQ(Table::money(5000.0), "$5K");
+  EXPECT_EQ(Table::money(5'000'000.0), "$5M");
+  EXPECT_EQ(Table::money(2'400'000'000.0), "$2.4B");
+}
+
+TEST(TableFormat, MoneyHandlesNegative) {
+  EXPECT_EQ(Table::money(-5000.0), "$-5K");
+}
+
+TEST(TableFormat, NumPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+}
+
+TEST(TableFormat, HoursPicksNaturalUnit) {
+  EXPECT_EQ(Table::hours(0.002), "7.2 s");
+  EXPECT_EQ(Table::hours(0.5), "30.0 min");
+  EXPECT_EQ(Table::hours(5.25), "5.25 h");
+  EXPECT_EQ(Table::hours(72.0), "3.0 d");
+}
+
+TEST(TableFormat, YesNo) {
+  EXPECT_EQ(Table::yes_no(true), "yes");
+  EXPECT_EQ(Table::yes_no(false), "-");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "protection/catalog.hpp"
+#include "util/check.hpp"
+#include "workload/catalog.hpp"
+
+namespace depstor {
+namespace {
+
+TEST(TechniqueCatalog, HasExactlyNineTechniques) {
+  EXPECT_EQ(protection::all_techniques().size(), 9u);
+}
+
+TEST(TechniqueCatalog, Table2CategoryMatrix) {
+  // mirroring with failover → Gold; mirroring with reconstruction → Silver;
+  // backup alone → Bronze (§3.1.3).
+  for (MirrorMode m : {MirrorMode::Sync, MirrorMode::Async}) {
+    for (bool backup : {true, false}) {
+      EXPECT_EQ(protection::mirror_technique(m, RecoveryMode::Failover,
+                                             backup).category,
+                AppCategory::Gold);
+      EXPECT_EQ(protection::mirror_technique(m, RecoveryMode::Reconstruct,
+                                             backup).category,
+                AppCategory::Silver);
+    }
+  }
+  EXPECT_EQ(protection::tape_backup_only().category, AppCategory::Bronze);
+}
+
+TEST(TechniqueCatalog, AccumulationWindowsMatchTable2) {
+  const auto sync = protection::mirror_technique(
+      MirrorMode::Sync, RecoveryMode::Failover, true);
+  const auto async = protection::mirror_technique(
+      MirrorMode::Async, RecoveryMode::Failover, true);
+  EXPECT_NEAR(sync.mirror_accumulation_hours, 0.5 / 60.0, 1e-12);
+  EXPECT_NEAR(async.mirror_accumulation_hours, 10.0 / 60.0, 1e-12);
+}
+
+TEST(TechniqueCatalog, NamesAreUniqueAndRoundTrip) {
+  const auto all = protection::all_techniques();
+  for (const auto& t : all) {
+    EXPECT_EQ(protection::by_name(t.name).name, t.name);
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+  EXPECT_THROW(protection::by_name("Carrier pigeon"), InvalidArgument);
+}
+
+TEST(TechniqueCatalog, ClassFilters) {
+  EXPECT_EQ(protection::techniques_in_class(AppCategory::Gold).size(), 4u);
+  EXPECT_EQ(protection::techniques_in_class(AppCategory::Silver).size(), 4u);
+  EXPECT_EQ(protection::techniques_in_class(AppCategory::Bronze).size(), 1u);
+}
+
+TEST(TechniqueCatalog, EligibilityIsSameOrBetter) {
+  EXPECT_EQ(protection::eligible_techniques(AppCategory::Gold).size(), 4u);
+  EXPECT_EQ(protection::eligible_techniques(AppCategory::Silver).size(), 8u);
+  EXPECT_EQ(protection::eligible_techniques(AppCategory::Bronze).size(), 9u);
+  for (const auto& t : protection::eligible_techniques(AppCategory::Silver)) {
+    EXPECT_GE(static_cast<int>(t.category),
+              static_cast<int>(AppCategory::Silver));
+  }
+}
+
+TEST(Technique, MirrorBandwidthDemandUsesPeakForSync) {
+  const auto app = workload::central_banking();  // avg 5, peak 50
+  const auto sync = protection::mirror_technique(
+      MirrorMode::Sync, RecoveryMode::Failover, false);
+  const auto async = protection::mirror_technique(
+      MirrorMode::Async, RecoveryMode::Failover, false);
+  EXPECT_DOUBLE_EQ(sync.mirror_bandwidth_demand(app), 50.0);
+  EXPECT_DOUBLE_EQ(async.mirror_bandwidth_demand(app), 5.0);
+  EXPECT_DOUBLE_EQ(protection::tape_backup_only().mirror_bandwidth_demand(app),
+                   0.0);
+}
+
+TEST(Technique, ValidateRejectsInconsistencies) {
+  TechniqueSpec t;
+  t.name = "nothing";
+  EXPECT_THROW(t.validate(), InvalidArgument);  // protects nothing
+
+  t = protection::tape_backup_only();
+  t.recovery = RecoveryMode::Failover;  // failover without mirror
+  EXPECT_THROW(t.validate(), InvalidArgument);
+
+  t = protection::mirror_technique(MirrorMode::Sync, RecoveryMode::Failover,
+                                   true);
+  t.category = AppCategory::Bronze;  // category/feature mismatch
+  EXPECT_THROW(t.validate(), InvalidArgument);
+}
+
+TEST(BackupChainConfig, DefaultsMatchTable2) {
+  const BackupChainConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.snapshot_interval_hours, 12.0);
+  EXPECT_DOUBLE_EQ(cfg.backup_interval_hours, 7.0 * 24.0);
+  EXPECT_DOUBLE_EQ(cfg.vault_interval_hours, 28.0 * 24.0);
+  EXPECT_DOUBLE_EQ(cfg.vault_shipping_hours, 24.0);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(BackupChainConfig, ValidateOrderingConstraints) {
+  BackupChainConfig cfg;
+  cfg.backup_interval_hours = cfg.snapshot_interval_hours / 2.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = BackupChainConfig{};
+  cfg.vault_interval_hours = cfg.backup_interval_hours / 2.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = BackupChainConfig{};
+  cfg.snapshots_retained = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(Technique, ToStringCoverage) {
+  EXPECT_STREQ(to_string(MirrorMode::Sync), "sync");
+  EXPECT_STREQ(to_string(MirrorMode::Async), "async");
+  EXPECT_STREQ(to_string(MirrorMode::None), "none");
+  EXPECT_STREQ(to_string(RecoveryMode::Failover), "failover");
+  EXPECT_STREQ(to_string(RecoveryMode::Reconstruct), "reconstruct");
+}
+
+TEST(Technique, DisplayNames) {
+  EXPECT_EQ(protection::mirror_technique(MirrorMode::Async,
+                                         RecoveryMode::Failover, true)
+                .name,
+            "Async mirror (F) with backup");
+  EXPECT_EQ(protection::mirror_technique(MirrorMode::Sync,
+                                         RecoveryMode::Reconstruct, false)
+                .name,
+            "Sync mirror (R)");
+  EXPECT_EQ(protection::tape_backup_only().name, "Tape backup");
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,203 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace depstor::workload {
+namespace {
+
+TraceGeneratorOptions small_options() {
+  TraceGeneratorOptions o;
+  o.duration_hours = 6.0;
+  o.mean_iops = 30.0;
+  o.working_set_blocks = 4096;
+  return o;
+}
+
+TEST(TraceGenerator, DeterministicUnderSeed) {
+  SyntheticTraceGenerator gen(small_options());
+  Rng a(5);
+  Rng b(5);
+  const auto ta = gen.generate(a);
+  const auto tb = gen.generate(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i].time_hours, tb[i].time_hours);
+    EXPECT_EQ(ta[i].block, tb[i].block);
+    EXPECT_EQ(ta[i].is_write, tb[i].is_write);
+  }
+}
+
+TEST(TraceGenerator, RecordsAreTimeOrderedAndInRange) {
+  SyntheticTraceGenerator gen(small_options());
+  Rng rng(7);
+  const auto trace = gen.generate(rng);
+  ASSERT_GT(trace.size(), 100u);
+  double prev = 0.0;
+  for (const auto& rec : trace) {
+    EXPECT_GE(rec.time_hours, prev);
+    EXPECT_LT(rec.time_hours, 6.0);
+    EXPECT_LT(rec.block, 4096u);
+    prev = rec.time_hours;
+  }
+}
+
+TEST(TraceGenerator, MeanIopsApproximatelyRespected) {
+  TraceGeneratorOptions o = small_options();
+  o.duration_hours = 24.0;  // full diurnal cycle → modulation averages out
+  o.mean_iops = 50.0;
+  SyntheticTraceGenerator gen(o);
+  Rng rng(11);
+  const auto trace = gen.generate(rng);
+  const double expected = o.mean_iops * 24.0 * 3600.0;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, expected * 0.05);
+}
+
+TEST(TraceGenerator, WriteFractionApproximatelyRespected) {
+  TraceGeneratorOptions o = small_options();
+  o.write_fraction = 0.25;
+  SyntheticTraceGenerator gen(o);
+  Rng rng(13);
+  const auto trace = gen.generate(rng);
+  long long writes = 0;
+  for (const auto& rec : trace) writes += rec.is_write ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(writes) / trace.size(), 0.25, 0.03);
+}
+
+TEST(TraceGenerator, ZipfSkewsBlockPopularity) {
+  TraceGeneratorOptions o = small_options();
+  o.zipf_theta = 0.9;
+  SyntheticTraceGenerator skewed(o);
+  o.zipf_theta = 0.0;
+  SyntheticTraceGenerator uniform(o);
+  Rng ra(17);
+  Rng rb(17);
+  auto hot_share = [](const std::vector<TraceRecord>& t) {
+    long long hot = 0;
+    for (const auto& rec : t) hot += rec.block < 10 ? 1 : 0;
+    return static_cast<double>(hot) / static_cast<double>(t.size());
+  };
+  // 10 of 4096 blocks carry ~0.24% of uniform traffic but the lion's share
+  // of Zipf(0.9) traffic.
+  EXPECT_LT(hot_share(uniform.generate(rb)), 0.01);
+  EXPECT_GT(hot_share(skewed.generate(ra)), 0.15);
+}
+
+TEST(TraceGenerator, OptionValidation) {
+  TraceGeneratorOptions o = small_options();
+  o.zipf_theta = 1.0;  // θ must be < 1 for the approximation
+  EXPECT_THROW(SyntheticTraceGenerator{o}, InvalidArgument);
+  o = small_options();
+  o.working_set_blocks = 1;
+  EXPECT_THROW(SyntheticTraceGenerator{o}, InvalidArgument);
+  o = small_options();
+  o.write_fraction = 1.5;
+  EXPECT_THROW(SyntheticTraceGenerator{o}, InvalidArgument);
+}
+
+// --- characterization ---
+
+std::vector<TraceRecord> constant_rate_trace(double hours, double iops,
+                                             double write_fraction,
+                                             std::uint64_t blocks) {
+  std::vector<TraceRecord> trace;
+  const double step = 1.0 / (iops * 3600.0);
+  std::uint64_t i = 0;
+  for (double t = 0.0; t < hours; t += step, ++i) {
+    TraceRecord rec;
+    rec.time_hours = t;
+    rec.is_write = (static_cast<double>(i % 100) / 100.0) < write_fraction;
+    rec.block = i % blocks;
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+TEST(Characterize, RecoversConstantRates) {
+  // 100 IOPS of 8 KB blocks, 40% writes → avg update = 0.32 MB/s,
+  // access = 0.8 MB/s.
+  const auto trace = constant_rate_trace(2.0, 100.0, 0.4, 1 << 20);
+  const auto c = characterize(trace, 8);
+  EXPECT_NEAR(c.avg_update_mbps, 0.32, 0.01);
+  EXPECT_NEAR(c.avg_access_mbps, 0.80, 0.01);
+  // Constant rate → peak ≈ avg.
+  EXPECT_NEAR(c.peak_update_mbps, c.avg_update_mbps,
+              c.avg_update_mbps * 0.1);
+}
+
+TEST(Characterize, UniqueRateBelowAvgWhenBlocksRepeat) {
+  // Only 64 distinct blocks: unique update rate must collapse.
+  const auto trace = constant_rate_trace(1.0, 200.0, 1.0, 64);
+  const auto c = characterize(trace, 8);
+  EXPECT_GT(c.avg_update_mbps, 0.0);
+  EXPECT_LT(c.unique_update_mbps, c.avg_update_mbps / 100.0);
+  EXPECT_NEAR(c.footprint_gb, 64.0 * 8.0 / 1000.0 / 1000.0, 1e-6);
+}
+
+TEST(Characterize, DiurnalTraceHasPeakAboveAverage) {
+  TraceGeneratorOptions o;
+  o.duration_hours = 24.0;
+  o.mean_iops = 40.0;
+  o.diurnal_amplitude = 0.8;
+  o.write_fraction = 0.5;
+  o.working_set_blocks = 1 << 16;
+  SyntheticTraceGenerator gen(o);
+  Rng rng(23);
+  const auto c = characterize(gen.generate(rng), o.block_kb);
+  EXPECT_GT(c.peak_update_mbps, c.avg_update_mbps * 1.4);
+}
+
+TEST(Characterize, CountsReadsAndWrites) {
+  std::vector<TraceRecord> trace = {{0.1, 1, true},
+                                    {0.2, 2, false},
+                                    {0.3, 3, false},
+                                    {0.4, 1, true}};
+  const auto c = characterize(trace, 8);
+  EXPECT_EQ(c.writes, 2);
+  EXPECT_EQ(c.reads, 2);
+}
+
+TEST(Characterize, RejectsUnorderedTrace) {
+  std::vector<TraceRecord> trace = {{0.5, 1, true}, {0.1, 2, true}};
+  EXPECT_THROW(characterize(trace, 8), InvalidArgument);
+}
+
+TEST(Characterize, EmptyTraceIsZero) {
+  const auto c = characterize({}, 8);
+  EXPECT_EQ(c.reads, 0);
+  EXPECT_DOUBLE_EQ(c.avg_update_mbps, 0.0);
+}
+
+// --- app_from_trace ---
+
+TEST(AppFromTrace, BuildsValidSpec) {
+  TraceGeneratorOptions o = small_options();
+  o.duration_hours = 12.0;
+  SyntheticTraceGenerator gen(o);
+  Rng rng(29);
+  const auto traits = characterize(gen.generate(rng), o.block_kb);
+  const auto app = app_from_trace("measured", "M", 1e6, 2e6, 500.0, traits);
+  EXPECT_NO_THROW(app.validate());
+  EXPECT_DOUBLE_EQ(app.data_size_gb, 500.0);
+  EXPECT_GE(app.peak_update_mbps, app.avg_update_mbps);
+  EXPECT_LE(app.unique_update_mbps, app.avg_update_mbps);
+  EXPECT_EQ(app.category(), AppCategory::Silver);  // sum $3M/hr
+}
+
+TEST(AppFromTrace, ClampsDegenerateTraits) {
+  TraceCharacteristics traits;
+  traits.avg_update_mbps = 2.0;
+  traits.peak_update_mbps = 3.0;
+  traits.avg_access_mbps = 1.0;     // below update: must be clamped up
+  traits.unique_update_mbps = 5.0;  // above update: must be clamped down
+  const auto app = app_from_trace("x", "X", 1e3, 1e3, 100.0, traits);
+  EXPECT_NO_THROW(app.validate());
+  EXPECT_DOUBLE_EQ(app.avg_access_mbps, 2.0);
+  EXPECT_DOUBLE_EQ(app.unique_update_mbps, 2.0);
+}
+
+}  // namespace
+}  // namespace depstor::workload

@@ -1,0 +1,53 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace depstor::units {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(minutes(30.0), 0.5);
+  EXPECT_DOUBLE_EQ(hours(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(days(2.0), 48.0);
+  EXPECT_DOUBLE_EQ(years(1.0), 8760.0);
+  EXPECT_DOUBLE_EQ(to_minutes(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(to_days(48.0), 2.0);
+}
+
+TEST(Units, RoundTrips) {
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(17.0)), 17.0);
+  EXPECT_DOUBLE_EQ(to_days(days(3.5)), 3.5);
+}
+
+TEST(Units, DataAndMoney) {
+  EXPECT_DOUBLE_EQ(terabytes(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(kilodollars(5.0), 5000.0);
+  EXPECT_DOUBLE_EQ(megadollars(5.0), 5.0e6);
+}
+
+TEST(Units, TransferHours) {
+  // 3600 GB at 1000 MB/s → 3,600,000 MB / 1000 MB/s = 3600 s = 1 h.
+  EXPECT_DOUBLE_EQ(transfer_hours(3600.0, 1000.0), 1.0);
+  // 143 GB at 25 MB/s ≈ 1.589 h.
+  EXPECT_NEAR(transfer_hours(143.0, 25.0), 1.5889, 1e-3);
+}
+
+TEST(Units, AccumulatedGb) {
+  // 1 MB/s for 1 hour = 3600 MB = 3.6 GB.
+  EXPECT_DOUBLE_EQ(accumulated_gb(1.0, 1.0), 3.6);
+}
+
+TEST(Units, TransferAndAccumulateAreInverse) {
+  // Accumulate at rate r for t hours, transfer back at rate r → t hours.
+  const double rate = 7.5;
+  const double t = 3.25;
+  EXPECT_NEAR(transfer_hours(accumulated_gb(rate, t), rate), t, 1e-12);
+}
+
+TEST(Units, FailureRates) {
+  EXPECT_DOUBLE_EQ(once_in_years(5.0), 0.2);
+  EXPECT_DOUBLE_EQ(times_per_year(2.0), 2.0);
+}
+
+}  // namespace
+}  // namespace depstor::units

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace depstor {
+namespace {
+
+// --- Table 1 catalog values ---
+
+TEST(WorkloadCatalog, CentralBankingMatchesTable1) {
+  const auto b = workload::central_banking();
+  EXPECT_EQ(b.type_code, "B");
+  EXPECT_DOUBLE_EQ(b.outage_penalty_rate, 5e6);
+  EXPECT_DOUBLE_EQ(b.loss_penalty_rate, 5e6);
+  EXPECT_DOUBLE_EQ(b.data_size_gb, 1300.0);
+  EXPECT_DOUBLE_EQ(b.avg_update_mbps, 5.0);
+  EXPECT_DOUBLE_EQ(b.peak_update_mbps, 50.0);
+  EXPECT_DOUBLE_EQ(b.avg_access_mbps, 50.0);
+  EXPECT_EQ(b.category(), AppCategory::Gold);
+}
+
+TEST(WorkloadCatalog, WebServiceMatchesTable1) {
+  const auto w = workload::web_service();
+  EXPECT_DOUBLE_EQ(w.outage_penalty_rate, 5e6);
+  EXPECT_DOUBLE_EQ(w.loss_penalty_rate, 5e3);
+  EXPECT_DOUBLE_EQ(w.data_size_gb, 4300.0);
+  EXPECT_DOUBLE_EQ(w.avg_update_mbps, 2.0);
+  EXPECT_EQ(w.category(), AppCategory::Silver);
+}
+
+TEST(WorkloadCatalog, ConsumerBankingMatchesTable1) {
+  const auto c = workload::consumer_banking();
+  EXPECT_DOUBLE_EQ(c.outage_penalty_rate, 5e3);
+  EXPECT_DOUBLE_EQ(c.loss_penalty_rate, 5e6);
+  EXPECT_DOUBLE_EQ(c.data_size_gb, 4300.0);
+  EXPECT_EQ(c.category(), AppCategory::Silver);
+}
+
+TEST(WorkloadCatalog, StudentAccountsMatchesTable1) {
+  const auto s = workload::student_accounts();
+  EXPECT_DOUBLE_EQ(s.outage_penalty_rate, 5e3);
+  EXPECT_DOUBLE_EQ(s.loss_penalty_rate, 5e3);
+  EXPECT_DOUBLE_EQ(s.data_size_gb, 500.0);
+  EXPECT_EQ(s.category(), AppCategory::Bronze);
+}
+
+TEST(WorkloadCatalog, UniqueUpdateRateDerived) {
+  const auto b = workload::central_banking();
+  EXPECT_DOUBLE_EQ(b.unique_update_mbps,
+                   workload::kUniqueUpdateFraction * b.avg_update_mbps);
+}
+
+TEST(WorkloadCatalog, InstanceNumbersNames) {
+  EXPECT_EQ(workload::central_banking(3).name, "B3");
+  EXPECT_EQ(workload::web_service(1).name, "W1");
+}
+
+TEST(WorkloadCatalog, ByTypeCode) {
+  EXPECT_EQ(workload::by_type_code("B").type_code, "B");
+  EXPECT_EQ(workload::by_type_code("S", 2).name, "S2");
+  EXPECT_THROW(workload::by_type_code("Z"), InvalidArgument);
+}
+
+TEST(WorkloadCatalog, AllPrototypesAreValidAndDistinct) {
+  const auto all = workload::all_prototypes();
+  ASSERT_EQ(all.size(), 4u);
+  for (const auto& app : all) EXPECT_NO_THROW(app.validate());
+  EXPECT_NE(all[0].type_code, all[1].type_code);
+}
+
+// --- categorization ---
+
+TEST(Category, ThresholdsSplitGoldSilverBronze) {
+  ApplicationSpec app = workload::student_accounts();
+  app.outage_penalty_rate = 7e6;
+  app.loss_penalty_rate = 0.0;
+  EXPECT_EQ(app.category(), AppCategory::Gold);
+  app.outage_penalty_rate = 2e6;
+  EXPECT_EQ(app.category(), AppCategory::Silver);
+  app.outage_penalty_rate = 2e3;
+  EXPECT_EQ(app.category(), AppCategory::Bronze);
+}
+
+TEST(Category, CustomThresholds) {
+  ApplicationSpec app = workload::student_accounts();  // sum 10K
+  CategoryThresholds t;
+  t.gold_min = 5e3;
+  t.silver_min = 1e3;
+  EXPECT_EQ(app.category(t), AppCategory::Gold);
+}
+
+TEST(Category, OrderingIsMeaningful) {
+  EXPECT_GT(static_cast<int>(AppCategory::Gold),
+            static_cast<int>(AppCategory::Silver));
+  EXPECT_GT(static_cast<int>(AppCategory::Silver),
+            static_cast<int>(AppCategory::Bronze));
+}
+
+TEST(Category, ToString) {
+  EXPECT_STREQ(to_string(AppCategory::Gold), "Gold");
+  EXPECT_STREQ(to_string(AppCategory::Silver), "Silver");
+  EXPECT_STREQ(to_string(AppCategory::Bronze), "Bronze");
+}
+
+// --- validation ---
+
+TEST(ApplicationSpec, ValidateRejectsBadSpecs) {
+  ApplicationSpec app = workload::central_banking();
+  app.data_size_gb = 0.0;
+  EXPECT_THROW(app.validate(), InvalidArgument);
+
+  app = workload::central_banking();
+  app.peak_update_mbps = app.avg_update_mbps / 2.0;  // peak < avg
+  EXPECT_THROW(app.validate(), InvalidArgument);
+
+  app = workload::central_banking();
+  app.unique_update_mbps = app.avg_update_mbps * 2.0;  // unique > avg
+  EXPECT_THROW(app.validate(), InvalidArgument);
+
+  app = workload::central_banking();
+  app.name.clear();
+  EXPECT_THROW(app.validate(), InvalidArgument);
+}
+
+TEST(ApplicationSpec, PenaltyRateSum) {
+  const auto w = workload::web_service();
+  EXPECT_DOUBLE_EQ(w.penalty_rate_sum(), 5e6 + 5e3);
+}
+
+// --- generators ---
+
+TEST(Generator, MixedSetCyclesClasses) {
+  const auto apps = workload::mixed_set(8);
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps[0].type_code, "B");
+  EXPECT_EQ(apps[1].type_code, "C");
+  EXPECT_EQ(apps[2].type_code, "W");
+  EXPECT_EQ(apps[3].type_code, "S");
+  EXPECT_EQ(apps[4].type_code, "B");
+  EXPECT_EQ(apps[4].name, "B2");
+}
+
+TEST(Generator, MixedSetDenseIds) {
+  const auto apps = workload::mixed_set(6);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(apps[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(Generator, MixedSetPrefixBalance) {
+  // Every prefix of 4k applications contains k of each class (§4.4 scaling).
+  const auto apps = workload::mixed_set(16);
+  for (int k = 1; k <= 4; ++k) {
+    int b = 0;
+    for (int i = 0; i < 4 * k; ++i) {
+      if (apps[static_cast<std::size_t>(i)].type_code == "B") ++b;
+    }
+    EXPECT_EQ(b, k);
+  }
+}
+
+TEST(Generator, RejectsNonPositiveCount) {
+  EXPECT_THROW(workload::mixed_set(0), InvalidArgument);
+}
+
+class PerturbedSet : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerturbedSet, InvariantsHoldUnderJitter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto apps = workload::perturbed_set(12, 0.3, rng);
+  ASSERT_EQ(apps.size(), 12u);
+  for (const auto& app : apps) {
+    EXPECT_NO_THROW(app.validate());
+    EXPECT_GE(app.peak_update_mbps, app.avg_update_mbps);
+    EXPECT_GE(app.avg_access_mbps, app.avg_update_mbps);
+    EXPECT_LE(app.unique_update_mbps, app.avg_update_mbps);
+  }
+}
+
+TEST_P(PerturbedSet, PenaltyRatesUnchanged) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto jittered = workload::perturbed_set(8, 0.3, rng);
+  const auto exact = workload::mixed_set(8);
+  for (std::size_t i = 0; i < jittered.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jittered[i].outage_penalty_rate,
+                     exact[i].outage_penalty_rate);
+    EXPECT_DOUBLE_EQ(jittered[i].loss_penalty_rate,
+                     exact[i].loss_penalty_rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerturbedSet, ::testing::Range(1, 9));
+
+TEST(Generator, PerturbedRejectsBadJitter) {
+  Rng rng(1);
+  EXPECT_THROW(workload::perturbed_set(4, -0.1, rng), InvalidArgument);
+  EXPECT_THROW(workload::perturbed_set(4, 1.0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace depstor
