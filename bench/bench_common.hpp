@@ -17,18 +17,32 @@
 namespace depstor::bench {
 
 /// Budgets shared by every harness, parsed from common flags:
-///   --time-budget-ms (per heuristic), --seed, --csv
+///   --time-budget-ms (per heuristic), --seed, --csv, and the batch-engine
+///   path: --engine [--engine-workers=N] routes the harness's design-solver
+///   sweep through a BatchEngine (N workers; 0 = hardware), solving every
+///   point concurrently with a shared evaluation cache.
 struct HarnessConfig {
   double time_budget_ms = 1500.0;
   std::uint64_t seed = 42;
   bool csv = false;
+  bool use_engine = false;
+  int engine_workers = 0;  ///< 0 = one per hardware thread
 
   static HarnessConfig from_flags(const CliFlags& flags) {
     HarnessConfig cfg;
     cfg.time_budget_ms = flags.get_double("time-budget-ms", 1500.0);
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     cfg.csv = flags.get_bool("csv", false);
+    cfg.engine_workers = flags.get_int("engine-workers", 0);
+    cfg.use_engine = flags.get_bool("engine", false) || cfg.engine_workers > 0;
     return cfg;
+  }
+
+  EngineOptions engine_options() const {
+    EngineOptions o;
+    o.workers = engine_workers;
+    o.seed = seed;
+    return o;
   }
 
   DesignSolverOptions solver_options() const {

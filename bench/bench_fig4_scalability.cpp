@@ -28,13 +28,46 @@ int main(int argc, char** argv) {
 
     std::cout << "== Figure 4: scalability, " << sites
               << " fully connected sites, " << cfg.time_budget_ms
-              << " ms/heuristic ==\n\n";
+              << " ms/heuristic"
+              << (cfg.use_engine ? ", batch engine" : "") << " ==\n\n";
     Table table({"Apps", "Design tool", "Human heuristic", "Random heuristic",
                  "Human vs tool", "Random vs tool"});
 
+    std::vector<int> app_counts;
     for (int apps = min_apps; apps <= max_apps; apps += step) {
+      app_counts.push_back(apps);
+    }
+
+    // Design-solver runs, one per app count. With --engine all scales are
+    // solved concurrently with a shared evaluation cache; the human/random
+    // baselines stay sequential (they are cheap by comparison).
+    std::vector<SolveResult> solver_results;
+    if (cfg.use_engine) {
+      std::vector<DesignJob> jobs;
+      for (int apps : app_counts) {
+        DesignJob job = DesignJob::make(scenarios::multi_site(apps, sites, links),
+                                        cfg.solver_options(),
+                                        "apps-" + std::to_string(apps));
+        job.derive_seed = false;  // same seed per scale, as the sequential path
+        jobs.push_back(std::move(job));
+      }
+      BatchReport report =
+          DesignTool::design_batch(std::move(jobs), cfg.engine_options());
+      for (auto& r : report.results) {
+        solver_results.push_back(std::move(r.solve));
+      }
+      std::cout << report.metrics.render() << "\n";
+    } else {
+      for (int apps : app_counts) {
+        DesignTool tool(scenarios::multi_site(apps, sites, links));
+        solver_results.push_back(tool.design(cfg.solver_options()));
+      }
+    }
+
+    for (std::size_t i = 0; i < app_counts.size(); ++i) {
+      const int apps = app_counts[i];
+      const SolveResult& solver = solver_results[i];
       DesignTool tool(scenarios::multi_site(apps, sites, links));
-      const auto solver = tool.design(cfg.solver_options());
       const auto human = tool.design_human(cfg.baseline_options());
       const auto random = tool.design_random(cfg.baseline_options());
 

@@ -25,20 +25,48 @@ inline void run_sensitivity_sweep(
     const std::function<void(FailureModel&, double)>& apply_rate) {
   std::cout << "== " << figure << ": sensitivity to " << swept_name << " ("
             << apps << " apps, " << sites << " sites, " << cfg.time_budget_ms
-            << " ms/point) ==\n\n";
-  Table table({"Rate", "Outlays/yr", "Loss penalty/yr", "Outage penalty/yr",
-               "Total/yr"});
-  for (const auto& point : points) {
+            << " ms/point"
+            << (cfg.use_engine ? ", batch engine" : "") << ") ==\n\n";
+
+  auto point_env = [&](const SweepPoint& point) {
     Environment env = scenarios::multi_site(apps, sites, links);
     env.failures = FailureModel::sensitivity_baseline();
     apply_rate(env.failures, point.rate_per_year);
-    DesignTool tool(std::move(env));
-    const auto result = tool.design(cfg.solver_options());
+    return env;
+  };
+
+  // Per-point solver results, either sequentially or — with --engine — all
+  // points solved concurrently on the batch engine with a shared cache.
+  std::vector<SolveResult> results;
+  if (cfg.use_engine) {
+    std::vector<DesignJob> jobs;
+    jobs.reserve(points.size());
+    for (const auto& point : points) {
+      DesignJob job =
+          DesignJob::make(point_env(point), cfg.solver_options(), point.label);
+      job.derive_seed = false;  // same seed per point, as the sequential path
+      jobs.push_back(std::move(job));
+    }
+    BatchReport report =
+        DesignTool::design_batch(std::move(jobs), cfg.engine_options());
+    for (auto& r : report.results) results.push_back(std::move(r.solve));
+    std::cout << report.metrics.render() << "\n";
+  } else {
+    for (const auto& point : points) {
+      DesignTool tool(point_env(point));
+      results.push_back(tool.design(cfg.solver_options()));
+    }
+  }
+
+  Table table({"Rate", "Outlays/yr", "Loss penalty/yr", "Outage penalty/yr",
+               "Total/yr"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SolveResult& result = results[i];
     if (!result.feasible) {
-      table.add_row({point.label, "infeasible", "-", "-", "-"});
+      table.add_row({points[i].label, "infeasible", "-", "-", "-"});
       continue;
     }
-    table.add_row({point.label, Table::money(result.cost.outlay),
+    table.add_row({points[i].label, Table::money(result.cost.outlay),
                    Table::money(result.cost.loss_penalty),
                    Table::money(result.cost.outage_penalty),
                    Table::money(result.cost.total())});

@@ -4,13 +4,23 @@
 // how many candidate evaluations, recovery simulations, and reconfiguration
 // moves per second the search heuristics get to spend. Useful when tuning
 // the time budgets of the figure harnesses.
+//
+// After the microbenchmarks the harness runs a short batch-engine probe (an
+// 8-job sensitivity-style batch on the hardware's worker count) and writes
+// the headline numbers — jobs/sec, nodes/sec, evaluation-cache hit rate —
+// to BENCH_solver_perf.json so CI and tuning scripts can diff them.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
 #include "core/scenarios.hpp"
+#include "engine/engine.hpp"
 #include "model/recovery_sim.hpp"
 #include "solver/config_solver.hpp"
 #include "solver/design_solver.hpp"
 #include "solver/reconfigure.hpp"
+#include "util/json.hpp"
 #include "test_helpers_bench.hpp"
 
 namespace {
@@ -117,6 +127,60 @@ void BM_FullDesignSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDesignSolve)->Unit(benchmark::kMillisecond);
 
+/// Batch-engine probe: a fixed 8-job sweep (16 apps, rates varied) on the
+/// machine's worker count, fixed work per job so the numbers are comparable
+/// run to run. Returns the engine's aggregate metrics.
+EngineMetricsSnapshot run_engine_probe() {
+  std::vector<DesignJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Environment env = scenarios::multi_site(16, 4, 6);
+    env.failures = FailureModel::sensitivity_baseline();
+    env.failures.data_object_rate = 0.5 * (i + 1);
+    DesignSolverOptions o;
+    o.time_budget_ms = 1e9;  // bounded by repetitions: fixed work per job
+    o.max_repetitions = 1;
+    o.seed = 42;
+    jobs.push_back(
+        DesignJob::make(std::move(env), o, "probe-" + std::to_string(i)));
+  }
+  EngineOptions engine;
+  engine.seed = 42;
+  return run_batch(std::move(jobs), engine).metrics;
+}
+
+void write_perf_json(const char* path, const EngineMetricsSnapshot& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("engine_probe")
+      .begin_object()
+      .field("jobs", static_cast<long long>(m.jobs_completed))
+      .field("elapsed_ms", m.elapsed_ms)
+      .field("jobs_per_sec", m.jobs_per_sec())
+      .field("nodes_evaluated", static_cast<long long>(m.nodes_evaluated))
+      .field("nodes_per_sec", m.nodes_per_sec())
+      .field("evaluations", static_cast<long long>(m.evaluations))
+      .field("cache_hits", static_cast<long long>(m.cache.hits))
+      .field("cache_misses", static_cast<long long>(m.cache.misses))
+      .field("cache_hit_rate", m.cache.hit_rate())
+      .field("p50_job_ms", m.p50_job_ms)
+      .field("p95_job_ms", m.p95_job_ms)
+      .end_object();
+  w.end_object();
+  std::ofstream file(path);
+  file << w.str() << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const EngineMetricsSnapshot metrics = run_engine_probe();
+  std::cout << "\n== batch-engine probe ==\n" << metrics.render();
+  write_perf_json("BENCH_solver_perf.json", metrics);
+  std::cout << "wrote BENCH_solver_perf.json\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+// depstor_batch — batch-mode driver for the design engine.
+//
+// Consumes a directory of INI environment files (core/env_loader.hpp) or a
+// built-in sensitivity-sweep generator, solves every job concurrently on the
+// batch engine, emits one JSON report per job, and prints the engine's
+// aggregate metrics (jobs/sec, nodes/sec, p50/p95 latency, evaluation-cache
+// hit rate).
+//
+//   depstor_batch --env-dir=<dir>                    # one job per *.ini
+//   depstor_batch --sweep=object|disk|site           # Figs. 5-7 style sweep
+//                 [--points=16] [--apps=16] [--sites=4] [--links=6]
+//   common flags:
+//                 [--workers=N]          worker threads (0 = hardware)
+//                 [--seed=1]             base of the derived per-job seeds
+//                 [--time-budget-ms=0]   wall-clock cap per job (0 = none)
+//                 [--repetitions=1]      greedy+refit repetitions per job
+//                 [--deadline-ms=0]      per-job deadline from submission
+//                 [--out=<dir>]          write <dir>/<job>.json reports
+//                 [--no-cache]           disable the shared evaluation cache
+//                 [--csv]                results table as CSV
+//
+// By default every job does a fixed amount of work (--repetitions bounds the
+// search, no wall-clock budget), so the batch is bit-identical for any
+// --workers value — rerun with --workers=1 vs --workers=8 to see the
+// engine's speedup directly. Passing --time-budget-ms>0 caps each job's wall
+// clock instead; under contention that trades the determinism guarantee for
+// bounded latency.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "util/check.hpp"
+
+#include "core/design_tool.hpp"
+#include "core/env_loader.hpp"
+#include "core/report.hpp"
+#include "core/scenarios.hpp"
+#include "engine/engine.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace depstor;
+namespace fs = std::filesystem;
+
+std::vector<DesignJob> jobs_from_env_dir(const std::string& dir,
+                                         const DesignSolverOptions& options) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ini") {
+      files.push_back(entry.path());
+    }
+  }
+  if (files.empty()) {
+    throw InvalidArgument("no .ini environment files under " + dir);
+  }
+  std::sort(files.begin(), files.end());  // submission order = job seeds
+  std::vector<DesignJob> jobs;
+  jobs.reserve(files.size());
+  for (const auto& path : files) {
+    DesignJob job = DesignJob::make(load_environment(path.string()), options,
+                                    path.stem().string());
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<DesignJob> jobs_from_sweep(const std::string& sweep, int points,
+                                       int apps, int sites, int links,
+                                       const DesignSolverOptions& options) {
+  DEPSTOR_EXPECTS_MSG(points >= 2, "--points must be >= 2");
+  // Geometric rate ladder around the §4.5 sensitivity baselines, the same
+  // shape the Fig. 5-7 harnesses sweep.
+  const double lo = 0.05, hi = 8.0;
+  std::vector<DesignJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double rate =
+        lo * std::pow(hi / lo, static_cast<double>(i) / (points - 1));
+    Environment env = scenarios::multi_site(apps, sites, links);
+    env.failures = FailureModel::sensitivity_baseline();
+    if (sweep == "object") {
+      env.failures.data_object_rate = rate;
+    } else if (sweep == "disk") {
+      env.failures.disk_array_rate = rate;
+    } else if (sweep == "site") {
+      env.failures.site_disaster_rate = rate;
+    } else {
+      throw InvalidArgument("unknown --sweep: " + sweep +
+                            " (expected object|disk|site)");
+    }
+    char name[64];
+    std::snprintf(name, sizeof name, "%s-%02d-rate-%.3g", sweep.c_str(), i,
+                  rate);
+    jobs.push_back(DesignJob::make(std::move(env), options, name));
+  }
+  return jobs;
+}
+
+void write_reports(const std::string& out_dir, const BatchReport& report) {
+  fs::create_directories(out_dir);
+  for (const auto& r : report.results) {
+    if (r.status != JobStatus::Completed || !r.solve.feasible) continue;
+    std::ofstream file(fs::path(out_dir) / (r.name + ".json"));
+    file << solution_to_json(*r.env, *r.solve.best, r.solve.cost) << "\n";
+  }
+  JsonWriter summary;
+  summary.begin_object();
+  summary.key("jobs").begin_array();
+  for (const auto& r : report.results) {
+    summary.begin_object()
+        .field("id", r.id)
+        .field("name", r.name)
+        .field("status", to_string(r.status))
+        .field("seed", static_cast<long long>(r.seed))
+        .field("feasible", r.solve.feasible)
+        .field("total_cost", r.solve.feasible ? r.solve.cost.total() : 0.0)
+        .field("nodes_evaluated",
+               static_cast<long long>(r.solve.nodes_evaluated))
+        .field("cache_hits", static_cast<long long>(r.solve.cache_hits))
+        .field("cache_misses", static_cast<long long>(r.solve.cache_misses))
+        .field("queue_ms", r.queue_ms)
+        .field("run_ms", r.run_ms);
+    if (!r.error.empty()) summary.field("error", r.error);
+    summary.end_object();
+  }
+  summary.end_array();
+  summary.key("metrics");
+  report.metrics.to_json(summary);
+  summary.end_object();
+  std::ofstream file(fs::path(out_dir) / "batch_summary.json");
+  file << summary.str() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    DesignSolverOptions options;
+    const double budget_ms = flags.get_double("time-budget-ms", 0.0);
+    options.time_budget_ms = budget_ms > 0.0 ? budget_ms : 1e9;
+    options.max_repetitions = flags.get_int("repetitions", 1);
+
+    const std::string env_dir = flags.get_string("env-dir", "");
+    const std::string sweep = flags.get_string("sweep", "");
+    std::vector<DesignJob> jobs;
+    if (!env_dir.empty()) {
+      jobs = jobs_from_env_dir(env_dir, options);
+    } else if (!sweep.empty()) {
+      jobs = jobs_from_sweep(sweep, flags.get_int("points", 16),
+                             flags.get_int("apps", 16),
+                             flags.get_int("sites", 4),
+                             flags.get_int("links", 6), options);
+    } else {
+      std::cerr << "usage: depstor_batch --env-dir=<dir> | "
+                   "--sweep=object|disk|site [flags]\n"
+                   "(see the header of examples/depstor_batch.cpp)\n";
+      return 2;
+    }
+    const double deadline_ms = flags.get_double("deadline-ms", 0.0);
+    for (auto& job : jobs) job.deadline_ms = deadline_ms;
+
+    EngineOptions engine;
+    engine.workers = flags.get_int("workers", 0);
+    engine.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    engine.enable_cache = !flags.get_bool("no-cache", false);
+    const std::string out_dir = flags.get_string("out", "");
+    const bool csv = flags.get_bool("csv", false);
+    flags.reject_unknown();
+
+    std::cout << "== depstor_batch: " << jobs.size() << " jobs ==\n\n";
+    const BatchReport report =
+        DesignTool::design_batch(std::move(jobs), engine);
+
+    Table table({"Job", "Status", "Total/yr", "Nodes", "Cache hits",
+                 "Queue ms", "Run ms"});
+    int failures = 0;
+    for (const auto& r : report.results) {
+      const bool ok = r.status == JobStatus::Completed && r.solve.feasible;
+      if (!ok) ++failures;
+      const std::string status =
+          r.status == JobStatus::Completed && !r.solve.feasible
+              ? "infeasible"
+              : to_string(r.status);
+      table.add_row({r.name, status,
+                     ok ? Table::money(r.solve.cost.total()) : "-",
+                     std::to_string(r.solve.nodes_evaluated),
+                     std::to_string(r.solve.cache_hits),
+                     Table::num(r.queue_ms), Table::num(r.run_ms)});
+    }
+    std::cout << (csv ? table.render_csv() : table.render()) << "\n"
+              << report.metrics.render();
+
+    if (!out_dir.empty()) {
+      write_reports(out_dir, report);
+      std::cout << "\nwrote " << report.results.size() - failures
+                << " job reports + batch_summary.json to " << out_dir << "\n";
+    }
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -15,6 +15,28 @@ SolveResult DesignTool::design(const DesignSolverOptions& options) const {
   return solver.solve();
 }
 
+BatchReport DesignTool::design_batch(std::vector<DesignJob> jobs,
+                                     const EngineOptions& engine) {
+  return run_batch(std::move(jobs), engine);
+}
+
+BatchReport DesignTool::design_batch(
+    const std::vector<DesignSolverOptions>& runs,
+    const EngineOptions& engine) const {
+  // One shared copy of the environment keeps every returned Candidate valid
+  // for as long as the caller holds the report.
+  auto shared_env = std::make_shared<const Environment>(env_);
+  std::vector<DesignJob> jobs;
+  jobs.reserve(runs.size());
+  for (const auto& options : runs) {
+    DesignJob job;
+    job.env = shared_env;
+    job.options = options;
+    jobs.push_back(std::move(job));
+  }
+  return run_batch(std::move(jobs), engine);
+}
+
 BaselineResult DesignTool::design_human(const BaselineOptions& options) const {
   HumanHeuristic heuristic(&env_, options);
   return heuristic.solve();

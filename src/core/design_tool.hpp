@@ -10,10 +10,12 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "baselines/human_heuristic.hpp"
 #include "baselines/random_heuristic.hpp"
 #include "core/environment.hpp"
+#include "engine/engine.hpp"
 #include "solver/design_solver.hpp"
 
 namespace depstor {
@@ -26,6 +28,18 @@ class DesignTool {
 
   /// Run the two-stage design solver (Algorithm 1).
   SolveResult design(const DesignSolverOptions& options = {}) const;
+
+  /// Batch mode: run many design jobs — each its own environment — on the
+  /// batch engine's worker pool with a shared evaluation cache. Results come
+  /// back in submission order together with the engine's final metrics.
+  static BatchReport design_batch(std::vector<DesignJob> jobs,
+                                  const EngineOptions& engine = {});
+
+  /// Batch mode over *this* tool's environment: one job per option set
+  /// (seed fans, budget sweeps). The engine derives per-job seeds
+  /// deterministically from `engine.seed` unless a run opts out.
+  BatchReport design_batch(const std::vector<DesignSolverOptions>& runs,
+                           const EngineOptions& engine = {}) const;
 
   /// Run the emulated human architect (§4.1).
   BaselineResult design_human(const BaselineOptions& options = {}) const;

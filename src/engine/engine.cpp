@@ -1,0 +1,210 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace depstor {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+struct BatchEngine::Record {
+  int id = -1;
+  DesignJob job;
+  std::uint64_t seed = 0;
+
+  std::atomic<JobStatus> status{JobStatus::Queued};
+  std::atomic<bool> cancel{false};
+  std::atomic<std::int64_t> progress{0};
+
+  Clock::time_point submitted;
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+
+  SolveResult solve;
+  std::string error;
+};
+
+BatchEngine::BatchEngine(EngineOptions options)
+    : options_(options),
+      cache_(options.enable_cache
+                 ? std::make_unique<EvalCache>(options.cache)
+                 : nullptr),
+      pool_(options.workers) {}
+
+BatchEngine::~BatchEngine() {
+  // WorkerPool's destructor drains the queue, so every submitted job reaches
+  // a terminal state before the records go away.
+}
+
+int BatchEngine::submit(DesignJob job) {
+  DEPSTOR_EXPECTS_MSG(job.env != nullptr, "design job needs an environment");
+  auto rec = std::make_unique<Record>();
+  Record* raw = rec.get();
+  rec->job = std::move(job);
+  rec->submitted = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec->id = static_cast<int>(records_.size());
+    rec->seed = rec->job.derive_seed
+                    ? options_.seed + static_cast<std::uint64_t>(rec->id)
+                    : rec->job.options.seed;
+    if (rec->job.name.empty()) {
+      rec->job.name = "job-" + std::to_string(rec->id);
+    }
+    records_.push_back(std::move(rec));
+  }
+  metrics_.on_submit();
+  pool_.submit([this, raw] { run_job(*raw); });
+  return raw->id;
+}
+
+std::vector<int> BatchEngine::submit_all(std::vector<DesignJob> jobs) {
+  std::vector<int> ids;
+  ids.reserve(jobs.size());
+  for (auto& job : jobs) ids.push_back(submit(std::move(job)));
+  return ids;
+}
+
+void BatchEngine::run_job(Record& rec) {
+  const auto started = Clock::now();
+  rec.queue_ms = ms_between(rec.submitted, started);
+
+  JobStatus final_status;
+  if (rec.cancel.load(std::memory_order_acquire)) {
+    final_status = JobStatus::Cancelled;  // cancelled while queued: never run
+  } else {
+    const double deadline = rec.job.deadline_ms > 0.0
+                                ? rec.job.deadline_ms
+                                : options_.default_deadline_ms;
+    if (deadline > 0.0 && rec.queue_ms >= deadline) {
+      final_status = JobStatus::Expired;
+    } else {
+      rec.status.store(JobStatus::Running, std::memory_order_release);
+      DesignSolverOptions opts = rec.job.options;
+      opts.seed = rec.seed;
+      opts.eval_cache = cache_.get();
+      opts.cancel = &rec.cancel;
+      opts.progress = &rec.progress;
+      if (deadline > 0.0) {
+        opts.time_budget_ms =
+            std::min(opts.time_budget_ms, deadline - rec.queue_ms);
+      }
+      try {
+        DesignSolver solver(rec.job.env.get(), opts);
+        rec.solve = solver.solve();
+        final_status = rec.cancel.load(std::memory_order_acquire)
+                           ? JobStatus::Cancelled
+                           : JobStatus::Completed;
+      } catch (const std::exception& e) {
+        rec.error = e.what();
+        final_status = JobStatus::Failed;
+        DEPSTOR_LOG(Error, "batch job '" << rec.job.name
+                                         << "' failed: " << rec.error);
+      }
+      rec.run_ms = ms_between(started, Clock::now());
+    }
+  }
+  metrics_.on_finish(final_status, rec.solve.nodes_evaluated,
+                     rec.solve.evaluations, rec.queue_ms + rec.run_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.status.store(final_status, std::memory_order_release);
+  }
+  done_cv_.notify_all();
+}
+
+int BatchEngine::job_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(records_.size());
+}
+
+JobStatus BatchEngine::status(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEPSTOR_EXPECTS(id >= 0 && id < static_cast<int>(records_.size()));
+  return records_[static_cast<std::size_t>(id)]->status.load(
+      std::memory_order_acquire);
+}
+
+std::int64_t BatchEngine::progress_nodes(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEPSTOR_EXPECTS(id >= 0 && id < static_cast<int>(records_.size()));
+  return records_[static_cast<std::size_t>(id)]->progress.load(
+      std::memory_order_relaxed);
+}
+
+void BatchEngine::cancel(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEPSTOR_EXPECTS(id >= 0 && id < static_cast<int>(records_.size()));
+  records_[static_cast<std::size_t>(id)]->cancel.store(
+      true, std::memory_order_release);
+}
+
+JobResult BatchEngine::result_of(const Record& rec) const {
+  JobResult r;
+  r.id = rec.id;
+  r.name = rec.job.name;
+  r.status = rec.status.load(std::memory_order_acquire);
+  r.seed = rec.seed;
+  r.solve = rec.solve;
+  r.error = rec.error;
+  r.queue_ms = rec.queue_ms;
+  r.run_ms = rec.run_ms;
+  r.env = rec.job.env;
+  return r;
+}
+
+JobResult BatchEngine::wait(int id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DEPSTOR_EXPECTS(id >= 0 && id < static_cast<int>(records_.size()));
+  Record& rec = *records_[static_cast<std::size_t>(id)];
+  done_cv_.wait(lock, [&] {
+    return is_terminal(rec.status.load(std::memory_order_acquire));
+  });
+  return result_of(rec);
+}
+
+std::vector<JobResult> BatchEngine::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t count = records_.size();
+  done_cv_.wait(lock, [&] {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!is_terminal(records_[i]->status.load(std::memory_order_acquire))) {
+        return false;
+      }
+    }
+    return true;
+  });
+  std::vector<JobResult> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    results.push_back(result_of(*records_[i]));
+  }
+  return results;
+}
+
+EngineMetricsSnapshot BatchEngine::metrics() const {
+  return metrics_.snapshot(pool_.queue_depth(),
+                           cache_ ? cache_->stats() : EvalCacheStats{});
+}
+
+BatchReport run_batch(std::vector<DesignJob> jobs,
+                      const EngineOptions& options) {
+  BatchEngine engine(options);
+  engine.submit_all(std::move(jobs));
+  BatchReport report;
+  report.results = engine.wait_all();
+  report.metrics = engine.metrics();
+  return report;
+}
+
+}  // namespace depstor

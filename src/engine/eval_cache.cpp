@@ -1,0 +1,233 @@
+#include "engine/eval_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void mix_device_type(Fnv1a& h, const DeviceTypeSpec& type) {
+  h.mix(type.name)
+      .mix(static_cast<int>(type.kind))
+      .mix(static_cast<int>(type.cls))
+      .mix(type.fixed_cost)
+      .mix(type.cost_per_capacity_unit)
+      .mix(type.cost_per_bandwidth_unit)
+      .mix(type.max_capacity_units)
+      .mix(type.max_bandwidth_units)
+      .mix(type.capacity_unit_gb)
+      .mix(type.bandwidth_unit_mbps)
+      .mix(type.max_aggregate_bandwidth_mbps);
+}
+
+}  // namespace
+
+Fnv1a& Fnv1a::mix(std::uint64_t v) {
+  // Byte-wise FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffu;
+    hash_ *= 1099511628211ull;  // FNV prime
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::mix(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return mix(bits);
+}
+
+Fnv1a& Fnv1a::mix(const std::string& s) {
+  for (unsigned char c : s) {
+    hash_ ^= c;
+    hash_ *= 1099511628211ull;
+  }
+  return mix(static_cast<std::uint64_t>(s.size()));
+}
+
+std::uint64_t fingerprint_environment(const Environment& env) {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(env.apps.size()));
+  for (const auto& app : env.apps) {
+    h.mix(app.outage_penalty_rate)
+        .mix(app.loss_penalty_rate)
+        .mix(app.data_size_gb)
+        .mix(app.avg_update_mbps)
+        .mix(app.peak_update_mbps)
+        .mix(app.avg_access_mbps)
+        .mix(app.unique_update_mbps);
+  }
+  h.mix(static_cast<std::uint64_t>(env.topology.sites.size()));
+  for (const auto& site : env.topology.sites) {
+    h.mix(site.region)
+        .mix(site.max_disk_arrays)
+        .mix(site.max_spare_arrays)
+        .mix(site.max_tape_libraries)
+        .mix(site.max_compute_slots)
+        .mix(site.fixed_cost);
+  }
+  for (const auto& pair : env.topology.pair_limits) {
+    h.mix(pair.site_a).mix(pair.site_b).mix(pair.max_links);
+  }
+  for (const auto* types :
+       {&env.array_types, &env.tape_types, &env.network_types}) {
+    h.mix(static_cast<std::uint64_t>(types->size()));
+    for (const auto& type : *types) mix_device_type(h, type);
+  }
+  mix_device_type(h, env.compute_type);
+
+  h.mix(env.failures.data_object_rate)
+      .mix(env.failures.disk_array_rate)
+      .mix(env.failures.site_disaster_rate)
+      .mix(env.failures.regional_disaster_rate);
+
+  const ModelParams& p = env.params;
+  h.mix(p.failover_hours)
+      .mix(p.snapshot_restore_hours)
+      .mix(p.tape_load_hours)
+      .mix(p.incremental_load_hours)
+      .mix(p.detection_hours)
+      .mix(p.repair_data_object_hours)
+      .mix(p.repair_disk_array_hours)
+      .mix(p.repair_with_spare_hours)
+      .mix(p.repair_site_hours)
+      .mix(p.repair_regional_hours)
+      .mix(p.unprotected_loss_hours)
+      .mix(p.backup_window_target_hours)
+      .mix(p.vault_retrieval_hours)
+      .mix(p.vault_annual_fee)
+      .mix(static_cast<int>(p.recovery_order))
+      .mix(p.device_lifetime_years);
+  return h.digest();
+}
+
+std::uint64_t fingerprint_candidate(const Candidate& candidate,
+                                    std::uint64_t env_salt) {
+  Fnv1a h;
+  h.mix(env_salt);
+
+  for (const auto& asg : candidate.assignments()) {
+    h.mix(asg.assigned);
+    if (!asg.assigned) continue;
+    h.mix(static_cast<int>(asg.technique.mirror))
+        .mix(static_cast<int>(asg.technique.recovery))
+        .mix(asg.technique.has_backup)
+        .mix(asg.technique.mirror_accumulation_hours);
+    if (asg.technique.has_backup) {
+      const BackupChainConfig& b = asg.backup;
+      h.mix(b.snapshot_interval_hours)
+          .mix(b.snapshots_retained)
+          .mix(b.backup_interval_hours)
+          .mix(b.backups_retained)
+          .mix(static_cast<int>(b.cycle))
+          .mix(b.incremental_interval_hours)
+          .mix(b.vault_interval_hours)
+          .mix(b.vault_shipping_hours);
+    }
+    h.mix(asg.primary_site)
+        .mix(asg.secondary_site)
+        .mix(asg.primary_array)
+        .mix(asg.mirror_array)
+        .mix(asg.tape_library)
+        .mix(asg.mirror_link)
+        .mix(asg.primary_compute)
+        .mix(asg.failover_compute);
+  }
+
+  // Provisioned pool: device ids are creation-ordered within a candidate, so
+  // iterating in id order is canonical. Unit counts are technically implied
+  // by the assignments, but mixing them is cheap insurance against any state
+  // the assignment fields do not capture.
+  const ResourcePool& pool = candidate.pool();
+  h.mix(pool.device_count());
+  for (const auto& dev : pool.devices()) {
+    const bool used = pool.in_use(dev.id);
+    h.mix(used);
+    if (!used) continue;  // idle devices cost nothing and recover nothing
+    h.mix(dev.type.name)
+        .mix(dev.site_id)
+        .mix(dev.site_b_id)
+        .mix(dev.capacity_units)
+        .mix(dev.bandwidth_units)
+        .mix(dev.extra_capacity_units)
+        .mix(dev.extra_bandwidth_units)
+        .mix(pool.is_spare_device(dev.id));
+  }
+  return h.digest();
+}
+
+EvalCache::EvalCache(EvalCacheOptions options)
+    : capacity_per_shard_(options.capacity_per_shard),
+      shards_(round_up_pow2(std::max<std::size_t>(1, options.shards))) {
+  DEPSTOR_EXPECTS(options.capacity_per_shard >= 1);
+}
+
+EvalCache::Shard& EvalCache::shard_of(std::uint64_t key) {
+  // High bits pick the shard; the hash map inside the shard uses the low
+  // bits, so the two selections stay independent.
+  const std::size_t mask = shards_.size() - 1;
+  return shards_[(key >> 48) & mask];
+}
+
+std::optional<CostBreakdown> EvalCache::lookup(std::uint64_t key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void EvalCache::insert(std::uint64_t key, const CostBreakdown& cost) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = cost;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= capacity_per_shard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, cost);
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.size = size();
+  return s;
+}
+
+}  // namespace depstor

@@ -1,0 +1,129 @@
+// Sharded memoizing evaluation cache for candidate cost evaluations.
+//
+// Candidate::evaluate() — recovery simulation over every failure scenario
+// plus outlay/penalty accounting — is the hot kernel of both solvers, and
+// the search revisits states constantly: the configuration sweep re-prices
+// its baseline after applying the winning grid point, the increment loop
+// re-applies the best probe of the previous round, and the refit walk copies
+// candidates between siblings. The cache memoizes evaluate() keyed by a
+// 64-bit FNV-1a fingerprint of everything the evaluation depends on:
+//
+//   environment salt  (apps, topology, device catalog, failure rates, model
+//                      parameters — so one cache can serve jobs over
+//                      *different* environments without false sharing)
+//   × per-app assignment (technique, chain configuration, sites, devices)
+//   × provisioned pool  (per device: type, placement, units, extras,
+//                        spare reservations)
+//
+// The cache is sharded: each shard is an independent LRU map behind its own
+// mutex, selected by the key's high bits, so engine workers solving
+// different jobs contend only when they land on the same shard. Hit/miss/
+// eviction counters are atomics and flow into ConfigSolverStats and the
+// engine metrics.
+//
+// Memoization never changes results: a hit returns exactly the CostBreakdown
+// a fresh evaluate() would have produced (64-bit fingerprint collisions
+// excepted), so batch runs stay bit-identical whether the cache is cold,
+// warm, or disabled.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/breakdown.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor {
+
+/// Incremental FNV-1a (64-bit) used for the fingerprints. Exposed for tests.
+class Fnv1a {
+ public:
+  Fnv1a& mix(std::uint64_t v);
+  Fnv1a& mix(double v);  ///< hashes the bit pattern (exact, not rounded)
+  Fnv1a& mix(int v) { return mix(static_cast<std::uint64_t>(v)); }
+  Fnv1a& mix(bool v) { return mix(static_cast<std::uint64_t>(v)); }
+  Fnv1a& mix(const std::string& s);
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// Salt covering everything evaluate() reads from the environment. Computed
+/// once per solve and mixed into every candidate fingerprint so distinct
+/// environments sharing one cache cannot collide by structure alone.
+std::uint64_t fingerprint_environment(const Environment& env);
+
+/// Fingerprint of a candidate's design decisions and provisioning: per-app
+/// (technique, devices, intervals, cycle mode) plus the provisioned pool
+/// (units, extras, spares), mixed over `env_salt`.
+std::uint64_t fingerprint_candidate(const Candidate& candidate,
+                                    std::uint64_t env_salt);
+
+struct EvalCacheOptions {
+  std::size_t shards = 16;              ///< rounded up to a power of two
+  std::size_t capacity_per_shard = 4096;  ///< LRU bound per shard (entries)
+};
+
+struct EvalCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;  ///< lookups that found nothing
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::size_t size = 0;  ///< entries currently resident
+
+  double hit_rate() const {
+    const std::int64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  }
+};
+
+class EvalCache {
+ public:
+  explicit EvalCache(EvalCacheOptions options = {});
+
+  /// Thread-safe. A hit refreshes the entry's LRU position.
+  std::optional<CostBreakdown> lookup(std::uint64_t key);
+
+  /// Thread-safe; evicts the shard's least-recently-used entry when full.
+  /// Re-inserting an existing key refreshes its value and recency.
+  void insert(std::uint64_t key, const CostBreakdown& cost);
+
+  std::size_t size() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t capacity() const {
+    return shards_.size() * capacity_per_shard_;
+  }
+
+  EvalCacheStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The map points into the list.
+    std::list<std::pair<std::uint64_t, CostBreakdown>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, CostBreakdown>>::iterator>
+        index;
+  };
+
+  Shard& shard_of(std::uint64_t key);
+
+  std::size_t capacity_per_shard_;
+  std::vector<Shard> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> insertions_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace depstor

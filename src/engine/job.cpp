@@ -1,0 +1,37 @@
+#include "engine/job.hpp"
+
+namespace depstor {
+
+DesignJob DesignJob::make(Environment environment, DesignSolverOptions options,
+                          std::string name) {
+  DesignJob job;
+  job.name = std::move(name);
+  job.env = std::make_shared<const Environment>(std::move(environment));
+  job.options = options;
+  return job;
+}
+
+const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::Queued:
+      return "queued";
+    case JobStatus::Running:
+      return "running";
+    case JobStatus::Completed:
+      return "completed";
+    case JobStatus::Cancelled:
+      return "cancelled";
+    case JobStatus::Expired:
+      return "expired";
+    case JobStatus::Failed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobStatus s) {
+  return s == JobStatus::Completed || s == JobStatus::Cancelled ||
+         s == JobStatus::Expired || s == JobStatus::Failed;
+}
+
+}  // namespace depstor

@@ -1,0 +1,78 @@
+// Batch design jobs: the unit of work of the batch engine.
+//
+// A DesignJob pairs an environment with design-solver options plus batch
+// metadata (name, deadline, seeding policy). Jobs own their environment via
+// shared_ptr so the JobResult can keep the environment alive for as long as
+// the returned Candidate (which holds a raw Environment pointer) is used —
+// callers may drop the engine and keep results.
+//
+// Seeding: by default the engine derives each job's seed deterministically
+// from the engine base seed and the job's submission index (`base + index`),
+// so a batch produces bit-identical results regardless of worker count or
+// scheduling. Set `derive_seed = false` to use the seed already present in
+// `options` verbatim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/environment.hpp"
+#include "solver/design_solver.hpp"
+
+namespace depstor {
+
+struct DesignJob {
+  std::string name;                        ///< report label; defaults to "job-<id>"
+  std::shared_ptr<const Environment> env;  ///< must be non-null at submit()
+  DesignSolverOptions options;
+
+  /// true (default): the engine overrides `options.seed` with
+  /// `engine seed + submission index`. false: keep `options.seed`.
+  bool derive_seed = true;
+
+  /// Wall-clock deadline measured from submission, in milliseconds.
+  /// A job still queued past its deadline is expired without running; a
+  /// running job's solver budget is clipped to the time remaining.
+  /// 0 = use the engine default (which may also be 0 = none).
+  double deadline_ms = 0.0;
+
+  /// Convenience: wrap an environment value into the shared_ptr form.
+  static DesignJob make(Environment environment,
+                        DesignSolverOptions options = {},
+                        std::string name = {});
+};
+
+enum class JobStatus {
+  Queued,     ///< submitted, not yet picked up by a worker
+  Running,    ///< a worker is solving it
+  Completed,  ///< solver ran to completion
+  Cancelled,  ///< cancel() observed (queued: never ran; running: stopped early)
+  Expired,    ///< deadline passed while still queued
+  Failed,     ///< solver threw; see JobResult::error
+};
+
+const char* to_string(JobStatus s);
+
+/// True for statuses a job can no longer leave.
+bool is_terminal(JobStatus s);
+
+struct JobResult {
+  int id = -1;
+  std::string name;
+  JobStatus status = JobStatus::Queued;
+  std::uint64_t seed = 0;  ///< effective seed the solver ran with
+
+  /// Solver output. Valid when Completed; for Cancelled jobs that were
+  /// already running it holds the best design found before the stop.
+  SolveResult solve;
+  std::string error;  ///< what() of the solver exception when Failed
+
+  double queue_ms = 0.0;  ///< submission → pickup
+  double run_ms = 0.0;    ///< pickup → finish (0 when never run)
+
+  /// Keeps `solve.best`'s environment alive past the engine's lifetime.
+  std::shared_ptr<const Environment> env;
+};
+
+}  // namespace depstor

@@ -1,0 +1,79 @@
+// Aggregate metrics of a batch engine run.
+//
+// Counters are atomics updated by the workers; job latencies stream into a
+// mutex-guarded LogHistogram (util/histogram) whose quantiles give the
+// p50/p95 figures. snapshot() assembles a consistent-enough view for
+// reporting — individual counters are exact, cross-counter relationships
+// (e.g. jobs/sec vs nodes) may lag by in-flight jobs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "engine/eval_cache.hpp"
+#include "engine/job.hpp"
+#include "util/histogram.hpp"
+
+namespace depstor {
+
+class JsonWriter;
+
+struct EngineMetricsSnapshot {
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_cancelled = 0;
+  std::int64_t jobs_expired = 0;
+  std::int64_t jobs_failed = 0;
+  std::size_t queue_depth = 0;  ///< jobs waiting for a worker
+
+  std::int64_t nodes_evaluated = 0;  ///< search nodes across finished jobs
+  std::int64_t evaluations = 0;      ///< cost evaluations (incl. cache hits)
+  EvalCacheStats cache;
+
+  double elapsed_ms = 0.0;  ///< engine lifetime so far
+  double p50_job_ms = 0.0;  ///< median job latency (queue + run)
+  double p95_job_ms = 0.0;
+
+  double jobs_per_sec() const;
+  double nodes_per_sec() const;
+
+  /// Multi-line human-readable summary.
+  std::string render() const;
+
+  /// Write the snapshot as a JSON object value (caller owns surrounding
+  /// structure; call between key()/array slots).
+  void to_json(JsonWriter& json) const;
+};
+
+class EngineMetrics {
+ public:
+  EngineMetrics();
+
+  void on_submit();
+
+  /// Record a finished job: its terminal status, the solver counters it
+  /// consumed, and its total latency (submission to finish).
+  void on_finish(JobStatus status, std::int64_t nodes,
+                 std::int64_t evaluations, double latency_ms);
+
+  EngineMetricsSnapshot snapshot(std::size_t queue_depth,
+                                 const EvalCacheStats& cache) const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> expired_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> nodes_{0};
+  std::atomic<std::int64_t> evaluations_{0};
+
+  mutable std::mutex latency_mu_;
+  LogHistogram latency_ms_;
+};
+
+}  // namespace depstor

@@ -1,0 +1,44 @@
+#include "engine/queue.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+void TaskQueue::push(Task task) {
+  DEPSTOR_EXPECTS(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DEPSTOR_ENSURES_MSG(!closed_, "push on a closed task queue");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::optional<TaskQueue::Task> TaskQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return std::nullopt;  // closed and drained
+  Task task = std::move(tasks_.front());
+  tasks_.pop_front();
+  return task;
+}
+
+void TaskQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t TaskQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+bool TaskQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace depstor

@@ -1,0 +1,45 @@
+// Closed-able FIFO task queue feeding the engine's worker pool.
+//
+// Producers push closures; workers block in pop() until a task or shutdown
+// arrives. close() stops further pushes but lets workers drain everything
+// already queued — the engine relies on that to finish all submitted jobs on
+// destruction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace depstor {
+
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  /// Enqueue a task. Throws InternalError after close().
+  void push(Task task);
+
+  /// Blocking dequeue: returns the next task, or nullopt once the queue is
+  /// closed *and* drained (the worker-thread exit signal).
+  std::optional<Task> pop();
+
+  /// Stop accepting pushes and wake every blocked pop(). Queued tasks are
+  /// still handed out until the queue is empty. Idempotent.
+  void close();
+
+  /// Tasks currently waiting (excludes tasks already handed to workers).
+  std::size_t depth() const;
+
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace depstor

@@ -1,0 +1,61 @@
+#include "engine/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace depstor {
+
+int resolve_worker_count(int workers) {
+  DEPSTOR_EXPECTS_MSG(workers >= 0, "worker count must be >= 0 (0 = auto)");
+  if (workers > 0) return workers;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+WorkerPool::WorkerPool(int workers) {
+  const int count = resolve_worker_count(workers);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  queue_.close();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(TaskQueue::Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++unfinished_;
+  }
+  queue_.push(std::move(task));
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return unfinished_ == 0; });
+}
+
+void WorkerPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      // Contract violation: tasks handle their own errors. Swallowing keeps
+      // the pool alive; the log line makes the broken task visible.
+      DEPSTOR_LOG(Error, "worker pool task threw: " << e.what());
+    } catch (...) {
+      DEPSTOR_LOG(Error, "worker pool task threw a non-std exception");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --unfinished_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace depstor

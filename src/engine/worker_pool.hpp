@@ -1,0 +1,54 @@
+// Fixed pool of worker threads draining a TaskQueue.
+//
+// This is the fan-out primitive of the batch engine, and what the
+// solver/parallel drivers delegate their thread management to. Tasks are
+// plain closures and must not throw — callers that need error propagation
+// capture an exception_ptr inside the task (see solver/parallel.cpp) or
+// record the failure in their job bookkeeping (see engine/engine.cpp).
+//
+// Destruction closes the queue and joins the workers after every task
+// already submitted has run.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "engine/queue.hpp"
+
+namespace depstor {
+
+class WorkerPool {
+ public:
+  /// `workers` threads; 0 = one per hardware thread (at least one).
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void submit(TaskQueue::Task task);
+
+  /// Block until every submitted task has finished (the queue is empty and
+  /// no worker is mid-task). Further submits remain allowed.
+  void wait_idle();
+
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Tasks submitted but not yet started.
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  void worker_loop();
+
+  TaskQueue queue_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::size_t unfinished_ = 0;  ///< submitted minus finished
+  std::vector<std::thread> threads_;
+};
+
+/// Resolve a worker-count option: n >= 1 as given, 0 = hardware concurrency.
+int resolve_worker_count(int workers);
+
+}  // namespace depstor

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/eval_cache.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
@@ -20,8 +21,24 @@ std::vector<int> devices_of(const AppAssignment& asg) {
 
 }  // namespace
 
-ConfigSolver::ConfigSolver(const Environment* env) : env_(env) {
+ConfigSolver::ConfigSolver(const Environment* env, EvalCache* cache)
+    : env_(env), cache_(cache) {
   DEPSTOR_EXPECTS(env != nullptr);
+  if (cache_ != nullptr) env_salt_ = fingerprint_environment(*env);
+}
+
+CostBreakdown ConfigSolver::evaluate(const Candidate& candidate) const {
+  ++stats_.evaluations;
+  if (cache_ == nullptr) return candidate.evaluate();
+  const std::uint64_t key = fingerprint_candidate(candidate, env_salt_);
+  if (auto cached = cache_->lookup(key)) {
+    ++stats_.cache_hits;
+    return std::move(*cached);
+  }
+  ++stats_.cache_misses;
+  CostBreakdown cost = candidate.evaluate();
+  cache_->insert(key, cost);
+  return cost;
 }
 
 CostBreakdown ConfigSolver::solve(Candidate& candidate) const {
@@ -73,8 +90,7 @@ void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
   }
 
   BackupChainConfig best = candidate.assignment(app_id).backup;
-  double best_cost = candidate.evaluate().total();
-  ++stats_.evaluations;
+  double best_cost = evaluate(candidate).total();
   for (double snap : env_->policies.snapshot_intervals_hours) {
     for (double backup : env_->policies.backup_intervals_hours) {
       if (backup < snap) continue;
@@ -94,8 +110,7 @@ void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
         } catch (const InfeasibleError&) {
           continue;  // e.g. snapshot space no longer fits; skip this point
         }
-        const double cost = candidate.evaluate().total();
-        ++stats_.evaluations;
+        const double cost = evaluate(candidate).total();
         if (cost < best_cost) {
           best_cost = cost;
           best = cfg;
@@ -109,8 +124,7 @@ void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
 CostBreakdown ConfigSolver::increment_resources(
     Candidate& candidate,
     const std::optional<std::vector<int>>& devices) const {
-  CostBreakdown current = candidate.evaluate();
-  ++stats_.evaluations;
+  CostBreakdown current = evaluate(candidate);
 
   auto in_scope = [&](int device_id) {
     if (!devices) return true;
@@ -152,8 +166,7 @@ CostBreakdown ConfigSolver::increment_resources(
       } catch (const InfeasibleError&) {
         continue;  // spare limit reached at this site
       }
-      const CostBreakdown cost = candidate.evaluate();
-      ++stats_.evaluations;
+      const CostBreakdown cost = evaluate(candidate);
       if (cost.total() < best.total()) {
         best = cost;
         best_spare = static_cast<int>(i);
@@ -195,8 +208,7 @@ CostBreakdown ConfigSolver::increment_resources(
           }
           continue;
         }
-        const CostBreakdown cost = candidate.evaluate();
-        ++stats_.evaluations;
+        const CostBreakdown cost = evaluate(candidate);
         if (cost.total() < best.total()) {
           best = cost;
           best_device = dev.id;

@@ -24,6 +24,7 @@
 // completion and as an end-of-search polish.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -32,14 +33,24 @@
 
 namespace depstor {
 
+class EvalCache;  // engine/eval_cache.hpp
+
 struct ConfigSolverStats {
-  int evaluations = 0;        ///< full cost evaluations performed
-  int increments_bought = 0;  ///< extra units kept by the increment loop
+  /// Cost evaluations requested (cache hits included). 64-bit: long batch
+  /// runs overflow 32 bits.
+  std::int64_t evaluations = 0;
+  std::int64_t cache_hits = 0;    ///< evaluations served from the cache
+  std::int64_t cache_misses = 0;  ///< evaluations computed then cached
+  int increments_bought = 0;      ///< extra units kept by the increment loop
 };
 
 class ConfigSolver {
  public:
-  explicit ConfigSolver(const Environment* env);
+  /// With a non-null `cache` (the engine's sharded evaluation cache), cost
+  /// evaluations are memoized by candidate fingerprint — the sweep and
+  /// increment loop stop re-running the recovery simulator for states the
+  /// search has already costed. Results are identical either way.
+  explicit ConfigSolver(const Environment* env, EvalCache* cache = nullptr);
 
   /// Optimize every application's configuration parameters plus the global
   /// resource increments; returns the resulting cost. The candidate must be
@@ -58,6 +69,10 @@ class ConfigSolver {
   const ConfigSolverStats& stats() const { return stats_; }
 
  private:
+  /// Cost of the candidate's current state, served from the evaluation
+  /// cache when one is attached (counted either way).
+  CostBreakdown evaluate(const Candidate& candidate) const;
+
   /// Exhaustive sweep of one application's backup-chain parameters.
   void sweep_app(Candidate& candidate, int app_id) const;
 
@@ -68,6 +83,8 @@ class ConfigSolver {
       const std::optional<std::vector<int>>& devices = std::nullopt) const;
 
   const Environment* env_;
+  EvalCache* cache_;
+  std::uint64_t env_salt_ = 0;  ///< environment fingerprint (cache keys)
   mutable ConfigSolverStats stats_;
 };
 

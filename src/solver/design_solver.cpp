@@ -39,16 +39,23 @@ SolveResult DesignSolver::solve() {
   SolveResult result;
   Rng rng(options_.seed);
   Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
-  ConfigSolver config_solver(env_);
+  ConfigSolver config_solver(env_, options_.eval_cache);
 
+  auto cancelled = [&] {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_acquire);
+  };
   auto out_of_time = [&] {
-    return elapsed_ms(start) >= options_.time_budget_ms;
+    return elapsed_ms(start) >= options_.time_budget_ms || cancelled();
   };
 
   // Complete a node after the edge changed `changed_app` (§3.2): scoped
   // re-optimization by default, the literal full sweep when asked.
   auto complete_node = [&](Candidate& cand, int changed_app) -> CostBreakdown {
     ++result.nodes_evaluated;
+    if (options_.progress != nullptr) {
+      options_.progress->fetch_add(1, std::memory_order_relaxed);
+    }
     return options_.full_config_solve_every_node
                ? config_solver.solve(cand)
                : config_solver.solve_for_app(cand, changed_app);
@@ -69,6 +76,10 @@ SolveResult DesignSolver::solve() {
       Candidate cand(env_);
       bool failed = false;
       while (cand.assigned_count() < static_cast<int>(env_->apps.size())) {
+        if (cancelled()) {
+          failed = true;  // stop mid-greedy; the partial design is dropped
+          break;
+        }
         const auto unassigned = cand.unassigned_apps();
         int next = -1;
         if (options_.greedy_order == GreedyOrder::MaxPenalty) {
@@ -164,8 +175,16 @@ SolveResult DesignSolver::solve() {
            (options_.max_repetitions == 0 ||
             repetitions < options_.max_repetitions));
 
+  auto finish_stats = [&] {
+    result.cancelled = cancelled();
+    result.evaluations = config_solver.stats().evaluations;
+    result.cache_hits = config_solver.stats().cache_hits;
+    result.cache_misses = config_solver.stats().cache_misses;
+  };
+
   if (!global_best) {
     result.elapsed_ms = elapsed_ms(start);
+    finish_stats();
     return result;
   }
 
@@ -174,6 +193,7 @@ SolveResult DesignSolver::solve() {
   // unexplored).
   global_best->cost = config_solver.solve(global_best->candidate);
   result.elapsed_ms = elapsed_ms(start);
+  finish_stats();
 
   DEPSTOR_LOG(Info, "design solver: cost " << global_best->cost.total()
                                            << " after "

@@ -19,6 +19,7 @@
 // comparison, exactly as in Algorithm 1 (lines 6, 18, 25).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -53,15 +54,30 @@ struct DesignSolverOptions {
   /// taken literally, O(apps × grid) per node, prohibitive beyond ~12 apps.
   bool full_config_solve_every_node = false;
   ReconfigureOptions reconfigure;
+
+  // --- batch-engine hooks (engine/engine.hpp); all optional ---
+  /// Shared memoizing evaluation cache threaded into the configuration
+  /// solver. Never changes results, only skips recomputation.
+  EvalCache* eval_cache = nullptr;
+  /// Cooperative cancellation: when set and true, the solve stops at the
+  /// next node boundary and returns the best design found so far.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Live progress sink, incremented once per evaluated search node.
+  std::atomic<std::int64_t>* progress = nullptr;
 };
 
 struct SolveResult {
   std::optional<Candidate> best;  ///< empty when no feasible design found
   CostBreakdown cost;
   bool feasible = false;
-  int greedy_restarts = 0;
-  int refit_iterations = 0;
-  int nodes_evaluated = 0;
+  bool cancelled = false;  ///< stopped early by the cancellation hook
+  // 64-bit counters: long batch runs overflow 32 bits.
+  std::int64_t greedy_restarts = 0;
+  std::int64_t refit_iterations = 0;
+  std::int64_t nodes_evaluated = 0;
+  std::int64_t evaluations = 0;   ///< config-solver cost evaluations
+  std::int64_t cache_hits = 0;    ///< evaluations served from the cache
+  std::int64_t cache_misses = 0;
   double elapsed_ms = 0.0;
 };
 

@@ -1,24 +1,25 @@
 #include "solver/parallel.hpp"
 
-#include <thread>
+#include <exception>
 
+#include "engine/engine.hpp"
+#include "engine/worker_pool.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
 
 namespace {
 
-/// Run `workers` jobs on their own threads; job k computes results[k].
+/// Run `workers` jobs on the engine's worker pool; job k computes
+/// results[k]. Errors propagate after every job finished.
 template <typename Result, typename Job>
 std::vector<Result> run_workers(int workers, const Job& job) {
   DEPSTOR_EXPECTS(workers >= 1);
   std::vector<Result> results(static_cast<std::size_t>(workers));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  std::vector<std::exception_ptr> errors(
-      static_cast<std::size_t>(workers));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  WorkerPool pool(workers);
   for (int k = 0; k < workers; ++k) {
-    threads.emplace_back([&, k] {
+    pool.submit([&results, &errors, &job, k] {
       try {
         results[static_cast<std::size_t>(k)] = job(k);
       } catch (...) {
@@ -26,11 +27,17 @@ std::vector<Result> run_workers(int workers, const Job& job) {
       }
     });
   }
-  for (auto& t : threads) t.join();
+  pool.wait_idle();
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
   return results;
+}
+
+/// Alias a caller-owned environment into the shared_ptr form jobs expect,
+/// without copying or taking ownership (the caller outlives the engine).
+std::shared_ptr<const Environment> borrow(const Environment* env) {
+  return {env, [](const Environment*) {}};
 }
 
 }  // namespace
@@ -38,18 +45,34 @@ std::vector<Result> run_workers(int workers, const Job& job) {
 SolveResult solve_parallel(const Environment* env,
                            const DesignSolverOptions& options, int workers) {
   DEPSTOR_EXPECTS(env != nullptr);
-  auto results = run_workers<SolveResult>(workers, [&](int k) {
-    DesignSolverOptions worker_options = options;
-    worker_options.seed = options.seed + static_cast<std::uint64_t>(k);
-    DesignSolver solver(env, worker_options);
-    return solver.solve();
-  });
+  DEPSTOR_EXPECTS(workers >= 1);
+  // One engine job per worker; the engine derives job k's seed as
+  // `options.seed + k`, preserving the historical contract that results are
+  // reproducible regardless of thread scheduling.
+  EngineOptions engine_options;
+  engine_options.workers = workers;
+  engine_options.seed = options.seed;
+  BatchEngine engine(engine_options);
+  for (int k = 0; k < workers; ++k) {
+    DesignJob job;
+    job.name = "solve-" + std::to_string(k);
+    job.env = borrow(env);
+    job.options = options;
+    engine.submit(std::move(job));
+  }
 
   SolveResult merged;
-  for (auto& r : results) {
+  for (auto& jr : engine.wait_all()) {
+    if (jr.status == JobStatus::Failed) {
+      throw InternalError("parallel solve worker failed: " + jr.error);
+    }
+    SolveResult& r = jr.solve;
     merged.nodes_evaluated += r.nodes_evaluated;
     merged.refit_iterations += r.refit_iterations;
     merged.greedy_restarts += r.greedy_restarts;
+    merged.evaluations += r.evaluations;
+    merged.cache_hits += r.cache_hits;
+    merged.cache_misses += r.cache_misses;
     merged.elapsed_ms = std::max(merged.elapsed_ms, r.elapsed_ms);
     if (!r.feasible) continue;
     if (!merged.feasible || r.cost.total() < merged.cost.total()) {

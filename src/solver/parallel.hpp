@@ -6,6 +6,11 @@
 // trivially: each worker gets a derived seed, runs the sequential algorithm,
 // and the results merge by minimum (solver) or concatenation (sampler).
 //
+// Fan-out is delegated to the batch engine (engine/): solve_parallel submits
+// one design job per worker to a BatchEngine — so the seed fan shares the
+// engine's memoizing evaluation cache — and the baseline/sampler drivers run
+// on its WorkerPool primitive.
+//
 // Determinism: with a fixed `seed` and `workers`, worker k always receives
 // seed `seed + k`, so results are reproducible regardless of thread
 // scheduling (the merge is order-independent).

@@ -39,6 +39,27 @@ std::size_t LogHistogram::max_count() const {
   return *std::max_element(counts_.begin(), counts_.end());
 }
 
+double LogHistogram::quantile(double q) const {
+  DEPSTOR_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::size_t before = cumulative;
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double frac = std::clamp(
+          (target - static_cast<double>(before)) /
+              static_cast<double>(counts_[i]),
+          0.0, 1.0);
+      return std::exp(log_lo_ +
+                      log_step_ * (static_cast<double>(i) + frac));
+    }
+  }
+  return bin_upper(counts_.size() - 1);
+}
+
 std::string LogHistogram::render(std::size_t width) const {
   std::size_t first = 0;
   std::size_t last = counts_.size();

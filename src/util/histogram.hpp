@@ -35,6 +35,11 @@ class LogHistogram {
   /// Count of the fullest bin (for rendering).
   std::size_t max_count() const;
 
+  /// Value below which a fraction `q` of the samples fall, log-interpolated
+  /// within the containing bin (so p50/p95 stay meaningful with coarse
+  /// bins). Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
   /// Render an ASCII bar chart, one row per bin, bars scaled to `width`.
   /// Empty leading/trailing bins are elided.
   std::string render(std::size_t width = 60) const;

@@ -1,0 +1,240 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_tool.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+/// Fixed-work options: one greedy repetition, unbounded wall clock, so a
+/// solve is bit-identical run to run and across worker counts.
+EngineOptions engine_with_workers(int workers) {
+  EngineOptions options;
+  options.workers = workers;
+  return options;
+}
+
+DesignSolverOptions fixed_work_options(std::uint64_t seed = 11) {
+  DesignSolverOptions o;
+  o.time_budget_ms = 1e9;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = seed;
+  return o;
+}
+
+std::vector<DesignJob> sweep_jobs(int count, const DesignSolverOptions& o) {
+  std::vector<DesignJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    Environment env = peer_env(4);
+    env.failures.data_object_rate = 0.5 * (i + 1);
+    jobs.push_back(
+        DesignJob::make(std::move(env), o, "job-" + std::to_string(i)));
+  }
+  return jobs;
+}
+
+TEST(BatchEngine, RunsABatchToCompletion) {
+  EngineOptions options;
+  options.workers = 2;
+  const BatchReport report = run_batch(sweep_jobs(4, fixed_work_options()),
+                                       options);
+  ASSERT_EQ(report.results.size(), 4u);
+  for (const auto& r : report.results) {
+    EXPECT_EQ(r.status, JobStatus::Completed) << r.name << ": " << r.error;
+    EXPECT_TRUE(r.solve.feasible);
+    EXPECT_NO_THROW(r.solve.best->check_feasible());
+    EXPECT_GT(r.solve.nodes_evaluated, 0);
+    EXPECT_GE(r.queue_ms, 0.0);
+    EXPECT_GT(r.run_ms, 0.0);
+  }
+  // Results come back in submission order regardless of completion order.
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_EQ(report.results[i].id, static_cast<int>(i));
+    EXPECT_EQ(report.results[i].name, "job-" + std::to_string(i));
+  }
+}
+
+TEST(BatchEngine, DerivesSeedsFromSubmissionIndex) {
+  EngineOptions options;
+  options.workers = 2;
+  options.seed = 100;
+  const BatchReport report = run_batch(sweep_jobs(3, fixed_work_options()),
+                                       options);
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_EQ(report.results[i].seed, 100u + i);
+  }
+}
+
+TEST(BatchEngine, HonorsExplicitSeedWhenDerivationIsOff) {
+  auto jobs = sweep_jobs(2, fixed_work_options(77));
+  for (auto& job : jobs) job.derive_seed = false;
+  const BatchReport report = run_batch(std::move(jobs), {});
+  for (const auto& r : report.results) EXPECT_EQ(r.seed, 77u);
+}
+
+// The satellite determinism regression: the same batch through 1, 2, and 8
+// workers must produce bit-identical best costs and identical chosen designs.
+TEST(BatchEngine, DeterministicAcrossWorkerCounts) {
+  std::vector<double> base_costs;
+  std::vector<std::string> base_designs;
+  for (int workers : {1, 2, 8}) {
+    EngineOptions options;
+    options.workers = workers;
+    options.seed = 5;
+    const BatchReport report = run_batch(sweep_jobs(4, fixed_work_options()),
+                                         options);
+    std::vector<double> costs;
+    std::vector<std::string> designs;
+    for (const auto& r : report.results) {
+      ASSERT_EQ(r.status, JobStatus::Completed) << r.error;
+      ASSERT_TRUE(r.solve.feasible);
+      costs.push_back(r.solve.cost.total());
+      designs.push_back(DesignTool::describe(*r.env, *r.solve.best));
+    }
+    if (workers == 1) {
+      base_costs = costs;
+      base_designs = designs;
+      continue;
+    }
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(costs[i], base_costs[i]) << "workers=" << workers;
+      EXPECT_EQ(designs[i], base_designs[i]) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(BatchEngine, CacheDoesNotChangeResults) {
+  EngineOptions with_cache;
+  with_cache.workers = 2;
+  EngineOptions without_cache = with_cache;
+  without_cache.enable_cache = false;
+  const BatchReport a = run_batch(sweep_jobs(3, fixed_work_options()),
+                                  with_cache);
+  const BatchReport b = run_batch(sweep_jobs(3, fixed_work_options()),
+                                  without_cache);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.results[i].solve.cost.total(),
+                     b.results[i].solve.cost.total());
+  }
+  EXPECT_GT(a.metrics.cache.hits, 0);
+  EXPECT_EQ(b.metrics.cache.hits + b.metrics.cache.misses, 0);
+}
+
+TEST(BatchEngine, CancelsAQueuedJob) {
+  BatchEngine engine(engine_with_workers(1));
+  // Job 0 holds the single worker long enough for the cancel to land while
+  // job 1 is still queued; a cancelled running job is also Cancelled, so the
+  // assertion is stable either way.
+  DesignSolverOptions slow;
+  slow.time_budget_ms = 500.0;
+  const int first = engine.submit(DesignJob::make(peer_env(4), slow));
+  const int second = engine.submit(DesignJob::make(peer_env(4), slow));
+  engine.cancel(second);
+  const JobResult cancelled = engine.wait(second);
+  EXPECT_EQ(cancelled.status, JobStatus::Cancelled);
+  const JobResult ran = engine.wait(first);
+  EXPECT_EQ(ran.status, JobStatus::Completed);
+  EXPECT_EQ(engine.metrics().jobs_cancelled, 1);
+}
+
+TEST(BatchEngine, ExpiresAJobQueuedPastItsDeadline) {
+  BatchEngine engine(engine_with_workers(1));
+  DesignSolverOptions slow;
+  slow.time_budget_ms = 300.0;
+  engine.submit(DesignJob::make(peer_env(4), slow));
+  DesignJob hurried = DesignJob::make(peer_env(4), slow);
+  hurried.deadline_ms = 1.0;  // expires long before the worker frees up
+  const int id = engine.submit(std::move(hurried));
+  const JobResult result = engine.wait(id);
+  EXPECT_EQ(result.status, JobStatus::Expired);
+  EXPECT_EQ(result.run_ms, 0.0);
+  EXPECT_EQ(engine.metrics().jobs_expired, 1);
+}
+
+TEST(BatchEngine, ReportsASolverFailure) {
+  DesignSolverOptions bad;
+  bad.breadth = 0;  // rejected by the solver's precondition check
+  const BatchReport report =
+      run_batch({DesignJob::make(peer_env(4), bad)}, {});
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0].status, JobStatus::Failed);
+  EXPECT_FALSE(report.results[0].error.empty());
+  EXPECT_EQ(report.metrics.jobs_failed, 1);
+}
+
+TEST(BatchEngine, ResultsOutliveTheEngine) {
+  JobResult result;
+  {
+    BatchEngine engine(engine_with_workers(2));
+    const int id =
+        engine.submit(DesignJob::make(peer_env(4), fixed_work_options()));
+    result = engine.wait(id);
+  }
+  // The engine is gone; the result's shared environment keeps the candidate's
+  // raw Environment pointer valid.
+  ASSERT_EQ(result.status, JobStatus::Completed);
+  ASSERT_TRUE(result.solve.feasible);
+  EXPECT_NO_THROW(result.solve.best->check_feasible());
+  EXPECT_DOUBLE_EQ(result.solve.best->evaluate().total(),
+                   result.solve.cost.total());
+}
+
+TEST(BatchEngine, MetricsCountersAreConsistent) {
+  EngineOptions options;
+  options.workers = 4;
+  const BatchReport report = run_batch(sweep_jobs(6, fixed_work_options()),
+                                       options);
+  const EngineMetricsSnapshot& m = report.metrics;
+  EXPECT_EQ(m.jobs_submitted, 6);
+  EXPECT_EQ(m.jobs_completed, 6);
+  EXPECT_EQ(m.jobs_cancelled + m.jobs_expired + m.jobs_failed, 0);
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_GT(m.nodes_evaluated, 0);
+  EXPECT_GT(m.evaluations, 0);
+  EXPECT_EQ(m.cache.hits + m.cache.misses, m.evaluations);
+  EXPECT_GT(m.elapsed_ms, 0.0);
+  EXPECT_GT(m.jobs_per_sec(), 0.0);
+  EXPECT_GT(m.nodes_per_sec(), 0.0);
+  EXPECT_GT(m.p50_job_ms, 0.0);
+  EXPECT_GE(m.p95_job_ms, m.p50_job_ms * 0.999);
+  std::int64_t nodes = 0;
+  for (const auto& r : report.results) nodes += r.solve.nodes_evaluated;
+  EXPECT_EQ(m.nodes_evaluated, nodes);
+}
+
+TEST(BatchEngine, DesignToolBatchOverSolverOptionFans) {
+  DesignTool tool(peer_env(4));
+  std::vector<DesignSolverOptions> runs(3, fixed_work_options());
+  EngineOptions options;
+  options.workers = 3;
+  options.seed = 9;
+  const BatchReport report = tool.design_batch(runs, options);
+  ASSERT_EQ(report.results.size(), 3u);
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const auto& r = report.results[i];
+    EXPECT_EQ(r.status, JobStatus::Completed) << r.error;
+    EXPECT_TRUE(r.solve.feasible);
+    EXPECT_EQ(r.seed, 9u + i);  // the seed fan over one environment
+  }
+}
+
+TEST(BatchEngine, RejectsAJobWithoutAnEnvironment) {
+  BatchEngine engine(engine_with_workers(1));
+  EXPECT_THROW(engine.submit(DesignJob{}), InvalidArgument);
+}
+
+TEST(JobStatusNames, RoundTrip) {
+  EXPECT_STREQ(to_string(JobStatus::Queued), "queued");
+  EXPECT_STREQ(to_string(JobStatus::Completed), "completed");
+  EXPECT_FALSE(is_terminal(JobStatus::Running));
+  EXPECT_TRUE(is_terminal(JobStatus::Failed));
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,203 @@
+#include "engine/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "solver/config_solver.hpp"
+#include "solver/reconfigure.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::candidate_with;
+using testing::peer_env;
+
+CostBreakdown cost_with_outlay(double outlay) {
+  CostBreakdown cost;
+  cost.outlay = outlay;
+  return cost;
+}
+
+/// Fully place every application of `env` (the Table 4 setup path the
+/// benches use too).
+Candidate placed_candidate(const Environment& env, std::uint64_t seed = 99) {
+  Candidate cand(&env);
+  Rng rng(seed);
+  Reconfigurator rec(&env, &rng);
+  for (int i = 0; i < static_cast<int>(env.apps.size()); ++i) {
+    if (!rec.reconfigure_app(cand, i)) {
+      throw InfeasibleError("test setup could not place app");
+    }
+  }
+  return cand;
+}
+
+TEST(Fnv1a, MixOrderAndValueSensitive) {
+  EXPECT_NE(Fnv1a().mix(std::uint64_t{1}).digest(),
+            Fnv1a().mix(std::uint64_t{2}).digest());
+  EXPECT_NE(Fnv1a().mix(std::uint64_t{1}).mix(std::uint64_t{2}).digest(),
+            Fnv1a().mix(std::uint64_t{2}).mix(std::uint64_t{1}).digest());
+  EXPECT_NE(Fnv1a().mix(std::string("abc")).digest(),
+            Fnv1a().mix(std::string("abd")).digest());
+  EXPECT_NE(Fnv1a().mix(0.25).digest(), Fnv1a().mix(0.5).digest());
+  EXPECT_EQ(Fnv1a().mix(std::string("abc")).digest(),
+            Fnv1a().mix(std::string("abc")).digest());
+}
+
+TEST(Fingerprint, DistinctDesignsGetDistinctKeys) {
+  // The §4.3 case-study environment; every Table 2 technique family placed
+  // for app 0 must fingerprint differently.
+  const Environment env = peer_env(8);
+  const std::uint64_t salt = fingerprint_environment(env);
+  const std::vector<TechniqueSpec> techniques = {
+      testing::sync_f_backup(), testing::sync_r_backup(),
+      testing::async_f_backup(), testing::async_r_backup(),
+      testing::backup_only()};
+  std::set<std::uint64_t> keys;
+  for (const auto& technique : techniques) {
+    const Candidate cand = candidate_with(env, technique);
+    keys.insert(fingerprint_candidate(cand, salt));
+  }
+  EXPECT_EQ(keys.size(), techniques.size());
+}
+
+TEST(Fingerprint, StableForIdenticalDesigns) {
+  const Environment env = peer_env(8);
+  const std::uint64_t salt = fingerprint_environment(env);
+  const Candidate a = candidate_with(env, testing::sync_f_backup());
+  const Candidate b = candidate_with(env, testing::sync_f_backup());
+  EXPECT_EQ(fingerprint_candidate(a, salt), fingerprint_candidate(b, salt));
+}
+
+TEST(Fingerprint, EnvironmentSaltSeparatesEnvironments) {
+  Environment a = peer_env(4);
+  Environment b = peer_env(4);
+  b.failures.data_object_rate *= 2.0;  // same structure, different rates
+  EXPECT_NE(fingerprint_environment(a), fingerprint_environment(b));
+
+  const Candidate cand = candidate_with(a, testing::sync_f_backup());
+  EXPECT_NE(fingerprint_candidate(cand, fingerprint_environment(a)),
+            fingerprint_candidate(cand, fingerprint_environment(b)));
+}
+
+TEST(Fingerprint, SensitiveToProvisionedExtras) {
+  const Environment env = peer_env(4);
+  const std::uint64_t salt = fingerprint_environment(env);
+  Candidate a = candidate_with(env, testing::sync_f_backup());
+  Candidate b = candidate_with(env, testing::sync_f_backup());
+  const auto& asg = b.assignments()[0];
+  ASSERT_GE(asg.primary_array, 0);
+  ASSERT_EQ(b.set_extra_capacity_units(asg.primary_array, 1), 1);
+  EXPECT_NE(fingerprint_candidate(a, salt), fingerprint_candidate(b, salt));
+}
+
+TEST(EvalCache, HitAndMissCounters) {
+  EvalCache cache({.shards = 2, .capacity_per_shard = 8});
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, cost_with_outlay(10.0));
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->outlay, 10.0);
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(EvalCache, RoundsShardsUpToAPowerOfTwo) {
+  EvalCache cache({.shards = 3, .capacity_per_shard = 4});
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.capacity(), 16u);
+}
+
+TEST(EvalCache, LruEvictionRespectsTheBound) {
+  EvalCache cache({.shards = 1, .capacity_per_shard = 4});
+  for (std::uint64_t key = 0; key < 10; ++key) {
+    cache.insert(key, cost_with_outlay(static_cast<double>(key)));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 10);
+  EXPECT_EQ(stats.evictions, 6);
+  // Oldest entries are gone, newest survive with their values.
+  EXPECT_FALSE(cache.lookup(0).has_value());
+  EXPECT_FALSE(cache.lookup(5).has_value());
+  ASSERT_TRUE(cache.lookup(9).has_value());
+  EXPECT_DOUBLE_EQ(cache.lookup(9)->outlay, 9.0);
+}
+
+TEST(EvalCache, LookupRefreshesRecency) {
+  EvalCache cache({.shards = 1, .capacity_per_shard = 2});
+  cache.insert(1, cost_with_outlay(1.0));
+  cache.insert(2, cost_with_outlay(2.0));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 becomes most recent
+  cache.insert(3, cost_with_outlay(3.0));    // evicts 2, not 1
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+}
+
+TEST(EvalCache, ReinsertRefreshesValueWithoutGrowth) {
+  EvalCache cache({.shards = 1, .capacity_per_shard = 4});
+  cache.insert(7, cost_with_outlay(1.0));
+  cache.insert(7, cost_with_outlay(2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.lookup(7).has_value());
+  EXPECT_DOUBLE_EQ(cache.lookup(7)->outlay, 2.0);
+}
+
+// The memoization contract: a ConfigSolver with a cache attached produces
+// exactly the cost a cache-less solve does, records hits and misses, and a
+// standard solve sees a nonzero hit rate (the sweep re-prices its baseline,
+// the increment loop re-applies its best probe).
+TEST(EvalCache, ConfigSolverMemoizationIsTransparent) {
+  const Environment env = peer_env(4);
+
+  Candidate plain_cand = placed_candidate(env);
+  ConfigSolver plain(&env);
+  const CostBreakdown plain_cost = plain.solve(plain_cand);
+  EXPECT_EQ(plain.stats().cache_hits, 0);
+  EXPECT_EQ(plain.stats().cache_misses, 0);
+
+  EvalCache cache;
+  Candidate cached_cand = placed_candidate(env);
+  ConfigSolver cached(&env, &cache);
+  const CostBreakdown cached_cost = cached.solve(cached_cand);
+
+  EXPECT_DOUBLE_EQ(cached_cost.total(), plain_cost.total());
+  EXPECT_DOUBLE_EQ(cached_cost.outlay, plain_cost.outlay);
+  EXPECT_DOUBLE_EQ(cached_cost.loss_penalty, plain_cost.loss_penalty);
+  EXPECT_DOUBLE_EQ(cached_cost.outage_penalty, plain_cost.outage_penalty);
+  EXPECT_EQ(cached.stats().evaluations, plain.stats().evaluations);
+
+  EXPECT_GT(cached.stats().cache_hits, 0);
+  EXPECT_GT(cached.stats().cache_misses, 0);
+  EXPECT_EQ(cached.stats().cache_hits + cached.stats().cache_misses,
+            cached.stats().evaluations);
+  EXPECT_GT(cache.stats().hit_rate(), 0.0);
+}
+
+// Warm cache: re-solving the same candidate serves the bulk of evaluations
+// from the cache and still returns identical costs.
+TEST(EvalCache, WarmCacheServesRepeatSolves) {
+  const Environment env = peer_env(4);
+  EvalCache cache;
+
+  Candidate first = placed_candidate(env);
+  const CostBreakdown cold = ConfigSolver(&env, &cache).solve(first);
+
+  ConfigSolver warm_solver(&env, &cache);
+  Candidate second = placed_candidate(env);
+  const CostBreakdown warm = warm_solver.solve(second);
+
+  EXPECT_DOUBLE_EQ(warm.total(), cold.total());
+  EXPECT_GT(warm_solver.stats().cache_hits,
+            warm_solver.stats().cache_misses);
+}
+
+}  // namespace
+}  // namespace depstor
