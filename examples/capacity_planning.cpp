@@ -9,7 +9,6 @@
 //
 //   ./capacity_planning [--max-apps=16] [--time-budget-ms=1000] [--seed=31]
 #include <iostream>
-#include <optional>
 
 #include "core/design_tool.hpp"
 #include "core/scenarios.hpp"
@@ -30,21 +29,23 @@ int main(int argc, char** argv) {
     options.seed = seed;
 
     Table table({"Apps", "Total/yr", "Per app/yr", "Marginal (last 4)/yr"});
-    std::optional<double> previous_total;
+    double previous_total = 0.0;
+    bool has_previous = false;
     for (int apps = 4; apps <= max_apps; apps += 4) {
       DesignTool tool(scenarios::peer_sites(apps));
       const auto result = tool.design(options);
       if (!result.feasible) {
         table.add_row({std::to_string(apps), "infeasible", "-", "-"});
-        previous_total.reset();
+        has_previous = false;
         continue;
       }
       const double total = result.cost.total();
       table.add_row({std::to_string(apps), Table::money(total),
                      Table::money(total / apps),
-                     previous_total ? Table::money(total - *previous_total)
-                                    : "-"});
+                     has_previous ? Table::money(total - previous_total)
+                                  : "-"});
       previous_total = total;
+      has_previous = true;
     }
     std::cout << "Capacity planning on the peer-sites infrastructure:\n\n"
               << table.render()

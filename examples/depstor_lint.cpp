@@ -1,0 +1,60 @@
+// depstor_lint: pre-solve static checking of environment files.
+//
+//   depstor_lint [--json] [--strict] <env.ini> [more.ini ...]
+//
+// Lints each environment file (see analysis/lint.hpp for the rule catalog)
+// and prints the findings — compiler-style text by default, one JSON
+// document per file with --json. Exit status: 0 when every file is clean of
+// errors (warnings allowed unless --strict), 1 when any file has errors
+// (or, with --strict, warnings), 2 on usage problems.
+//
+//   depstor_lint examples/environments/*.ini
+//   depstor_lint --json broken.ini | jq '.diagnostics[].rule'
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+int main(int argc, char** argv) {
+  using depstor::analysis::DiagnosticReport;
+
+  // Flags are plain switches here, so parse argv directly (CliFlags' generic
+  // `--key value` form would swallow the first file as a flag value).
+  bool json = false;
+  bool strict = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "depstor_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: depstor_lint [--json] [--strict] <env.ini>...\n";
+    return 2;
+  }
+
+  bool failed = false;
+  for (const std::string& path : files) {
+    const DiagnosticReport report =
+        depstor::analysis::lint_environment_file(path);
+    if (json) {
+      std::cout << report.render_json() << "\n";
+    } else if (report.empty()) {
+      std::cout << path << ": clean\n";
+    } else {
+      std::cout << report.render_text();
+    }
+    failed = failed || report.has_errors() ||
+             (strict && report.warning_count() > 0);
+  }
+  return failed ? 1 : 0;
+}

@@ -3,13 +3,43 @@
 # bench_output.txt produced by scripts/run_experiments.sh.
 #
 #   scripts/check_shapes.sh [bench_output.txt]
+#   scripts/check_shapes.sh --lint
 #
 # Checks shapes, not absolute dollars (see EXPERIMENTS.md): who wins, which
-# behaviors appear, which curves stay flat.
+# behaviors appear, which curves stay flat. With --lint it instead runs the
+# depstor_lint static checker over every environment under
+# examples/environments/ (set BUILD_DIR to point at a non-default build).
 set -uo pipefail
 
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+
+if [ "${1:-}" = "--lint" ]; then
+  LINT="$BUILD_DIR/examples/depstor_lint"
+  if [ ! -x "$LINT" ]; then
+    echo "error: depstor_lint binary not found at $LINT" >&2
+    echo "build it first:  cmake -B '$BUILD_DIR' -S '$REPO_ROOT' && cmake --build '$BUILD_DIR' -j --target depstor_lint" >&2
+    echo "(or set BUILD_DIR to the build tree that has it)" >&2
+    exit 2
+  fi
+  ENV_DIR="$REPO_ROOT/examples/environments"
+  envs=("$ENV_DIR"/*.ini)
+  if [ ! -e "${envs[0]}" ]; then
+    echo "error: no environment files under $ENV_DIR" >&2
+    exit 2
+  fi
+  echo "linting ${#envs[@]} environment(s) under $ENV_DIR"
+  "$LINT" "${envs[@]}"
+  exit $?
+fi
+
 FILE="${1:-bench_output.txt}"
-[ -f "$FILE" ] || { echo "no such file: $FILE" >&2; exit 2; }
+if [ ! -f "$FILE" ]; then
+  echo "error: expected experiment artifact '$FILE' is missing" >&2
+  echo "generate it with:  scripts/run_experiments.sh > '$FILE'" >&2
+  echo "(or pass the path to an existing bench output as the first argument)" >&2
+  exit 2
+fi
 
 failures=0
 check() {  # check <description> <grep-pattern>

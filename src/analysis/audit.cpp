@@ -1,0 +1,262 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace depstor::analysis {
+
+namespace {
+
+using audit_rules::kAppUnassigned;
+using audit_rules::kAssignmentInvalid;
+using audit_rules::kCostMismatch;
+using audit_rules::kDanglingDeviceRef;
+using audit_rules::kMirrorSiteCollision;
+using audit_rules::kMirrorSitesUnlinked;
+using audit_rules::kResourceOvercommit;
+using audit_rules::kSiteLimitExceeded;
+
+/// Slack for comparing re-derived usage against provisioned totals: the
+/// pool accumulates allocations in a different order than we re-sum them.
+constexpr double kUsageEps = 1e-6;
+
+struct DeviceExpectation {
+  const char* role;
+  int id;
+  DeviceKind kind;
+  int site;    ///< -1 = don't check
+  int site_b;  ///< links only; -1 = don't check
+};
+
+void check_device(const Environment& env, const ResourcePool& pool,
+                  const AppAssignment& a, const DeviceExpectation& want,
+                  DiagnosticReport& rep) {
+  const std::string& app = env.app(a.app_id).name;
+  if (want.id < 0 || want.id >= pool.device_count()) {
+    std::ostringstream os;
+    os << app << ": " << want.role << " device id " << want.id
+       << " does not exist in the resource pool";
+    rep.add(Severity::Error, kDanglingDeviceRef, os.str(),
+            "the assignment references a device the design never "
+            "provisioned");
+    return;
+  }
+  const DeviceInstance& dev = pool.device(want.id);
+  if (dev.type.kind != want.kind) {
+    std::ostringstream os;
+    os << app << ": " << want.role << " device " << want.id << " is a "
+       << to_string(dev.type.kind) << ", expected " << to_string(want.kind);
+    rep.add(Severity::Error, kDanglingDeviceRef, os.str());
+    return;
+  }
+  if (want.kind == DeviceKind::NetworkLink) {
+    if (want.site >= 0 && want.site_b >= 0 &&
+        !dev.is_link_between(want.site, want.site_b)) {
+      std::ostringstream os;
+      os << app << ": " << want.role << " device " << want.id
+         << " does not connect sites " << want.site << " and " << want.site_b;
+      rep.add(Severity::Error, kDanglingDeviceRef, os.str());
+    }
+  } else if (want.site >= 0 && dev.site_id != want.site) {
+    std::ostringstream os;
+    os << app << ": " << want.role << " device " << want.id << " sits at site "
+       << dev.site_id << ", expected site " << want.site;
+    rep.add(Severity::Error, kDanglingDeviceRef, os.str());
+  }
+}
+
+void audit_assignment(const Environment& env, const ResourcePool& pool,
+                      const AppAssignment& a, DiagnosticReport& rep) {
+  const std::string app =
+      a.app_id >= 0 && a.app_id < static_cast<int>(env.apps.size())
+          ? env.app(a.app_id).name
+          : "<bad app id>";
+  // Paper invariant (§2.4): a mirror protects against site disasters only
+  // when the secondary copy lives on a *different* site, reachable over a
+  // provisioned link group. Checked before validate(): the site fields are
+  // plain ints that are safe to read even on a structurally broken
+  // assignment, and the dedicated rule ids beat a generic validation error.
+  if (a.assigned && a.has_mirror()) {
+    if (a.secondary_site == a.primary_site) {
+      rep.add(Severity::Error, kMirrorSiteCollision,
+              app + ": secondary copy shares the primary's site " +
+                  std::to_string(a.primary_site),
+              "a same-site mirror gives no disaster isolation");
+    } else if (a.secondary_site >= 0 &&
+               !env.topology.connected(a.primary_site, a.secondary_site)) {
+      std::ostringstream os;
+      os << app << ": sites " << a.primary_site << " and " << a.secondary_site
+         << " have no link group for the mirror stream";
+      rep.add(Severity::Error, kMirrorSitesUnlinked, os.str());
+    }
+  }
+
+  try {
+    a.validate();
+  } catch (const std::exception& e) {
+    rep.add(Severity::Error, kAssignmentInvalid,
+            app + ": assignment fails structural validation: " + e.what());
+    return;  // device fields are not trustworthy past this point
+  }
+  if (!a.assigned) return;
+
+  check_device(env, pool, a,
+               {"primary array", a.primary_array, DeviceKind::DiskArray,
+                a.primary_site, -1},
+               rep);
+  check_device(env, pool, a,
+               {"primary compute", a.primary_compute, DeviceKind::Compute,
+                a.primary_site, -1},
+               rep);
+  if (a.has_mirror()) {
+    check_device(env, pool, a,
+                 {"mirror array", a.mirror_array, DeviceKind::DiskArray,
+                  a.secondary_site, -1},
+                 rep);
+    check_device(env, pool, a,
+                 {"mirror link", a.mirror_link, DeviceKind::NetworkLink,
+                  a.primary_site, a.secondary_site},
+                 rep);
+  }
+  if (a.has_backup()) {
+    check_device(env, pool, a,
+                 {"tape library", a.tape_library, DeviceKind::TapeLibrary,
+                  a.primary_site, -1},
+                 rep);
+  }
+  if (a.assigned && a.technique.recovery == RecoveryMode::Failover &&
+      a.failover_compute >= 0) {
+    check_device(env, pool, a,
+                 {"failover compute", a.failover_compute, DeviceKind::Compute,
+                  a.has_mirror() ? a.secondary_site : -1, -1},
+                 rep);
+  }
+}
+
+void audit_pool(const ResourcePool& pool, DiagnosticReport& rep) {
+  // Recovery-plan resource usage must fit inside the provisioned units:
+  // re-sum every device's allocations and compare against what the device
+  // delivers at its current provisioning.
+  for (const DeviceInstance& dev : pool.devices()) {
+    const double cap = pool.used_capacity_gb(dev.id);
+    const double bw = pool.used_bandwidth_mbps(dev.id);
+    auto over = [&](const char* dim, double used, double provisioned) {
+      std::ostringstream os;
+      os << to_string(dev.type.kind) << " " << dev.id << " (" << dev.type.name
+         << "): allocated " << dim << " " << used << " exceeds provisioned "
+         << provisioned;
+      rep.add(Severity::Error, kResourceOvercommit, os.str());
+    };
+    if (cap > dev.capacity_gb() * (1.0 + 1e-9) + kUsageEps) {
+      over("capacity (GB)", cap, dev.capacity_gb());
+    }
+    if (bw > dev.bandwidth_mbps() * (1.0 + 1e-9) + kUsageEps) {
+      over("bandwidth (MB/s)", bw, dev.bandwidth_mbps());
+    }
+    if ((dev.type.max_capacity_units > 0 &&
+         dev.capacity_units > dev.type.max_capacity_units) ||
+        (dev.type.max_bandwidth_units > 0 &&
+         dev.bandwidth_units > dev.type.max_bandwidth_units)) {
+      std::ostringstream os;
+      os << to_string(dev.type.kind) << " " << dev.id << " (" << dev.type.name
+         << "): provisioned units exceed the model's maxima";
+      rep.add(Severity::Error, kResourceOvercommit, os.str());
+    }
+  }
+
+  try {
+    pool.check_feasible();
+  } catch (const std::exception& e) {
+    rep.add(Severity::Error, kSiteLimitExceeded, e.what());
+  }
+}
+
+void audit_cost(const Environment& env,
+                const std::vector<AppAssignment>& assignments,
+                const ResourcePool& pool, const CostBreakdown& reported,
+                double rel_tol, DiagnosticReport& rep) {
+  const CostBreakdown actual = evaluate_cost(env.apps, assignments, pool,
+                                             env.failures, env.params);
+  auto mismatch = [&](const char* what, double want, double got) {
+    const double scale = std::max({std::fabs(want), std::fabs(got), 1.0});
+    if (std::fabs(want - got) <= rel_tol * scale) return;
+    std::ostringstream os;
+    os << what << ": reported " << got << " but recomputation yields " << want;
+    rep.add(Severity::Error, kCostMismatch, os.str(),
+            "cost must equal annualized outlays + expected penalties for "
+            "the emitted design");
+  };
+  mismatch("outlay", actual.outlay, reported.outlay);
+  mismatch("penalty", actual.penalty(), reported.penalty());
+  mismatch("total cost", actual.total(), reported.total());
+}
+
+}  // namespace
+
+DiagnosticReport audit_design(const Environment& env,
+                              const std::vector<AppAssignment>& assignments,
+                              const ResourcePool& pool,
+                              const CostBreakdown* reported,
+                              const AuditOptions& options) {
+  DiagnosticReport rep;
+
+  // Every dataset mapped (Algorithm 1 emits complete designs only).
+  if (options.require_complete) {
+    for (const auto& app : env.apps) {
+      const bool assigned = std::any_of(
+          assignments.begin(), assignments.end(), [&](const AppAssignment& a) {
+            return a.app_id == app.id && a.assigned;
+          });
+      if (!assigned) {
+        rep.add(Severity::Error, kAppUnassigned,
+                app.name + " has no assigned design",
+                "the design solver must map every application");
+      }
+    }
+  }
+
+  for (const auto& a : assignments) {
+    audit_assignment(env, pool, a, rep);
+  }
+  audit_pool(pool, rep);
+  if (reported != nullptr) {
+    audit_cost(env, assignments, pool, *reported, options.cost_rel_tolerance,
+               rep);
+  }
+  return rep;
+}
+
+DiagnosticReport audit_candidate(const Candidate& candidate,
+                                 const CostBreakdown* reported,
+                                 const AuditOptions& options) {
+  return audit_design(candidate.env(), candidate.assignments(),
+                      candidate.pool(), reported, options);
+}
+
+bool debug_audit_enabled() {
+  static const bool enabled = [] {
+    if (const char* v = std::getenv("DEPSTOR_AUDIT")) {
+      return v[0] != '\0' && v[0] != '0';
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+  }();
+  return enabled;
+}
+
+void enforce_audit(const Candidate& candidate, const CostBreakdown* reported,
+                   const AuditOptions& options, const char* where) {
+  const DiagnosticReport rep = audit_candidate(candidate, reported, options);
+  if (!rep.has_errors()) return;
+  throw InternalError(std::string("design audit failed in ") + where + ":\n" +
+                      rep.render_text());
+}
+
+}  // namespace depstor::analysis

@@ -1,0 +1,75 @@
+// Design-invariant auditor: post-solve checking of emitted designs.
+//
+// Every Solution/design the solvers hand back must obey the paper's model
+// invariants; a design that violates them prices wrong silently. The auditor
+// re-derives each invariant from the assignment/pool state and reports
+// violations as structured diagnostics (same Diagnostic type as the linter):
+//
+//   app-unassigned        (E) an application has no design (complete audits)
+//   assignment-invalid    (E) structural validate() fails for an assignment
+//   dangling-device-ref   (E) assignment names a device the pool lacks, of
+//                             the wrong kind, or at the wrong site
+//   mirror-site-collision (E) a mirrored app's secondary copy shares the
+//                             primary's site (no disaster isolation)
+//   mirror-sites-unlinked (E) primary/secondary pair has no link group
+//   resource-overcommit   (E) allocations exceed a device's provisioned
+//                             units, or units exceed the model's maxima
+//   site-limit-exceeded   (E) per-site device / per-pair link limits broken
+//   cost-mismatch         (E) reported cost != outlays + penalties recomputed
+//
+// Audits run standalone (tests, the depstor_lint CLI) and as a debug-mode
+// post-check wired into DesignSolver::solve, ConfigSolver::solve and the
+// batch engine: enabled by default in !NDEBUG builds, overridable either way
+// with DEPSTOR_AUDIT=0/1 in the process environment.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "cost/breakdown.hpp"
+#include "solver/solution.hpp"
+
+namespace depstor::analysis {
+
+namespace audit_rules {
+inline constexpr const char* kAppUnassigned = "app-unassigned";
+inline constexpr const char* kAssignmentInvalid = "assignment-invalid";
+inline constexpr const char* kDanglingDeviceRef = "dangling-device-ref";
+inline constexpr const char* kMirrorSiteCollision = "mirror-site-collision";
+inline constexpr const char* kMirrorSitesUnlinked = "mirror-sites-unlinked";
+inline constexpr const char* kResourceOvercommit = "resource-overcommit";
+inline constexpr const char* kSiteLimitExceeded = "site-limit-exceeded";
+inline constexpr const char* kCostMismatch = "cost-mismatch";
+}  // namespace audit_rules
+
+struct AuditOptions {
+  /// Require every application to be assigned. Off for the configuration
+  /// solver's mid-greedy audits of partial candidates.
+  bool require_complete = true;
+  /// Relative tolerance for the cost recomputation (floating-point noise
+  /// only; the recomputation runs the same evaluator).
+  double cost_rel_tolerance = 1e-9;
+};
+
+/// Audit a design given as its raw parts. `reported` is the cost breakdown
+/// the solver claims for this design; pass null to skip the cost invariant.
+DiagnosticReport audit_design(const Environment& env,
+                              const std::vector<AppAssignment>& assignments,
+                              const ResourcePool& pool,
+                              const CostBreakdown* reported = nullptr,
+                              const AuditOptions& options = {});
+
+/// Convenience overload over a Candidate.
+DiagnosticReport audit_candidate(const Candidate& candidate,
+                                 const CostBreakdown* reported = nullptr,
+                                 const AuditOptions& options = {});
+
+/// True when the wired-in solver/engine post-checks should run: !NDEBUG
+/// builds by default, overridden by DEPSTOR_AUDIT=0/1.
+bool debug_audit_enabled();
+
+/// Post-check used by the solvers/engine: audit and throw InternalError
+/// with the rendered report when the audit finds errors. `where` names the
+/// call site in the exception message.
+void enforce_audit(const Candidate& candidate, const CostBreakdown* reported,
+                   const AuditOptions& options, const char* where);
+
+}  // namespace depstor::analysis

@@ -1,0 +1,102 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace depstor::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Locus::render() const {
+  std::ostringstream os;
+  if (!file.empty()) os << file;
+  if (line > 0) os << (file.empty() ? "line " : ":") << line;
+  if (!section.empty()) {
+    if (os.tellp() > 0) os << " ";
+    os << "[" << section << "]";
+  }
+  return os.str();
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  const std::string at = locus.render();
+  if (!at.empty()) os << at << ": ";
+  os << to_string(severity) << ": " << message << " [" << rule << "]";
+  if (!hint.empty()) os << "\n    hint: " << hint;
+  return os.str();
+}
+
+void DiagnosticReport::add(Severity severity, std::string rule,
+                           std::string message, std::string hint,
+                           Locus locus) {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule = std::move(rule);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  d.locus = std::move(locus);
+  diagnostics_.push_back(std::move(d));
+}
+
+int DiagnosticReport::count(Severity s) const {
+  return static_cast<int>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool DiagnosticReport::has_rule(const std::string& rule) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+void DiagnosticReport::merge(DiagnosticReport other) {
+  for (auto& d : other.diagnostics_) diagnostics_.push_back(std::move(d));
+}
+
+std::string DiagnosticReport::render_text() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << d.render() << "\n";
+  os << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  return os.str();
+}
+
+std::string DiagnosticReport::render_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("diagnostics").begin_array();
+  for (const auto& d : diagnostics_) {
+    w.begin_object();
+    w.field("severity", to_string(d.severity));
+    w.field("rule", d.rule);
+    w.field("message", d.message);
+    if (!d.hint.empty()) w.field("hint", d.hint);
+    if (d.locus.known() || !d.locus.file.empty()) {
+      w.key("locus").begin_object();
+      if (!d.locus.file.empty()) w.field("file", d.locus.file);
+      if (!d.locus.section.empty()) w.field("section", d.locus.section);
+      if (d.locus.line > 0) w.field("line", d.locus.line);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("errors", error_count());
+  w.field("warnings", warning_count());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace depstor::analysis

@@ -1,0 +1,73 @@
+// Structured diagnostics for the static-analysis layer (depstor_lint and the
+// design-invariant auditor).
+//
+// Every finding carries a severity, a stable rule id (see analysis/lint.hpp
+// and analysis/audit.hpp for the catalogs), a human message, an optional fix
+// hint, and — for findings rooted in an environment file — an INI locus
+// (file, section, 1-based line of the section header). Reports render as
+// compiler-style text or as a JSON document (util/json.hpp) for tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace depstor::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity s);
+
+/// Where a diagnostic points: an INI section of an environment file.
+/// Empty file/section means "the environment as a whole".
+struct Locus {
+  std::string file;     ///< path as given to the linter; may be "<input>"
+  std::string section;  ///< INI section name, e.g. "application"
+  int line = 0;         ///< 1-based line of the section header; 0 = unknown
+
+  bool known() const { return !section.empty() || line > 0; }
+  std::string render() const;  ///< "file:line [section]" (parts optional)
+};
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule;     ///< stable id, e.g. "dangling-site-ref"
+  std::string message;  ///< what is wrong, with the offending values
+  std::string hint;     ///< how to fix it; may be empty
+  Locus locus;
+
+  std::string render() const;  ///< one text line, compiler style
+};
+
+/// An ordered list of diagnostics plus the emitters. Used both by the
+/// pre-solve linter and the post-solve auditor.
+class DiagnosticReport {
+ public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void add(Severity severity, std::string rule, std::string message,
+           std::string hint = {}, Locus locus = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  int count(Severity s) const;
+  int error_count() const { return count(Severity::Error); }
+  int warning_count() const { return count(Severity::Warning); }
+  bool has_errors() const { return error_count() > 0; }
+
+  /// True when a diagnostic with the given rule id is present.
+  bool has_rule(const std::string& rule) const;
+
+  /// Merge another report's findings (appended in order).
+  void merge(DiagnosticReport other);
+
+  /// One line per diagnostic plus a trailing summary line.
+  std::string render_text() const;
+
+  /// JSON document: {"diagnostics": [...], "errors": n, "warnings": n}.
+  std::string render_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace depstor::analysis

@@ -1,0 +1,693 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/env_loader.hpp"
+#include "resources/catalog.hpp"
+#include "util/check.hpp"
+#include "util/ini.hpp"
+#include "util/units.hpp"
+
+namespace depstor::analysis {
+
+namespace {
+
+using rules::kAllFailureRatesZero;
+using rules::kBackupWindowOverrun;
+using rules::kBadCategoryThresholds;
+using rules::kBadDeviceSpec;
+using rules::kBadFailureRate;
+using rules::kBadLinkLimit;
+using rules::kBadNumber;
+using rules::kBadPenaltyRate;
+using rules::kBadPolicyRange;
+using rules::kBadSiteLimit;
+using rules::kBadWorkloadUnits;
+using rules::kDanglingSiteRef;
+using rules::kDuplicateLink;
+using rules::kDuplicateSiteName;
+using rules::kEmptyCatalog;
+using rules::kEmptyConfigGrid;
+using rules::kIniParseError;
+using rules::kInfeasibleCatalog;
+using rules::kInsufficientCompute;
+using rules::kLoadFailed;
+using rules::kMirrorBandwidthUnreachable;
+using rules::kMissingKey;
+using rules::kNoApplications;
+using rules::kNoSites;
+using rules::kSelfLink;
+using rules::kTapeCapacityExceeded;
+using rules::kUnknownDevice;
+using rules::kUnknownKey;
+using rules::kUnknownSection;
+using rules::kUnmirrorableTopology;
+using rules::kWrongDeviceKind;
+using rules::kZeroPenaltySum;
+
+/// Keys the loader understands, per section (analysis/lint.hpp catalog).
+const std::map<std::string, std::set<std::string>>& known_keys() {
+  static const std::map<std::string, std::set<std::string>> keys = {
+      {"site",
+       {"name", "region", "max_disk_arrays", "max_spare_arrays",
+        "max_tape_libraries", "max_compute_slots", "fixed_cost"}},
+      {"link", {"a", "b", "max_links"}},
+      {"application",
+       {"name", "type", "outage_penalty_rate", "loss_penalty_rate",
+        "data_size_gb", "avg_update_mbps", "peak_update_mbps",
+        "avg_access_mbps", "unique_update_mbps"}},
+      {"failures",
+       {"data_object_rate", "disk_array_rate", "site_disaster_rate",
+        "regional_disaster_rate"}},
+      {"catalog", {"arrays", "tapes", "networks"}},
+  };
+  return keys;
+}
+
+std::optional<double> parse_number(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// Section-by-section linter over raw INI text. Collects everything the
+/// loader would reject plus the reference/uniqueness checks, each with a
+/// file/section/line locus. Never throws.
+class IniLinter {
+ public:
+  IniLinter(DiagnosticReport& report, std::string filename)
+      : rep_(report), file_(std::move(filename)) {}
+
+  void run(const std::vector<IniSection>& sections) {
+    for (const auto& s : sections) {
+      if (s.name == "site") {
+        lint_site(s);
+      } else if (!known_keys().count(s.name)) {
+        rep_.add(Severity::Error, kUnknownSection,
+                 "unknown section [" + s.name + "]",
+                 "expected site, link, application, failures or catalog",
+                 at(s));
+      }
+    }
+    if (site_names_.empty()) {
+      rep_.add(Severity::Error, kNoSites,
+               "environment declares no [site] section",
+               "add at least one [site] with a name", {file_, "", 0});
+    }
+    int app_count = 0;
+    for (const auto& s : sections) {
+      check_keys(s);
+      if (s.name == "link") {
+        lint_link(s);
+      } else if (s.name == "application") {
+        ++app_count;
+        lint_application(s);
+      } else if (s.name == "failures") {
+        lint_failures(s);
+      } else if (s.name == "catalog") {
+        lint_catalog(s);
+      }
+    }
+    if (app_count == 0) {
+      rep_.add(Severity::Error, kNoApplications,
+               "environment declares no [application] section",
+               "add at least one [application]", {file_, "", 0});
+    }
+  }
+
+ private:
+  Locus at(const IniSection& s) const { return {file_, s.name, s.line}; }
+
+  void check_keys(const IniSection& s) {
+    const auto it = known_keys().find(s.name);
+    if (it == known_keys().end()) return;  // unknown-section already emitted
+    for (const auto& [key, value] : s.values) {
+      (void)value;
+      if (!it->second.count(key)) {
+        rep_.add(Severity::Warning, kUnknownKey,
+                 "unknown key `" + key + "` in [" + s.name + "]",
+                 "the loader ignores keys it does not recognize", at(s));
+      }
+    }
+  }
+
+  /// Numeric value of `key`; diagnoses unparseable / non-finite values.
+  /// Absent keys return nullopt silently (callers decide requiredness).
+  std::optional<double> number(const IniSection& s, const std::string& key) {
+    if (!s.has(key)) return std::nullopt;
+    const std::string raw = s.get_string(key);
+    const auto v = parse_number(raw);
+    if (!v) {
+      rep_.add(Severity::Error, kBadNumber,
+               key + " = `" + raw + "` is not a number", {}, at(s));
+      return std::nullopt;
+    }
+    if (!std::isfinite(*v)) {
+      rep_.add(Severity::Error, kBadNumber,
+               key + " = " + raw + " is not finite",
+               "use a finite value in the unit the key expects", at(s));
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  std::optional<double> required_number(const IniSection& s,
+                                        const std::string& key) {
+    if (!s.has(key)) {
+      rep_.add(Severity::Error, kMissingKey,
+               "[" + s.name + "] is missing required key `" + key + "`", {},
+               at(s));
+      return std::nullopt;
+    }
+    return number(s, key);
+  }
+
+  void lint_site(const IniSection& s) {
+    std::string name;
+    if (!s.has("name")) {
+      rep_.add(Severity::Error, kMissingKey,
+               "[site] is missing required key `name`", {}, at(s));
+    } else {
+      name = s.get_string("name");
+      if (!site_names_.insert(name).second) {
+        rep_.add(Severity::Error, kDuplicateSiteName,
+                 "duplicate site name `" + name + "`",
+                 "site names must be unique (links reference them)", at(s));
+      }
+    }
+    for (const char* key :
+         {"max_disk_arrays", "max_spare_arrays", "max_tape_libraries",
+          "max_compute_slots", "fixed_cost"}) {
+      if (const auto v = number(s, key); v && *v < 0.0) {
+        rep_.add(Severity::Error, kBadSiteLimit,
+                 "site `" + name + "`: " + key + " = " +
+                     s.get_string(key) + " is negative",
+                 {}, at(s));
+      }
+    }
+  }
+
+  /// Site reference semantics of the loader: name first, then numeric index.
+  bool site_ref_ok(const std::string& ref) const {
+    if (site_names_.count(ref)) return true;
+    const auto index = parse_number(ref);
+    return index && *index >= 0.0 &&
+           *index < static_cast<double>(site_names_.size());
+  }
+
+  void lint_link(const IniSection& s) {
+    std::string a, b;
+    const std::pair<const char*, std::string*> endpoints[] = {{"a", &a},
+                                                              {"b", &b}};
+    for (const auto& [key, out] : endpoints) {
+      if (!s.has(key)) {
+        rep_.add(Severity::Error, kMissingKey,
+                 "[link] is missing required key `" + std::string(key) + "`",
+                 {}, at(s));
+      } else {
+        *out = s.get_string(key);
+        if (!site_ref_ok(*out)) {
+          rep_.add(Severity::Error, kDanglingSiteRef,
+                   "[link] " + std::string(key) +
+                       " references unknown site `" + *out + "`",
+                   "declare the site above or fix the name", at(s));
+        }
+      }
+    }
+    if (!a.empty() && a == b) {
+      rep_.add(Severity::Error, kSelfLink,
+               "[link] connects site `" + a + "` to itself", {}, at(s));
+    } else if (!a.empty() && !b.empty()) {
+      auto pair = std::minmax(a, b);
+      if (!link_pairs_.insert(pair).second) {
+        rep_.add(Severity::Warning, kDuplicateLink,
+                 "duplicate [link] between `" + a + "` and `" + b + "`",
+                 "the loader keeps both limits; merge them into one section",
+                 at(s));
+      }
+    }
+    if (const auto v = required_number(s, "max_links"); v && *v < 1.0) {
+      rep_.add(Severity::Error, kBadLinkLimit,
+               "[link] max_links = " + s.get_string("max_links") +
+                   " leaves no usable links",
+               "use max_links >= 1, or drop the section", at(s));
+    }
+  }
+
+  void lint_application(const IniSection& s) {
+    std::string name = s.has("name") ? s.get_string("name") : "<unnamed>";
+    if (!s.has("name")) {
+      rep_.add(Severity::Error, kMissingKey,
+               "[application] is missing required key `name`", {}, at(s));
+    }
+
+    const auto outage = required_number(s, "outage_penalty_rate");
+    const auto loss = required_number(s, "loss_penalty_rate");
+    const std::pair<const char*, const std::optional<double>*> rates[] = {
+        {"outage_penalty_rate", &outage}, {"loss_penalty_rate", &loss}};
+    for (const auto& [key, v] : rates) {
+      if (*v && **v < 0.0) {
+        rep_.add(Severity::Error, kBadPenaltyRate,
+                 name + ": " + key + " = " + s.get_string(key) +
+                     " is negative",
+                 "penalty rates are US$/hr and must be >= 0", at(s));
+      }
+    }
+
+    const auto size = required_number(s, "data_size_gb");
+    if (size && *size <= 0.0) {
+      rep_.add(Severity::Error, kBadWorkloadUnits,
+               name + ": data_size_gb = " + s.get_string("data_size_gb") +
+                   " must be positive",
+               {}, at(s));
+    }
+    const auto avg = required_number(s, "avg_update_mbps");
+    if (avg && *avg < 0.0) {
+      rep_.add(Severity::Error, kBadWorkloadUnits,
+               name + ": avg_update_mbps must be >= 0", {}, at(s));
+    }
+    const auto peak = number(s, "peak_update_mbps");
+    if (avg && peak && *peak < *avg) {
+      rep_.add(Severity::Error, kBadWorkloadUnits,
+               name + ": peak_update_mbps (" + s.get_string(
+                   "peak_update_mbps") +
+                   ") is below avg_update_mbps (" +
+                   s.get_string("avg_update_mbps") + ")",
+               "the peak rate bounds the average by definition", at(s));
+    }
+    const auto access = number(s, "avg_access_mbps");
+    if (avg && access && *access < *avg) {
+      rep_.add(Severity::Error, kBadWorkloadUnits,
+               name + ": avg_access_mbps is below avg_update_mbps",
+               "accesses include updates, so access rate >= update rate",
+               at(s));
+    }
+    const auto unique = number(s, "unique_update_mbps");
+    if (unique && (*unique < 0.0 || (avg && *unique > *avg))) {
+      rep_.add(Severity::Error, kBadWorkloadUnits,
+               name + ": unique_update_mbps must lie in [0, avg_update_mbps]",
+               "unique updates are a subset of all updates", at(s));
+    }
+  }
+
+  void lint_failures(const IniSection& s) {
+    for (const char* key : {"data_object_rate", "disk_array_rate",
+                            "site_disaster_rate", "regional_disaster_rate"}) {
+      if (const auto v = number(s, key); v && *v < 0.0) {
+        rep_.add(Severity::Error, kBadFailureRate,
+                 std::string(key) + " = " + s.get_string(key) +
+                     " is negative",
+                 "failure likelihoods are events/year and must be >= 0",
+                 at(s));
+      }
+    }
+  }
+
+  void lint_catalog_list(const IniSection& s, const std::string& key,
+                         DeviceKind kind) {
+    if (!s.has(key)) return;
+    const auto names = split_list(s.get_string(key));
+    if (names.empty()) {
+      rep_.add(Severity::Error, kEmptyCatalog,
+               "[catalog] " + key + " lists no devices",
+               "name at least one model, or drop the key to keep Table 3",
+               at(s));
+      return;
+    }
+    for (const auto& device : names) {
+      try {
+        const DeviceTypeSpec type = resources::by_name(device);
+        if (type.kind != kind) {
+          rep_.add(Severity::Error, kWrongDeviceKind,
+                   "[catalog] " + key + ": `" + device + "` is a " +
+                       std::string(to_string(type.kind)) + ", not a " +
+                       to_string(kind),
+                   {}, at(s));
+        }
+      } catch (const InvalidArgument&) {
+        rep_.add(Severity::Error, kUnknownDevice,
+                 "[catalog] " + key + ": unknown device `" + device + "`",
+                 "see resources/catalog.hpp for the Table 3 model names",
+                 at(s));
+      }
+    }
+  }
+
+  void lint_catalog(const IniSection& s) {
+    lint_catalog_list(s, "arrays", DeviceKind::DiskArray);
+    lint_catalog_list(s, "tapes", DeviceKind::TapeLibrary);
+    lint_catalog_list(s, "networks", DeviceKind::NetworkLink);
+  }
+
+  DiagnosticReport& rep_;
+  const std::string file_;
+  std::set<std::string> site_names_;
+  std::set<std::pair<std::string, std::string>> link_pairs_;
+};
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+void lint_device_spec(const DeviceTypeSpec& t, const std::string& role,
+                      const std::string& file, DiagnosticReport& rep) {
+  const Locus at{file, "catalog", 0};
+  auto bad = [&](const std::string& what, const std::string& hint = {}) {
+    rep.add(Severity::Error, kBadDeviceSpec,
+            role + " model `" + t.name + "`: " + what, hint, at);
+  };
+  if (!finite_nonneg(t.fixed_cost) ||
+      !finite_nonneg(t.cost_per_capacity_unit) ||
+      !finite_nonneg(t.cost_per_bandwidth_unit)) {
+    bad("costs must be finite and >= 0");
+  }
+  if (t.max_capacity_units < 0 || t.max_bandwidth_units < 0) {
+    bad("unit maxima must be >= 0");
+  }
+  if (t.max_capacity_units > 0 && !(t.capacity_unit_gb > 0.0)) {
+    bad("capacity units exist but capacity_unit_gb is not positive",
+        "the capacity discretization needs a positive unit size");
+  }
+  if (t.max_bandwidth_units > 0 && !(t.bandwidth_unit_mbps > 0.0)) {
+    bad("bandwidth units exist but bandwidth_unit_mbps is not positive",
+        "the bandwidth discretization needs a positive unit rate");
+  }
+  if (t.kind == DeviceKind::DiskArray &&
+      !(t.max_aggregate_bandwidth_mbps > 0.0 ||
+        t.bandwidth_unit_mbps > 0.0)) {
+    bad("disk array delivers no bandwidth at any provisioning");
+  }
+}
+
+void lint_policies(const PolicyRanges& p, const std::string& file,
+                   DiagnosticReport& rep) {
+  const Locus at{file, "policies", 0};
+  auto positive = [](const std::vector<double>& values) {
+    return std::all_of(values.begin(), values.end(),
+                       [](double v) { return std::isfinite(v) && v > 0.0; });
+  };
+  if (!positive(p.snapshot_intervals_hours) ||
+      !positive(p.backup_intervals_hours) ||
+      (p.allow_incremental_backups &&
+       !positive(p.incremental_intervals_hours))) {
+    rep.add(Severity::Error, kBadPolicyRange,
+            "policy ranges contain non-positive or non-finite intervals",
+            "every interval option must be a positive number of hours", at);
+  }
+  if (p.max_resource_increments < 0) {
+    rep.add(Severity::Error, kBadPolicyRange,
+            "max_resource_increments is negative", {}, at);
+  }
+  if (p.snapshot_intervals_hours.empty() ||
+      p.backup_intervals_hours.empty() ||
+      (p.allow_incremental_backups &&
+       p.incremental_intervals_hours.empty())) {
+    rep.add(Severity::Error, kEmptyConfigGrid,
+            "a policy range is empty: the configuration solver has no "
+            "snapshot x backup grid to search",
+            "give every enabled range at least one positive option", at);
+    return;
+  }
+  const double min_snap = *std::min_element(p.snapshot_intervals_hours.begin(),
+                                            p.snapshot_intervals_hours.end());
+  const double max_snap = *std::max_element(p.snapshot_intervals_hours.begin(),
+                                            p.snapshot_intervals_hours.end());
+  const double min_backup = *std::min_element(p.backup_intervals_hours.begin(),
+                                              p.backup_intervals_hours.end());
+  const double max_backup = *std::max_element(p.backup_intervals_hours.begin(),
+                                              p.backup_intervals_hours.end());
+  if (min_snap > max_backup) {
+    rep.add(Severity::Error, kEmptyConfigGrid,
+            "every snapshot interval exceeds every backup interval: the "
+            "snapshot x backup grid is empty",
+            "backups accumulate snapshots, so some snapshot interval must "
+            "be <= some backup interval",
+            at);
+  } else if (max_snap > min_backup) {
+    rep.add(Severity::Error, kBadPolicyRange,
+            "snapshot and backup ranges overlap: the loader rejects "
+            "snapshot intervals above the smallest backup interval",
+            "keep max(snapshot intervals) <= min(backup intervals)", at);
+  }
+}
+
+}  // namespace
+
+DiagnosticReport lint_environment(const Environment& env,
+                                  const std::string& filename) {
+  DiagnosticReport rep;
+  const Locus whole{filename, "", 0};
+
+  if (env.topology.sites.empty()) {
+    rep.add(Severity::Error, kNoSites, "environment has no sites", {}, whole);
+  }
+  if (env.apps.empty()) {
+    rep.add(Severity::Error, kNoApplications, "environment has no apps", {},
+            whole);
+  }
+
+  // Device catalogs: presence plus internal discretization consistency.
+  if (env.array_types.empty()) {
+    rep.add(Severity::Error, kEmptyCatalog, "no disk array models", {},
+            whole);
+  }
+  if (env.tape_types.empty()) {
+    rep.add(Severity::Error, kEmptyCatalog, "no tape library models", {},
+            whole);
+  }
+  if (env.network_types.empty()) {
+    rep.add(Severity::Error, kEmptyCatalog, "no network link models", {},
+            whole);
+  }
+  for (const auto& t : env.array_types) {
+    lint_device_spec(t, "array", filename, rep);
+  }
+  for (const auto& t : env.tape_types) {
+    lint_device_spec(t, "tape", filename, rep);
+  }
+  for (const auto& t : env.network_types) {
+    lint_device_spec(t, "network", filename, rep);
+  }
+  lint_device_spec(env.compute_type, "compute", filename, rep);
+
+  // Application values (programmatic callers bypass the loader's validate).
+  for (const auto& app : env.apps) {
+    const Locus at{filename, "application", 0};
+    if (!finite_nonneg(app.outage_penalty_rate) ||
+        !finite_nonneg(app.loss_penalty_rate)) {
+      rep.add(Severity::Error, kBadPenaltyRate,
+              app.name + ": penalty rates must be finite and >= 0", {}, at);
+    } else if (app.penalty_rate_sum() == 0.0) {
+      rep.add(Severity::Warning, kZeroPenaltySum,
+              app.name + ": outage and loss penalty rates are both zero",
+              "the solver has no incentive to protect this application; "
+              "any design is as good as any other",
+              at);
+    }
+    if (!(app.data_size_gb > 0.0) || app.avg_update_mbps < 0.0 ||
+        app.peak_update_mbps < app.avg_update_mbps ||
+        app.avg_access_mbps < app.avg_update_mbps ||
+        app.unique_update_mbps < 0.0 ||
+        app.unique_update_mbps > app.avg_update_mbps) {
+      rep.add(Severity::Error, kBadWorkloadUnits,
+              app.name + ": workload values violate the unit relations "
+                         "(size > 0, unique <= avg <= peak, avg <= access)",
+              {}, at);
+    }
+  }
+
+  // Failure model.
+  {
+    const FailureModel& f = env.failures;
+    const Locus at{filename, "failures", 0};
+    if (!finite_nonneg(f.data_object_rate) ||
+        !finite_nonneg(f.disk_array_rate) ||
+        !finite_nonneg(f.site_disaster_rate) ||
+        !finite_nonneg(f.regional_disaster_rate)) {
+      rep.add(Severity::Error, kBadFailureRate,
+              "failure rates must be finite and >= 0 events/year", {}, at);
+    } else if (f.data_object_rate == 0.0 && f.disk_array_rate == 0.0 &&
+               f.site_disaster_rate == 0.0 &&
+               f.regional_disaster_rate == 0.0) {
+      rep.add(Severity::Warning, kAllFailureRatesZero,
+              "every failure rate is zero: penalties vanish and the tool "
+              "degenerates to minimizing outlays",
+              "use FailureModel::baseline() rates unless this is intended",
+              at);
+    }
+  }
+
+  // Catalog feasibility: for each application, some array model must host
+  // the primary copy (capacity for the dataset, bandwidth for the accesses).
+  for (const auto& app : env.apps) {
+    if (!(app.data_size_gb > 0.0)) continue;  // already diagnosed above
+    const bool hostable =
+        std::any_of(env.array_types.begin(), env.array_types.end(),
+                    [&](const DeviceTypeSpec& t) {
+                      return t.min_capacity_units(app.data_size_gb,
+                                                  app.avg_access_mbps) >= 0;
+                    });
+    if (!hostable) {
+      std::ostringstream os;
+      os << app.name << ": no array model can host " << app.data_size_gb
+         << " GB at " << app.avg_access_mbps << " MB/s";
+      rep.add(Severity::Error, kInfeasibleCatalog, os.str(),
+              "add a larger array model to the catalog or shrink the "
+              "dataset / access rate",
+              {filename, "catalog", 0});
+    }
+
+    // Tape chain sanity for the same dataset (warnings: backup techniques
+    // would be skipped or mis-sized, but mirror-only designs remain).
+    double best_tape_cap = 0.0, best_tape_bw = 0.0;
+    for (const auto& t : env.tape_types) {
+      best_tape_cap = std::max(best_tape_cap, t.max_capacity_gb());
+      best_tape_bw = std::max(best_tape_bw, t.max_bandwidth_mbps());
+    }
+    if (!env.tape_types.empty() && app.data_size_gb > best_tape_cap) {
+      std::ostringstream os;
+      os << app.name << ": one full backup (" << app.data_size_gb
+         << " GB) overflows the largest tape library (" << best_tape_cap
+         << " GB)";
+      rep.add(Severity::Warning, kTapeCapacityExceeded, os.str(),
+              "backup techniques will be infeasible for this application",
+              {filename, "catalog", 0});
+    } else if (!env.tape_types.empty() && best_tape_bw > 0.0) {
+      const double hours =
+          units::transfer_hours(app.data_size_gb, best_tape_bw);
+      if (hours > env.params.backup_window_target_hours) {
+        std::ostringstream os;
+        os << app.name << ": a full backup needs " << hours
+           << " h at full drive provisioning, beyond the "
+           << env.params.backup_window_target_hours << " h backup window";
+        rep.add(Severity::Warning, kBackupWindowOverrun, os.str(),
+                "add tape drives / a faster library, or relax "
+                "backup_window_target_hours",
+                {filename, "catalog", 0});
+      }
+    }
+  }
+
+  // Topology: mirroring needs a connected pair with enough link bandwidth.
+  const auto& topo = env.topology;
+  if (topo.site_count() > 1 && topo.pair_limits.empty()) {
+    rep.add(Severity::Warning, kUnmirrorableTopology,
+            "several sites but no [link] sections: inter-site mirroring "
+            "is impossible",
+            "connect site pairs with [link] sections to enable mirrors",
+            {filename, "link", 0});
+  } else if (!topo.pair_limits.empty() && !env.network_types.empty()) {
+    double best_pair_bw = 0.0;
+    for (const auto& pair : topo.pair_limits) {
+      for (const auto& t : env.network_types) {
+        const int links = std::min(pair.max_links, t.max_bandwidth_units);
+        best_pair_bw =
+            std::max(best_pair_bw, links * t.bandwidth_unit_mbps);
+      }
+    }
+    for (const auto& app : env.apps) {
+      if (app.peak_update_mbps > best_pair_bw) {
+        std::ostringstream os;
+        os << app.name << ": peak update rate " << app.peak_update_mbps
+           << " MB/s exceeds the best provisionable link group ("
+           << best_pair_bw << " MB/s)";
+        rep.add(Severity::Warning, kMirrorBandwidthUnreachable, os.str(),
+                "synchronous mirroring is infeasible for this application; "
+                "raise max_links or add a faster network model",
+                {filename, "link", 0});
+      }
+    }
+  }
+
+  // Compute: each application occupies one slot at its primary site.
+  {
+    long total_slots = 0;
+    for (const auto& site : topo.sites) {
+      total_slots += std::max(0, site.max_compute_slots);
+      if (site.max_disk_arrays < 0 || site.max_spare_arrays < 0 ||
+          site.max_tape_libraries < 0 || site.max_compute_slots < 0 ||
+          site.fixed_cost < 0.0) {
+        rep.add(Severity::Error, kBadSiteLimit,
+                "site `" + site.name + "` has a negative limit or cost", {},
+                {filename, "site", 0});
+      }
+    }
+    if (!topo.sites.empty() &&
+        total_slots < static_cast<long>(env.apps.size())) {
+      std::ostringstream os;
+      os << "only " << total_slots << " compute slots for "
+         << env.apps.size() << " applications";
+      rep.add(Severity::Warning, kInsufficientCompute, os.str(),
+              "raise max_compute_slots; every application needs a slot at "
+              "its primary site",
+              {filename, "site", 0});
+    }
+  }
+
+  // Configuration-solver grid and classification thresholds.
+  lint_policies(env.policies, filename, rep);
+  if (env.thresholds.silver_min < 0.0 ||
+      env.thresholds.gold_min < env.thresholds.silver_min) {
+    rep.add(Severity::Error, kBadCategoryThresholds,
+            "category thresholds out of order: need 0 <= silver_min <= "
+            "gold_min",
+            "gold/silver/bronze classification is monotone in the penalty "
+            "sum",
+            {filename, "", 0});
+  }
+
+  return rep;
+}
+
+DiagnosticReport lint_environment_text(const std::string& text,
+                                       const std::string& filename) {
+  DiagnosticReport rep;
+  std::vector<IniSection> sections;
+  try {
+    sections = parse_ini(text);
+  } catch (const InvalidArgument& e) {
+    rep.add(Severity::Error, kIniParseError, e.what(),
+            "expected `[section]` headers and `key = value` lines",
+            {filename, "", 0});
+    return rep;
+  }
+
+  IniLinter(rep, filename).run(sections);
+  if (rep.has_errors()) return rep;  // the loader would reject it anyway
+
+  // Syntactically sound: load it and run the semantic rules on the result.
+  try {
+    const Environment env = environment_from_ini(text);
+    rep.merge(lint_environment(env, filename));
+  } catch (const std::exception& e) {
+    rep.add(Severity::Error, kLoadFailed,
+            std::string("environment fails to load: ") + e.what(),
+            "this is a gap in the linter's coverage — please report it",
+            {filename, "", 0});
+  }
+  return rep;
+}
+
+DiagnosticReport lint_environment_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    DiagnosticReport rep;
+    rep.add(Severity::Error, kLoadFailed,
+            "cannot open environment file: " + path, {}, {path, "", 0});
+    return rep;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_environment_text(buffer.str(), path);
+}
+
+}  // namespace depstor::analysis

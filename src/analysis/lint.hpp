@@ -1,0 +1,113 @@
+// depstor_lint: pre-solve static checking of design-problem inputs.
+//
+// The solvers assume a well-formed Environment: consistent units, feasible
+// device catalogs, penalty rates that make the outage/loss tradeoff
+// well-posed, and policy ranges that leave the configuration solver a
+// non-empty grid. `environment_from_ini` enforces much of this but throws at
+// the *first* violation with a single message; the linter instead walks the
+// whole input and reports every finding as a structured diagnostic with a
+// stable rule id and an INI locus, so broken environments are fixable in one
+// pass and tooling (CI, editors) can consume the results as JSON.
+//
+// Two entry points:
+//   * lint_environment_text — raw INI text. Structural and reference checks
+//     run section by section with file/line loci; when the text also loads
+//     cleanly, the struct-level rules run on the result.
+//   * lint_environment — an already-built Environment (programmatic callers:
+//     scenario builders, the batch engine). Covers the semantic rules only.
+//
+// Rule catalog (stable ids; severity in parentheses; see DESIGN.md §6):
+//
+//   ini-parse-error          (E) malformed INI text
+//   unknown-section          (E) section is not site/link/application/...
+//   unknown-key              (W) unrecognized key in a known section
+//   missing-key              (E) required key absent
+//   bad-number               (E) numeric value unparseable or non-finite
+//   no-sites                 (E) no [site] section
+//   no-applications          (E) no [application] section
+//   duplicate-site-name      (E) two sites share a name
+//   bad-site-limit           (E) negative device/compute limit or cost
+//   dangling-site-ref        (E) link endpoint names an unknown site
+//   self-link                (E) link connects a site to itself
+//   duplicate-link           (W) repeated site pair
+//   bad-link-limit           (E) max_links < 1
+//   bad-penalty-rate         (E) penalty rate negative or NaN
+//   zero-penalty-sum         (W) outage + loss penalty is zero
+//   bad-workload-units       (E) sizes/rates violate unit relations
+//   unknown-device           (E) catalog name not in the Table 3 catalog
+//   wrong-device-kind        (E) e.g. a tape model under `arrays`
+//   empty-catalog            (E) catalog key lists no devices
+//   bad-device-spec          (E) device discretization inconsistent
+//   infeasible-catalog       (E) no array model can host an application
+//   tape-capacity-exceeded   (W) one full backup overflows the best library
+//   backup-window-overrun    (W) full backup cannot finish in the window
+//   mirror-bandwidth-unreachable (W) no link group can carry a peak stream
+//   unmirrorable-topology    (W) several sites but no links between them
+//   insufficient-compute     (W) fewer compute slots than applications
+//   bad-failure-rate         (E) failure rate negative or NaN
+//   all-failure-rates-zero   (W) the failure model is vacuous
+//   bad-policy-range         (E) non-positive interval in a policy range
+//   empty-config-grid        (E) policy ranges leave the solver no grid
+//   bad-category-thresholds  (E) gold/silver thresholds out of order
+//   load-failed              (E) environment loads/validates despite lint
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "core/environment.hpp"
+
+namespace depstor::analysis {
+
+namespace rules {
+inline constexpr const char* kIniParseError = "ini-parse-error";
+inline constexpr const char* kUnknownSection = "unknown-section";
+inline constexpr const char* kUnknownKey = "unknown-key";
+inline constexpr const char* kMissingKey = "missing-key";
+inline constexpr const char* kBadNumber = "bad-number";
+inline constexpr const char* kNoSites = "no-sites";
+inline constexpr const char* kNoApplications = "no-applications";
+inline constexpr const char* kDuplicateSiteName = "duplicate-site-name";
+inline constexpr const char* kBadSiteLimit = "bad-site-limit";
+inline constexpr const char* kDanglingSiteRef = "dangling-site-ref";
+inline constexpr const char* kSelfLink = "self-link";
+inline constexpr const char* kDuplicateLink = "duplicate-link";
+inline constexpr const char* kBadLinkLimit = "bad-link-limit";
+inline constexpr const char* kBadPenaltyRate = "bad-penalty-rate";
+inline constexpr const char* kZeroPenaltySum = "zero-penalty-sum";
+inline constexpr const char* kBadWorkloadUnits = "bad-workload-units";
+inline constexpr const char* kUnknownDevice = "unknown-device";
+inline constexpr const char* kWrongDeviceKind = "wrong-device-kind";
+inline constexpr const char* kEmptyCatalog = "empty-catalog";
+inline constexpr const char* kBadDeviceSpec = "bad-device-spec";
+inline constexpr const char* kInfeasibleCatalog = "infeasible-catalog";
+inline constexpr const char* kTapeCapacityExceeded = "tape-capacity-exceeded";
+inline constexpr const char* kBackupWindowOverrun = "backup-window-overrun";
+inline constexpr const char* kMirrorBandwidthUnreachable =
+    "mirror-bandwidth-unreachable";
+inline constexpr const char* kUnmirrorableTopology = "unmirrorable-topology";
+inline constexpr const char* kInsufficientCompute = "insufficient-compute";
+inline constexpr const char* kBadFailureRate = "bad-failure-rate";
+inline constexpr const char* kAllFailureRatesZero = "all-failure-rates-zero";
+inline constexpr const char* kBadPolicyRange = "bad-policy-range";
+inline constexpr const char* kEmptyConfigGrid = "empty-config-grid";
+inline constexpr const char* kBadCategoryThresholds =
+    "bad-category-thresholds";
+inline constexpr const char* kLoadFailed = "load-failed";
+}  // namespace rules
+
+/// Lint environment-file text. Never throws on bad input — every problem
+/// becomes a diagnostic. `filename` seeds the loci (display only).
+DiagnosticReport lint_environment_text(const std::string& text,
+                                       const std::string& filename = "<input>");
+
+/// Read the file and lint it. A missing/unreadable file yields a single
+/// `load-failed` error.
+DiagnosticReport lint_environment_file(const std::string& path);
+
+/// Lint an already-built Environment: catalog feasibility, failure rates,
+/// policy-range grid, category thresholds, capacity/bandwidth sanity.
+DiagnosticReport lint_environment(const Environment& env,
+                                  const std::string& filename = {});
+
+}  // namespace depstor::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/audit.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -102,6 +103,13 @@ void BatchEngine::run_job(Record& rec) {
       try {
         DesignSolver solver(rec.job.env.get(), opts);
         rec.solve = solver.solve();
+        if (rec.solve.feasible && analysis::debug_audit_enabled()) {
+          // Debug post-check after the result crossed the worker boundary:
+          // a race or aliasing bug in the engine would corrupt the design
+          // between the solver's own audit and this one.
+          analysis::enforce_audit(*rec.solve.best, &rec.solve.cost, {},
+                                  "BatchEngine::run_job");
+        }
         final_status = rec.cancel.load(std::memory_order_acquire)
                            ? JobStatus::Cancelled
                            : JobStatus::Completed;

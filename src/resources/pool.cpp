@@ -279,16 +279,14 @@ void ResourcePool::recompute_units(int id) {
   const double bw = used_bandwidth_mbps(id);
 
   const int min_cap = dev.type.min_capacity_units(cap, bw);
-  if (min_cap < 0) {
-    throw InfeasibleError(dev.type.name + " #" + std::to_string(id) +
+  DEPSTOR_REQUIRE_MSG(min_cap >= 0,
+                      dev.type.name + " #" + std::to_string(id) +
                           " cannot supply " + std::to_string(cap) + " GB / " +
                           std::to_string(bw) + " MB/s");
-  }
   const int min_bw = dev.type.min_bandwidth_units(bw);
-  if (min_bw < 0) {
-    throw InfeasibleError(dev.type.name + " #" + std::to_string(id) +
+  DEPSTOR_REQUIRE_MSG(min_bw >= 0,
+                      dev.type.name + " #" + std::to_string(id) +
                           " cannot supply " + std::to_string(bw) + " MB/s");
-  }
   dev.capacity_units = std::min(min_cap + dev.extra_capacity_units,
                                 dev.type.max_capacity_units);
   dev.extra_capacity_units = dev.capacity_units - min_cap;

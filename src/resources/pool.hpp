@@ -30,8 +30,10 @@ enum class Purpose {
   Spare,            ///< hot-spare device reservation (shortens repair leads)
 };
 
-/// Owner id used for site-level spare allocations (spares belong to a site,
-/// not an application): kSpareOwnerBase + site id. Far above any real app id.
+/// Base of the owner ids used for spare allocations (spares belong to a
+/// (site, array type) pair, not an application): the candidate derives
+/// `kSpareOwnerBase + site * array_type_count + type_index`, so each spare
+/// can be released individually. Far above any real app id.
 inline constexpr int kSpareOwnerBase = 1'000'000;
 
 const char* to_string(Purpose p);

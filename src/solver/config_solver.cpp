@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/audit.hpp"
 #include "engine/eval_cache.hpp"
 #include "util/check.hpp"
 
@@ -57,7 +58,17 @@ CostBreakdown ConfigSolver::solve(Candidate& candidate) const {
   for (int app_id : order) {
     sweep_app(candidate, app_id);
   }
-  return increment_resources(candidate);
+  CostBreakdown cost = increment_resources(candidate);
+  if (analysis::debug_audit_enabled()) {
+    // Debug post-check: the completed configuration must still obey the
+    // design invariants. Partial candidates (greedy stage) are audited
+    // without the completeness rule; the cost invariant is checked against
+    // the breakdown we are about to return.
+    analysis::AuditOptions audit;
+    audit.require_complete = false;
+    analysis::enforce_audit(candidate, &cost, audit, "ConfigSolver::solve");
+  }
+  return cost;
 }
 
 CostBreakdown ConfigSolver::solve_for_app(Candidate& candidate,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/audit.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -200,6 +201,13 @@ SolveResult DesignSolver::solve() {
                                            << result.nodes_evaluated
                                            << " nodes");
   global_best->candidate.check_feasible();
+  if (analysis::debug_audit_enabled()) {
+    // Debug post-check: the winning design must satisfy every paper
+    // invariant (all apps mapped, mirror isolation, usage within
+    // provisioning) and its claimed cost must recompute to the same total.
+    analysis::enforce_audit(global_best->candidate, &global_best->cost, {},
+                            "DesignSolver::solve");
+  }
   result.cost = global_best->cost;
   result.best = std::move(global_best->candidate);
   result.feasible = true;

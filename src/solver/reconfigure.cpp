@@ -304,7 +304,6 @@ bool Reconfigurator::draw_layout(const Candidate& candidate, int app_id,
 }
 
 bool Reconfigurator::reconfigure_app(Candidate& candidate, int app_id) {
-  const ApplicationSpec& app = env_->app(app_id);
   std::optional<DesignChoice> previous;
   if (candidate.is_assigned(app_id)) {
     previous = candidate.choice(app_id);

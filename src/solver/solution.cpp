@@ -85,12 +85,10 @@ void Candidate::place_app(int app_id, const DesignChoice& choice) {
     DEPSTOR_EXPECTS_MSG(choice.secondary_site >= 0 &&
                             choice.secondary_site != choice.primary_site,
                         "mirroring needs a distinct secondary site");
-    if (!env_->topology.connected(choice.primary_site,
-                                  choice.secondary_site)) {
-      throw InfeasibleError("sites " + std::to_string(choice.primary_site) +
-                            " and " + std::to_string(choice.secondary_site) +
-                            " are not connected");
-    }
+    DEPSTOR_REQUIRE_MSG(
+        env_->topology.connected(choice.primary_site, choice.secondary_site),
+        "sites " + std::to_string(choice.primary_site) + " and " +
+            std::to_string(choice.secondary_site) + " are not connected");
   }
   if (tech.has_backup) choice.backup.validate();
 
@@ -221,7 +219,20 @@ void Candidate::set_backup_config(int app_id,
 void Candidate::set_spare_array(int site, const std::string& type_name,
                                 bool enabled) {
   DEPSTOR_EXPECTS(site >= 0 && site < env_->topology.site_count());
-  const int owner = kSpareOwnerBase + site;
+  // One owner id per (site, array type): release_app(owner) must only ever
+  // drop *this* spare. A per-site owner would silently return a previously
+  // bought spare of another type at the same site when a probe rolls back.
+  int type_index = -1;
+  for (std::size_t i = 0; i < env_->array_types.size(); ++i) {
+    if (env_->array_types[i].name == type_name) {
+      type_index = static_cast<int>(i);
+      break;
+    }
+  }
+  DEPSTOR_EXPECTS_MSG(type_index >= 0, type_name);
+  const int owner = kSpareOwnerBase +
+                    site * static_cast<int>(env_->array_types.size()) +
+                    type_index;
   if (!enabled) {
     // Returning the spare: drop this site's spare allocations. Other sites'
     // spares use different owner ids and are untouched.

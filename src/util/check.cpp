@@ -24,4 +24,10 @@ void throw_internal_error(const char* expr, const char* file, int line,
   throw InternalError(format("invariant", expr, file, line, msg));
 }
 
+void throw_infeasible(const char* expr, const char* file, int line,
+                      const std::string& msg) {
+  throw InfeasibleError(format("feasibility requirement", expr, file, line,
+                               msg));
+}
+
 }  // namespace depstor::detail

@@ -37,6 +37,8 @@ namespace detail {
                                          int line, const std::string& msg);
 [[noreturn]] void throw_internal_error(const char* expr, const char* file,
                                        int line, const std::string& msg);
+[[noreturn]] void throw_infeasible(const char* expr, const char* file,
+                                   int line, const std::string& msg);
 }  // namespace detail
 
 /// Precondition check: throws InvalidArgument when `cond` is false.
@@ -51,6 +53,15 @@ inline void ensures(bool cond, const char* expr, const char* file, int line,
   if (!cond) detail::throw_internal_error(expr, file, line, msg);
 }
 
+/// Feasibility requirement: throws InfeasibleError when `cond` is false.
+/// Unlike expects/ensures this does not signal a bug — the search layer
+/// catches InfeasibleError at its recovery boundaries and discards the
+/// candidate instead of failing the run.
+inline void require(bool cond, const char* expr, const char* file, int line,
+                    const std::string& msg = {}) {
+  if (!cond) detail::throw_infeasible(expr, file, line, msg);
+}
+
 }  // namespace depstor
 
 #define DEPSTOR_EXPECTS(cond) \
@@ -61,3 +72,7 @@ inline void ensures(bool cond, const char* expr, const char* file, int line,
   ::depstor::ensures((cond), #cond, __FILE__, __LINE__)
 #define DEPSTOR_ENSURES_MSG(cond, msg) \
   ::depstor::ensures((cond), #cond, __FILE__, __LINE__, (msg))
+#define DEPSTOR_REQUIRE(cond) \
+  ::depstor::require((cond), #cond, __FILE__, __LINE__)
+#define DEPSTOR_REQUIRE_MSG(cond, msg) \
+  ::depstor::require((cond), #cond, __FILE__, __LINE__, (msg))

@@ -1,0 +1,206 @@
+// Design-invariant auditor: solver outputs on the example environments must
+// audit clean; hand-corrupted designs must be rejected with the exact rule.
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/audit.hpp"
+#include "core/env_loader.hpp"
+#include "solver/design_solver.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace depstor::analysis {
+namespace {
+
+DesignSolverOptions fast_options() {
+  DesignSolverOptions opts;
+  opts.time_budget_ms = 1500.0;
+  opts.max_repetitions = 1;
+  opts.seed = 7;
+  return opts;
+}
+
+SolveResult solve(const Environment& env) {
+  DesignSolver solver(&env, fast_options());
+  SolveResult result = solver.solve();
+  EXPECT_TRUE(result.feasible);
+  return result;
+}
+
+TEST(Audit, AcceptsSolverOutputOnPeerSites) {
+  const Environment env = testing::peer_env(4);
+  const SolveResult result = solve(env);
+  const auto rep = audit_candidate(*result.best, &result.cost);
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+}
+
+TEST(Audit, AcceptsSolverOutputOnExampleEnvironments) {
+  const std::filesystem::path dir =
+      std::filesystem::path(DEPSTOR_SOURCE_DIR) / "examples" / "environments";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int audited = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ini") continue;
+    const Environment env = load_environment(entry.path().string());
+    const SolveResult result = solve(env);
+    const auto rep = audit_candidate(*result.best, &result.cost);
+    EXPECT_FALSE(rep.has_errors())
+        << entry.path() << ":\n"
+        << rep.render_text();
+    ++audited;
+  }
+  EXPECT_GE(audited, 3);
+}
+
+TEST(Audit, AcceptsPartialCandidateWithoutCompletenessRule) {
+  const Environment env = testing::peer_env(2);
+  Candidate cand(&env);
+  cand.place_app(0, testing::full_choice(testing::sync_f_backup()));
+  AuditOptions opts;
+  opts.require_complete = false;
+  const auto rep =
+      audit_design(env, cand.assignments(), cand.pool(), nullptr, opts);
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+}
+
+// --- hand-corrupted designs; each must fire its exact rule id ---
+
+struct Corruptible {
+  Environment env;
+  std::vector<AppAssignment> assignments;
+  CostBreakdown cost;
+  const Candidate* candidate = nullptr;
+};
+
+class AuditCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = testing::peer_env(4);
+    result_ = solve(env_);
+    assignments_ = result_->best->assignments();
+  }
+
+  DiagnosticReport audit(const CostBreakdown* cost = nullptr) const {
+    return audit_design(env_, assignments_, result_->best->pool(), cost);
+  }
+
+  /// Index of an assignment using a mirror (the solver always mirrors at
+  /// least the gold apps in the peer-sites environment).
+  std::size_t mirrored_index() const {
+    for (std::size_t i = 0; i < assignments_.size(); ++i) {
+      if (assignments_[i].has_mirror()) return i;
+    }
+    ADD_FAILURE() << "no mirrored assignment in the solved design";
+    return 0;
+  }
+
+  Environment env_;
+  std::optional<SolveResult> result_;
+  std::vector<AppAssignment> assignments_;
+};
+
+TEST_F(AuditCorruption, UnassignedApplication) {
+  assignments_[0].assigned = false;
+  const auto rep = audit();
+  EXPECT_TRUE(rep.has_rule(audit_rules::kAppUnassigned)) << rep.render_text();
+}
+
+TEST_F(AuditCorruption, DroppedAssignment) {
+  assignments_.pop_back();
+  const auto rep = audit();
+  EXPECT_TRUE(rep.has_rule(audit_rules::kAppUnassigned)) << rep.render_text();
+}
+
+TEST_F(AuditCorruption, MirrorOnPrimarySite) {
+  auto& a = assignments_[mirrored_index()];
+  a.secondary_site = a.primary_site;
+  const auto rep = audit();
+  EXPECT_TRUE(rep.has_rule(audit_rules::kMirrorSiteCollision))
+      << rep.render_text();
+}
+
+TEST_F(AuditCorruption, DanglingPrimaryArray) {
+  assignments_[0].primary_array = 9999;
+  const auto rep = audit();
+  EXPECT_TRUE(rep.has_rule(audit_rules::kDanglingDeviceRef))
+      << rep.render_text();
+}
+
+TEST_F(AuditCorruption, DeviceOfWrongKind) {
+  // Point the tape-library field at the primary array: right id range,
+  // wrong device kind.
+  auto& a = assignments_[mirrored_index()];
+  if (!a.has_backup()) {
+    for (auto& other : assignments_) {
+      if (other.has_backup()) {
+        other.tape_library = a.primary_array;
+        break;
+      }
+    }
+  } else {
+    a.tape_library = a.primary_array;
+  }
+  const auto rep = audit();
+  EXPECT_TRUE(rep.has_rule(audit_rules::kDanglingDeviceRef))
+      << rep.render_text();
+}
+
+TEST_F(AuditCorruption, MisreportedCost) {
+  CostBreakdown lie = result_->cost;
+  lie.outlay *= 1.25;
+  const auto rep = audit(&lie);
+  EXPECT_TRUE(rep.has_rule(audit_rules::kCostMismatch)) << rep.render_text();
+}
+
+TEST_F(AuditCorruption, TruthfulCostPasses) {
+  const auto rep = audit(&result_->cost);
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+}
+
+TEST(Audit, UnlinkedMirrorSitesRejected) {
+  // Four-site environment where not every pair is connected: move a mirror
+  // to a reachable-but-unlinked site.
+  const std::filesystem::path path = std::filesystem::path(DEPSTOR_SOURCE_DIR) /
+                                     "examples" / "environments" /
+                                     "coastal.ini";
+  const Environment env = load_environment(path.string());
+  const SolveResult result = solve(env);
+  auto assignments = result.best->assignments();
+  bool corrupted = false;
+  for (auto& a : assignments) {
+    if (!a.has_mirror()) continue;
+    for (int s = 0; s < env.topology.site_count(); ++s) {
+      if (s != a.primary_site && !env.topology.connected(a.primary_site, s)) {
+        a.secondary_site = s;
+        corrupted = true;
+        break;
+      }
+    }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted) << "no mirrored app / unlinked site pair found";
+  const auto rep = audit_design(env, assignments, result.best->pool());
+  EXPECT_TRUE(rep.has_rule(audit_rules::kMirrorSitesUnlinked))
+      << rep.render_text();
+}
+
+// --- the enforcement hook used by the solvers/engine ---
+
+TEST(Audit, EnforceThrowsInternalErrorOnBadCost) {
+  const Environment env = testing::peer_env(2);
+  const SolveResult result = solve(env);
+  CostBreakdown lie = result.cost;
+  lie.outlay *= 2.0;
+  EXPECT_THROW(enforce_audit(*result.best, &lie, {}, "test"), InternalError);
+}
+
+TEST(Audit, EnforcePassesOnTruthfulResult) {
+  const Environment env = testing::peer_env(2);
+  const SolveResult result = solve(env);
+  EXPECT_NO_THROW(enforce_audit(*result.best, &result.cost, {}, "test"));
+}
+
+}  // namespace
+}  // namespace depstor::analysis

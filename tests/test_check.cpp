@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "solver/design_solver.hpp"
+#include "solver/solution.hpp"
+#include "test_helpers.hpp"
+
 namespace depstor {
 namespace {
 
@@ -49,6 +53,85 @@ TEST(Check, SideEffectsEvaluatedExactlyOnce) {
   };
   DEPSTOR_EXPECTS(count());
   EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(DEPSTOR_REQUIRE(2 + 2 == 4));
+}
+
+TEST(Check, RequireThrowsInfeasibleError) {
+  EXPECT_THROW(DEPSTOR_REQUIRE(false), InfeasibleError);
+}
+
+TEST(Check, RequireIsNotALogicError) {
+  // The search layer must be able to catch feasibility failures without
+  // also swallowing genuine bugs: InfeasibleError stays outside the
+  // logic_error branch of the exception taxonomy.
+  try {
+    DEPSTOR_REQUIRE(false);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error&) {
+    FAIL() << "InfeasibleError must not derive from std::logic_error";
+  } catch (const InfeasibleError&) {
+    SUCCEED();
+  }
+}
+
+TEST(Check, RequireMessageContainsExpressionAndLocation) {
+  try {
+    DEPSTOR_REQUIRE_MSG(1 > 2, "one exceeds two");
+    FAIL() << "should have thrown";
+  } catch (const InfeasibleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("feasibility requirement"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 > 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("one exceeds two"), std::string::npos) << what;
+  }
+}
+
+// --- the solver recovery boundary ---
+//
+// Structural impossibility must surface as InfeasibleError (so the search
+// discards the candidate) and not as InvalidArgument/InternalError (which
+// would mean a depstor bug) — and the design solver must catch it rather
+// than let it escape a solve.
+
+TEST(Check, OversizedDatasetThrowsInfeasibleNotGeneric) {
+  Environment env = testing::peer_env(1);
+  env.apps[0].data_size_gb = 1e9;  // beyond every Table 3 array
+  env.validate();
+  Candidate cand(&env);
+  try {
+    cand.place_app(0, testing::full_choice(testing::sync_f_backup()));
+    FAIL() << "placement of an exabyte-scale dataset should be infeasible";
+  } catch (const InfeasibleError&) {
+    SUCCEED();
+  } catch (const std::exception& e) {
+    FAIL() << "wrong exception type escaped: " << e.what();
+  }
+}
+
+TEST(Check, UnconnectedMirrorSitesThrowInfeasible) {
+  const Environment env = testing::peer_env(1);
+  Candidate cand(&env);
+  DesignChoice choice = testing::full_choice(testing::sync_f_backup());
+  choice.secondary_site = 2;  // site index past the two peers
+  EXPECT_THROW(cand.place_app(0, choice), InfeasibleError);
+}
+
+TEST(Check, DesignSolverReportsInfeasibleInsteadOfThrowing) {
+  Environment env = testing::peer_env(2);
+  for (auto& app : env.apps) app.data_size_gb = 1e9;
+  env.validate();
+  DesignSolverOptions opts;
+  opts.time_budget_ms = 500.0;
+  opts.max_repetitions = 1;
+  DesignSolver solver(&env, opts);
+  SolveResult result;
+  EXPECT_NO_THROW(result = solver.solve());
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.best.has_value());
 }
 
 }  // namespace

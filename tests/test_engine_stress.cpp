@@ -1,0 +1,172 @@
+// Concurrency stress for the batch engine, built to run under
+// ThreadSanitizer: submissions, status/progress/metrics polling, cancels,
+// and waits all hammer the engine from separate threads while the worker
+// pool is solving. Workloads are kept tiny — TSan slows execution an order
+// of magnitude, and the point is interleavings, not solver depth.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+DesignSolverOptions tiny_options(std::uint64_t seed = 3) {
+  DesignSolverOptions o;
+  o.time_budget_ms = 1e9;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = seed;
+  return o;
+}
+
+DesignJob tiny_job(int index) {
+  Environment env = peer_env(2);
+  env.failures.data_object_rate = 0.25 * (index % 7 + 1);
+  return DesignJob::make(std::move(env), tiny_options(),
+                         "stress-" + std::to_string(index));
+}
+
+TEST(EngineStress, ConcurrentSubmittersAndPollers) {
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsPerSubmitter = 6;
+
+  EngineOptions options;
+  options.workers = 4;
+  options.cache.shards = 4;  // small shard count → real cross-worker sharing
+  BatchEngine engine(options);
+
+  std::atomic<bool> stop{false};
+
+  // Pollers race the workers over every read-side surface the engine has.
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 3; ++p) {
+    pollers.emplace_back([&engine, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int n = engine.job_count();
+        for (int id = 0; id < n; ++id) {
+          (void)engine.status(id);
+          (void)engine.progress_nodes(id);
+        }
+        (void)engine.metrics();
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&engine, s] {
+      for (int i = 0; i < kJobsPerSubmitter; ++i) {
+        engine.submit(tiny_job(s * kJobsPerSubmitter + i));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  const std::vector<JobResult> results = engine.wait_all();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : pollers) t.join();
+
+  ASSERT_EQ(results.size(),
+            static_cast<std::size_t>(kSubmitters * kJobsPerSubmitter));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, JobStatus::Completed) << r.name << ": " << r.error;
+    EXPECT_TRUE(r.solve.feasible) << r.name;
+  }
+}
+
+TEST(EngineStress, ConcurrentCancellersAndWaiters) {
+  constexpr int kJobs = 24;
+
+  EngineOptions options;
+  options.workers = 3;
+  BatchEngine engine(options);
+
+  std::vector<int> ids;
+  ids.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) ids.push_back(engine.submit(tiny_job(i)));
+
+  // Two cancellers sweep disjoint-ish strides while workers drain the queue;
+  // every third job is left alone so some always complete.
+  std::thread canceller_a([&engine, &ids] {
+    for (std::size_t i = 0; i < ids.size(); i += 3) engine.cancel(ids[i]);
+  });
+  std::thread canceller_b([&engine, &ids] {
+    for (std::size_t i = 1; i < ids.size(); i += 3) engine.cancel(ids[i]);
+  });
+
+  // Waiters block on individual jobs concurrently with the cancels.
+  std::vector<JobResult> waited(ids.size());
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 2; ++w) {
+    waiters.emplace_back([&engine, &ids, &waited, w] {
+      for (std::size_t i = static_cast<std::size_t>(w); i < ids.size();
+           i += 2) {
+        waited[i] = engine.wait(ids[i]);
+      }
+    });
+  }
+
+  canceller_a.join();
+  canceller_b.join();
+  for (auto& t : waiters) t.join();
+
+  int completed = 0;
+  for (const auto& r : waited) {
+    EXPECT_TRUE(is_terminal(r.status)) << r.name;
+    EXPECT_NE(r.status, JobStatus::Failed) << r.name << ": " << r.error;
+    if (r.status == JobStatus::Completed) ++completed;
+  }
+  // The untouched stride (i % 3 == 2) can never be cancelled.
+  EXPECT_GE(completed, kJobs / 3);
+}
+
+TEST(EngineStress, DestructorRacesInFlightWork) {
+  // The destructor must drain cleanly while jobs are queued, running, and
+  // being cancelled from another thread.
+  for (int round = 0; round < 4; ++round) {
+    EngineOptions options;
+    options.workers = 2;
+    BatchEngine engine(options);
+    for (int i = 0; i < 8; ++i) engine.submit(tiny_job(i));
+    std::thread canceller([&engine] {
+      for (int id = 7; id >= 0; id -= 2) engine.cancel(id);
+    });
+    canceller.join();
+    // ~BatchEngine blocks until all eight reach a terminal status.
+  }
+}
+
+TEST(EngineStress, SharedCacheHammeredByIdenticalJobs) {
+  // Identical environments maximize cache-key collisions: every worker
+  // reads and writes the same shards throughout the batch.
+  EngineOptions options;
+  options.workers = 4;
+  options.cache.shards = 2;
+  std::vector<DesignJob> jobs;
+  for (int i = 0; i < 12; ++i) {
+    DesignJob job = DesignJob::make(peer_env(2), tiny_options(), "");
+    job.derive_seed = false;  // same seed → truly identical work
+    jobs.push_back(std::move(job));
+  }
+  const BatchReport report = run_batch(std::move(jobs), options);
+  ASSERT_EQ(report.results.size(), 12u);
+  const SolveResult& first = report.results[0].solve;
+  for (const auto& r : report.results) {
+    EXPECT_EQ(r.status, JobStatus::Completed) << r.name << ": " << r.error;
+    // Identical jobs must yield bit-identical costs whatever the
+    // interleaving — memoization is result-transparent.
+    EXPECT_EQ(r.solve.cost.total(), first.cost.total()) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace depstor

@@ -1,0 +1,326 @@
+// depstor_lint rule coverage: every class of seeded defect must fire its
+// exact rule id, and the shipped example environments must lint clean.
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "core/scenarios.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor::analysis {
+namespace {
+
+/// A minimal well-formed environment file; the broken cases below are this
+/// text with one seeded defect each.
+std::string good_env() {
+  return R"(
+[site]
+name = alpha
+
+[site]
+name = beta
+
+[link]
+a = alpha
+b = beta
+max_links = 8
+
+[application]
+name = app1
+outage_penalty_rate = 2e6
+loss_penalty_rate = 3e6
+data_size_gb = 500
+avg_update_mbps = 2
+peak_update_mbps = 10
+avg_access_mbps = 20
+)";
+}
+
+DiagnosticReport lint(const std::string& text) {
+  return lint_environment_text(text, "test.ini");
+}
+
+TEST(Lint, GoodEnvironmentIsClean) {
+  const DiagnosticReport rep = lint(good_env());
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+  EXPECT_EQ(rep.warning_count(), 0) << rep.render_text();
+}
+
+// --- seeded defects: each must fire its exact rule id ---
+
+TEST(Lint, DanglingSiteReference) {
+  const auto rep = lint(R"(
+[site]
+name = alpha
+
+[link]
+a = alpha
+b = ghost
+max_links = 4
+
+[application]
+name = a
+outage_penalty_rate = 1e6
+loss_penalty_rate = 1e6
+data_size_gb = 100
+avg_update_mbps = 1
+)");
+  EXPECT_TRUE(rep.has_rule(rules::kDanglingSiteRef)) << rep.render_text();
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(Lint, UnknownSection) {
+  const auto rep = lint(good_env() + "\n[storage-pod]\nname = x\n");
+  EXPECT_TRUE(rep.has_rule(rules::kUnknownSection)) << rep.render_text();
+}
+
+TEST(Lint, MissingRequiredKey) {
+  // Application without a data size.
+  const auto rep = lint(R"(
+[site]
+name = alpha
+
+[application]
+name = a
+outage_penalty_rate = 1e6
+loss_penalty_rate = 1e6
+avg_update_mbps = 1
+)");
+  EXPECT_TRUE(rep.has_rule(rules::kMissingKey)) << rep.render_text();
+}
+
+TEST(Lint, NonFiniteNumber) {
+  const auto rep =
+      lint(good_env() + "\n[failures]\ndata_object_rate = nan\n");
+  EXPECT_TRUE(rep.has_rule(rules::kBadNumber)) << rep.render_text();
+}
+
+TEST(Lint, NegativePenaltyRate) {
+  std::string text = good_env();
+  const auto pos = text.find("outage_penalty_rate = 2e6");
+  text.replace(pos, std::string("outage_penalty_rate = 2e6").size(),
+               "outage_penalty_rate = -5");
+  const auto rep = lint(text);
+  EXPECT_TRUE(rep.has_rule(rules::kBadPenaltyRate)) << rep.render_text();
+}
+
+TEST(Lint, BadWorkloadUnits) {
+  // Peak update rate below the average is dimensionally impossible.
+  std::string text = good_env();
+  const auto pos = text.find("peak_update_mbps = 10");
+  text.replace(pos, std::string("peak_update_mbps = 10").size(),
+               "peak_update_mbps = 0.5");
+  const auto rep = lint(text);
+  EXPECT_TRUE(rep.has_rule(rules::kBadWorkloadUnits)) << rep.render_text();
+}
+
+TEST(Lint, DuplicateSiteName) {
+  const auto rep = lint(good_env() + "\n[site]\nname = alpha\n");
+  EXPECT_TRUE(rep.has_rule(rules::kDuplicateSiteName)) << rep.render_text();
+}
+
+TEST(Lint, SelfLink) {
+  const auto rep =
+      lint(good_env() + "\n[link]\na = alpha\nb = alpha\nmax_links = 2\n");
+  EXPECT_TRUE(rep.has_rule(rules::kSelfLink)) << rep.render_text();
+}
+
+TEST(Lint, BadLinkLimit) {
+  std::string text = good_env();
+  const auto pos = text.find("max_links = 8");
+  text.replace(pos, std::string("max_links = 8").size(), "max_links = 0");
+  const auto rep = lint(text);
+  EXPECT_TRUE(rep.has_rule(rules::kBadLinkLimit)) << rep.render_text();
+}
+
+TEST(Lint, UnknownDevice) {
+  const auto rep = lint(good_env() + "\n[catalog]\narrays = WarpDrive9\n");
+  EXPECT_TRUE(rep.has_rule(rules::kUnknownDevice)) << rep.render_text();
+}
+
+TEST(Lint, WrongDeviceKind) {
+  // A tape library model under `arrays`.
+  const auto rep = lint(good_env() + "\n[catalog]\narrays = " +
+                        resources::tape_library_high().name + "\n");
+  EXPECT_TRUE(rep.has_rule(rules::kWrongDeviceKind)) << rep.render_text();
+}
+
+TEST(Lint, InfeasibleCatalog) {
+  // No Table 3 array holds an exabyte-scale dataset.
+  std::string text = good_env();
+  const auto pos = text.find("data_size_gb = 500");
+  text.replace(pos, std::string("data_size_gb = 500").size(),
+               "data_size_gb = 1e9");
+  const auto rep = lint(text);
+  EXPECT_TRUE(rep.has_rule(rules::kInfeasibleCatalog)) << rep.render_text();
+}
+
+TEST(Lint, NegativeFailureRate) {
+  const auto rep =
+      lint(good_env() + "\n[failures]\nsite_disaster_rate = -1\n");
+  EXPECT_TRUE(rep.has_rule(rules::kBadFailureRate)) << rep.render_text();
+}
+
+TEST(Lint, NoApplications) {
+  const auto rep = lint("[site]\nname = alpha\n");
+  EXPECT_TRUE(rep.has_rule(rules::kNoApplications)) << rep.render_text();
+}
+
+TEST(Lint, NoSites) {
+  const auto rep = lint(
+      "[application]\nname = a\noutage_penalty_rate = 1\n"
+      "loss_penalty_rate = 1\ndata_size_gb = 10\navg_update_mbps = 1\n");
+  EXPECT_TRUE(rep.has_rule(rules::kNoSites)) << rep.render_text();
+}
+
+TEST(Lint, IniParseError) {
+  const auto rep = lint("key-before-any-section = 1\n");
+  EXPECT_TRUE(rep.has_rule(rules::kIniParseError)) << rep.render_text();
+}
+
+// --- warnings ---
+
+TEST(Lint, UnknownKeyWarns) {
+  const auto rep = lint(good_env() + "\n[failures]\ndisk_arry_rate = 0.5\n");
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+  EXPECT_TRUE(rep.has_rule(rules::kUnknownKey)) << rep.render_text();
+}
+
+TEST(Lint, ZeroPenaltySumWarns) {
+  std::string text = good_env();
+  auto pos = text.find("outage_penalty_rate = 2e6");
+  text.replace(pos, std::string("outage_penalty_rate = 2e6").size(),
+               "outage_penalty_rate = 0");
+  pos = text.find("loss_penalty_rate = 3e6");
+  text.replace(pos, std::string("loss_penalty_rate = 3e6").size(),
+               "loss_penalty_rate = 0");
+  const auto rep = lint(text);
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+  EXPECT_TRUE(rep.has_rule(rules::kZeroPenaltySum)) << rep.render_text();
+}
+
+TEST(Lint, UnmirrorableTopologyWarns) {
+  // Two sites, no [link] section: mirrors are unreachable.
+  const auto rep = lint(R"(
+[site]
+name = alpha
+
+[site]
+name = beta
+
+[application]
+name = a
+outage_penalty_rate = 1e6
+loss_penalty_rate = 1e6
+data_size_gb = 100
+avg_update_mbps = 1
+)");
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+  EXPECT_TRUE(rep.has_rule(rules::kUnmirrorableTopology))
+      << rep.render_text();
+}
+
+TEST(Lint, DuplicateLinkWarns) {
+  const auto rep =
+      lint(good_env() + "\n[link]\na = beta\nb = alpha\nmax_links = 2\n");
+  EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+  EXPECT_TRUE(rep.has_rule(rules::kDuplicateLink)) << rep.render_text();
+}
+
+TEST(Lint, MirrorBandwidthUnreachableWarns) {
+  // Peak update stream beyond any provisionable link group.
+  std::string text = good_env();
+  const auto pos = text.find("peak_update_mbps = 10");
+  text.replace(pos, std::string("peak_update_mbps = 10").size(),
+               "peak_update_mbps = 90000");
+  const auto rep = lint(text);
+  EXPECT_TRUE(rep.has_rule(rules::kMirrorBandwidthUnreachable))
+      << rep.render_text();
+}
+
+// --- struct-level rules (programmatic environments) ---
+
+TEST(Lint, EmptyConfigGrid) {
+  Environment env = testing::peer_env(2);
+  env.policies.backup_intervals_hours.clear();
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kEmptyConfigGrid)) << rep.render_text();
+}
+
+TEST(Lint, DisjointPolicyRangesMakeGridEmpty) {
+  Environment env = testing::peer_env(2);
+  env.policies.snapshot_intervals_hours = {500.0};  // above every backup
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kEmptyConfigGrid)) << rep.render_text();
+}
+
+TEST(Lint, BadPolicyRange) {
+  Environment env = testing::peer_env(2);
+  env.policies.snapshot_intervals_hours = {-4.0, 12.0};
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kBadPolicyRange)) << rep.render_text();
+}
+
+TEST(Lint, BadCategoryThresholds) {
+  Environment env = testing::peer_env(2);
+  env.thresholds.gold_min = 1e5;
+  env.thresholds.silver_min = 1e6;  // silver above gold: not monotone
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kBadCategoryThresholds))
+      << rep.render_text();
+}
+
+TEST(Lint, BadDeviceSpec) {
+  Environment env = testing::peer_env(2);
+  env.array_types[0].capacity_unit_gb = 0.0;  // units with no size
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kBadDeviceSpec)) << rep.render_text();
+}
+
+TEST(Lint, ScenarioEnvironmentsLintClean) {
+  for (int apps : {1, 4, 8}) {
+    const auto rep = lint_environment(scenarios::peer_sites(apps));
+    EXPECT_FALSE(rep.has_errors()) << rep.render_text();
+  }
+}
+
+// --- emitters ---
+
+TEST(Lint, TextRenderIncludesRuleAndLocus) {
+  const auto rep = lint(good_env() + "\n[site]\nname = alpha\n");
+  const std::string text = rep.render_text();
+  EXPECT_NE(text.find("duplicate-site-name"), std::string::npos) << text;
+  EXPECT_NE(text.find("test.ini"), std::string::npos) << text;
+}
+
+TEST(Lint, JsonRenderIsStructured) {
+  const auto rep = lint(good_env() + "\n[site]\nname = alpha\n");
+  const std::string json = rep.render_json();
+  EXPECT_NE(json.find("\"rule\""), std::string::npos) << json;
+  EXPECT_NE(json.find("duplicate-site-name"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\""), std::string::npos) << json;
+}
+
+// --- the shipped example environments must pass with zero errors ---
+
+TEST(Lint, ExampleEnvironmentsAreClean) {
+  const std::filesystem::path dir =
+      std::filesystem::path(DEPSTOR_SOURCE_DIR) / "examples" / "environments";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int linted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ini") continue;
+    ++linted;
+    const auto rep = lint_environment_file(entry.path().string());
+    EXPECT_FALSE(rep.has_errors())
+        << entry.path() << ":\n"
+        << rep.render_text();
+  }
+  EXPECT_GE(linted, 3) << "expected several example environments under "
+                       << dir;
+}
+
+}  // namespace
+}  // namespace depstor::analysis

@@ -28,6 +28,28 @@ TEST(Spares, EnableDisableRoundTrip) {
   EXPECT_NO_THROW(cand.check_feasible());
 }
 
+TEST(Spares, DisablingOneTypeKeepsOtherTypesSpareAtTheSite) {
+  // Regression: spares at a site used to share one pool owner id, so
+  // returning (or probe-rolling-back) a spare of one type silently dropped
+  // the site's spares of every other type — and the config solver's
+  // increment loop then reported costs for a state it had just destroyed.
+  Environment env = peer_env(1);
+  env.topology.sites[0].max_spare_arrays = 2;  // room for both types
+  Candidate cand(&env);
+  cand.place_app(0, full_choice(sync_r_backup()));
+  cand.set_spare_array(0, "XP1200", true);
+  cand.set_spare_array(0, "EVA8000", true);
+  const double both = cand.evaluate().total();
+
+  cand.set_spare_array(0, "EVA8000", false);
+  EXPECT_TRUE(cand.has_spare_array(0, "XP1200"));
+  EXPECT_FALSE(cand.has_spare_array(0, "EVA8000"));
+
+  // Probe-style round trip must restore the exact evaluated state.
+  cand.set_spare_array(0, "EVA8000", true);
+  EXPECT_DOUBLE_EQ(cand.evaluate().total(), both);
+}
+
 TEST(Spares, SpareCostsItsFixedPrice) {
   Environment env = peer_env(1);
   Candidate cand(&env);
