@@ -5,14 +5,25 @@
 // moves per second the search heuristics get to spend. Useful when tuning
 // the time budgets of the figure harnesses.
 //
-// After the microbenchmarks the harness runs a short batch-engine probe (an
-// 8-job sensitivity-style batch on the hardware's worker count) and writes
-// the headline numbers — jobs/sec, nodes/sec, evaluation-cache hit rate —
-// to BENCH_solver_perf.json so CI and tuning scripts can diff them.
+// After the microbenchmarks the harness runs (1) an incremental-evaluation
+// probe — the same ConfigSolver workload on the largest bundled environment
+// with the incremental path disabled (pre-optimization behavior) and enabled
+// — and (2) a short batch-engine probe (an 8-job sensitivity-style batch on
+// the hardware's worker count). The headline numbers — before/after solve
+// times and speedup, scenario reuse counters, per-stage timings, jobs/sec,
+// nodes/sec, evaluation-cache hit rate — go to BENCH_solver_perf.json so CI
+// and tuning scripts can diff them.
+//
+// `--smoke` (the CI mode) skips the google-benchmark microbenchmarks and
+// shrinks the engine probe, but still runs both probes and writes the JSON.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "core/scenarios.hpp"
 #include "engine/engine.hpp"
@@ -127,12 +138,67 @@ void BM_FullDesignSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDesignSolve)->Unit(benchmark::kMillisecond);
 
-/// Batch-engine probe: a fixed 8-job sweep (16 apps, rates varied) on the
-/// machine's worker count, fixed work per job so the numbers are comparable
-/// run to run. Returns the engine's aggregate metrics.
-EngineMetricsSnapshot run_engine_probe() {
+/// One leg of the incremental-evaluation probe: the full ConfigSolver pass
+/// on a fixed candidate with the incremental path on or off.
+struct ProbeLeg {
+  double solve_ms = 0.0;
+  double total_cost = 0.0;
+  ConfigSolverStats stats;
+};
+
+/// Before/after comparison on the largest bundled environment
+/// (multi_site(24)): identical workload, identical results, the only
+/// difference is the evaluation path. "before" (incremental disabled) is the
+/// pre-optimization behavior — every probe re-simulates every scenario.
+struct IncrementalProbe {
+  ProbeLeg before;  ///< full recompute per evaluation
+  ProbeLeg after;   ///< dirty-tracked incremental evaluation
+  double speedup() const {
+    return after.solve_ms > 0.0 ? before.solve_ms / after.solve_ms : 0.0;
+  }
+  bool totals_match() const {
+    return before.total_cost == after.total_cost;
+  }
+};
+
+ProbeLeg run_probe_leg(const Environment& env, const Candidate& base,
+                       bool incremental) {
+  // Best of several repetitions: one solve is ~10 ms, well inside the
+  // scheduler/frequency noise floor, and the solve is deterministic — the
+  // minimum is the honest estimate of each leg's cost.
+  constexpr int kRepetitions = 3;
+  ProbeLeg best;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Candidate cand = base;
+    cand.set_incremental_enabled(incremental);
+    ConfigSolver solver(&env);
+    ProbeLeg leg;
+    const auto t0 = std::chrono::steady_clock::now();
+    leg.total_cost = solver.solve(cand).total();
+    leg.solve_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    leg.stats = solver.stats();
+    if (rep == 0 || leg.solve_ms < best.solve_ms) best = leg;
+  }
+  return best;
+}
+
+IncrementalProbe run_incremental_probe() {
+  const Environment env = scenarios::multi_site(24, 6, 8);
+  const Candidate base = placed_candidate(env);
+  IncrementalProbe probe;
+  probe.before = run_probe_leg(env, base, /*incremental=*/false);
+  probe.after = run_probe_leg(env, base, /*incremental=*/true);
+  return probe;
+}
+
+/// Batch-engine probe: a fixed `job_count`-job sweep (16 apps, rates
+/// varied) on the machine's worker count, fixed work per job so the numbers
+/// are comparable run to run. Returns the engine's aggregate metrics.
+EngineMetricsSnapshot run_engine_probe(int job_count) {
   std::vector<DesignJob> jobs;
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < job_count; ++i) {
     Environment env = scenarios::multi_site(16, 4, 6);
     env.failures = FailureModel::sensitivity_baseline();
     env.failures.data_object_rate = 0.5 * (i + 1);
@@ -148,9 +214,42 @@ EngineMetricsSnapshot run_engine_probe() {
   return run_batch(std::move(jobs), engine).metrics;
 }
 
-void write_perf_json(const char* path, const EngineMetricsSnapshot& m) {
+void write_probe_leg(JsonWriter& w, const ProbeLeg& leg) {
+  const auto& inc = leg.stats.incremental;
+  const std::int64_t scenario_total =
+      inc.scenarios_simulated + inc.scenarios_reused;
+  w.begin_object()
+      .field("solve_ms", leg.solve_ms)
+      .field("total_cost", leg.total_cost)
+      .field("evaluations", static_cast<long long>(leg.stats.evaluations))
+      .field("eval_ms", leg.stats.eval_ms)
+      .field("sweep_ms", leg.stats.sweep_ms)
+      .field("increment_ms", leg.stats.increment_ms)
+      .field("scenarios_simulated",
+             static_cast<long long>(inc.scenarios_simulated))
+      .field("scenarios_reused", static_cast<long long>(inc.scenarios_reused))
+      .field("scenario_reuse_rate",
+             scenario_total > 0
+                 ? static_cast<double>(inc.scenarios_reused) /
+                       static_cast<double>(scenario_total)
+                 : 0.0)
+      .end_object();
+}
+
+void write_perf_json(const char* path, const IncrementalProbe& probe,
+                     const EngineMetricsSnapshot& m) {
   JsonWriter w;
   w.begin_object();
+  w.key("incremental")
+      .begin_object()
+      .field("environment", "multi_site(24,6,8)")
+      .field("speedup", probe.speedup())
+      .field("totals_match", probe.totals_match());
+  w.key("before");
+  write_probe_leg(w, probe.before);
+  w.key("after");
+  write_probe_leg(w, probe.after);
+  w.end_object();
   w.key("engine_probe")
       .begin_object()
       .field("jobs", static_cast<long long>(m.jobs_completed))
@@ -159,6 +258,9 @@ void write_perf_json(const char* path, const EngineMetricsSnapshot& m) {
       .field("nodes_evaluated", static_cast<long long>(m.nodes_evaluated))
       .field("nodes_per_sec", m.nodes_per_sec())
       .field("evaluations", static_cast<long long>(m.evaluations))
+      .field("scenarios_simulated",
+             static_cast<long long>(m.scenarios_simulated))
+      .field("scenarios_reused", static_cast<long long>(m.scenarios_reused))
       .field("cache_hits", static_cast<long long>(m.cache.hits))
       .field("cache_misses", static_cast<long long>(m.cache.misses))
       .field("cache_hit_rate", m.cache.hit_rate())
@@ -173,14 +275,41 @@ void write_perf_json(const char* path, const EngineMetricsSnapshot& m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // `--smoke` is ours, not google-benchmark's: strip it before Initialize.
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const EngineMetricsSnapshot metrics = run_engine_probe();
+  const IncrementalProbe probe = run_incremental_probe();
+  std::cout << "\n== incremental evaluation probe (multi_site(24)) ==\n";
+  std::printf("full recompute:  %.1f ms (total cost %.0f)\n",
+              probe.before.solve_ms, probe.before.total_cost);
+  std::printf("incremental:     %.1f ms (total cost %.0f), "
+              "%lld simulated / %lld reused\n",
+              probe.after.solve_ms, probe.after.total_cost,
+              static_cast<long long>(
+                  probe.after.stats.incremental.scenarios_simulated),
+              static_cast<long long>(
+                  probe.after.stats.incremental.scenarios_reused));
+  std::printf("speedup: %.2fx, totals %s\n", probe.speedup(),
+              probe.totals_match() ? "match" : "MISMATCH");
+
+  const EngineMetricsSnapshot metrics = run_engine_probe(smoke ? 2 : 8);
   std::cout << "\n== batch-engine probe ==\n" << metrics.render();
-  write_perf_json("BENCH_solver_perf.json", metrics);
+  write_perf_json("BENCH_solver_perf.json", probe, metrics);
   std::cout << "wrote BENCH_solver_perf.json\n";
-  return 0;
+  return probe.totals_match() ? 0 : 1;
 }

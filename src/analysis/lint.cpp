@@ -37,6 +37,7 @@ using rules::kDuplicateLink;
 using rules::kDuplicateSiteName;
 using rules::kEmptyCatalog;
 using rules::kEmptyConfigGrid;
+using rules::kGlobalFailureFootprint;
 using rules::kIniParseError;
 using rules::kInfeasibleCatalog;
 using rules::kInsufficientCompute;
@@ -573,6 +574,43 @@ DiagnosticReport lint_environment(const Environment& env,
                 "add tape drives / a faster library, or relax "
                 "backup_window_target_hours",
                 {filename, "catalog", 0});
+      }
+    }
+  }
+
+  // Perf hint: when every application shares one failure domain, every
+  // shared-scope scenario fails all of them at once — the scenario's
+  // contention footprint is global, and the solvers' incremental cost
+  // evaluation (cost/incremental.hpp) degenerates to a full recompute on
+  // those scenarios after any mutation.
+  if (env.apps.size() >= 2 && !env.topology.sites.empty()) {
+    if (env.topology.site_count() == 1 &&
+        env.failures.site_disaster_rate > 0.0) {
+      std::ostringstream os;
+      os << "single-site topology with " << env.apps.size()
+         << " applications: every site disaster fails all of them at once, "
+            "so every mutation re-simulates those scenarios in full";
+      rep.add(Severity::Warning, kGlobalFailureFootprint, os.str(),
+              "split the applications across additional sites to localize "
+              "failure footprints (and enable mirroring)",
+              {filename, "site", 0});
+    } else if (env.topology.site_count() > 1 &&
+               env.failures.regional_disaster_rate > 0.0) {
+      const int region0 = env.topology.sites.front().region;
+      const bool one_region =
+          std::all_of(env.topology.sites.begin(), env.topology.sites.end(),
+                      [&](const SiteSpec& s) { return s.region == region0; });
+      if (one_region) {
+        std::ostringstream os;
+        os << "all " << env.topology.site_count()
+           << " sites share one region while regional disasters are "
+              "enabled: every regional scenario fails all applications at "
+              "once, so every mutation re-simulates it in full";
+        rep.add(Severity::Warning, kGlobalFailureFootprint, os.str(),
+                "place sites in different regions, or disable "
+                "regional_disaster_rate if regional failures are out of "
+                "scope",
+                {filename, "site", 0});
       }
     }
   }

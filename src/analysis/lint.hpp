@@ -46,6 +46,10 @@
 //   insufficient-compute     (W) fewer compute slots than applications
 //   bad-failure-rate         (E) failure rate negative or NaN
 //   all-failure-rates-zero   (W) the failure model is vacuous
+//   global-failure-footprint (W) every shared-failure scenario spans all
+//                                applications (one site, or one region with
+//                                regional disasters on): incremental cost
+//                                evaluation degenerates to full recompute
 //   bad-policy-range         (E) non-positive interval in a policy range
 //   empty-config-grid        (E) policy ranges leave the solver no grid
 //   bad-category-thresholds  (E) gold/silver thresholds out of order
@@ -89,6 +93,8 @@ inline constexpr const char* kUnmirrorableTopology = "unmirrorable-topology";
 inline constexpr const char* kInsufficientCompute = "insufficient-compute";
 inline constexpr const char* kBadFailureRate = "bad-failure-rate";
 inline constexpr const char* kAllFailureRatesZero = "all-failure-rates-zero";
+inline constexpr const char* kGlobalFailureFootprint =
+    "global-failure-footprint";
 inline constexpr const char* kBadPolicyRange = "bad-policy-range";
 inline constexpr const char* kEmptyConfigGrid = "empty-config-grid";
 inline constexpr const char* kBadCategoryThresholds =

@@ -1,0 +1,341 @@
+#include "cost/incremental.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "cost/outlay.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+
+namespace {
+
+/// Scenario identity: scope plus the failed entity. Entities are offset by
+/// one so a real key is never 0 (0 is the moved-from sentinel inside
+/// align_entries).
+std::uint64_t key_of(const ScenarioSpec& s) {
+  int entity = -1;
+  switch (s.scope) {
+    case FailureScope::DataObject:
+      entity = s.failed_app;
+      break;
+    case FailureScope::DiskArray:
+      entity = s.failed_array;
+      break;
+    case FailureScope::SiteDisaster:
+      entity = s.failed_site;
+      break;
+    case FailureScope::RegionalDisaster:
+      entity = s.failed_region;
+      break;
+  }
+  return (static_cast<std::uint64_t>(s.scope) << 32) |
+         static_cast<std::uint32_t>(entity + 1);
+}
+
+/// Any element of (small, unsorted) `dirty` present in sorted `footprint`?
+bool intersects(const std::vector<int>& dirty,
+                const std::vector<int>& footprint) {
+  for (int v : dirty) {
+    if (std::binary_search(footprint.begin(), footprint.end(), v)) return true;
+  }
+  return false;
+}
+
+void sort_unique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+void IncrementalEvaluator::align_entries() {
+  if (entries_.size() == scenarios_.size()) {
+    bool match = true;
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+      if (entries_[i].key != key_of(scenarios_[i])) {
+        match = false;
+        break;
+      }
+    }
+    // Steady state of the sweep/increment loops: mutations keep device ids
+    // stable, so the scenario set (and its order) does not change between
+    // probes and no realignment work happens.
+    if (match) return;
+  }
+
+  // Structural change (app placed/removed, new primary array/site): rebuild
+  // the entry list, carrying over cached entries by scenario identity.
+  std::vector<ScenarioEntry> fresh(scenarios_.size());
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    const std::uint64_t key = key_of(scenarios_[i]);
+    fresh[i].key = key;
+    for (auto& old : entries_) {
+      if (old.valid && old.key == key) {
+        fresh[i] = std::move(old);
+        old.valid = false;
+        old.key = 0;
+        break;
+      }
+    }
+  }
+  entries_ = std::move(fresh);
+}
+
+void IncrementalEvaluator::rebuild_footprint(
+    ScenarioEntry& entry, const ScenarioSpec& scenario,
+    const std::vector<AppAssignment>& assignments) {
+  entry.footprint_devices.clear();
+  entry.footprint_sites.clear();
+  auto add_device = [&](int id) {
+    if (id >= 0) entry.footprint_devices.push_back(id);
+  };
+  // The failed array itself: an app moving onto/off it changes who fails.
+  add_device(scenario.failed_array);
+  for (int app_id : entry.affected) {
+    const auto& asg = assignments.at(static_cast<std::size_t>(app_id));
+    // Every device of an affected app's assignment can influence its
+    // recovery: the recovery plan serializes on a subset of them, and the
+    // staleness model reads sharer counts on the mirror link and tape
+    // library — so the footprint is the full device set, not just the
+    // plan's shared_devices.
+    add_device(asg.primary_array);
+    add_device(asg.mirror_array);
+    add_device(asg.mirror_link);
+    add_device(asg.tape_library);
+    add_device(asg.primary_compute);
+    add_device(asg.failover_compute);
+    // Spare-array state is keyed by site; plan_recovery reads the primary
+    // site's spares (secondary kept too, conservatively cheap).
+    entry.footprint_sites.push_back(asg.primary_site);
+    if (asg.secondary_site >= 0) {
+      entry.footprint_sites.push_back(asg.secondary_site);
+    }
+  }
+  sort_unique(entry.footprint_devices);
+  sort_unique(entry.footprint_sites);
+}
+
+bool IncrementalEvaluator::needs_resim(const ScenarioEntry& entry,
+                                       const DirtySet& dirty,
+                                       bool structural) const {
+  if (!entry.valid || dirty.all) return true;
+  // On structural evaluations the affected set is recomputed (cheap,
+  // O(apps)) and compared against the cache: this catches apps moving onto
+  // a failed entity even when none of their old resources intersected the
+  // footprint. Non-structural mutations cannot change affected sets.
+  if (structural && affected_scratch_ != entry.affected) return true;
+  if (intersects(dirty.apps, entry.affected)) return true;
+  if (intersects(dirty.devices, entry.footprint_devices)) return true;
+  if (intersects(dirty.sites, entry.footprint_sites)) return true;
+  return false;
+}
+
+double IncrementalEvaluator::site_and_vault_outlay(
+    const ResourcePool& pool, const std::vector<AppAssignment>& assignments,
+    const ModelParams& params) {
+  // Same math and accumulation order as annual_site_outlay +
+  // annual_vault_outlay, but through a reused site mark buffer instead of
+  // the vector sites_in_use() returns.
+  const int site_count = pool.topology().site_count();
+  site_used_.assign(static_cast<std::size_t>(site_count), 0);
+  for (const auto& dev : pool.devices()) {
+    if (!pool.in_use(dev.id)) continue;
+    site_used_[static_cast<std::size_t>(dev.site_id)] = 1;
+    if (dev.site_b_id >= 0) {
+      site_used_[static_cast<std::size_t>(dev.site_b_id)] = 1;
+    }
+  }
+  double site_total = 0.0;
+  for (int s = 0; s < site_count; ++s) {
+    if (site_used_[static_cast<std::size_t>(s)]) {
+      site_total +=
+          pool.topology().site(s).fixed_cost / params.device_lifetime_years;
+    }
+  }
+  double vault_total = 0.0;
+  for (const auto& asg : assignments) {
+    if (asg.has_backup()) vault_total += params.vault_annual_fee;
+  }
+  return site_total + vault_total;
+}
+
+bool IncrementalEvaluator::evaluate(CostBreakdown& out,
+                                    const ApplicationList& apps,
+                                    const std::vector<AppAssignment>& assignments,
+                                    const ResourcePool& pool,
+                                    const FailureModel& failures,
+                                    const ModelParams& params, DirtySet& dirty,
+                                    IncrementalStats* stats) {
+  const bool was_full = dirty.all;
+  // Scenario enumeration and per-scenario affected sets depend only on
+  // which apps are assigned and their primary arrays/sites; skip both when
+  // no mutation since the last evaluation could have changed them.
+  const bool structural = dirty.all || dirty.structure || scenarios_.empty();
+  if (structural) {
+    enumerate_scenarios_into(scenarios_, apps, assignments, pool, failures,
+                             /*with_names=*/false, &scenario_scratch_);
+    align_entries();
+  }
+
+  // Per-app penalty accumulators, reset in place (same layout as
+  // compute_penalties' result).
+  if (details_.size() != apps.size()) details_.resize(apps.size());
+  for (std::size_t i = 0; i < details_.size(); ++i) {
+    details_[i] = AppPenaltyDetail{};
+    details_[i].app_id = static_cast<int>(i);
+  }
+
+  bool reused_any = false;
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    const ScenarioSpec& scenario = scenarios_[i];
+    // compute_penalties skips rate-zero scenarios before simulating; mirror
+    // that exactly (their entries stay invalid and cost nothing).
+    if (scenario.annual_rate <= 0.0) continue;
+    ScenarioEntry& entry = entries_[i];
+    if (structural) {
+      affected_apps_into(affected_scratch_, scenario, assignments,
+                         pool.topology());
+    }
+    if (needs_resim(entry, dirty, structural)) {
+      const bool entry_was_valid = entry.valid;
+      if (trial_ && !entry.trial_saved) {
+        // First trial touch: stash the committed version (buffer swaps, no
+        // allocation once the saved_* slots are warm). abort_trial swaps it
+        // back when the probe is reverted.
+        entry.saved_results.swap(entry.results);
+        entry.saved_affected.swap(entry.affected);
+        entry.saved_footprint_devices.swap(entry.footprint_devices);
+        entry.saved_footprint_sites.swap(entry.footprint_sites);
+        entry.saved_valid = entry.valid;
+        entry.trial_saved = true;
+      }
+      simulate_recovery_into(entry.results, scenario, apps, assignments, pool,
+                             params, ws_);
+      if (structural || !entry_was_valid) {
+        // A valid entry in a non-structural evaluation keeps its affected
+        // set and footprint — nothing that mutated could have changed them.
+        if (!structural) {
+          affected_apps_into(affected_scratch_, scenario, assignments,
+                             pool.topology());
+        }
+        entry.affected.assign(affected_scratch_.begin(),
+                              affected_scratch_.end());
+        rebuild_footprint(entry, scenario, assignments);
+      }
+      entry.valid = true;
+      if (stats != nullptr) ++stats->scenarios_simulated;
+    } else {
+      reused_any = true;
+      if (stats != nullptr) ++stats->scenarios_reused;
+    }
+    // Identical accumulation order to compute_penalties: scenario by
+    // scenario in enumeration order, result by result in priority order.
+    for (const auto& res : entry.results) {
+      const auto& app = apps.at(static_cast<std::size_t>(res.app_id));
+      auto& d = details_.at(static_cast<std::size_t>(res.app_id));
+      d.expected_outage_hours += scenario.annual_rate * res.outage_hours;
+      d.expected_loss_hours += scenario.annual_rate * res.loss_hours;
+      d.outage_penalty +=
+          scenario.annual_rate * res.outage_hours * app.outage_penalty_rate;
+      d.loss_penalty +=
+          scenario.annual_rate * res.loss_hours * app.loss_penalty_rate;
+    }
+  }
+
+  // Outlay, scoped to dirty devices. Each cached slot holds exactly
+  // annual_device_outlay(pool, id, params); the final sum replicates
+  // annual_outlay's order: (sites + vault) then devices in id order.
+  params.validate();
+  const int device_count = pool.device_count();
+  if (was_full || static_cast<int>(device_outlay_.size()) > device_count) {
+    device_outlay_.assign(static_cast<std::size_t>(device_count), 0.0);
+    for (int id = 0; id < device_count; ++id) {
+      device_outlay_[static_cast<std::size_t>(id)] =
+          annual_device_outlay(pool, id, params);
+    }
+  } else {
+    // New devices appended since the last evaluation.
+    for (int id = static_cast<int>(device_outlay_.size()); id < device_count;
+         ++id) {
+      device_outlay_.push_back(annual_device_outlay(pool, id, params));
+    }
+    for (int id : dirty.devices) {
+      if (id >= 0 && id < device_count) {
+        device_outlay_[static_cast<std::size_t>(id)] =
+            annual_device_outlay(pool, id, params);
+      }
+    }
+  }
+  double outlay = site_and_vault_outlay(pool, assignments, params);
+  for (int id = 0; id < device_count; ++id) {
+    outlay += device_outlay_[static_cast<std::size_t>(id)];
+  }
+
+  out.outlay = outlay;
+  out.outage_penalty = 0.0;
+  out.loss_penalty = 0.0;
+  out.per_app.assign(details_.begin(), details_.end());
+  for (const auto& d : out.per_app) {
+    out.outage_penalty += d.outage_penalty;
+    out.loss_penalty += d.loss_penalty;
+  }
+
+  if (stats != nullptr) {
+    if (was_full) {
+      ++stats->full_evaluations;
+    } else {
+      ++stats->incremental_evaluations;
+    }
+  }
+  dirty.clear();
+  return reused_any;
+}
+
+void IncrementalEvaluator::begin_trial() {
+  DEPSTOR_EXPECTS_MSG(!trial_, "probe trials do not nest");
+  trial_ = true;
+  // The per-device outlay slots the trial's evaluations overwrite are
+  // restored wholesale: the full copy is a few hundred bytes, cheaper than
+  // tracking individual slots.
+  outlay_backup_.assign(device_outlay_.begin(), device_outlay_.end());
+}
+
+void IncrementalEvaluator::abort_trial() {
+  DEPSTOR_EXPECTS_MSG(trial_, "no probe trial to abort");
+  trial_ = false;
+  for (auto& entry : entries_) {
+    if (!entry.trial_saved) continue;
+    entry.results.swap(entry.saved_results);
+    entry.affected.swap(entry.saved_affected);
+    entry.footprint_devices.swap(entry.saved_footprint_devices);
+    entry.footprint_sites.swap(entry.saved_footprint_sites);
+    entry.valid = entry.saved_valid;
+    entry.trial_saved = false;
+  }
+  device_outlay_.swap(outlay_backup_);
+}
+
+void IncrementalEvaluator::commit_trial() {
+  DEPSTOR_EXPECTS_MSG(trial_, "no probe trial to commit");
+  trial_ = false;
+  for (auto& entry : entries_) entry.trial_saved = false;
+}
+
+void IncrementalEvaluator::invalidate() {
+  DEPSTOR_EXPECTS_MSG(!trial_, "cannot invalidate during a probe trial");
+  entries_.clear();
+  scenarios_.clear();
+  device_outlay_.clear();
+}
+
+bool incremental_default_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("DEPSTOR_INCREMENTAL");
+    if (v == nullptr || *v == '\0') return true;
+    return !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace depstor

@@ -1,0 +1,196 @@
+// Incremental cost evaluation: dirty-tracked, scenario-scoped penalty
+// recomputation with a zero-allocation steady state.
+//
+// Every solver probe mutates a small part of the candidate — one app's
+// backup chain, one device's extra units, one site's spare — yet the full
+// evaluator re-simulates *every* failure scenario. The incremental evaluator
+// exploits locality: each scenario's recovery outcome depends only on its
+// *contention footprint* — the apps it fails and the devices their recovery
+// plans serialize over (plus the spare-array state of their sites). A
+// mutation that does not intersect a scenario's footprint cannot change its
+// simulation, so the cached per-scenario `AppRecoveryResult`s are reused.
+//
+// Equivalence with `evaluate_cost` is bit-for-bit, not approximate: cached
+// and re-simulated scenario results are accumulated in the exact enumeration
+// order `compute_penalties` uses, and the per-device outlay cache is summed
+// in the same device-id order as `annual_outlay`. Debug/audit builds
+// cross-check every reusing evaluation against a full recompute
+// (`Candidate::evaluate`, DEPSTOR_AUDIT).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/breakdown.hpp"
+#include "model/recovery_sim.hpp"
+
+namespace depstor {
+
+/// What a sequence of candidate mutations touched since the last evaluation.
+/// Marks accumulate (the evaluation-cache layer above may skip evaluations,
+/// so several probes' marks can pile up) and are cleared by a successful
+/// incremental evaluation. Degenerates to `all` when the set grows past the
+/// point where scoped checks beat a full recompute.
+struct DirtySet {
+  /// Everything is dirty. Fresh candidates start here: the first evaluation
+  /// must simulate every scenario to populate the cache.
+  bool all = true;
+  /// The scenario *structure* may have changed: which apps are assigned, or
+  /// an app's primary array/site. Only then can the scenario enumeration or
+  /// a scenario's affected-app set differ, so evaluations with this unset
+  /// skip re-enumerating scenarios and recomputing affected sets entirely
+  /// (the configuration-solver knobs — backup configs, extra units, spares —
+  /// never change structure).
+  bool structure = true;
+  std::vector<int> apps;     ///< app ids whose assignment/allocations changed
+  std::vector<int> devices;  ///< device ids whose allocations/units changed
+  std::vector<int> sites;    ///< sites whose spare-array state changed
+
+  void mark_app(int id) {
+    if (!all) {
+      apps.push_back(id);
+      coarsen();
+    }
+  }
+  void mark_device(int id) {
+    if (!all) {
+      devices.push_back(id);
+      coarsen();
+    }
+  }
+  void mark_site(int id) {
+    if (!all) {
+      sites.push_back(id);
+      coarsen();
+    }
+  }
+  void mark_structure() { structure = true; }
+  void mark_all() {
+    all = true;
+    structure = true;
+    apps.clear();
+    devices.clear();
+    sites.clear();
+  }
+  void clear() {
+    all = false;
+    structure = false;
+    apps.clear();
+    devices.clear();
+    sites.clear();
+  }
+  bool empty() const {
+    return !all && !structure && apps.empty() && devices.empty() &&
+           sites.empty();
+  }
+
+ private:
+  /// Past this many accumulated marks a full recompute is cheaper than
+  /// per-scenario intersection tests (and the vectors stop growing).
+  static constexpr std::size_t kCoarsenAt = 64;
+  void coarsen() {
+    if (apps.size() + devices.size() + sites.size() > kCoarsenAt) mark_all();
+  }
+};
+
+/// Counters of the incremental evaluator, aggregated per solve by
+/// ConfigSolver and surfaced through SolveResult / bench / engine metrics.
+struct IncrementalStats {
+  std::int64_t scenarios_simulated = 0;  ///< scenarios actually re-simulated
+  std::int64_t scenarios_reused = 0;     ///< scenarios served from the cache
+  std::int64_t full_evaluations = 0;     ///< evaluations with `dirty.all` set
+  std::int64_t incremental_evaluations = 0;  ///< evaluations with a scoped set
+
+  IncrementalStats& operator+=(const IncrementalStats& o) {
+    scenarios_simulated += o.scenarios_simulated;
+    scenarios_reused += o.scenarios_reused;
+    full_evaluations += o.full_evaluations;
+    incremental_evaluations += o.incremental_evaluations;
+    return *this;
+  }
+};
+
+/// Per-candidate incremental evaluator. Owned (as a value) by `Candidate`,
+/// so a candidate copy inherits a valid cache — the refit search copies
+/// candidates freely and every lineage keeps its own state.
+///
+/// All intermediate buffers (scenario list, recovery workspace, per-scenario
+/// entries, per-device outlay cache) are reused across evaluations: once
+/// capacities are warm, an evaluation that changes no structure performs no
+/// heap allocation.
+class IncrementalEvaluator {
+ public:
+  /// Evaluate the candidate state into `out` (reusing its `per_app`
+  /// capacity), re-simulating only scenarios whose contention footprint
+  /// intersects `dirty`. Produces results bit-identical to `evaluate_cost`.
+  /// Clears `dirty` on success. Returns true when at least one scenario was
+  /// served from the cache (the audit oracle only cross-checks then — a
+  /// fully re-simulated evaluation *is* the full computation).
+  bool evaluate(CostBreakdown& out, const ApplicationList& apps,
+                const std::vector<AppAssignment>& assignments,
+                const ResourcePool& pool, const FailureModel& failures,
+                const ModelParams& params, DirtySet& dirty,
+                IncrementalStats* stats = nullptr);
+
+  /// Probe transaction. The solvers' steepest-descent loops mutate, evaluate,
+  /// and then revert the mutation exactly; without help the revert would
+  /// re-simulate every scenario the probe touched just to restore results the
+  /// evaluator already had. Between begin_trial and abort_trial, the first
+  /// re-simulation of each scenario stashes its committed results; abort
+  /// swaps them back (the caller guarantees the candidate's observable state
+  /// is bit-identical to the begin_trial point). commit_trial keeps the trial
+  /// results instead. No nesting.
+  void begin_trial();
+  void abort_trial();
+  void commit_trial();
+  bool in_trial() const { return trial_; }
+
+  /// Drop all cached state; the next evaluation recomputes everything.
+  void invalidate();
+
+ private:
+  /// Cached state of one failure scenario, positionally aligned with the
+  /// current scenario enumeration. The saved_* slots hold the committed
+  /// version while a probe trial has re-simulated the entry; their buffers
+  /// are retained across trials, so steady-state probing allocates nothing.
+  struct ScenarioEntry {
+    std::uint64_t key = 0;  ///< scenario identity (scope + failed entity)
+    bool valid = false;
+    std::vector<int> affected;           ///< app ids, ascending
+    std::vector<int> footprint_devices;  ///< sorted device ids
+    std::vector<int> footprint_sites;    ///< sorted site ids
+    std::vector<AppRecoveryResult> results;
+    bool trial_saved = false;  ///< saved_* holds the committed version
+    bool saved_valid = false;
+    std::vector<int> saved_affected;
+    std::vector<int> saved_footprint_devices;
+    std::vector<int> saved_footprint_sites;
+    std::vector<AppRecoveryResult> saved_results;
+  };
+
+  void align_entries();
+  void rebuild_footprint(ScenarioEntry& entry, const ScenarioSpec& scenario,
+                         const std::vector<AppAssignment>& assignments);
+  bool needs_resim(const ScenarioEntry& entry, const DirtySet& dirty,
+                   bool structural) const;
+  double site_and_vault_outlay(const ResourcePool& pool,
+                               const std::vector<AppAssignment>& assignments,
+                               const ModelParams& params);
+
+  std::vector<ScenarioSpec> scenarios_;
+  std::vector<ScenarioEntry> entries_;  ///< parallel to scenarios_
+  ScenarioScratch scenario_scratch_;
+  RecoveryWorkspace ws_;
+  std::vector<int> affected_scratch_;
+  std::vector<AppPenaltyDetail> details_;
+  std::vector<double> device_outlay_;  ///< per-device annualized outlay cache
+  std::vector<double> outlay_backup_;  ///< device_outlay_ at begin_trial
+  std::vector<char> site_used_;
+  bool trial_ = false;
+};
+
+/// Process-wide default for `Candidate`'s incremental path: on unless
+/// DEPSTOR_INCREMENTAL=0 in the environment (read once, cached).
+bool incremental_default_enabled();
+
+}  // namespace depstor

@@ -123,7 +123,8 @@ void BatchEngine::run_job(Record& rec) {
     }
   }
   metrics_.on_finish(final_status, rec.solve.nodes_evaluated,
-                     rec.solve.evaluations, rec.queue_ms + rec.run_ms);
+                     rec.solve.evaluations, rec.solve.scenarios_simulated,
+                     rec.solve.scenarios_reused, rec.queue_ms + rec.run_ms);
   {
     std::lock_guard<std::mutex> lock(mu_);
     rec.status.store(final_status, std::memory_order_release);

@@ -54,6 +54,16 @@ std::string EngineMetricsSnapshot::render() const {
                 static_cast<long long>(cache.misses), cache.hit_rate() * 100.0,
                 cache.size, static_cast<long long>(cache.evictions));
   os << buf;
+  const std::int64_t scenario_total = scenarios_simulated + scenarios_reused;
+  if (scenario_total > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "scenarios: %lld simulated / %lld reused (%.1f%% reuse)\n",
+                  static_cast<long long>(scenarios_simulated),
+                  static_cast<long long>(scenarios_reused),
+                  100.0 * static_cast<double>(scenarios_reused) /
+                      static_cast<double>(scenario_total));
+    os << buf;
+  }
   return os.str();
 }
 
@@ -67,6 +77,9 @@ void EngineMetricsSnapshot::to_json(JsonWriter& json) const {
       .field("queue_depth", static_cast<long long>(queue_depth))
       .field("nodes_evaluated", static_cast<long long>(nodes_evaluated))
       .field("evaluations", static_cast<long long>(evaluations))
+      .field("scenarios_simulated",
+             static_cast<long long>(scenarios_simulated))
+      .field("scenarios_reused", static_cast<long long>(scenarios_reused))
       .field("elapsed_ms", elapsed_ms)
       .field("jobs_per_sec", jobs_per_sec())
       .field("nodes_per_sec", nodes_per_sec())
@@ -93,7 +106,10 @@ void EngineMetrics::on_submit() {
 }
 
 void EngineMetrics::on_finish(JobStatus status, std::int64_t nodes,
-                              std::int64_t evaluations, double latency_ms) {
+                              std::int64_t evaluations,
+                              std::int64_t scenarios_simulated,
+                              std::int64_t scenarios_reused,
+                              double latency_ms) {
   switch (status) {
     case JobStatus::Completed:
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -113,6 +129,9 @@ void EngineMetrics::on_finish(JobStatus status, std::int64_t nodes,
   }
   nodes_.fetch_add(nodes, std::memory_order_relaxed);
   evaluations_.fetch_add(evaluations, std::memory_order_relaxed);
+  scenarios_simulated_.fetch_add(scenarios_simulated,
+                                 std::memory_order_relaxed);
+  scenarios_reused_.fetch_add(scenarios_reused, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mu_);
   latency_ms_.add(std::max(latency_ms, kLatencyLoMs));
 }
@@ -128,6 +147,9 @@ EngineMetricsSnapshot EngineMetrics::snapshot(
   s.queue_depth = queue_depth;
   s.nodes_evaluated = nodes_.load(std::memory_order_relaxed);
   s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.scenarios_simulated =
+      scenarios_simulated_.load(std::memory_order_relaxed);
+  s.scenarios_reused = scenarios_reused_.load(std::memory_order_relaxed);
   s.cache = cache;
   s.elapsed_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start_)

@@ -31,6 +31,11 @@ struct EngineMetricsSnapshot {
 
   std::int64_t nodes_evaluated = 0;  ///< search nodes across finished jobs
   std::int64_t evaluations = 0;      ///< cost evaluations (incl. cache hits)
+  /// Incremental-evaluator scenario counters across finished jobs: failure
+  /// scenarios re-simulated vs served from the per-candidate footprint
+  /// cache (cost/incremental.hpp).
+  std::int64_t scenarios_simulated = 0;
+  std::int64_t scenarios_reused = 0;
   EvalCacheStats cache;
 
   double elapsed_ms = 0.0;  ///< engine lifetime so far
@@ -57,7 +62,8 @@ class EngineMetrics {
   /// Record a finished job: its terminal status, the solver counters it
   /// consumed, and its total latency (submission to finish).
   void on_finish(JobStatus status, std::int64_t nodes,
-                 std::int64_t evaluations, double latency_ms);
+                 std::int64_t evaluations, std::int64_t scenarios_simulated,
+                 std::int64_t scenarios_reused, double latency_ms);
 
   EngineMetricsSnapshot snapshot(std::size_t queue_depth,
                                  const EvalCacheStats& cache) const;
@@ -71,6 +77,8 @@ class EngineMetrics {
   std::atomic<std::int64_t> failed_{0};
   std::atomic<std::int64_t> nodes_{0};
   std::atomic<std::int64_t> evaluations_{0};
+  std::atomic<std::int64_t> scenarios_simulated_{0};
+  std::atomic<std::int64_t> scenarios_reused_{0};
 
   mutable std::mutex latency_mu_;
   LogHistogram latency_ms_;

@@ -41,10 +41,25 @@ double repair_lead_hours(FailureScope scope, const ModelParams& params) {
 RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
                            const ResourcePool& pool, FailureScope scope,
                            const ModelParams& params) {
+  RecoveryPlan plan;
+  plan_recovery_into(plan, app, asg, pool, scope, params);
+  return plan;
+}
+
+void plan_recovery_into(RecoveryPlan& out, const ApplicationSpec& app,
+                        const AppAssignment& asg, const ResourcePool& pool,
+                        FailureScope scope, const ModelParams& params) {
   DEPSTOR_EXPECTS(asg.assigned);
   DEPSTOR_EXPECTS(app.id == asg.app_id);
 
-  RecoveryPlan plan;
+  RecoveryPlan& plan = out;
+  plan.shared_devices.clear();  // keep capacity, reset everything else
+  plan.action = RecoveryAction::Unrecoverable;
+  plan.copy = CopyLevel::None;
+  plan.loss_hours = 0.0;
+  plan.lead_hours = 0.0;
+  plan.fixed_restore_hours = 0.0;
+  plan.transfer_gb = 0.0;
   plan.app_id = app.id;
   plan.scope = scope;
 
@@ -55,7 +70,7 @@ RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
     plan.action = RecoveryAction::Unrecoverable;
     plan.loss_hours = params.unprotected_loss_hours;
     plan.lead_hours = params.unprotected_loss_hours;
-    return plan;
+    return;
   }
   plan.loss_hours = staleness;
 
@@ -72,7 +87,7 @@ RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
     plan.fixed_restore_hours = params.failover_hours;
     DEPSTOR_ENSURES(asg.failover_compute >= 0);
     plan.shared_devices.push_back(asg.failover_compute);
-    return plan;
+    return;
   }
 
   // Data object failure with a surviving snapshot: in-place revert.
@@ -80,7 +95,7 @@ RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
     plan.action = RecoveryAction::SnapshotRevert;
     plan.lead_hours = params.detection_hours;
     plan.fixed_restore_hours = params.snapshot_restore_hours;
-    return plan;
+    return;
   }
 
   // Everything else is a bulk reconstruct onto the (repaired) primary array.
@@ -130,7 +145,6 @@ RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
     case CopyLevel::None:
       throw InternalError("unreachable: copy == None");
   }
-  return plan;
 }
 
 }  // namespace depstor

@@ -55,4 +55,10 @@ RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
                            const ResourcePool& pool, FailureScope scope,
                            const ModelParams& params);
 
+/// Buffer-reusing variant: resets every field of `out` and rebuilds the plan
+/// in place, keeping the `shared_devices` capacity across calls.
+void plan_recovery_into(RecoveryPlan& out, const ApplicationSpec& app,
+                        const AppAssignment& asg, const ResourcePool& pool,
+                        FailureScope scope, const ModelParams& params);
+
 }  // namespace depstor

@@ -2,18 +2,22 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 
 #include "util/check.hpp"
 #include "util/units.hpp"
 
 namespace depstor {
 
-std::vector<ScenarioSpec> enumerate_scenarios(
-    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
-    const ResourcePool& pool, const FailureModel& failures, bool with_names) {
+void enumerate_scenarios_into(std::vector<ScenarioSpec>& out,
+                              const ApplicationList& apps,
+                              const std::vector<AppAssignment>& assignments,
+                              const ResourcePool& pool,
+                              const FailureModel& failures, bool with_names,
+                              ScenarioScratch* scratch) {
   failures.validate();
-  std::vector<ScenarioSpec> out;
+  out.clear();
+  ScenarioScratch local;
+  ScenarioScratch& sc = scratch != nullptr ? *scratch : local;
 
   // One data-object failure per assigned application.
   for (const auto& app : apps) {
@@ -28,8 +32,10 @@ std::vector<ScenarioSpec> enumerate_scenarios(
   }
 
   // One array failure per array hosting at least one primary copy.
-  std::vector<int> primary_arrays;
-  std::vector<int> primary_sites;
+  std::vector<int>& primary_arrays = sc.arrays;
+  std::vector<int>& primary_sites = sc.sites;
+  primary_arrays.clear();
+  primary_sites.clear();
   for (const auto& asg : assignments) {
     if (!asg.assigned) continue;
     primary_arrays.push_back(asg.primary_array);
@@ -66,7 +72,8 @@ std::vector<ScenarioSpec> enumerate_scenarios(
 
   // One regional disaster per region hosting primaries (when enabled).
   if (failures.regional_disaster_rate > 0.0) {
-    std::vector<int> regions;
+    std::vector<int>& regions = sc.regions;
+    regions.clear();
     for (int site : primary_sites) {
       regions.push_back(pool.topology().site(site).region);
     }
@@ -81,13 +88,20 @@ std::vector<ScenarioSpec> enumerate_scenarios(
       out.push_back(std::move(s));
     }
   }
+}
+
+std::vector<ScenarioSpec> enumerate_scenarios(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures, bool with_names) {
+  std::vector<ScenarioSpec> out;
+  enumerate_scenarios_into(out, apps, assignments, pool, failures, with_names);
   return out;
 }
 
-std::vector<int> affected_apps(const ScenarioSpec& scenario,
-                               const std::vector<AppAssignment>& assignments,
-                               const Topology& topology) {
-  std::vector<int> out;
+void affected_apps_into(std::vector<int>& out, const ScenarioSpec& scenario,
+                        const std::vector<AppAssignment>& assignments,
+                        const Topology& topology) {
+  out.clear();
   for (const auto& asg : assignments) {
     if (!asg.assigned) continue;
     switch (scenario.scope) {
@@ -112,6 +126,13 @@ std::vector<int> affected_apps(const ScenarioSpec& scenario,
         break;
     }
   }
+}
+
+std::vector<int> affected_apps(const ScenarioSpec& scenario,
+                               const std::vector<AppAssignment>& assignments,
+                               const Topology& topology) {
+  std::vector<int> out;
+  affected_apps_into(out, scenario, assignments, topology);
   return out;
 }
 
@@ -147,29 +168,43 @@ double solo_duration_estimate(const RecoveryPlan& plan,
   return duration;
 }
 
+/// Plan of `app_id` inside the workspace (plans are parallel to `failed`).
+const RecoveryPlan& plan_of(const RecoveryWorkspace& ws, int app_id) {
+  for (std::size_t i = 0; i < ws.failed.size(); ++i) {
+    if (ws.failed[i] == app_id) return ws.plans[i];
+  }
+  throw InternalError("recovery plan missing for app " +
+                      std::to_string(app_id));
+}
+
 }  // namespace
 
-std::vector<AppRecoveryResult> simulate_recovery(
-    const ScenarioSpec& scenario, const ApplicationList& apps,
-    const std::vector<AppAssignment>& assignments, const ResourcePool& pool,
-    const ModelParams& params) {
+void simulate_recovery_into(std::vector<AppRecoveryResult>& out,
+                            const ScenarioSpec& scenario,
+                            const ApplicationList& apps,
+                            const std::vector<AppAssignment>& assignments,
+                            const ResourcePool& pool, const ModelParams& params,
+                            RecoveryWorkspace& ws) {
   params.validate();
-  const std::vector<int> failed =
-      affected_apps(scenario, assignments, pool.topology());
+  out.clear();
+  affected_apps_into(ws.failed, scenario, assignments, pool.topology());
+  const std::vector<int>& failed = ws.failed;
 
   // Plan every affected app before scheduling so ordering policies can look
-  // at the plans.
-  std::map<int, RecoveryPlan> plans;
-  for (int app_id : failed) {
-    plans.emplace(app_id,
-                  plan_recovery(apps.at(static_cast<std::size_t>(app_id)),
-                                assignments.at(static_cast<std::size_t>(app_id)),
-                                pool, scenario.scope, params));
+  // at the plans. Plans are rebuilt in place, reusing each slot's buffers.
+  if (ws.plans.size() < failed.size()) ws.plans.resize(failed.size());
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    const int app_id = failed[i];
+    plan_recovery_into(ws.plans[i],
+                       apps.at(static_cast<std::size_t>(app_id)),
+                       assignments.at(static_cast<std::size_t>(app_id)), pool,
+                       scenario.scope, params);
   }
 
   // Serialization order on contended resources. The paper's rule: recovery
   // tasks for applications with higher penalty rates execute first (§3.2.2).
-  std::vector<int> order = failed;
+  std::vector<int>& order = ws.order;
+  order.assign(failed.begin(), failed.end());
   switch (params.recovery_order) {
     case RecoveryOrder::PriorityPenalty:
       std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -183,8 +218,10 @@ std::vector<AppRecoveryResult> simulate_recovery(
       break;
     case RecoveryOrder::ShortestFirst:
       std::sort(order.begin(), order.end(), [&](int a, int b) {
-        const double da = solo_duration_estimate(plans.at(a), pool, failed);
-        const double db = solo_duration_estimate(plans.at(b), pool, failed);
+        const double da =
+            solo_duration_estimate(plan_of(ws, a), pool, failed);
+        const double db =
+            solo_duration_estimate(plan_of(ws, b), pool, failed);
         if (da != db) return da < db;
         return a < b;
       });
@@ -194,12 +231,28 @@ std::vector<AppRecoveryResult> simulate_recovery(
       break;
   }
 
-  std::map<int, double> device_free_at;  // device id → next free time (h)
-  std::vector<AppRecoveryResult> results;
-  results.reserve(order.size());
+  // device id → next free time (hours); flat map, scenarios touch few devices.
+  std::vector<std::pair<int, double>>& device_free_at = ws.device_free_at;
+  device_free_at.clear();
+  auto free_at = [&](int dev) -> double {
+    for (const auto& [id, t] : device_free_at) {
+      if (id == dev) return t;
+    }
+    return 0.0;
+  };
+  auto set_free_at = [&](int dev, double t) {
+    for (auto& [id, slot] : device_free_at) {
+      if (id == dev) {
+        slot = t;
+        return;
+      }
+    }
+    device_free_at.emplace_back(dev, t);
+  };
 
+  out.reserve(order.size());
   for (int app_id : order) {
-    const RecoveryPlan& plan = plans.at(app_id);
+    const RecoveryPlan& plan = plan_of(ws, app_id);
 
     AppRecoveryResult res;
     res.app_id = app_id;
@@ -219,8 +272,7 @@ std::vector<AppRecoveryResult> simulate_recovery(
       // bottleneck device's recovery bandwidth.
       double start = plan.lead_hours;
       for (int dev : plan.shared_devices) {
-        const auto it = device_free_at.find(dev);
-        if (it != device_free_at.end()) start = std::max(start, it->second);
+        start = std::max(start, free_at(dev));
       }
       double duration = plan.fixed_restore_hours;
       if (plan.needs_transfer()) {
@@ -235,12 +287,21 @@ std::vector<AppRecoveryResult> simulate_recovery(
         duration += units::transfer_hours(plan.transfer_gb, bottleneck);
       }
       const double end = start + duration;
-      for (int dev : plan.shared_devices) device_free_at[dev] = end;
+      for (int dev : plan.shared_devices) set_free_at(dev, end);
       res.outage_hours = end;
     }
-    results.push_back(res);
+    out.push_back(res);
   }
-  return results;
+}
+
+std::vector<AppRecoveryResult> simulate_recovery(
+    const ScenarioSpec& scenario, const ApplicationList& apps,
+    const std::vector<AppAssignment>& assignments, const ResourcePool& pool,
+    const ModelParams& params) {
+  std::vector<AppRecoveryResult> out;
+  RecoveryWorkspace ws;
+  simulate_recovery_into(out, scenario, apps, assignments, pool, params, ws);
+  return out;
 }
 
 }  // namespace depstor

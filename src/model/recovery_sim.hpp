@@ -35,6 +35,15 @@ struct ScenarioSpec {
   std::string name;
 };
 
+/// Reusable intermediates of enumerate_scenarios_into (the primary-array /
+/// primary-site dedup lists). Keeping one per evaluator makes repeated
+/// enumeration allocation-free once capacities have grown.
+struct ScenarioScratch {
+  std::vector<int> arrays;
+  std::vector<int> sites;
+  std::vector<int> regions;
+};
+
 /// All concrete failure scenarios of an (assigned subset of a) candidate:
 /// one data-object failure per assigned app, one array failure per in-use
 /// primary-hosting array, one disaster per site hosting primaries.
@@ -45,10 +54,26 @@ std::vector<ScenarioSpec> enumerate_scenarios(
     const ResourcePool& pool, const FailureModel& failures,
     bool with_names = false);
 
+/// Buffer-reusing variant: clears and refills `out` (same order and contents
+/// as enumerate_scenarios). With `with_names` off and warm capacities this
+/// performs no heap allocation — the solver hot path calls it per probe.
+void enumerate_scenarios_into(std::vector<ScenarioSpec>& out,
+                              const ApplicationList& apps,
+                              const std::vector<AppAssignment>& assignments,
+                              const ResourcePool& pool,
+                              const FailureModel& failures,
+                              bool with_names = false,
+                              ScenarioScratch* scratch = nullptr);
+
 /// Ids of the applications whose primary copy the scenario destroys.
 std::vector<int> affected_apps(const ScenarioSpec& scenario,
                                const std::vector<AppAssignment>& assignments,
                                const Topology& topology);
+
+/// Buffer-reusing variant of affected_apps (clears and refills `out`).
+void affected_apps_into(std::vector<int>& out, const ScenarioSpec& scenario,
+                        const std::vector<AppAssignment>& assignments,
+                        const Topology& topology);
 
 struct AppRecoveryResult {
   int app_id = -1;
@@ -58,6 +83,16 @@ struct AppRecoveryResult {
   double loss_hours = 0.0;
 };
 
+/// Reusable buffers of one recovery simulation. The incremental evaluator
+/// keeps one workspace and re-simulates thousands of scenarios through it;
+/// with warm capacities a simulation performs no heap allocation.
+struct RecoveryWorkspace {
+  std::vector<int> failed;           ///< affected app ids, assignment order
+  std::vector<RecoveryPlan> plans;   ///< parallel to `failed`
+  std::vector<int> order;            ///< app ids in serialization order
+  std::vector<std::pair<int, double>> device_free_at;  ///< device → free time
+};
+
 /// Simulate the recovery of every affected application under the scenario,
 /// with per-device priority serialization and headroom-limited transfer
 /// bandwidth. Results are returned in priority order (highest first).
@@ -65,6 +100,16 @@ std::vector<AppRecoveryResult> simulate_recovery(
     const ScenarioSpec& scenario, const ApplicationList& apps,
     const std::vector<AppAssignment>& assignments, const ResourcePool& pool,
     const ModelParams& params);
+
+/// Buffer-reusing variant: clears and refills `out` with results identical
+/// to simulate_recovery (same math, same order — both share one
+/// implementation), reusing `ws` across calls.
+void simulate_recovery_into(std::vector<AppRecoveryResult>& out,
+                            const ScenarioSpec& scenario,
+                            const ApplicationList& apps,
+                            const std::vector<AppAssignment>& assignments,
+                            const ResourcePool& pool, const ModelParams& params,
+                            RecoveryWorkspace& ws);
 
 /// Bandwidth (MB/s) available to recovery on `device_id` while the apps in
 /// `failed` are down: provisioned bandwidth minus unaffected allocations,

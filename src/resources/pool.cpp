@@ -85,6 +85,31 @@ void ResourcePool::allocate(int device_id, const Allocation& alloc) {
   }
 }
 
+void ResourcePool::update_allocation(int device_id, int app_id,
+                                     Purpose purpose, double capacity_gb,
+                                     double bandwidth_mbps) {
+  DEPSTOR_EXPECTS(device_id >= 0 && device_id < device_count());
+  DEPSTOR_EXPECTS(capacity_gb >= 0.0 && bandwidth_mbps >= 0.0);
+  auto& list = allocs_[static_cast<std::size_t>(device_id)];
+  const auto it =
+      std::find_if(list.begin(), list.end(), [&](const Allocation& a) {
+        return a.app_id == app_id && a.purpose == purpose;
+      });
+  DEPSTOR_EXPECTS_MSG(it != list.end(),
+                      "no allocation to update on device " +
+                          std::to_string(device_id));
+  const Allocation old = *it;
+  it->capacity_gb = capacity_gb;
+  it->bandwidth_mbps = bandwidth_mbps;
+  try {
+    recompute_units(device_id);
+  } catch (const InfeasibleError&) {
+    *it = old;  // strong guarantee: restore and re-derive the old units
+    recompute_units(device_id);
+    throw;
+  }
+}
+
 void ResourcePool::release_app(int app_id) {
   DEPSTOR_EXPECTS(app_id >= 0);
   for (int id = 0; id < device_count(); ++id) {
@@ -209,59 +234,76 @@ bool ResourcePool::has_spare_array(int site,
 }
 
 void ResourcePool::check_feasible() const {
-  for (int s = 0; s < topology_.site_count(); ++s) {
-    const SiteSpec& site = topology_.site(s);
+  // Single pass over the devices, then limit checks in a fixed order (per
+  // site: arrays, spares, tapes, compute; then site pairs ascending — the
+  // same order as the original per-site rescan, so the first violation
+  // reported is identical). The solvers call this on every resource probe,
+  // so the O(sites × devices) rescan it replaces was hot.
+  const int site_count = topology_.site_count();
+  struct SiteCounts {
     int arrays = 0;
     int spares = 0;
     int tapes = 0;
     int compute_slots = 0;
-    for (const auto& dev : devices_) {
-      if (dev.site_id != s || !in_use(dev.id)) continue;
-      switch (dev.type.kind) {
-        case DeviceKind::DiskArray:
-          if (is_spare_device(dev.id)) {
-            ++spares;
-          } else {
-            ++arrays;
-          }
-          break;
-        case DeviceKind::TapeLibrary:
-          ++tapes;
-          break;
-        case DeviceKind::Compute:
-          compute_slots += dev.capacity_units;
-          break;
-        case DeviceKind::NetworkLink:
-          break;  // counted per pair below
+  };
+  std::vector<SiteCounts> counts(static_cast<std::size_t>(site_count));
+  std::vector<int> pair_links(
+      static_cast<std::size_t>(site_count * site_count), 0);
+  for (const auto& dev : devices_) {
+    if (!in_use(dev.id)) continue;
+    SiteCounts& c = counts[static_cast<std::size_t>(dev.site_id)];
+    switch (dev.type.kind) {
+      case DeviceKind::DiskArray:
+        if (is_spare_device(dev.id)) {
+          ++c.spares;
+        } else {
+          ++c.arrays;
+        }
+        break;
+      case DeviceKind::TapeLibrary:
+        ++c.tapes;
+        break;
+      case DeviceKind::Compute:
+        c.compute_slots += dev.capacity_units;
+        break;
+      case DeviceKind::NetworkLink: {
+        const int lo = std::min(dev.site_id, dev.site_b_id);
+        const int hi = std::max(dev.site_id, dev.site_b_id);
+        pair_links[static_cast<std::size_t>(lo * site_count + hi)] +=
+            dev.bandwidth_units;
+        break;
       }
     }
-    if (arrays > site.max_disk_arrays) {
-      throw InfeasibleError(site.name + ": " + std::to_string(arrays) +
+  }
+  for (int s = 0; s < site_count; ++s) {
+    const SiteSpec& site = topology_.site(s);
+    const SiteCounts& c = counts[static_cast<std::size_t>(s)];
+    if (c.arrays > site.max_disk_arrays) {
+      throw InfeasibleError(site.name + ": " + std::to_string(c.arrays) +
                             " disk arrays exceed the site limit of " +
                             std::to_string(site.max_disk_arrays));
     }
-    if (spares > site.max_spare_arrays) {
-      throw InfeasibleError(site.name + ": " + std::to_string(spares) +
+    if (c.spares > site.max_spare_arrays) {
+      throw InfeasibleError(site.name + ": " + std::to_string(c.spares) +
                             " spare arrays exceed the site limit of " +
                             std::to_string(site.max_spare_arrays));
     }
-    if (tapes > site.max_tape_libraries) {
-      throw InfeasibleError(site.name + ": " + std::to_string(tapes) +
+    if (c.tapes > site.max_tape_libraries) {
+      throw InfeasibleError(site.name + ": " + std::to_string(c.tapes) +
                             " tape libraries exceed the site limit of " +
                             std::to_string(site.max_tape_libraries));
     }
-    if (compute_slots > site.max_compute_slots) {
-      throw InfeasibleError(site.name + ": " + std::to_string(compute_slots) +
+    if (c.compute_slots > site.max_compute_slots) {
+      throw InfeasibleError(site.name + ": " +
+                            std::to_string(c.compute_slots) +
                             " compute slots exceed the site limit of " +
                             std::to_string(site.max_compute_slots));
     }
   }
-  for (int a = 0; a < topology_.site_count(); ++a) {
-    for (int b = a + 1; b < topology_.site_count(); ++b) {
-      int links = 0;
-      for (int id : links_between(a, b)) {
-        if (in_use(id)) links += device(id).bandwidth_units;
-      }
+  for (int a = 0; a < site_count; ++a) {
+    for (int b = a + 1; b < site_count; ++b) {
+      const int links =
+          pair_links[static_cast<std::size_t>(a * site_count + b)];
       if (links > topology_.max_links(a, b)) {
         throw InfeasibleError("sites " + std::to_string(a) + "-" +
                               std::to_string(b) + ": " +

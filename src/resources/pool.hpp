@@ -66,6 +66,16 @@ class ResourcePool {
   /// Throws InfeasibleError when the device cannot grow enough.
   void allocate(int device_id, const Allocation& alloc);
 
+  /// Resize an existing allocation in place — same app, same purpose, same
+  /// position in the device's allocation list — and re-derive the device's
+  /// units. Strong guarantee: when the new sizes don't fit the device type,
+  /// the old allocation is restored and InfeasibleError propagates. Much
+  /// cheaper than release + re-allocate, and order-preserving, which lets
+  /// incremental cost evaluation keep every cached scenario that doesn't
+  /// touch this device.
+  void update_allocation(int device_id, int app_id, Purpose purpose,
+                         double capacity_gb, double bandwidth_mbps);
+
   /// Remove every allocation belonging to `app_id` across all devices and
   /// shrink unit counts accordingly.
   void release_app(int app_id);

@@ -1,6 +1,7 @@
 #include "solver/config_solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/audit.hpp"
 #include "engine/eval_cache.hpp"
@@ -10,15 +11,55 @@ namespace depstor {
 
 namespace {
 
-/// Devices an assignment touches (for scoped increment loops).
+/// Devices an assignment touches (for scoped increment loops). Includes the
+/// compute devices so scoped rounds see the same device set as the full
+/// pass; the increment loop itself then skips them naturally (compute types
+/// have no bandwidth units to buy and are not disk arrays), so behavior is
+/// identical — tests/test_config_solver.cpp pins this.
 std::vector<int> devices_of(const AppAssignment& asg) {
   std::vector<int> out;
   for (int id : {asg.primary_array, asg.mirror_array, asg.tape_library,
-                 asg.mirror_link}) {
+                 asg.mirror_link, asg.primary_compute,
+                 asg.failover_compute}) {
     if (id >= 0) out.push_back(id);
   }
   return out;
 }
+
+/// RAII probe transaction: between construction and destruction the
+/// candidate's incremental evaluator treats re-simulations as speculative,
+/// so the probe's revert restores the cached scenario results for free
+/// instead of re-simulating them at the next evaluation.
+class ProbeScope {
+ public:
+  explicit ProbeScope(Candidate& candidate) : candidate_(candidate) {
+    candidate_.begin_probe();
+  }
+  ~ProbeScope() { candidate_.abort_probe(); }
+  ProbeScope(const ProbeScope&) = delete;
+  ProbeScope& operator=(const ProbeScope&) = delete;
+
+ private:
+  Candidate& candidate_;
+};
+
+/// RAII stage timer: adds the scope's wall time to `sink` on exit.
+class StageTimer {
+ public:
+  explicit StageTimer(double& sink) : sink_(sink) {}
+  ~StageTimer() {
+    sink_ += std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0_)
+                 .count();
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point t0_ =
+      std::chrono::steady_clock::now();
+};
 
 }  // namespace
 
@@ -29,15 +70,16 @@ ConfigSolver::ConfigSolver(const Environment* env, EvalCache* cache)
 }
 
 CostBreakdown ConfigSolver::evaluate(const Candidate& candidate) const {
+  const StageTimer timer(stats_.eval_ms);
   ++stats_.evaluations;
-  if (cache_ == nullptr) return candidate.evaluate();
+  if (cache_ == nullptr) return candidate.evaluate(&stats_.incremental);
   const std::uint64_t key = fingerprint_candidate(candidate, env_salt_);
   if (auto cached = cache_->lookup(key)) {
     ++stats_.cache_hits;
     return std::move(*cached);
   }
   ++stats_.cache_misses;
-  CostBreakdown cost = candidate.evaluate();
+  CostBreakdown cost = candidate.evaluate(&stats_.incremental);
   cache_->insert(key, cost);
   return cost;
 }
@@ -86,6 +128,7 @@ CostBreakdown ConfigSolver::solve_increments_only(Candidate& candidate) const {
 }
 
 void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
+  const StageTimer timer(stats_.sweep_ms);
   // The discretized grid: snapshot interval × backup interval × cycle
   // style (full-only, or full+incrementals at each allowed incremental
   // interval).
@@ -135,6 +178,7 @@ void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
 CostBreakdown ConfigSolver::increment_resources(
     Candidate& candidate,
     const std::optional<std::vector<int>>& devices) const {
+  const StageTimer timer(stats_.increment_ms);
   CostBreakdown current = evaluate(candidate);
 
   auto in_scope = [&](int device_id) {
@@ -172,6 +216,7 @@ CostBreakdown ConfigSolver::increment_resources(
     for (std::size_t i = 0; i < spare_candidates.size(); ++i) {
       const auto& [site, type_name] = spare_candidates[i];
       if (candidate.has_spare_array(site, type_name)) continue;
+      const ProbeScope probe(candidate);
       try {
         candidate.set_spare_array(site, type_name, true);
       } catch (const InfeasibleError&) {
@@ -194,6 +239,7 @@ CostBreakdown ConfigSolver::increment_resources(
       for (bool bandwidth : {true, false}) {
         if (bandwidth && !try_bandwidth) continue;
         if (!bandwidth && !try_capacity) continue;
+        const ProbeScope probe(candidate);
         const int extra = bandwidth ? dev.extra_bandwidth_units
                                     : dev.extra_capacity_units;
         const int applied =

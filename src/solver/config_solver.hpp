@@ -42,6 +42,18 @@ struct ConfigSolverStats {
   std::int64_t cache_hits = 0;    ///< evaluations served from the cache
   std::int64_t cache_misses = 0;  ///< evaluations computed then cached
   int increments_bought = 0;      ///< extra units kept by the increment loop
+
+  /// Scenario-level counters of the candidates' incremental evaluators
+  /// (cost/incremental.hpp): how many failure scenarios were actually
+  /// re-simulated vs served from the per-candidate footprint cache.
+  IncrementalStats incremental;
+
+  /// Per-stage wall-clock timers. `eval_ms` covers every evaluate() call
+  /// and therefore overlaps the two stage timers, which cover the whole
+  /// stage (probing mutations included).
+  double eval_ms = 0.0;
+  double sweep_ms = 0.0;
+  double increment_ms = 0.0;
 };
 
 class ConfigSolver {

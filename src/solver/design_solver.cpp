@@ -181,6 +181,13 @@ SolveResult DesignSolver::solve() {
     result.evaluations = config_solver.stats().evaluations;
     result.cache_hits = config_solver.stats().cache_hits;
     result.cache_misses = config_solver.stats().cache_misses;
+    result.scenarios_simulated =
+        config_solver.stats().incremental.scenarios_simulated;
+    result.scenarios_reused =
+        config_solver.stats().incremental.scenarios_reused;
+    result.eval_ms = config_solver.stats().eval_ms;
+    result.sweep_ms = config_solver.stats().sweep_ms;
+    result.increment_ms = config_solver.stats().increment_ms;
   };
 
   if (!global_best) {

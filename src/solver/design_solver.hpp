@@ -78,6 +78,16 @@ struct SolveResult {
   std::int64_t evaluations = 0;   ///< config-solver cost evaluations
   std::int64_t cache_hits = 0;    ///< evaluations served from the cache
   std::int64_t cache_misses = 0;
+  /// Incremental-evaluator scenario counters (cost/incremental.hpp): failure
+  /// scenarios actually re-simulated vs served from the footprint cache.
+  std::int64_t scenarios_simulated = 0;
+  std::int64_t scenarios_reused = 0;
+  /// Per-stage wall-clock: evaluation calls, backup-chain sweeps, resource
+  /// increment loops (eval_ms overlaps the other two — see
+  /// ConfigSolverStats).
+  double eval_ms = 0.0;
+  double sweep_ms = 0.0;
+  double increment_ms = 0.0;
   double elapsed_ms = 0.0;
 };
 

@@ -73,6 +73,11 @@ SolveResult solve_parallel(const Environment* env,
     merged.evaluations += r.evaluations;
     merged.cache_hits += r.cache_hits;
     merged.cache_misses += r.cache_misses;
+    merged.scenarios_simulated += r.scenarios_simulated;
+    merged.scenarios_reused += r.scenarios_reused;
+    merged.eval_ms += r.eval_ms;
+    merged.sweep_ms += r.sweep_ms;
+    merged.increment_ms += r.increment_ms;
     merged.elapsed_ms = std::max(merged.elapsed_ms, r.elapsed_ms);
     if (!r.feasible) continue;
     if (!merged.feasible || r.cost.total() < merged.cost.total()) {

@@ -1,7 +1,9 @@
 #include "solver/solution.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "analysis/audit.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
 
@@ -15,6 +17,10 @@ Candidate::Candidate(const Environment* env)
   for (std::size_t i = 0; i < assignments_.size(); ++i) {
     assignments_[i].app_id = static_cast<int>(i);
   }
+  for (const auto& t : env_->array_types) type_index_.emplace(t.name, &t);
+  for (const auto& t : env_->tape_types) type_index_.emplace(t.name, &t);
+  for (const auto& t : env_->network_types) type_index_.emplace(t.name, &t);
+  type_index_.emplace(env_->compute_type.name, &env_->compute_type);
 }
 
 const AppAssignment& Candidate::assignment(int app_id) const {
@@ -43,18 +49,81 @@ const DesignChoice& Candidate::choice(int app_id) const {
 }
 
 const DeviceTypeSpec& Candidate::type_by_name(const std::string& name) const {
-  for (const auto& t : env_->array_types) {
-    if (t.name == name) return t;
+  const auto it = type_index_.find(name);
+  if (it == type_index_.end()) {
+    throw InvalidArgument("device type not in this environment: " + name);
   }
-  for (const auto& t : env_->tape_types) {
-    if (t.name == name) return t;
-  }
-  for (const auto& t : env_->network_types) {
-    if (t.name == name) return t;
-  }
-  if (env_->compute_type.name == name) return env_->compute_type;
-  throw InvalidArgument("device type not in this environment: " + name);
+  return *it->second;
 }
+
+namespace {
+
+/// Dirty-mark an assignment: the app plus every device it references. Used
+/// on placement, removal, and the rollback paths — any of them changes the
+/// allocations (and thus units, outlay, and recovery contention) of these
+/// devices.
+void mark_assignment(DirtySet& dirty, const AppAssignment& asg) {
+  dirty.mark_app(asg.app_id);
+  // Placement and removal change which apps are assigned (and possibly the
+  // set of primary arrays/sites), so the scenario enumeration itself must
+  // be redone — unlike the configuration knobs, which only mark entities.
+  dirty.mark_structure();
+  for (int id : {asg.primary_array, asg.primary_compute, asg.mirror_array,
+                 asg.mirror_link, asg.tape_library, asg.failover_compute}) {
+    if (id >= 0) dirty.mark_device(id);
+  }
+}
+
+/// Space-efficient snapshots on the primary array: each retained snapshot
+/// holds one interval's worth of unique updates. Shared by place_app and
+/// set_backup_config so the two paths size the allocation identically.
+double snapshot_capacity_gb(const ApplicationSpec& app,
+                            const BackupChainConfig& cfg) {
+  return cfg.snapshots_retained *
+         units::accumulated_gb(app.unique_update_mbps,
+                               cfg.snapshot_interval_hours);
+}
+
+/// Tape-library demand for the backup chain: cartridges for the retained
+/// fulls plus one cycle's worth of incrementals (older cycles migrate to
+/// the vault with their full), drive bandwidth to finish a full backup
+/// within the window.
+Allocation tape_backup_allocation(int app_id, const ApplicationSpec& app,
+                                  const BackupChainConfig& cfg,
+                                  const ModelParams& params) {
+  const double window =
+      std::min(params.backup_window_target_hours, cfg.backup_interval_hours);
+  const double tape_bw = app.data_size_gb * units::kMBPerGB /
+                         (window * units::kSecondsPerHour);
+  const double incrementals_gb =
+      cfg.incrementals_per_cycle() *
+      units::accumulated_gb(app.unique_update_mbps,
+                            cfg.incremental_interval_hours);
+  return {app_id, Purpose::Backup,
+          cfg.backups_retained * app.data_size_gb + incrementals_gb, tape_bw};
+}
+
+/// Exact (bit-for-bit) comparison for the debug equivalence oracle.
+bool exactly_equal(const CostBreakdown& a, const CostBreakdown& b) {
+  if (a.outlay != b.outlay || a.outage_penalty != b.outage_penalty ||
+      a.loss_penalty != b.loss_penalty ||
+      a.per_app.size() != b.per_app.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.per_app.size(); ++i) {
+    const auto& x = a.per_app[i];
+    const auto& y = b.per_app[i];
+    if (x.app_id != y.app_id || x.outage_penalty != y.outage_penalty ||
+        x.loss_penalty != y.loss_penalty ||
+        x.expected_outage_hours != y.expected_outage_hours ||
+        x.expected_loss_hours != y.expected_loss_hours) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int Candidate::find_or_create_device(const DeviceTypeSpec& type, int site,
                                      int site_b) {
@@ -140,37 +209,18 @@ void Candidate::place_app(int app_id, const DesignChoice& choice) {
     }
 
     if (tech.has_backup) {
-      // Space-efficient snapshots on the primary array: each retained
-      // snapshot holds one interval's worth of unique updates.
-      const double snapshot_gb =
-          asg.backup.snapshots_retained *
-          units::accumulated_gb(app.unique_update_mbps,
-                                asg.backup.snapshot_interval_hours);
       pool_.allocate(asg.primary_array,
-                     {app_id, Purpose::Snapshot, snapshot_gb, 0.0});
+                     {app_id, Purpose::Snapshot,
+                      snapshot_capacity_gb(app, asg.backup), 0.0});
 
-      // Tape library at the primary site: cartridges for the retained full
-      // backups, drive bandwidth to finish a full backup within the window.
+      // Tape library at the primary site.
       const auto& tape_type = type_by_name(choice.tape_type);
       DEPSTOR_EXPECTS(tape_type.kind == DeviceKind::TapeLibrary);
       asg.tape_library =
           find_or_create_device(tape_type, choice.primary_site);
-      const double window = std::min(env_->params.backup_window_target_hours,
-                                     asg.backup.backup_interval_hours);
-      const double tape_bw =
-          app.data_size_gb * units::kMBPerGB /
-          (window * units::kSecondsPerHour);
-      // Cartridges: the retained fulls plus one cycle's worth of
-      // incrementals (older cycles migrate to the vault with their full).
-      const double incrementals_gb =
-          asg.backup.incrementals_per_cycle() *
-          units::accumulated_gb(app.unique_update_mbps,
-                                asg.backup.incremental_interval_hours);
       pool_.allocate(asg.tape_library,
-                     {app_id, Purpose::Backup,
-                      asg.backup.backups_retained * app.data_size_gb +
-                          incrementals_gb,
-                      tape_bw});
+                     tape_backup_allocation(app_id, app, asg.backup,
+                                            env_->params));
     }
 
     if (tech.recovery == RecoveryMode::Failover) {
@@ -180,11 +230,15 @@ void Candidate::place_app(int app_id, const DesignChoice& choice) {
                      {app_id, Purpose::ComputeFailover, 1.0, 0.0});
     }
   } catch (...) {
+    // Devices that got (and now lose) partial allocations changed; the
+    // fields set before the failure point identify them.
+    mark_assignment(dirty_, asg);
     pool_.release_app(app_id);
     throw;
   }
 
   asg.validate();
+  mark_assignment(dirty_, asg);
   assignments_[static_cast<std::size_t>(app_id)] = asg;
   choices_[static_cast<std::size_t>(app_id)] = choice;
 }
@@ -192,6 +246,8 @@ void Candidate::place_app(int app_id, const DesignChoice& choice) {
 void Candidate::remove_app(int app_id) {
   DEPSTOR_EXPECTS(app_id >= 0 &&
                   app_id < static_cast<int>(assignments_.size()));
+  const AppAssignment& old = assignments_[static_cast<std::size_t>(app_id)];
+  if (old.assigned) mark_assignment(dirty_, old);
   pool_.release_app(app_id);
   AppAssignment blank;
   blank.app_id = app_id;
@@ -204,15 +260,58 @@ void Candidate::set_backup_config(int app_id,
   DEPSTOR_EXPECTS(is_assigned(app_id));
   DEPSTOR_EXPECTS_MSG(assignment(app_id).technique.has_backup,
                       "technique has no backup chain to configure");
-  DesignChoice updated = choice(app_id);
-  const DesignChoice previous = updated;
-  updated.backup = config;
-  remove_app(app_id);
+  config.validate();
+  AppAssignment& asg = assignments_[static_cast<std::size_t>(app_id)];
+  const ApplicationSpec& app = env_->app(app_id);
+
+  // Only two allocations depend on the chain config — the snapshot space on
+  // the primary array and the backup demand on the tape library — and both
+  // keep their identity (device, purpose, list position). Resizing them in
+  // place instead of re-placing the whole app is the configuration sweep's
+  // hot path: it skips device discovery and the other four allocations, and
+  // the precise dirty marks below let incremental evaluation keep every
+  // scenario that touches neither device.
+  const BackupChainConfig previous = asg.backup;
+  const auto units_of = [this](int id) {
+    const DeviceInstance& d = pool_.device(id);
+    return std::array<int, 4>{d.capacity_units, d.bandwidth_units,
+                              d.extra_capacity_units,
+                              d.extra_bandwidth_units};
+  };
+  const auto array_units = units_of(asg.primary_array);
+  const auto tape_units = units_of(asg.tape_library);
+  const Allocation old_tape =
+      tape_backup_allocation(app_id, app, previous, env_->params);
+
+  pool_.update_allocation(asg.primary_array, app_id, Purpose::Snapshot,
+                          snapshot_capacity_gb(app, config), 0.0);
+  const Allocation tape =
+      tape_backup_allocation(app_id, app, config, env_->params);
   try {
-    place_app(app_id, updated);
+    pool_.update_allocation(asg.tape_library, app_id, Purpose::Backup,
+                            tape.capacity_gb, tape.bandwidth_mbps);
   } catch (...) {
-    place_app(app_id, previous);  // restore the old, known-feasible state
+    // Restore the old, known-feasible snapshot sizing. The pool is back to
+    // its exact prior state, so nothing needs a dirty mark.
+    pool_.update_allocation(asg.primary_array, app_id, Purpose::Snapshot,
+                            snapshot_capacity_gb(app, previous), 0.0);
     throw;
+  }
+  asg.backup = config;
+  choices_[static_cast<std::size_t>(app_id)]->backup = config;
+  dirty_.mark_app(app_id);
+  // Other applications observe these devices only through provisioned units
+  // (outlay, recovery/staleness bandwidth) and through this app's share of
+  // allocated bandwidth (their recovery headroom). When neither changed —
+  // the resized allocation fits the same units and the drive demand is
+  // window-clamped — every cached scenario not involving this app is still
+  // exact, so the devices stay clean.
+  if (units_of(asg.primary_array) != array_units) {
+    dirty_.mark_device(asg.primary_array);
+  }
+  if (units_of(asg.tape_library) != tape_units ||
+      tape.bandwidth_mbps != old_tape.bandwidth_mbps) {
+    dirty_.mark_device(asg.tape_library);
   }
 }
 
@@ -241,6 +340,8 @@ void Candidate::set_spare_array(int site, const std::string& type_name,
         if (pool_.device(id).type.name == type_name &&
             pool_.is_spare_device(id)) {
           pool_.release_app(owner);
+          dirty_.mark_site(site);
+          dirty_.mark_device(id);
           return;
         }
       }
@@ -268,19 +369,95 @@ void Candidate::set_spare_array(int site, const std::string& type_name,
     pool_.release_app(owner);
     throw;
   }
+  dirty_.mark_site(site);
+  dirty_.mark_device(device_id);
 }
 
 int Candidate::set_extra_bandwidth_units(int device_id, int extra) {
-  return pool_.set_extra_bandwidth_units(device_id, extra);
+  // The pool clamps to the device maximum, so a probe can be a no-op (the
+  // increment loop routinely retries maxed-out devices); only an actual
+  // unit change invalidates cached scenarios.
+  const DeviceInstance& dev = pool_.device(device_id);
+  const int cap = dev.capacity_units;
+  const int bw = dev.bandwidth_units;
+  const int applied = pool_.set_extra_bandwidth_units(device_id, extra);
+  if (dev.capacity_units != cap || dev.bandwidth_units != bw) {
+    dirty_.mark_device(device_id);
+  }
+  return applied;
 }
 
 int Candidate::set_extra_capacity_units(int device_id, int extra) {
-  return pool_.set_extra_capacity_units(device_id, extra);
+  const DeviceInstance& dev = pool_.device(device_id);
+  const int cap = dev.capacity_units;
+  const int bw = dev.bandwidth_units;
+  const int applied = pool_.set_extra_capacity_units(device_id, extra);
+  if (dev.capacity_units != cap || dev.bandwidth_units != bw) {
+    dirty_.mark_device(device_id);
+  }
+  return applied;
 }
 
-CostBreakdown Candidate::evaluate() const {
-  return evaluate_cost(env_->apps, assignments_, pool_, env_->failures,
-                       env_->params);
+CostBreakdown Candidate::evaluate(IncrementalStats* stats) const {
+  if (!incremental_enabled_) {
+    return evaluate_cost(env_->apps, assignments_, pool_, env_->failures,
+                         env_->params);
+  }
+  CostBreakdown cost;
+  const bool reused =
+      inc_eval_.evaluate(cost, env_->apps, assignments_, pool_,
+                         env_->failures, env_->params, dirty_, stats);
+  if (reused && analysis::debug_audit_enabled()) {
+    // Equivalence oracle: whenever cached scenario results were reused, the
+    // incremental total must match a from-scratch recompute bit-for-bit. A
+    // fully re-simulated evaluation is skipped — it *is* the full
+    // computation.
+    const CostBreakdown full = evaluate_cost(
+        env_->apps, assignments_, pool_, env_->failures, env_->params);
+    if (!exactly_equal(cost, full)) {
+      throw InternalError(
+          "incremental evaluation diverged from full recompute: "
+          "incremental total " +
+          std::to_string(cost.total()) + " vs full " +
+          std::to_string(full.total()));
+    }
+  }
+  return cost;
+}
+
+void Candidate::set_incremental_enabled(bool enabled) {
+  DEPSTOR_EXPECTS_MSG(!probe_active_,
+                      "cannot toggle incremental evaluation inside a probe");
+  // Re-enabling after mutations evaluated by the full path: the cache is
+  // stale in unknown ways, so everything must re-simulate once.
+  if (enabled && !incremental_enabled_) dirty_.mark_all();
+  incremental_enabled_ = enabled;
+}
+
+void Candidate::begin_probe() {
+  DEPSTOR_EXPECTS_MSG(!probe_active_, "probes do not nest");
+  if (!incremental_enabled_) return;  // full path keeps no cached state
+  // Flush pending marks (possible when the engine's EvalCache answered the
+  // last evaluation) so the trial starts from a committed cache: every
+  // re-simulation inside it is then attributable to the probe alone, and
+  // abort_probe restores an exact pre-probe state.
+  if (!dirty_.empty()) evaluate();
+  inc_eval_.begin_trial();
+  probe_dirty_ = dirty_;
+  probe_active_ = true;
+}
+
+void Candidate::abort_probe() {
+  if (!probe_active_) return;
+  probe_active_ = false;
+  inc_eval_.abort_trial();
+  dirty_ = probe_dirty_;
+}
+
+void Candidate::commit_probe() {
+  if (!probe_active_) return;
+  probe_active_ = false;
+  inc_eval_.commit_trial();
 }
 
 void Candidate::check_feasible() const {

@@ -9,10 +9,12 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/environment.hpp"
 #include "cost/breakdown.hpp"
+#include "cost/incremental.hpp"
 #include "model/assignment.hpp"
 #include "resources/pool.hpp"
 
@@ -81,7 +83,36 @@ class Candidate {
 
   /// Full cost of the current state (partial candidates: penalties cover
   /// assigned apps only, outlays cover everything provisioned).
-  CostBreakdown evaluate() const;
+  ///
+  /// With the incremental path enabled (the default; see
+  /// incremental_default_enabled), mutations since the previous evaluation
+  /// are replayed through the dirty-tracked IncrementalEvaluator: only
+  /// failure scenarios whose contention footprint they intersect are
+  /// re-simulated. Results are bit-identical to a from-scratch
+  /// evaluate_cost; debug/audit builds (DEPSTOR_AUDIT) cross-check every
+  /// reusing evaluation against the full recompute. `stats`, when given,
+  /// accumulates simulated/reused scenario counters.
+  CostBreakdown evaluate(IncrementalStats* stats = nullptr) const;
+
+  /// Toggle the incremental evaluation path for this candidate (process
+  /// default: DEPSTOR_INCREMENTAL, on unless =0). Disabling falls back to
+  /// the full evaluator; re-enabling marks everything dirty so the cache
+  /// rebuilds before any reuse.
+  void set_incremental_enabled(bool enabled);
+  bool incremental_enabled() const { return incremental_enabled_; }
+
+  /// Probe transaction around a speculative mutate → evaluate → revert
+  /// sequence (the solvers' steepest-descent loops). Between begin_probe and
+  /// abort_probe the incremental evaluator stashes the committed results of
+  /// every scenario the probe forces it to re-simulate; abort_probe swaps
+  /// them back and restores the pending dirty marks, making a reverted probe
+  /// cost nothing at the next evaluation. The caller must restore the
+  /// candidate to its exact begin_probe state (every mutation undone) before
+  /// aborting. commit_probe instead keeps the trial results. No-ops when the
+  /// incremental path is disabled; probes do not nest.
+  void begin_probe();
+  void abort_probe();
+  void commit_probe();
 
   /// Site limits, link limits, per-assignment structural validity.
   /// Throws InfeasibleError / InvalidArgument on violation.
@@ -96,6 +127,23 @@ class Candidate {
   ResourcePool pool_;
   std::vector<AppAssignment> assignments_;
   std::vector<std::optional<DesignChoice>> choices_;
+
+  /// name → spec over the environment's device catalogs, built once in the
+  /// constructor (type_by_name runs inside the sweep loop on every
+  /// place_app). Pointers reference `env_`, which outlives the candidate,
+  /// so copies of the candidate share the same targets.
+  std::unordered_map<std::string, const DeviceTypeSpec*> type_index_;
+
+  /// Incremental evaluation state. Mutable values copied with the
+  /// candidate: a copy inherits a valid cache for its own lineage (the
+  /// refit search copies candidates freely). `dirty_` accumulates across
+  /// mutations — including between evaluations skipped by the engine's
+  /// EvalCache — and is cleared by a successful incremental evaluation.
+  mutable DirtySet dirty_;
+  mutable IncrementalEvaluator inc_eval_;
+  bool incremental_enabled_ = incremental_default_enabled();
+  DirtySet probe_dirty_;  ///< dirty_ snapshot taken at begin_probe
+  bool probe_active_ = false;
 };
 
 }  // namespace depstor

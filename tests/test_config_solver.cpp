@@ -128,6 +128,29 @@ TEST(ConfigSolver, IncrementsOnlySkipsIntervalSweep) {
   EXPECT_DOUBLE_EQ(cand.assignment(0).backup.snapshot_interval_hours, 24.0);
 }
 
+TEST(ConfigSolver, ScopedSolveIgnoresComputeDevicesInScope) {
+  // solve_for_app's device scope includes the app's compute devices (so the
+  // scope is the true assignment footprint), but the increment loop must
+  // still never buy units on them: compute has no bandwidth units to add
+  // and is not a disk array. Pins the devices_of() fix in config_solver.cpp.
+  Environment env = peer_env(3);
+  Candidate cand(&env);
+  for (int i = 0; i < 3; ++i) {
+    cand.place_app(i, full_choice(testing::sync_f_backup()));
+  }
+  ASSERT_GE(cand.assignment(1).primary_compute, 0);
+  ASSERT_GE(cand.assignment(1).failover_compute, 0);
+  ConfigSolver solver(&env);
+  const CostBreakdown cost = solver.solve_for_app(cand, 1);
+  for (const auto& dev : cand.pool().devices()) {
+    if (dev.type.kind == DeviceKind::Compute) {
+      EXPECT_EQ(dev.extra_bandwidth_units, 0);
+      EXPECT_EQ(dev.extra_capacity_units, 0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cost.total(), cand.evaluate().total());
+}
+
 TEST(ConfigSolver, DeterministicForSameInput) {
   Environment env = peer_env(4);
   Candidate a(&env);

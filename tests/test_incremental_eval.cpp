@@ -1,0 +1,336 @@
+// Equivalence regression for the incremental evaluator (cost/incremental):
+// across long randomized mutation sequences, Candidate::evaluate() must
+// match a from-scratch evaluate_cost bit-for-bit — not approximately — at
+// every step. Exact equality is the design contract: the incremental path
+// accumulates penalties and outlays in the same order as the full
+// evaluator, so any difference at all is a soundness bug, not float noise.
+#include <gtest/gtest.h>
+
+#include "cost/incremental.hpp"
+#include "solver/config_solver.hpp"
+#include "solver/reconfigure.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::backup_only;
+using testing::full_choice;
+using testing::peer_env;
+using testing::sync_r_backup;
+
+void expect_exact(const CostBreakdown& inc, const CostBreakdown& full) {
+  EXPECT_EQ(inc.outlay, full.outlay);
+  EXPECT_EQ(inc.outage_penalty, full.outage_penalty);
+  EXPECT_EQ(inc.loss_penalty, full.loss_penalty);
+  ASSERT_EQ(inc.per_app.size(), full.per_app.size());
+  for (std::size_t i = 0; i < inc.per_app.size(); ++i) {
+    EXPECT_EQ(inc.per_app[i].app_id, full.per_app[i].app_id);
+    EXPECT_EQ(inc.per_app[i].outage_penalty, full.per_app[i].outage_penalty);
+    EXPECT_EQ(inc.per_app[i].loss_penalty, full.per_app[i].loss_penalty);
+    EXPECT_EQ(inc.per_app[i].expected_outage_hours,
+              full.per_app[i].expected_outage_hours);
+    EXPECT_EQ(inc.per_app[i].expected_loss_hours,
+              full.per_app[i].expected_loss_hours);
+  }
+}
+
+CostBreakdown full_recompute(const Environment& env, const Candidate& cand) {
+  return evaluate_cost(env.apps, cand.assignments(), cand.pool(),
+                       env.failures, env.params);
+}
+
+Candidate placed_candidate(const Environment& env, std::uint64_t seed) {
+  Candidate cand(&env);
+  Rng rng(seed);
+  Reconfigurator rec(&env, &rng);
+  for (int i = 0; i < static_cast<int>(env.apps.size()); ++i) {
+    if (!rec.reconfigure_app(cand, i)) {
+      throw InfeasibleError("test setup could not place app");
+    }
+  }
+  return cand;
+}
+
+/// One random mutation from the configuration-solver repertoire: backup
+/// chain re-config, extra units, spare toggles, remove + re-place.
+void random_mutation(Candidate& cand, const Environment& env, Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: {  // backup-chain grid point
+      std::vector<int> with_backup;
+      for (const auto& asg : cand.assignments()) {
+        if (asg.assigned && asg.technique.has_backup) {
+          with_backup.push_back(asg.app_id);
+        }
+      }
+      if (with_backup.empty()) return;
+      const int app = with_backup[rng.index(with_backup.size())];
+      BackupChainConfig cfg = cand.assignment(app).backup;
+      const auto& snaps = env.policies.snapshot_intervals_hours;
+      const auto& backups = env.policies.backup_intervals_hours;
+      cfg.snapshot_interval_hours = snaps[rng.index(snaps.size())];
+      cfg.backup_interval_hours = backups[rng.index(backups.size())];
+      if (cfg.backup_interval_hours < cfg.snapshot_interval_hours) {
+        cfg.backup_interval_hours = cfg.snapshot_interval_hours;
+      }
+      try {
+        cand.set_backup_config(app, cfg);
+      } catch (const InfeasibleError&) {
+      }
+      return;
+    }
+    case 1: {  // extra units on a random in-use device
+      const int n = cand.pool().device_count();
+      if (n == 0) return;
+      const int id = rng.uniform_int(0, n - 1);
+      if (!cand.pool().in_use(id)) return;
+      const int extra = rng.uniform_int(0, 2);
+      if (rng.chance(0.5)) {
+        cand.set_extra_bandwidth_units(id, extra);
+      } else {
+        cand.set_extra_capacity_units(id, extra);
+      }
+      return;
+    }
+    case 2: {  // hot-spare toggle
+      const int site = rng.uniform_int(0, env.topology.site_count() - 1);
+      const auto& type = env.array_types[rng.index(env.array_types.size())];
+      try {
+        cand.set_spare_array(site, type.name, rng.chance(0.5));
+      } catch (const InfeasibleError&) {
+      }
+      return;
+    }
+    default: {  // remove + re-place an app with its own choice
+      std::vector<int> assigned;
+      for (const auto& asg : cand.assignments()) {
+        if (asg.assigned) assigned.push_back(asg.app_id);
+      }
+      if (assigned.empty()) return;
+      const int app = assigned[rng.index(assigned.size())];
+      const DesignChoice choice = cand.choice(app);
+      cand.remove_app(app);
+      cand.place_app(app, choice);
+      return;
+    }
+  }
+}
+
+void run_mutation_sequence(const Environment& env, int steps,
+                           std::uint64_t seed) {
+  Candidate cand = placed_candidate(env, seed);
+  ASSERT_TRUE(cand.incremental_enabled());
+  Rng rng(seed ^ 0xabcdef);
+  IncrementalStats stats;
+  expect_exact(cand.evaluate(&stats), full_recompute(env, cand));
+  for (int step = 0; step < steps; ++step) {
+    random_mutation(cand, env, rng);
+    const CostBreakdown inc = cand.evaluate(&stats);
+    const CostBreakdown full = full_recompute(env, cand);
+    expect_exact(inc, full);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence at mutation step " << step;
+    }
+  }
+  // The whole point: a solid share of scenarios must come from the cache.
+  // Site-scoped mutations (spares, app moves) legitimately invalidate every
+  // scenario touching that site, so in few-site topologies the reuse rate
+  // hovers near 50% rather than 90% — require at least a fifth of the total.
+  EXPECT_GT(stats.scenarios_reused, 0);
+  EXPECT_GT(stats.scenarios_reused * 4, stats.scenarios_simulated);
+  EXPECT_GT(stats.incremental_evaluations, 0);
+}
+
+TEST(IncrementalEval, RandomizedMutationsPeerSites) {
+  run_mutation_sequence(peer_env(6), 250, 11);
+}
+
+TEST(IncrementalEval, RandomizedMutationsMultiSite) {
+  run_mutation_sequence(scenarios::multi_site(12, 4, 6), 250, 23);
+}
+
+TEST(IncrementalEval, RandomizedMutationsRegionalFailures) {
+  Environment env = scenarios::multi_site(8, 4, 6);
+  env.failures.regional_disaster_rate = 0.05;
+  env.validate();
+  run_mutation_sequence(env, 200, 37);
+}
+
+TEST(IncrementalEval, CopiedCandidateKeepsIndependentCache) {
+  const Environment env = peer_env(4);
+  Candidate a = placed_candidate(env, 3);
+  a.evaluate();  // warm a's cache
+  Candidate b = a;
+  // Mutate the copy only: both candidates must still evaluate exactly.
+  b.set_extra_bandwidth_units(b.assignment(0).primary_array, 1);
+  expect_exact(b.evaluate(), full_recompute(env, b));
+  expect_exact(a.evaluate(), full_recompute(env, a));
+}
+
+TEST(IncrementalEval, DisabledModeMatchesAndReenableRebuilds) {
+  const Environment env = peer_env(4);
+  Candidate cand = placed_candidate(env, 7);
+  cand.evaluate();  // warm the incremental cache
+  cand.set_incremental_enabled(false);
+  EXPECT_FALSE(cand.incremental_enabled());
+  cand.set_extra_capacity_units(cand.assignment(1).primary_array, 1);
+  expect_exact(cand.evaluate(), full_recompute(env, cand));
+  // Re-enabling must not reuse the now-stale cache silently.
+  cand.set_incremental_enabled(true);
+  IncrementalStats stats;
+  expect_exact(cand.evaluate(&stats), full_recompute(env, cand));
+  EXPECT_EQ(stats.scenarios_reused, 0);
+  EXPECT_GT(stats.scenarios_simulated, 0);
+}
+
+TEST(IncrementalEval, UnchangedReevaluationReusesEverything) {
+  const Environment env = peer_env(4);
+  Candidate cand = placed_candidate(env, 5);
+  cand.evaluate();  // populate
+  IncrementalStats stats;
+  const CostBreakdown again = cand.evaluate(&stats);
+  expect_exact(again, full_recompute(env, cand));
+  EXPECT_EQ(stats.scenarios_simulated, 0);
+  EXPECT_GT(stats.scenarios_reused, 0);
+}
+
+TEST(IncrementalEval, ConfigSolverResultsIdenticalEitherPath) {
+  const Environment env = peer_env(4);
+  Candidate with = placed_candidate(env, 9);
+  Candidate without = with;
+  without.set_incremental_enabled(false);
+  ConfigSolver solver_a(&env);
+  ConfigSolver solver_b(&env);
+  const CostBreakdown a = solver_a.solve(with);
+  const CostBreakdown b = solver_b.solve(without);
+  expect_exact(a, b);
+  // The incremental run reports reuse; the full run cannot.
+  EXPECT_GT(solver_a.stats().incremental.scenarios_reused, 0);
+  EXPECT_EQ(solver_b.stats().incremental.scenarios_reused, 0);
+  EXPECT_EQ(solver_b.stats().incremental.scenarios_simulated, 0);
+}
+
+TEST(IncrementalEval, DirtySetCoarsensPastThreshold) {
+  DirtySet dirty;
+  dirty.clear();
+  EXPECT_TRUE(dirty.empty());
+  for (int i = 0; i < 100; ++i) dirty.mark_device(i);
+  EXPECT_TRUE(dirty.all);  // coarsened instead of growing without bound
+  dirty.clear();
+  dirty.mark_app(1);
+  dirty.mark_site(0);
+  EXPECT_FALSE(dirty.all);
+  EXPECT_FALSE(dirty.empty());
+}
+
+TEST(IncrementalEval, PartialCandidateMatchesDuringGreedyStyleGrowth) {
+  // Apps appear one at a time (greedy stage): scenario sets change shape
+  // every step, exercising entry realignment rather than the aligned fast
+  // path.
+  const Environment env = peer_env(5);
+  Candidate cand(&env);
+  expect_exact(cand.evaluate(), full_recompute(env, cand));
+  for (int i = 0; i < 5; ++i) {
+    cand.place_app(i, full_choice(i % 2 == 0 ? sync_r_backup()
+                                             : backup_only()));
+    expect_exact(cand.evaluate(), full_recompute(env, cand));
+  }
+  for (int i = 4; i >= 0; --i) {
+    cand.remove_app(i);
+    expect_exact(cand.evaluate(), full_recompute(env, cand));
+  }
+}
+
+/// First in-use device that accepts one more extra bandwidth unit, or -1.
+int probeable_device(Candidate& cand) {
+  for (const auto& dev : cand.pool().devices()) {
+    if (!cand.pool().in_use(dev.id)) continue;
+    const int extra = dev.extra_bandwidth_units;
+    if (cand.set_extra_bandwidth_units(dev.id, extra + 1) == extra + 1) {
+      cand.set_extra_bandwidth_units(dev.id, extra);
+      return dev.id;
+    }
+  }
+  return -1;
+}
+
+TEST(IncrementalEval, AbortedProbeCostsNothingAtNextEvaluation) {
+  const Environment env = peer_env(6);
+  Candidate cand = placed_candidate(env, 99);
+  cand.evaluate();  // commit the cache
+  const int dev = probeable_device(cand);
+  ASSERT_GE(dev, 0);
+  cand.evaluate();  // flush the marks probeable_device left behind
+
+  cand.begin_probe();
+  const int extra = cand.pool().device(dev).extra_bandwidth_units;
+  ASSERT_EQ(cand.set_extra_bandwidth_units(dev, extra + 1), extra + 1);
+  IncrementalStats during;
+  expect_exact(cand.evaluate(&during), full_recompute(env, cand));
+  EXPECT_GT(during.scenarios_simulated, 0);  // the probe itself is genuine
+  cand.set_extra_bandwidth_units(dev, extra);
+  cand.abort_probe();
+
+  // The revert re-simulates nothing: the trial stashed the committed
+  // results and abort_probe swapped them back.
+  IncrementalStats after;
+  expect_exact(cand.evaluate(&after), full_recompute(env, cand));
+  EXPECT_EQ(after.scenarios_simulated, 0);
+  EXPECT_GT(after.scenarios_reused, 0);
+}
+
+TEST(IncrementalEval, CommittedProbeKeepsTrialResults) {
+  const Environment env = peer_env(6);
+  Candidate cand = placed_candidate(env, 99);
+  cand.evaluate();
+  const int dev = probeable_device(cand);
+  ASSERT_GE(dev, 0);
+  cand.evaluate();
+
+  cand.begin_probe();
+  const int extra = cand.pool().device(dev).extra_bandwidth_units;
+  ASSERT_EQ(cand.set_extra_bandwidth_units(dev, extra + 1), extra + 1);
+  cand.evaluate();
+  cand.commit_probe();  // keep the probe: mutation stays applied
+
+  IncrementalStats after;
+  expect_exact(cand.evaluate(&after), full_recompute(env, cand));
+  EXPECT_EQ(after.scenarios_simulated, 0);
+}
+
+TEST(IncrementalEval, SolverStyleProbeRoundsStayExact) {
+  // The increment loop's shape: rounds of probe → evaluate → revert →
+  // abort over every in-use device, then one accepted purchase per round.
+  // Every evaluation must stay bit-exact, including the ones served
+  // entirely from restored trial stashes.
+  const Environment env = scenarios::multi_site(8, 4, 6);
+  Candidate cand = placed_candidate(env, 7);
+  cand.evaluate();
+  for (int round = 0; round < 3; ++round) {
+    int bought = -1;
+    for (const auto& dev : cand.pool().devices()) {
+      if (!cand.pool().in_use(dev.id)) continue;
+      cand.begin_probe();
+      const int extra = dev.extra_bandwidth_units;
+      if (cand.set_extra_bandwidth_units(dev.id, extra + 1) == extra + 1) {
+        expect_exact(cand.evaluate(), full_recompute(env, cand));
+        bought = dev.id;
+      }
+      cand.set_extra_bandwidth_units(dev.id, extra);
+      cand.abort_probe();
+      expect_exact(cand.evaluate(), full_recompute(env, cand));
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "divergence at round " << round << " device " << dev.id;
+      }
+    }
+    if (bought >= 0) {
+      cand.set_extra_bandwidth_units(
+          bought, cand.pool().device(bought).extra_bandwidth_units + 1);
+      expect_exact(cand.evaluate(), full_recompute(env, cand));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depstor

@@ -242,6 +242,38 @@ TEST(Lint, MirrorBandwidthUnreachableWarns) {
 
 // --- struct-level rules (programmatic environments) ---
 
+TEST(Lint, GlobalFailureFootprintSingleSiteWarns) {
+  Environment env = testing::peer_env(3);
+  env.topology.sites.resize(1);
+  env.topology.pair_limits.clear();
+  env.failures.site_disaster_rate = 0.5;
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kGlobalFailureFootprint))
+      << rep.render_text();
+}
+
+TEST(Lint, GlobalFailureFootprintSingleRegionWarns) {
+  // Several sites, but one region and regional disasters enabled: the
+  // regional scenario still fails every application at once.
+  Environment env = scenarios::multi_site(4, 3, 4);
+  env.failures.regional_disaster_rate = 0.1;
+  const auto rep = lint_environment(env);
+  EXPECT_TRUE(rep.has_rule(rules::kGlobalFailureFootprint))
+      << rep.render_text();
+}
+
+TEST(Lint, GlobalFailureFootprintQuietAcrossRegions) {
+  Environment env = scenarios::multi_site(4, 3, 4);
+  env.failures.regional_disaster_rate = 0.1;
+  for (std::size_t i = 0; i < env.topology.sites.size(); ++i) {
+    env.topology.sites[i].region = static_cast<int>(i);
+  }
+  EXPECT_FALSE(lint_environment(env).has_rule(rules::kGlobalFailureFootprint));
+  // Multi-site without regional disasters is quiet too.
+  EXPECT_FALSE(lint_environment(testing::peer_env(3))
+                   .has_rule(rules::kGlobalFailureFootprint));
+}
+
 TEST(Lint, EmptyConfigGrid) {
   Environment env = testing::peer_env(2);
   env.policies.backup_intervals_hours.clear();
