@@ -18,6 +18,12 @@
 //                 [--out=<dir>]          write <dir>/<job>.json reports
 //                 [--no-cache]           disable the shared evaluation cache
 //                 [--csv]                results table as CSV
+//                 [--trace-out=<path>]   Chrome trace_event JSON of the batch
+//                                        (per-job spans, solver phases); also
+//                                        enabled by DEPSTOR_TRACE=1, which
+//                                        defaults to ./depstor_trace.json
+//                 [--stats]              print the counter registry at exit
+//                                        (also DEPSTOR_STATS=1)
 //
 // By default every job does a fixed amount of work (--repetitions bounds the
 // search, no wall-clock budget), so the batch is bit-identical for any
@@ -28,6 +34,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -39,6 +46,8 @@
 #include "core/report.hpp"
 #include "core/scenarios.hpp"
 #include "engine/engine.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -47,6 +56,11 @@ namespace {
 
 using namespace depstor;
 namespace fs = std::filesystem;
+
+bool env_flag_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
 
 std::vector<DesignJob> jobs_from_env_dir(const std::string& dir,
                                          const DesignSolverOptions& options) {
@@ -172,11 +186,37 @@ int main(int argc, char** argv) {
     engine.enable_cache = !flags.get_bool("no-cache", false);
     const std::string out_dir = flags.get_string("out", "");
     const bool csv = flags.get_bool("csv", false);
+    std::string trace_path = flags.get_string("trace-out", "");
+    const bool show_stats =
+        flags.get_bool("stats", false) || env_flag_set("DEPSTOR_STATS");
     flags.reject_unknown();
+
+    if (!trace_path.empty()) {
+      obs::set_trace_enabled(true);
+    } else if (obs::trace_enabled()) {
+      trace_path = "depstor_trace.json";  // DEPSTOR_TRACE without --trace-out
+    }
 
     std::cout << "== depstor_batch: " << jobs.size() << " jobs ==\n\n";
     const BatchReport report =
         DesignTool::design_batch(std::move(jobs), engine);
+
+    if (!trace_path.empty()) {
+      std::ofstream trace_file(trace_path);
+      obs::write_chrome_trace(trace_file);
+      const obs::TraceStats ts = obs::trace_stats();
+      std::cout << "wrote " << trace_path << " (" << ts.recorded << " spans, "
+                << ts.threads << " threads";
+      if (ts.dropped > 0) {
+        std::cout << ", " << ts.dropped
+                  << " dropped — raise DEPSTOR_TRACE_BUFFER";
+      }
+      std::cout << ")\n\n";
+    }
+    if (show_stats) {
+      std::cout << "Counters after batch:\n"
+                << obs::counters().render_text() << "\n";
+    }
 
     Table table({"Job", "Status", "Total/yr", "Nodes", "Cache hits",
                  "Queue ms", "Run ms"});

@@ -14,6 +14,15 @@
 //   --sites=N --links=N     (multi only; defaults 4 / 6)
 //   --object-rate --disk-rate --site-rate --regional-rate   (per year)
 //   --time-budget-ms --seed
+//
+// Observability (design command):
+//   --trace-out=<path>      record spans during the solve and write a Chrome
+//                           trace_event JSON file (chrome://tracing, Perfetto)
+//   --stats                 print the counter registry after the solve
+//   DEPSTOR_TRACE=1         env toggle: record spans; without --trace-out the
+//                           trace lands in ./depstor_trace.json
+//   DEPSTOR_STATS=1         env toggle for --stats
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -21,6 +30,8 @@
 #include "core/env_loader.hpp"
 #include "core/report.hpp"
 #include "core/scenarios.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/monte_carlo.hpp"
 #include "solver/parallel.hpp"
 #include "util/cli.hpp"
@@ -30,6 +41,26 @@
 namespace {
 
 using namespace depstor;
+
+bool env_flag_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// Write the recorded spans + counter snapshot; reports drops so a truncated
+/// trace is never mistaken for a complete one.
+void write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  obs::write_chrome_trace(out);
+  const obs::TraceStats stats = obs::trace_stats();
+  std::cout << "\nwrote " << path << " (" << stats.recorded << " spans, "
+            << stats.threads << " threads";
+  if (stats.dropped > 0) {
+    std::cout << ", " << stats.dropped
+              << " dropped — raise DEPSTOR_TRACE_BUFFER";
+  }
+  std::cout << ")\n";
+}
 
 Environment environment_from_flags(const CliFlags& flags) {
   const std::string env_path = flags.get_string("env", "");
@@ -68,12 +99,26 @@ int cmd_design(const CliFlags& flags, Environment env) {
   const std::string json_path = flags.get_string("json", "");
   const bool show_recovery = flags.get_bool("recovery-report", false);
   const bool show_threats = flags.get_bool("threat-report", false);
+  std::string trace_path = flags.get_string("trace-out", "");
+  const bool show_stats =
+      flags.get_bool("stats", false) || env_flag_set("DEPSTOR_STATS");
   flags.reject_unknown();
+
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(true);
+  } else if (obs::trace_enabled()) {
+    trace_path = "depstor_trace.json";  // DEPSTOR_TRACE=1 without --trace-out
+  }
 
   DesignTool tool(std::move(env));
   const SolveResult result =
       workers > 1 ? solve_parallel(&tool.env(), options, workers)
                   : tool.design(options);
+  if (!trace_path.empty()) write_trace_file(trace_path);
+  if (show_stats) {
+    std::cout << "\nCounters after solve:\n"
+              << obs::counters().render_text();
+  }
   if (!result.feasible) {
     std::cout << "no feasible design found within the budget\n";
     return 1;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "cost/outlay.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
@@ -186,6 +187,11 @@ bool IncrementalEvaluator::evaluate(CostBreakdown& out,
     details_[i].app_id = static_cast<int>(i);
   }
 
+  // One span for the whole scenario pass (per-scenario spans would dominate
+  // the ring in incremental mode); the arg reports how many scenarios were
+  // actually re-simulated vs served from cache.
+  DEPSTOR_TRACE_SPAN_NAMED(sim_span, "scenario_sim");
+  std::int64_t simulated_here = 0;
   bool reused_any = false;
   for (std::size_t i = 0; i < scenarios_.size(); ++i) {
     const ScenarioSpec& scenario = scenarios_[i];
@@ -224,6 +230,7 @@ bool IncrementalEvaluator::evaluate(CostBreakdown& out,
         rebuild_footprint(entry, scenario, assignments);
       }
       entry.valid = true;
+      ++simulated_here;
       if (stats != nullptr) ++stats->scenarios_simulated;
     } else {
       reused_any = true;
@@ -242,6 +249,8 @@ bool IncrementalEvaluator::evaluate(CostBreakdown& out,
           scenario.annual_rate * res.loss_hours * app.loss_penalty_rate;
     }
   }
+
+  sim_span.set_arg(simulated_here);
 
   // Outlay, scoped to dirty devices. Each cached slot holds exactly
   // annual_device_outlay(pool, id, params); the final sum replicates

@@ -1,5 +1,7 @@
 #include "cost/penalty.hpp"
 
+#include "obs/trace.hpp"
+
 namespace depstor {
 
 std::vector<AppPenaltyDetail> compute_penalties(
@@ -11,9 +13,14 @@ std::vector<AppPenaltyDetail> compute_penalties(
     details[i].app_id = static_cast<int>(i);
   }
 
+  // Full (non-incremental) evaluation path: one span for the scenario pass,
+  // arg = number of scenarios simulated.
+  DEPSTOR_TRACE_SPAN_NAMED(sim_span, "scenario_sim");
+  std::int64_t simulated = 0;
   for (const auto& scenario :
        enumerate_scenarios(apps, assignments, pool, failures)) {
     if (scenario.annual_rate <= 0.0) continue;
+    ++simulated;
     for (const auto& res :
          simulate_recovery(scenario, apps, assignments, pool, params)) {
       const auto& app = apps.at(static_cast<std::size_t>(res.app_id));
@@ -26,6 +33,7 @@ std::vector<AppPenaltyDetail> compute_penalties(
           scenario.annual_rate * res.loss_hours * app.loss_penalty_rate;
     }
   }
+  sim_span.set_arg(simulated);
   return details;
 }
 

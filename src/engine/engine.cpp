@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "analysis/audit.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -65,7 +67,11 @@ int BatchEngine::submit(DesignJob job) {
     records_.push_back(std::move(rec));
   }
   metrics_.on_submit();
-  pool_.submit([this, raw] { run_job(*raw); });
+  // The pool only rejects pushes after its queue is closed, which the engine
+  // never does while records can still be submitted — losing a task here
+  // would strand the record in Queued and hang wait_all().
+  const bool accepted = pool_.submit([this, raw] { run_job(*raw); });
+  DEPSTOR_ENSURES_MSG(accepted, "engine worker pool rejected a job submit");
   return raw->id;
 }
 
@@ -77,6 +83,7 @@ std::vector<int> BatchEngine::submit_all(std::vector<DesignJob> jobs) {
 }
 
 void BatchEngine::run_job(Record& rec) {
+  DEPSTOR_TRACE_SPAN("job", rec.id);
   const auto started = Clock::now();
   rec.queue_ms = ms_between(rec.submitted, started);
 
@@ -125,6 +132,23 @@ void BatchEngine::run_job(Record& rec) {
   metrics_.on_finish(final_status, rec.solve.nodes_evaluated,
                      rec.solve.evaluations, rec.solve.scenarios_simulated,
                      rec.solve.scenarios_reused, rec.queue_ms + rec.run_ms);
+  obs::counters().add("engine.jobs_finished", 1);
+  switch (final_status) {
+    case JobStatus::Completed:
+      obs::counters().add("engine.jobs_completed", 1);
+      break;
+    case JobStatus::Failed:
+      obs::counters().add("engine.jobs_failed", 1);
+      break;
+    case JobStatus::Cancelled:
+      obs::counters().add("engine.jobs_cancelled", 1);
+      break;
+    case JobStatus::Expired:
+      obs::counters().add("engine.jobs_expired", 1);
+      break;
+    default:
+      break;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     rec.status.store(final_status, std::memory_order_release);

@@ -4,14 +4,15 @@
 
 namespace depstor {
 
-void TaskQueue::push(Task task) {
+bool TaskQueue::push(Task task) {
   DEPSTOR_EXPECTS(task != nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    DEPSTOR_ENSURES_MSG(!closed_, "push on a closed task queue");
+    if (closed_) return false;
     tasks_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 std::optional<TaskQueue::Task> TaskQueue::pop() {

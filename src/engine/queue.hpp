@@ -19,8 +19,10 @@ class TaskQueue {
  public:
   using Task = std::function<void()>;
 
-  /// Enqueue a task. Throws InternalError after close().
-  void push(Task task);
+  /// Enqueue a task. Returns false (and drops the task) once the queue has
+  /// been closed — a submit racing shutdown is a caller-visible rejection,
+  /// not a silent drop, so the caller can roll back its own bookkeeping.
+  [[nodiscard]] bool push(Task task);
 
   /// Blocking dequeue: returns the next task, or nullopt once the queue is
   /// closed *and* drained (the worker-thread exit signal).

@@ -21,17 +21,32 @@ WorkerPool::WorkerPool(int workers) {
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::stop() {
   queue_.close();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void WorkerPool::submit(TaskQueue::Task task) {
+bool WorkerPool::submit(TaskQueue::Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++unfinished_;
   }
-  queue_.push(std::move(task));
+  if (!queue_.push(std::move(task))) {
+    // The submit raced stop()/destruction: the task was rejected, so the
+    // count must roll back — otherwise wait_idle() waits forever for a task
+    // that will never run.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --unfinished_;
+    }
+    idle_cv_.notify_all();
+    return false;
+  }
+  return true;
 }
 
 void WorkerPool::wait_idle() {

@@ -27,7 +27,15 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  void submit(TaskQueue::Task task);
+  /// Enqueue a task. Returns false when the pool has been stopped (or its
+  /// destructor is racing the submit): the task is rejected, the pending
+  /// count rolled back, and wait_idle() cannot hang on work that will never
+  /// run. Callers that require acceptance assert on the result.
+  [[nodiscard]] bool submit(TaskQueue::Task task);
+
+  /// Stop accepting submits, drain the queue, and join the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
 
   /// Block until every submitted task has finished (the queue is empty and
   /// no worker is mid-task). Further submits remain allowed.

@@ -1,0 +1,103 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace depstor::obs {
+
+std::atomic<std::int64_t>& CounterRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<std::atomic<std::int64_t>>(0);
+  return *cell;
+}
+
+void CounterRegistry::add(const std::string& name, std::int64_t delta) {
+  counter(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void CounterRegistry::set_gauge(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+std::int64_t CounterRegistry::value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
+}
+
+double CounterRegistry::gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+CounterRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, double>> CounterRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::string CounterRegistry::render_text() const {
+  const auto counter_rows = counters();
+  const auto gauge_rows = gauges();
+  std::size_t width = 0;
+  for (const auto& [name, _] : counter_rows) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauge_rows) width = std::max(width, name.size());
+
+  std::ostringstream os;
+  for (const auto& [name, value] : counter_rows) {
+    os << name << std::string(width - name.size() + 2, ' ') << value << "\n";
+  }
+  for (const auto& [name, value] : gauge_rows) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", value);
+    os << name << std::string(width - name.size() + 2, ' ') << buf << "\n";
+  }
+  return os.str();
+}
+
+void CounterRegistry::to_json(JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : counters()) {
+    json.field(name, static_cast<long long>(value));
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges()) {
+    json.field(name, value);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void CounterRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  gauges_.clear();
+}
+
+CounterRegistry& counters() {
+  static CounterRegistry* instance = new CounterRegistry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace depstor::obs

@@ -1,0 +1,84 @@
+// Central counter/gauge registry: one process-wide home for the counters
+// that used to live ad hoc in SolveResult, the engine metrics, and the
+// incremental-evaluation stats.
+//
+// Counters are monotonic int64 cells, registered by name on first use; the
+// returned atomic reference stays valid for the process lifetime, so hot
+// paths resolve the name once (function-local static) and then pay a single
+// relaxed fetch_add. Truly hot per-evaluation counts keep their existing
+// per-solve struct counters (no shared cache line in the inner loops) and
+// are *published* into the registry at end of solve — the registry is the
+// aggregation and reporting layer, not a replacement for per-solve stats.
+//
+// Gauges are last-write-wins doubles for end-of-solve readings (stage
+// timings, hit rates). dump: render_text() for humans, to_json() for
+// machines; both are also embedded in the Chrome trace export so one file
+// carries the timeline and the counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depstor {
+
+class JsonWriter;
+
+namespace obs {
+
+class CounterRegistry {
+ public:
+  /// The named counter cell, created at zero on first use. The reference
+  /// remains valid forever — cache it and fetch_add(relaxed) on hot paths.
+  std::atomic<std::int64_t>& counter(const std::string& name);
+
+  /// Convenience one-shot add (registration + relaxed add).
+  void add(const std::string& name, std::int64_t delta);
+
+  /// Last-write-wins gauge.
+  void set_gauge(const std::string& name, double value);
+
+  /// Current value; 0 when the counter was never registered.
+  std::int64_t value(const std::string& name) const;
+  /// NaN-free read; 0.0 when the gauge was never set.
+  double gauge(const std::string& name) const;
+
+  /// Name-sorted snapshots.
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  /// Aligned "name  value" listing of every counter, then every gauge.
+  std::string render_text() const;
+
+  /// {"counters": {...}, "gauges": {...}} as a JSON object value (caller
+  /// owns the surrounding structure).
+  void to_json(JsonWriter& json) const;
+
+  /// Zero every counter and drop every gauge (registrations survive, so
+  /// cached references stay valid). For tests and batch-run boundaries.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// The process-wide registry.
+CounterRegistry& counters();
+
+}  // namespace obs
+}  // namespace depstor
+
+/// Hot-path increment: resolves the cell once per call site.
+#define DEPSTOR_COUNTER_ADD(name, delta)                                \
+  do {                                                                  \
+    static std::atomic<std::int64_t>& depstor_obs_cell =                \
+        ::depstor::obs::counters().counter(name);                       \
+    depstor_obs_cell.fetch_add((delta), std::memory_order_relaxed);     \
+  } while (0)

@@ -1,0 +1,204 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/json.hpp"
+
+namespace depstor::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int64_t arg = 0;
+  bool has_arg = false;
+};
+
+std::size_t ring_capacity() {
+  static const std::size_t capacity = [] {
+    if (const char* v = std::getenv("DEPSTOR_TRACE_BUFFER")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return static_cast<std::size_t>(1) << 18;  // 256k events/thread, ~10 MB
+  }();
+  return capacity;
+}
+
+/// One thread's span buffer. Single producer (its thread); the mutex makes
+/// the exporter's concurrent read safe. Storage grows on demand up to the
+/// fixed capacity, then wraps, overwriting the oldest events.
+struct TraceRing {
+  explicit TraceRing(int tid) : tid(tid) {}
+
+  void push(const TraceEvent& event) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < ring_capacity()) {
+      events.push_back(event);
+    } else {
+      events[next % events.size()] = event;
+      ++dropped;
+    }
+    ++next;
+  }
+
+  const int tid;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::size_t next = 0;  ///< total pushes; next % size() = oldest slot
+  std::int64_t dropped = 0;
+};
+
+/// Global ring registry. Rings are never destroyed (threads may outlive a
+/// clear; the thread_local below holds a raw pointer into this list).
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceRing>> rings;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  TraceRing* ring_for_current_thread() {
+    thread_local TraceRing* ring = nullptr;
+    if (ring == nullptr) {
+      const std::lock_guard<std::mutex> lock(mu);
+      rings.push_back(
+          std::make_unique<TraceRing>(static_cast<int>(rings.size())));
+      ring = rings.back().get();
+    }
+    return ring;
+  }
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* instance = new TraceRegistry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_trace_state{-1};
+
+bool trace_enabled_slow() {
+  const char* v = std::getenv("DEPSTOR_TRACE");
+  const bool on = v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+  int expected = -1;
+  g_trace_state.compare_exchange_strong(expected, on ? 1 : 0,
+                                        std::memory_order_relaxed);
+  return g_trace_state.load(std::memory_order_relaxed) != 0;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - registry().epoch)
+      .count();
+}
+
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                 std::int64_t arg, bool has_arg) {
+  registry().ring_for_current_thread()->push(
+      {name, start_ns, end_ns - start_ns, arg, has_arg});
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+TraceStats trace_stats() {
+  TraceStats stats;
+  TraceRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->next == 0) continue;
+    ++stats.threads;
+    stats.recorded += static_cast<std::int64_t>(ring->events.size());
+    stats.dropped += ring->dropped;
+  }
+  return stats;
+}
+
+void clear_trace() {
+  TraceRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+
+  TraceRegistry& reg = registry();
+  TraceStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mu);
+      if (ring->next == 0) continue;
+      ++stats.threads;
+      stats.dropped += ring->dropped;
+      // Oldest first: once the ring has wrapped, the oldest surviving event
+      // sits at next % size().
+      const std::size_t count = ring->events.size();
+      const std::size_t first =
+          ring->next > count ? ring->next % count : 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const TraceEvent& e = ring->events[(first + i) % count];
+        ++stats.recorded;
+        json.begin_object()
+            .field("name", e.name)
+            .field("cat", "depstor")
+            .field("ph", "X")
+            .field("ts", static_cast<double>(e.start_ns) / 1000.0)
+            .field("dur", static_cast<double>(e.dur_ns) / 1000.0)
+            .field("pid", 1)
+            .field("tid", ring->tid);
+        if (e.has_arg) {
+          json.key("args")
+              .begin_object()
+              .field("v", static_cast<long long>(e.arg))
+              .end_object();
+        }
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.key("counters");
+  counters().to_json(json);
+  json.key("traceStats")
+      .begin_object()
+      .field("recorded", static_cast<long long>(stats.recorded))
+      .field("dropped", static_cast<long long>(stats.dropped))
+      .field("threads", stats.threads)
+      .end_object();
+  json.end_object();
+  os << json.str() << "\n";
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace depstor::obs

@@ -1,0 +1,121 @@
+// Span-based tracing with a Chrome trace_event JSON exporter.
+//
+// DEPSTOR_TRACE_SPAN("refit") opens an RAII span: construction stamps a
+// monotonic-clock start, destruction records the completed span into a
+// per-thread ring buffer. The exporter assembles every thread's ring into a
+// chrome://tracing / Perfetto-loadable JSON document ("X" complete events,
+// microsecond timestamps), so a solve's greedy/refit/sweep/increment/
+// scenario-simulation phase structure is directly visible on a timeline.
+//
+// Cost discipline (the solver evaluates millions of candidates):
+//  - disabled (the default), a span site costs one relaxed atomic load and
+//    a branch — no clock read, no allocation;
+//  - enabled, a span costs two steady_clock reads plus a short critical
+//    section on its thread's ring (uncontended except during export).
+//
+// Ring buffers are fixed-capacity (DEPSTOR_TRACE_BUFFER overrides the
+// per-thread event count) and overwrite their oldest events, keeping the
+// tail of the run; the exporter reports how many events were dropped so a
+// truncated trace is never mistaken for a complete one. Thread ids are
+// assigned in registration order and stay stable for the process lifetime.
+//
+// Toggles: set_trace_enabled() programmatically, or DEPSTOR_TRACE=1 in the
+// environment (read once, on the first span site hit or enabled() query).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace depstor::obs {
+
+namespace detail {
+/// -1 = not yet resolved (DEPSTOR_TRACE pending), 0 = off, 1 = on.
+extern std::atomic<int> g_trace_state;
+bool trace_enabled_slow();
+std::int64_t now_ns();
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                 std::int64_t arg, bool has_arg);
+}  // namespace detail
+
+/// Fast check used by every span site.
+inline bool trace_enabled() {
+  const int s = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::trace_enabled_slow();
+}
+
+/// Programmatic override (wins over DEPSTOR_TRACE).
+void set_trace_enabled(bool on);
+
+/// RAII span. `name` must be a string literal (the ring stores the pointer).
+/// The optional arg lands in the exported event's args ("v") — job ids,
+/// app ids, simulated-scenario counts.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      start_ns_ = detail::now_ns();
+    }
+  }
+  TraceSpan(const char* name, std::int64_t arg) : TraceSpan(name) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_ns_, detail::now_ns(), arg_, has_arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach/replace the arg after construction (e.g. a count known only at
+  /// scope exit). No-op when tracing was off at construction.
+  void set_arg(std::int64_t arg) {
+    if (name_ != nullptr) {
+      arg_ = arg;
+      has_arg_ = true;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< null = tracing was off at construction
+  std::int64_t start_ns_ = 0;
+  std::int64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+struct TraceStats {
+  std::int64_t recorded = 0;  ///< events currently held in the rings
+  std::int64_t dropped = 0;   ///< events overwritten by ring wrap-around
+  int threads = 0;            ///< threads that recorded at least one span
+};
+TraceStats trace_stats();
+
+/// Drop every buffered event (thread ids keep their assignments).
+void clear_trace();
+
+/// Write the buffered spans as a Chrome trace_event JSON document:
+/// {"traceEvents":[...], "displayTimeUnit":"ms", "counters":{...},
+///  "traceStats":{...}}. The counter registry snapshot rides along so one
+/// file carries both the timeline and the end-of-solve counters.
+void write_chrome_trace(std::ostream& os);
+std::string chrome_trace_json();
+
+}  // namespace depstor::obs
+
+#define DEPSTOR_OBS_CONCAT_(a, b) a##b
+#define DEPSTOR_OBS_CONCAT(a, b) DEPSTOR_OBS_CONCAT_(a, b)
+
+/// Open a span covering the rest of the enclosing scope.
+/// DEPSTOR_TRACE_SPAN("sweep") or DEPSTOR_TRACE_SPAN("sweep", app_id).
+#define DEPSTOR_TRACE_SPAN(...)                             \
+  const ::depstor::obs::TraceSpan DEPSTOR_OBS_CONCAT(       \
+      depstor_trace_span_, __LINE__)(__VA_ARGS__)
+
+/// Same, but named so the scope can call set_arg on it later.
+#define DEPSTOR_TRACE_SPAN_NAMED(var, ...) \
+  ::depstor::obs::TraceSpan var(__VA_ARGS__)

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "model/recovery_sim.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -43,7 +45,12 @@ struct PendingEvent {
 };
 
 double exponential_hours(Rng& rng, double annual_rate) {
-  // Inter-arrival of a Poisson process with `annual_rate` events/year.
+  // Inter-arrival of a Poisson process with `annual_rate` events/year. A
+  // zero (or negative) rate has no arrivals: dividing by it would inject
+  // inf/NaN event times into the event queue, so callers must skip those
+  // scenarios instead of sampling them.
+  DEPSTOR_EXPECTS_MSG(annual_rate > 0.0,
+                      "exponential_hours needs a positive annual rate");
   return -std::log(1.0 - rng.uniform()) / annual_rate *
          units::kHoursPerYear;
 }
@@ -52,6 +59,7 @@ double exponential_hours(Rng& rng, double annual_rate) {
 
 MonteCarloResult MonteCarloSimulator::run(
     const Candidate& candidate, const MonteCarloOptions& options) const {
+  DEPSTOR_TRACE_SPAN_NAMED(run_span, "mc_run");
   options.validate();
   candidate.check_feasible();
 
@@ -88,6 +96,8 @@ MonteCarloResult MonteCarloSimulator::run(
     const ScenarioSpec& scenario = scenarios[event.scenario_index];
     ++result.events;
 
+    DEPSTOR_TRACE_SPAN("scenario_sim",
+                       static_cast<std::int64_t>(event.scenario_index));
     const auto recoveries =
         simulate_recovery(scenario, env_->apps, candidate.assignments(),
                           candidate.pool(), env_->params);
@@ -132,6 +142,9 @@ MonteCarloResult MonteCarloSimulator::run(
                     exponential_hours(rng, scenario.annual_rate),
                 event.scenario_index});
   }
+  run_span.set_arg(result.events);
+  obs::counters().add("mc.runs", 1);
+  obs::counters().add("mc.events", result.events);
   return result;
 }
 

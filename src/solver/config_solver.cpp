@@ -5,6 +5,7 @@
 
 #include "analysis/audit.hpp"
 #include "engine/eval_cache.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
@@ -41,6 +42,7 @@ class ProbeScope {
 
  private:
   Candidate& candidate_;
+  obs::TraceSpan span_{"probe"};
 };
 
 /// RAII stage timer: adds the scope's wall time to `sink` on exit.
@@ -70,6 +72,7 @@ ConfigSolver::ConfigSolver(const Environment* env, EvalCache* cache)
 }
 
 CostBreakdown ConfigSolver::evaluate(const Candidate& candidate) const {
+  DEPSTOR_TRACE_SPAN("eval");
   const StageTimer timer(stats_.eval_ms);
   ++stats_.evaluations;
   if (cache_ == nullptr) return candidate.evaluate(&stats_.incremental);
@@ -128,6 +131,7 @@ CostBreakdown ConfigSolver::solve_increments_only(Candidate& candidate) const {
 }
 
 void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
+  DEPSTOR_TRACE_SPAN("sweep", app_id);
   const StageTimer timer(stats_.sweep_ms);
   // The discretized grid: snapshot interval × backup interval × cycle
   // style (full-only, or full+incrementals at each allowed incremental
@@ -178,6 +182,7 @@ void ConfigSolver::sweep_app(Candidate& candidate, int app_id) const {
 CostBreakdown ConfigSolver::increment_resources(
     Candidate& candidate,
     const std::optional<std::vector<int>>& devices) const {
+  DEPSTOR_TRACE_SPAN("increment");
   const StageTimer timer(stats_.increment_ms);
   CostBreakdown current = evaluate(candidate);
 

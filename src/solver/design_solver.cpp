@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "analysis/audit.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -36,6 +38,7 @@ DesignSolver::DesignSolver(const Environment* env, DesignSolverOptions options)
 }
 
 SolveResult DesignSolver::solve() {
+  DEPSTOR_TRACE_SPAN("solve");
   const auto start = Clock::now();
   SolveResult result;
   Rng rng(options_.seed);
@@ -63,6 +66,7 @@ SolveResult DesignSolver::solve() {
   };
 
   auto reconfig_step = [&](Node& node) -> bool {
+    DEPSTOR_TRACE_SPAN("reconfigure");
     const int app =
         reconfigurator.pick_app_to_reconfigure(node.candidate, node.cost);
     if (!reconfigurator.reconfigure_app(node.candidate, app)) return false;
@@ -72,6 +76,7 @@ SolveResult DesignSolver::solve() {
 
   // ---- Stage 1: greedy best-fit (Algorithm 1 lines 3-8) ----
   auto greedy_stage = [&]() -> std::optional<Node> {
+    DEPSTOR_TRACE_SPAN("greedy");
     for (int restart = 0; restart < options_.max_greedy_restarts; ++restart) {
       ++result.greedy_restarts;
       Candidate cand(env_);
@@ -120,6 +125,7 @@ SolveResult DesignSolver::solve() {
   // level's best even when it is worse than the current node (that is how
   // the search escapes local minima). Returns the best node seen.
   auto refit_stage = [&](Node start_node) -> Node {
+    DEPSTOR_TRACE_SPAN("refit");
     Node best = std::move(start_node);
     for (int iter = 0; iter < options_.max_refit_iterations; ++iter) {
       if (out_of_time()) break;
@@ -188,6 +194,23 @@ SolveResult DesignSolver::solve() {
     result.eval_ms = config_solver.stats().eval_ms;
     result.sweep_ms = config_solver.stats().sweep_ms;
     result.increment_ms = config_solver.stats().increment_ms;
+
+    // Publish the per-solve counters into the central registry (obs/counters)
+    // — one end-of-solve batch of adds, never per-node traffic, so the hot
+    // loops share no cache line across solver threads.
+    auto& reg = obs::counters();
+    reg.add("solver.solves", 1);
+    reg.add("solver.nodes_evaluated", result.nodes_evaluated);
+    reg.add("solver.greedy_restarts", result.greedy_restarts);
+    reg.add("solver.refit_iterations", result.refit_iterations);
+    reg.add("solver.evaluations", result.evaluations);
+    reg.add("solver.cache_hits", result.cache_hits);
+    reg.add("solver.cache_misses", result.cache_misses);
+    reg.add("solver.scenarios_simulated", result.scenarios_simulated);
+    reg.add("solver.scenarios_reused", result.scenarios_reused);
+    reg.set_gauge("solver.last_eval_ms", result.eval_ms);
+    reg.set_gauge("solver.last_sweep_ms", result.sweep_ms);
+    reg.set_gauge("solver.last_increment_ms", result.increment_ms);
   };
 
   if (!global_best) {
@@ -199,7 +222,10 @@ SolveResult DesignSolver::solve() {
   // Final polish: one full configuration pass over the winner (scoped
   // per-node passes may have left cross-application interval interactions
   // unexplored).
-  global_best->cost = config_solver.solve(global_best->candidate);
+  {
+    DEPSTOR_TRACE_SPAN("polish");
+    global_best->cost = config_solver.solve(global_best->candidate);
+  }
   result.elapsed_ms = elapsed_ms(start);
   finish_stats();
 

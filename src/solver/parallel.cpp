@@ -19,13 +19,14 @@ std::vector<Result> run_workers(int workers, const Job& job) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
   WorkerPool pool(workers);
   for (int k = 0; k < workers; ++k) {
-    pool.submit([&results, &errors, &job, k] {
+    const bool accepted = pool.submit([&results, &errors, &job, k] {
       try {
         results[static_cast<std::size_t>(k)] = job(k);
       } catch (...) {
         errors[static_cast<std::size_t>(k)] = std::current_exception();
       }
     });
+    DEPSTOR_ENSURES_MSG(accepted, "worker pool rejected a submit before stop");
   }
   pool.wait_idle();
   for (const auto& e : errors) {

@@ -24,10 +24,19 @@ std::size_t LogHistogram::bin_of(double x) const {
 
 void LogHistogram::add(double x) {
   DEPSTOR_EXPECTS_MSG(x > 0.0, "log histogram needs positive samples");
-  if (x < lo_) ++underflow_;
-  if (x >= bin_lower(counts_.size())) ++overflow_;
-  ++counts_[bin_of(x)];
   ++total_;
+  // Out-of-range samples are tracked only by the under/overflow counters —
+  // counting them into the edge bins as well made total() ambiguous and let
+  // far-out-of-range mass skew quantile() into the edge bins' interiors.
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= bin_lower(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin_of(x)];
 }
 
 double LogHistogram::bin_lower(std::size_t bin) const {
@@ -43,7 +52,10 @@ double LogHistogram::quantile(double q) const {
   DEPSTOR_EXPECTS(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return 0.0;
   const double target = q * static_cast<double>(total_);
-  std::size_t cumulative = 0;
+  // Mass order: underflow (resolved to lo), the bins, overflow (resolved to
+  // hi after the loop falls through).
+  if (underflow_ > 0 && target <= static_cast<double>(underflow_)) return lo_;
+  std::size_t cumulative = underflow_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
     const std::size_t before = cumulative;

@@ -2,8 +2,15 @@
 //
 // Solution costs span more than an order of magnitude (paper §4.3.1), so the
 // distribution is binned geometrically. The histogram is streaming: bins are
-// fixed at construction and samples outside the range land in clamped
-// first/last bins (tracked separately as under/overflow counts).
+// fixed at construction.
+//
+// Out-of-range semantics (one semantic, exactly): a sample below `lo` or at/
+// above `hi` is counted *only* by underflow()/overflow() — it lands in no
+// bin, so sum(count(i)) is exactly the in-range sample count and
+// total() == sum(counts) + underflow() + overflow(). quantile() spans the
+// full mass, resolving underflow mass to `lo` and overflow mass to `hi`
+// (saturation, not interpolation), so out-of-range samples can never skew a
+// quantile into the interior of an edge bin.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +28,9 @@ class LogHistogram {
 
   std::size_t bin_count() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// Every sample ever added (in-range + underflow + overflow).
   std::size_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi. Exclusive with the bin counts.
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
 
@@ -37,7 +46,9 @@ class LogHistogram {
 
   /// Value below which a fraction `q` of the samples fall, log-interpolated
   /// within the containing bin (so p50/p95 stay meaningful with coarse
-  /// bins). Returns 0 when the histogram is empty.
+  /// bins). Spans the full mass: quantiles falling in the underflow mass
+  /// return `lo`, in the overflow mass `hi`. Returns 0 when the histogram
+  /// is empty.
   double quantile(double q) const;
 
   /// Render an ASCII bar chart, one row per bin, bars scaled to `width`.

@@ -1,5 +1,8 @@
 #include "util/ini.hpp"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/check.hpp"
@@ -21,6 +24,15 @@ std::string trim(const std::string& s) {
                         key + "'");
 }
 
+/// Lint-style locus error for a value that does not parse as the requested
+/// numeric type: section + declaration line + key + the offending token.
+[[noreturn]] void bad_number(const IniSection& section, const std::string& key,
+                             const std::string& raw, const char* expected) {
+  throw InvalidArgument("[" + section.name + "] (line " +
+                        std::to_string(section.line) + ") " + key +
+                        " is not " + expected + ": '" + raw + "'");
+}
+
 }  // namespace
 
 std::string IniSection::get_string(const std::string& key) const {
@@ -37,10 +49,20 @@ std::string IniSection::get_string_or(const std::string& key,
 
 double IniSection::get_double(const std::string& key) const {
   const std::string raw = get_string(key);
+  // strtod alone is too permissive for config files: it parses a numeric
+  // prefix (so `3.5abc` yielded 3.5), turns an empty value into 0.0 (end ==
+  // start, *end == '\0'), and accepts inf/nan tokens that poison every
+  // downstream cost sum. Require the whole non-empty token to be consumed
+  // and the result to be finite.
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(raw.c_str(), &end);
-  DEPSTOR_EXPECTS_MSG(end && *end == '\0',
-                      "[" + name + "] " + key + " is not a number: " + raw);
+  if (raw.empty() || end != raw.c_str() + raw.size()) {
+    bad_number(*this, key, raw, "a number");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    bad_number(*this, key, raw, "a finite number");
+  }
   return v;
 }
 
@@ -52,9 +74,14 @@ double IniSection::get_double_or(const std::string& key,
 int IniSection::get_int(const std::string& key) const {
   const std::string raw = get_string(key);
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(raw.c_str(), &end, 10);
-  DEPSTOR_EXPECTS_MSG(end && *end == '\0',
-                      "[" + name + "] " + key + " is not an integer: " + raw);
+  if (raw.empty() || end != raw.c_str() + raw.size()) {
+    bad_number(*this, key, raw, "an integer");
+  }
+  if (errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+    bad_number(*this, key, raw, "an int-range integer");
+  }
   return static_cast<int>(v);
 }
 

@@ -1,7 +1,10 @@
 #include "util/json.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
@@ -146,6 +149,330 @@ void JsonWriter::write_escaped(const std::string& s) {
     }
   }
   out_ += '"';
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// The one path allowed to mutate a JsonValue: the parser writes fields
+/// through these accessors, everything else reads through the public API.
+struct JsonValueBuilder {
+  static JsonValue::Type& type(JsonValue& v) { return v.type_; }
+  static bool& boolean(JsonValue& v) { return v.bool_; }
+  static double& number(JsonValue& v) { return v.number_; }
+  static std::string& string(JsonValue& v) { return v.string_; }
+  static std::vector<JsonValue>& items(JsonValue& v) { return v.items_; }
+  static std::vector<std::pair<std::string, JsonValue>>& members(
+      JsonValue& v) {
+    return v.members_;
+  }
+};
+
+namespace {
+
+using B = JsonValueBuilder;
+
+[[noreturn]] void bad_type(const char* want, JsonValue::Type got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw InvalidArgument(std::string("JSON value is not ") + want + " (it is " +
+                        names[static_cast<int>(got)] + ")");
+}
+
+/// Recursive-descent RFC 8259 parser over a string. `pos_` is the byte
+/// offset used as the error locus.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("JSON parse error at offset " +
+                          std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{':
+        v = parse_object();
+        break;
+      case '[':
+        v = parse_array();
+        break;
+      case '"':
+        B::type(v) = JsonValue::Type::String;
+        B::string(v) = parse_string();
+        break;
+      case 't':
+      case 'f':
+        B::type(v) = JsonValue::Type::Bool;
+        if (consume_literal("true")) {
+          B::boolean(v) = true;
+        } else if (consume_literal("false")) {
+          B::boolean(v) = false;
+        } else {
+          fail("invalid literal");
+        }
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        break;
+      default:
+        B::type(v) = JsonValue::Type::Number;
+        B::number(v) = parse_number();
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    B::type(v) = JsonValue::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      const auto dup = std::find_if(
+          B::members(v).begin(), B::members(v).end(),
+          [&](const auto& member) { return member.first == key; });
+      if (dup != B::members(v).end()) fail("duplicate object key: " + key);
+      skip_ws();
+      expect(':');
+      B::members(v).emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    B::type(v) = JsonValue::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      B::items(v).push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = peek();
+            ++pos_;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (surrogate pairs are not combined: the writer only
+          // emits \u for C0 controls, which is all the tests need).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return std::strtod(text_.c_str() + start, nullptr);
+  }
+
+  static constexpr int kMaxDepth = 256;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) bad_type("a bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::Number) bad_type("a number", type_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) bad_type("a string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::Array) bad_type("an array", type_);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::Object) bad_type("an object", type_);
+  return members_;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return value;
+  }
+  throw InvalidArgument("JSON object has no member '" + key + "'");
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const auto& list = items();
+  if (index >= list.size()) {
+    throw InvalidArgument("JSON array index " + std::to_string(index) +
+                          " out of range (size " +
+                          std::to_string(list.size()) + ")");
+  }
+  return list[index];
+}
+
+std::size_t JsonValue::size() const {
+  return type_ == Type::Array ? items().size() : members().size();
+}
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace depstor

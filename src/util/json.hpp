@@ -1,12 +1,21 @@
-// Minimal JSON *writer* for depstor's machine-readable reports.
+// Minimal JSON writer + parser for depstor's machine-readable reports.
 //
-// Writer only — depstor never parses JSON. The builder keeps an explicit
-// stack of open containers, validates the grammar (keys only inside
-// objects, values only where a value may appear), and escapes strings per
-// RFC 8259. Numbers are emitted with enough digits to round-trip doubles.
+// The writer is the production path: it keeps an explicit stack of open
+// containers, validates the grammar (keys only inside objects, values only
+// where a value may appear), and escapes strings per RFC 8259. Numbers are
+// emitted with enough digits to round-trip doubles.
+//
+// The parser (JsonValue / parse_json) exists for depstor's own artifacts —
+// round-trip tests over the Chrome trace export and the batch/bench JSON —
+// so the emitters are verified against a real reader, not by substring
+// matching. It is a strict RFC 8259 recursive-descent parser; errors carry
+// a byte-offset locus.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace depstor {
@@ -54,5 +63,49 @@ class JsonWriter {
   bool pending_key_ = false;
   bool started_ = false;
 };
+
+/// A parsed JSON document node. Accessors throw InvalidArgument on type
+/// mismatches or missing members so tests fail with a message instead of UB.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;  ///< null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array elements in document order.
+  const std::vector<JsonValue>& items() const;
+  /// Object members in document order (duplicate keys are rejected at
+  /// parse time).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  bool has(const std::string& key) const;
+  /// Object member lookup; throws when absent.
+  const JsonValue& at(const std::string& key) const;
+  /// Array element lookup; throws when out of range.
+  const JsonValue& at(std::size_t index) const;
+  /// Element/member count of an array/object.
+  std::size_t size() const;
+
+ private:
+  friend struct JsonValueBuilder;  ///< parser-side access (json.cpp)
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse a complete JSON document (one value plus surrounding whitespace).
+/// Throws InvalidArgument with a byte-offset locus on malformed input.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace depstor

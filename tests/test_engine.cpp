@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/design_tool.hpp"
+#include "engine/worker_pool.hpp"
 #include "test_helpers.hpp"
 
 namespace depstor {
@@ -234,6 +238,56 @@ TEST(JobStatusNames, RoundTrip) {
   EXPECT_STREQ(to_string(JobStatus::Completed), "completed");
   EXPECT_FALSE(is_terminal(JobStatus::Running));
   EXPECT_TRUE(is_terminal(JobStatus::Failed));
+}
+
+TEST(WorkerPool, SubmitAfterStopIsRejectedAndWaitIdleReturns) {
+  // Regression: a submit racing shutdown used to increment the pending count
+  // and then throw from the closed queue, leaving unfinished_ permanently
+  // positive — the next wait_idle() hung forever. Rejected submits must roll
+  // the count back.
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+  pool.stop();
+  EXPECT_FALSE(pool.submit([&] { ran.fetch_add(1); }));
+  pool.wait_idle();  // must not hang on the rejected task
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerPool, ConcurrentSubmitsRacingStopNeverHangWaitIdle) {
+  // Hammer the submit/stop race: every accepted task runs exactly once,
+  // every rejected one leaves no trace in the pending count. Run under TSan
+  // in CI (this target is in the TSan job's test list).
+  for (int round = 0; round < 20; ++round) {
+    WorkerPool pool(2);
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          if (pool.submit([&] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread stopper([&] { pool.stop(); });
+    for (auto& t : submitters) t.join();
+    stopper.join();
+    pool.wait_idle();  // must return even when submits were rejected
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
+}
+
+TEST(WorkerPool, StopIsIdempotentAndDestructorSafe) {
+  WorkerPool pool(1);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+  pool.stop();
+  pool.stop();  // second stop is a no-op
+  EXPECT_EQ(ran.load(), 1);
 }
 
 }  // namespace

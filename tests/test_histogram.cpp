@@ -28,14 +28,59 @@ TEST(LogHistogram, CountsLandInRightBins) {
 }
 
 TEST(LogHistogram, UnderOverflowClampedAndTracked) {
+  // Out-of-range samples land *only* in the under/overflow counters — they
+  // used to be double-counted into the edge bins as well, which broke
+  // total() == sum(counts) + underflow() + overflow() and skewed quantile().
   LogHistogram h(10.0, 100.0, 2);
-  h.add(1.0);     // below range → bin 0, underflow
-  h.add(5000.0);  // above range → last bin, overflow
-  EXPECT_EQ(h.count(0), 1u);
-  EXPECT_EQ(h.count(1), 1u);
+  h.add(1.0);     // below range → underflow only
+  h.add(5000.0);  // above range → overflow only
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.count(1), 0u);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(LogHistogram, TotalIsSumOfBinsAndOutOfRangeCounters) {
+  LogHistogram h(10.0, 100.0, 2);
+  h.add(1.0);     // underflow
+  h.add(20.0);    // bin 0
+  h.add(50.0);    // bin 1
+  h.add(150.0);   // past hi → overflow
+  h.add(5000.0);  // overflow
+  EXPECT_EQ(h.count(0) + h.count(1) + h.underflow() + h.overflow(),
+            h.total());
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(LogHistogram, QuantileSaturatesOnOutOfRangeMass) {
+  LogHistogram h(10.0, 100.0, 4);
+  // 4 underflow, 2 in-range, 4 overflow.
+  for (int i = 0; i < 4; ++i) h.add(1.0);
+  h.add(30.0);
+  h.add(40.0);
+  for (int i = 0; i < 4; ++i) h.add(900.0);
+  // Quantiles inside the underflow mass resolve to lo, inside the overflow
+  // mass to hi — never interpolated into an edge bin's interior.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.3), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // The in-range band still interpolates within its bins.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 100.0);
+}
+
+TEST(LogHistogram, QuantileAllOverflowReturnsHi) {
+  LogHistogram h(10.0, 100.0, 2);
+  h.add(5000.0);
+  h.add(6000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
 }
 
 TEST(LogHistogram, RejectsNonPositiveSamplesAndBadRange) {

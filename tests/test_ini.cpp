@@ -73,6 +73,67 @@ TEST(Ini, TypedGettersValidate) {
   EXPECT_EQ(s.get_string_or("missing", "d"), "d");
 }
 
+TEST(Ini, NumericGettersRequireFullTokenConsumption) {
+  // strtod/strtol happily parse a numeric *prefix*; the getters must reject
+  // anything short of the whole token.
+  const auto sections = parse_ini(
+      "[s]\n"
+      "trailing = 3.5abc\n"
+      "int_trailing = 12x\n"
+      "float_as_int = 2.5\n"
+      "hexish = 0x10\n");
+  const auto& s = sections[0];
+  EXPECT_THROW(s.get_double("trailing"), InvalidArgument);
+  EXPECT_THROW(s.get_int("int_trailing"), InvalidArgument);
+  EXPECT_THROW(s.get_int("float_as_int"), InvalidArgument);
+  EXPECT_THROW(s.get_int("hexish"), InvalidArgument);  // base 10 only
+}
+
+TEST(Ini, NumericGettersRejectEmptyAndNonFinite) {
+  // An empty value used to slip through as 0.0 (strtod consumes nothing and
+  // *end == '\0'); inf/nan tokens parsed fine and poisoned cost sums.
+  const auto sections = parse_ini(
+      "[s]\n"
+      "empty =\n"
+      "inf_val = inf\n"
+      "nan_val = nan\n"
+      "huge = 1e400000\n"
+      "huge_int = 99999999999999999999\n");
+  const auto& s = sections[0];
+  EXPECT_THROW(s.get_double("empty"), InvalidArgument);
+  EXPECT_THROW(s.get_int("empty"), InvalidArgument);
+  EXPECT_THROW(s.get_double("inf_val"), InvalidArgument);
+  EXPECT_THROW(s.get_double("nan_val"), InvalidArgument);
+  EXPECT_THROW(s.get_double("huge"), InvalidArgument);
+  EXPECT_THROW(s.get_int("huge_int"), InvalidArgument);
+}
+
+TEST(Ini, NumericErrorsCarrySectionAndLineLocus) {
+  const auto sections = parse_ini("# pad\n# pad\n[storage]\nrate = oops\n");
+  try {
+    sections[0].get_double("rate");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[storage]"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("'oops'"), std::string::npos) << what;
+  }
+}
+
+TEST(Ini, NumericGettersStillAcceptValidForms) {
+  const auto sections = parse_ini(
+      "[s]\n"
+      "neg = -42\n"
+      "sci = 1.25e2\n"
+      "plus = +7\n");
+  const auto& s = sections[0];
+  EXPECT_EQ(s.get_int("neg"), -42);
+  EXPECT_DOUBLE_EQ(s.get_double("sci"), 125.0);
+  EXPECT_EQ(s.get_int("plus"), 7);
+}
+
 TEST(Ini, SplitList) {
   EXPECT_EQ(split_list("a, b ,c"), (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_EQ(split_list("single"), (std::vector<std::string>{"single"}));

@@ -134,5 +134,97 @@ TEST(Json, ArrayOfObjectsCommas) {
   EXPECT_EQ(w.str(), R"([{"i":0},{"i":1},{"i":2}])");
 }
 
+// ---------------------------------------------------------------------------
+// Parser (JsonValue / parse_json)
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, ContainersAndLookup) {
+  const JsonValue v = parse_json(R"({"a":[1,2,3],"b":{"c":true}})");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("z"));
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").at(1).as_number(), 2.0);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_THROW(v.at("missing"), InvalidArgument);
+  EXPECT_THROW(v.at("a").at(3), InvalidArgument);
+}
+
+TEST(JsonParse, MembersKeepDocumentOrder) {
+  const JsonValue v = parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json("\"x\\u0001y\"").as_string(), "x\x01y");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");  // \u00e9 in UTF-8
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  const char* bad[] = {
+      "",           "{",        "[1,]",        "{\"a\":}", "tru",
+      "01",         "1.",       "+1",          "nan",      "\"unterminated",
+      "\"bad\\q\"", "[1] junk", "{\"a\":1,\"a\":2}",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_json(text), InvalidArgument) << text;
+  }
+  try {
+    parse_json("[1, oops]");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_THROW(parse_json(deep), InvalidArgument);
+}
+
+TEST(JsonParse, AccessorsRejectWrongTypes) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_bool(), InvalidArgument);
+  EXPECT_THROW(v.as_number(), InvalidArgument);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(v.members(), InvalidArgument);
+  EXPECT_THROW(parse_json("1").items(), InvalidArgument);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "a\"b\nc")
+      .field("i", 42)
+      .field("d", 0.1)
+      .field("b", true)
+      .key("list")
+      .begin_array()
+      .value(1)
+      .value("two")
+      .end_array()
+      .end_object();
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\nc");
+  EXPECT_DOUBLE_EQ(v.at("i").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.at("d").as_number(), 0.1);
+  EXPECT_TRUE(v.at("b").as_bool());
+  EXPECT_EQ(v.at("list").at(1).as_string(), "two");
+}
+
 }  // namespace
 }  // namespace depstor

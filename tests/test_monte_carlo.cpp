@@ -56,6 +56,26 @@ TEST(MonteCarlo, ZeroRatesProduceNoEvents) {
   EXPECT_DOUBLE_EQ(result.annual_penalty(), 0.0);
 }
 
+TEST(MonteCarlo, MixedZeroRateClassesStayFiniteAndSkipped) {
+  // Regression: a zero-rate scenario sampled through exponential_hours
+  // divided by zero, pushing an inf (or NaN) event time into the queue —
+  // the stream then either vanished silently or poisoned the heap order.
+  // Zero-rate classes must be skipped at stream setup; the remaining
+  // classes keep their Poisson statistics.
+  Environment env = peer_env(2);
+  env.failures.data_object_rate = 0.0;  // zero one class, keep the others
+  Candidate cand = simple_design(env);
+  MonteCarloSimulator sim(&env);
+  const double years = 2000.0;
+  const auto result = sim.run(cand, {.years = years, .seed = 7});
+  // Only the array (1/3) and site (1/5) streams remain.
+  const double expected_events = (1.0 / 3.0 + 0.2) * years;
+  EXPECT_NEAR(static_cast<double>(result.events), expected_events,
+              4.0 * std::sqrt(expected_events));
+  EXPECT_TRUE(std::isfinite(result.annual_penalty()));
+  EXPECT_GT(result.events, 0);
+}
+
 TEST(MonteCarlo, SimulatedLossBoundedByAnalytic) {
   // Analytic loss uses worst-case staleness; sampled losses are uniform in
   // the cycle, so over a long horizon: analytic/2 ≲ simulated ≤ analytic.

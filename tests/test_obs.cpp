@@ -1,0 +1,288 @@
+// Observability layer: counter registry semantics, span recording on/off,
+// and the Chrome trace round-trip — the exported JSON is re-read with the
+// util/json parser and checked structurally (span nesting per thread, stable
+// thread ids, every SolveResult timer phase represented by a span).
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "solver/design_solver.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+/// Every test starts and ends with tracing off and the global state empty —
+/// both the ring registry and the counter registry are process-wide.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_trace_enabled(false);
+    obs::clear_trace();
+    obs::counters().reset();
+  }
+  void TearDown() override {
+    obs::set_trace_enabled(false);
+    obs::clear_trace();
+    obs::counters().reset();
+  }
+};
+
+DesignSolverOptions fixed_work_options() {
+  DesignSolverOptions o;
+  o.time_budget_ms = 1e9;
+  o.max_repetitions = 1;
+  o.max_refit_iterations = 1;
+  o.seed = 17;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Counter registry
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterRegistryBasics) {
+  auto& reg = obs::counters();
+  EXPECT_EQ(reg.value("a"), 0);  // never registered reads as zero
+  reg.add("a", 3);
+  reg.add("a", 4);
+  reg.add("b", 1);
+  EXPECT_EQ(reg.value("a"), 7);
+  EXPECT_EQ(reg.value("b"), 1);
+
+  reg.set_gauge("g", 1.5);
+  reg.set_gauge("g", 2.5);  // last write wins
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("missing"), 0.0);
+
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);  // name-sorted
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+}
+
+TEST_F(ObsTest, CounterReferencesSurviveReset) {
+  auto& reg = obs::counters();
+  std::atomic<std::int64_t>& cell = reg.counter("sticky");
+  cell.fetch_add(5);
+  EXPECT_EQ(reg.value("sticky"), 5);
+  reg.reset();
+  EXPECT_EQ(reg.value("sticky"), 0);
+  cell.fetch_add(2);  // the cached reference still points at the live cell
+  EXPECT_EQ(reg.value("sticky"), 2);
+}
+
+TEST_F(ObsTest, CounterAddMacroAndRenderText) {
+  for (int i = 0; i < 3; ++i) {
+    DEPSTOR_COUNTER_ADD("macro.hits", 2);
+  }
+  EXPECT_EQ(obs::counters().value("macro.hits"), 6);
+  obs::counters().set_gauge("macro.gauge", 1.25);
+  const std::string text = obs::counters().render_text();
+  EXPECT_NE(text.find("macro.hits"), std::string::npos) << text;
+  EXPECT_NE(text.find("6"), std::string::npos) << text;
+  EXPECT_NE(text.find("macro.gauge"), std::string::npos) << text;
+}
+
+TEST_F(ObsTest, CounterJsonParsesBack) {
+  obs::counters().add("x.count", 9);
+  obs::counters().set_gauge("x.ms", 3.5);
+  JsonWriter json;
+  obs::counters().to_json(json);
+  const JsonValue v = parse_json(json.str());
+  EXPECT_DOUBLE_EQ(v.at("counters").at("x.count").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("x.ms").as_number(), 3.5);
+}
+
+// ---------------------------------------------------------------------------
+// Span recording
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  ASSERT_FALSE(obs::trace_enabled());
+  {
+    DEPSTOR_TRACE_SPAN("never");
+    DEPSTOR_TRACE_SPAN("never_either", 42);
+  }
+  const obs::TraceStats stats = obs::trace_stats();
+  EXPECT_EQ(stats.recorded, 0);
+  EXPECT_EQ(stats.dropped, 0);
+}
+
+TEST_F(ObsTest, EnabledTracingRecordsSpansWithArgs) {
+  obs::set_trace_enabled(true);
+  {
+    DEPSTOR_TRACE_SPAN("outer");
+    {
+      DEPSTOR_TRACE_SPAN("inner", 7);
+    }
+    DEPSTOR_TRACE_SPAN_NAMED(late, "late_arg");
+    late.set_arg(11);
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_stats().recorded, 3);
+
+  const JsonValue doc = parse_json(obs::chrome_trace_json());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 3u);
+  // Destructor order: inner completes first, then late_arg, then outer.
+  EXPECT_EQ(events[0].at("name").as_string(), "inner");
+  EXPECT_DOUBLE_EQ(events[0].at("args").at("v").as_number(), 7.0);
+  EXPECT_EQ(events[1].at("name").as_string(), "late_arg");
+  EXPECT_DOUBLE_EQ(events[1].at("args").at("v").as_number(), 11.0);
+  EXPECT_EQ(events[2].at("name").as_string(), "outer");
+  EXPECT_FALSE(events[2].has("args"));
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("cat").as_string(), "depstor");
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+  }
+}
+
+TEST_F(ObsTest, SpansReenableAfterClear) {
+  obs::set_trace_enabled(true);
+  { DEPSTOR_TRACE_SPAN("first"); }
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_stats().recorded, 0);
+  { DEPSTOR_TRACE_SPAN("second"); }
+  obs::set_trace_enabled(false);
+  const JsonValue doc = parse_json(obs::chrome_trace_json());
+  ASSERT_EQ(doc.at("traceEvents").size(), 1u);
+  EXPECT_EQ(doc.at("traceEvents").at(0).at("name").as_string(), "second");
+}
+
+// ---------------------------------------------------------------------------
+// Full-solve round trip
+// ---------------------------------------------------------------------------
+
+struct SpanRec {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Per-tid spans from a parsed trace document, sorted by start time.
+std::vector<std::pair<int, std::vector<SpanRec>>> spans_by_tid(
+    const JsonValue& doc) {
+  std::vector<std::pair<int, std::vector<SpanRec>>> out;
+  for (const auto& e : doc.at("traceEvents").items()) {
+    const int tid = static_cast<int>(e.at("tid").as_number());
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const auto& p) { return p.first == tid; });
+    if (it == out.end()) {
+      out.push_back({tid, {}});
+      it = out.end() - 1;
+    }
+    const double ts = e.at("ts").as_number();
+    it->second.push_back(
+        {e.at("name").as_string(), ts, ts + e.at("dur").as_number()});
+  }
+  for (auto& [tid, spans] : out) {
+    std::sort(spans.begin(), spans.end(), [](const SpanRec& a,
+                                             const SpanRec& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.end > b.end;  // enclosing span first
+    });
+  }
+  return out;
+}
+
+/// Spans on one thread must nest: sorted by start (ties: longest first),
+/// each span either starts after the open one ends or ends within it.
+void expect_proper_nesting(const std::vector<SpanRec>& spans) {
+  std::vector<const SpanRec*> stack;
+  for (const SpanRec& s : spans) {
+    while (!stack.empty() && stack.back()->end <= s.start) stack.pop_back();
+    if (!stack.empty()) {
+      EXPECT_LE(s.end, stack.back()->end)
+          << "span '" << s.name << "' [" << s.start << ", " << s.end
+          << ") partially overlaps '" << stack.back()->name << "' ["
+          << stack.back()->start << ", " << stack.back()->end << ")";
+    }
+    stack.push_back(&s);
+  }
+}
+
+TEST_F(ObsTest, TracedSolveRoundTripsThroughChromeFormat) {
+  Environment env = peer_env(4);
+  obs::set_trace_enabled(true);
+  DesignSolver solver(&env, fixed_work_options());
+  const SolveResult result = solver.solve();
+  obs::set_trace_enabled(false);
+  ASSERT_TRUE(result.feasible);
+
+  const std::string text = obs::chrome_trace_json();
+  const JsonValue doc = parse_json(text);  // must be valid JSON end to end
+
+  // Envelope sanity.
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_GT(events.size(), 0u);
+  EXPECT_DOUBLE_EQ(doc.at("traceStats").at("recorded").as_number(),
+                   static_cast<double>(events.size()));
+  EXPECT_DOUBLE_EQ(doc.at("traceStats").at("dropped").as_number(), 0.0);
+
+  // Every phase named in the SolveResult timers must appear as a span, plus
+  // the solver's own stage spans.
+  std::set<std::string> names;
+  for (const auto& e : events) names.insert(e.at("name").as_string());
+  for (const char* required :
+       {"solve", "greedy", "refit", "reconfigure", "polish", "eval", "sweep",
+        "increment", "scenario_sim"}) {
+    EXPECT_TRUE(names.count(required) == 1)
+        << "missing span '" << required << "'";
+  }
+  EXPECT_GT(result.eval_ms, 0.0);  // the timer the "eval" spans shadow
+
+  // The single-threaded solve lands on one stable tid, and spans nest.
+  const auto by_tid = spans_by_tid(doc);
+  ASSERT_EQ(by_tid.size(), 1u);
+  EXPECT_GE(by_tid[0].first, 0);
+  expect_proper_nesting(by_tid[0].second);
+
+  // The outermost span is the solve itself and spans every other event.
+  const auto& spans = by_tid[0].second;
+  const auto solve_span =
+      std::find_if(spans.begin(), spans.end(),
+                   [](const SpanRec& s) { return s.name == "solve"; });
+  ASSERT_NE(solve_span, spans.end());
+  for (const SpanRec& s : spans) {
+    EXPECT_GE(s.start, solve_span->start);
+    EXPECT_LE(s.end, solve_span->end);
+  }
+
+  // The published counters ride along in the same document and agree with
+  // the SolveResult the solver returned.
+  const JsonValue& counters = doc.at("counters").at("counters");
+  EXPECT_DOUBLE_EQ(counters.at("solver.solves").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(counters.at("solver.evaluations").as_number(),
+                   static_cast<double>(result.evaluations));
+  EXPECT_DOUBLE_EQ(counters.at("solver.nodes_evaluated").as_number(),
+                   static_cast<double>(result.nodes_evaluated));
+  EXPECT_DOUBLE_EQ(
+      counters.at("solver.scenarios_simulated").as_number(),
+      static_cast<double>(result.scenarios_simulated));
+}
+
+TEST_F(ObsTest, UntracedSolveStillPublishesCounters) {
+  Environment env = peer_env(3);
+  DesignSolver solver(&env, fixed_work_options());
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(obs::trace_stats().recorded, 0);  // no spans without the toggle
+  EXPECT_EQ(obs::counters().value("solver.solves"), 1);
+  EXPECT_EQ(obs::counters().value("solver.evaluations"),
+            result.evaluations);
+  EXPECT_GT(obs::counters().gauge("solver.last_eval_ms"), 0.0);
+}
+
+}  // namespace
+}  // namespace depstor
