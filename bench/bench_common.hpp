@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/diagnostics.hpp"
 #include "core/design_tool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -17,23 +18,36 @@
 namespace depstor::bench {
 
 /// Budgets shared by every harness, parsed from common flags:
-///   --time-budget-ms (per heuristic), --seed, --csv, and the batch-engine
-///   path: --engine [--engine-workers=N] routes the harness's design-solver
-///   sweep through a BatchEngine (N workers; 0 = hardware), solving every
-///   point concurrently with a shared evaluation cache.
+///   --time-budget-ms (per heuristic), --csv, and the unified execution
+///   flags (util/cli's parse_execution_flags): --seed, --deterministic,
+///   --intra-workers, and the batch-engine path: --engine [--workers=N]
+///   routes the harness's design-solver sweep through a BatchEngine
+///   (N workers; 0 = hardware), solving every point concurrently with a
+///   shared evaluation cache. The pre-unification --engine-workers spelling
+///   still parses but warns with `removed-cli-flag`.
 struct HarnessConfig {
   double time_budget_ms = 1500.0;
   std::uint64_t seed = 42;
   bool csv = false;
   bool use_engine = false;
   int engine_workers = 0;  ///< 0 = one per hardware thread
+  int intra_workers = 1;   ///< refit threads inside each solve
+  bool deterministic = false;
 
   static HarnessConfig from_flags(const CliFlags& flags) {
     HarnessConfig cfg;
+    ExecutionFlags defaults;
+    defaults.workers = 0;
+    defaults.seed = 42;
+    analysis::DiagnosticReport report;
+    const ExecutionFlags ef = parse_execution_flags(flags, &report, defaults);
+    for (const auto& d : report.diagnostics()) std::cerr << d.render() << "\n";
     cfg.time_budget_ms = flags.get_double("time-budget-ms", 1500.0);
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    cfg.seed = ef.seed;
     cfg.csv = flags.get_bool("csv", false);
-    cfg.engine_workers = flags.get_int("engine-workers", 0);
+    cfg.engine_workers = ef.workers;
+    cfg.intra_workers = ef.intra_workers;
+    cfg.deterministic = ef.deterministic;
     cfg.use_engine = flags.get_bool("engine", false) || cfg.engine_workers > 0;
     return cfg;
   }
@@ -49,6 +63,13 @@ struct HarnessConfig {
     DesignSolverOptions o;
     o.time_budget_ms = time_budget_ms;
     o.seed = seed;
+    return o;
+  }
+
+  ExecutionOptions exec_options() const {
+    ExecutionOptions o;
+    o.intra_node_workers = intra_workers;
+    o.deterministic = deterministic;
     return o;
   }
 

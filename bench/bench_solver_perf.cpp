@@ -14,17 +14,28 @@
 // nodes/sec, evaluation-cache hit rate — go to BENCH_solver_perf.json so CI
 // and tuning scripts can diff them.
 //
+// A third probe exercises the intra-solve parallel refit search: the same
+// deterministic single-solve workload on multi_site(24,6,8) run sequentially
+// (--intra-workers implied 1) and with the refit fan on N threads
+// (`--intra-workers=N`, default 4). The determinism contract makes the two
+// legs comparable: total costs must match bit-for-bit, and the JSON gains a
+// "parallel_refit" section with both timings, the speedup, and the
+// task/steal counters. The process exit code asserts `totals_match` for both
+// the incremental and the parallel-refit probes.
+//
 // `--smoke` (the CI mode) skips the google-benchmark microbenchmarks and
-// shrinks the engine probe, but still runs both probes and writes the JSON.
+// shrinks the engine probe, but still runs every probe and writes the JSON.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string_view>
 #include <vector>
 
+#include "core/api.hpp"
 #include "core/scenarios.hpp"
 #include "engine/engine.hpp"
 #include "model/recovery_sim.hpp"
@@ -127,13 +138,13 @@ void BM_FullDesignSolve(benchmark::State& state) {
     state.PauseTiming();
     Environment env = scenarios::peer_sites(8);
     state.ResumeTiming();
-    DesignSolverOptions o;
-    o.time_budget_ms = 1e9;  // bounded by repetitions instead
-    o.max_repetitions = 1;
-    o.max_refit_iterations = 1;
-    o.seed = 5;
-    DesignSolver solver(&env, o);
-    benchmark::DoNotOptimize(solver.solve().feasible);
+    SolveRequest request;
+    request.env = &env;
+    request.options.time_budget_ms = 1e9;  // bounded by repetitions instead
+    request.options.max_repetitions = 1;
+    request.options.max_refit_iterations = 1;
+    request.options.seed = 5;
+    benchmark::DoNotOptimize(solve(request).feasible);
   }
 }
 BENCHMARK(BM_FullDesignSolve)->Unit(benchmark::kMillisecond);
@@ -193,6 +204,77 @@ IncrementalProbe run_incremental_probe() {
   return probe;
 }
 
+/// One leg of the parallel-refit probe: a fixed deterministic single solve
+/// of the largest bundled environment with the refit fan on `intra_workers`
+/// threads. Fixed work (one repetition, deterministic — no wall-clock
+/// cutoffs), so the node set and the final cost are identical for every
+/// worker count by the DESIGN.md §9 contract.
+struct RefitLeg {
+  double solve_ms = 0.0;
+  double total_cost = 0.0;
+  std::int64_t nodes_evaluated = 0;
+  std::int64_t parallel_tasks = 0;
+  std::int64_t steal_count = 0;
+};
+
+struct ParallelRefitProbe {
+  int intra_workers = 4;
+  RefitLeg sequential;  ///< intra_workers = 1
+  RefitLeg parallel;    ///< intra_workers = N
+  double speedup() const {
+    return parallel.solve_ms > 0.0 ? sequential.solve_ms / parallel.solve_ms
+                                   : 0.0;
+  }
+  bool totals_match() const {
+    return sequential.total_cost == parallel.total_cost &&
+           sequential.nodes_evaluated == parallel.nodes_evaluated;
+  }
+};
+
+RefitLeg run_refit_leg(const Environment& env, int intra_workers,
+                       int repetitions) {
+  // Best of `repetitions`: the solve is deterministic, so the minimum is the
+  // honest estimate of each leg's cost (same rationale as the incremental
+  // probe).
+  RefitLeg best;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    SolveRequest request;
+    request.env = &env;
+    request.options.seed = 42;
+    request.options.max_repetitions = 1;
+    // Deterministic fixed work: enough refit iterations to exercise the fan
+    // well past warm-up, few enough to keep the probe in CI-smoke range.
+    request.options.max_refit_iterations = 8;
+    request.exec.deterministic = true;
+    request.exec.intra_node_workers = intra_workers;
+    RefitLeg leg;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SolveResult result = solve(request);
+    leg.solve_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    if (!result.feasible) {
+      throw InfeasibleError("parallel-refit probe found no feasible design");
+    }
+    leg.total_cost = result.cost.total();
+    leg.nodes_evaluated = result.nodes_evaluated;
+    leg.parallel_tasks = result.refit_parallel_tasks;
+    leg.steal_count = result.refit_steal_count;
+    if (rep == 0 || leg.solve_ms < best.solve_ms) best = leg;
+  }
+  return best;
+}
+
+ParallelRefitProbe run_parallel_refit_probe(int intra_workers,
+                                            int repetitions) {
+  const Environment env = scenarios::multi_site(24, 6, 8);
+  ParallelRefitProbe probe;
+  probe.intra_workers = intra_workers;
+  probe.sequential = run_refit_leg(env, 1, repetitions);
+  probe.parallel = run_refit_leg(env, intra_workers, repetitions);
+  return probe;
+}
+
 /// Batch-engine probe: a fixed `job_count`-job sweep (16 apps, rates
 /// varied) on the machine's worker count, fixed work per job so the numbers
 /// are comparable run to run. Returns the engine's aggregate metrics.
@@ -237,6 +319,7 @@ void write_probe_leg(JsonWriter& w, const ProbeLeg& leg) {
 }
 
 void write_perf_json(const char* path, const IncrementalProbe& probe,
+                     const ParallelRefitProbe& refit,
                      const EngineMetricsSnapshot& m) {
   JsonWriter w;
   w.begin_object();
@@ -250,6 +333,22 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
   w.key("after");
   write_probe_leg(w, probe.after);
   w.end_object();
+  w.key("parallel_refit")
+      .begin_object()
+      .field("environment", "multi_site(24,6,8)")
+      .field("intra_workers", static_cast<long long>(refit.intra_workers))
+      .field("seq_ms", refit.sequential.solve_ms)
+      .field("par_ms", refit.parallel.solve_ms)
+      .field("speedup", refit.speedup())
+      .field("totals_match", refit.totals_match())
+      .field("total_cost", refit.sequential.total_cost)
+      .field("nodes_evaluated",
+             static_cast<long long>(refit.sequential.nodes_evaluated))
+      .field("parallel_tasks",
+             static_cast<long long>(refit.parallel.parallel_tasks))
+      .field("steal_count",
+             static_cast<long long>(refit.parallel.steal_count))
+      .end_object();
   w.key("engine_probe")
       .begin_object()
       .field("jobs", static_cast<long long>(m.jobs_completed))
@@ -275,12 +374,23 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--smoke` is ours, not google-benchmark's: strip it before Initialize.
+  // `--smoke` and `--intra-workers=N` are ours, not google-benchmark's:
+  // strip them before Initialize.
   bool smoke = false;
+  int intra_workers = 4;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
       smoke = true;
+      continue;
+    }
+    if (arg.rfind("--intra-workers=", 0) == 0) {
+      intra_workers = std::atoi(argv[i] + sizeof("--intra-workers=") - 1);
+      if (intra_workers < 1) {
+        std::cerr << "bad --intra-workers value: " << arg << "\n";
+        return 1;
+      }
       continue;
     }
     args.push_back(argv[i]);
@@ -307,9 +417,24 @@ int main(int argc, char** argv) {
   std::printf("speedup: %.2fx, totals %s\n", probe.speedup(),
               probe.totals_match() ? "match" : "MISMATCH");
 
+  const ParallelRefitProbe refit =
+      run_parallel_refit_probe(intra_workers, smoke ? 1 : 3);
+  std::cout << "\n== parallel-refit probe (multi_site(24,6,8)) ==\n";
+  std::printf("sequential:      %.1f ms (total cost %.0f, %lld nodes)\n",
+              refit.sequential.solve_ms, refit.sequential.total_cost,
+              static_cast<long long>(refit.sequential.nodes_evaluated));
+  std::printf("intra-workers=%d: %.1f ms (total cost %.0f, "
+              "%lld tasks / %lld stolen)\n",
+              refit.intra_workers, refit.parallel.solve_ms,
+              refit.parallel.total_cost,
+              static_cast<long long>(refit.parallel.parallel_tasks),
+              static_cast<long long>(refit.parallel.steal_count));
+  std::printf("speedup: %.2fx, totals %s\n", refit.speedup(),
+              refit.totals_match() ? "match" : "MISMATCH");
+
   const EngineMetricsSnapshot metrics = run_engine_probe(smoke ? 2 : 8);
   std::cout << "\n== batch-engine probe ==\n" << metrics.render();
-  write_perf_json("BENCH_solver_perf.json", probe, metrics);
+  write_perf_json("BENCH_solver_perf.json", probe, refit, metrics);
   std::cout << "wrote BENCH_solver_perf.json\n";
-  return probe.totals_match() ? 0 : 1;
+  return probe.totals_match() && refit.totals_match() ? 0 : 1;
 }

@@ -9,9 +9,15 @@
 //   depstor_batch --env-dir=<dir>                    # one job per *.ini
 //   depstor_batch --sweep=object|disk|site           # Figs. 5-7 style sweep
 //                 [--points=16] [--apps=16] [--sites=4] [--links=6]
-//   common flags:
+//   common flags (execution flags shared with depstor_cli and the bench
+//   harnesses; parsed by util/cli's parse_execution_flags — removed
+//   spellings like --engine-workers/--jobs warn with `removed-cli-flag`):
 //                 [--workers=N]          worker threads (0 = hardware)
+//                 [--intra-workers=N]    threads inside each job's refit
+//                                        search (nested on the same pool)
 //                 [--seed=1]             base of the derived per-job seeds
+//                 [--deterministic]      fixed work per job; no wall-clock
+//                                        cutoffs inside the solves
 //                 [--time-budget-ms=0]   wall-clock cap per job (0 = none)
 //                 [--repetitions=1]      greedy+refit repetitions per job
 //                 [--deadline-ms=0]      per-job deadline from submission
@@ -27,10 +33,10 @@
 //
 // By default every job does a fixed amount of work (--repetitions bounds the
 // search, no wall-clock budget), so the batch is bit-identical for any
-// --workers value — rerun with --workers=1 vs --workers=8 to see the
-// engine's speedup directly. Passing --time-budget-ms>0 caps each job's wall
-// clock instead; under contention that trades the determinism guarantee for
-// bounded latency.
+// --workers / --intra-workers values — rerun with --workers=1 vs --workers=8
+// to see the engine's speedup directly. Passing --time-budget-ms>0 caps each
+// job's wall clock instead; under contention that trades the determinism
+// guarantee for bounded latency.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -41,6 +47,7 @@
 
 #include "util/check.hpp"
 
+#include "analysis/diagnostics.hpp"
 #include "core/design_tool.hpp"
 #include "core/env_loader.hpp"
 #include "core/report.hpp"
@@ -56,11 +63,6 @@ namespace {
 
 using namespace depstor;
 namespace fs = std::filesystem;
-
-bool env_flag_set(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
-}
 
 std::vector<DesignJob> jobs_from_env_dir(const std::string& dir,
                                          const DesignSolverOptions& options) {
@@ -156,6 +158,15 @@ void write_reports(const std::string& out_dir, const BatchReport& report) {
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    ExecutionFlags exec_defaults;
+    exec_defaults.workers = 0;  // 0 = one engine worker per hardware thread
+    analysis::DiagnosticReport flag_report;
+    const ExecutionFlags ef =
+        parse_execution_flags(flags, &flag_report, exec_defaults);
+    for (const auto& d : flag_report.diagnostics()) {
+      std::cerr << d.render() << "\n";
+    }
+
     DesignSolverOptions options;
     const double budget_ms = flags.get_double("time-budget-ms", 0.0);
     options.time_budget_ms = budget_ms > 0.0 ? budget_ms : 1e9;
@@ -178,24 +189,23 @@ int main(int argc, char** argv) {
       return 2;
     }
     const double deadline_ms = flags.get_double("deadline-ms", 0.0);
-    for (auto& job : jobs) job.deadline_ms = deadline_ms;
+    for (auto& job : jobs) {
+      job.deadline_ms = deadline_ms;
+      job.exec.intra_node_workers = ef.intra_workers;
+      job.exec.deterministic = ef.deterministic;
+    }
 
     EngineOptions engine;
-    engine.workers = flags.get_int("workers", 0);
-    engine.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    engine.workers = ef.workers;
+    engine.seed = ef.seed;
     engine.enable_cache = !flags.get_bool("no-cache", false);
     const std::string out_dir = flags.get_string("out", "");
     const bool csv = flags.get_bool("csv", false);
-    std::string trace_path = flags.get_string("trace-out", "");
-    const bool show_stats =
-        flags.get_bool("stats", false) || env_flag_set("DEPSTOR_STATS");
+    const std::string trace_path = ef.trace_out;
+    const bool show_stats = ef.stats;
     flags.reject_unknown();
 
-    if (!trace_path.empty()) {
-      obs::set_trace_enabled(true);
-    } else if (obs::trace_enabled()) {
-      trace_path = "depstor_trace.json";  // DEPSTOR_TRACE without --trace-out
-    }
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
 
     std::cout << "== depstor_batch: " << jobs.size() << " jobs ==\n\n";
     const BatchReport report =

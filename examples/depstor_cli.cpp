@@ -1,9 +1,9 @@
 // depstor_cli — command-line driver for the design tool.
 //
 //   depstor_cli design   [scenario flags] [--json=<path>] [--recovery-report]
-//                        [--threat-report] [--workers=N]
+//                        [--threat-report]
 //   depstor_cli compare  [scenario flags]          # tool vs human vs random
-//   depstor_cli sample   [scenario flags] [--samples=N] [--workers=N]
+//   depstor_cli sample   [scenario flags] [--samples=N]
 //   depstor_cli validate [scenario flags] [--years=N]  # Monte Carlo check
 //
 // Scenario flags (shared):
@@ -13,19 +13,26 @@
 //   --apps=N                (default 8)
 //   --sites=N --links=N     (multi only; defaults 4 / 6)
 //   --object-rate --disk-rate --site-rate --regional-rate   (per year)
-//   --time-budget-ms --seed
+//   --time-budget-ms
 //
-// Observability (design command):
+// Execution flags (shared with depstor_batch and the bench harnesses; parsed
+// by util/cli's parse_execution_flags — removed spellings warn with
+// rule `removed-cli-flag`):
+//   --workers=N             independent seed restarts merged by minimum
+//   --intra-workers=N       threads inside each solve's refit search
+//   --seed=N                base seed of every derived RNG stream
+//   --deterministic         fixed work; results bit-identical for any
+//                           --workers/--intra-workers values
 //   --trace-out=<path>      record spans during the solve and write a Chrome
 //                           trace_event JSON file (chrome://tracing, Perfetto)
 //   --stats                 print the counter registry after the solve
-//   DEPSTOR_TRACE=1         env toggle: record spans; without --trace-out the
-//                           trace lands in ./depstor_trace.json
+//   DEPSTOR_TRACE=1         env toggle: record spans into ./depstor_trace.json
 //   DEPSTOR_STATS=1         env toggle for --stats
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "analysis/diagnostics.hpp"
 #include "core/design_tool.hpp"
 #include "core/env_loader.hpp"
 #include "core/report.hpp"
@@ -42,9 +49,15 @@ namespace {
 
 using namespace depstor;
 
-bool env_flag_set(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+/// Parse the unified execution flags and print any removed-spelling
+/// warnings compiler-style on stderr.
+ExecutionFlags execution_flags(const CliFlags& flags) {
+  ExecutionFlags defaults;
+  defaults.seed = 42;
+  analysis::DiagnosticReport report;
+  const ExecutionFlags ef = parse_execution_flags(flags, &report, defaults);
+  for (const auto& d : report.diagnostics()) std::cerr << d.render() << "\n";
+  return ef;
 }
 
 /// Write the recorded spans + counter snapshot; reports drops so a truncated
@@ -92,30 +105,25 @@ Environment environment_from_flags(const CliFlags& flags) {
 }
 
 int cmd_design(const CliFlags& flags, Environment env) {
+  const ExecutionFlags ef = execution_flags(flags);
   DesignSolverOptions options;
   options.time_budget_ms = flags.get_double("time-budget-ms", 2000.0);
-  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const int workers = flags.get_int("workers", 1);
+  options.seed = ef.seed;
+  ExecutionOptions exec;
+  exec.workers = ef.workers;
+  exec.intra_node_workers = ef.intra_workers;
+  exec.deterministic = ef.deterministic;
   const std::string json_path = flags.get_string("json", "");
   const bool show_recovery = flags.get_bool("recovery-report", false);
   const bool show_threats = flags.get_bool("threat-report", false);
-  std::string trace_path = flags.get_string("trace-out", "");
-  const bool show_stats =
-      flags.get_bool("stats", false) || env_flag_set("DEPSTOR_STATS");
   flags.reject_unknown();
 
-  if (!trace_path.empty()) {
-    obs::set_trace_enabled(true);
-  } else if (obs::trace_enabled()) {
-    trace_path = "depstor_trace.json";  // DEPSTOR_TRACE=1 without --trace-out
-  }
+  if (!ef.trace_out.empty()) obs::set_trace_enabled(true);
 
   DesignTool tool(std::move(env));
-  const SolveResult result =
-      workers > 1 ? solve_parallel(&tool.env(), options, workers)
-                  : tool.design(options);
-  if (!trace_path.empty()) write_trace_file(trace_path);
-  if (show_stats) {
+  const SolveResult result = tool.design(options, exec);
+  if (!ef.trace_out.empty()) write_trace_file(ef.trace_out);
+  if (ef.stats) {
     std::cout << "\nCounters after solve:\n"
               << obs::counters().render_text();
   }
@@ -143,7 +151,7 @@ int cmd_design(const CliFlags& flags, Environment env) {
 
 int cmd_compare(const CliFlags& flags, Environment env) {
   const double budget = flags.get_double("time-budget-ms", 2000.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::uint64_t seed = execution_flags(flags).seed;
   flags.reject_unknown();
 
   DesignTool tool(std::move(env));
@@ -174,13 +182,12 @@ int cmd_compare(const CliFlags& flags, Environment env) {
 
 int cmd_sample(const CliFlags& flags, Environment env) {
   const int samples = flags.get_int("samples", 10000);
-  const int workers = flags.get_int("workers", 1);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const ExecutionFlags ef = execution_flags(flags);
   flags.reject_unknown();
 
   const SampleStats stats =
-      workers > 1 ? sample_parallel(&env, samples, seed, workers)
-                  : SolutionSpaceSampler(&env).sample(samples, seed);
+      ef.workers > 1 ? sample_parallel(&env, samples, ef.seed, ef.workers)
+                     : SolutionSpaceSampler(&env).sample(samples, ef.seed);
   std::cout << "feasible samples: " << stats.feasible << " of "
             << stats.attempted << " drawn\n"
             << "min: " << Table::money(stats.costs.min())
@@ -195,7 +202,7 @@ int cmd_sample(const CliFlags& flags, Environment env) {
 int cmd_validate(const CliFlags& flags, Environment env) {
   DesignSolverOptions options;
   options.time_budget_ms = flags.get_double("time-budget-ms", 2000.0);
-  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  options.seed = execution_flags(flags).seed;
   const double years = flags.get_double("years", 2000.0);
   flags.reject_unknown();
 

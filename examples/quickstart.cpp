@@ -2,11 +2,12 @@
 // study (§4.3) and print the chosen design and its cost breakdown.
 //
 //   ./quickstart [--apps=8] [--time-budget-ms=2000] [--seed=7]
-//                [--json=<path>] [--recovery-report]
+//                [--intra-workers=N] [--json=<path>] [--recovery-report]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "core/api.hpp"
 #include "core/design_tool.hpp"
 #include "core/report.hpp"
 #include "core/scenarios.hpp"
@@ -20,16 +21,20 @@ int main(int argc, char** argv) {
     const int apps = flags.get_int("apps", 8);
     const double budget = flags.get_double("time-budget-ms", 2000.0);
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+    const int intra_workers = flags.get_int("intra-workers", 1);
     const std::string json_path = flags.get_string("json", "");
     const bool show_recovery = flags.get_bool("recovery-report", false);
     flags.reject_unknown();
 
     DesignTool tool(scenarios::peer_sites(apps));
 
-    DesignSolverOptions options;
-    options.time_budget_ms = budget;
-    options.seed = seed;
-    const SolveResult result = tool.design(options);
+    // The one entry point: environment + solver options + execution options.
+    SolveRequest request;
+    request.env = &tool.env();
+    request.options.time_budget_ms = budget;
+    request.options.seed = seed;
+    request.exec.intra_node_workers = intra_workers;
+    const SolveResult result = solve(request);
 
     if (!result.feasible) {
       std::cout << "No feasible design found within the budget.\n";

@@ -54,6 +54,9 @@
 //   empty-config-grid        (E) policy ranges leave the solver no grid
 //   bad-category-thresholds  (E) gold/silver thresholds out of order
 //   load-failed              (E) environment loads/validates despite lint
+//   removed-cli-flag         (W) command line uses a removed flag spelling
+//                                (emitted by util/cli's shared execution-flag
+//                                parser, e.g. --engine-workers → --workers)
 #pragma once
 
 #include <string>
@@ -100,6 +103,7 @@ inline constexpr const char* kEmptyConfigGrid = "empty-config-grid";
 inline constexpr const char* kBadCategoryThresholds =
     "bad-category-thresholds";
 inline constexpr const char* kLoadFailed = "load-failed";
+inline constexpr const char* kRemovedCliFlag = "removed-cli-flag";
 }  // namespace rules
 
 /// Lint environment-file text. Never throws on bad input — every problem

@@ -1,0 +1,120 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+
+namespace {
+
+/// Alias a caller-owned environment into the shared_ptr form jobs expect,
+/// without copying or taking ownership (the caller outlives the engine).
+std::shared_ptr<const Environment> borrow(const Environment* env) {
+  return {env, [](const Environment*) {}};
+}
+
+/// Seed-restart fan: one engine job per worker (the engine derives job k's
+/// seed as `options.seed + k`), merged by minimum cost with ties to the
+/// lowest seed — reproducible for any scheduling. Counters are summed.
+SolveResult solve_fan(const SolveRequest& request) {
+  const ExecutionOptions& exec = request.exec;
+  EngineOptions engine_options;
+  engine_options.workers = exec.workers;
+  engine_options.seed = request.options.seed;
+  BatchEngine engine(engine_options);
+
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(exec.workers));
+  for (int k = 0; k < exec.workers; ++k) {
+    DesignJob job;
+    job.name = "solve-" + std::to_string(k);
+    job.env = borrow(request.env);
+    job.options = request.options;
+    // Per-job execution: the runtime hooks become engine-managed (the
+    // engine threads its shared cache and per-record cancel/progress into
+    // every job), so only the solve-shaping knobs pass through.
+    job.exec.intra_node_workers = exec.intra_node_workers;
+    job.exec.deterministic = exec.deterministic;
+    job.exec.time_budget_ms = exec.time_budget_ms;
+    ids.push_back(engine.submit(std::move(job)));
+  }
+
+  // The caller's cancel/progress hooks live outside the engine's records;
+  // bridge them by polling while the fan runs. Skipped entirely when no
+  // hook is set — wait_all() blocks without any polling.
+  if (exec.cancel != nullptr || exec.progress != nullptr) {
+    bool cancel_sent = false;
+    for (;;) {
+      bool all_done = true;
+      std::int64_t nodes = 0;
+      for (int id : ids) {
+        if (!is_terminal(engine.status(id))) all_done = false;
+        nodes += engine.progress_nodes(id);
+      }
+      if (exec.progress != nullptr) {
+        exec.progress->store(nodes, std::memory_order_relaxed);
+      }
+      if (!cancel_sent && exec.cancel != nullptr &&
+          exec.cancel->load(std::memory_order_acquire)) {
+        for (int id : ids) engine.cancel(id);
+        cancel_sent = true;
+      }
+      if (all_done) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  SolveResult merged;
+  for (auto& jr : engine.wait_all()) {
+    if (jr.status == JobStatus::Failed) {
+      throw InternalError("parallel solve worker failed: " + jr.error);
+    }
+    SolveResult& r = jr.solve;
+    merged.cancelled = merged.cancelled || r.cancelled ||
+                       jr.status == JobStatus::Cancelled;
+    merged.nodes_evaluated += r.nodes_evaluated;
+    merged.refit_iterations += r.refit_iterations;
+    merged.greedy_restarts += r.greedy_restarts;
+    merged.evaluations += r.evaluations;
+    merged.cache_hits += r.cache_hits;
+    merged.cache_misses += r.cache_misses;
+    merged.scenarios_simulated += r.scenarios_simulated;
+    merged.scenarios_reused += r.scenarios_reused;
+    merged.refit_parallel_tasks += r.refit_parallel_tasks;
+    merged.refit_steal_count += r.refit_steal_count;
+    merged.eval_ms += r.eval_ms;
+    merged.sweep_ms += r.sweep_ms;
+    merged.increment_ms += r.increment_ms;
+    merged.elapsed_ms = std::max(merged.elapsed_ms, r.elapsed_ms);
+    if (!r.feasible) continue;
+    if (!merged.feasible || r.cost.total() < merged.cost.total()) {
+      merged.feasible = true;
+      merged.cost = r.cost;
+      merged.best = std::move(r.best);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+SolveResult solve(const SolveRequest& request) {
+  DEPSTOR_EXPECTS_MSG(request.env != nullptr,
+                      "SolveRequest needs an environment");
+  DEPSTOR_EXPECTS_MSG(request.exec.workers >= 1,
+                      "SolveRequest workers must be >= 1");
+  DEPSTOR_EXPECTS_MSG(request.exec.intra_node_workers >= 1,
+                      "SolveRequest intra_node_workers must be >= 1");
+  if (request.exec.workers == 1) {
+    return detail::solve_impl(request.env, request.options, request.exec);
+  }
+  return solve_fan(request);
+}
+
+}  // namespace depstor

@@ -1,0 +1,50 @@
+// The one public solve entry point.
+//
+// Historically the tool grew four ways to run Algorithm 1 — the class-shaped
+// `DesignSolver::solve()`, the free `solve_parallel(env, options, workers)`
+// with its out-of-band worker count, the engine's per-job option plumbing,
+// and `DesignTool::design`. A SolveRequest subsumes them: say *what* to
+// solve (environment + DesignSolverOptions) and *how* to execute it
+// (ExecutionOptions — worker fans, intra-solve parallelism, determinism,
+// cache/cancel/progress hooks) in one value, and call `depstor::solve`.
+//
+//   SolveRequest req;
+//   req.env = &env;
+//   req.options.seed = 7;
+//   req.exec.workers = 4;             // 4-way seed-restart fan
+//   req.exec.intra_node_workers = 4;  // 4 threads inside each refit search
+//   SolveResult result = depstor::solve(req);
+//
+// Old entry points survive as thin deprecated wrappers (see README's
+// migration table); new code should not call them.
+#pragma once
+
+#include "core/environment.hpp"
+#include "solver/design_solver.hpp"
+
+namespace depstor {
+
+struct SolveRequest {
+  /// Must be non-null and valid for the duration of the call. The returned
+  /// Candidate holds a pointer into it.
+  const Environment* env = nullptr;
+  /// What to search (algorithm parameters; paper §3.1).
+  DesignSolverOptions options;
+  /// How to execute the search (threads, determinism, runtime hooks).
+  ExecutionOptions exec;
+};
+
+/// Run the design search described by `request`.
+///
+/// `exec.workers > 1` fans that many independent seed-restart solves (seeds
+/// `options.seed + k`) across a batch engine sharing one evaluation cache,
+/// and merges by minimum cost — the old `solve_parallel` contract, counters
+/// summed. Each solve additionally uses `exec.intra_node_workers` threads
+/// inside its refit stage. With `exec.deterministic`, the result is
+/// bit-identical for any worker counts.
+///
+/// Throws InvalidArgument for a null environment or non-positive worker
+/// counts; never throws for infeasibility — inspect `SolveResult::feasible`.
+SolveResult solve(const SolveRequest& request);
+
+}  // namespace depstor

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/api.hpp"
 #include "util/table.hpp"
 
 namespace depstor {
@@ -10,9 +11,13 @@ DesignTool::DesignTool(Environment env) : env_(std::move(env)) {
   env_.validate();
 }
 
-SolveResult DesignTool::design(const DesignSolverOptions& options) const {
-  DesignSolver solver(&env_, options);
-  return solver.solve();
+SolveResult DesignTool::design(const DesignSolverOptions& options,
+                               const ExecutionOptions& exec) const {
+  SolveRequest request;
+  request.env = &env_;
+  request.options = options;
+  request.exec = exec;
+  return solve(request);
 }
 
 BatchReport DesignTool::design_batch(std::vector<DesignJob> jobs,

@@ -26,8 +26,11 @@ class DesignTool {
 
   const Environment& env() const { return env_; }
 
-  /// Run the two-stage design solver (Algorithm 1).
-  SolveResult design(const DesignSolverOptions& options = {}) const;
+  /// Run the two-stage design solver (Algorithm 1). Forwards to
+  /// depstor::solve (core/api.hpp); pass `exec` to fan seed restarts or
+  /// parallelize the refit stage.
+  SolveResult design(const DesignSolverOptions& options = {},
+                     const ExecutionOptions& exec = {}) const;
 
   /// Batch mode: run many design jobs — each its own environment — on the
   /// batch engine's worker pool with a shared evaluation cache. Results come

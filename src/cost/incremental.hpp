@@ -16,6 +16,12 @@
 // in the same device-id order as `annual_outlay`. Debug/audit builds
 // cross-check every reusing evaluation against a full recompute
 // (`Candidate::evaluate`, DEPSTOR_AUDIT).
+//
+// Threading: the evaluator is thread-confined, not thread-safe. Each
+// Candidate owns its evaluator (copies deep-copy it), and the parallel
+// refit search (DESIGN.md §9) hands every search node its own Candidate
+// copy, so evaluators never cross threads mid-solve and need no locks —
+// cross-thread sharing happens one layer up, in the sharded EvalCache.
 #pragma once
 
 #include <cstdint>

@@ -100,16 +100,28 @@ void BatchEngine::run_job(Record& rec) {
       rec.status.store(JobStatus::Running, std::memory_order_release);
       DesignSolverOptions opts = rec.job.options;
       opts.seed = rec.seed;
-      opts.eval_cache = cache_.get();
-      opts.cancel = &rec.cancel;
-      opts.progress = &rec.progress;
+      ExecutionOptions exec = rec.job.exec;
       if (deadline > 0.0) {
         opts.time_budget_ms =
             std::min(opts.time_budget_ms, deadline - rec.queue_ms);
+        if (exec.time_budget_ms > 0.0) {
+          // The override channel must not smuggle a budget past the deadline.
+          exec.time_budget_ms =
+              std::min(exec.time_budget_ms, deadline - rec.queue_ms);
+        }
+      }
+      exec.workers = 1;  // the engine *is* the outer fan
+      exec.eval_cache = cache_.get();
+      exec.cancel = &rec.cancel;
+      exec.progress = &rec.progress;
+      if (exec.intra_node_workers > 1) {
+        // Refit subtasks ride the same pool as the jobs; the solving thread
+        // steals any the busy pool does not pick up (TaskGroup), so a fully
+        // loaded — even single-worker — pool cannot deadlock.
+        exec.intra_pool = &pool_;
       }
       try {
-        DesignSolver solver(rec.job.env.get(), opts);
-        rec.solve = solver.solve();
+        rec.solve = detail::solve_impl(rec.job.env.get(), opts, exec);
         if (rec.solve.feasible && analysis::debug_audit_enabled()) {
           // Debug post-check after the result crossed the worker boundary:
           // a race or aliasing bug in the engine would corrupt the design
@@ -226,8 +238,20 @@ std::vector<JobResult> BatchEngine::wait_all() {
 }
 
 EngineMetricsSnapshot BatchEngine::metrics() const {
-  return metrics_.snapshot(pool_.queue_depth(),
-                           cache_ ? cache_->stats() : EvalCacheStats{});
+  // Count queued *jobs*, not the pool's raw queue depth: with intra-solve
+  // refit fans borrowing this pool, the queue also holds task-group claim
+  // wrappers (including spent ones whose task the waiter already stole),
+  // which are not jobs waiting for a worker.
+  std::size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& rec : records_) {
+      if (rec->status.load(std::memory_order_acquire) == JobStatus::Queued) {
+        ++queued;
+      }
+    }
+  }
+  return metrics_.snapshot(queued, cache_ ? cache_->stats() : EvalCacheStats{});
 }
 
 BatchReport run_batch(std::vector<DesignJob> jobs,

@@ -27,6 +27,15 @@ struct DesignJob {
   std::shared_ptr<const Environment> env;  ///< must be non-null at submit()
   DesignSolverOptions options;
 
+  /// Per-job execution options. Only the solve-shaping fields are honored
+  /// (`intra_node_workers`, `deterministic`, `time_budget_ms`): the engine
+  /// overrides the runtime hooks — `eval_cache` with its shared cache,
+  /// `cancel`/`progress` with the job record's, `intra_pool` with its own
+  /// pool (jobs fan refit subtasks onto the same workers; TaskGroup's
+  /// help-while-wait keeps that deadlock-free), and `workers` is meaningless
+  /// inside a single job.
+  ExecutionOptions exec;
+
   /// true (default): the engine overrides `options.seed` with
   /// `engine seed + submission index`. false: keep `options.seed`.
   bool derive_seed = true;

@@ -7,6 +7,22 @@
 
 namespace depstor {
 
+namespace {
+
+/// Enforce the no-throw task contract on the inline/steal execution paths,
+/// mirroring what worker_loop does for pool-executed tasks.
+void run_task_noexcept(const TaskQueue::Task& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    DEPSTOR_LOG(Error, "task group task threw: " << e.what());
+  } catch (...) {
+    DEPSTOR_LOG(Error, "task group task threw a non-std exception");
+  }
+}
+
+}  // namespace
+
 int resolve_worker_count(int workers) {
   DEPSTOR_EXPECTS_MSG(workers >= 0, "worker count must be >= 0 (0 = auto)");
   if (workers > 0) return workers;
@@ -71,6 +87,89 @@ void WorkerPool::worker_loop() {
     }
     idle_cv_.notify_all();
   }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+struct TaskGroup::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<TaskQueue::Task> pending;  ///< submitted, not yet claimed
+  int active = 0;                       ///< claimed and currently executing
+
+  /// Claim the oldest pending task (FIFO). Returns an empty function when
+  /// another claimant got there first.
+  TaskQueue::Task claim() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (pending.empty()) return {};
+    TaskQueue::Task task = std::move(pending.front());
+    pending.pop_front();
+    ++active;
+    return task;
+  }
+
+  void finish_one() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --active;
+    }
+    cv.notify_all();
+  }
+};
+
+TaskGroup::TaskGroup(WorkerPool* pool)
+    : pool_(pool != nullptr && pool->worker_count() > 0 ? pool : nullptr),
+      state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() { wait(); }
+
+void TaskGroup::run(TaskQueue::Task task) {
+  if (pool_ == nullptr) {
+    // No pool: execute inline. Identical results by construction — the
+    // parallel refit's determinism contract rests on this equivalence.
+    ++stolen_;
+    run_task_noexcept(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->pending.push_back(std::move(task));
+  }
+  // The wrapper holds the state alive; if it loses the claim race to the
+  // waiting thread it is a cheap no-op on whatever worker runs it.
+  const bool accepted = pool_->submit([state = state_] {
+    if (TaskQueue::Task claimed = state->claim()) {
+      run_task_noexcept(claimed);
+      state->finish_one();
+    }
+  });
+  if (!accepted) {
+    // Pool stopped while the group is still live (shutdown race): fall back
+    // to inline execution so the group still drains.
+    if (TaskQueue::Task claimed = state_->claim()) {
+      ++stolen_;
+      run_task_noexcept(claimed);
+      state_->finish_one();
+    }
+    return;
+  }
+  ++spawned_;
+}
+
+void TaskGroup::wait() {
+  // Help-while-wait: execute any task a pool worker has not claimed yet,
+  // then block until the in-flight ones finish. This is what lets a pool
+  // task fan subtasks onto its own (possibly fully busy) pool.
+  while (TaskQueue::Task claimed = state_->claim()) {
+    ++stolen_;
+    run_task_noexcept(claimed);
+    state_->finish_one();
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock,
+                  [&] { return state_->active == 0 && state_->pending.empty(); });
 }
 
 }  // namespace depstor

@@ -6,11 +6,21 @@
 // capture an exception_ptr inside the task (see solver/parallel.cpp) or
 // record the failure in their job bookkeeping (see engine/engine.cpp).
 //
+// TaskGroup adds nested fan-out on top: a task already running on the pool
+// (a BatchEngine job, a refit sibling walk) can spawn subtasks onto the
+// same pool and wait for them without deadlocking it — the waiting thread
+// executes ("steals") any subtask the pool has not picked up yet, so a
+// group always drains even on a pool of size 1 whose only worker is the
+// waiter itself.
+//
 // Destruction closes the queue and joins the workers after every task
 // already submitted has run.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -58,5 +68,56 @@ class WorkerPool {
 
 /// Resolve a worker-count option: n >= 1 as given, 0 = hardware concurrency.
 int resolve_worker_count(int workers);
+
+/// A batch of subtasks fanned onto a WorkerPool by a single coordinating
+/// thread, with help-while-wait draining.
+///
+///   TaskGroup group(pool);            // pool may be null: run() is inline
+///   for (...) group.run([&] {...});
+///   group.wait();                     // steals pending tasks, blocks on
+///                                     // in-flight ones
+///
+/// run() enqueues the task in the group's own deque and submits a thin
+/// claim-wrapper to the pool; whichever of {a pool worker, the waiting
+/// thread} claims a task first executes it, the other finds the deque entry
+/// gone and moves on. Because wait() executes unclaimed tasks itself, a
+/// group submitted from *inside* a pool task cannot deadlock the pool — the
+/// nested-submission shape the intra-solve parallel refit and the batch
+/// engine rely on. Groups may nest arbitrarily (a group task may open its
+/// own group on the same pool).
+///
+/// Tasks must not throw (same contract as WorkerPool). The group is
+/// single-producer: only one thread calls run()/wait(). wait() returns only
+/// after every task has finished; the destructor waits too.
+class TaskGroup {
+ public:
+  /// `pool == nullptr` (or a pool with no live workers) degrades to inline
+  /// execution inside run() — same results, zero threading.
+  explicit TaskGroup(WorkerPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(TaskQueue::Task task);
+  void wait();
+
+  /// Tasks handed to the pool (vs executed inline because there is no pool).
+  std::int64_t spawned() const { return spawned_; }
+  /// Tasks the waiting/submitting thread executed itself instead of a pool
+  /// worker (inline fallbacks included).
+  std::int64_t stolen() const { return stolen_; }
+
+ private:
+  /// Claim-state shared with the wrappers living in the pool queue; a
+  /// shared_ptr so a wrapper that loses the claim race can still run its
+  /// no-op safely after the group object is gone.
+  struct State;
+
+  WorkerPool* pool_;
+  std::shared_ptr<State> state_;
+  std::int64_t spawned_ = 0;
+  std::int64_t stolen_ = 0;
+};
 
 }  // namespace depstor

@@ -71,6 +71,12 @@ ConfigSolver::ConfigSolver(const Environment* env, EvalCache* cache)
   if (cache_ != nullptr) env_salt_ = fingerprint_environment(*env);
 }
 
+ConfigSolver::ConfigSolver(const Environment* env, EvalCache* cache,
+                           std::uint64_t env_salt)
+    : env_(env), cache_(cache), env_salt_(env_salt) {
+  DEPSTOR_EXPECTS(env != nullptr);
+}
+
 CostBreakdown ConfigSolver::evaluate(const Candidate& candidate) const {
   DEPSTOR_TRACE_SPAN("eval");
   const StageTimer timer(stats_.eval_ms);

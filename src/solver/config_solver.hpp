@@ -54,6 +54,20 @@ struct ConfigSolverStats {
   double eval_ms = 0.0;
   double sweep_ms = 0.0;
   double increment_ms = 0.0;
+
+  /// Order-independent accumulation — how the parallel refit folds its
+  /// per-task solvers' stats into one aggregate.
+  ConfigSolverStats& operator+=(const ConfigSolverStats& o) {
+    evaluations += o.evaluations;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    increments_bought += o.increments_bought;
+    incremental += o.incremental;
+    eval_ms += o.eval_ms;
+    sweep_ms += o.sweep_ms;
+    increment_ms += o.increment_ms;
+    return *this;
+  }
 };
 
 class ConfigSolver {
@@ -63,6 +77,12 @@ class ConfigSolver {
   /// increment loop stop re-running the recovery simulator for states the
   /// search has already costed. Results are identical either way.
   explicit ConfigSolver(const Environment* env, EvalCache* cache = nullptr);
+
+  /// Same, with the environment fingerprint precomputed by the caller — the
+  /// parallel refit constructs one solver per search step, and hashing the
+  /// environment each time would dwarf the step itself.
+  ConfigSolver(const Environment* env, EvalCache* cache,
+               std::uint64_t env_salt);
 
   /// Optimize every application's configuration parameters plus the global
   /// resource increments; returns the resulting cost. The candidate must be

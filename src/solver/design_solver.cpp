@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "analysis/audit.hpp"
+#include "engine/eval_cache.hpp"
+#include "engine/worker_pool.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -15,7 +22,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double elapsed_ms(Clock::time_point start) {
+double elapsed_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
@@ -25,198 +32,365 @@ struct Node {
   CostBreakdown cost;
 };
 
-}  // namespace
+/// One greedy+refit solve. The refit stage fans its sibling walks and
+/// per-level neighbor evaluations onto a WorkerPool through TaskGroups; a
+/// null pool (intra_node_workers == 1) degrades every fan to inline
+/// execution in the same slot order, which is what makes the parallel and
+/// sequential paths bit-identical under `deterministic`:
+///
+///  * every search step owns a fresh Rng seeded by derive_seed(seed,
+///    {repetition, iteration, sibling, level, slot}) — no shared generator,
+///    so the random stream a step sees never depends on scheduling;
+///  * every step owns its Reconfigurator and ConfigSolver (both carry
+///    mutable state), works on its own Candidate copy (whose incremental
+///    evaluator travels with it), and only the slot-indexed result arrays
+///    are shared — written before the group's wait() synchronizes;
+///  * merges scan results in slot order with strict `<`, so ties resolve to
+///    the lowest slot no matter which thread finished first;
+///  * stats fold into order-independent sums (atomics + one mutex-guarded
+///    accumulator).
+class SolveRun {
+ public:
+  SolveRun(const Environment* env, const DesignSolverOptions& options,
+           const ExecutionOptions& exec)
+      : env_(env),
+        options_(options),
+        exec_(exec),
+        time_budget_ms_(exec.time_budget_ms > 0.0 ? exec.time_budget_ms
+                                                  : options.time_budget_ms) {
+    if (exec_.eval_cache != nullptr) {
+      env_salt_ = fingerprint_environment(*env_);
+    }
+    if (exec_.intra_node_workers > 1) {
+      if (exec_.intra_pool != nullptr) {
+        pool_ = exec_.intra_pool;
+      } else {
+        // The coordinating thread works too (help-while-wait), so n-way
+        // intra parallelism needs n-1 pool threads.
+        owned_pool_ =
+            std::make_unique<WorkerPool>(exec_.intra_node_workers - 1);
+        pool_ = owned_pool_.get();
+      }
+    }
+  }
 
-DesignSolver::DesignSolver(const Environment* env, DesignSolverOptions options)
-    : env_(env), options_(options) {
-  DEPSTOR_EXPECTS(env != nullptr);
-  DEPSTOR_EXPECTS(options_.breadth >= 1);
-  DEPSTOR_EXPECTS(options_.depth >= 1);
-  DEPSTOR_EXPECTS(options_.max_refit_iterations >= 0);
-  DEPSTOR_EXPECTS(options_.max_greedy_restarts >= 1);
-  env_->validate();
-}
+  SolveResult run();
 
-SolveResult DesignSolver::solve() {
-  DEPSTOR_TRACE_SPAN("solve");
-  const auto start = Clock::now();
-  SolveResult result;
-  Rng rng(options_.seed);
-  Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
-  ConfigSolver config_solver(env_, options_.eval_cache);
+ private:
+  bool cancelled() const {
+    return exec_.cancel != nullptr &&
+           exec_.cancel->load(std::memory_order_acquire);
+  }
 
-  auto cancelled = [&] {
-    return options_.cancel != nullptr &&
-           options_.cancel->load(std::memory_order_acquire);
-  };
-  auto out_of_time = [&] {
-    return elapsed_ms(start) >= options_.time_budget_ms || cancelled();
-  };
+  /// Deterministic mode ignores the wall clock: the explored node set must
+  /// depend only on (options, seed), not on how fast threads happen to run.
+  bool out_of_time() const {
+    if (cancelled()) return true;
+    if (exec_.deterministic) return false;
+    return elapsed_since(start_) >= time_budget_ms_;
+  }
 
-  // Complete a node after the edge changed `changed_app` (§3.2): scoped
-  // re-optimization by default, the literal full sweep when asked.
-  auto complete_node = [&](Candidate& cand, int changed_app) -> CostBreakdown {
-    ++result.nodes_evaluated;
-    if (options_.progress != nullptr) {
-      options_.progress->fetch_add(1, std::memory_order_relaxed);
+  /// Complete a node after the edge changed `changed_app` (§3.2): scoped
+  /// re-optimization by default, the literal full sweep when asked.
+  CostBreakdown complete_node(const ConfigSolver& solver, Candidate& cand,
+                              int changed_app) {
+    nodes_evaluated_.fetch_add(1, std::memory_order_relaxed);
+    if (exec_.progress != nullptr) {
+      exec_.progress->fetch_add(1, std::memory_order_relaxed);
     }
     return options_.full_config_solve_every_node
-               ? config_solver.solve(cand)
-               : config_solver.solve_for_app(cand, changed_app);
-  };
+               ? solver.solve(cand)
+               : solver.solve_for_app(cand, changed_app);
+  }
 
-  auto reconfig_step = [&](Node& node) -> bool {
+  /// One reconfiguration edge + node completion, runnable on any thread.
+  /// The (rep, iter, sibling, level, slot) coordinates are the node's
+  /// identity: they derive its private RNG stream.
+  bool reconfig_step(Node& node, std::uint64_t rep, std::uint64_t iter,
+                     std::uint64_t sibling, std::uint64_t level,
+                     std::uint64_t slot) {
     DEPSTOR_TRACE_SPAN("reconfigure");
+    Rng rng(derive_seed(options_.seed, {rep, iter, sibling, level, slot}));
+    Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
+    const ConfigSolver solver(env_, exec_.eval_cache, env_salt_);
     const int app =
         reconfigurator.pick_app_to_reconfigure(node.candidate, node.cost);
-    if (!reconfigurator.reconfigure_app(node.candidate, app)) return false;
-    node.cost = complete_node(node.candidate, app);
-    return true;
-  };
+    const bool ok = reconfigurator.reconfigure_app(node.candidate, app);
+    if (ok) node.cost = complete_node(solver, node.candidate, app);
+    merge_stats(solver.stats());
+    return ok;
+  }
 
-  // ---- Stage 1: greedy best-fit (Algorithm 1 lines 3-8) ----
-  auto greedy_stage = [&]() -> std::optional<Node> {
-    DEPSTOR_TRACE_SPAN("greedy");
-    for (int restart = 0; restart < options_.max_greedy_restarts; ++restart) {
-      ++result.greedy_restarts;
-      Candidate cand(env_);
-      bool failed = false;
-      while (cand.assigned_count() < static_cast<int>(env_->apps.size())) {
-        if (cancelled()) {
-          failed = true;  // stop mid-greedy; the partial design is dropped
-          break;
-        }
-        const auto unassigned = cand.unassigned_apps();
-        int next = -1;
-        if (options_.greedy_order == GreedyOrder::MaxPenalty) {
-          next = *std::max_element(
-              unassigned.begin(), unassigned.end(), [&](int a, int b) {
-                return env_->app(a).penalty_rate_sum() <
-                       env_->app(b).penalty_rate_sum();
-              });
-        } else {
-          std::vector<double> weights;
-          weights.reserve(unassigned.size());
-          for (int id : unassigned) {
-            weights.push_back(env_->app(id).penalty_rate_sum());
-          }
-          next = unassigned[rng.weighted_index(weights)];
-        }
-        if (!reconfigurator.reconfigure_app(cand, next)) {
-          failed = true;  // cannot place the remaining apps: restart greedy
-          break;
-        }
-        complete_node(cand, next);
-      }
-      if (!failed) {
-        // Full configuration pass over the completed greedy design.
-        ++result.nodes_evaluated;
-        const CostBreakdown cost = config_solver.solve(cand);
-        return Node{std::move(cand), cost};
-      }
-      if (out_of_time()) break;
+  std::optional<Node> greedy_stage(std::uint64_t rep);
+  std::optional<Node> sibling_walk(const Node& initial, std::uint64_t rep,
+                                   std::uint64_t iter, std::uint64_t sibling);
+  bool refit_iteration(Node& best, std::uint64_t rep, std::uint64_t iter);
+  Node refit_stage(Node start_node, std::uint64_t rep);
+
+  void merge_stats(const ConfigSolverStats& stats) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    agg_stats_ += stats;
+  }
+
+  void note_group(const TaskGroup& group) {
+    parallel_tasks_.fetch_add(group.spawned(), std::memory_order_relaxed);
+    steal_count_.fetch_add(group.stolen(), std::memory_order_relaxed);
+  }
+
+  static void rethrow_first(std::vector<std::exception_ptr>& errors) {
+    for (auto& err : errors) {
+      if (err) std::rethrow_exception(err);
     }
-    return std::nullopt;
-  };
+  }
 
-  // ---- Stage 2: refit (Algorithm 1 lines 14-42) ----
-  // Walks `breadth` siblings of the incumbent; from each, a depth-`depth`
-  // descent evaluates `breadth` random neighbors per level and moves to the
-  // level's best even when it is worse than the current node (that is how
-  // the search escapes local minima). Returns the best node seen.
-  auto refit_stage = [&](Node start_node) -> Node {
-    DEPSTOR_TRACE_SPAN("refit");
-    Node best = std::move(start_node);
-    for (int iter = 0; iter < options_.max_refit_iterations; ++iter) {
-      if (out_of_time()) break;
-      ++result.refit_iterations;
-      bool improved = false;
-      const Node initial = best;
+  void finish_stats();
 
-      for (int sibling = 0; sibling < options_.breadth; ++sibling) {
-        Node cur = initial;  // each sibling walk restarts from the incumbent
-        if (!reconfig_step(cur)) continue;
-        if (cur.cost.total() < best.cost.total()) {
-          best = cur;
-          improved = true;
+  const Environment* env_;
+  const DesignSolverOptions& options_;
+  const ExecutionOptions& exec_;
+  const double time_budget_ms_;
+  const Clock::time_point start_ = Clock::now();
+
+  std::uint64_t env_salt_ = 0;
+  std::unique_ptr<WorkerPool> owned_pool_;
+  WorkerPool* pool_ = nullptr;  ///< null → inline TaskGroups (sequential)
+
+  SolveResult result_;
+  std::atomic<std::int64_t> nodes_evaluated_{0};
+  std::atomic<std::int64_t> parallel_tasks_{0};
+  std::atomic<std::int64_t> steal_count_{0};
+  std::mutex stats_mu_;
+  ConfigSolverStats agg_stats_;
+};
+
+// ---- Stage 1: greedy best-fit (Algorithm 1 lines 3-8) ----
+// Inherently sequential (each placement depends on the previous one); runs
+// on the coordinating thread with its own master RNG, which the refit stage
+// never touches — refit steps derive their streams structurally.
+std::optional<Node> SolveRun::greedy_stage(std::uint64_t rep) {
+  DEPSTOR_TRACE_SPAN("greedy");
+  // The path {rep, ~0} cannot collide with a refit step's path — a refit
+  // iteration index never reaches ~0.
+  Rng rng(derive_seed(options_.seed, {rep, ~std::uint64_t{0}}));
+  Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
+  const ConfigSolver solver(env_, exec_.eval_cache, env_salt_);
+  std::optional<Node> out;
+  for (int restart = 0; restart < options_.max_greedy_restarts; ++restart) {
+    ++result_.greedy_restarts;
+    Candidate cand(env_);
+    bool failed = false;
+    while (cand.assigned_count() < static_cast<int>(env_->apps.size())) {
+      if (cancelled()) {
+        failed = true;  // stop mid-greedy; the partial design is dropped
+        break;
+      }
+      const auto unassigned = cand.unassigned_apps();
+      int next = -1;
+      if (options_.greedy_order == GreedyOrder::MaxPenalty) {
+        next = *std::max_element(
+            unassigned.begin(), unassigned.end(), [&](int a, int b) {
+              return env_->app(a).penalty_rate_sum() <
+                     env_->app(b).penalty_rate_sum();
+            });
+      } else {
+        std::vector<double> weights;
+        weights.reserve(unassigned.size());
+        for (int id : unassigned) {
+          weights.push_back(env_->app(id).penalty_rate_sum());
         }
-        for (int level = 0; level < options_.depth; ++level) {
-          if (out_of_time()) break;
-          std::optional<Node> level_best;
-          for (int k = 0; k < options_.breadth; ++k) {
+        next = unassigned[rng.weighted_index(weights)];
+      }
+      if (!reconfigurator.reconfigure_app(cand, next)) {
+        failed = true;  // cannot place the remaining apps: restart greedy
+        break;
+      }
+      complete_node(solver, cand, next);
+    }
+    if (!failed) {
+      // Full configuration pass over the completed greedy design.
+      nodes_evaluated_.fetch_add(1, std::memory_order_relaxed);
+      const CostBreakdown cost = solver.solve(cand);
+      out = Node{std::move(cand), cost};
+      break;
+    }
+    if (out_of_time()) break;
+  }
+  merge_stats(solver.stats());
+  return out;
+}
+
+/// One depth-`d` walk from a sibling of the incumbent (Algorithm 1 lines
+/// 20-33). The sibling step is node (rep, iter, sibling, 0, 0); each level
+/// then fans `b` neighbor evaluations — slots (rep, iter, sibling, level,
+/// 0..b-1) — onto the pool and descends to the slot-ordered best, worse or
+/// not. Returns the best node seen on the walk (empty when even the sibling
+/// step failed).
+std::optional<Node> SolveRun::sibling_walk(const Node& initial,
+                                           std::uint64_t rep,
+                                           std::uint64_t iter,
+                                           std::uint64_t sibling) {
+  DEPSTOR_TRACE_SPAN("refit_walk");
+  Node cur = initial;  // each sibling walk restarts from the incumbent
+  if (!reconfig_step(cur, rep, iter, sibling, 0, 0)) return std::nullopt;
+  std::optional<Node> best = cur;
+  const int breadth = options_.breadth;
+  for (int level = 1; level <= options_.depth; ++level) {
+    if (out_of_time()) break;
+    std::vector<std::optional<Node>> slots(
+        static_cast<std::size_t>(breadth));
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(breadth));
+    {
+      TaskGroup group(pool_);
+      for (int k = 0; k < breadth; ++k) {
+        group.run([this, &cur, &slots, &errors, rep, iter, sibling, level,
+                   k] {
+          try {
             Node neighbor = cur;
-            if (!reconfig_step(neighbor)) continue;
-            if (!level_best ||
-                neighbor.cost.total() < level_best->cost.total()) {
-              level_best = std::move(neighbor);
+            if (reconfig_step(neighbor, rep, iter, sibling,
+                              static_cast<std::uint64_t>(level),
+                              static_cast<std::uint64_t>(k))) {
+              slots[static_cast<std::size_t>(k)] = std::move(neighbor);
             }
+          } catch (...) {
+            errors[static_cast<std::size_t>(k)] = std::current_exception();
           }
-          if (!level_best) break;
-          cur = std::move(*level_best);
-          if (cur.cost.total() < best.cost.total()) {
-            best = cur;
-            improved = true;
-          }
-        }
-        if (out_of_time()) break;
+        });
       }
-      if (!improved) break;  // local optimum (Algorithm 1 termination)
+      group.wait();
+      note_group(group);
     }
-    return best;
-  };
+    rethrow_first(errors);
+    // Level merge: strict `<` in slot order — ties go to the lowest slot,
+    // independent of completion order.
+    std::optional<Node> level_best;
+    for (auto& slot : slots) {
+      if (slot &&
+          (!level_best || slot->cost.total() < level_best->cost.total())) {
+        level_best = std::move(*slot);
+      }
+    }
+    if (!level_best) break;
+    cur = std::move(*level_best);  // descend even when worse (escape minima)
+    if (cur.cost.total() < best->cost.total()) best = cur;
+  }
+  return best;
+}
+
+/// One refit iteration: fan `b` independent sibling walks from a snapshot of
+/// the incumbent, then merge their bests in sibling order. Returns whether
+/// the incumbent improved (Algorithm 1's termination signal).
+bool SolveRun::refit_iteration(Node& best, std::uint64_t rep,
+                               std::uint64_t iter) {
+  const Node initial = best;
+  const int breadth = options_.breadth;
+  std::vector<std::optional<Node>> walk_best(
+      static_cast<std::size_t>(breadth));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(breadth));
+  {
+    TaskGroup group(pool_);
+    for (int s = 0; s < breadth; ++s) {
+      group.run([this, &initial, &walk_best, &errors, rep, iter, s] {
+        try {
+          walk_best[static_cast<std::size_t>(s)] =
+              sibling_walk(initial, rep, iter, static_cast<std::uint64_t>(s));
+        } catch (...) {
+          errors[static_cast<std::size_t>(s)] = std::current_exception();
+        }
+      });
+    }
+    group.wait();
+    note_group(group);
+  }
+  rethrow_first(errors);
+  bool improved = false;
+  for (auto& walk : walk_best) {
+    if (walk && walk->cost.total() < best.cost.total()) {
+      best = std::move(*walk);
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+// ---- Stage 2: refit (Algorithm 1 lines 14-42) ----
+Node SolveRun::refit_stage(Node start_node, std::uint64_t rep) {
+  DEPSTOR_TRACE_SPAN("refit");
+  Node best = std::move(start_node);
+  for (int iter = 0; iter < options_.max_refit_iterations; ++iter) {
+    if (out_of_time()) break;
+    ++result_.refit_iterations;
+    if (!refit_iteration(best, rep, static_cast<std::uint64_t>(iter))) {
+      break;  // local optimum (Algorithm 1 termination)
+    }
+  }
+  return best;
+}
+
+void SolveRun::finish_stats() {
+  result_.cancelled = cancelled();
+  result_.nodes_evaluated = nodes_evaluated_.load(std::memory_order_relaxed);
+  result_.refit_parallel_tasks =
+      parallel_tasks_.load(std::memory_order_relaxed);
+  result_.refit_steal_count = steal_count_.load(std::memory_order_relaxed);
+  result_.evaluations = agg_stats_.evaluations;
+  result_.cache_hits = agg_stats_.cache_hits;
+  result_.cache_misses = agg_stats_.cache_misses;
+  result_.scenarios_simulated = agg_stats_.incremental.scenarios_simulated;
+  result_.scenarios_reused = agg_stats_.incremental.scenarios_reused;
+  result_.eval_ms = agg_stats_.eval_ms;
+  result_.sweep_ms = agg_stats_.sweep_ms;
+  result_.increment_ms = agg_stats_.increment_ms;
+
+  // Publish the per-solve counters into the central registry (obs/counters)
+  // — one end-of-solve batch of adds, never per-node traffic, so the hot
+  // loops share no cache line across solver threads.
+  auto& reg = obs::counters();
+  reg.add("solver.solves", 1);
+  reg.add("solver.nodes_evaluated", result_.nodes_evaluated);
+  reg.add("solver.greedy_restarts", result_.greedy_restarts);
+  reg.add("solver.refit_iterations", result_.refit_iterations);
+  reg.add("solver.refit_parallel_tasks", result_.refit_parallel_tasks);
+  reg.add("solver.refit_steal_count", result_.refit_steal_count);
+  reg.add("solver.evaluations", result_.evaluations);
+  reg.add("solver.cache_hits", result_.cache_hits);
+  reg.add("solver.cache_misses", result_.cache_misses);
+  reg.add("solver.scenarios_simulated", result_.scenarios_simulated);
+  reg.add("solver.scenarios_reused", result_.scenarios_reused);
+  reg.set_gauge("solver.last_eval_ms", result_.eval_ms);
+  reg.set_gauge("solver.last_sweep_ms", result_.sweep_ms);
+  reg.set_gauge("solver.last_increment_ms", result_.increment_ms);
+}
+
+SolveResult SolveRun::run() {
+  DEPSTOR_TRACE_SPAN("solve");
 
   // The two-stage search is repeated (randomized restarts) until the time
   // budget is exhausted; the best design over all repetitions is returned
-  // (§3.1: "the search is repeated multiple times...").
+  // (§3.1: "the search is repeated multiple times..."). Deterministic mode
+  // has no clock, so the open-ended default caps at one repetition.
+  const int max_repetitions =
+      exec_.deterministic && options_.max_repetitions == 0
+          ? 1
+          : options_.max_repetitions;
   std::optional<Node> global_best;
   int repetitions = 0;
   do {
+    const auto rep = static_cast<std::uint64_t>(repetitions);
     ++repetitions;
-    std::optional<Node> incumbent = greedy_stage();
+    std::optional<Node> incumbent = greedy_stage(rep);
     if (!incumbent) continue;  // restart budget burned; retry while time lasts
-    Node local = refit_stage(std::move(*incumbent));
+    Node local = refit_stage(std::move(*incumbent), rep);
     if (!global_best || local.cost.total() < global_best->cost.total()) {
       global_best = std::move(local);
     }
   } while (!out_of_time() &&
-           (options_.max_repetitions == 0 ||
-            repetitions < options_.max_repetitions));
-
-  auto finish_stats = [&] {
-    result.cancelled = cancelled();
-    result.evaluations = config_solver.stats().evaluations;
-    result.cache_hits = config_solver.stats().cache_hits;
-    result.cache_misses = config_solver.stats().cache_misses;
-    result.scenarios_simulated =
-        config_solver.stats().incremental.scenarios_simulated;
-    result.scenarios_reused =
-        config_solver.stats().incremental.scenarios_reused;
-    result.eval_ms = config_solver.stats().eval_ms;
-    result.sweep_ms = config_solver.stats().sweep_ms;
-    result.increment_ms = config_solver.stats().increment_ms;
-
-    // Publish the per-solve counters into the central registry (obs/counters)
-    // — one end-of-solve batch of adds, never per-node traffic, so the hot
-    // loops share no cache line across solver threads.
-    auto& reg = obs::counters();
-    reg.add("solver.solves", 1);
-    reg.add("solver.nodes_evaluated", result.nodes_evaluated);
-    reg.add("solver.greedy_restarts", result.greedy_restarts);
-    reg.add("solver.refit_iterations", result.refit_iterations);
-    reg.add("solver.evaluations", result.evaluations);
-    reg.add("solver.cache_hits", result.cache_hits);
-    reg.add("solver.cache_misses", result.cache_misses);
-    reg.add("solver.scenarios_simulated", result.scenarios_simulated);
-    reg.add("solver.scenarios_reused", result.scenarios_reused);
-    reg.set_gauge("solver.last_eval_ms", result.eval_ms);
-    reg.set_gauge("solver.last_sweep_ms", result.sweep_ms);
-    reg.set_gauge("solver.last_increment_ms", result.increment_ms);
-  };
+           (max_repetitions == 0 || repetitions < max_repetitions));
 
   if (!global_best) {
-    result.elapsed_ms = elapsed_ms(start);
+    result_.elapsed_ms = elapsed_since(start_);
     finish_stats();
-    return result;
+    return std::move(result_);
   }
 
   // Final polish: one full configuration pass over the winner (scoped
@@ -224,14 +398,16 @@ SolveResult DesignSolver::solve() {
   // unexplored).
   {
     DEPSTOR_TRACE_SPAN("polish");
-    global_best->cost = config_solver.solve(global_best->candidate);
+    const ConfigSolver solver(env_, exec_.eval_cache, env_salt_);
+    global_best->cost = solver.solve(global_best->candidate);
+    merge_stats(solver.stats());
   }
-  result.elapsed_ms = elapsed_ms(start);
+  result_.elapsed_ms = elapsed_since(start_);
   finish_stats();
 
   DEPSTOR_LOG(Info, "design solver: cost " << global_best->cost.total()
                                            << " after "
-                                           << result.nodes_evaluated
+                                           << result_.nodes_evaluated
                                            << " nodes");
   global_best->candidate.check_feasible();
   if (analysis::debug_audit_enabled()) {
@@ -239,12 +415,47 @@ SolveResult DesignSolver::solve() {
     // invariant (all apps mapped, mirror isolation, usage within
     // provisioning) and its claimed cost must recompute to the same total.
     analysis::enforce_audit(global_best->candidate, &global_best->cost, {},
-                            "DesignSolver::solve");
+                            "SolveRun::run");
   }
-  result.cost = global_best->cost;
-  result.best = std::move(global_best->candidate);
-  result.feasible = true;
-  return result;
+  result_.cost = global_best->cost;
+  result_.best = std::move(global_best->candidate);
+  result_.feasible = true;
+  return std::move(result_);
+}
+
+void validate(const Environment* env, const DesignSolverOptions& options,
+              const ExecutionOptions& exec) {
+  DEPSTOR_EXPECTS(env != nullptr);
+  DEPSTOR_EXPECTS(options.breadth >= 1);
+  DEPSTOR_EXPECTS(options.depth >= 1);
+  DEPSTOR_EXPECTS(options.max_refit_iterations >= 0);
+  DEPSTOR_EXPECTS(options.max_greedy_restarts >= 1);
+  DEPSTOR_EXPECTS_MSG(exec.intra_node_workers >= 1,
+                      "intra_node_workers must be >= 1");
+  env->validate();
+}
+
+}  // namespace
+
+namespace detail {
+
+SolveResult solve_impl(const Environment* env,
+                       const DesignSolverOptions& options,
+                       const ExecutionOptions& exec) {
+  validate(env, options, exec);
+  SolveRun run(env, options, exec);
+  return run.run();
+}
+
+}  // namespace detail
+
+DesignSolver::DesignSolver(const Environment* env, DesignSolverOptions options)
+    : env_(env), options_(options) {
+  validate(env, options_, ExecutionOptions{});
+}
+
+SolveResult DesignSolver::solve() {
+  return detail::solve_impl(env_, options_, ExecutionOptions{});
 }
 
 }  // namespace depstor

@@ -17,6 +17,17 @@
 //
 // Every node is completed and priced by the configuration solver before
 // comparison, exactly as in Algorithm 1 (lines 6, 18, 25).
+//
+// The refit stage's siblings and per-level neighbors are mutually
+// independent, so they fan onto a WorkerPool when
+// `ExecutionOptions::intra_node_workers > 1` (see DESIGN.md §9). Every
+// search node draws from its own RNG stream derived from the structural
+// coordinates (repetition, iteration, sibling, level, slot), and merges are
+// slot-ordered, so the parallel solve is bit-identical to the sequential one
+// when `deterministic` disables the wall-clock cutoffs.
+//
+// The public entry point is `depstor::solve(SolveRequest)` in core/api.hpp;
+// this header defines the option structs and the internal driver.
 #pragma once
 
 #include <atomic>
@@ -29,20 +40,29 @@
 
 namespace depstor {
 
+class EvalCache;   // engine/eval_cache.hpp
+class WorkerPool;  // engine/worker_pool.hpp
+
 /// Ordering of the greedy stage. Algorithm 1 line 4 says "maximum penalty";
 /// §3.1.1's prose says randomized, penalty-weighted. Both are provided; the
 /// prose behavior is the default (it is what lets restarts differ).
 enum class GreedyOrder { WeightedRandom, MaxPenalty };
 
+/// Algorithm parameters of one solve — what the search explores and when it
+/// stops. Execution concerns (threads, cache, cancellation) live in
+/// ExecutionOptions; keeping the two apart is what lets the same
+/// DesignSolverOptions be replayed sequentially, intra-parallel, or fanned
+/// across seed restarts without touching the algorithm knobs.
 struct DesignSolverOptions {
   int breadth = 3;  ///< b: siblings / neighbors per level
   int depth = 5;    ///< d: depth of each refit walk
   int max_refit_iterations = 30;
   int max_greedy_restarts = 25;
   /// Soft wall-clock budget for the whole solve (checked between nodes).
+  /// Ignored when ExecutionOptions::deterministic is set.
   double time_budget_ms = 2000.0;
-  /// Cap on greedy+refit repetitions (0 = until the time budget runs out).
-  /// With a cap and a generous budget the solve is exactly reproducible.
+  /// Cap on greedy+refit repetitions (0 = until the time budget runs out;
+  /// under `deterministic`, 0 means exactly one repetition).
   int max_repetitions = 0;
   std::uint64_t seed = 1;
   GreedyOrder greedy_order = GreedyOrder::WeightedRandom;
@@ -54,8 +74,26 @@ struct DesignSolverOptions {
   /// taken literally, O(apps × grid) per node, prohibitive beyond ~12 apps.
   bool full_config_solve_every_node = false;
   ReconfigureOptions reconfigure;
+};
 
-  // --- batch-engine hooks (engine/engine.hpp); all optional ---
+/// How a solve executes: parallelism, determinism, budget override, and the
+/// runtime hooks (cache, cancellation, progress) that used to hide inside
+/// DesignSolverOptions.
+struct ExecutionOptions {
+  /// Independent seed-restart solves run concurrently, merged by minimum
+  /// cost (the old `solve_parallel` fan). Must be >= 1.
+  int workers = 1;
+  /// Threads cooperating *inside* each solve's refit stage. 1 = the
+  /// sequential path (no pool is created). Must be >= 1.
+  int intra_node_workers = 1;
+  /// Disable the wall-clock cutoffs so the node set explored depends only on
+  /// (options, seed) — required for the bit-identical parallel-vs-sequential
+  /// contract. Termination then comes from max_repetitions (0 → 1) and
+  /// max_refit_iterations. Cancellation is still honored.
+  bool deterministic = false;
+  /// When > 0, overrides DesignSolverOptions::time_budget_ms.
+  double time_budget_ms = 0.0;
+
   /// Shared memoizing evaluation cache threaded into the configuration
   /// solver. Never changes results, only skips recomputation.
   EvalCache* eval_cache = nullptr;
@@ -64,6 +102,10 @@ struct DesignSolverOptions {
   const std::atomic<bool>* cancel = nullptr;
   /// Live progress sink, incremented once per evaluated search node.
   std::atomic<std::int64_t>* progress = nullptr;
+  /// Borrow an existing pool for the intra-solve fan instead of creating one
+  /// (the batch engine lends its own so jobs and refit tasks share workers).
+  /// Null: the solve owns a pool when intra_node_workers > 1.
+  WorkerPool* intra_pool = nullptr;
 };
 
 struct SolveResult {
@@ -82,6 +124,11 @@ struct SolveResult {
   /// scenarios actually re-simulated vs served from the footprint cache.
   std::int64_t scenarios_simulated = 0;
   std::int64_t scenarios_reused = 0;
+  /// Intra-solve refit fan: tasks handed to the pool vs executed by the
+  /// coordinating thread itself (help-while-wait steals; with
+  /// intra_node_workers == 1 every task is "stolen" — run inline).
+  std::int64_t refit_parallel_tasks = 0;
+  std::int64_t refit_steal_count = 0;
   /// Per-stage wall-clock: evaluation calls, backup-chain sweeps, resource
   /// increment loops (eval_ms overlaps the other two — see
   /// ConfigSolverStats).
@@ -91,6 +138,15 @@ struct SolveResult {
   double elapsed_ms = 0.0;
 };
 
+namespace detail {
+/// Run one greedy+refit solve under `exec` (workers is ignored here — the
+/// seed fan lives in depstor::solve). Internal: callers go through
+/// core/api.hpp.
+SolveResult solve_impl(const Environment* env,
+                       const DesignSolverOptions& options,
+                       const ExecutionOptions& exec);
+}  // namespace detail
+
 class DesignSolver {
  public:
   explicit DesignSolver(const Environment* env,
@@ -98,7 +154,9 @@ class DesignSolver {
 
   /// Run greedy + refit once within the time budget and return the best
   /// design found. Never throws for infeasibility — inspect `feasible`.
-  SolveResult solve();
+  [[deprecated(
+      "use depstor::solve(SolveRequest) from core/api.hpp")]] SolveResult
+  solve();
 
  private:
   const Environment* env_;

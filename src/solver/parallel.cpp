@@ -2,7 +2,7 @@
 
 #include <exception>
 
-#include "engine/engine.hpp"
+#include "core/api.hpp"
 #include "engine/worker_pool.hpp"
 #include "util/check.hpp"
 
@@ -35,59 +35,20 @@ std::vector<Result> run_workers(int workers, const Job& job) {
   return results;
 }
 
-/// Alias a caller-owned environment into the shared_ptr form jobs expect,
-/// without copying or taking ownership (the caller outlives the engine).
-std::shared_ptr<const Environment> borrow(const Environment* env) {
-  return {env, [](const Environment*) {}};
-}
-
 }  // namespace
 
 SolveResult solve_parallel(const Environment* env,
                            const DesignSolverOptions& options, int workers) {
+  // Deprecated wrapper: the seed fan (job k gets seed `options.seed + k`,
+  // merge by minimum cost, counters summed) now lives behind
+  // depstor::solve. The historical workers >= 1 precondition is preserved.
   DEPSTOR_EXPECTS(env != nullptr);
   DEPSTOR_EXPECTS(workers >= 1);
-  // One engine job per worker; the engine derives job k's seed as
-  // `options.seed + k`, preserving the historical contract that results are
-  // reproducible regardless of thread scheduling.
-  EngineOptions engine_options;
-  engine_options.workers = workers;
-  engine_options.seed = options.seed;
-  BatchEngine engine(engine_options);
-  for (int k = 0; k < workers; ++k) {
-    DesignJob job;
-    job.name = "solve-" + std::to_string(k);
-    job.env = borrow(env);
-    job.options = options;
-    engine.submit(std::move(job));
-  }
-
-  SolveResult merged;
-  for (auto& jr : engine.wait_all()) {
-    if (jr.status == JobStatus::Failed) {
-      throw InternalError("parallel solve worker failed: " + jr.error);
-    }
-    SolveResult& r = jr.solve;
-    merged.nodes_evaluated += r.nodes_evaluated;
-    merged.refit_iterations += r.refit_iterations;
-    merged.greedy_restarts += r.greedy_restarts;
-    merged.evaluations += r.evaluations;
-    merged.cache_hits += r.cache_hits;
-    merged.cache_misses += r.cache_misses;
-    merged.scenarios_simulated += r.scenarios_simulated;
-    merged.scenarios_reused += r.scenarios_reused;
-    merged.eval_ms += r.eval_ms;
-    merged.sweep_ms += r.sweep_ms;
-    merged.increment_ms += r.increment_ms;
-    merged.elapsed_ms = std::max(merged.elapsed_ms, r.elapsed_ms);
-    if (!r.feasible) continue;
-    if (!merged.feasible || r.cost.total() < merged.cost.total()) {
-      merged.feasible = true;
-      merged.cost = r.cost;
-      merged.best = std::move(r.best);
-    }
-  }
-  return merged;
+  SolveRequest request;
+  request.env = env;
+  request.options = options;
+  request.exec.workers = workers;
+  return solve(request);
 }
 
 BaselineResult random_parallel(const Environment* env,

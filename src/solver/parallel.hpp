@@ -6,10 +6,9 @@
 // trivially: each worker gets a derived seed, runs the sequential algorithm,
 // and the results merge by minimum (solver) or concatenation (sampler).
 //
-// Fan-out is delegated to the batch engine (engine/): solve_parallel submits
-// one design job per worker to a BatchEngine — so the seed fan shares the
-// engine's memoizing evaluation cache — and the baseline/sampler drivers run
-// on its WorkerPool primitive.
+// The solver fan now lives behind depstor::solve (core/api.hpp) with
+// `exec.workers`; solve_parallel remains as a deprecated wrapper. The
+// baseline/sampler drivers run on the engine's WorkerPool primitive.
 //
 // Determinism: with a fixed `seed` and `workers`, worker k always receives
 // seed `seed + k`, so results are reproducible regardless of thread
@@ -26,8 +25,11 @@ namespace depstor {
 /// Run `workers` independent design solvers (seeds seed+0 … seed+workers-1)
 /// concurrently and return the cheapest feasible result. Node/iteration
 /// counters are summed across workers.
-SolveResult solve_parallel(const Environment* env,
-                           const DesignSolverOptions& options, int workers);
+[[deprecated(
+    "use depstor::solve(SolveRequest) with exec.workers from "
+    "core/api.hpp")]] SolveResult
+solve_parallel(const Environment* env, const DesignSolverOptions& options,
+               int workers);
 
 /// Run `workers` independent random-heuristic searches concurrently and
 /// return the best result (design counters summed).

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
@@ -76,6 +78,80 @@ void CliFlags::reject_unknown() const {
       throw InvalidArgument("unknown flag --" + key);
     }
   }
+}
+
+bool env_flag_enabled(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+namespace {
+
+/// Consume `removed` if present: warn through `report` and report whether
+/// the old spelling supplied a value. The caller decides precedence (the
+/// current spelling always wins).
+bool consume_removed(const CliFlags& flags, const char* removed,
+                     const char* current, analysis::DiagnosticReport* report) {
+  if (!flags.has(removed)) return false;
+  if (report != nullptr) {
+    report->add(analysis::Severity::Warning, analysis::rules::kRemovedCliFlag,
+                std::string("--") + removed +
+                    " was removed from the unified CLI; it still works for "
+                    "now but will stop parsing",
+                std::string("use --") + current + " instead");
+  }
+  return true;
+}
+
+}  // namespace
+
+ExecutionFlags parse_execution_flags(const CliFlags& flags,
+                                     analysis::DiagnosticReport* report,
+                                     const ExecutionFlags& defaults) {
+  ExecutionFlags out = defaults;
+
+  // --workers (removed: --engine-workers, --jobs). The removed spellings
+  // still feed the value so existing sweep scripts degrade to a warning.
+  const bool had_engine_workers =
+      consume_removed(flags, "engine-workers", "workers", report);
+  const bool had_jobs = consume_removed(flags, "jobs", "workers", report);
+  if (flags.has("workers")) {
+    out.workers = flags.get_int("workers", out.workers);
+  } else if (had_engine_workers) {
+    out.workers = flags.get_int("engine-workers", out.workers);
+  } else if (had_jobs) {
+    out.workers = flags.get_int("jobs", out.workers);
+  }
+
+  // --intra-workers (removed: --intra-node-workers).
+  const bool had_intra_node =
+      consume_removed(flags, "intra-node-workers", "intra-workers", report);
+  if (flags.has("intra-workers")) {
+    out.intra_workers = flags.get_int("intra-workers", out.intra_workers);
+  } else if (had_intra_node) {
+    out.intra_workers = flags.get_int("intra-node-workers", out.intra_workers);
+  }
+
+  out.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<int>(out.seed)));
+  out.deterministic = flags.get_bool("deterministic", out.deterministic);
+
+  // --trace-out (removed: --trace; bare `--trace` picks the default path).
+  const bool had_trace = consume_removed(flags, "trace", "trace-out", report);
+  out.trace_out = flags.get_string("trace-out", out.trace_out);
+  if (out.trace_out.empty() && had_trace) {
+    const std::string v = flags.get_string("trace", "");
+    out.trace_out = (v.empty() || v == "true") ? "depstor_trace.json" : v;
+  }
+  // DEPSTOR_TRACE=1 without a path: trace to the default location, matching
+  // the pre-unification behavior of both tools.
+  if (out.trace_out.empty() && env_flag_enabled("DEPSTOR_TRACE")) {
+    out.trace_out = "depstor_trace.json";
+  }
+
+  out.stats = flags.get_bool("stats", out.stats) ||
+              env_flag_enabled("DEPSTOR_STATS");
+  return out;
 }
 
 }  // namespace depstor

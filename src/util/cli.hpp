@@ -2,8 +2,16 @@
 //
 // Supported forms: --key=value, --key value, --flag (boolean true).
 // Unknown flags are an error so typos in experiment sweeps fail loudly.
+//
+// Every tool that runs the solver parses the execution knobs through
+// parse_execution_flags, so --workers/--intra-workers/--seed/--deterministic/
+// --trace-out/--stats mean the same thing in depstor_cli, depstor_batch and
+// the bench harnesses. Removed spellings from the pre-unification tools
+// (--engine-workers, --jobs, --intra-node-workers, --trace) still work but
+// emit a `removed-cli-flag` warning (analysis/lint.hpp rule catalog).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -11,6 +19,10 @@
 #include <vector>
 
 namespace depstor {
+
+namespace analysis {
+class DiagnosticReport;
+}  // namespace analysis
 
 class CliFlags {
  public:
@@ -37,5 +49,34 @@ class CliFlags {
   std::vector<std::string> positional_;
   mutable std::set<std::string> consumed_;
 };
+
+/// The execution knobs shared by every solver-running tool, one spelling per
+/// knob (see the header comment). Maps 1:1 onto ExecutionOptions
+/// (solver/design_solver.hpp) plus the two observability toggles.
+struct ExecutionFlags {
+  int workers = 1;             ///< --workers: seed fan / engine worker count
+  int intra_workers = 1;       ///< --intra-workers: refit threads per solve
+  std::uint64_t seed = 1;      ///< --seed: base of every derived RNG stream
+  bool deterministic = false;  ///< --deterministic: fixed work, no wall clock
+  std::string trace_out;       ///< --trace-out=<path>: Chrome trace (or
+                               ///< DEPSTOR_TRACE=1 → depstor_trace.json)
+  bool stats = false;          ///< --stats: counter registry at exit (or
+                               ///< DEPSTOR_STATS=1)
+};
+
+/// True when the environment variable is set to anything but "" or "0".
+bool env_flag_enabled(const char* name);
+
+/// Parse the unified execution flags out of `flags`, starting from
+/// `defaults` (tools differ only in defaults: depstor_batch wants
+/// workers=0 = hardware, the bench harnesses want seed=42). DEPSTOR_TRACE /
+/// DEPSTOR_STATS env toggles are folded in here.
+///
+/// Removed spellings are consumed too — each use appends a
+/// `removed-cli-flag` warning to `report` (when given) and the value is
+/// honored unless the current spelling is also present.
+ExecutionFlags parse_execution_flags(const CliFlags& flags,
+                                     analysis::DiagnosticReport* report,
+                                     const ExecutionFlags& defaults = {});
 
 }  // namespace depstor

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <random>
 #include <span>
 #include <vector>
@@ -13,6 +14,28 @@
 #include "util/check.hpp"
 
 namespace depstor {
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixing step.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive a child seed from a base seed and a structural path (e.g. the
+/// design solver's (repetition, iteration, sibling, level, slot) refit
+/// coordinates). Deterministic and order-sensitive: the same path always
+/// yields the same seed, distinct paths yield independent-looking streams,
+/// and the result never depends on which thread computes it — this is what
+/// makes the intra-solve parallel refit bit-identical to its sequential
+/// execution.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::initializer_list<std::uint64_t> path) {
+  std::uint64_t h = mix64(base);
+  for (std::uint64_t v : path) h = mix64(h ^ mix64(v));
+  return h;
+}
 
 class Rng {
  public:

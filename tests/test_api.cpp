@@ -1,0 +1,122 @@
+// The unified entry point (core/api.hpp): SolveRequest validation, the
+// seed-restart fan, and the pinning tests for the deprecated wrappers.
+//
+// This file is the one place allowed to call `DesignSolver::solve()` and
+// `solve_parallel()` — it pins the wrappers to the new API bit-for-bit so
+// the deprecation period cannot silently change behavior. Everything else
+// in the tree goes through depstor::solve (CI builds with -Werror, which
+// turns any stray deprecated call into a build break).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/api.hpp"
+#include "core/scenarios.hpp"
+#include "solver/parallel.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::solve_design;
+using testing::solve_fanned;
+
+DesignSolverOptions fixed_work_options(std::uint64_t seed) {
+  DesignSolverOptions o;
+  o.seed = seed;
+  o.max_repetitions = 1;  // fixed work: the wall clock never cuts the search
+  o.time_budget_ms = 1e9;
+  o.breadth = 2;
+  o.depth = 2;
+  o.max_refit_iterations = 2;
+  return o;
+}
+
+TEST(SolveRequest, RejectsNullEnvironment) {
+  SolveRequest request;  // env left null
+  EXPECT_THROW(solve(request), InvalidArgument);
+}
+
+TEST(SolveRequest, RejectsBadWorkerCounts) {
+  const Environment env = testing::peer_env(2);
+  ExecutionOptions exec;
+  exec.workers = 0;
+  EXPECT_THROW(solve_design(env, {}, exec), InvalidArgument);
+  exec.workers = 1;
+  exec.intra_node_workers = 0;
+  EXPECT_THROW(solve_design(env, {}, exec), InvalidArgument);
+}
+
+TEST(SolveRequest, SeedFanReturnsTheCheapestRestartAndSumsCounters) {
+  const Environment env = testing::peer_env(4);
+  const std::uint64_t base_seed = 21;
+
+  // The fan gives worker k seed `base + k`; reproduce it by hand.
+  SolveResult cheapest;
+  std::int64_t nodes_sum = 0;
+  for (int k = 0; k < 3; ++k) {
+    const SolveResult r = solve_design(
+        env, fixed_work_options(base_seed + static_cast<std::uint64_t>(k)));
+    ASSERT_TRUE(r.feasible);
+    nodes_sum += r.nodes_evaluated;
+    if (k == 0 || r.cost.total() < cheapest.cost.total()) cheapest = r;
+  }
+
+  const SolveResult fanned =
+      solve_fanned(env, fixed_work_options(base_seed), 3);
+  ASSERT_TRUE(fanned.feasible);
+  EXPECT_EQ(fanned.cost.total(), cheapest.cost.total());
+  EXPECT_EQ(fanned.nodes_evaluated, nodes_sum);
+}
+
+TEST(SolveRequest, HonorsCancellationHook) {
+  const Environment env = testing::peer_env(4);
+  std::atomic<bool> cancel{true};  // pre-cancelled: stop at the first node
+  ExecutionOptions exec;
+  exec.cancel = &cancel;
+  const SolveResult result = solve_design(env, fixed_work_options(3), exec);
+  EXPECT_TRUE(result.cancelled);
+}
+
+// ------------------------------------------------- deprecated-wrapper pins
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedWrappers, DesignSolverSolveMatchesUnifiedApi) {
+  const Environment env = testing::peer_env(4);
+  const DesignSolverOptions options = fixed_work_options(5);
+
+  DesignSolver solver(&env, options);
+  const SolveResult legacy = solver.solve();
+  const SolveResult unified = solve_design(env, options);
+
+  ASSERT_TRUE(legacy.feasible);
+  ASSERT_TRUE(unified.feasible);
+  EXPECT_EQ(legacy.cost.total(), unified.cost.total());
+  EXPECT_EQ(legacy.nodes_evaluated, unified.nodes_evaluated);
+  EXPECT_EQ(legacy.refit_iterations, unified.refit_iterations);
+}
+
+TEST(DeprecatedWrappers, SolveParallelMatchesUnifiedApiFan) {
+  const Environment env = testing::peer_env(4);
+  const DesignSolverOptions options = fixed_work_options(9);
+
+  const SolveResult legacy = solve_parallel(&env, options, 2);
+  const SolveResult unified = solve_fanned(env, options, 2);
+
+  ASSERT_TRUE(legacy.feasible);
+  ASSERT_TRUE(unified.feasible);
+  EXPECT_EQ(legacy.cost.total(), unified.cost.total());
+  EXPECT_EQ(legacy.nodes_evaluated, unified.nodes_evaluated);
+}
+
+TEST(DeprecatedWrappers, SolveParallelStillValidatesWorkers) {
+  const Environment env = testing::peer_env(2);
+  EXPECT_THROW(solve_parallel(&env, {}, 0), InvalidArgument);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace depstor

@@ -23,8 +23,7 @@ DesignSolverOptions fast_options() {
 }
 
 SolveResult solve(const Environment& env) {
-  DesignSolver solver(&env, fast_options());
-  SolveResult result = solver.solve();
+  SolveResult result = testing::solve_design(env, fast_options());
   EXPECT_TRUE(result.feasible);
   return result;
 }

@@ -127,9 +127,8 @@ TEST(Check, DesignSolverReportsInfeasibleInsteadOfThrowing) {
   DesignSolverOptions opts;
   opts.time_budget_ms = 500.0;
   opts.max_repetitions = 1;
-  DesignSolver solver(&env, opts);
   SolveResult result;
-  EXPECT_NO_THROW(result = solver.solve());
+  EXPECT_NO_THROW(result = testing::solve_design(env, opts));
   EXPECT_FALSE(result.feasible);
   EXPECT_FALSE(result.best.has_value());
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
@@ -90,6 +92,66 @@ TEST(Cli, NegativeNumberAsValue) {
 TEST(Cli, LastDuplicateWins) {
   const auto flags = parse({"--n=1", "--n=2"});
   EXPECT_EQ(flags.get_int("n", 0), 2);
+}
+
+// ------------------------------------------- unified execution flags (§9)
+
+TEST(ExecutionFlagsTest, ParsesUnifiedSpellings) {
+  const auto flags = parse({"--workers=3", "--intra-workers=4", "--seed=17",
+                            "--deterministic", "--trace-out=t.json",
+                            "--stats"});
+  analysis::DiagnosticReport report;
+  const ExecutionFlags ef = parse_execution_flags(flags, &report);
+  EXPECT_EQ(ef.workers, 3);
+  EXPECT_EQ(ef.intra_workers, 4);
+  EXPECT_EQ(ef.seed, 17u);
+  EXPECT_TRUE(ef.deterministic);
+  EXPECT_EQ(ef.trace_out, "t.json");
+  EXPECT_TRUE(ef.stats);
+  EXPECT_TRUE(report.empty());
+  EXPECT_NO_THROW(flags.reject_unknown());
+}
+
+TEST(ExecutionFlagsTest, DefaultsPassThrough) {
+  const auto flags = parse({});
+  ExecutionFlags defaults;
+  defaults.workers = 0;
+  defaults.seed = 42;
+  const ExecutionFlags ef = parse_execution_flags(flags, nullptr, defaults);
+  EXPECT_EQ(ef.workers, 0);
+  EXPECT_EQ(ef.intra_workers, 1);
+  EXPECT_EQ(ef.seed, 42u);
+  EXPECT_FALSE(ef.deterministic);
+}
+
+TEST(ExecutionFlagsTest, RemovedSpellingsWarnAndStillParse) {
+  const auto flags = parse({"--engine-workers=5", "--intra-node-workers=2",
+                            "--trace=old.json"});
+  analysis::DiagnosticReport report;
+  const ExecutionFlags ef = parse_execution_flags(flags, &report);
+  EXPECT_EQ(ef.workers, 5);
+  EXPECT_EQ(ef.intra_workers, 2);
+  EXPECT_EQ(ef.trace_out, "old.json");
+  EXPECT_EQ(report.warning_count(), 3);
+  EXPECT_TRUE(report.has_rule(analysis::rules::kRemovedCliFlag));
+  // Consumed despite being removed: reject_unknown stays quiet.
+  EXPECT_NO_THROW(flags.reject_unknown());
+}
+
+TEST(ExecutionFlagsTest, CurrentSpellingWinsOverRemoved) {
+  const auto flags = parse({"--workers=2", "--jobs=9"});
+  analysis::DiagnosticReport report;
+  const ExecutionFlags ef = parse_execution_flags(flags, &report);
+  EXPECT_EQ(ef.workers, 2);
+  EXPECT_EQ(report.warning_count(), 1);
+}
+
+TEST(ExecutionFlagsTest, BareTraceFlagPicksDefaultPath) {
+  const auto flags = parse({"--trace"});
+  analysis::DiagnosticReport report;
+  const ExecutionFlags ef = parse_execution_flags(flags, &report);
+  EXPECT_EQ(ef.trace_out, "depstor_trace.json");
+  EXPECT_EQ(report.warning_count(), 1);
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ TEST(GreedyOrderMax, DeterministicFirstPlacement) {
   o.max_refit_iterations = 0;
   o.greedy_order = GreedyOrder::MaxPenalty;
   o.seed = 31;
-  const auto result = DesignSolver(&env, o).solve();
+  const auto result = testing::solve_design(env, o);
   ASSERT_TRUE(result.feasible);
   // All assigned; B1's technique must be gold class (eligibility).
   EXPECT_EQ(result.best->assignment(0).technique.category, AppCategory::Gold);

@@ -9,6 +9,7 @@ namespace depstor {
 namespace {
 
 using testing::peer_env;
+using testing::solve_design;
 
 DesignSolverOptions quick_options(std::uint64_t seed = 1) {
   DesignSolverOptions o;
@@ -19,8 +20,7 @@ DesignSolverOptions quick_options(std::uint64_t seed = 1) {
 
 TEST(DesignSolver, FindsFeasiblePeerSitesDesign) {
   Environment env = peer_env(8);
-  DesignSolver solver(&env, quick_options());
-  const SolveResult result = solver.solve();
+  const SolveResult result = solve_design(env, quick_options());
   ASSERT_TRUE(result.feasible);
   EXPECT_EQ(result.best->assigned_count(), 8);
   EXPECT_NO_THROW(result.best->check_feasible());
@@ -30,8 +30,7 @@ TEST(DesignSolver, FindsFeasiblePeerSitesDesign) {
 
 TEST(DesignSolver, ReportedCostMatchesCandidate) {
   Environment env = peer_env(4);
-  DesignSolver solver(&env, quick_options(2));
-  const SolveResult result = solver.solve();
+  const SolveResult result = solve_design(env, quick_options(2));
   ASSERT_TRUE(result.feasible);
   EXPECT_NEAR(result.cost.total(), result.best->evaluate().total(),
               result.cost.total() * 1e-9);
@@ -48,8 +47,8 @@ TEST(DesignSolver, DeterministicUnderSeedWithRepetitionCap) {
   o.seed = 77;
   Environment env = peer_env(4);
   Environment env2 = peer_env(4);
-  const auto r1 = DesignSolver(&env, o).solve();
-  const auto r2 = DesignSolver(&env2, o).solve();
+  const auto r1 = solve_design(env, o);
+  const auto r2 = solve_design(env2, o);
   ASSERT_TRUE(r1.feasible);
   ASSERT_TRUE(r2.feasible);
   EXPECT_DOUBLE_EQ(r1.cost.total(), r2.cost.total());
@@ -64,8 +63,7 @@ TEST(DesignSolver, AllCriticalAppsGetBackup) {
   // §4.3.2: "All applications employ some form of tape backup to support
   // recovery from user errors" — at minimum, the loss-critical ones must.
   Environment env = peer_env(8);
-  DesignSolver solver(&env, quick_options(3));
-  const SolveResult result = solver.solve();
+  const SolveResult result = solve_design(env, quick_options(3));
   ASSERT_TRUE(result.feasible);
   for (const auto& asg : result.best->assignments()) {
     const auto& app = env.app(asg.app_id);
@@ -80,8 +78,7 @@ TEST(DesignSolver, HighOutageAppsEmployFailover) {
   // §4.3.2: "applications with high data outage penalty rates always employ
   // failover for recovery".
   Environment env = peer_env(8);
-  DesignSolver solver(&env, quick_options(4));
-  const SolveResult result = solver.solve();
+  const SolveResult result = solve_design(env, quick_options(4));
   ASSERT_TRUE(result.feasible);
   for (const auto& asg : result.best->assignments()) {
     const auto& app = env.app(asg.app_id);
@@ -98,8 +95,7 @@ TEST(DesignSolver, InfeasibleEnvironmentReportsInfeasible) {
   env.validate();
   DesignSolverOptions o = quick_options();
   o.time_budget_ms = 200.0;
-  DesignSolver solver(&env, o);
-  const SolveResult result = solver.solve();
+  const SolveResult result = solve_design(env, o);
   EXPECT_FALSE(result.feasible);
   EXPECT_FALSE(result.best.has_value());
 }
@@ -108,8 +104,7 @@ TEST(DesignSolver, MaxPenaltyGreedyOrderAlsoWorks) {
   Environment env = peer_env(4);
   DesignSolverOptions o = quick_options(5);
   o.greedy_order = GreedyOrder::MaxPenalty;
-  DesignSolver solver(&env, o);
-  const SolveResult result = solver.solve();
+  const SolveResult result = solve_design(env, o);
   EXPECT_TRUE(result.feasible);
 }
 
@@ -117,9 +112,8 @@ TEST(DesignSolver, RespectsTimeBudgetRoughly) {
   Environment env = peer_env(8);
   DesignSolverOptions o = quick_options(6);
   o.time_budget_ms = 300.0;
-  DesignSolver solver(&env, o);
   const auto start = std::chrono::steady_clock::now();
-  solver.solve();
+  solve_design(env, o);
   const double elapsed =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
@@ -140,8 +134,8 @@ TEST(DesignSolver, MoreRepetitionsNeverHurt) {
   three.max_repetitions = 3;
   Environment env = peer_env(8);
   Environment env2 = peer_env(8);
-  const auto r_one = DesignSolver(&env, one).solve();
-  const auto r_three = DesignSolver(&env2, three).solve();
+  const auto r_one = solve_design(env, one);
+  const auto r_three = solve_design(env2, three);
   ASSERT_TRUE(r_one.feasible);
   ASSERT_TRUE(r_three.feasible);
   EXPECT_LE(r_three.cost.total(), r_one.cost.total() + 1e-6);
@@ -151,19 +145,18 @@ TEST(DesignSolver, OptionValidation) {
   Environment env = peer_env(1);
   DesignSolverOptions o;
   o.breadth = 0;
-  EXPECT_THROW(DesignSolver(&env, o), InvalidArgument);
+  EXPECT_THROW(solve_design(env, o), InvalidArgument);
   o = DesignSolverOptions{};
   o.depth = 0;
-  EXPECT_THROW(DesignSolver(&env, o), InvalidArgument);
+  EXPECT_THROW(solve_design(env, o), InvalidArgument);
   o = DesignSolverOptions{};
   o.max_greedy_restarts = 0;
-  EXPECT_THROW(DesignSolver(&env, o), InvalidArgument);
+  EXPECT_THROW(solve_design(env, o), InvalidArgument);
 }
 
 TEST(DesignSolver, EveryAppAssignedExactlyOnce) {
   Environment env = peer_env(8);
-  DesignSolver solver(&env, quick_options(8));
-  const auto result = solver.solve();
+  const auto result = solve_design(env, quick_options(8));
   ASSERT_TRUE(result.feasible);
   std::vector<bool> seen(8, false);
   for (const auto& asg : result.best->assignments()) {

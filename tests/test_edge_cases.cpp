@@ -78,14 +78,14 @@ TEST(EdgeCases, ParallelSolveSumsWorkerCounters) {
   o.max_refit_iterations = 1;
   o.seed = 5;
   Environment env = peer_env(4);
-  const auto merged = solve_parallel(&env, o, 2);
+  const auto merged = testing::solve_fanned(env, o, 2);
   // Run the two workers' seeds sequentially and compare counter sums.
   int nodes = 0;
   for (int k = 0; k < 2; ++k) {
     Environment env_k = peer_env(4);
     DesignSolverOptions ok = o;
     ok.seed = o.seed + static_cast<std::uint64_t>(k);
-    nodes += DesignSolver(&env_k, ok).solve().nodes_evaluated;
+    nodes += testing::solve_design(env_k, ok).nodes_evaluated;
   }
   EXPECT_EQ(merged.nodes_evaluated, nodes);
 }
@@ -149,7 +149,7 @@ TEST(EdgeCases, TinyTimeBudgetStillReturnsSomething) {
   DesignSolverOptions o;
   o.time_budget_ms = 1.0;
   o.seed = 2;
-  const auto result = DesignSolver(&env, o).solve();
+  const auto result = testing::solve_design(env, o);
   if (result.feasible) {
     EXPECT_NO_THROW(result.best->check_feasible());
   } else {

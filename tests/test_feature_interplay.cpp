@@ -86,7 +86,7 @@ TEST(Interplay, ParallelSolveOnMultiSite) {
   DesignSolverOptions o;
   o.time_budget_ms = 600.0;
   o.seed = 55;
-  const auto result = solve_parallel(&env, o, 2);
+  const auto result = testing::solve_fanned(env, o, 2);
   ASSERT_TRUE(result.feasible);
   EXPECT_NO_THROW(result.best->check_feasible());
   EXPECT_EQ(result.best->assigned_count(), 8);

@@ -1,6 +1,7 @@
 // Shared builders for the depstor test suite.
 #pragma once
 
+#include "core/api.hpp"
 #include "core/environment.hpp"
 #include "core/scenarios.hpp"
 #include "protection/catalog.hpp"
@@ -15,6 +16,27 @@ namespace depstor::testing {
 /// case-study size).
 inline Environment peer_env(int apps = 8) {
   return scenarios::peer_sites(apps);
+}
+
+/// Run the design solver through the unified API — the tests' standard
+/// entry point (the deprecated wrappers are exercised only by test_api.cpp).
+inline SolveResult solve_design(const Environment& env,
+                                const DesignSolverOptions& options = {},
+                                const ExecutionOptions& exec = {}) {
+  SolveRequest request;
+  request.env = &env;
+  request.options = options;
+  request.exec = exec;
+  return solve(request);
+}
+
+/// Seed-restart fan (the old solve_parallel shape) through the unified API.
+inline SolveResult solve_fanned(const Environment& env,
+                                const DesignSolverOptions& options,
+                                int workers) {
+  ExecutionOptions exec;
+  exec.workers = workers;
+  return solve_design(env, options, exec);
 }
 
 /// Tiny environment — one app, two sites — for focused model tests.

@@ -214,8 +214,7 @@ void expect_proper_nesting(const std::vector<SpanRec>& spans) {
 TEST_F(ObsTest, TracedSolveRoundTripsThroughChromeFormat) {
   Environment env = peer_env(4);
   obs::set_trace_enabled(true);
-  DesignSolver solver(&env, fixed_work_options());
-  const SolveResult result = solver.solve();
+  const SolveResult result = testing::solve_design(env, fixed_work_options());
   obs::set_trace_enabled(false);
   ASSERT_TRUE(result.feasible);
 
@@ -274,8 +273,7 @@ TEST_F(ObsTest, TracedSolveRoundTripsThroughChromeFormat) {
 
 TEST_F(ObsTest, UntracedSolveStillPublishesCounters) {
   Environment env = peer_env(3);
-  DesignSolver solver(&env, fixed_work_options());
-  const SolveResult result = solver.solve();
+  const SolveResult result = testing::solve_design(env, fixed_work_options());
   ASSERT_TRUE(result.feasible);
   EXPECT_EQ(obs::trace_stats().recorded, 0);  // no spans without the toggle
   EXPECT_EQ(obs::counters().value("solver.solves"), 1);

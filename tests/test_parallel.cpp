@@ -8,13 +8,15 @@ namespace depstor {
 namespace {
 
 using testing::peer_env;
+using testing::solve_design;
+using testing::solve_fanned;
 
 TEST(ParallelSolve, FindsFeasibleDesign) {
   Environment env = peer_env(8);
   DesignSolverOptions o;
   o.time_budget_ms = 300.0;
   o.seed = 4;
-  const auto result = solve_parallel(&env, o, 4);
+  const auto result = solve_fanned(env, o, 4);
   ASSERT_TRUE(result.feasible);
   EXPECT_NO_THROW(result.best->check_feasible());
   EXPECT_GT(result.nodes_evaluated, 0);
@@ -29,13 +31,13 @@ TEST(ParallelSolve, NeverWorseThanAnySingleWorkerSeed) {
   o.max_refit_iterations = 1;
   o.seed = 100;
   Environment env = peer_env(4);
-  const auto parallel = solve_parallel(&env, o, 3);
+  const auto parallel = solve_fanned(env, o, 3);
   ASSERT_TRUE(parallel.feasible);
   for (int k = 0; k < 3; ++k) {
     Environment env_k = peer_env(4);
     DesignSolverOptions ok = o;
     ok.seed = o.seed + static_cast<std::uint64_t>(k);
-    const auto single = DesignSolver(&env_k, ok).solve();
+    const auto single = solve_design(env_k, ok);
     if (single.feasible) {
       EXPECT_LE(parallel.cost.total(), single.cost.total() + 1e-6);
     }
@@ -50,8 +52,8 @@ TEST(ParallelSolve, DeterministicMergeUnderRepetitionCap) {
   o.seed = 7;
   Environment env1 = peer_env(4);
   Environment env2 = peer_env(4);
-  const auto a = solve_parallel(&env1, o, 3);
-  const auto b = solve_parallel(&env2, o, 3);
+  const auto a = solve_fanned(env1, o, 3);
+  const auto b = solve_fanned(env2, o, 3);
   ASSERT_TRUE(a.feasible);
   ASSERT_TRUE(b.feasible);
   EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
@@ -66,15 +68,17 @@ TEST(ParallelSolve, SingleWorkerEqualsSequential) {
   o.seed = 13;
   Environment env1 = peer_env(4);
   Environment env2 = peer_env(4);
-  const auto par = solve_parallel(&env1, o, 1);
-  const auto seq = DesignSolver(&env2, o).solve();
+  const auto par = solve_fanned(env1, o, 1);
+  const auto seq = solve_design(env2, o);
   ASSERT_EQ(par.feasible, seq.feasible);
   EXPECT_DOUBLE_EQ(par.cost.total(), seq.cost.total());
 }
 
 TEST(ParallelSolve, RejectsBadWorkerCount) {
   Environment env = peer_env(2);
-  EXPECT_THROW(solve_parallel(&env, {}, 0), InvalidArgument);
+  ExecutionOptions exec;
+  exec.workers = 0;
+  EXPECT_THROW(solve_design(env, {}, exec), InvalidArgument);
 }
 
 TEST(ParallelRandom, MergesBestAndCounters) {

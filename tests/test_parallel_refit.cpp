@@ -1,0 +1,252 @@
+// Intra-solve parallel refit search (DESIGN.md §9).
+//
+// The determinism contract under test: with `exec.deterministic` set, a
+// solve explores a node set that depends only on (options, seed) — every
+// search node draws from an RNG stream derived from its structural
+// coordinates, and merges are slot-ordered — so any `intra_node_workers`
+// value must return bit-identical results. Plus the machinery underneath:
+// TaskGroup fan-out/steal semantics, cancellation mid-fan, and nested
+// submission from a batch-engine job on a one-worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "engine/engine.hpp"
+#include "engine/worker_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::solve_design;
+
+// ---------------------------------------------------------------- TaskGroup
+
+TEST(TaskGroup, NullPoolRunsInline) {
+  std::atomic<int> ran{0};
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&ran] { ++ran; });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(group.spawned(), 0);
+  EXPECT_EQ(group.stolen(), 8);  // inline execution counts as stolen
+}
+
+TEST(TaskGroup, PoolRunsEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> ran(64);
+  TaskGroup group(&pool);
+  for (auto& slot : ran) {
+    group.run([&slot] { ++slot; });
+  }
+  group.wait();
+  for (const auto& slot : ran) EXPECT_EQ(slot.load(), 1);
+  EXPECT_EQ(group.spawned(), 64);
+}
+
+TEST(TaskGroup, WaiterStealsWhenPoolIsBusy) {
+  // One worker, blocked on a gate: wait() must drain the remaining tasks
+  // itself instead of deadlocking behind the busy worker.
+  WorkerPool pool(1);
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  const bool accepted = pool.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  ASSERT_TRUE(accepted);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.run([&ran, &gate] {
+      ++ran;
+      if (ran.load() == 16) gate.store(true);  // last task frees the worker
+    });
+  }
+  group.wait();
+  gate.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+  // The only worker stays blocked until the 16th task flips the gate, so
+  // every task was executed by the waiting thread.
+  EXPECT_EQ(group.stolen(), 16);
+}
+
+TEST(TaskGroup, NestedGroupsOnOneWorkerPoolComplete) {
+  WorkerPool pool(1);
+  std::atomic<int> inner_ran{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&pool, &inner_ran] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.run([&inner_ran] { ++inner_ran; });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_ran.load(), 16);
+}
+
+// ---------------------------------------------- determinism oracle (§9)
+
+DesignSolverOptions oracle_options(std::uint64_t seed) {
+  DesignSolverOptions o;
+  o.seed = seed;
+  o.max_repetitions = 1;
+  o.breadth = 2;
+  o.depth = 3;
+  o.max_refit_iterations = 3;
+  return o;
+}
+
+void expect_parallel_matches_sequential(const Environment& env,
+                                        std::uint64_t seed) {
+  const DesignSolverOptions options = oracle_options(seed);
+  ExecutionOptions seq;
+  seq.deterministic = true;
+  ExecutionOptions par = seq;
+  par.intra_node_workers = 4;
+
+  const SolveResult a = solve_design(env, options, seq);
+  const SolveResult b = solve_design(env, options, par);
+  ASSERT_EQ(a.feasible, b.feasible) << "seed " << seed;
+  ASSERT_TRUE(a.feasible) << "seed " << seed;
+  // Bit-identical totals, not approximate: the parallel solve runs the same
+  // node tree with the same derived RNG streams.
+  EXPECT_EQ(a.cost.total(), b.cost.total()) << "seed " << seed;
+  EXPECT_EQ(a.cost.outlay, b.cost.outlay) << "seed " << seed;
+  EXPECT_EQ(a.cost.outage_penalty, b.cost.outage_penalty) << "seed " << seed;
+  EXPECT_EQ(a.cost.loss_penalty, b.cost.loss_penalty) << "seed " << seed;
+  EXPECT_EQ(a.nodes_evaluated, b.nodes_evaluated) << "seed " << seed;
+  EXPECT_EQ(a.refit_iterations, b.refit_iterations) << "seed " << seed;
+}
+
+TEST(ParallelRefit, BitIdenticalToSequentialPeerSites4) {
+  const Environment env = scenarios::peer_sites(4);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_parallel_matches_sequential(env, seed);
+  }
+}
+
+TEST(ParallelRefit, BitIdenticalToSequentialPeerSites8) {
+  const Environment env = scenarios::peer_sites(8);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_parallel_matches_sequential(env, seed);
+  }
+}
+
+TEST(ParallelRefit, BitIdenticalToSequentialMultiSite) {
+  const Environment env = scenarios::multi_site(8, 3, 4);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_parallel_matches_sequential(env, seed);
+  }
+}
+
+TEST(ParallelRefit, ParallelTasksAreCountedWhenFanned) {
+  const Environment env = scenarios::peer_sites(4);
+  ExecutionOptions par;
+  par.deterministic = true;
+  par.intra_node_workers = 4;
+  const SolveResult result = solve_design(env, oracle_options(7), par);
+  ASSERT_TRUE(result.feasible);
+  // With a real pool at least part of the fan runs as pool tasks.
+  EXPECT_GT(result.refit_parallel_tasks + result.refit_steal_count, 0);
+}
+
+// ------------------------------------------------------------- cancellation
+
+TEST(ParallelRefit, CancellationMidFanReturnsWithoutHanging) {
+  const Environment env = scenarios::multi_site(12, 4, 6);
+  DesignSolverOptions options;
+  options.seed = 3;
+  options.max_repetitions = 1;
+  options.max_refit_iterations = 1000;  // far more work than we let it do
+  std::atomic<bool> cancel{false};
+  std::atomic<std::int64_t> progress{0};
+  ExecutionOptions exec;
+  exec.deterministic = true;  // wall clock can't end the solve early
+  exec.intra_node_workers = 4;
+  exec.cancel = &cancel;
+  exec.progress = &progress;
+
+  std::thread trigger([&cancel, &progress] {
+    // Cancel once the solve is demonstrably inside the search.
+    while (progress.load() < 25) std::this_thread::yield();
+    cancel.store(true);
+  });
+  const SolveResult result = solve_design(env, options, exec);
+  trigger.join();
+  EXPECT_TRUE(result.cancelled);
+  // Best-so-far comes back: by 25 nodes the greedy stage has produced a
+  // design, and cancellation must not discard it.
+  EXPECT_TRUE(result.feasible);
+  ASSERT_TRUE(result.best.has_value());
+}
+
+// --------------------------------------------- nested fan under the engine
+
+TEST(ParallelRefit, IntraParallelJobOnOneWorkerEngineDoesNotDeadlock) {
+  // The engine lends its own pool to the job's refit fan; with one worker
+  // the job itself occupies it, so every subtask must be stolen by the
+  // job thread (help-while-wait). A deadlock here would hang CI — the
+  // gtest discovery timeout is the backstop.
+  DesignSolverOptions options;
+  options.seed = 11;
+  options.max_repetitions = 1;
+  options.breadth = 2;
+  options.depth = 2;
+  options.max_refit_iterations = 2;
+  options.time_budget_ms = 1e9;
+  DesignJob job =
+      DesignJob::make(scenarios::peer_sites(4), options, "intra-nested");
+  job.exec.intra_node_workers = 4;
+  job.exec.deterministic = true;
+  std::vector<DesignJob> jobs;
+  jobs.push_back(std::move(job));
+
+  EngineOptions engine;
+  engine.workers = 1;
+  const BatchReport report = run_batch(std::move(jobs), engine);
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0].status, JobStatus::Completed);
+  EXPECT_TRUE(report.results[0].solve.feasible);
+}
+
+TEST(ParallelRefit, EngineResultMatchesDirectSolve) {
+  // Same job through the engine (shared cache, borrowed pool) and directly:
+  // the evaluation cache is result-transparent and the task tree identical,
+  // so the totals must agree bit-for-bit.
+  const Environment env = scenarios::peer_sites(4);
+  const DesignSolverOptions options = oracle_options(13);
+
+  ExecutionOptions exec;
+  exec.deterministic = true;
+  exec.intra_node_workers = 3;
+  const SolveResult direct = solve_design(env, options, exec);
+
+  DesignJob job = DesignJob::make(env, options, "direct-vs-engine");
+  job.derive_seed = false;  // keep options.seed exactly
+  job.exec.intra_node_workers = 3;
+  job.exec.deterministic = true;
+  std::vector<DesignJob> jobs;
+  jobs.push_back(std::move(job));
+  EngineOptions engine;
+  engine.workers = 2;
+  const BatchReport report = run_batch(std::move(jobs), engine);
+
+  ASSERT_EQ(report.results.size(), 1u);
+  const SolveResult& via_engine = report.results[0].solve;
+  ASSERT_TRUE(direct.feasible);
+  ASSERT_TRUE(via_engine.feasible);
+  EXPECT_EQ(direct.cost.total(), via_engine.cost.total());
+  EXPECT_EQ(direct.nodes_evaluated, via_engine.nodes_evaluated);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -24,7 +24,7 @@ TEST_P(SolverSoundness, DesignSolverOutputsAreAlwaysFeasible) {
   DesignSolverOptions o;
   o.time_budget_ms = 250.0;
   o.seed = static_cast<std::uint64_t>(GetParam());
-  const auto result = DesignSolver(&env, o).solve();
+  const auto result = testing::solve_design(env, o);
   ASSERT_TRUE(result.feasible);
   EXPECT_NO_THROW(result.best->check_feasible());
   EXPECT_EQ(result.best->assigned_count(), 8);
@@ -163,7 +163,7 @@ TEST_P(CostDecomposition, HoldsForRandomDesigns) {
   DesignSolverOptions o;
   o.time_budget_ms = 150.0;
   o.seed = static_cast<std::uint64_t>(GetParam());
-  const auto result = DesignSolver(&env, o).solve();
+  const auto result = testing::solve_design(env, o);
   ASSERT_TRUE(result.feasible);
   const auto cost = result.best->evaluate();
   double per_app = 0.0;
@@ -225,7 +225,7 @@ TEST_P(JitterRobustness, SolvesPerturbedWorkloads) {
   DesignSolverOptions o;
   o.time_budget_ms = 400.0;
   o.seed = static_cast<std::uint64_t>(GetParam());
-  const auto result = DesignSolver(&env, o).solve();
+  const auto result = testing::solve_design(env, o);
   ASSERT_TRUE(result.feasible);
   EXPECT_NO_THROW(result.best->check_feasible());
 }

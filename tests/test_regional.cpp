@@ -134,7 +134,7 @@ TEST(Regional, DesignToolPrefersCrossRegionMirrorsUnderThreat) {
   DesignSolverOptions o;
   o.time_budget_ms = 1500.0;
   o.seed = 21;
-  const auto result = DesignSolver(&env, o).solve();
+  const auto result = testing::solve_design(env, o);
   ASSERT_TRUE(result.feasible);
   int cross_region_mirrors = 0;
   int mirrors = 0;
