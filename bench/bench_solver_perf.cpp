@@ -16,29 +16,42 @@
 //
 // A third probe exercises the intra-solve parallel refit search: the same
 // deterministic single-solve workload on multi_site(24,6,8) run sequentially
-// (--intra-workers implied 1) and with the refit fan on N threads
-// (`--intra-workers=N`, default 4). The determinism contract makes the two
-// legs comparable: total costs must match bit-for-bit, and the JSON gains a
-// "parallel_refit" section with both timings, the speedup, and the
-// task/steal counters. The process exit code asserts `totals_match` for both
-// the incremental and the parallel-refit probes.
+// (--intra-workers implied 1), with the refit fan forced onto N threads
+// (`--intra-workers=N`, default 4; intra_min_fan=1), and with the default
+// ExecutionOptions::intra_min_fan guard (narrow fans run inline — the
+// "guarded" leg measures what the threshold saves). The determinism contract
+// makes all legs comparable: total costs must match bit-for-bit, and the
+// JSON's "parallel_refit" section carries the timings, speedups, and
+// task/steal counters.
+//
+// A fourth probe ("serve_probe") drives an in-process serve::Server with 8
+// concurrent loopback clients streaming small deterministic design requests,
+// recording jobs/sec and p50/p95 end-to-end latency. The process exit code
+// asserts `totals_match` for the incremental and parallel-refit probes and
+// zero dropped/rejected requests for the serve probe.
 //
 // `--smoke` (the CI mode) skips the google-benchmark microbenchmarks and
 // shrinks the engine probe, but still runs every probe and writes the JSON.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/api.hpp"
 #include "core/scenarios.hpp"
 #include "engine/engine.hpp"
 #include "model/recovery_sim.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "solver/config_solver.hpp"
 #include "solver/design_solver.hpp"
 #include "solver/reconfigure.hpp"
@@ -215,24 +228,35 @@ struct RefitLeg {
   std::int64_t nodes_evaluated = 0;
   std::int64_t parallel_tasks = 0;
   std::int64_t steal_count = 0;
+  bool fanned = false;  ///< SolveResult::refit_fanned — which path ran
 };
 
 struct ParallelRefitProbe {
   int intra_workers = 4;
   RefitLeg sequential;  ///< intra_workers = 1
-  RefitLeg parallel;    ///< intra_workers = N
+  RefitLeg parallel;    ///< intra_workers = N, fan forced (intra_min_fan=1)
+  /// intra_workers = N under the default ExecutionOptions::intra_min_fan:
+  /// the default breadth-3 fan is narrower than the threshold, so this leg
+  /// runs inline — its margin over `parallel` is what the guard saves.
+  RefitLeg guarded;
   double speedup() const {
     return parallel.solve_ms > 0.0 ? sequential.solve_ms / parallel.solve_ms
                                    : 0.0;
   }
+  double guarded_speedup() const {
+    return guarded.solve_ms > 0.0 ? sequential.solve_ms / guarded.solve_ms
+                                  : 0.0;
+  }
   bool totals_match() const {
     return sequential.total_cost == parallel.total_cost &&
-           sequential.nodes_evaluated == parallel.nodes_evaluated;
+           sequential.nodes_evaluated == parallel.nodes_evaluated &&
+           sequential.total_cost == guarded.total_cost &&
+           sequential.nodes_evaluated == guarded.nodes_evaluated;
   }
 };
 
 RefitLeg run_refit_leg(const Environment& env, int intra_workers,
-                       int repetitions) {
+                       int intra_min_fan, int repetitions) {
   // Best of `repetitions`: the solve is deterministic, so the minimum is the
   // honest estimate of each leg's cost (same rationale as the incremental
   // probe).
@@ -247,6 +271,7 @@ RefitLeg run_refit_leg(const Environment& env, int intra_workers,
     request.options.max_refit_iterations = 8;
     request.exec.deterministic = true;
     request.exec.intra_node_workers = intra_workers;
+    request.exec.intra_min_fan = intra_min_fan;
     RefitLeg leg;
     const auto t0 = std::chrono::steady_clock::now();
     const SolveResult result = solve(request);
@@ -260,6 +285,7 @@ RefitLeg run_refit_leg(const Environment& env, int intra_workers,
     leg.nodes_evaluated = result.nodes_evaluated;
     leg.parallel_tasks = result.refit_parallel_tasks;
     leg.steal_count = result.refit_steal_count;
+    leg.fanned = result.refit_fanned;
     if (rep == 0 || leg.solve_ms < best.solve_ms) best = leg;
   }
   return best;
@@ -270,8 +296,155 @@ ParallelRefitProbe run_parallel_refit_probe(int intra_workers,
   const Environment env = scenarios::multi_site(24, 6, 8);
   ParallelRefitProbe probe;
   probe.intra_workers = intra_workers;
-  probe.sequential = run_refit_leg(env, 1, repetitions);
-  probe.parallel = run_refit_leg(env, intra_workers, repetitions);
+  probe.sequential = run_refit_leg(env, 1, 1, repetitions);
+  probe.parallel = run_refit_leg(env, intra_workers, 1, repetitions);
+  probe.guarded = run_refit_leg(env, intra_workers,
+                                ExecutionOptions{}.intra_min_fan, repetitions);
+  return probe;
+}
+
+/// Service probe: a sustained request stream against an in-process
+/// serve::Server over real loopback sockets — `clients` concurrent
+/// connections each submitting `requests_per_client` small deterministic
+/// design requests back to back. Records end-to-end latency (send → result
+/// event, queueing and wire framing included) and overall jobs/sec. Every
+/// request must complete: a rejection or dropped connection is an error and
+/// fails the exit gate.
+struct ServeProbe {
+  int clients = 8;
+  int requests_per_client = 8;
+  int completed = 0;
+  int errors = 0;
+  double elapsed_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  double jobs_per_sec() const {
+    return elapsed_ms > 0.0 ? completed / (elapsed_ms / 1000.0) : 0.0;
+  }
+};
+
+/// The two-app east/west environment every probe request carries.
+constexpr const char* kServeProbeEnv = R"([site]
+name = east
+
+[site]
+name = west
+region = 1
+
+[link]
+a = east
+b = west
+max_links = 12
+
+[application]
+name = billing
+outage_penalty_rate = 2e6
+loss_penalty_rate = 8e6
+data_size_gb = 900
+avg_update_mbps = 3
+peak_update_mbps = 25
+avg_access_mbps = 30
+
+[application]
+name = wiki
+outage_penalty_rate = 2e3
+loss_penalty_rate = 8e3
+data_size_gb = 200
+avg_update_mbps = 0.2
+
+[failures]
+data_object_rate = 1.0
+regional_disaster_rate = 0.02
+)";
+
+ServeProbe run_serve_probe(int clients, int requests_per_client) {
+  ServeProbe probe;
+  probe.clients = clients;
+  probe.requests_per_client = requests_per_client;
+
+  serve::ServeOptions options;
+  options.port = 0;  // ephemeral
+  serve::Server server(options);
+  server.start();
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<int> errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client("127.0.0.1", server.port());
+        for (int r = 0; r < requests_per_client; ++r) {
+          serve::WireRequest req;
+          req.id = "probe-" + std::to_string(c) + "-" + std::to_string(r);
+          req.env_ini = kServeProbeEnv;
+          req.deterministic = true;
+          req.options.seed =
+              static_cast<std::uint64_t>(c * requests_per_client + r + 1);
+          req.options.max_repetitions = 1;
+          req.options.max_refit_iterations = 2;
+          req.options.breadth = 2;
+          req.options.depth = 2;
+          const auto sent = std::chrono::steady_clock::now();
+          if (!client.send_design(req)) {
+            errors.fetch_add(1);
+            return;
+          }
+          for (;;) {
+            const auto event = client.next_event(100.0);
+            if (!event.has_value()) {
+              if (client.eof()) {
+                errors.fetch_add(1);
+                return;
+              }
+              continue;
+            }
+            const std::string& type = event->at("type").as_string();
+            if (type == "rejected") {
+              errors.fetch_add(1);
+              return;
+            }
+            if (type != "result") continue;
+            if (event->at("status").as_string() != "completed") {
+              errors.fetch_add(1);
+              return;
+            }
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - sent)
+                                  .count();
+            std::lock_guard<std::mutex> lock(mu);
+            latencies.push_back(ms);
+            break;
+          }
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  probe.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  server.shutdown();
+
+  probe.completed = static_cast<int>(latencies.size());
+  probe.errors = errors.load();
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(latencies.size() - 1) + 0.5);
+      return latencies[std::min(idx, latencies.size() - 1)];
+    };
+    probe.p50_ms = pct(0.50);
+    probe.p95_ms = pct(0.95);
+    probe.max_ms = latencies.back();
+  }
   return probe;
 }
 
@@ -319,7 +492,7 @@ void write_probe_leg(JsonWriter& w, const ProbeLeg& leg) {
 }
 
 void write_perf_json(const char* path, const IncrementalProbe& probe,
-                     const ParallelRefitProbe& refit,
+                     const ParallelRefitProbe& refit, const ServeProbe& sp,
                      const EngineMetricsSnapshot& m) {
   JsonWriter w;
   w.begin_object();
@@ -337,9 +510,14 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
       .begin_object()
       .field("environment", "multi_site(24,6,8)")
       .field("intra_workers", static_cast<long long>(refit.intra_workers))
+      .field("intra_min_fan",
+             static_cast<long long>(ExecutionOptions{}.intra_min_fan))
       .field("seq_ms", refit.sequential.solve_ms)
       .field("par_ms", refit.parallel.solve_ms)
+      .field("guarded_ms", refit.guarded.solve_ms)
       .field("speedup", refit.speedup())
+      .field("guarded_speedup", refit.guarded_speedup())
+      .field("guarded_fanned", refit.guarded.fanned)
       .field("totals_match", refit.totals_match())
       .field("total_cost", refit.sequential.total_cost)
       .field("nodes_evaluated",
@@ -348,6 +526,19 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
              static_cast<long long>(refit.parallel.parallel_tasks))
       .field("steal_count",
              static_cast<long long>(refit.parallel.steal_count))
+      .end_object();
+  w.key("serve_probe")
+      .begin_object()
+      .field("clients", static_cast<long long>(sp.clients))
+      .field("requests_per_client",
+             static_cast<long long>(sp.requests_per_client))
+      .field("completed", static_cast<long long>(sp.completed))
+      .field("errors", static_cast<long long>(sp.errors))
+      .field("elapsed_ms", sp.elapsed_ms)
+      .field("jobs_per_sec", sp.jobs_per_sec())
+      .field("p50_ms", sp.p50_ms)
+      .field("p95_ms", sp.p95_ms)
+      .field("max_ms", sp.max_ms)
       .end_object();
   w.key("engine_probe")
       .begin_object()
@@ -429,12 +620,32 @@ int main(int argc, char** argv) {
               refit.parallel.total_cost,
               static_cast<long long>(refit.parallel.parallel_tasks),
               static_cast<long long>(refit.parallel.steal_count));
-  std::printf("speedup: %.2fx, totals %s\n", refit.speedup(),
+  std::printf("guarded (min-fan=%d): %.1f ms (%s)\n",
+              ExecutionOptions{}.intra_min_fan, refit.guarded.solve_ms,
+              refit.guarded.fanned ? "fanned" : "ran inline");
+  std::printf("speedup: forced-fan %.2fx, guarded %.2fx, totals %s\n",
+              refit.speedup(), refit.guarded_speedup(),
               refit.totals_match() ? "match" : "MISMATCH");
+
+  const ServeProbe serve_probe = run_serve_probe(8, smoke ? 2 : 8);
+  std::cout << "\n== serve probe (8 loopback clients) ==\n";
+  std::printf("%d/%d requests completed (%d errors) in %.1f ms — "
+              "%.1f jobs/sec, p50 %.1f ms, p95 %.1f ms\n",
+              serve_probe.completed,
+              serve_probe.clients * serve_probe.requests_per_client,
+              serve_probe.errors, serve_probe.elapsed_ms,
+              serve_probe.jobs_per_sec(), serve_probe.p50_ms,
+              serve_probe.p95_ms);
 
   const EngineMetricsSnapshot metrics = run_engine_probe(smoke ? 2 : 8);
   std::cout << "\n== batch-engine probe ==\n" << metrics.render();
-  write_perf_json("BENCH_solver_perf.json", probe, refit, metrics);
+  write_perf_json("BENCH_solver_perf.json", probe, refit, serve_probe,
+                  metrics);
   std::cout << "wrote BENCH_solver_perf.json\n";
-  return probe.totals_match() && refit.totals_match() ? 0 : 1;
+  return probe.totals_match() && refit.totals_match() &&
+                 serve_probe.errors == 0 &&
+                 serve_probe.completed ==
+                     serve_probe.clients * serve_probe.requests_per_client
+             ? 0
+             : 1;
 }

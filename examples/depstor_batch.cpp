@@ -15,6 +15,8 @@
 //                 [--workers=N]          worker threads (0 = hardware)
 //                 [--intra-workers=N]    threads inside each job's refit
 //                                        search (nested on the same pool)
+//                 [--intra-min-fan=N]    smallest refit fan worth pooling;
+//                                        narrower fans run inline (default 4)
 //                 [--seed=1]             base of the derived per-job seeds
 //                 [--deterministic]      fixed work per job; no wall-clock
 //                                        cutoffs inside the solves
@@ -192,6 +194,7 @@ int main(int argc, char** argv) {
     for (auto& job : jobs) {
       job.deadline_ms = deadline_ms;
       job.exec.intra_node_workers = ef.intra_workers;
+      job.exec.intra_min_fan = ef.intra_min_fan;
       job.exec.deterministic = ef.deterministic;
     }
 

@@ -112,6 +112,7 @@ int cmd_design(const CliFlags& flags, Environment env) {
   ExecutionOptions exec;
   exec.workers = ef.workers;
   exec.intra_node_workers = ef.intra_workers;
+  exec.intra_min_fan = ef.intra_min_fan;
   exec.deterministic = ef.deterministic;
   const std::string json_path = flags.get_string("json", "");
   const bool show_recovery = flags.get_bool("recovery-report", false);

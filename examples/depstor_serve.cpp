@@ -1,0 +1,102 @@
+// depstor_serve — the long-running design service (DESIGN.md §10).
+//
+// Listens for newline-delimited JSON design requests (serve/proto.hpp),
+// admits them through the lint layer and a bounded queue, solves them on one
+// shared WorkerPool + evaluation cache, and streams progress/results back.
+// "GET /stats" on any connection returns the live obs counter registry.
+//
+//   depstor_serve [--host=127.0.0.1] [--port=7421]
+//                 [--workers=0]              pool threads (0 = hardware)
+//                 [--intra-workers=1]        refit threads per job
+//                 [--intra-min-fan=4]        smallest refit fan worth pooling
+//                 [--max-queue=64]           queued-job cap; beyond = 429
+//                 [--max-request-bytes=N]    request size cap (default 1 MiB)
+//                 [--deadline-ms=0]          default per-job deadline
+//                 [--progress-interval-ms=25]
+//                 [--no-cache]               disable the shared eval cache
+//                 [--no-lint]                skip lint admission checks
+//                 [--stats-out=<path>]       final stats JSON at shutdown
+//                 [--trace-out=<path>]       Chrome trace at shutdown (also
+//                                            DEPSTOR_TRACE=1)
+//
+// SIGINT/SIGTERM drain gracefully: in-flight and queued jobs finish and
+// their results are delivered; new admissions are rejected with 503. Try it:
+//
+//   depstor_serve --port=7421 &
+//   depstor_request --port=7421 --env=env.ini
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "analysis/diagnostics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+// Async-signal-safe handoff from the handler to the main loop.
+volatile std::sig_atomic_t g_signal = 0;
+void handle_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    using depstor::serve::ServeOptions;
+    const depstor::CliFlags flags(argc, argv);
+    depstor::ExecutionFlags exec_defaults;
+    exec_defaults.workers = 0;  // 0 = one pool worker per hardware thread
+    depstor::analysis::DiagnosticReport flag_report;
+    const depstor::ExecutionFlags ef =
+        depstor::parse_execution_flags(flags, &flag_report, exec_defaults);
+    for (const auto& d : flag_report.diagnostics()) {
+      std::cerr << d.render() << "\n";
+    }
+
+    ServeOptions options;
+    options.host = flags.get_string("host", options.host);
+    options.port = flags.get_int("port", 7421);
+    options.workers = ef.workers;
+    options.intra_workers = ef.intra_workers;
+    options.intra_min_fan = ef.intra_min_fan;
+    options.max_queue = flags.get_int("max-queue", options.max_queue);
+    options.max_request_bytes = static_cast<std::size_t>(flags.get_int(
+        "max-request-bytes", static_cast<int>(options.max_request_bytes)));
+    options.default_deadline_ms = flags.get_double("deadline-ms", 0.0);
+    options.progress_interval_ms =
+        flags.get_double("progress-interval-ms", options.progress_interval_ms);
+    options.enable_cache = !flags.get_bool("no-cache", false);
+    options.lint_admission = !flags.get_bool("no-lint", false);
+    options.final_stats_path = flags.get_string("stats-out", "");
+    options.final_trace_path = ef.trace_out;
+    flags.reject_unknown();
+
+    if (!options.final_trace_path.empty()) {
+      depstor::obs::set_trace_enabled(true);
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    depstor::serve::Server server(options);
+    server.start();
+    std::cout << "depstor_serve listening on " << options.host << ":"
+              << server.port() << " (queue limit " << options.max_queue
+              << ")" << std::endl;
+
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cout << "signal " << g_signal
+              << ": draining (queued " << server.queue_depth()
+              << ", running " << server.active_jobs() << ")" << std::endl;
+    server.shutdown();
+    std::cout << "depstor_serve drained cleanly" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

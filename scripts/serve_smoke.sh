@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the design service binaries (CI's serve-smoke job,
+# also runnable locally):
+#
+#   scripts/serve_smoke.sh <build-dir>
+#
+# Launches depstor_serve on a fixed loopback port and drives it with
+# depstor_request through the full admission matrix — one normal design
+# request (must complete), one cancelled mid-run (must report "cancelled"),
+# one rejected deterministically by the lint layer (must report 422) — then
+# validates the /stats snapshot against the outcomes and asserts a clean
+# SIGTERM drain (exit 0 plus the drained message). Any deviation exits
+# non-zero. The depstor_request exit-code contract is documented in
+# examples/depstor_request.cpp.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/examples/depstor_serve"
+REQUEST="$BUILD_DIR/examples/depstor_request"
+PORT="${DEPSTOR_SERVE_PORT:-7421}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"; [ -n "${SERVE_PID:-}" ] && kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+
+[ -x "$SERVE" ] || { echo "missing $SERVE (build the examples first)"; exit 1; }
+[ -x "$REQUEST" ] || { echo "missing $REQUEST"; exit 1; }
+
+# The two-app east/west environment from tests/test_env_loader.cpp.
+cat > "$WORKDIR/good.ini" <<'EOF'
+[site]
+name = east
+
+[site]
+name = west
+region = 1
+
+[link]
+a = east
+b = west
+max_links = 12
+
+[application]
+name = billing
+outage_penalty_rate = 2e6
+loss_penalty_rate = 8e6
+data_size_gb = 900
+avg_update_mbps = 3
+peak_update_mbps = 25
+avg_access_mbps = 30
+
+[application]
+name = wiki
+outage_penalty_rate = 2e3
+loss_penalty_rate = 8e3
+data_size_gb = 200
+avg_update_mbps = 0.2
+
+[failures]
+data_object_rate = 1.0
+regional_disaster_rate = 0.02
+EOF
+
+# An application with no site to live on: a deterministic lint rejection.
+cat > "$WORKDIR/bad.ini" <<'EOF'
+[application]
+name = orphan
+outage_penalty_rate = 1e3
+loss_penalty_rate = 1e3
+data_size_gb = 10
+avg_update_mbps = 0.1
+EOF
+
+echo "== launching depstor_serve on port $PORT =="
+"$SERVE" --port="$PORT" --workers=2 --stats-out="$WORKDIR/final_stats.json" \
+  > "$WORKDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 50); do
+  grep -q "listening" "$WORKDIR/serve.log" 2>/dev/null && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORKDIR/serve.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening" "$WORKDIR/serve.log" || { cat "$WORKDIR/serve.log"; exit 1; }
+
+echo "== request 1: normal design (expect completed, exit 0) =="
+"$REQUEST" --port="$PORT" --env="$WORKDIR/good.ini" --deterministic --quiet
+
+echo "== request 2: cancelled mid-run (expect cancelled, exit 3) =="
+rc=0
+"$REQUEST" --port="$PORT" --env="$WORKDIR/good.ini" --id=cancel-me \
+  --time-budget-ms=60000 --cancel-after-ms=30 --quiet || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 (cancelled), got $rc"; exit 1; }
+
+echo "== request 3: lint rejection (expect rejected, exit 4) =="
+rc=0
+"$REQUEST" --port="$PORT" --env="$WORKDIR/bad.ini" --quiet || rc=$?
+[ "$rc" -eq 4 ] || { echo "expected exit 4 (rejected), got $rc"; exit 1; }
+
+echo "== stats snapshot reflects the outcomes =="
+"$REQUEST" --port="$PORT" --stats | tee "$WORKDIR/stats.txt"
+grep -q "jobs_completed=1" "$WORKDIR/stats.txt"
+grep -q "jobs_admitted=2" "$WORKDIR/stats.txt"
+grep -q "jobs_rejected=1" "$WORKDIR/stats.txt"
+
+echo "== SIGTERM: graceful drain =="
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ] || { echo "depstor_serve exited $rc"; cat "$WORKDIR/serve.log"; exit 1; }
+grep -q "drained cleanly" "$WORKDIR/serve.log" || { cat "$WORKDIR/serve.log"; exit 1; }
+SERVE_PID=""
+
+echo "== final stats file is valid JSON with the right counters =="
+python3 - "$WORKDIR/final_stats.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["type"] == "stats", doc
+srv = doc["server"]
+assert srv["jobs_admitted"] == 2, srv
+assert srv["jobs_completed"] == 1, srv
+assert srv["jobs_cancelled"] == 1, srv
+assert srv["jobs_rejected"] == 1, srv
+assert srv["queue_depth"] == 0 and srv["active_jobs"] == 0, srv
+counters = doc["obs"]["counters"]
+assert counters["serve.jobs_admitted"] == 2, counters
+assert counters["serve.rejected_lint"] == 1, counters
+print("final stats OK:", {k: srv[k] for k in
+      ("jobs_admitted", "jobs_completed", "jobs_cancelled", "jobs_rejected")})
+EOF
+
+echo "serve smoke: all checks passed"

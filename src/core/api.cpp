@@ -40,6 +40,7 @@ SolveResult solve_fan(const SolveRequest& request) {
     // engine threads its shared cache and per-record cancel/progress into
     // every job), so only the solve-shaping knobs pass through.
     job.exec.intra_node_workers = exec.intra_node_workers;
+    job.exec.intra_min_fan = exec.intra_min_fan;
     job.exec.deterministic = exec.deterministic;
     job.exec.time_budget_ms = exec.time_budget_ms;
     ids.push_back(engine.submit(std::move(job)));
@@ -88,6 +89,7 @@ SolveResult solve_fan(const SolveRequest& request) {
     merged.scenarios_reused += r.scenarios_reused;
     merged.refit_parallel_tasks += r.refit_parallel_tasks;
     merged.refit_steal_count += r.refit_steal_count;
+    merged.refit_fanned = merged.refit_fanned || r.refit_fanned;
     merged.eval_ms += r.eval_ms;
     merged.sweep_ms += r.sweep_ms;
     merged.increment_ms += r.increment_ms;
@@ -111,6 +113,8 @@ SolveResult solve(const SolveRequest& request) {
                       "SolveRequest workers must be >= 1");
   DEPSTOR_EXPECTS_MSG(request.exec.intra_node_workers >= 1,
                       "SolveRequest intra_node_workers must be >= 1");
+  DEPSTOR_EXPECTS_MSG(request.exec.intra_min_fan >= 1,
+                      "SolveRequest intra_min_fan must be >= 1");
   if (request.exec.workers == 1) {
     return detail::solve_impl(request.env, request.options, request.exec);
   }

@@ -1,0 +1,34 @@
+#include "serve/client.hpp"
+
+namespace depstor::serve {
+
+namespace {
+// Server events are small JSON lines; 4 MiB tolerates any stats dump.
+constexpr std::size_t kMaxEventBytes = 4u << 20;
+}  // namespace
+
+Client::Client(const std::string& host, int port)
+    : fd_(connect_to(host, port)), reader_(fd_.get(), kMaxEventBytes) {}
+
+bool Client::send_line(const std::string& line) {
+  if (!fd_.valid()) return false;
+  return send_all(fd_.get(), line + "\n");
+}
+
+std::optional<JsonValue> Client::next_event(double timeout_ms) {
+  if (eof_ || !fd_.valid()) return std::nullopt;
+  std::string line;
+  switch (reader_.read_line(&line, timeout_ms)) {
+    case LineReader::Status::Line:
+      return parse_json(line);
+    case LineReader::Status::Timeout:
+      return std::nullopt;
+    case LineReader::Status::Eof:
+    case LineReader::Status::Overflow:
+      eof_ = true;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace depstor::serve

@@ -1,0 +1,53 @@
+// Client side of the serve wire protocol: one TCP connection to a running
+// depstor_serve, line-oriented sends, parsed-JSON receives.
+//
+// Used by depstor_request, tests/test_serve.cpp, and the serve_probe bench —
+// one implementation of the framing so protocol drift breaks loudly in all
+// three. The class is intentionally dumb: it frames and parses, the caller
+// interprets the events.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/proto.hpp"
+#include "serve/socket.hpp"
+#include "util/json.hpp"
+
+namespace depstor::serve {
+
+class Client {
+ public:
+  /// Connect to a running server. Throws InvalidArgument on failure.
+  Client(const std::string& host, int port);
+
+  /// Raw line send (a '\n' is appended). False when the server is gone.
+  bool send_line(const std::string& line);
+
+  bool send_design(const WireRequest& req) {
+    return send_line(build_design_request(req));
+  }
+  bool send_cancel() { return send_line(build_cancel_request()); }
+  bool request_stats() { return send_line(kStatsRequestLine); }
+
+  /// Next server event as parsed JSON, or nullopt on timeout. Throws
+  /// InvalidArgument when the server sends malformed JSON (a protocol bug
+  /// worth failing loudly on). After EOF, always nullopt — check eof().
+  std::optional<JsonValue> next_event(double timeout_ms);
+
+  /// True once the server has closed the connection.
+  bool eof() const { return eof_; }
+
+  /// Hard-close the socket without a cancel — how tests and depstor_request
+  /// simulate a client crash (the server must notice and cancel).
+  void disconnect() { fd_.reset(); }
+
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  ScopedFd fd_;
+  LineReader reader_;
+  bool eof_ = false;
+};
+
+}  // namespace depstor::serve

@@ -1,0 +1,197 @@
+#include "serve/proto.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace depstor::serve {
+
+namespace {
+
+/// Wire numbers destined for int fields must be integral and in range.
+int as_int_field(const JsonValue& v, const std::string& key) {
+  const double d = v.as_number();
+  const double r = std::nearbyint(d);
+  if (d != r || r < -2147483648.0 || r > 2147483647.0) {
+    throw InvalidArgument("request field \"" + key +
+                          "\" must be an integer");
+  }
+  return static_cast<int>(r);
+}
+
+void apply_options(const JsonValue& obj, DesignSolverOptions* options) {
+  for (const auto& [key, value] : obj.members()) {
+    if (key == "seed") {
+      const double d = value.as_number();
+      if (d < 0.0 || d != std::nearbyint(d)) {
+        throw InvalidArgument(
+            "request field \"seed\" must be a non-negative integer");
+      }
+      options->seed = static_cast<std::uint64_t>(d);
+    } else if (key == "breadth") {
+      options->breadth = as_int_field(value, key);
+    } else if (key == "depth") {
+      options->depth = as_int_field(value, key);
+    } else if (key == "max_refit_iterations") {
+      options->max_refit_iterations = as_int_field(value, key);
+    } else if (key == "max_greedy_restarts") {
+      options->max_greedy_restarts = as_int_field(value, key);
+    } else if (key == "max_repetitions") {
+      options->max_repetitions = as_int_field(value, key);
+    } else if (key == "time_budget_ms") {
+      options->time_budget_ms = value.as_number();
+    } else {
+      throw InvalidArgument("unknown request option \"" + key + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+bool is_stats_line(const std::string& line) {
+  return line == kStatsRequestLine;
+}
+
+WireRequest parse_request(const std::string& line, std::size_t max_bytes) {
+  const JsonValue doc = parse_json(line, JsonLimits{max_bytes});
+  if (doc.type() != JsonValue::Type::Object) {
+    throw InvalidArgument("request must be a JSON object");
+  }
+  WireRequest req;
+  std::string op;
+  bool have_env = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "op") {
+      op = value.as_string();
+    } else if (key == "id") {
+      req.id = value.as_string();
+    } else if (key == "env_ini") {
+      req.env_ini = value.as_string();
+      have_env = true;
+    } else if (key == "priority") {
+      req.priority = as_int_field(value, key);
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = value.as_number();
+      if (req.deadline_ms < 0.0) {
+        throw InvalidArgument("request field \"deadline_ms\" must be >= 0");
+      }
+    } else if (key == "deterministic") {
+      req.deterministic = value.as_bool();
+    } else if (key == "options") {
+      apply_options(value, &req.options);
+    } else {
+      throw InvalidArgument("unknown request field \"" + key + "\"");
+    }
+  }
+  if (op == "design") {
+    req.op = WireRequest::Op::Design;
+    if (!have_env) {
+      throw InvalidArgument("design request requires \"env_ini\"");
+    }
+  } else if (op == "cancel") {
+    req.op = WireRequest::Op::Cancel;
+  } else if (op == "stats") {
+    req.op = WireRequest::Op::Stats;
+  } else if (op.empty()) {
+    throw InvalidArgument("request is missing \"op\"");
+  } else {
+    throw InvalidArgument("unknown request op \"" + op +
+                          "\" (expected design|cancel|stats)");
+  }
+  return req;
+}
+
+std::string build_design_request(const WireRequest& req) {
+  JsonWriter w;
+  w.begin_object().field("op", "design");
+  if (!req.id.empty()) w.field("id", req.id);
+  w.field("env_ini", req.env_ini);
+  if (req.priority != 0) w.field("priority", req.priority);
+  if (req.deadline_ms > 0.0) w.field("deadline_ms", req.deadline_ms);
+  if (req.deterministic) w.field("deterministic", true);
+  w.key("options")
+      .begin_object()
+      .field("seed", static_cast<long long>(req.options.seed))
+      .field("breadth", req.options.breadth)
+      .field("depth", req.options.depth)
+      .field("max_refit_iterations", req.options.max_refit_iterations)
+      .field("max_greedy_restarts", req.options.max_greedy_restarts)
+      .field("max_repetitions", req.options.max_repetitions)
+      .field("time_budget_ms", req.options.time_budget_ms)
+      .end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string build_cancel_request() {
+  JsonWriter w;
+  w.begin_object().field("op", "cancel").end_object();
+  return w.str();
+}
+
+std::string build_stats_request() {
+  JsonWriter w;
+  w.begin_object().field("op", "stats").end_object();
+  return w.str();
+}
+
+std::string event_accepted(const std::string& id, std::int64_t job,
+                           int queue_depth) {
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "accepted")
+      .field("id", id)
+      .field("job", static_cast<long long>(job))
+      .field("queue_depth", queue_depth)
+      .end_object();
+  return w.str();
+}
+
+std::string event_rejected(const std::string& id, int code,
+                           const std::string& reason,
+                           const std::string& detail) {
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "rejected")
+      .field("id", id)
+      .field("code", code)
+      .field("reason", reason)
+      .field("detail", detail)
+      .end_object();
+  return w.str();
+}
+
+std::string event_progress(const std::string& id, const std::string& status,
+                           std::int64_t nodes) {
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "progress")
+      .field("id", id)
+      .field("status", status)
+      .field("nodes", static_cast<long long>(nodes))
+      .end_object();
+  return w.str();
+}
+
+std::string event_result(const ResultEvent& r) {
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "result")
+      .field("id", r.id)
+      .field("status", r.status)
+      .field("feasible", r.feasible)
+      .field("total_cost", r.total_cost)
+      .field("nodes", static_cast<long long>(r.nodes))
+      .field("cache_hits", static_cast<long long>(r.cache_hits))
+      .field("cache_misses", static_cast<long long>(r.cache_misses))
+      .field("refit_fanned", r.refit_fanned)
+      .field("queue_ms", r.queue_ms)
+      .field("run_ms", r.run_ms)
+      .field("run_order", static_cast<long long>(r.run_order));
+  if (!r.error.empty()) w.field("error", r.error);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace depstor::serve

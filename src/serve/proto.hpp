@@ -1,0 +1,109 @@
+// Wire protocol of the design service.
+//
+// Transport is newline-delimited JSON over TCP: every request and every
+// server event is one JSON document on one line. A connection carries a
+// sequence of requests; the server interleaves events for the connection's
+// in-flight job with the reads (progress, then exactly one terminal result).
+//
+// Client → server lines:
+//   {"op":"design","env_ini":"<INI text>", ...}   submit a design request
+//       optional: "id" (label echoed in every event), "priority" (higher
+//       runs first; default 0), "deadline_ms" (from admission; default
+//       server-wide), "deterministic", "options":{seed,breadth,depth,
+//       max_refit_iterations,max_greedy_restarts,max_repetitions,
+//       time_budget_ms}
+//   {"op":"cancel"}                                cancel this connection's
+//                                                  in-flight job
+//   {"op":"stats"}  or the literal line  GET /stats
+//                                                  counter-registry snapshot
+//
+// Server → client lines (every event has "type"):
+//   {"type":"accepted","id":...,"job":N,"queue_depth":N}
+//   {"type":"rejected","id":...,"code":N,"reason":...,"detail":...}
+//       codes: 400 parse, 413 oversized, 422 lint, 429 queue_full,
+//              503 shutting_down
+//   {"type":"progress","id":...,"status":"queued"|"running","nodes":N}
+//   {"type":"result","id":...,"status":...,"feasible":...,"total_cost":...,
+//       "nodes":N,"cache_hits":N,"cache_misses":N,"refit_fanned":...,
+//       "queue_ms":...,"run_ms":...[,"error":...]}
+//   {"type":"stats","server":{...},"obs":{"counters":{...},"gauges":{...}}}
+//
+// Unknown keys anywhere in a request are rejected (parse errors carry the
+// offending key), mirroring CliFlags::reject_unknown — typos in automation
+// fail loudly instead of silently running with defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "solver/design_solver.hpp"
+
+namespace depstor::serve {
+
+/// Admission-rejection codes (HTTP-flavored so log greps read naturally).
+inline constexpr int kRejectParse = 400;
+inline constexpr int kRejectOversized = 413;
+inline constexpr int kRejectLint = 422;
+inline constexpr int kRejectQueueFull = 429;
+inline constexpr int kRejectShutdown = 503;
+
+/// The literal convenience spelling for a stats request.
+inline constexpr const char* kStatsRequestLine = "GET /stats";
+
+/// One parsed client request.
+struct WireRequest {
+  enum class Op { Design, Cancel, Stats };
+  Op op = Op::Design;
+  std::string id;            ///< client label; server assigns one when empty
+  std::string env_ini;       ///< INI environment text (core/env_loader.hpp)
+  int priority = 0;          ///< higher runs first among queued jobs
+  double deadline_ms = 0.0;  ///< from admission; 0 = server default
+  bool deterministic = false;
+  DesignSolverOptions options;  ///< wire "options" overlaid on defaults
+};
+
+/// True when the raw line is the literal stats spelling.
+bool is_stats_line(const std::string& line);
+
+/// Serialize a design request (the client side of parse_request; round-trips
+/// through it exactly). Every option is emitted explicitly so a request is
+/// self-describing regardless of server defaults.
+std::string build_design_request(const WireRequest& req);
+/// {"op":"cancel"} / {"op":"stats"} one-liners.
+std::string build_cancel_request();
+std::string build_stats_request();
+
+/// Parse one request line. `max_bytes` bounds the document (0 = unlimited).
+/// Throws InvalidArgument on malformed JSON, unknown keys, wrong types, or
+/// a missing/unknown "op" — the message is the rejection detail.
+WireRequest parse_request(const std::string& line, std::size_t max_bytes);
+
+/// Event builders — each returns one complete JSON line (no trailing '\n').
+std::string event_accepted(const std::string& id, std::int64_t job,
+                           int queue_depth);
+std::string event_rejected(const std::string& id, int code,
+                           const std::string& reason,
+                           const std::string& detail);
+std::string event_progress(const std::string& id, const std::string& status,
+                           std::int64_t nodes);
+
+/// Terminal-result payload, one per accepted job.
+struct ResultEvent {
+  std::string id;
+  std::string status;  ///< completed | cancelled | expired | failed
+  bool feasible = false;
+  double total_cost = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  bool refit_fanned = false;
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+  /// 1-based order in which the server's workers claimed jobs — the
+  /// observable proof of priority scheduling (tests key off it).
+  std::int64_t run_order = 0;
+  std::string error;  ///< non-empty only for status "failed"
+};
+std::string event_result(const ResultEvent& r);
+
+}  // namespace depstor::serve

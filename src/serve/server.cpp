@@ -1,0 +1,584 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
+#include "core/api.hpp"
+#include "core/env_loader.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace depstor::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Accept-loop poll period: how quickly shutdown is noticed, nothing else.
+constexpr double kAcceptPollMs = 50.0;
+/// Idle-connection poll period (between requests on one connection).
+constexpr double kIdlePollMs = 50.0;
+
+}  // namespace
+
+/// One admitted design request, from admission to its terminal result.
+/// Shared between the connection thread (progress/result streaming, cancel)
+/// and the pool worker that claims it.
+struct Server::JobRecord {
+  std::int64_t seq = 0;       ///< admission order; priority ties break FIFO
+  std::string id;             ///< wire label echoed in every event
+  int priority = 0;
+  Environment env;
+  DesignSolverOptions options;
+  bool deterministic = false;
+  double deadline_ms = 0.0;   ///< from admitted_at; 0 = none
+  Clock::time_point admitted_at{};
+
+  std::atomic<bool> cancel{false};
+  std::atomic<std::int64_t> progress{0};
+  std::atomic<bool> running{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;          ///< result is final (under mu)
+  ResultEvent result;         ///< valid once done
+};
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      // End-to-end job latency, 10us .. 1h, matching the engine metrics.
+      latency_(0.01, 3.6e6, 64) {
+  DEPSTOR_EXPECTS_MSG(options_.workers >= 0, "serve: workers must be >= 0");
+  DEPSTOR_EXPECTS_MSG(options_.intra_workers >= 1,
+                      "serve: intra_workers must be >= 1");
+  DEPSTOR_EXPECTS_MSG(options_.intra_min_fan >= 1,
+                      "serve: intra_min_fan must be >= 1");
+  DEPSTOR_EXPECTS_MSG(options_.max_queue >= 1,
+                      "serve: max_queue must be >= 1");
+  DEPSTOR_EXPECTS_MSG(options_.max_request_bytes >= 64,
+                      "serve: max_request_bytes must be >= 64");
+  DEPSTOR_EXPECTS_MSG(options_.progress_interval_ms > 0.0,
+                      "serve: progress_interval_ms must be > 0");
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  listener_ = listen_on(options_.host, options_.port, &port_);
+  pool_ = std::make_unique<WorkerPool>(options_.workers);
+  if (options_.enable_cache) cache_ = std::make_unique<EvalCache>();
+  started_at_ = Clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!accept_stop_.load(std::memory_order_acquire)) {
+    if (!wait_readable(listener_.get(), kAcceptPollMs)) continue;
+    ScopedFd client(::accept(listener_.get(), nullptr, nullptr));
+    if (!client.valid()) continue;  // racing shutdown or transient error
+    DEPSTOR_COUNTER_ADD("serve.connections_accepted", 1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, fd = std::move(client)]() mutable {
+          connection_loop(std::move(fd));
+        });
+  }
+}
+
+void Server::connection_loop(ScopedFd fd) {
+  LineReader reader(fd.get(), options_.max_request_bytes + 1024);
+  std::string line;
+  for (;;) {
+    const LineReader::Status status = reader.read_line(&line, kIdlePollMs);
+    if (status == LineReader::Status::Eof) return;
+    if (status == LineReader::Status::Overflow) {
+      DEPSTOR_COUNTER_ADD("serve.jobs_rejected", 1);
+      DEPSTOR_COUNTER_ADD("serve.rejected_oversized", 1);
+      send_all(fd.get(),
+               event_rejected("", kRejectOversized, "oversized",
+                              "request line exceeds " +
+                                  std::to_string(options_.max_request_bytes) +
+                                  " bytes") +
+                   "\n");
+      return;  // newline framing is lost; the connection is unusable
+    }
+    if (status == LineReader::Status::Timeout) {
+      if (conn_stop_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line.size() > options_.max_request_bytes) {
+      // A complete line over the cap: framing is intact, so reject just the
+      // request and keep the connection (unlike Overflow above).
+      DEPSTOR_COUNTER_ADD("serve.jobs_rejected", 1);
+      DEPSTOR_COUNTER_ADD("serve.rejected_oversized", 1);
+      if (!send_all(fd.get(),
+                    event_rejected("", kRejectOversized, "oversized",
+                                   "request of " +
+                                       std::to_string(line.size()) +
+                                       " bytes exceeds the " +
+                                       std::to_string(
+                                           options_.max_request_bytes) +
+                                       "-byte limit") +
+                        "\n")) {
+        return;
+      }
+      continue;
+    }
+    if (is_stats_line(line)) {
+      DEPSTOR_COUNTER_ADD("serve.stats_requests", 1);
+      if (!send_all(fd.get(), stats_json() + "\n")) return;
+      continue;
+    }
+    // Everything else is a JSON request; cancel with no job in flight is a
+    // harmless no-op, stats works in any state.
+    if (line.front() == '{') {
+      WireRequest peek;
+      try {
+        peek = parse_request(line, options_.max_request_bytes);
+      } catch (const std::exception& e) {
+        DEPSTOR_COUNTER_ADD("serve.jobs_rejected", 1);
+        DEPSTOR_COUNTER_ADD("serve.rejected_parse", 1);
+        if (!send_all(fd.get(), event_rejected("", kRejectParse, "parse",
+                                               e.what()) +
+                                    "\n")) {
+          return;
+        }
+        continue;
+      }
+      if (peek.op == WireRequest::Op::Stats) {
+        DEPSTOR_COUNTER_ADD("serve.stats_requests", 1);
+        if (!send_all(fd.get(), stats_json() + "\n")) return;
+        continue;
+      }
+      if (peek.op == WireRequest::Op::Cancel) continue;  // nothing in flight
+    }
+    std::shared_ptr<JobRecord> rec = admit(line, fd.get());
+    if (rec == nullptr) continue;  // rejected (event already sent)
+    if (!monitor(reader, rec, fd.get())) return;
+  }
+}
+
+std::shared_ptr<Server::JobRecord> Server::admit(const std::string& line,
+                                                 int fd) {
+  auto reject = [&](const std::string& id, int code, const char* reason,
+                    const std::string& detail) -> std::shared_ptr<JobRecord> {
+    DEPSTOR_COUNTER_ADD("serve.jobs_rejected", 1);
+    // Dynamic name: the registry's slow path, not the cached-cell macro.
+    obs::counters().add(std::string("serve.rejected_") + reason, 1);
+    send_all(fd, event_rejected(id, code, reason, detail) + "\n");
+    return nullptr;
+  };
+
+  WireRequest req;
+  try {
+    req = parse_request(line, options_.max_request_bytes);
+  } catch (const std::exception& e) {
+    return reject("", kRejectParse, "parse", e.what());
+  }
+  if (req.op != WireRequest::Op::Design) {
+    return reject(req.id, kRejectParse, "parse",
+                  "expected a design request here");
+  }
+
+  // Lint before admission: a request that cannot produce a valid
+  // environment never takes a queue slot.
+  if (options_.lint_admission) {
+    const analysis::DiagnosticReport report =
+        analysis::lint_environment_text(req.env_ini, "<request>");
+    if (report.has_errors()) {
+      std::string detail = "environment failed lint";
+      for (const auto& d : report.diagnostics()) {
+        detail += "; " + d.render();
+      }
+      return reject(req.id, kRejectLint, "lint", detail);
+    }
+  }
+  auto rec = std::make_shared<JobRecord>();
+  try {
+    rec->env = environment_from_ini(req.env_ini);
+    rec->env.validate();
+  } catch (const std::exception& e) {
+    return reject(req.id, kRejectLint, "lint", e.what());
+  }
+
+  rec->id = req.id;
+  rec->priority = req.priority;
+  rec->options = req.options;
+  rec->deterministic = req.deterministic;
+  rec->deadline_ms = req.deadline_ms > 0.0 ? req.deadline_ms
+                                           : options_.default_deadline_ms;
+
+  int depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      return reject(req.id, kRejectShutdown, "shutting_down",
+                    "server is draining; not accepting new work");
+    }
+    if (queued_ >= options_.max_queue) {
+      return reject(req.id, kRejectQueueFull, "queue_full",
+                    "queue depth " + std::to_string(queued_) +
+                        " is at the limit of " +
+                        std::to_string(options_.max_queue));
+    }
+    rec->seq = next_seq_++;
+    if (rec->id.empty()) rec->id = "job-" + std::to_string(rec->seq);
+    rec->admitted_at = Clock::now();
+    heap_.push_back(rec);
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [](const std::shared_ptr<JobRecord>& a,
+                      const std::shared_ptr<JobRecord>& b) {
+                     if (a->priority != b->priority) {
+                       return a->priority < b->priority;
+                     }
+                     return a->seq > b->seq;
+                   });
+    depth = ++queued_;
+  }
+  DEPSTOR_COUNTER_ADD("serve.jobs_admitted", 1);
+  submit_claim();
+  if (!send_all(fd, event_accepted(rec->id, rec->seq, depth) + "\n")) {
+    // Peer vanished between sending the request and hearing the answer:
+    // treat like a disconnect so the slot is not wasted.
+    rec->cancel.store(true, std::memory_order_release);
+    return nullptr;
+  }
+  return rec;
+}
+
+void Server::submit_claim() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (paused_) {
+      ++deferred_claims_;
+      return;
+    }
+  }
+  const bool accepted = pool_->submit([this] {
+    std::shared_ptr<JobRecord> rec;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (heap_.empty()) return;
+      std::pop_heap(heap_.begin(), heap_.end(),
+                    [](const std::shared_ptr<JobRecord>& a,
+                       const std::shared_ptr<JobRecord>& b) {
+                      if (a->priority != b->priority) {
+                        return a->priority < b->priority;
+                      }
+                      return a->seq > b->seq;
+                    });
+      rec = std::move(heap_.back());
+      heap_.pop_back();
+      --queued_;
+      ++running_;
+    }
+    run_job(rec);
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      --running_;
+    }
+    drain_cv_.notify_all();
+  });
+  // Admission happens only before the drain completes and the pool stops
+  // only after; a rejected submit would strand a queued job.
+  DEPSTOR_ENSURES(accepted);
+}
+
+void Server::pause_dispatch() {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  paused_ = true;
+}
+
+void Server::resume_dispatch() {
+  int release = 0;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    paused_ = false;
+    release = deferred_claims_;
+    deferred_claims_ = 0;
+  }
+  for (int i = 0; i < release; ++i) submit_claim();
+}
+
+void Server::run_job(const std::shared_ptr<JobRecord>& rec) {
+  const double queue_ms = ms_since(rec->admitted_at);
+  ResultEvent event;
+  event.id = rec->id;
+  event.queue_ms = queue_ms;
+  event.run_order = next_run_order_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (rec->cancel.load(std::memory_order_acquire)) {
+    event.status = "cancelled";
+    finish_job(rec, std::move(event));
+    return;
+  }
+  if (rec->deadline_ms > 0.0 && queue_ms >= rec->deadline_ms) {
+    event.status = "expired";
+    finish_job(rec, std::move(event));
+    return;
+  }
+
+  SolveRequest request;
+  request.env = &rec->env;
+  request.options = rec->options;
+  request.exec.workers = 1;
+  request.exec.intra_node_workers = options_.intra_workers;
+  request.exec.intra_min_fan = options_.intra_min_fan;
+  request.exec.deterministic = rec->deterministic;
+  request.exec.eval_cache = cache_.get();
+  request.exec.cancel = &rec->cancel;
+  request.exec.progress = &rec->progress;
+  if (options_.intra_workers > 1) request.exec.intra_pool = pool_.get();
+  if (rec->deadline_ms > 0.0) {
+    // Clip the solve budget to the deadline's remainder (engine semantics).
+    const double remaining = rec->deadline_ms - queue_ms;
+    request.exec.time_budget_ms =
+        rec->options.time_budget_ms > 0.0
+            ? std::min(rec->options.time_budget_ms, remaining)
+            : remaining;
+  }
+
+  rec->running.store(true, std::memory_order_release);
+  const Clock::time_point run_start = Clock::now();
+  try {
+    const SolveResult result = depstor::solve(request);
+    event.status = result.cancelled ? "cancelled" : "completed";
+    event.feasible = result.feasible;
+    event.total_cost = result.feasible ? result.cost.total() : 0.0;
+    event.nodes = result.nodes_evaluated;
+    event.cache_hits = result.cache_hits;
+    event.cache_misses = result.cache_misses;
+    event.refit_fanned = result.refit_fanned;
+  } catch (const std::exception& e) {
+    event.status = "failed";
+    event.error = e.what();
+  }
+  event.run_ms = ms_since(run_start);
+  finish_job(rec, std::move(event));
+}
+
+void Server::finish_job(const std::shared_ptr<JobRecord>& rec,
+                        ResultEvent event) {
+  obs::counters().add("serve.jobs_" + event.status, 1);
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    latency_.add(event.queue_ms + event.run_ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->result = std::move(event);
+    rec->done = true;
+  }
+  rec->cv.notify_all();
+}
+
+bool Server::monitor(LineReader& reader, const std::shared_ptr<JobRecord>& rec,
+                     int fd) {
+  // Any sign the client is gone — EOF, broken framing, a failed send —
+  // cancels the job so the worker frees up at the next node boundary.
+  auto lost_client = [&] {
+    DEPSTOR_COUNTER_ADD("serve.client_disconnects", 1);
+    rec->cancel.store(true, std::memory_order_release);
+    return false;
+  };
+  std::string line;
+  for (;;) {
+    const LineReader::Status status =
+        reader.read_line(&line, options_.progress_interval_ms);
+    if (status == LineReader::Status::Eof ||
+        status == LineReader::Status::Overflow) {
+      return lost_client();
+    }
+    if (status == LineReader::Status::Line && !line.empty()) {
+      if (is_stats_line(line)) {
+        DEPSTOR_COUNTER_ADD("serve.stats_requests", 1);
+        if (!send_all(fd, stats_json() + "\n")) return lost_client();
+        continue;
+      }
+      try {
+        const WireRequest req = parse_request(line, options_.max_request_bytes);
+        if (req.op == WireRequest::Op::Cancel) {
+          rec->cancel.store(true, std::memory_order_release);
+        } else if (req.op == WireRequest::Op::Stats) {
+          DEPSTOR_COUNTER_ADD("serve.stats_requests", 1);
+          if (!send_all(fd, stats_json() + "\n")) return lost_client();
+        } else {
+          // One in-flight design per connection keeps result attribution
+          // unambiguous; open another connection for concurrent jobs.
+          DEPSTOR_COUNTER_ADD("serve.jobs_rejected", 1);
+          DEPSTOR_COUNTER_ADD("serve.rejected_busy", 1);
+          if (!send_all(fd, event_rejected(req.id, kRejectParse, "busy",
+                                           "a design is already in flight "
+                                           "on this connection") +
+                                "\n")) {
+            return lost_client();
+          }
+        }
+      } catch (const std::exception& e) {
+        if (!send_all(fd, event_rejected("", kRejectParse, "parse",
+                                         e.what()) +
+                              "\n")) {
+          return lost_client();
+        }
+      }
+      continue;  // drain any further buffered lines before progressing
+    }
+    // Timeout: the progress tick.
+    {
+      std::lock_guard<std::mutex> lock(rec->mu);
+      if (rec->done) break;
+    }
+    const bool running = rec->running.load(std::memory_order_acquire);
+    if (!send_all(fd, event_progress(
+                          rec->id, running ? "running" : "queued",
+                          rec->progress.load(std::memory_order_relaxed)) +
+                          "\n")) {
+      return lost_client();
+    }
+  }
+  std::unique_lock<std::mutex> lock(rec->mu);
+  const std::string event = event_result(rec->result) + "\n";
+  lock.unlock();
+  return send_all(fd, event);
+}
+
+int Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return queued_;
+}
+
+int Server::active_jobs() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return running_;
+}
+
+void Server::publish_gauges() const {
+  obs::CounterRegistry& reg = obs::counters();
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    reg.set_gauge("serve.queue_depth", queued_);
+    reg.set_gauge("serve.active_jobs", running_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    reg.set_gauge("serve.p50_job_ms", latency_.quantile(0.5));
+    reg.set_gauge("serve.p95_job_ms", latency_.quantile(0.95));
+  }
+  if (cache_ != nullptr) {
+    const EvalCacheStats stats = cache_->stats();
+    const std::int64_t lookups = stats.hits + stats.misses;
+    reg.set_gauge("serve.cache_hit_rate",
+                  lookups > 0 ? static_cast<double>(stats.hits) /
+                                    static_cast<double>(lookups)
+                              : 0.0);
+  }
+  reg.set_gauge("serve.uptime_ms", ms_since(started_at_));
+}
+
+std::string Server::stats_json() const {
+  publish_gauges();
+  int queued = 0;
+  int running = 0;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    queued = queued_;
+    running = running_;
+  }
+  double p50 = 0.0;
+  double p95 = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    p50 = latency_.quantile(0.5);
+    p95 = latency_.quantile(0.95);
+  }
+  const obs::CounterRegistry& reg = obs::counters();
+  JsonWriter w;
+  w.begin_object().field("type", "stats");
+  w.key("server")
+      .begin_object()
+      .field("uptime_ms", ms_since(started_at_))
+      .field("draining", draining())
+      .field("queue_depth", queued)
+      .field("active_jobs", running)
+      .field("max_queue", options_.max_queue)
+      .field("workers", pool_ != nullptr ? pool_->worker_count() : 0)
+      .field("jobs_admitted",
+             static_cast<long long>(reg.value("serve.jobs_admitted")))
+      .field("jobs_completed",
+             static_cast<long long>(reg.value("serve.jobs_completed")))
+      .field("jobs_cancelled",
+             static_cast<long long>(reg.value("serve.jobs_cancelled")))
+      .field("jobs_expired",
+             static_cast<long long>(reg.value("serve.jobs_expired")))
+      .field("jobs_failed",
+             static_cast<long long>(reg.value("serve.jobs_failed")))
+      .field("jobs_rejected",
+             static_cast<long long>(reg.value("serve.jobs_rejected")))
+      .field("p50_job_ms", p50)
+      .field("p95_job_ms", p95);
+  if (cache_ != nullptr) {
+    const EvalCacheStats stats = cache_->stats();
+    const std::int64_t lookups = stats.hits + stats.misses;
+    w.field("cache_hit_rate", lookups > 0
+                                  ? static_cast<double>(stats.hits) /
+                                        static_cast<double>(lookups)
+                                  : 0.0)
+        .field("cache_entries", static_cast<long long>(stats.size));
+  }
+  w.end_object();
+  w.key("obs");
+  reg.to_json(w);
+  w.end_object();
+  return w.str();
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  if (pool_ == nullptr) return;  // never started
+
+  draining_.store(true, std::memory_order_release);
+  resume_dispatch();  // release any test-paused claims so the queue drains
+  {
+    std::unique_lock<std::mutex> lock(sched_mu_);
+    drain_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+  }
+  // Results are all terminal; connection threads deliver them before they
+  // notice conn_stop_. Stop taking new connections, then wind down.
+  accept_stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  conn_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::thread& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+  }
+  pool_->stop();
+  listener_.reset();
+
+  publish_gauges();
+  if (!options_.final_stats_path.empty()) {
+    std::ofstream out(options_.final_stats_path);
+    out << stats_json() << "\n";
+  }
+  if (!options_.final_trace_path.empty()) {
+    std::ofstream out(options_.final_trace_path);
+    obs::write_chrome_trace(out);
+  }
+}
+
+}  // namespace depstor::serve

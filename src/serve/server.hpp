@@ -1,0 +1,161 @@
+// depstor_serve's engine room: a long-running design service over
+// depstor::solve (DESIGN.md §10).
+//
+// One Server owns one listener socket, one process-wide WorkerPool, and one
+// shared sharded EvalCache. Every accepted connection gets a thread that
+// speaks the serve/proto wire format; every admitted design request becomes
+// a JobRecord scheduled by priority on the pool. The pieces:
+//
+//   admission   Requests are parsed (bounded by max_request_bytes), linted
+//               with analysis::lint_environment_text, and admitted only
+//               while the queue has room and the server is not draining.
+//               Every rejection is explicit — a "rejected" event with an
+//               HTTP-flavored code — never a silent drop.
+//
+//   scheduling  Admitted jobs enter a priority heap (priority desc,
+//               admission order asc). One claim task per admitted job goes
+//               to the WorkerPool; each claim pops the *current* best job,
+//               so priorities reorder work that is still queued. The pool
+//               is shared with the intra-solve refit fan (TaskGroup's
+//               help-while-wait makes the nesting deadlock-free).
+//
+//   streaming   While a job is queued/running its connection thread emits
+//               "progress" events every progress_interval_ms from the
+//               solve's progress atomic, then exactly one "result". A
+//               cancel line — or the client disconnecting — flips the job's
+//               cancel atomic and the solve stops at the next node.
+//
+//   shutdown    shutdown() (SIGINT/SIGTERM in depstor_serve) drains: new
+//               admissions are rejected with 503, queued + running jobs run
+//               to completion and their results are delivered, then the
+//               listener and connection threads wind down and the final
+//               stats snapshot is flushed. Accepted work is never dropped.
+//
+// Live stats: the literal line "GET /stats" (or {"op":"stats"}) returns a
+// JSON snapshot — queue depth, job outcomes, cache hit rate, p50/p95
+// end-to-end job latency — with the whole obs::counters() registry embedded.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/eval_cache.hpp"
+#include "engine/worker_pool.hpp"
+#include "serve/proto.hpp"
+#include "serve/socket.hpp"
+#include "util/histogram.hpp"
+
+namespace depstor::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;     ///< 0 = ephemeral (the bound port is Server::port())
+  int workers = 0;  ///< pool threads; 0 = one per hardware thread
+  int intra_workers = 1;   ///< refit threads per job (nested on the pool)
+  int intra_min_fan = 4;   ///< ExecutionOptions::intra_min_fan per job
+  int max_queue = 64;      ///< admitted-but-not-started cap; beyond = 429
+  std::size_t max_request_bytes = 1 << 20;  ///< per-line and per-JSON bound
+  bool enable_cache = true;         ///< shared EvalCache across all jobs
+  bool lint_admission = true;       ///< reject env lint errors with 422
+  double default_deadline_ms = 0.0;  ///< per-job deadline when the request
+                                     ///< carries none; 0 = none
+  double progress_interval_ms = 25.0;  ///< progress-event cadence
+  std::string final_stats_path;  ///< write the last stats JSON on shutdown
+  std::string final_trace_path;  ///< write a Chrome trace on shutdown
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options = {});
+  ~Server();  ///< calls shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept loop. Throws InvalidArgument when the
+  /// address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  int port() const { return port_; }
+
+  /// Graceful drain (see the header comment). Blocks until every admitted
+  /// job has a delivered result and every thread is joined. Idempotent and
+  /// safe to call from a signal-watching thread.
+  void shutdown();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Jobs admitted but not yet claimed by a worker.
+  int queue_depth() const;
+  /// Jobs currently running on the pool.
+  int active_jobs() const;
+
+  /// The live stats snapshot (one JSON object, the wire "stats" event).
+  std::string stats_json() const;
+
+  /// Test hooks: hold admitted jobs in the queue (claims are deferred, not
+  /// dropped) so tests can fill the queue or assert priority order, then
+  /// release them. resume_dispatch() is also called by shutdown().
+  void pause_dispatch();
+  void resume_dispatch();
+
+ private:
+  struct JobRecord;
+
+  void accept_loop();
+  void connection_loop(ScopedFd fd);
+
+  /// Parse/lint/admit one design line; sends accepted/rejected. Returns the
+  /// admitted record, or null when rejected.
+  std::shared_ptr<JobRecord> admit(const std::string& line, int fd);
+  /// Stream progress until the job is terminal, handling interleaved lines
+  /// (cancel/stats). Returns false when the connection must close.
+  bool monitor(LineReader& reader, const std::shared_ptr<JobRecord>& rec,
+               int fd);
+
+  void submit_claim();  ///< one claim task onto the pool (or defer)
+  void run_job(const std::shared_ptr<JobRecord>& rec);
+  void finish_job(const std::shared_ptr<JobRecord>& rec, ResultEvent event);
+  void publish_gauges() const;
+
+  ServeOptions options_;
+  int port_ = 0;
+  ScopedFd listener_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<EvalCache> cache_;
+  std::chrono::steady_clock::time_point started_at_{};
+
+  std::thread accept_thread_;
+  std::atomic<bool> accept_stop_{false};
+  std::atomic<bool> conn_stop_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+
+  mutable std::mutex sched_mu_;
+  std::condition_variable drain_cv_;
+  std::vector<std::shared_ptr<JobRecord>> heap_;  ///< priority max-heap
+  int queued_ = 0;
+  int running_ = 0;
+  std::int64_t next_seq_ = 1;
+  bool paused_ = false;
+  int deferred_claims_ = 0;
+  std::atomic<std::int64_t> next_run_order_{0};
+
+  mutable std::mutex latency_mu_;
+  LogHistogram latency_;  ///< end-to-end admission→terminal, ms
+
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+};
+
+}  // namespace depstor::serve

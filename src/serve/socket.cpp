@@ -1,0 +1,141 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace depstor::serve {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("serve: bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+ScopedFd listen_on(const std::string& host, int port, int* bound_port,
+                   int backlog) {
+  DEPSTOR_EXPECTS_MSG(port >= 0 && port <= 65535,
+                      "serve: listen port out of range");
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw InvalidArgument("serve: socket() failed: " + errno_text());
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw InvalidArgument("serve: bind to " + host + ":" +
+                          std::to_string(port) + " failed: " + errno_text());
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw InvalidArgument("serve: listen failed: " + errno_text());
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      throw InternalError("serve: getsockname failed: " + errno_text());
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+ScopedFd connect_to(const std::string& host, int port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw InvalidArgument("serve: socket() failed: " + errno_text());
+  }
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw InvalidArgument("serve: connect to " + host + ":" +
+                          std::to_string(port) + " failed: " + errno_text());
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool wait_readable(int fd, double timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int timeout =
+      timeout_ms < 0.0 ? -1 : static_cast<int>(timeout_ms + 0.999);
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // let the read surface the error
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone (EPIPE/ECONNRESET) or unrecoverable error
+  }
+  return true;
+}
+
+LineReader::Status LineReader::read_line(std::string* out, double timeout_ms) {
+  DEPSTOR_EXPECTS(out != nullptr);
+  if (overflowed_) return Status::Overflow;
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      out->assign(buffer_, 0, pos);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      buffer_.erase(0, pos + 1);
+      return Status::Line;
+    }
+    if (buffer_.size() > max_line_bytes_) {
+      overflowed_ = true;
+      return Status::Overflow;
+    }
+    if (eof_) return Status::Eof;
+    if (!wait_readable(fd_, timeout_ms)) return Status::Timeout;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    eof_ = true;  // orderly close or connection error: both end the stream
+  }
+}
+
+}  // namespace depstor::serve

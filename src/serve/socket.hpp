@@ -1,0 +1,97 @@
+// Thin POSIX TCP helpers shared by the design service (serve/server), its
+// client (serve/client), and the loopback tests.
+//
+// Everything here is blocking-with-timeout: callers that need to interleave
+// socket readiness with other state (a job finishing, a shutdown flag) poll
+// with short timeouts instead of parking in recv(). Writes use MSG_NOSIGNAL
+// so a peer that vanished mid-stream surfaces as a return value, never as a
+// process-killing SIGPIPE — the daemon must survive any client behavior.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace depstor::serve {
+
+/// RAII ownership of a file descriptor.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Close the held descriptor (if any) and adopt `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on host:port. `port == 0` picks an ephemeral port;
+/// `*bound_port` always receives the actual one. Throws InvalidArgument on
+/// any socket failure (address in use, bad host, ...).
+ScopedFd listen_on(const std::string& host, int port, int* bound_port,
+                   int backlog = 64);
+
+/// Blocking connect to host:port. Throws InvalidArgument on failure.
+ScopedFd connect_to(const std::string& host, int port);
+
+/// True when the descriptor is readable (or at EOF/error — a read will not
+/// block) within `timeout_ms`; false on timeout.
+bool wait_readable(int fd, double timeout_ms);
+
+/// Write the whole buffer. Returns false when the peer is gone (EPIPE,
+/// reset); never raises SIGPIPE.
+bool send_all(int fd, const std::string& data);
+
+/// Buffered newline-delimited line reader over a socket.
+///
+/// Lines are the wire framing of the design service: one request or event
+/// per '\n'-terminated line. The reader enforces a per-line byte cap so a
+/// hostile peer streaming an endless line exhausts a counter, not memory —
+/// Overflow is sticky (framing is lost; the connection must be dropped).
+class LineReader {
+ public:
+  enum class Status {
+    Line,      ///< *out holds a complete line (terminator stripped)
+    Timeout,   ///< no complete line within timeout_ms; retry later
+    Eof,       ///< peer closed (or connection error) with no pending line
+    Overflow,  ///< line exceeded max_line_bytes; connection unusable
+  };
+
+  LineReader(int fd, std::size_t max_line_bytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Read until a full line, EOF, overflow, or the timeout elapses.
+  /// A trailing '\r' (telnet-style clients) is stripped with the '\n'.
+  Status read_line(std::string* out, double timeout_ms);
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool eof_ = false;
+  bool overflowed_ = false;
+};
+
+}  // namespace depstor::serve

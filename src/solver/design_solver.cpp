@@ -137,6 +137,17 @@ class SolveRun {
     steal_count_.fetch_add(group.stolen(), std::memory_order_relaxed);
   }
 
+  /// The pool a fan of `fan_size` independent tasks should use — null
+  /// (inline execution in slot order) when the fan is too narrow to repay
+  /// the TaskGroup claim/steal overhead (ExecutionOptions::intra_min_fan).
+  /// Inline and pooled fans explore identical node sets, so this only
+  /// changes where the work runs, never what it computes.
+  WorkerPool* fan_pool(int fan_size) {
+    if (pool_ == nullptr || fan_size < exec_.intra_min_fan) return nullptr;
+    refit_fanned_.store(true, std::memory_order_relaxed);
+    return pool_;
+  }
+
   static void rethrow_first(std::vector<std::exception_ptr>& errors) {
     for (auto& err : errors) {
       if (err) std::rethrow_exception(err);
@@ -159,6 +170,7 @@ class SolveRun {
   std::atomic<std::int64_t> nodes_evaluated_{0};
   std::atomic<std::int64_t> parallel_tasks_{0};
   std::atomic<std::int64_t> steal_count_{0};
+  std::atomic<bool> refit_fanned_{false};
   std::mutex stats_mu_;
   ConfigSolverStats agg_stats_;
 };
@@ -241,7 +253,7 @@ std::optional<Node> SolveRun::sibling_walk(const Node& initial,
     std::vector<std::exception_ptr> errors(
         static_cast<std::size_t>(breadth));
     {
-      TaskGroup group(pool_);
+      TaskGroup group(fan_pool(breadth));
       for (int k = 0; k < breadth; ++k) {
         group.run([this, &cur, &slots, &errors, rep, iter, sibling, level,
                    k] {
@@ -288,7 +300,7 @@ bool SolveRun::refit_iteration(Node& best, std::uint64_t rep,
       static_cast<std::size_t>(breadth));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(breadth));
   {
-    TaskGroup group(pool_);
+    TaskGroup group(fan_pool(breadth));
     for (int s = 0; s < breadth; ++s) {
       group.run([this, &initial, &walk_best, &errors, rep, iter, s] {
         try {
@@ -333,6 +345,7 @@ void SolveRun::finish_stats() {
   result_.refit_parallel_tasks =
       parallel_tasks_.load(std::memory_order_relaxed);
   result_.refit_steal_count = steal_count_.load(std::memory_order_relaxed);
+  result_.refit_fanned = refit_fanned_.load(std::memory_order_relaxed);
   result_.evaluations = agg_stats_.evaluations;
   result_.cache_hits = agg_stats_.cache_hits;
   result_.cache_misses = agg_stats_.cache_misses;
@@ -352,6 +365,9 @@ void SolveRun::finish_stats() {
   reg.add("solver.refit_iterations", result_.refit_iterations);
   reg.add("solver.refit_parallel_tasks", result_.refit_parallel_tasks);
   reg.add("solver.refit_steal_count", result_.refit_steal_count);
+  reg.add(result_.refit_fanned ? "solver.refit_fans_pooled"
+                               : "solver.refit_fans_inline",
+          1);
   reg.add("solver.evaluations", result_.evaluations);
   reg.add("solver.cache_hits", result_.cache_hits);
   reg.add("solver.cache_misses", result_.cache_misses);
@@ -432,6 +448,7 @@ void validate(const Environment* env, const DesignSolverOptions& options,
   DEPSTOR_EXPECTS(options.max_greedy_restarts >= 1);
   DEPSTOR_EXPECTS_MSG(exec.intra_node_workers >= 1,
                       "intra_node_workers must be >= 1");
+  DEPSTOR_EXPECTS_MSG(exec.intra_min_fan >= 1, "intra_min_fan must be >= 1");
   env->validate();
 }
 

@@ -86,6 +86,15 @@ struct ExecutionOptions {
   /// Threads cooperating *inside* each solve's refit stage. 1 = the
   /// sequential path (no pool is created). Must be >= 1.
   int intra_node_workers = 1;
+  /// Minimum fan width worth handing to the pool: a refit fan with fewer
+  /// independent tasks than this runs inline on the coordinating thread even
+  /// when a pool is available, because the TaskGroup claim/steal overhead
+  /// swamps the per-task work on narrow fans (the obs spans behind
+  /// BENCH_solver_perf.json measured the default breadth-3 fan at 0.78x —
+  /// a slowdown). Must be >= 1; 1 = always fan. Inline fans follow the same
+  /// slot order and structural RNG streams, so the threshold never changes
+  /// results — SolveResult::refit_fanned records which path ran.
+  int intra_min_fan = 4;
   /// Disable the wall-clock cutoffs so the node set explored depends only on
   /// (options, seed) — required for the bit-identical parallel-vs-sequential
   /// contract. Termination then comes from max_repetitions (0 → 1) and
@@ -129,6 +138,10 @@ struct SolveResult {
   /// intra_node_workers == 1 every task is "stolen" — run inline).
   std::int64_t refit_parallel_tasks = 0;
   std::int64_t refit_steal_count = 0;
+  /// Which refit path actually ran: true when at least one fan cleared
+  /// ExecutionOptions::intra_min_fan and went to the pool; false when every
+  /// fan ran inline (narrow fans, intra_node_workers == 1, or no pool).
+  bool refit_fanned = false;
   /// Per-stage wall-clock: evaluation calls, backup-chain sweeps, resource
   /// increment loops (eval_ms overlaps the other two — see
   /// ConfigSolverStats).

@@ -132,6 +132,7 @@ ExecutionFlags parse_execution_flags(const CliFlags& flags,
     out.intra_workers = flags.get_int("intra-node-workers", out.intra_workers);
   }
 
+  out.intra_min_fan = flags.get_int("intra-min-fan", out.intra_min_fan);
   out.seed = static_cast<std::uint64_t>(
       flags.get_int("seed", static_cast<int>(out.seed)));
   out.deterministic = flags.get_bool("deterministic", out.deterministic);

@@ -4,9 +4,9 @@
 // Unknown flags are an error so typos in experiment sweeps fail loudly.
 //
 // Every tool that runs the solver parses the execution knobs through
-// parse_execution_flags, so --workers/--intra-workers/--seed/--deterministic/
-// --trace-out/--stats mean the same thing in depstor_cli, depstor_batch and
-// the bench harnesses. Removed spellings from the pre-unification tools
+// parse_execution_flags, so --workers/--intra-workers/--intra-min-fan/--seed/
+// --deterministic/--trace-out/--stats mean the same thing in depstor_cli,
+// depstor_batch, depstor_serve and the bench harnesses. Removed spellings from the pre-unification tools
 // (--engine-workers, --jobs, --intra-node-workers, --trace) still work but
 // emit a `removed-cli-flag` warning (analysis/lint.hpp rule catalog).
 #pragma once
@@ -56,6 +56,9 @@ class CliFlags {
 struct ExecutionFlags {
   int workers = 1;             ///< --workers: seed fan / engine worker count
   int intra_workers = 1;       ///< --intra-workers: refit threads per solve
+  int intra_min_fan = 4;       ///< --intra-min-fan: smallest refit fan worth
+                               ///< pooling (narrower fans run inline; see
+                               ///< ExecutionOptions::intra_min_fan)
   std::uint64_t seed = 1;      ///< --seed: base of every derived RNG stream
   bool deterministic = false;  ///< --deterministic: fixed work, no wall clock
   std::string trace_out;       ///< --trace-out=<path>: Chrome trace (or

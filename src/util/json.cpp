@@ -208,7 +208,9 @@ class JsonParser {
   }
 
   char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input (truncated document)");
+    }
     return text_[pos_];
   }
 
@@ -471,8 +473,22 @@ std::size_t JsonValue::size() const {
   return type_ == Type::Array ? items().size() : members().size();
 }
 
-JsonValue parse_json(const std::string& text) {
+JsonValue parse_json(const std::string& text, const JsonLimits& limits) {
+  if (limits.max_bytes > 0 && text.size() > limits.max_bytes) {
+    // Refuse before parsing a single byte: the point of the limit is that a
+    // hostile document never drives allocation, so the size check must not
+    // depend on the content.
+    throw InvalidArgument(
+        "JSON parse error at offset " + std::to_string(limits.max_bytes) +
+        ": document of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_bytes) +
+        "-byte limit");
+  }
   return JsonParser(text).parse_document();
+}
+
+JsonValue parse_json(const std::string& text) {
+  return parse_json(text, JsonLimits{});
 }
 
 }  // namespace depstor

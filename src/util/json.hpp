@@ -104,8 +104,20 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
+/// Input-size policy for parse_json. The service wire format (serve/proto)
+/// feeds the parser attacker-controlled bytes, so callers can bound the
+/// document instead of letting a hostile request allocate without limit.
+struct JsonLimits {
+  /// Maximum document size in bytes; 0 = unlimited (trusted local artifacts).
+  std::size_t max_bytes = 0;
+};
+
 /// Parse a complete JSON document (one value plus surrounding whitespace).
-/// Throws InvalidArgument with a byte-offset locus on malformed input.
+/// Throws InvalidArgument with a byte-offset locus on malformed input:
+/// truncated documents report the offset where input ran out, oversized
+/// documents (per `limits.max_bytes`) report the limit and the actual size
+/// without touching the bytes at all.
+JsonValue parse_json(const std::string& text, const JsonLimits& limits);
 JsonValue parse_json(const std::string& text);
 
 }  // namespace depstor

@@ -226,5 +226,59 @@ TEST(JsonParse, RoundTripsWriterOutput) {
   EXPECT_EQ(v.at("list").at(1).as_string(), "two");
 }
 
+// Wire-format hardening (serve/proto feeds the parser network bytes): the
+// size limit rejects oversized documents without reading them, and truncated
+// documents carry the byte offset where input ran out.
+
+TEST(JsonLimits, OversizedDocumentRejectedWithLimitAndOffset) {
+  const std::string doc = R"({"padding":"0123456789012345678901234567890"})";
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  try {
+    parse_json(doc, limits);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("offset 16"), std::string::npos) << what;
+    EXPECT_NE(what.find("16-byte limit"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(doc.size())), std::string::npos)
+        << what;
+  }
+}
+
+TEST(JsonLimits, DocumentAtOrUnderLimitParses) {
+  const std::string doc = R"({"a":1})";
+  JsonLimits at_limit;
+  at_limit.max_bytes = doc.size();
+  EXPECT_DOUBLE_EQ(parse_json(doc, at_limit).at("a").as_number(), 1.0);
+  JsonLimits unlimited;  // 0 = no cap, the trusted-artifact default
+  EXPECT_DOUBLE_EQ(parse_json(doc, unlimited).at("a").as_number(), 1.0);
+}
+
+TEST(JsonLimits, TruncatedDocumentReportsEndOffset) {
+  const std::string doc = R"({"key":"value)";  // string never terminates
+  try {
+    parse_json(doc);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("offset " + std::to_string(doc.size())),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonLimits, TruncatedContainerReportsEndOffset) {
+  const std::string doc = R"([1, 2, )";
+  try {
+    parse_json(doc, JsonLimits{1024});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace depstor

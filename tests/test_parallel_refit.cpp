@@ -153,10 +153,65 @@ TEST(ParallelRefit, ParallelTasksAreCountedWhenFanned) {
   ExecutionOptions par;
   par.deterministic = true;
   par.intra_node_workers = 4;
+  par.intra_min_fan = 1;  // force pooling even for the narrow oracle fan
   const SolveResult result = solve_design(env, oracle_options(7), par);
   ASSERT_TRUE(result.feasible);
   // With a real pool at least part of the fan runs as pool tasks.
   EXPECT_GT(result.refit_parallel_tasks + result.refit_steal_count, 0);
+  EXPECT_TRUE(result.refit_fanned);
+}
+
+// ------------------------------------------------- fan-threshold guard
+
+TEST(ParallelRefit, NarrowFanStaysInlineUnderThreshold) {
+  // breadth 2 < intra_min_fan 4 (the default): the solve must not hand a
+  // single task to the pool, and SolveResult records the inline path.
+  const Environment env = scenarios::peer_sites(4);
+  ExecutionOptions par;
+  par.deterministic = true;
+  par.intra_node_workers = 4;
+  ASSERT_EQ(par.intra_min_fan, 4);
+  const SolveResult result = solve_design(env, oracle_options(7), par);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_FALSE(result.refit_fanned);
+  EXPECT_EQ(result.refit_parallel_tasks, 0);
+}
+
+TEST(ParallelRefit, FanThresholdNeverChangesResults) {
+  // Guarded (inline) and forced (pooled) fans walk the same structural node
+  // tree with the same derived RNG streams — totals must agree bit-for-bit.
+  const Environment env = scenarios::multi_site(8, 3, 4);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const DesignSolverOptions options = oracle_options(seed);
+    ExecutionOptions guarded;
+    guarded.deterministic = true;
+    guarded.intra_node_workers = 4;  // pool exists, fan too narrow to use it
+    ExecutionOptions forced = guarded;
+    forced.intra_min_fan = 1;
+
+    const SolveResult a = solve_design(env, options, guarded);
+    const SolveResult b = solve_design(env, options, forced);
+    ASSERT_TRUE(a.feasible) << "seed " << seed;
+    ASSERT_TRUE(b.feasible) << "seed " << seed;
+    EXPECT_FALSE(a.refit_fanned) << "seed " << seed;
+    EXPECT_TRUE(b.refit_fanned) << "seed " << seed;
+    EXPECT_EQ(a.cost.total(), b.cost.total()) << "seed " << seed;
+    EXPECT_EQ(a.nodes_evaluated, b.nodes_evaluated) << "seed " << seed;
+  }
+}
+
+TEST(ParallelRefit, WideFanClearsDefaultThreshold) {
+  const Environment env = scenarios::peer_sites(4);
+  DesignSolverOptions options = oracle_options(5);
+  options.breadth = 4;  // == default intra_min_fan
+  options.max_refit_iterations = 2;
+  ExecutionOptions par;
+  par.deterministic = true;
+  par.intra_node_workers = 4;
+  const SolveResult result = solve_design(env, options, par);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.refit_fanned);
+  EXPECT_GT(result.refit_parallel_tasks, 0);
 }
 
 // ------------------------------------------------------------- cancellation
