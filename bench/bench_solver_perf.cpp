@@ -18,11 +18,18 @@
 // deterministic single-solve workload on multi_site(24,6,8) run sequentially
 // (--intra-workers implied 1), with the refit fan forced onto N threads
 // (`--intra-workers=N`, default 4; intra_min_fan=1), and with the default
-// ExecutionOptions::intra_min_fan guard (narrow fans run inline — the
-// "guarded" leg measures what the threshold saves). The determinism contract
+// auto-calibrated ExecutionOptions::intra_min_fan (the "guarded" leg — the
+// measured threshold decides which fans pool). The determinism contract
 // makes all legs comparable: total costs must match bit-for-bit, and the
 // JSON's "parallel_refit" section carries the timings, speedups, and
-// task/steal counters.
+// task/steal counters. The same seq-vs-forced comparison then repeats at
+// production scale — multi_site(48,12,8) and multi_site(96,24,8) — into the
+// "parallel_refit_scale" array (the paper's §5 scalability axis: speedup
+// should grow, not shrink, with environment size). `--sweep-intra-workers`
+// additionally records a speedup-vs-workers curve (1/2/4/8) per scale env.
+// The JSON also records "hardware_threads": wall-clock speedup is only
+// meaningful where the host has cores to run the workers, and the CI gate
+// (scripts/perf_gate.py) uses it to decide which assertions apply.
 //
 // A fourth probe ("serve_probe") drives an in-process serve::Server with 8
 // concurrent loopback clients streaming small deterministic design requests,
@@ -228,16 +235,18 @@ struct RefitLeg {
   std::int64_t nodes_evaluated = 0;
   std::int64_t parallel_tasks = 0;
   std::int64_t steal_count = 0;
-  bool fanned = false;  ///< SolveResult::refit_fanned — which path ran
+  bool fanned = false;       ///< SolveResult::refit_fanned — which path ran
+  int min_fan_used = 0;      ///< SolveResult::intra_min_fan_used
 };
 
 struct ParallelRefitProbe {
   int intra_workers = 4;
   RefitLeg sequential;  ///< intra_workers = 1
   RefitLeg parallel;    ///< intra_workers = N, fan forced (intra_min_fan=1)
-  /// intra_workers = N under the default ExecutionOptions::intra_min_fan:
-  /// the default breadth-3 fan is narrower than the threshold, so this leg
-  /// runs inline — its margin over `parallel` is what the guard saves.
+  /// intra_workers = N under the default auto-calibrated threshold
+  /// (intra_min_fan = 0): the solve measures dispatch overhead vs node cost
+  /// at refit entry and pools only fans wide enough to pay — this leg is
+  /// what a caller gets out of the box.
   RefitLeg guarded;
   double speedup() const {
     return parallel.solve_ms > 0.0 ? sequential.solve_ms / parallel.solve_ms
@@ -256,7 +265,8 @@ struct ParallelRefitProbe {
 };
 
 RefitLeg run_refit_leg(const Environment& env, int intra_workers,
-                       int intra_min_fan, int repetitions) {
+                       int intra_min_fan, int repetitions,
+                       int max_refit_iterations) {
   // Best of `repetitions`: the solve is deterministic, so the minimum is the
   // honest estimate of each leg's cost (same rationale as the incremental
   // probe).
@@ -268,7 +278,7 @@ RefitLeg run_refit_leg(const Environment& env, int intra_workers,
     request.options.max_repetitions = 1;
     // Deterministic fixed work: enough refit iterations to exercise the fan
     // well past warm-up, few enough to keep the probe in CI-smoke range.
-    request.options.max_refit_iterations = 8;
+    request.options.max_refit_iterations = max_refit_iterations;
     request.exec.deterministic = true;
     request.exec.intra_node_workers = intra_workers;
     request.exec.intra_min_fan = intra_min_fan;
@@ -286,6 +296,7 @@ RefitLeg run_refit_leg(const Environment& env, int intra_workers,
     leg.parallel_tasks = result.refit_parallel_tasks;
     leg.steal_count = result.refit_steal_count;
     leg.fanned = result.refit_fanned;
+    leg.min_fan_used = result.intra_min_fan_used;
     if (rep == 0 || leg.solve_ms < best.solve_ms) best = leg;
   }
   return best;
@@ -296,10 +307,74 @@ ParallelRefitProbe run_parallel_refit_probe(int intra_workers,
   const Environment env = scenarios::multi_site(24, 6, 8);
   ParallelRefitProbe probe;
   probe.intra_workers = intra_workers;
-  probe.sequential = run_refit_leg(env, 1, 1, repetitions);
-  probe.parallel = run_refit_leg(env, intra_workers, 1, repetitions);
-  probe.guarded = run_refit_leg(env, intra_workers,
-                                ExecutionOptions{}.intra_min_fan, repetitions);
+  probe.sequential = run_refit_leg(env, 1, 1, repetitions, 8);
+  probe.parallel = run_refit_leg(env, intra_workers, 1, repetitions, 8);
+  probe.guarded = run_refit_leg(env, intra_workers, /*intra_min_fan=*/0,
+                                repetitions, 8);
+  return probe;
+}
+
+/// One point of the speedup-vs-workers curve (--sweep-intra-workers).
+struct WorkerPoint {
+  int workers = 1;
+  double solve_ms = 0.0;
+  double speedup = 1.0;  ///< vs the same probe's 1-worker leg
+};
+
+/// Scaled seq-vs-forced-fan comparison for one environment — the §5
+/// scalability axis. Larger environments carry coarser per-node work, so
+/// the fan's dispatch overhead shrinks relative to useful work and speedup
+/// should grow with scale.
+struct ScaleProbe {
+  std::string environment;
+  int apps = 0;
+  int refit_iterations = 0;
+  int intra_workers = 4;
+  RefitLeg sequential;
+  RefitLeg parallel;  ///< forced fan (intra_min_fan = 1)
+  std::vector<WorkerPoint> curve;  ///< populated by --sweep-intra-workers
+  double speedup() const {
+    return parallel.solve_ms > 0.0 ? sequential.solve_ms / parallel.solve_ms
+                                   : 0.0;
+  }
+  bool totals_match() const {
+    return sequential.total_cost == parallel.total_cost &&
+           sequential.nodes_evaluated == parallel.nodes_evaluated;
+  }
+};
+
+ScaleProbe run_scale_probe(const char* name, const Environment& env,
+                           int refit_iterations, int intra_workers,
+                           int repetitions, bool sweep) {
+  ScaleProbe probe;
+  probe.environment = name;
+  probe.apps = static_cast<int>(env.apps.size());
+  probe.refit_iterations = refit_iterations;
+  probe.intra_workers = intra_workers;
+  probe.sequential = run_refit_leg(env, 1, 1, repetitions, refit_iterations);
+  probe.parallel = run_refit_leg(env, intra_workers, 1, repetitions,
+                                 refit_iterations);
+  probe.curve.push_back({1, probe.sequential.solve_ms, 1.0});
+  if (sweep) {
+    for (int workers : {2, 4, 8}) {
+      if (workers == intra_workers) continue;  // reuse the measured leg
+      const RefitLeg leg =
+          run_refit_leg(env, workers, 1, repetitions, refit_iterations);
+      if (leg.total_cost != probe.sequential.total_cost) {
+        throw InternalError("sweep leg diverged from sequential totals");
+      }
+      probe.curve.push_back({workers, leg.solve_ms,
+                             leg.solve_ms > 0.0
+                                 ? probe.sequential.solve_ms / leg.solve_ms
+                                 : 0.0});
+    }
+  }
+  probe.curve.push_back(
+      {intra_workers, probe.parallel.solve_ms, probe.speedup()});
+  std::sort(probe.curve.begin(), probe.curve.end(),
+            [](const WorkerPoint& a, const WorkerPoint& b) {
+              return a.workers < b.workers;
+            });
   return probe;
 }
 
@@ -492,10 +567,15 @@ void write_probe_leg(JsonWriter& w, const ProbeLeg& leg) {
 }
 
 void write_perf_json(const char* path, const IncrementalProbe& probe,
-                     const ParallelRefitProbe& refit, const ServeProbe& sp,
-                     const EngineMetricsSnapshot& m) {
+                     const ParallelRefitProbe& refit,
+                     const std::vector<ScaleProbe>& scale,
+                     const ServeProbe& sp, const EngineMetricsSnapshot& m) {
   JsonWriter w;
   w.begin_object();
+  // Cores available to this run: wall-clock speedup cannot exceed what the
+  // host can schedule, so the CI gate keys its assertions off this.
+  w.field("hardware_threads",
+          static_cast<long long>(std::thread::hardware_concurrency()));
   w.key("incremental")
       .begin_object()
       .field("environment", "multi_site(24,6,8)")
@@ -526,7 +606,39 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
              static_cast<long long>(refit.parallel.parallel_tasks))
       .field("steal_count",
              static_cast<long long>(refit.parallel.steal_count))
+      .field("min_fan_used",
+             static_cast<long long>(refit.guarded.min_fan_used))
       .end_object();
+  w.key("parallel_refit_scale").begin_array();
+  for (const ScaleProbe& p : scale) {
+    w.begin_object()
+        .field("environment", p.environment)
+        .field("apps", static_cast<long long>(p.apps))
+        .field("refit_iterations", static_cast<long long>(p.refit_iterations))
+        .field("intra_workers", static_cast<long long>(p.intra_workers))
+        .field("seq_ms", p.sequential.solve_ms)
+        .field("par_ms", p.parallel.solve_ms)
+        .field("speedup", p.speedup())
+        .field("totals_match", p.totals_match())
+        .field("total_cost", p.sequential.total_cost)
+        .field("nodes_evaluated",
+               static_cast<long long>(p.sequential.nodes_evaluated))
+        .field("parallel_tasks",
+               static_cast<long long>(p.parallel.parallel_tasks))
+        .field("steal_count",
+               static_cast<long long>(p.parallel.steal_count));
+    w.key("workers_curve").begin_array();
+    for (const WorkerPoint& pt : p.curve) {
+      w.begin_object()
+          .field("workers", static_cast<long long>(pt.workers))
+          .field("solve_ms", pt.solve_ms)
+          .field("speedup", pt.speedup)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
   w.key("serve_probe")
       .begin_object()
       .field("clients", static_cast<long long>(sp.clients))
@@ -565,15 +677,20 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--smoke` and `--intra-workers=N` are ours, not google-benchmark's:
-  // strip them before Initialize.
+  // `--smoke`, `--intra-workers=N`, and `--sweep-intra-workers` are ours,
+  // not google-benchmark's: strip them before Initialize.
   bool smoke = false;
+  bool sweep = false;
   int intra_workers = 4;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--smoke") {
       smoke = true;
+      continue;
+    }
+    if (arg == "--sweep-intra-workers") {
+      sweep = true;
       continue;
     }
     if (arg.rfind("--intra-workers=", 0) == 0) {
@@ -620,12 +737,46 @@ int main(int argc, char** argv) {
               refit.parallel.total_cost,
               static_cast<long long>(refit.parallel.parallel_tasks),
               static_cast<long long>(refit.parallel.steal_count));
-  std::printf("guarded (min-fan=%d): %.1f ms (%s)\n",
-              ExecutionOptions{}.intra_min_fan, refit.guarded.solve_ms,
+  std::printf("auto min-fan (calibrated to %d): %.1f ms (%s)\n",
+              refit.guarded.min_fan_used, refit.guarded.solve_ms,
               refit.guarded.fanned ? "fanned" : "ran inline");
-  std::printf("speedup: forced-fan %.2fx, guarded %.2fx, totals %s\n",
+  std::printf("speedup: forced-fan %.2fx, auto %.2fx, totals %s\n",
               refit.speedup(), refit.guarded_speedup(),
               refit.totals_match() ? "match" : "MISMATCH");
+
+  // Scale probes: the same seq-vs-forced comparison at growing environment
+  // size. Iteration counts shrink with scale to keep smoke runs bounded —
+  // speedup is a ratio within one probe, so the legs stay comparable.
+  struct ScaleSpec {
+    const char* name;
+    int apps, sites, links, iters;
+  };
+  // Sites double with apps: each site caps out at 2 disk arrays, so 96 apps
+  // need 24 sites to stay feasible under the baseline catalog.
+  const ScaleSpec scale_specs[] = {
+      {"multi_site(24,6,8)", 24, 6, 8, 8},
+      {"multi_site(48,12,8)", 48, 12, 8, smoke ? 2 : 4},
+      {"multi_site(96,24,8)", 96, 24, 8, smoke ? 1 : 2},
+  };
+  std::vector<ScaleProbe> scale;
+  std::cout << "\n== parallel-refit scale probes ==\n";
+  for (const ScaleSpec& spec : scale_specs) {
+    const Environment env =
+        scenarios::multi_site(spec.apps, spec.sites, spec.links);
+    scale.push_back(run_scale_probe(spec.name, env, spec.iters,
+                                    intra_workers, smoke ? 1 : 3, sweep));
+    const ScaleProbe& p = scale.back();
+    std::printf("%-22s seq %.1f ms, %d workers %.1f ms — %.2fx, totals %s\n",
+                p.environment.c_str(), p.sequential.solve_ms,
+                p.intra_workers, p.parallel.solve_ms, p.speedup(),
+                p.totals_match() ? "match" : "MISMATCH");
+    if (sweep) {
+      for (const WorkerPoint& pt : p.curve) {
+        std::printf("    workers=%d: %.1f ms (%.2fx)\n", pt.workers,
+                    pt.solve_ms, pt.speedup);
+      }
+    }
+  }
 
   const ServeProbe serve_probe = run_serve_probe(8, smoke ? 2 : 8);
   std::cout << "\n== serve probe (8 loopback clients) ==\n";
@@ -639,10 +790,12 @@ int main(int argc, char** argv) {
 
   const EngineMetricsSnapshot metrics = run_engine_probe(smoke ? 2 : 8);
   std::cout << "\n== batch-engine probe ==\n" << metrics.render();
-  write_perf_json("BENCH_solver_perf.json", probe, refit, serve_probe,
+  write_perf_json("BENCH_solver_perf.json", probe, refit, scale, serve_probe,
                   metrics);
   std::cout << "wrote BENCH_solver_perf.json\n";
-  return probe.totals_match() && refit.totals_match() &&
+  bool scale_totals = true;
+  for (const ScaleProbe& p : scale) scale_totals &= p.totals_match();
+  return probe.totals_match() && refit.totals_match() && scale_totals &&
                  serve_probe.errors == 0 &&
                  serve_probe.completed ==
                      serve_probe.clients * serve_probe.requests_per_client

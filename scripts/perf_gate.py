@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI perf gate over BENCH_solver_perf.json.
+
+Fails (exit 1) when:
+  * any field this gate reads is missing from the JSON — a stale or
+    truncated artifact must not pass silently;
+  * `totals_match` is false on the parallel-refit probe or any scale probe
+    (the bit-identical determinism contract, enforced unconditionally);
+  * the serve probe dropped or rejected any request;
+  * on a capable host only (hardware_threads >= intra_workers): the
+    forced-fan speedup at 4 workers falls below the gate floor (1.8x —
+    below the 2.0x local bar to absorb CI-runner noise), or speedup fails
+    to grow with environment size across the scale probes.
+
+Wall-clock speedup assertions are keyed off the recorded
+`hardware_threads`: a runner with fewer cores than workers physically
+cannot show parallel speedup, so there the gate checks correctness
+(totals, field presence, counters) and skips the timing floor rather than
+failing on hardware the benchmark never claimed to cover.
+
+Usage: perf_gate.py [BENCH_solver_perf.json]
+"""
+
+import json
+import sys
+
+SPEEDUP_FLOOR = 1.8
+# Scale probes may jitter a few percent run to run; "grows with scale"
+# tolerates that without letting a real regression through.
+SCALE_TOLERANCE = 0.05
+
+
+def require(obj, path, key):
+    """Fetch obj[key], failing loudly when the field is absent."""
+    if isinstance(obj, dict) and key in obj:
+        return obj[key]
+    raise SystemExit(f"perf gate: {path}.{key} missing from the JSON "
+                     "(stale or truncated artifact?)")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_solver_perf.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"perf gate: cannot read {path}: {e}")
+
+    failures = []
+    hardware = int(require(doc, "$", "hardware_threads"))
+
+    refit = require(doc, "$", "parallel_refit")
+    intra_workers = int(require(refit, "parallel_refit", "intra_workers"))
+    speedup = float(require(refit, "parallel_refit", "speedup"))
+    require(refit, "parallel_refit", "guarded_speedup")
+    require(refit, "parallel_refit", "guarded_fanned")
+    require(refit, "parallel_refit", "min_fan_used")
+    require(refit, "parallel_refit", "seq_ms")
+    require(refit, "parallel_refit", "par_ms")
+    require(refit, "parallel_refit", "guarded_ms")
+    if require(refit, "parallel_refit", "totals_match") is not True:
+        failures.append("parallel_refit.totals_match is false — the "
+                        "parallel solve diverged from sequential")
+
+    capable = hardware >= intra_workers
+    if capable and speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"parallel_refit.speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x "
+            f"at {intra_workers} workers on {hardware} hardware threads")
+
+    scale = require(doc, "$", "parallel_refit_scale")
+    if not isinstance(scale, list) or not scale:
+        failures.append("parallel_refit_scale is empty")
+        scale = []
+    base_speedup = None
+    for i, probe in enumerate(scale):
+        where = f"parallel_refit_scale[{i}]"
+        env = require(probe, where, "environment")
+        ps = float(require(probe, where, "speedup"))
+        require(probe, where, "workers_curve")
+        if require(probe, where, "totals_match") is not True:
+            failures.append(f"{where} ({env}): totals_match is false")
+        if base_speedup is None:
+            base_speedup = ps
+        elif capable and ps < base_speedup - SCALE_TOLERANCE:
+            failures.append(
+                f"{where} ({env}): speedup {ps:.2f}x shrank below the "
+                f"smallest probe's {base_speedup:.2f}x — parallelism must "
+                "grow with environment size")
+
+    serve = require(doc, "$", "serve_probe")
+    if require(serve, "serve_probe", "errors") != 0:
+        failures.append("serve_probe.errors != 0")
+    expected = (require(serve, "serve_probe", "clients") *
+                require(serve, "serve_probe", "requests_per_client"))
+    if require(serve, "serve_probe", "completed") != expected:
+        failures.append("serve_probe dropped requests")
+
+    print(f"perf gate: hardware_threads={hardware}, "
+          f"intra_workers={intra_workers} "
+          f"({'timing floor enforced' if capable else 'timing floor skipped: too few cores'})")
+    print(f"  parallel_refit: {refit['seq_ms']:.1f} ms -> "
+          f"{refit['par_ms']:.1f} ms forced ({speedup:.2f}x), "
+          f"auto min-fan={refit['min_fan_used']} "
+          f"{refit['guarded_ms']:.1f} ms ({refit['guarded_speedup']:.2f}x)")
+    for probe in scale:
+        print(f"  scale {probe['environment']}: {probe['speedup']:.2f}x, "
+              f"totals_match={probe['totals_match']}")
+    print(f"  serve: {serve['completed']}/{expected} completed, "
+          f"{serve['jobs_per_sec']:.1f} jobs/s")
+
+    if failures:
+        for f in failures:
+            print(f"perf gate FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,9 @@ SolveResult solve_fan(const SolveRequest& request) {
     merged.refit_parallel_tasks += r.refit_parallel_tasks;
     merged.refit_steal_count += r.refit_steal_count;
     merged.refit_fanned = merged.refit_fanned || r.refit_fanned;
+    // Jobs calibrate independently; report the widest threshold any applied.
+    merged.intra_min_fan_used =
+        std::max(merged.intra_min_fan_used, r.intra_min_fan_used);
     merged.eval_ms += r.eval_ms;
     merged.sweep_ms += r.sweep_ms;
     merged.increment_ms += r.increment_ms;
@@ -113,8 +116,8 @@ SolveResult solve(const SolveRequest& request) {
                       "SolveRequest workers must be >= 1");
   DEPSTOR_EXPECTS_MSG(request.exec.intra_node_workers >= 1,
                       "SolveRequest intra_node_workers must be >= 1");
-  DEPSTOR_EXPECTS_MSG(request.exec.intra_min_fan >= 1,
-                      "SolveRequest intra_min_fan must be >= 1");
+  DEPSTOR_EXPECTS_MSG(request.exec.intra_min_fan >= 0,
+                      "SolveRequest intra_min_fan must be >= 0 (0 = auto)");
   if (request.exec.workers == 1) {
     return detail::solve_impl(request.env, request.options, request.exec);
   }

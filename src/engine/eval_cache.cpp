@@ -184,11 +184,11 @@ std::optional<CostBreakdown> EvalCache::lookup(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return it->second->second;
 }
 
@@ -204,11 +204,11 @@ void EvalCache::insert(std::uint64_t key, const CostBreakdown& cost) {
   if (shard.lru.size() >= capacity_per_shard_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
   shard.lru.emplace_front(key, cost);
   shard.index.emplace(key, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.insertions;
 }
 
 std::size_t EvalCache::size() const {
@@ -222,11 +222,22 @@ std::size_t EvalCache::size() const {
 
 EvalCacheStats EvalCache::stats() const {
   EvalCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.size = size();
+  s.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvalCacheShardStats ss;
+    ss.hits = shard.hits;
+    ss.misses = shard.misses;
+    ss.insertions = shard.insertions;
+    ss.evictions = shard.evictions;
+    ss.size = shard.lru.size();
+    s.hits += ss.hits;
+    s.misses += ss.misses;
+    s.insertions += ss.insertions;
+    s.evictions += ss.evictions;
+    s.size += ss.size;
+    s.shards.push_back(ss);
+  }
   return s;
 }
 

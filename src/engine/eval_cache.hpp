@@ -18,8 +18,15 @@
 // The cache is sharded: each shard is an independent LRU map behind its own
 // mutex, selected by the key's high bits, so engine workers solving
 // different jobs contend only when they land on the same shard. Hit/miss/
-// eviction counters are atomics and flow into ConfigSolverStats and the
-// engine metrics.
+// insert/evict counters live *inside* each shard (updated under the lock
+// the operation already holds — no shared atomic cache line) and flow into
+// ConfigSolverStats, the engine metrics, and serve's /stats both aggregated
+// and per shard.
+//
+// Expect low cross-job hit rates by design: the fingerprint keys the full
+// contention footprint of a candidate (every assignment plus the
+// provisioned pool), so two jobs only hit each other's entries when they
+// reach byte-identical designs — see DESIGN.md §7.
 //
 // Memoization never changes results: a hit returns exactly the CostBreakdown
 // a fresh evaluate() would have produced (64-bit fingerprint collisions
@@ -27,7 +34,6 @@
 // warm, or disabled.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -71,12 +77,25 @@ struct EvalCacheOptions {
   std::size_t capacity_per_shard = 4096;  ///< LRU bound per shard (entries)
 };
 
+/// One shard's counters, snapshotted under that shard's lock.
+struct EvalCacheShardStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::size_t size = 0;  ///< entries currently resident in the shard
+};
+
 struct EvalCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;  ///< lookups that found nothing
   std::int64_t insertions = 0;
   std::int64_t evictions = 0;
   std::size_t size = 0;  ///< entries currently resident
+  /// Per-shard breakdown (same totals, split by the key's high bits). A
+  /// lopsided distribution here means the fingerprint's high bits are not
+  /// mixing — the aggregate hit rate alone cannot show that.
+  std::vector<EvalCacheShardStats> shards;
 
   double hit_rate() const {
     const std::int64_t lookups = hits + misses;
@@ -114,16 +133,18 @@ class EvalCache {
         std::uint64_t,
         std::list<std::pair<std::uint64_t, CostBreakdown>>::iterator>
         index;
+    /// Plain counters: every update already holds `mu`, so sharing an
+    /// atomic cache line across shards would only add contention.
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
   };
 
   Shard& shard_of(std::uint64_t key);
 
   std::size_t capacity_per_shard_;
   std::vector<Shard> shards_;
-  std::atomic<std::int64_t> hits_{0};
-  std::atomic<std::int64_t> misses_{0};
-  std::atomic<std::int64_t> insertions_{0};
-  std::atomic<std::int64_t> evictions_{0};
 };
 
 }  // namespace depstor

@@ -92,8 +92,19 @@ void EngineMetricsSnapshot::to_json(JsonWriter& json) const {
       .field("hit_rate", cache.hit_rate())
       .field("insertions", static_cast<long long>(cache.insertions))
       .field("evictions", static_cast<long long>(cache.evictions))
-      .field("size", static_cast<long long>(cache.size))
-      .end_object();
+      .field("size", static_cast<long long>(cache.size));
+  json.key("shards").begin_array();
+  for (const EvalCacheShardStats& shard : cache.shards) {
+    json.begin_object()
+        .field("hits", static_cast<long long>(shard.hits))
+        .field("misses", static_cast<long long>(shard.misses))
+        .field("insertions", static_cast<long long>(shard.insertions))
+        .field("evictions", static_cast<long long>(shard.evictions))
+        .field("size", static_cast<long long>(shard.size))
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
   json.end_object();
 }
 

@@ -7,22 +7,6 @@
 
 namespace depstor {
 
-namespace {
-
-/// Enforce the no-throw task contract on the inline/steal execution paths,
-/// mirroring what worker_loop does for pool-executed tasks.
-void run_task_noexcept(const TaskQueue::Task& task) {
-  try {
-    task();
-  } catch (const std::exception& e) {
-    DEPSTOR_LOG(Error, "task group task threw: " << e.what());
-  } catch (...) {
-    DEPSTOR_LOG(Error, "task group task threw a non-std exception");
-  }
-}
-
-}  // namespace
-
 int resolve_worker_count(int workers) {
   DEPSTOR_EXPECTS_MSG(workers >= 0, "worker count must be >= 0 (0 = auto)");
   if (workers > 0) return workers;
@@ -94,20 +78,34 @@ void WorkerPool::worker_loop() {
 // ---------------------------------------------------------------------------
 
 struct TaskGroup::State {
+  /// A pending task travels with its submission index — the claim wrapper
+  /// that dequeues a task is not necessarily the one submitted for it, so
+  /// the index cannot be captured in the wrapper.
+  struct Pending {
+    TaskQueue::Task task;
+    int index = 0;
+  };
+
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<TaskQueue::Task> pending;  ///< submitted, not yet claimed
-  int active = 0;                       ///< claimed and currently executing
+  std::deque<Pending> pending;  ///< submitted, not yet claimed
+  int active = 0;               ///< claimed and currently executing
+
+  /// First task error of the group, rethrown from wait(). `error_index`
+  /// orders competing errors deterministically: run_indexed records the
+  /// lowest throwing index, run() closures record their submission order.
+  std::exception_ptr error;
+  int error_index = 0;
 
   /// Claim the oldest pending task (FIFO). Returns an empty function when
   /// another claimant got there first.
-  TaskQueue::Task claim() {
+  Pending claim() {
     std::lock_guard<std::mutex> lock(mu);
     if (pending.empty()) return {};
-    TaskQueue::Task task = std::move(pending.front());
+    Pending out = std::move(pending.front());
     pending.pop_front();
     ++active;
-    return task;
+    return out;
   }
 
   void finish_one() {
@@ -117,59 +115,197 @@ struct TaskGroup::State {
     }
     cv.notify_all();
   }
+
+  void record_error(std::exception_ptr e, int index) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (error == nullptr || index < error_index) {
+      error = std::move(e);
+      error_index = index;
+    }
+  }
+
+  /// Run a claimed task, capturing a throw under `index` for wait().
+  void execute(const Pending& claimed) {
+    try {
+      claimed.task();
+    } catch (...) {
+      record_error(std::current_exception(), claimed.index);
+    }
+    finish_one();
+  }
+};
+
+/// Shared state of one run_indexed fan. Claiming a chunk is a single
+/// fetch_add on `cursor` — no allocation, no lock — so the steal path costs
+/// the same whether a pool runner or the waiting thread wins the race. The
+/// runner closures handed to the pool hold this alive; `fn` itself lives on
+/// the caller's stack, which is safe because run_indexed only returns once
+/// every chunk is claimed *and* finished, and a late runner that finds the
+/// cursor exhausted exits without touching `fn`.
+struct TaskGroup::IndexedFan {
+  const std::function<void(int)>* fn = nullptr;
+  int count = 0;
+  int chunk = 1;
+  std::atomic<int> cursor{0};       ///< next unclaimed index (steps by chunk)
+  std::atomic<int> done{0};         ///< indices retired (throwing chunks too)
+  std::atomic<int> pool_chunks{0};  ///< chunks executed by pool runners
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+  int error_index = 0;
+
+  /// Claim the next chunk; returns its first index, or -1 when exhausted.
+  int claim() {
+    const int begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+    return begin < count ? begin : -1;
+  }
+
+  void execute(int begin) {
+    const int end = std::min(begin + chunk, count);
+    int i = begin;
+    try {
+      for (; i < end; ++i) (*fn)(i);
+    } catch (...) {
+      // Keep the lowest throwing index: deterministic winner no matter
+      // which chunk's error lands first. Indices after it in this chunk
+      // are skipped; other chunks run to completion.
+      std::lock_guard<std::mutex> lock(mu);
+      if (error == nullptr || i < error_index) {
+        error = std::current_exception();
+        error_index = i;
+      }
+    }
+    if (done.fetch_add(end - begin, std::memory_order_acq_rel) +
+            (end - begin) ==
+        count) {
+      std::lock_guard<std::mutex> lock(mu);  // pair with the wait below
+      cv.notify_all();
+    }
+  }
+
+  void wait_done() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.load(std::memory_order_acquire) == count; });
+  }
 };
 
 TaskGroup::TaskGroup(WorkerPool* pool)
     : pool_(pool != nullptr && pool->worker_count() > 0 ? pool : nullptr),
       state_(std::make_shared<State>()) {}
 
-TaskGroup::~TaskGroup() { wait(); }
+TaskGroup::~TaskGroup() {
+  wait_drain();
+  // A destructor cannot rethrow; surface an unconsumed task error in the log
+  // instead of losing it silently.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->error != nullptr) {
+    DEPSTOR_LOG(Error, "task group destroyed with an unconsumed task error");
+  }
+}
 
 void TaskGroup::run(TaskQueue::Task task) {
+  const int index = next_index_++;
   if (pool_ == nullptr) {
     // No pool: execute inline. Identical results by construction — the
     // parallel refit's determinism contract rests on this equivalence.
     ++stolen_;
-    run_task_noexcept(task);
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->active;
+    }
+    state_->execute({std::move(task), index});
     return;
   }
   {
     std::lock_guard<std::mutex> lock(state_->mu);
-    state_->pending.push_back(std::move(task));
+    state_->pending.push_back({std::move(task), index});
   }
   // The wrapper holds the state alive; if it loses the claim race to the
   // waiting thread it is a cheap no-op on whatever worker runs it.
   const bool accepted = pool_->submit([state = state_] {
-    if (TaskQueue::Task claimed = state->claim()) {
-      run_task_noexcept(claimed);
-      state->finish_one();
+    if (State::Pending claimed = state->claim(); claimed.task) {
+      state->execute(claimed);
     }
   });
   if (!accepted) {
     // Pool stopped while the group is still live (shutdown race): fall back
     // to inline execution so the group still drains.
-    if (TaskQueue::Task claimed = state_->claim()) {
+    if (State::Pending claimed = state_->claim(); claimed.task) {
       ++stolen_;
-      run_task_noexcept(claimed);
-      state_->finish_one();
+      state_->execute(claimed);
     }
     return;
   }
   ++spawned_;
 }
 
-void TaskGroup::wait() {
+void TaskGroup::run_indexed(int count, int chunk,
+                            const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  const int base_index = next_index_;
+  next_index_ += count;
+  auto fan = std::make_shared<IndexedFan>();
+  fan->fn = &fn;
+  fan->count = count;
+  fan->chunk = std::max(1, chunk);
+  if (pool_ != nullptr) {
+    // O(workers) runner closures per fan, not O(count) wrappers: each runner
+    // loops fetch_add-claiming chunks until the cursor is exhausted.
+    const int chunks = (count + fan->chunk - 1) / fan->chunk;
+    const int runners = std::min(chunks, pool_->worker_count());
+    for (int r = 0; r < runners; ++r) {
+      const bool accepted = pool_->submit([fan] {
+        int begin;
+        while ((begin = fan->claim()) >= 0) {
+          // Count before executing: the last chunk's execute() releases
+          // wait_done(), and the spawned/stolen tally must be complete by
+          // then.
+          fan->pool_chunks.fetch_add(1, std::memory_order_relaxed);
+          fan->execute(begin);
+        }
+      });
+      if (!accepted) break;  // pool stopping: the claim loop below drains
+    }
+  }
+  // Help-while-wait: the calling thread claims chunks like any runner, so
+  // the fan drains even with no pool (or a pool whose workers are all busy
+  // running ancestors of this very fan).
+  int begin;
+  while ((begin = fan->claim()) >= 0) {
+    fan->execute(begin);
+    ++stolen_;
+  }
+  fan->wait_done();
+  spawned_ += fan->pool_chunks.load(std::memory_order_relaxed);
+  if (fan->error != nullptr) {  // no lock needed: every chunk has retired
+    state_->record_error(std::move(fan->error), base_index + fan->error_index);
+  }
+}
+
+void TaskGroup::wait_drain() {
   // Help-while-wait: execute any task a pool worker has not claimed yet,
   // then block until the in-flight ones finish. This is what lets a pool
   // task fan subtasks onto its own (possibly fully busy) pool.
-  while (TaskQueue::Task claimed = state_->claim()) {
+  for (;;) {
+    State::Pending claimed = state_->claim();
+    if (!claimed.task) break;
     ++stolen_;
-    run_task_noexcept(claimed);
-    state_->finish_one();
+    state_->execute(claimed);
   }
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock,
                   [&] { return state_->active == 0 && state_->pending.empty(); });
+}
+
+void TaskGroup::wait() {
+  wait_drain();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    error = std::move(state_->error);
+    state_->error = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace depstor

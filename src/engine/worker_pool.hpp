@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -72,27 +74,38 @@ int resolve_worker_count(int workers);
 /// A batch of subtasks fanned onto a WorkerPool by a single coordinating
 /// thread, with help-while-wait draining.
 ///
-///   TaskGroup group(pool);            // pool may be null: run() is inline
-///   for (...) group.run([&] {...});
-///   group.wait();                     // steals pending tasks, blocks on
-///                                     // in-flight ones
+///   TaskGroup group(pool);            // pool may be null: everything inline
+///   group.run_indexed(n, chunk, [&](int i) {...});  // the fan primitive
+///   for (...) group.run([&] {...});                 // ad-hoc closures
+///   group.wait();                     // helps drain, then blocks on
+///                                     // in-flight work; rethrows task errors
 ///
-/// run() enqueues the task in the group's own deque and submits a thin
-/// claim-wrapper to the pool; whichever of {a pool worker, the waiting
-/// thread} claims a task first executes it, the other finds the deque entry
-/// gone and moves on. Because wait() executes unclaimed tasks itself, a
-/// group submitted from *inside* a pool task cannot deadlock the pool — the
-/// nested-submission shape the intra-solve parallel refit and the batch
-/// engine rely on. Groups may nest arbitrarily (a group task may open its
-/// own group on the same pool).
+/// run_indexed(count, chunk, fn) fans `fn(0) .. fn(count-1)` as
+/// ceil(count/chunk) *chunks* of consecutive indices. Claiming is one atomic
+/// fetch_add on a shared cursor — no per-task allocation, no lock on the
+/// steal path — and only min(chunks, workers) thin runner closures are
+/// handed to the pool, so the pool's queue sees O(workers) entries per fan
+/// instead of O(count). Whichever of {a pool runner, the waiting thread}
+/// advances the cursor first owns that chunk; wait() claims chunks itself
+/// (help-while-wait), which is what keeps nested fans deadlock-free even on
+/// a 1-worker pool whose only worker is the waiter. Chunking never changes
+/// results: each index's work is independent by contract and merges happen
+/// slot-ordered in the caller, so grouping only decides *where* an index
+/// runs.
 ///
-/// Tasks must not throw (same contract as WorkerPool). The group is
-/// single-producer: only one thread calls run()/wait(). wait() returns only
-/// after every task has finished; the destructor waits too.
+/// run() keeps the original one-closure-per-task shape (group-owned deque +
+/// claim wrappers) for heterogeneous work.
+///
+/// Unlike raw WorkerPool tasks, group tasks may throw: the first exception
+/// (lowest index for run_indexed; submission order for run) is captured and
+/// rethrown from wait() after the whole group has drained. The group is
+/// single-producer: only one thread calls run()/run_indexed()/wait().
+/// wait() returns only after every task has finished; the destructor drains
+/// without rethrowing.
 class TaskGroup {
  public:
   /// `pool == nullptr` (or a pool with no live workers) degrades to inline
-  /// execution inside run() — same results, zero threading.
+  /// execution inside run()/run_indexed() — same results, zero threading.
   explicit TaskGroup(WorkerPool* pool);
   ~TaskGroup();
 
@@ -100,12 +113,22 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   void run(TaskQueue::Task task);
+
+  /// Fan `fn(0) .. fn(count-1)` in chunks of `chunk` consecutive indices
+  /// (the last chunk may be short). Blocks until every index has run — the
+  /// calling thread claims chunks alongside the pool — and counts one
+  /// spawned/stolen unit per *chunk* (the claim grain). Errors surface at
+  /// wait(); indices after a throwing one within the same chunk are skipped,
+  /// other chunks still run.
+  void run_indexed(int count, int chunk, const std::function<void(int)>& fn);
+
   void wait();
 
-  /// Tasks handed to the pool (vs executed inline because there is no pool).
+  /// Claim units (chunks for run_indexed, tasks for run) executed by pool
+  /// workers.
   std::int64_t spawned() const { return spawned_; }
-  /// Tasks the waiting/submitting thread executed itself instead of a pool
-  /// worker (inline fallbacks included).
+  /// Claim units the waiting/submitting thread executed itself instead of a
+  /// pool worker (inline fallbacks included).
   std::int64_t stolen() const { return stolen_; }
 
  private:
@@ -113,11 +136,17 @@ class TaskGroup {
   /// shared_ptr so a wrapper that loses the claim race can still run its
   /// no-op safely after the group object is gone.
   struct State;
+  struct IndexedFan;
+
+  /// Help drain and block until every task finished, without rethrowing
+  /// (the destructor's half of wait()).
+  void wait_drain();
 
   WorkerPool* pool_;
   std::shared_ptr<State> state_;
   std::int64_t spawned_ = 0;
   std::int64_t stolen_ = 0;
+  int next_index_ = 0;  ///< submission order, for deterministic error choice
 };
 
 }  // namespace depstor

@@ -61,8 +61,8 @@ Server::Server(ServeOptions options)
   DEPSTOR_EXPECTS_MSG(options_.workers >= 0, "serve: workers must be >= 0");
   DEPSTOR_EXPECTS_MSG(options_.intra_workers >= 1,
                       "serve: intra_workers must be >= 1");
-  DEPSTOR_EXPECTS_MSG(options_.intra_min_fan >= 1,
-                      "serve: intra_min_fan must be >= 1");
+  DEPSTOR_EXPECTS_MSG(options_.intra_min_fan >= 0,
+                      "serve: intra_min_fan must be >= 0 (0 = auto)");
   DEPSTOR_EXPECTS_MSG(options_.max_queue >= 1,
                       "serve: max_queue must be >= 1");
   DEPSTOR_EXPECTS_MSG(options_.max_request_bytes >= 64,
@@ -482,6 +482,24 @@ void Server::publish_gauges() const {
                   lookups > 0 ? static_cast<double>(stats.hits) /
                                     static_cast<double>(lookups)
                               : 0.0);
+    reg.set_gauge("serve.cache_hits", static_cast<double>(stats.hits));
+    reg.set_gauge("serve.cache_misses", static_cast<double>(stats.misses));
+    reg.set_gauge("serve.cache_insertions",
+                  static_cast<double>(stats.insertions));
+    reg.set_gauge("serve.cache_evictions",
+                  static_cast<double>(stats.evictions));
+    // Per-shard gauges: a lopsided spread flags fingerprint bits that stop
+    // mixing, which the aggregate hit rate cannot show.
+    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+      const std::string prefix =
+          "serve.cache_shard" + std::to_string(i) + ".";
+      reg.set_gauge(prefix + "hits",
+                    static_cast<double>(stats.shards[i].hits));
+      reg.set_gauge(prefix + "misses",
+                    static_cast<double>(stats.shards[i].misses));
+      reg.set_gauge(prefix + "insertions",
+                    static_cast<double>(stats.shards[i].insertions));
+    }
   }
   reg.set_gauge("serve.uptime_ms", ms_since(started_at_));
 }
@@ -535,6 +553,24 @@ std::string Server::stats_json() const {
                                         static_cast<double>(lookups)
                                   : 0.0)
         .field("cache_entries", static_cast<long long>(stats.size));
+    w.key("cache")
+        .begin_object()
+        .field("hits", static_cast<long long>(stats.hits))
+        .field("misses", static_cast<long long>(stats.misses))
+        .field("insertions", static_cast<long long>(stats.insertions))
+        .field("evictions", static_cast<long long>(stats.evictions));
+    w.key("shards").begin_array();
+    for (const EvalCacheShardStats& shard : stats.shards) {
+      w.begin_object()
+          .field("hits", static_cast<long long>(shard.hits))
+          .field("misses", static_cast<long long>(shard.misses))
+          .field("insertions", static_cast<long long>(shard.insertions))
+          .field("evictions", static_cast<long long>(shard.evictions))
+          .field("size", static_cast<long long>(shard.size))
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
   }
   w.end_object();
   w.key("obs");

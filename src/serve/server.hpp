@@ -59,7 +59,8 @@ struct ServeOptions {
   int port = 0;     ///< 0 = ephemeral (the bound port is Server::port())
   int workers = 0;  ///< pool threads; 0 = one per hardware thread
   int intra_workers = 1;   ///< refit threads per job (nested on the pool)
-  int intra_min_fan = 4;   ///< ExecutionOptions::intra_min_fan per job
+  int intra_min_fan = 0;   ///< ExecutionOptions::intra_min_fan per job
+                           ///< (0 = auto-calibrate per solve)
   int max_queue = 64;      ///< admitted-but-not-started cap; beyond = 429
   std::size_t max_request_bytes = 1 << 20;  ///< per-line and per-JSON bound
   bool enable_cache = true;         ///< shared EvalCache across all jobs

@@ -32,11 +32,90 @@ struct Node {
   CostBreakdown cost;
 };
 
+/// Recycled Node storage shared by every fan of one solve (DESIGN.md §9).
+/// Copying the incumbent into a *warm* node — one whose layout vectors and
+/// incremental-evaluator scenario tables already hold capacity from an
+/// earlier task — is a capacity-reusing copy-assign, roughly 3x cheaper
+/// than the cold copy-construction the old fan paid on every task. Leases
+/// rather than per-thread slots because a slot's result must outlive the
+/// task that produced it: it is written on whichever thread claimed the
+/// chunk and consumed at the slot-ordered merge on the coordinating thread.
+class NodeArena {
+ public:
+  explicit NodeArena(const Environment* env) : env_(env) {}
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        arena_ = other.arena_;
+        node_ = std::move(other.node_);
+        other.arena_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    explicit operator bool() const { return node_ != nullptr; }
+    Node& node() { return *node_; }
+    const Node& node() const { return *node_; }
+
+    /// Hand the node back to the freelist, buffers intact, for the next
+    /// lease to assign into.
+    void release() {
+      if (node_ != nullptr) arena_->recycle(std::move(node_));
+      arena_ = nullptr;
+    }
+
+   private:
+    friend class NodeArena;
+    Lease(NodeArena* arena, std::unique_ptr<Node> node)
+        : arena_(arena), node_(std::move(node)) {}
+    NodeArena* arena_ = nullptr;
+    std::unique_ptr<Node> node_;
+  };
+
+  /// Lease a node holding a copy of `src` — assigned into recycled storage
+  /// when any is free, freshly constructed only while the arena is cold.
+  Lease lease(const Node& src) {
+    std::unique_ptr<Node> node = take();
+    if (node == nullptr) {
+      node = std::make_unique<Node>(Node{Candidate(env_), CostBreakdown{}});
+    }
+    *node = src;
+    return Lease(this, std::move(node));
+  }
+
+ private:
+  std::unique_ptr<Node> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return nullptr;
+    std::unique_ptr<Node> node = std::move(free_.back());
+    free_.pop_back();
+    return node;
+  }
+
+  void recycle(std::unique_ptr<Node> node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(node));
+  }
+
+  const Environment* env_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> free_;
+};
+
 /// One greedy+refit solve. The refit stage fans its sibling walks and
-/// per-level neighbor evaluations onto a WorkerPool through TaskGroups; a
-/// null pool (intra_node_workers == 1) degrades every fan to inline
-/// execution in the same slot order, which is what makes the parallel and
-/// sequential paths bit-identical under `deterministic`:
+/// per-level neighbor evaluations onto a WorkerPool through TaskGroup's
+/// chunk-claimed run_indexed; a null pool (intra_node_workers == 1)
+/// degrades every fan to inline execution in the same slot order, which is
+/// what makes the parallel and sequential paths bit-identical under
+/// `deterministic`:
 ///
 ///  * every search step owns a fresh Rng seeded by derive_seed(seed,
 ///    {repetition, iteration, sibling, level, slot}) — no shared generator,
@@ -72,6 +151,7 @@ class SolveRun {
         pool_ = owned_pool_.get();
       }
     }
+    if (exec_.intra_min_fan >= 1) effective_min_fan_ = exec_.intra_min_fan;
   }
 
   SolveResult run();
@@ -122,10 +202,11 @@ class SolveRun {
   }
 
   std::optional<Node> greedy_stage(std::uint64_t rep);
-  std::optional<Node> sibling_walk(const Node& initial, std::uint64_t rep,
-                                   std::uint64_t iter, std::uint64_t sibling);
+  NodeArena::Lease sibling_walk(const Node& initial, std::uint64_t rep,
+                                std::uint64_t iter, std::uint64_t sibling);
   bool refit_iteration(Node& best, std::uint64_t rep, std::uint64_t iter);
   Node refit_stage(Node start_node, std::uint64_t rep);
+  void calibrate_min_fan();
 
   void merge_stats(const ConfigSolverStats& stats) {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -137,21 +218,26 @@ class SolveRun {
     steal_count_.fetch_add(group.stolen(), std::memory_order_relaxed);
   }
 
-  /// The pool a fan of `fan_size` independent tasks should use — null
+  /// The pool a fan of `fan_size` independent slots should use — null
   /// (inline execution in slot order) when the fan is too narrow to repay
-  /// the TaskGroup claim/steal overhead (ExecutionOptions::intra_min_fan).
-  /// Inline and pooled fans explore identical node sets, so this only
-  /// changes where the work runs, never what it computes.
+  /// the dispatch overhead (explicit intra_min_fan, or the calibrated
+  /// threshold when the option is 0 = auto). Inline and pooled fans explore
+  /// identical node sets, so this only changes where the work runs, never
+  /// what it computes.
   WorkerPool* fan_pool(int fan_size) {
-    if (pool_ == nullptr || fan_size < exec_.intra_min_fan) return nullptr;
+    if (pool_ == nullptr || fan_size < effective_min_fan_) return nullptr;
     refit_fanned_.store(true, std::memory_order_relaxed);
     return pool_;
   }
 
-  static void rethrow_first(std::vector<std::exception_ptr>& errors) {
-    for (auto& err : errors) {
-      if (err) std::rethrow_exception(err);
-    }
+  /// Chunk size for a fan of `fan_size` slots: coarse enough that the fan
+  /// presents ~3 claimable chunks per cooperating thread (one fetch_add
+  /// amortized across the chunk) while leaving enough chunks for the
+  /// help-while-wait path to balance uneven slot costs. Chunking only
+  /// groups consecutive slots onto one claim — merge order is unchanged.
+  int fan_chunk(int fan_size) const {
+    const int target_chunks = 3 * std::max(1, exec_.intra_node_workers);
+    return std::max(1, (fan_size + target_chunks - 1) / target_chunks);
   }
 
   void finish_stats();
@@ -165,6 +251,10 @@ class SolveRun {
   std::uint64_t env_salt_ = 0;
   std::unique_ptr<WorkerPool> owned_pool_;
   WorkerPool* pool_ = nullptr;  ///< null → inline TaskGroups (sequential)
+  NodeArena arena_{env_};
+  /// Threshold fan_pool applies: exec_.intra_min_fan when explicit (>= 1),
+  /// otherwise 0 until calibrate_min_fan() measures one at refit entry.
+  int effective_min_fan_ = 0;
 
   SolveResult result_;
   std::atomic<std::int64_t> nodes_evaluated_{0};
@@ -234,57 +324,56 @@ std::optional<Node> SolveRun::greedy_stage(std::uint64_t rep) {
 /// One depth-`d` walk from a sibling of the incumbent (Algorithm 1 lines
 /// 20-33). The sibling step is node (rep, iter, sibling, 0, 0); each level
 /// then fans `b` neighbor evaluations — slots (rep, iter, sibling, level,
-/// 0..b-1) — onto the pool and descends to the slot-ordered best, worse or
-/// not. Returns the best node seen on the walk (empty when even the sibling
-/// step failed).
-std::optional<Node> SolveRun::sibling_walk(const Node& initial,
-                                           std::uint64_t rep,
-                                           std::uint64_t iter,
-                                           std::uint64_t sibling) {
+/// 0..b-1) — onto the pool in chunked claims and descends to the
+/// slot-ordered best, worse or not. Returns the best node seen on the walk
+/// in arena storage (an empty lease when even the sibling step failed).
+NodeArena::Lease SolveRun::sibling_walk(const Node& initial,
+                                        std::uint64_t rep,
+                                        std::uint64_t iter,
+                                        std::uint64_t sibling) {
   DEPSTOR_TRACE_SPAN("refit_walk");
-  Node cur = initial;  // each sibling walk restarts from the incumbent
-  if (!reconfig_step(cur, rep, iter, sibling, 0, 0)) return std::nullopt;
-  std::optional<Node> best = cur;
+  // Each sibling walk restarts from the incumbent; the working copy lives
+  // in recycled arena storage.
+  NodeArena::Lease cur = arena_.lease(initial);
+  if (!reconfig_step(cur.node(), rep, iter, sibling, 0, 0)) return {};
+  NodeArena::Lease best = arena_.lease(cur.node());
   const int breadth = options_.breadth;
   for (int level = 1; level <= options_.depth; ++level) {
     if (out_of_time()) break;
-    std::vector<std::optional<Node>> slots(
-        static_cast<std::size_t>(breadth));
-    std::vector<std::exception_ptr> errors(
-        static_cast<std::size_t>(breadth));
+    std::vector<NodeArena::Lease> slots(static_cast<std::size_t>(breadth));
     {
       TaskGroup group(fan_pool(breadth));
-      for (int k = 0; k < breadth; ++k) {
-        group.run([this, &cur, &slots, &errors, rep, iter, sibling, level,
-                   k] {
-          try {
-            Node neighbor = cur;
-            if (reconfig_step(neighbor, rep, iter, sibling,
-                              static_cast<std::uint64_t>(level),
-                              static_cast<std::uint64_t>(k))) {
-              slots[static_cast<std::size_t>(k)] = std::move(neighbor);
-            }
-          } catch (...) {
-            errors[static_cast<std::size_t>(k)] = std::current_exception();
-          }
-        });
-      }
-      group.wait();
+      group.run_indexed(breadth, fan_chunk(breadth), [&](int k) {
+        NodeArena::Lease neighbor = arena_.lease(cur.node());
+        if (reconfig_step(neighbor.node(), rep, iter, sibling,
+                          static_cast<std::uint64_t>(level),
+                          static_cast<std::uint64_t>(k))) {
+          slots[static_cast<std::size_t>(k)] = std::move(neighbor);
+        }
+      });
+      group.wait();  // rethrows the lowest-slot task error, if any
       note_group(group);
     }
-    rethrow_first(errors);
     // Level merge: strict `<` in slot order — ties go to the lowest slot,
-    // independent of completion order.
-    std::optional<Node> level_best;
-    for (auto& slot : slots) {
-      if (slot &&
-          (!level_best || slot->cost.total() < level_best->cost.total())) {
-        level_best = std::move(*slot);
+    // independent of which thread ran which chunk.
+    int best_slot = -1;
+    for (int k = 0; k < breadth; ++k) {
+      auto& slot = slots[static_cast<std::size_t>(k)];
+      if (slot && (best_slot < 0 ||
+                   slot.node().cost.total() <
+                       slots[static_cast<std::size_t>(best_slot)]
+                           .node()
+                           .cost.total())) {
+        best_slot = k;
       }
     }
-    if (!level_best) break;
-    cur = std::move(*level_best);  // descend even when worse (escape minima)
-    if (cur.cost.total() < best->cost.total()) best = cur;
+    if (best_slot < 0) break;
+    // Descend even when worse (escape minima). Swapping leases retires the
+    // abandoned incumbent's buffers to the freelist still warm.
+    std::swap(cur, slots[static_cast<std::size_t>(best_slot)]);
+    if (cur.node().cost.total() < best.node().cost.total()) {
+      best.node() = cur.node();
+    }
   }
   return best;
 }
@@ -294,40 +383,84 @@ std::optional<Node> SolveRun::sibling_walk(const Node& initial,
 /// the incumbent improved (Algorithm 1's termination signal).
 bool SolveRun::refit_iteration(Node& best, std::uint64_t rep,
                                std::uint64_t iter) {
-  const Node initial = best;
+  // Snapshot the incumbent into arena storage; every walk reads it.
+  NodeArena::Lease initial = arena_.lease(best);
   const int breadth = options_.breadth;
-  std::vector<std::optional<Node>> walk_best(
-      static_cast<std::size_t>(breadth));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(breadth));
+  std::vector<NodeArena::Lease> walk_best(static_cast<std::size_t>(breadth));
   {
     TaskGroup group(fan_pool(breadth));
-    for (int s = 0; s < breadth; ++s) {
-      group.run([this, &initial, &walk_best, &errors, rep, iter, s] {
-        try {
-          walk_best[static_cast<std::size_t>(s)] =
-              sibling_walk(initial, rep, iter, static_cast<std::uint64_t>(s));
-        } catch (...) {
-          errors[static_cast<std::size_t>(s)] = std::current_exception();
-        }
-      });
-    }
-    group.wait();
+    // Walks are already the coarse grain (a whole depth-d descent each);
+    // chunking them coarser would serialize siblings, so each walk is its
+    // own claim.
+    group.run_indexed(breadth, 1, [&](int s) {
+      walk_best[static_cast<std::size_t>(s)] = sibling_walk(
+          initial.node(), rep, iter, static_cast<std::uint64_t>(s));
+    });
+    group.wait();  // rethrows the lowest-sibling task error, if any
     note_group(group);
   }
-  rethrow_first(errors);
   bool improved = false;
   for (auto& walk : walk_best) {
-    if (walk && walk->cost.total() < best.cost.total()) {
-      best = std::move(*walk);
+    if (walk && walk.node().cost.total() < best.cost.total()) {
+      best = walk.node();
       improved = true;
     }
   }
   return improved;
 }
 
+/// Resolve the fan threshold when ExecutionOptions::intra_min_fan is 0
+/// (auto). Runs once per solve, at refit entry, so two measured quantities
+/// exist: an empty one-index-per-chunk fan prices the pool's dispatch path
+/// (its worst-case grain), and the solve's own greedy stage prices a node.
+/// The smallest fan width whose projected latency saving covers twice the
+/// dispatch bill becomes the threshold — the 2x margin keeps probe noise
+/// from flipping a marginal fan to pooled. The threshold only decides
+/// *where* slots run (fan_pool), never what they compute, so measuring
+/// wall time here is safe even under `deterministic`.
+void SolveRun::calibrate_min_fan() {
+  if (effective_min_fan_ >= 1) return;  // explicit, or already calibrated
+  constexpr int kFallback = 4;          // the old fixed default
+  if (pool_ == nullptr) {
+    effective_min_fan_ = kFallback;  // no pool: nothing ever fans anyway
+    return;
+  }
+  constexpr int kProbeTasks = 64;
+  const auto probe_start = Clock::now();
+  {
+    TaskGroup probe(pool_);
+    probe.run_indexed(kProbeTasks, 1, [](int) {});
+    probe.wait();
+  }
+  const double dispatch_us =
+      elapsed_since(probe_start) * 1000.0 / kProbeTasks;
+  const auto nodes = std::max<std::int64_t>(
+      1, nodes_evaluated_.load(std::memory_order_relaxed));
+  const double node_us =
+      elapsed_since(start_) * 1000.0 / static_cast<double>(nodes);
+  // A fan of f nodes across w cooperating threads saves about
+  // (f - ceil(f/w)) node evaluations of latency and pays about min(f, w)
+  // chunk dispatches plus one wake handshake.
+  const int w = std::max(2, exec_.intra_node_workers);
+  effective_min_fan_ = 2 * w;  // pessimistic cap: no width up to 2w paid off
+  for (int f = 2; f <= 2 * w; ++f) {
+    const double saved_us =
+        node_us * static_cast<double>(f - (f + w - 1) / w);
+    const double bill_us =
+        dispatch_us * static_cast<double>(std::min(f, w) + 1);
+    if (saved_us >= 2.0 * bill_us) {
+      effective_min_fan_ = f;
+      break;
+    }
+  }
+  obs::counters().set_gauge("solver.intra_min_fan",
+                            static_cast<double>(effective_min_fan_));
+}
+
 // ---- Stage 2: refit (Algorithm 1 lines 14-42) ----
 Node SolveRun::refit_stage(Node start_node, std::uint64_t rep) {
   DEPSTOR_TRACE_SPAN("refit");
+  calibrate_min_fan();
   Node best = std::move(start_node);
   for (int iter = 0; iter < options_.max_refit_iterations; ++iter) {
     if (out_of_time()) break;
@@ -346,6 +479,7 @@ void SolveRun::finish_stats() {
       parallel_tasks_.load(std::memory_order_relaxed);
   result_.refit_steal_count = steal_count_.load(std::memory_order_relaxed);
   result_.refit_fanned = refit_fanned_.load(std::memory_order_relaxed);
+  result_.intra_min_fan_used = effective_min_fan_;
   result_.evaluations = agg_stats_.evaluations;
   result_.cache_hits = agg_stats_.cache_hits;
   result_.cache_misses = agg_stats_.cache_misses;
@@ -448,7 +582,8 @@ void validate(const Environment* env, const DesignSolverOptions& options,
   DEPSTOR_EXPECTS(options.max_greedy_restarts >= 1);
   DEPSTOR_EXPECTS_MSG(exec.intra_node_workers >= 1,
                       "intra_node_workers must be >= 1");
-  DEPSTOR_EXPECTS_MSG(exec.intra_min_fan >= 1, "intra_min_fan must be >= 1");
+  DEPSTOR_EXPECTS_MSG(exec.intra_min_fan >= 0,
+                      "intra_min_fan must be >= 0 (0 = auto-calibrate)");
   env->validate();
 }
 

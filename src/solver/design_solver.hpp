@@ -87,14 +87,18 @@ struct ExecutionOptions {
   /// sequential path (no pool is created). Must be >= 1.
   int intra_node_workers = 1;
   /// Minimum fan width worth handing to the pool: a refit fan with fewer
-  /// independent tasks than this runs inline on the coordinating thread even
-  /// when a pool is available, because the TaskGroup claim/steal overhead
-  /// swamps the per-task work on narrow fans (the obs spans behind
-  /// BENCH_solver_perf.json measured the default breadth-3 fan at 0.78x —
-  /// a slowdown). Must be >= 1; 1 = always fan. Inline fans follow the same
-  /// slot order and structural RNG streams, so the threshold never changes
-  /// results — SolveResult::refit_fanned records which path ran.
-  int intra_min_fan = 4;
+  /// independent slots than this runs inline on the coordinating thread even
+  /// when a pool is available, because fan dispatch overhead swamps the
+  /// per-slot work on narrow fans of cheap nodes. 0 (the default) means
+  /// *auto-calibrate*: the solve measures the pool's per-chunk dispatch cost
+  /// with a startup micro-probe, compares it against the mean per-node cost
+  /// observed during its own greedy stage, and picks the smallest fan width
+  /// whose projected saving beats the dispatch bill (DESIGN.md §9). Explicit
+  /// values >= 1 skip the probe (1 = always fan). Inline and pooled fans
+  /// follow the same slot order and structural RNG streams, so the threshold
+  /// never changes results — SolveResult::refit_fanned records which path
+  /// ran and SolveResult::intra_min_fan_used the threshold applied.
+  int intra_min_fan = 0;
   /// Disable the wall-clock cutoffs so the node set explored depends only on
   /// (options, seed) — required for the bit-identical parallel-vs-sequential
   /// contract. Termination then comes from max_repetitions (0 → 1) and
@@ -139,9 +143,13 @@ struct SolveResult {
   std::int64_t refit_parallel_tasks = 0;
   std::int64_t refit_steal_count = 0;
   /// Which refit path actually ran: true when at least one fan cleared
-  /// ExecutionOptions::intra_min_fan and went to the pool; false when every
+  /// the effective min-fan threshold and went to the pool; false when every
   /// fan ran inline (narrow fans, intra_node_workers == 1, or no pool).
   bool refit_fanned = false;
+  /// The fan threshold actually applied: the explicit
+  /// ExecutionOptions::intra_min_fan when >= 1, otherwise the value the
+  /// startup micro-probe calibrated from dispatch overhead vs node cost.
+  int intra_min_fan_used = 0;
   /// Per-stage wall-clock: evaluation calls, backup-chain sweeps, resource
   /// increment loops (eval_ms overlaps the other two — see
   /// ConfigSolverStats).

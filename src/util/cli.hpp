@@ -56,8 +56,9 @@ class CliFlags {
 struct ExecutionFlags {
   int workers = 1;             ///< --workers: seed fan / engine worker count
   int intra_workers = 1;       ///< --intra-workers: refit threads per solve
-  int intra_min_fan = 4;       ///< --intra-min-fan: smallest refit fan worth
-                               ///< pooling (narrower fans run inline; see
+  int intra_min_fan = 0;       ///< --intra-min-fan: smallest refit fan worth
+                               ///< pooling (narrower fans run inline;
+                               ///< 0 = auto-calibrate, see
                                ///< ExecutionOptions::intra_min_fan)
   std::uint64_t seed = 1;      ///< --seed: base of every derived RNG stream
   bool deterministic = false;  ///< --deterministic: fixed work, no wall clock

@@ -3,10 +3,11 @@
 // The determinism contract under test: with `exec.deterministic` set, a
 // solve explores a node set that depends only on (options, seed) — every
 // search node draws from an RNG stream derived from its structural
-// coordinates, and merges are slot-ordered — so any `intra_node_workers`
-// value must return bit-identical results. Plus the machinery underneath:
-// TaskGroup fan-out/steal semantics, cancellation mid-fan, and nested
-// submission from a batch-engine job on a one-worker pool.
+// coordinates, and merges are slot-ordered (chunked claims group slots but
+// never reorder the merge) — so any `intra_node_workers` value must return
+// bit-identical results. Plus cancellation mid-fan and nested submission
+// from a batch-engine job on a one-worker pool. TaskGroup's own semantics
+// live in test_task_group.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -24,75 +25,6 @@ namespace {
 
 using testing::solve_design;
 
-// ---------------------------------------------------------------- TaskGroup
-
-TEST(TaskGroup, NullPoolRunsInline) {
-  std::atomic<int> ran{0};
-  TaskGroup group(nullptr);
-  for (int i = 0; i < 8; ++i) {
-    group.run([&ran] { ++ran; });
-  }
-  group.wait();
-  EXPECT_EQ(ran.load(), 8);
-  EXPECT_EQ(group.spawned(), 0);
-  EXPECT_EQ(group.stolen(), 8);  // inline execution counts as stolen
-}
-
-TEST(TaskGroup, PoolRunsEveryTaskExactlyOnce) {
-  WorkerPool pool(3);
-  std::vector<std::atomic<int>> ran(64);
-  TaskGroup group(&pool);
-  for (auto& slot : ran) {
-    group.run([&slot] { ++slot; });
-  }
-  group.wait();
-  for (const auto& slot : ran) EXPECT_EQ(slot.load(), 1);
-  EXPECT_EQ(group.spawned(), 64);
-}
-
-TEST(TaskGroup, WaiterStealsWhenPoolIsBusy) {
-  // One worker, blocked on a gate: wait() must drain the remaining tasks
-  // itself instead of deadlocking behind the busy worker.
-  WorkerPool pool(1);
-  std::atomic<bool> gate{false};
-  std::atomic<int> ran{0};
-  const bool accepted = pool.submit([&gate] {
-    while (!gate.load()) std::this_thread::yield();
-  });
-  ASSERT_TRUE(accepted);
-  TaskGroup group(&pool);
-  for (int i = 0; i < 16; ++i) {
-    group.run([&ran, &gate] {
-      ++ran;
-      if (ran.load() == 16) gate.store(true);  // last task frees the worker
-    });
-  }
-  group.wait();
-  gate.store(true);
-  pool.wait_idle();
-  EXPECT_EQ(ran.load(), 16);
-  // The only worker stays blocked until the 16th task flips the gate, so
-  // every task was executed by the waiting thread.
-  EXPECT_EQ(group.stolen(), 16);
-}
-
-TEST(TaskGroup, NestedGroupsOnOneWorkerPoolComplete) {
-  WorkerPool pool(1);
-  std::atomic<int> inner_ran{0};
-  TaskGroup outer(&pool);
-  for (int i = 0; i < 4; ++i) {
-    outer.run([&pool, &inner_ran] {
-      TaskGroup inner(&pool);
-      for (int j = 0; j < 4; ++j) {
-        inner.run([&inner_ran] { ++inner_ran; });
-      }
-      inner.wait();
-    });
-  }
-  outer.wait();
-  EXPECT_EQ(inner_ran.load(), 16);
-}
-
 // ---------------------------------------------- determinism oracle (§9)
 
 DesignSolverOptions oracle_options(std::uint64_t seed) {
@@ -105,26 +37,42 @@ DesignSolverOptions oracle_options(std::uint64_t seed) {
   return o;
 }
 
-void expect_parallel_matches_sequential(const Environment& env,
-                                        std::uint64_t seed) {
-  const DesignSolverOptions options = oracle_options(seed);
+/// Solve `options` sequentially, then at every worker count in {2, 4, 8}
+/// with the fan forced onto the pool, and require bit-identical totals and
+/// node counts from each — the §9 contract at full strength.
+void expect_worker_counts_match(const Environment& env,
+                                const DesignSolverOptions& options) {
   ExecutionOptions seq;
   seq.deterministic = true;
-  ExecutionOptions par = seq;
-  par.intra_node_workers = 4;
-
   const SolveResult a = solve_design(env, options, seq);
-  const SolveResult b = solve_design(env, options, par);
-  ASSERT_EQ(a.feasible, b.feasible) << "seed " << seed;
-  ASSERT_TRUE(a.feasible) << "seed " << seed;
-  // Bit-identical totals, not approximate: the parallel solve runs the same
-  // node tree with the same derived RNG streams.
-  EXPECT_EQ(a.cost.total(), b.cost.total()) << "seed " << seed;
-  EXPECT_EQ(a.cost.outlay, b.cost.outlay) << "seed " << seed;
-  EXPECT_EQ(a.cost.outage_penalty, b.cost.outage_penalty) << "seed " << seed;
-  EXPECT_EQ(a.cost.loss_penalty, b.cost.loss_penalty) << "seed " << seed;
-  EXPECT_EQ(a.nodes_evaluated, b.nodes_evaluated) << "seed " << seed;
-  EXPECT_EQ(a.refit_iterations, b.refit_iterations) << "seed " << seed;
+  ASSERT_TRUE(a.feasible) << "seed " << options.seed;
+  for (int workers : {2, 4, 8}) {
+    ExecutionOptions par = seq;
+    par.intra_node_workers = workers;
+    par.intra_min_fan = 1;  // force pooling: exercise the batched fan
+    const SolveResult b = solve_design(env, options, par);
+    ASSERT_EQ(a.feasible, b.feasible)
+        << "seed " << options.seed << " workers " << workers;
+    // Bit-identical totals, not approximate: the parallel solve runs the
+    // same node tree with the same derived RNG streams.
+    EXPECT_EQ(a.cost.total(), b.cost.total())
+        << "seed " << options.seed << " workers " << workers;
+    EXPECT_EQ(a.cost.outlay, b.cost.outlay)
+        << "seed " << options.seed << " workers " << workers;
+    EXPECT_EQ(a.cost.outage_penalty, b.cost.outage_penalty)
+        << "seed " << options.seed << " workers " << workers;
+    EXPECT_EQ(a.cost.loss_penalty, b.cost.loss_penalty)
+        << "seed " << options.seed << " workers " << workers;
+    EXPECT_EQ(a.nodes_evaluated, b.nodes_evaluated)
+        << "seed " << options.seed << " workers " << workers;
+    EXPECT_EQ(a.refit_iterations, b.refit_iterations)
+        << "seed " << options.seed << " workers " << workers;
+  }
+}
+
+void expect_parallel_matches_sequential(const Environment& env,
+                                        std::uint64_t seed) {
+  expect_worker_counts_match(env, oracle_options(seed));
 }
 
 TEST(ParallelRefit, BitIdenticalToSequentialPeerSites4) {
@@ -148,6 +96,20 @@ TEST(ParallelRefit, BitIdenticalToSequentialMultiSite) {
   }
 }
 
+TEST(ParallelRefit, BitIdenticalWithWideFanAndChunkedClaims) {
+  // Breadth 8 exceeds 3x the 2-worker chunk target, so fan_chunk groups
+  // multiple slots per claim — the batched path the coarse oracle above
+  // never reaches. Merges must stay slot-ordered regardless of grouping.
+  const Environment env = scenarios::multi_site(8, 3, 4);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    DesignSolverOptions options = oracle_options(seed);
+    options.breadth = 8;
+    options.depth = 2;
+    options.max_refit_iterations = 2;
+    expect_worker_counts_match(env, options);
+  }
+}
+
 TEST(ParallelRefit, ParallelTasksAreCountedWhenFanned) {
   const Environment env = scenarios::peer_sites(4);
   ExecutionOptions par;
@@ -164,54 +126,85 @@ TEST(ParallelRefit, ParallelTasksAreCountedWhenFanned) {
 // ------------------------------------------------- fan-threshold guard
 
 TEST(ParallelRefit, NarrowFanStaysInlineUnderThreshold) {
-  // breadth 2 < intra_min_fan 4 (the default): the solve must not hand a
+  // breadth 2 < an explicit intra_min_fan of 4: the solve must not hand a
   // single task to the pool, and SolveResult records the inline path.
   const Environment env = scenarios::peer_sites(4);
   ExecutionOptions par;
   par.deterministic = true;
   par.intra_node_workers = 4;
-  ASSERT_EQ(par.intra_min_fan, 4);
+  par.intra_min_fan = 4;
   const SolveResult result = solve_design(env, oracle_options(7), par);
   ASSERT_TRUE(result.feasible);
   EXPECT_FALSE(result.refit_fanned);
   EXPECT_EQ(result.refit_parallel_tasks, 0);
+  EXPECT_EQ(result.intra_min_fan_used, 4);  // explicit values pass through
 }
 
 TEST(ParallelRefit, FanThresholdNeverChangesResults) {
-  // Guarded (inline) and forced (pooled) fans walk the same structural node
-  // tree with the same derived RNG streams — totals must agree bit-for-bit.
+  // Guarded (inline), forced (pooled), and auto-calibrated fans walk the
+  // same structural node tree with the same derived RNG streams — totals
+  // must agree bit-for-bit no matter which threshold was applied.
   const Environment env = scenarios::multi_site(8, 3, 4);
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     const DesignSolverOptions options = oracle_options(seed);
     ExecutionOptions guarded;
     guarded.deterministic = true;
-    guarded.intra_node_workers = 4;  // pool exists, fan too narrow to use it
+    guarded.intra_node_workers = 4;
+    guarded.intra_min_fan = 1000;  // pool exists, fan never wide enough
     ExecutionOptions forced = guarded;
     forced.intra_min_fan = 1;
+    ExecutionOptions autocal = guarded;
+    autocal.intra_min_fan = 0;  // measured threshold (the default)
 
     const SolveResult a = solve_design(env, options, guarded);
     const SolveResult b = solve_design(env, options, forced);
+    const SolveResult c = solve_design(env, options, autocal);
     ASSERT_TRUE(a.feasible) << "seed " << seed;
     ASSERT_TRUE(b.feasible) << "seed " << seed;
+    ASSERT_TRUE(c.feasible) << "seed " << seed;
     EXPECT_FALSE(a.refit_fanned) << "seed " << seed;
     EXPECT_TRUE(b.refit_fanned) << "seed " << seed;
+    EXPECT_GE(c.intra_min_fan_used, 1) << "seed " << seed;  // calibrated
     EXPECT_EQ(a.cost.total(), b.cost.total()) << "seed " << seed;
+    EXPECT_EQ(a.cost.total(), c.cost.total()) << "seed " << seed;
     EXPECT_EQ(a.nodes_evaluated, b.nodes_evaluated) << "seed " << seed;
+    EXPECT_EQ(a.nodes_evaluated, c.nodes_evaluated) << "seed " << seed;
   }
 }
 
-TEST(ParallelRefit, WideFanClearsDefaultThreshold) {
+TEST(ParallelRefit, WideFanClearsExplicitThreshold) {
   const Environment env = scenarios::peer_sites(4);
   DesignSolverOptions options = oracle_options(5);
-  options.breadth = 4;  // == default intra_min_fan
+  options.breadth = 4;  // == the explicit threshold below
   options.max_refit_iterations = 2;
   ExecutionOptions par;
   par.deterministic = true;
   par.intra_node_workers = 4;
+  par.intra_min_fan = 4;
   const SolveResult result = solve_design(env, options, par);
   ASSERT_TRUE(result.feasible);
   EXPECT_TRUE(result.refit_fanned);
   EXPECT_GT(result.refit_parallel_tasks, 0);
+}
+
+TEST(ParallelRefit, AutoCalibrationRecordsAThreshold) {
+  // intra_min_fan = 0 (the default): the solve measures one at refit entry
+  // and reports what it applied. Without a pool the fallback applies.
+  const Environment env = scenarios::peer_sites(4);
+  ExecutionOptions pooled;
+  pooled.deterministic = true;
+  pooled.intra_node_workers = 4;
+  ASSERT_EQ(pooled.intra_min_fan, 0);
+  const SolveResult with_pool = solve_design(env, oracle_options(9), pooled);
+  ASSERT_TRUE(with_pool.feasible);
+  EXPECT_GE(with_pool.intra_min_fan_used, 1);
+
+  ExecutionOptions sequential;
+  sequential.deterministic = true;
+  const SolveResult seq = solve_design(env, oracle_options(9), sequential);
+  ASSERT_TRUE(seq.feasible);
+  EXPECT_GE(seq.intra_min_fan_used, 1);
+  EXPECT_EQ(seq.cost.total(), with_pool.cost.total());
 }
 
 // ------------------------------------------------------------- cancellation

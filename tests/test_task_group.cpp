@@ -1,0 +1,249 @@
+// TaskGroup semantics (engine/worker_pool.hpp).
+//
+// Under test: the chunk-claimed run_indexed fan (one atomic fetch_add per
+// chunk, O(workers) runner closures), the legacy run() path, help-while-wait
+// draining that keeps nested fans deadlock-free on a 1-worker pool, and the
+// deterministic (lowest-index) exception propagation out of wait().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/worker_pool.hpp"
+
+namespace depstor {
+namespace {
+
+// ------------------------------------------------------------ run() basics
+
+TEST(TaskGroup, NullPoolRunsInline) {
+  std::atomic<int> ran{0};
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&ran] { ++ran; });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(group.spawned(), 0);
+  EXPECT_EQ(group.stolen(), 8);  // inline execution counts as stolen
+}
+
+TEST(TaskGroup, PoolRunsEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> ran(64);
+  TaskGroup group(&pool);
+  for (auto& slot : ran) {
+    group.run([&slot] { ++slot; });
+  }
+  group.wait();
+  for (const auto& slot : ran) EXPECT_EQ(slot.load(), 1);
+  EXPECT_EQ(group.spawned(), 64);
+}
+
+TEST(TaskGroup, WaiterStealsWhenPoolIsBusy) {
+  // One worker, blocked on a gate: wait() must drain the remaining tasks
+  // itself instead of deadlocking behind the busy worker.
+  WorkerPool pool(1);
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  const bool accepted = pool.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  ASSERT_TRUE(accepted);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.run([&ran, &gate] {
+      ++ran;
+      if (ran.load() == 16) gate.store(true);  // last task frees the worker
+    });
+  }
+  group.wait();
+  gate.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+  // The only worker stays blocked until the 16th task flips the gate, so
+  // every task was executed by the waiting thread.
+  EXPECT_EQ(group.stolen(), 16);
+}
+
+TEST(TaskGroup, NestedGroupsOnOneWorkerPoolComplete) {
+  WorkerPool pool(1);
+  std::atomic<int> inner_ran{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&pool, &inner_ran] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.run([&inner_ran] { ++inner_ran; });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_ran.load(), 16);
+}
+
+// ------------------------------------------------------- run_indexed fan
+
+TEST(TaskGroup, IndexedFanRunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> ran(1000);
+  TaskGroup group(&pool);
+  group.run_indexed(1000, 7, [&ran](int i) { ++ran[i]; });
+  group.wait();
+  for (const auto& slot : ran) EXPECT_EQ(slot.load(), 1);
+  // Claim units are chunks: ceil(1000/7) = 143, split between pool runners
+  // and the helping caller in race-dependent proportion.
+  EXPECT_EQ(group.spawned() + group.stolen(), 143);
+}
+
+TEST(TaskGroup, IndexedFanInlineWithoutPool) {
+  std::vector<int> ran(32, 0);
+  TaskGroup group(nullptr);
+  group.run_indexed(32, 5, [&ran](int i) { ++ran[i]; });
+  group.wait();
+  for (int slot : ran) EXPECT_EQ(slot, 1);
+  EXPECT_EQ(group.spawned(), 0);
+  EXPECT_EQ(group.stolen(), 7);  // ceil(32/5) chunks, all claimed inline
+}
+
+TEST(TaskGroup, ChunkClaimRaceUnderManyClaimants) {
+  // Chunk size 1 on a wide pool maximizes claim contention: the fetch_add
+  // cursor must still hand every index to exactly one claimant.
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> ran(512);
+  TaskGroup group(&pool);
+  group.run_indexed(512, 1, [&ran](int i) { ++ran[i]; });
+  group.wait();
+  for (const auto& slot : ran) EXPECT_EQ(slot.load(), 1);
+  EXPECT_EQ(group.spawned() + group.stolen(), 512);
+}
+
+TEST(TaskGroup, HelpWhileWaitExecutesUnclaimedChunks) {
+  // The pool's only worker is parked behind a gate, so no runner ever
+  // claims a chunk: run_indexed must finish anyway, with the calling
+  // thread claiming all of them.
+  WorkerPool pool(1);
+  std::atomic<bool> gate{false};
+  ASSERT_TRUE(pool.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  }));
+  std::vector<int> ran(16, 0);
+  TaskGroup group(&pool);
+  group.run_indexed(16, 1, [&ran](int i) { ++ran[i]; });
+  group.wait();
+  gate.store(true);
+  pool.wait_idle();
+  for (int slot : ran) EXPECT_EQ(slot, 1);
+  EXPECT_EQ(group.stolen(), 16);
+  EXPECT_EQ(group.spawned(), 0);
+}
+
+TEST(TaskGroup, NestedIndexedFansOnOneWorkerPoolComplete) {
+  // A pool task fanning run_indexed onto its own 1-worker pool: the outer
+  // task occupies the only worker, so the inner fan drains entirely via
+  // help-while-wait. Deadlock here would hang the test (gtest timeout is
+  // the backstop).
+  WorkerPool pool(1);
+  std::atomic<int> inner_ran{0};
+  TaskGroup outer(&pool);
+  outer.run_indexed(4, 1, [&pool, &inner_ran](int) {
+    TaskGroup inner(&pool);
+    inner.run_indexed(8, 3, [&inner_ran](int) { ++inner_ran; });
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(inner_ran.load(), 32);
+}
+
+// ------------------------------------------------- exception propagation
+
+TEST(TaskGroup, IndexedFanErrorPropagatesFromWait) {
+  WorkerPool pool(2);
+  std::vector<std::atomic<int>> ran(64);
+  TaskGroup group(&pool);
+  group.run_indexed(64, 4, [&ran](int i) {
+    if (i >= 10) throw std::runtime_error(std::to_string(i));
+    ++ran[i];
+  });
+  EXPECT_THROW(
+      {
+        try {
+          group.wait();
+        } catch (const std::runtime_error& e) {
+          // Deterministic winner: the lowest throwing index, regardless of
+          // which chunk's error landed first.
+          EXPECT_STREQ(e.what(), "10");
+          throw;
+        }
+      },
+      std::runtime_error);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(TaskGroup, ThrowSkipsRestOfChunkButOtherChunksRun) {
+  WorkerPool pool(2);
+  std::vector<std::atomic<int>> ran(8);
+  TaskGroup group(&pool);
+  group.run_indexed(8, 4, [&ran](int i) {
+    if (i == 1) throw std::runtime_error("chunk0");
+    ++ran[i];
+  });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // Index 1 threw: 2 and 3 share its chunk and are skipped; the second
+  // chunk (4..7) is unaffected. Index 0 ran before the throw.
+  EXPECT_EQ(ran[0].load(), 1);
+  EXPECT_EQ(ran[2].load(), 0);
+  EXPECT_EQ(ran[3].load(), 0);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(TaskGroup, RunTaskErrorPropagatesFromWait) {
+  WorkerPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([i] {
+      if (i >= 3) throw std::runtime_error(std::to_string(i));
+    });
+  }
+  EXPECT_THROW(
+      {
+        try {
+          group.wait();
+        } catch (const std::runtime_error& e) {
+          // Submission order breaks the tie between racing task errors.
+          EXPECT_STREQ(e.what(), "3");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(TaskGroup, ErrorFromInlineFanAlsoPropagates) {
+  TaskGroup group(nullptr);
+  group.run_indexed(4, 2, [](int i) {
+    if (i == 2) throw std::runtime_error("inline");
+  });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, WaitClearsTheErrorForReuse) {
+  // A group outlives a failed fan: wait() consumes the error, and the next
+  // fan on the same group starts clean.
+  WorkerPool pool(2);
+  TaskGroup group(&pool);
+  group.run_indexed(4, 1, [](int i) {
+    if (i == 0) throw std::runtime_error("first");
+  });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  std::atomic<int> ran{0};
+  group.run_indexed(4, 1, [&ran](int) { ++ran; });
+  group.wait();  // must not rethrow the consumed error
+  EXPECT_EQ(ran.load(), 4);
+}
+
+}  // namespace
+}  // namespace depstor
