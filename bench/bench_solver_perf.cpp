@@ -33,9 +33,16 @@
 //
 // A fourth probe ("serve_probe") drives an in-process serve::Server with 8
 // concurrent loopback clients streaming small deterministic design requests,
-// recording jobs/sec and p50/p95 end-to-end latency. The process exit code
-// asserts `totals_match` for the incremental and parallel-refit probes and
-// zero dropped/rejected requests for the serve probe.
+// recording jobs/sec and p50/p95 end-to-end latency.
+//
+// A fifth probe ("churn_probe") drifts the 24-app environment through 50
+// random deltas (1–4 apps added/removed/resized per step) and re-designs
+// each successor twice: warm via `depstor::resolve` and cold from scratch
+// with identical options. It records the cumulative warm-vs-cold speedup
+// and whether every warm result's totals matched a cache-free
+// re-evaluation bit for bit. The process exit code asserts `totals_match`
+// for the incremental, parallel-refit, and churn probes and zero
+// dropped/rejected requests for the serve probe.
 //
 // `--smoke` (the CI mode) skips the google-benchmark microbenchmarks and
 // shrinks the engine probe, but still runs every probe and writes the JSON.
@@ -48,7 +55,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -523,6 +533,147 @@ ServeProbe run_serve_probe(int clients, int requests_per_client) {
   return probe;
 }
 
+/// Churn probe: a living environment under random drift. Starting from a
+/// cold solve of multi_site(24,6,8), every step applies a random delta
+/// touching 1–4 applications (add / remove / resize) and re-designs the
+/// successor environment twice — warm via `depstor::resolve` (seeded from
+/// the prior step's design, refit scoped to the touched apps, the
+/// incremental evaluator's scenario cache carried across the solve) and
+/// cold via `depstor::solve` from scratch with identical options. The warm
+/// design's reported totals must be bit-identical to a cache-free
+/// re-evaluation of that design (the cross-solve cache-correctness
+/// contract DEPSTOR_AUDIT enforces in tests); the cumulative warm-vs-cold
+/// time ratio is the headline speedup scripts/perf_gate.py floors at 5x.
+struct ChurnProbe {
+  int steps = 0;
+  int warm_steps = 0;  ///< steps the warm path served (no cold fallback)
+  std::int64_t touched_apps = 0;  ///< sum of per-step refit focus sizes
+  double warm_ms = 0.0;           ///< cumulative resolve() time
+  double cold_ms = 0.0;           ///< cumulative from-scratch solve() time
+  bool totals_match = true;
+  double speedup() const { return warm_ms > 0.0 ? cold_ms / warm_ms : 0.0; }
+};
+
+/// One random churn step touching `ops` distinct applications. App count
+/// stays inside [18, 24]: multi_site sites cap at 2 disk arrays, so the
+/// 6-site base environment has headroom for exactly 24 placeable apps —
+/// drifting above that would measure infeasibility handling, not warm
+/// re-design. Resizes scale data_size_gb by [0.7, 1.3) clamped to
+/// [50, 2000] GB so they stay inside pool capacity.
+EnvDelta make_churn_delta(const Environment& env, Rng& rng, int ops,
+                          int* next_name) {
+  EnvDelta delta;
+  std::vector<std::string> targeted;  // one op per app per step
+  const auto untargeted = [&](const std::string& name) {
+    return std::find(targeted.begin(), targeted.end(), name) ==
+           targeted.end();
+  };
+  for (int i = 0; i < ops; ++i) {
+    const int apps = static_cast<int>(env.apps.size());
+    const int op = rng.uniform_int(0, 2);
+    if (op == 0 &&
+        apps + static_cast<int>(delta.add.size() - delta.remove.size()) <
+            24) {
+      ApplicationSpec added = env.apps[rng.index(env.apps.size())];
+      added.name = "churn-" + std::to_string((*next_name)++);
+      delta.add.push_back(added);
+    } else if (op == 1 &&
+               apps - static_cast<int>(delta.remove.size()) > 18) {
+      const std::string& name = env.apps[rng.index(env.apps.size())].name;
+      if (!untargeted(name)) continue;
+      targeted.push_back(name);
+      delta.remove.push_back(name);
+    } else {
+      ApplicationSpec resized = env.apps[rng.index(env.apps.size())];
+      if (!untargeted(resized.name)) continue;
+      targeted.push_back(resized.name);
+      const double scale = rng.uniform(0.7, 1.3);
+      resized.data_size_gb =
+          std::min(2000.0, std::max(50.0, resized.data_size_gb * scale));
+      delta.resize.push_back(resized);
+    }
+  }
+  return delta;
+}
+
+ChurnProbe run_churn_probe(int steps) {
+  auto cur_env =
+      std::make_shared<const Environment>(scenarios::multi_site(24, 6, 8));
+  const auto options_for = [](std::uint64_t seed) {
+    DesignSolverOptions options;
+    options.seed = seed;
+    options.time_budget_ms = 1e9;  // bounded by repetitions: fixed work
+    options.max_repetitions = 1;
+    options.max_refit_iterations = 2;
+    return options;
+  };
+  ExecutionOptions exec;
+  exec.deterministic = true;
+
+  SolveRequest first;
+  first.env = cur_env.get();
+  first.options = options_for(1);
+  first.exec = exec;
+  SolveResult seed = solve(first);
+  if (!seed.feasible) {
+    throw InfeasibleError("churn probe found no feasible base design");
+  }
+  std::optional<Candidate> cur_best = std::move(seed.best);
+
+  ChurnProbe probe;
+  probe.steps = steps;
+  Rng rng(20060625);  // the paper's conference date as a seed
+  int next_name = 0;
+  for (int step = 0; step < steps; ++step) {
+    const EnvDelta delta =
+        make_churn_delta(*cur_env, rng, rng.uniform_int(1, 4), &next_name);
+
+    ResolveRequest request;
+    request.prev_env = cur_env.get();
+    request.prev_solution = &*cur_best;
+    request.delta = delta;
+    request.options = options_for(static_cast<std::uint64_t>(step + 2));
+    request.exec = exec;
+    const auto warm_t0 = std::chrono::steady_clock::now();
+    ResolveResult out = resolve(request);
+    probe.warm_ms += std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - warm_t0)
+                         .count();
+    if (!out.result.feasible) {
+      throw InfeasibleError("churn probe step found no feasible design");
+    }
+    if (out.warm) ++probe.warm_steps;
+    probe.touched_apps += out.touched_apps;
+
+    // Cross-solve cache correctness: the warm totals must equal a cold,
+    // cache-free re-evaluation of the same design, bit for bit.
+    Candidate fresh = *out.result.best;
+    fresh.set_incremental_enabled(false);
+    const CostBreakdown full = fresh.evaluate();
+    probe.totals_match &= full.outlay == out.result.cost.outlay &&
+                          full.outage_penalty ==
+                              out.result.cost.outage_penalty &&
+                          full.loss_penalty == out.result.cost.loss_penalty;
+
+    SolveRequest cold;
+    cold.env = out.env.get();
+    cold.options = request.options;
+    cold.exec = exec;
+    const auto cold_t0 = std::chrono::steady_clock::now();
+    const SolveResult cold_result = solve(cold);
+    probe.cold_ms += std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - cold_t0)
+                         .count();
+    if (!cold_result.feasible) {
+      throw InfeasibleError("churn probe cold leg found no feasible design");
+    }
+
+    cur_env = out.env;
+    cur_best = std::move(out.result.best);
+  }
+  return probe;
+}
+
 /// Batch-engine probe: a fixed `job_count`-job sweep (16 apps, rates
 /// varied) on the machine's worker count, fixed work per job so the numbers
 /// are comparable run to run. Returns the engine's aggregate metrics.
@@ -569,7 +720,8 @@ void write_probe_leg(JsonWriter& w, const ProbeLeg& leg) {
 void write_perf_json(const char* path, const IncrementalProbe& probe,
                      const ParallelRefitProbe& refit,
                      const std::vector<ScaleProbe>& scale,
-                     const ServeProbe& sp, const EngineMetricsSnapshot& m) {
+                     const ServeProbe& sp, const ChurnProbe& churn,
+                     const EngineMetricsSnapshot& m) {
   JsonWriter w;
   w.begin_object();
   // Cores available to this run: wall-clock speedup cannot exceed what the
@@ -651,6 +803,17 @@ void write_perf_json(const char* path, const IncrementalProbe& probe,
       .field("p50_ms", sp.p50_ms)
       .field("p95_ms", sp.p95_ms)
       .field("max_ms", sp.max_ms)
+      .end_object();
+  w.key("churn_probe")
+      .begin_object()
+      .field("environment", "multi_site(24,6,8)")
+      .field("steps", static_cast<long long>(churn.steps))
+      .field("warm_steps", static_cast<long long>(churn.warm_steps))
+      .field("touched_apps", static_cast<long long>(churn.touched_apps))
+      .field("warm_ms", churn.warm_ms)
+      .field("cold_ms", churn.cold_ms)
+      .field("speedup", churn.speedup())
+      .field("totals_match", churn.totals_match)
       .end_object();
   w.key("engine_probe")
       .begin_object()
@@ -788,15 +951,25 @@ int main(int argc, char** argv) {
               serve_probe.jobs_per_sec(), serve_probe.p50_ms,
               serve_probe.p95_ms);
 
+  const ChurnProbe churn = run_churn_probe(50);
+  std::cout << "\n== churn probe (multi_site(24,6,8), 50 steps) ==\n";
+  std::printf("warm resolve:    %.1f ms total (%d/%d steps warm, "
+              "%lld apps touched)\n",
+              churn.warm_ms, churn.warm_steps, churn.steps,
+              static_cast<long long>(churn.touched_apps));
+  std::printf("cold solve:      %.1f ms total\n", churn.cold_ms);
+  std::printf("speedup: %.2fx, totals %s\n", churn.speedup(),
+              churn.totals_match ? "match" : "MISMATCH");
+
   const EngineMetricsSnapshot metrics = run_engine_probe(smoke ? 2 : 8);
   std::cout << "\n== batch-engine probe ==\n" << metrics.render();
   write_perf_json("BENCH_solver_perf.json", probe, refit, scale, serve_probe,
-                  metrics);
+                  churn, metrics);
   std::cout << "wrote BENCH_solver_perf.json\n";
   bool scale_totals = true;
   for (const ScaleProbe& p : scale) scale_totals &= p.totals_match();
   return probe.totals_match() && refit.totals_match() && scale_totals &&
-                 serve_probe.errors == 0 &&
+                 churn.totals_match && serve_probe.errors == 0 &&
                  serve_probe.completed ==
                      serve_probe.clients * serve_probe.requests_per_client
              ? 0

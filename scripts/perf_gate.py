@@ -6,6 +6,12 @@ Fails (exit 1) when:
     truncated artifact must not pass silently;
   * `totals_match` is false on the parallel-refit probe or any scale probe
     (the bit-identical determinism contract, enforced unconditionally);
+  * `totals_match` is false on the churn probe (warm-start totals must
+    equal a cache-free re-evaluation bit for bit — the cross-solve
+    cache-correctness contract, enforced unconditionally), or warm
+    `resolve` fails to beat a cold from-scratch solve by the 5x floor on
+    small deltas (the churn probe's deltas touch at most 4 of 24 apps per
+    step, so the floor is algorithmic and applies on any hardware);
   * the serve probe dropped or rejected any request;
   * on a capable host only (hardware_threads >= intra_workers): the
     forced-fan speedup at 4 workers falls below the gate floor (1.8x —
@@ -25,6 +31,14 @@ import json
 import sys
 
 SPEEDUP_FLOOR = 1.8
+# Warm-vs-cold floor for the churn probe. The advantage is algorithmic (a
+# warm solve re-designs only the touched apps instead of the whole
+# environment), so unlike the intra-parallel floors it is enforced
+# regardless of hardware_threads — but only while the probe's deltas stay
+# small relative to the environment (<= 4 touched apps per step on the
+# 24-app base), which is the regime the warm path promises to win in.
+CHURN_SPEEDUP_FLOOR = 5.0
+CHURN_SMALL_DELTA_APPS_PER_STEP = 4
 # Scale probes may jitter a few percent run to run; "grows with scale"
 # tolerates that without letting a real regression through.
 SCALE_TOLERANCE = 0.05
@@ -88,6 +102,33 @@ def main():
                 f"smallest probe's {base_speedup:.2f}x — parallelism must "
                 "grow with environment size")
 
+    churn = require(doc, "$", "churn_probe")
+    churn_steps = int(require(churn, "churn_probe", "steps"))
+    churn_warm = int(require(churn, "churn_probe", "warm_steps"))
+    churn_touched = int(require(churn, "churn_probe", "touched_apps"))
+    churn_speedup = float(require(churn, "churn_probe", "speedup"))
+    require(churn, "churn_probe", "warm_ms")
+    require(churn, "churn_probe", "cold_ms")
+    if require(churn, "churn_probe", "totals_match") is not True:
+        failures.append("churn_probe.totals_match is false — a warm "
+                        "resolve's totals diverged from a cache-free "
+                        "re-evaluation of the same design")
+    if churn_steps <= 0:
+        failures.append("churn_probe.steps is 0 — the probe did not run")
+    elif churn_warm < churn_steps:
+        failures.append(
+            f"churn_probe fell back to a cold solve on "
+            f"{churn_steps - churn_warm} of {churn_steps} steps — the "
+            "warm path must serve every small delta")
+    small_deltas = (churn_steps > 0 and
+                    churn_touched <=
+                    CHURN_SMALL_DELTA_APPS_PER_STEP * churn_steps)
+    if small_deltas and churn_speedup < CHURN_SPEEDUP_FLOOR:
+        failures.append(
+            f"churn_probe.speedup {churn_speedup:.2f}x < "
+            f"{CHURN_SPEEDUP_FLOOR}x — warm re-design lost its "
+            "algorithmic advantage over cold solves on small deltas")
+
     serve = require(doc, "$", "serve_probe")
     if require(serve, "serve_probe", "errors") != 0:
         failures.append("serve_probe.errors != 0")
@@ -106,6 +147,11 @@ def main():
     for probe in scale:
         print(f"  scale {probe['environment']}: {probe['speedup']:.2f}x, "
               f"totals_match={probe['totals_match']}")
+    print(f"  churn: warm {churn['warm_ms']:.1f} ms vs cold "
+          f"{churn['cold_ms']:.1f} ms over {churn_steps} steps "
+          f"({churn_speedup:.2f}x, {churn_warm} warm, "
+          f"{churn_touched} apps touched, "
+          f"totals_match={churn['totals_match']})")
     print(f"  serve: {serve['completed']}/{expected} completed, "
           f"{serve['jobs_per_sec']:.1f} jobs/s")
 

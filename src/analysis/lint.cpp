@@ -33,6 +33,8 @@ using rules::kBadPolicyRange;
 using rules::kBadSiteLimit;
 using rules::kBadWorkloadUnits;
 using rules::kDanglingSiteRef;
+using rules::kDuplicateApplicationName;
+using rules::kDuplicateCatalogDevice;
 using rules::kDuplicateLink;
 using rules::kDuplicateSiteName;
 using rules::kEmptyCatalog;
@@ -251,6 +253,12 @@ class IniLinter {
     if (!s.has("name")) {
       rep_.add(Severity::Error, kMissingKey,
                "[application] is missing required key `name`", {}, at(s));
+    } else if (!app_names_.insert(name).second) {
+      rep_.add(Severity::Error, kDuplicateApplicationName,
+               "duplicate application name `" + name + "`",
+               "application names must be unique (deltas and reports "
+               "reference them)",
+               at(s));
     }
 
     const auto outage = required_number(s, "outage_penalty_rate");
@@ -326,7 +334,14 @@ class IniLinter {
                at(s));
       return;
     }
+    std::set<std::string> seen;
     for (const auto& device : names) {
+      if (!seen.insert(device).second) {
+        rep_.add(Severity::Error, kDuplicateCatalogDevice,
+                 "[catalog] " + key + " lists `" + device + "` twice",
+                 "each model may appear once per catalog key", at(s));
+        continue;
+      }
       try {
         const DeviceTypeSpec type = resources::by_name(device);
         if (type.kind != kind) {
@@ -354,6 +369,7 @@ class IniLinter {
   DiagnosticReport& rep_;
   const std::string file_;
   std::set<std::string> site_names_;
+  std::set<std::string> app_names_;
   std::set<std::pair<std::string, std::string>> link_pairs_;
 };
 

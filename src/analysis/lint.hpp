@@ -26,6 +26,8 @@
 //   no-sites                 (E) no [site] section
 //   no-applications          (E) no [application] section
 //   duplicate-site-name      (E) two sites share a name
+//   duplicate-application-name (E) two applications share a name
+//   duplicate-catalog-device (E) a catalog key lists the same model twice
 //   bad-site-limit           (E) negative device/compute limit or cost
 //   dangling-site-ref        (E) link endpoint names an unknown site
 //   self-link                (E) link connects a site to itself
@@ -75,6 +77,10 @@ inline constexpr const char* kBadNumber = "bad-number";
 inline constexpr const char* kNoSites = "no-sites";
 inline constexpr const char* kNoApplications = "no-applications";
 inline constexpr const char* kDuplicateSiteName = "duplicate-site-name";
+inline constexpr const char* kDuplicateApplicationName =
+    "duplicate-application-name";
+inline constexpr const char* kDuplicateCatalogDevice =
+    "duplicate-catalog-device";
 inline constexpr const char* kBadSiteLimit = "bad-site-limit";
 inline constexpr const char* kDanglingSiteRef = "dangling-site-ref";
 inline constexpr const char* kSelfLink = "self-link";

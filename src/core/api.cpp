@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "engine/engine.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace depstor {
 
@@ -122,6 +126,129 @@ SolveResult solve(const SolveRequest& request) {
     return detail::solve_impl(request.env, request.options, request.exec);
   }
   return solve_fan(request);
+}
+
+namespace {
+
+/// Cross-solve cache-correctness oracle: the warm result's reported cost
+/// must equal a cold (cache-free, incremental-disabled) evaluation of the
+/// same design bit-for-bit. Any divergence means a migrated scenario cache
+/// aliased stale state.
+void audit_warm_totals(const SolveResult& r, const char* where) {
+  if (!r.feasible || !analysis::debug_audit_enabled()) return;
+  Candidate fresh = *r.best;
+  fresh.set_incremental_enabled(false);
+  const CostBreakdown full = fresh.evaluate();
+  if (full.outlay != r.cost.outlay ||
+      full.outage_penalty != r.cost.outage_penalty ||
+      full.loss_penalty != r.cost.loss_penalty) {
+    throw InternalError(std::string(where) +
+                        ": warm-start totals diverged from a cold "
+                        "evaluation: warm " +
+                        std::to_string(r.cost.total()) + " vs cold " +
+                        std::to_string(full.total()));
+  }
+}
+
+}  // namespace
+
+ResolveResult resolve(const ResolveRequest& request) {
+  DEPSTOR_EXPECTS_MSG(request.prev_env != nullptr,
+                      "ResolveRequest needs the previous environment");
+  DEPSTOR_EXPECTS_MSG(request.prev_solution != nullptr,
+                      "ResolveRequest needs the previous solution");
+  DEPSTOR_EXPECTS_MSG(&request.prev_solution->env() == request.prev_env,
+                      "previous solution is not bound to prev_env");
+  DEPSTOR_EXPECTS_MSG(request.exec.workers == 1,
+                      "resolve runs a single warm solve; use "
+                      "intra_node_workers for parallelism");
+
+  DeltaPlan plan = apply_delta(*request.prev_env, request.delta);
+
+  ResolveResult out;
+  out.env = std::make_shared<const Environment>(std::move(plan.env));
+
+  const std::set<int> changed_sites(plan.changed_sites.begin(),
+                                    plan.changed_sites.end());
+
+  Candidate seed = *request.prev_solution;
+  seed.migrate(out.env.get(), plan.new_of_old);
+
+  // Re-place resized survivors against their new specs, reusing the prior
+  // choice (sites, device types, backup chain). A resize the old layout can
+  // no longer hold leaves the app unassigned; the warm stage places it
+  // fresh.
+  for (int id : plan.resized_apps) {
+    if (!seed.is_assigned(id)) continue;
+    const DesignChoice choice = seed.choice(id);
+    seed.remove_app(id);
+    try {
+      seed.place_app(id, choice);
+    } catch (const InfeasibleError&) {
+    }
+  }
+
+  // Refit focus: the apps whose *requirements* the delta touches — added
+  // and resized apps, plus every app placed at a capacity-changed site
+  // (shrinks can force those layouts to move). Survivors merely sharing a
+  // device with a removed/resized app stay out of the focus on purpose:
+  // their designs remain feasible and near-optimal under the delta, and
+  // correctness never depends on focus membership — the footprint-keyed
+  // incremental evaluator re-simulates any scenario whose contention
+  // actually changed no matter which apps refit may move. Keeping the
+  // focus at delta size is what makes a small delta's warm solve an order
+  // of magnitude cheaper than a cold one; the opportunity cost (a sharer
+  // that could exploit freed capacity) is recovered by the next full
+  // re-design.
+  std::vector<int> focus = plan.added_apps;
+  focus.insert(focus.end(), plan.resized_apps.begin(),
+               plan.resized_apps.end());
+  for (const AppAssignment& asg : seed.assignments()) {
+    if (!asg.assigned) continue;
+    const bool touched =
+        changed_sites.count(asg.primary_site) != 0 ||
+        (asg.secondary_site >= 0 &&
+         changed_sites.count(asg.secondary_site) != 0);
+    if (touched) focus.push_back(asg.app_id);
+  }
+  std::sort(focus.begin(), focus.end());
+  focus.erase(std::unique(focus.begin(), focus.end()), focus.end());
+  out.touched_apps = static_cast<int>(focus.size());
+
+  // The delta may have broken the prior design outright (site capacity
+  // shrink below what the layout uses): then the warm seed is worthless and
+  // the cold path takes over.
+  bool seed_ok = true;
+  try {
+    seed.check_feasible();
+  } catch (const std::exception& e) {
+    DEPSTOR_LOG(Info, "resolve: migrated seed infeasible ("
+                          << e.what() << "); falling back to a cold solve");
+    seed_ok = false;
+  }
+
+  if (seed_ok) {
+    const detail::WarmStart warm{&seed, &focus};
+    out.result =
+        detail::solve_impl(out.env.get(), request.options, request.exec,
+                           &warm);
+    if (out.result.feasible) {
+      audit_warm_totals(out.result, "resolve");
+      out.warm = true;
+      return out;
+    }
+    DEPSTOR_LOG(Info,
+                "resolve: warm solve found no feasible design; falling "
+                "back to a cold solve");
+  }
+
+  SolveRequest cold;
+  cold.env = out.env.get();
+  cold.options = request.options;
+  cold.exec = request.exec;
+  out.result = solve(cold);
+  out.warm = false;
+  return out;
 }
 
 }  // namespace depstor

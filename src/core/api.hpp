@@ -19,6 +19,9 @@
 // migration table); new code should not call them.
 #pragma once
 
+#include <memory>
+
+#include "core/env_delta.hpp"
 #include "core/environment.hpp"
 #include "solver/design_solver.hpp"
 
@@ -46,5 +49,52 @@ struct SolveRequest {
 /// Throws InvalidArgument for a null environment or non-positive worker
 /// counts; never throws for infeasibility — inspect `SolveResult::feasible`.
 SolveResult solve(const SolveRequest& request);
+
+/// A delta re-design: the previous environment, the solution designed for
+/// it, and what changed. `resolve` validates the delta, migrates the
+/// previous solution onto the successor environment (carrying the
+/// incremental evaluator's per-scenario cache — entries the delta does not
+/// touch never re-simulate), and runs a warm-started solve scoped to the
+/// touched applications instead of a greedy-from-scratch search.
+struct ResolveRequest {
+  /// Environment `prev_solution` was designed for. Must outlive the call.
+  const Environment* prev_env = nullptr;
+  /// The prior design, bound to `*prev_env` (its feasibility is re-checked
+  /// after migration; a design the delta breaks falls back to a cold solve).
+  const Candidate* prev_solution = nullptr;
+  EnvDelta delta;
+  DesignSolverOptions options;
+  /// Warm solves run as a single search (no seed-restart fan — restarts are
+  /// exactly what a warm start avoids); `exec.workers` must be 1.
+  /// intra_node_workers parallelism applies as usual.
+  ExecutionOptions exec;
+};
+
+struct ResolveResult {
+  /// The successor environment the result is bound to (the returned
+  /// Candidate points into it — keep this alive as long as the design).
+  std::shared_ptr<const Environment> env;
+  SolveResult result;
+  /// True when the warm-started path produced the result; false when it fell
+  /// back to a cold solve (seed placement failed, or the delta broke the
+  /// prior design's feasibility — e.g. a site capacity shrink).
+  bool warm = false;
+  /// Applications whose requirements the delta touched (added + resized +
+  /// apps at capacity-changed sites) — the refit focus set's size.
+  /// Survivors that merely share devices with removed/resized apps keep
+  /// their designs; the incremental evaluator re-simulates any scenario
+  /// whose contention changed regardless.
+  int touched_apps = 0;
+};
+
+/// Re-design for a changed environment, warm-started from a prior solution.
+///
+/// Under DEPSTOR_AUDIT every warm result is cross-checked against a cold
+/// (cache-free, from-scratch) evaluation of the final design — the reported
+/// totals must be bit-identical, which is the cross-solve cache-correctness
+/// contract. Throws InvalidArgument on an invalid delta (unknown names,
+/// duplicates, resize past pool capacity) or a malformed request; never
+/// throws for infeasibility — inspect `result.feasible`.
+ResolveResult resolve(const ResolveRequest& request);
 
 }  // namespace depstor

@@ -1,0 +1,252 @@
+#include "core/env_delta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "engine/eval_cache.hpp"
+#include "util/check.hpp"
+#include "workload/generator.hpp"
+
+namespace depstor {
+
+namespace {
+
+/// Largest dataset any single array model in the catalog can hold. An app
+/// resized past this can never be placed; reject at delta validation instead
+/// of deep inside the solver.
+double max_array_capacity_gb(const Environment& env) {
+  double best = 0.0;
+  for (const auto& type : env.array_types) {
+    best = std::max(best, static_cast<double>(type.max_capacity_units) *
+                              type.capacity_unit_gb);
+  }
+  return best;
+}
+
+void check_app_fits(const Environment& env, const ApplicationSpec& app,
+                    const char* verb) {
+  const double limit = max_array_capacity_gb(env);
+  if (app.data_size_gb > limit) {
+    throw InvalidArgument(
+        "env delta: cannot " + std::string(verb) + " application `" +
+        app.name + "`: data_size_gb " + std::to_string(app.data_size_gb) +
+        " exceeds the largest array model's capacity (" +
+        std::to_string(limit) + " GB) — resize past pool capacity");
+  }
+}
+
+std::map<std::string, int> index_by_name(const ApplicationList& apps) {
+  std::map<std::string, int> by_name;
+  for (const auto& app : apps) by_name.emplace(app.name, app.id);
+  return by_name;
+}
+
+bool same_app_fields(const ApplicationSpec& a, const ApplicationSpec& b) {
+  return a.type_code == b.type_code &&
+         a.outage_penalty_rate == b.outage_penalty_rate &&
+         a.loss_penalty_rate == b.loss_penalty_rate &&
+         a.data_size_gb == b.data_size_gb &&
+         a.avg_update_mbps == b.avg_update_mbps &&
+         a.peak_update_mbps == b.peak_update_mbps &&
+         a.avg_access_mbps == b.avg_access_mbps &&
+         a.unique_update_mbps == b.unique_update_mbps;
+}
+
+}  // namespace
+
+DeltaPlan apply_delta(const Environment& prev, const EnvDelta& delta) {
+  const auto prev_by_name = index_by_name(prev.apps);
+
+  std::set<std::string> removed;
+  for (const auto& name : delta.remove) {
+    if (prev_by_name.find(name) == prev_by_name.end()) {
+      throw InvalidArgument("env delta: remove names unknown application `" +
+                            name + "`");
+    }
+    if (!removed.insert(name).second) {
+      throw InvalidArgument("env delta: application `" + name +
+                            "` removed twice");
+    }
+  }
+
+  std::map<std::string, const ApplicationSpec*> resized;
+  for (const auto& spec : delta.resize) {
+    if (prev_by_name.find(spec.name) == prev_by_name.end()) {
+      throw InvalidArgument("env delta: resize names unknown application `" +
+                            spec.name + "`");
+    }
+    if (removed.count(spec.name) != 0) {
+      throw InvalidArgument("env delta: application `" + spec.name +
+                            "` both removed and resized");
+    }
+    if (!resized.emplace(spec.name, &spec).second) {
+      throw InvalidArgument("env delta: application `" + spec.name +
+                            "` resized twice");
+    }
+    spec.validate();
+    check_app_fits(prev, spec, "resize");
+  }
+
+  std::set<std::string> added_names;
+  for (const auto& spec : delta.add) {
+    if (spec.name.empty()) {
+      throw InvalidArgument("env delta: added application has no name");
+    }
+    if (!added_names.insert(spec.name).second) {
+      throw InvalidArgument("env delta: application `" + spec.name +
+                            "` added twice");
+    }
+    if (prev_by_name.count(spec.name) != 0 && removed.count(spec.name) == 0) {
+      throw InvalidArgument("env delta: added application `" + spec.name +
+                            "` already exists (remove it first to replace)");
+    }
+    spec.validate();
+    check_app_fits(prev, spec, "add");
+  }
+
+  DeltaPlan plan;
+  plan.env = prev;
+  plan.env.apps.clear();
+  plan.new_of_old.assign(prev.apps.size(), -1);
+
+  // Survivors first, in their previous relative order (keeps new_of_old
+  // monotone), resized specs swapped in by name; additions appended.
+  std::map<std::string, int> resized_new_id;
+  for (const auto& app : prev.apps) {
+    if (removed.count(app.name) != 0) continue;
+    const int new_id = static_cast<int>(plan.env.apps.size());
+    plan.new_of_old[static_cast<std::size_t>(app.id)] = new_id;
+    auto it = resized.find(app.name);
+    if (it != resized.end()) {
+      plan.env.apps.push_back(*it->second);
+      plan.env.apps.back().name = app.name;
+      resized_new_id.emplace(app.name, new_id);
+    } else {
+      plan.env.apps.push_back(app);
+    }
+  }
+  for (const auto& spec : delta.resize) {
+    plan.resized_apps.push_back(resized_new_id.at(spec.name));
+  }
+  for (const auto& spec : delta.add) {
+    plan.added_apps.push_back(static_cast<int>(plan.env.apps.size()));
+    plan.env.apps.push_back(spec);
+  }
+  workload::assign_ids(plan.env.apps);
+
+  std::set<std::string> changed_site_names;
+  for (const auto& change : delta.site_changes) {
+    auto it = std::find_if(plan.env.topology.sites.begin(),
+                           plan.env.topology.sites.end(),
+                           [&](const SiteSpec& s) {
+                             return s.name == change.site;
+                           });
+    if (it == plan.env.topology.sites.end()) {
+      throw InvalidArgument("env delta: site change names unknown site `" +
+                            change.site + "`");
+    }
+    if (!changed_site_names.insert(change.site).second) {
+      throw InvalidArgument("env delta: site `" + change.site +
+                            "` changed twice");
+    }
+    const std::pair<const std::optional<int>*, int*> fields[] = {
+        {&change.max_disk_arrays, &it->max_disk_arrays},
+        {&change.max_spare_arrays, &it->max_spare_arrays},
+        {&change.max_tape_libraries, &it->max_tape_libraries},
+        {&change.max_compute_slots, &it->max_compute_slots}};
+    for (const auto& [src, dst] : fields) {
+      if (!src->has_value()) continue;
+      if (**src < 0) {
+        throw InvalidArgument("env delta: site `" + change.site +
+                              "` capacity must be >= 0");
+      }
+      *dst = **src;
+    }
+    plan.changed_sites.push_back(it->id);
+  }
+
+  plan.env.validate();
+  return plan;
+}
+
+EnvDelta diff_environments(const Environment& prev, const Environment& next) {
+  EnvDelta delta;
+  const auto prev_by_name = index_by_name(prev.apps);
+  const auto next_by_name = index_by_name(next.apps);
+  if (next_by_name.size() != next.apps.size()) {
+    throw InvalidArgument("env diff: successor has duplicate app names");
+  }
+
+  for (const auto& app : prev.apps) {
+    if (next_by_name.count(app.name) == 0) delta.remove.push_back(app.name);
+  }
+  // Survivors must keep their relative order with additions appended; walk
+  // the successor checking both at once.
+  int last_survivor_old_id = -1;
+  bool seen_added = false;
+  for (const auto& app : next.apps) {
+    auto it = prev_by_name.find(app.name);
+    if (it == prev_by_name.end()) {
+      delta.add.push_back(app);
+      seen_added = true;
+      continue;
+    }
+    if (seen_added) {
+      throw InvalidArgument(
+          "env diff: surviving application `" + app.name +
+          "` appears after an added one — new applications must be appended");
+    }
+    if (it->second < last_survivor_old_id) {
+      throw InvalidArgument(
+          "env diff: applications were reordered (`" + app.name +
+          "`) — survivors must keep their relative order");
+    }
+    last_survivor_old_id = it->second;
+    if (!same_app_fields(prev.apps[static_cast<std::size_t>(it->second)],
+                         app)) {
+      delta.resize.push_back(app);
+    }
+  }
+
+  if (prev.topology.sites.size() != next.topology.sites.size()) {
+    throw InvalidArgument("env diff: site count changed — not a delta");
+  }
+  for (std::size_t i = 0; i < prev.topology.sites.size(); ++i) {
+    const SiteSpec& a = prev.topology.sites[i];
+    const SiteSpec& b = next.topology.sites[i];
+    if (a.name != b.name || a.region != b.region ||
+        a.fixed_cost != b.fixed_cost) {
+      throw InvalidArgument("env diff: site `" + a.name +
+                            "` geometry changed — not a delta");
+    }
+    SiteCapacityChange change;
+    change.site = a.name;
+    if (a.max_disk_arrays != b.max_disk_arrays)
+      change.max_disk_arrays = b.max_disk_arrays;
+    if (a.max_spare_arrays != b.max_spare_arrays)
+      change.max_spare_arrays = b.max_spare_arrays;
+    if (a.max_tape_libraries != b.max_tape_libraries)
+      change.max_tape_libraries = b.max_tape_libraries;
+    if (a.max_compute_slots != b.max_compute_slots)
+      change.max_compute_slots = b.max_compute_slots;
+    if (change.max_disk_arrays || change.max_spare_arrays ||
+        change.max_tape_libraries || change.max_compute_slots) {
+      delta.site_changes.push_back(std::move(change));
+    }
+  }
+
+  // Everything else must be untouched: rebuilding `next` from the delta and
+  // comparing environment fingerprints catches changes (catalogs, failures,
+  // params, thresholds, policies, links) that a delta cannot express.
+  const DeltaPlan plan = apply_delta(prev, delta);
+  if (fingerprint_environment(plan.env) != fingerprint_environment(next)) {
+    throw InvalidArgument(
+        "env diff: environments differ beyond apps and site capacities "
+        "(catalog, failure, parameter, policy, or link changes are not "
+        "expressible as a delta)");
+  }
+  return delta;
+}
+
+}  // namespace depstor

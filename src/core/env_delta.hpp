@@ -1,0 +1,78 @@
+// Delta descriptions of a changing ("living") environment.
+//
+// Production fleets do not re-solve from scratch: applications arrive, grow,
+// and leave, and site capacity is added or reclaimed. An EnvDelta names
+// exactly those changes relative to a previous Environment; apply_delta
+// validates it and produces the successor environment plus the old→new app id
+// map the warm-start machinery (Candidate::migrate, depstor::resolve) needs
+// to carry a prior solution and its scenario caches across solves.
+//
+// Invariant: surviving applications keep their relative order and new
+// applications are appended. That keeps the id map monotone, which is what
+// lets the incremental evaluator's footprint keys be rewritten in place.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/environment.hpp"
+
+namespace depstor {
+
+/// Capacity changes for one site, addressed by name. Absent fields keep the
+/// previous value. Geometry (region, fixed cost) is not expressible as a
+/// delta — changing it is a different environment, not a revision.
+struct SiteCapacityChange {
+  std::string site;
+  std::optional<int> max_disk_arrays;
+  std::optional<int> max_spare_arrays;
+  std::optional<int> max_tape_libraries;
+  std::optional<int> max_compute_slots;
+};
+
+/// Changes relative to a previous environment: apps added, removed (by
+/// name), resized (replacement spec addressed by name), and site capacity
+/// changes. Everything else (catalogs, failures, params, thresholds,
+/// policies, topology links) must be unchanged.
+struct EnvDelta {
+  std::vector<ApplicationSpec> add;
+  std::vector<std::string> remove;
+  std::vector<ApplicationSpec> resize;
+  std::vector<SiteCapacityChange> site_changes;
+
+  bool empty() const {
+    return add.empty() && remove.empty() && resize.empty() &&
+           site_changes.empty();
+  }
+};
+
+/// apply_delta's result: the successor environment plus the id bookkeeping
+/// the warm-start path consumes.
+struct DeltaPlan {
+  Environment env;
+  /// Old app id → new app id, or -1 when the app was removed. Monotone over
+  /// the surviving ids (survivors keep their relative order).
+  std::vector<int> new_of_old;
+  std::vector<int> added_apps;    ///< new ids of apps in delta.add
+  std::vector<int> resized_apps;  ///< new ids of apps in delta.resize
+  std::vector<int> changed_sites; ///< site ids touched by site_changes
+};
+
+/// Validate `delta` against `prev` and build the successor environment.
+/// Throws InvalidArgument on: unknown / duplicate app or site names, removing
+/// and resizing the same app, invalid replacement specs, apps too large for
+/// every array model in the catalog ("resize past pool capacity"), or
+/// negative capacities. The result env passes Environment::validate().
+DeltaPlan apply_delta(const Environment& prev, const EnvDelta& delta);
+
+/// Recover the EnvDelta between two concrete environments, for callers (the
+/// serve layer) that receive the successor as a full document. Throws
+/// InvalidArgument when `next` is not reachable from `prev` by a delta:
+/// survivors reordered, sites added/removed/renamed, or any non-delta field
+/// (catalogs, failures, params, thresholds, policies, link topology, site
+/// geometry) changed. Verified by fingerprint: apply_delta(prev, result)
+/// must reproduce `next` exactly.
+EnvDelta diff_environments(const Environment& prev, const Environment& next);
+
+}  // namespace depstor

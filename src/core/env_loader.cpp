@@ -1,6 +1,7 @@
 #include "core/env_loader.hpp"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "resources/catalog.hpp"
@@ -64,7 +65,13 @@ std::vector<DeviceTypeSpec> parse_catalog_list(const IniSection& s,
                                                const std::string& key,
                                                DeviceKind kind) {
   std::vector<DeviceTypeSpec> out;
+  std::set<std::string> seen;
   for (const auto& name : split_list(s.get_string(key))) {
+    if (!seen.insert(name).second) {
+      throw InvalidArgument("[" + s.name + "] (line " +
+                            std::to_string(s.line) + ") " + key +
+                            " lists duplicate device type: " + name);
+    }
     DeviceTypeSpec type = resources::by_name(name);
     DEPSTOR_EXPECTS_MSG(type.kind == kind,
                         "[catalog] " + key + ": " + name +
@@ -86,16 +93,26 @@ Environment environment_from_ini(const std::string& text) {
   env.compute_type = resources::compute_high();
 
   // Pass 1: sites (links and applications may reference them by name).
+  // Duplicate names are rejected rather than silently overwritten: a name
+  // collision would make later by-name references (links, deltas) ambiguous.
+  std::set<std::string> site_names;
   for (const auto& s : sections) {
     if (s.name == "site") {
-      env.topology.sites.push_back(
-          parse_site(s, static_cast<int>(env.topology.sites.size())));
+      SiteSpec site =
+          parse_site(s, static_cast<int>(env.topology.sites.size()));
+      if (!site_names.insert(site.name).second) {
+        throw InvalidArgument("[" + s.name + "] (line " +
+                              std::to_string(s.line) +
+                              ") duplicate site name: " + site.name);
+      }
+      env.topology.sites.push_back(std::move(site));
     }
   }
   DEPSTOR_EXPECTS_MSG(!env.topology.sites.empty(),
                       "environment file declares no [site]");
 
   // Pass 2: everything else.
+  std::set<std::string> app_names;
   for (const auto& s : sections) {
     if (s.name == "site") continue;
     if (s.name == "link") {
@@ -105,7 +122,13 @@ Environment environment_from_ini(const std::string& text) {
       pair.max_links = s.get_int("max_links");
       env.topology.pair_limits.push_back(pair);
     } else if (s.name == "application") {
-      env.apps.push_back(parse_application(s));
+      ApplicationSpec app = parse_application(s);
+      if (!app_names.insert(app.name).second) {
+        throw InvalidArgument("[" + s.name + "] (line " +
+                              std::to_string(s.line) +
+                              ") duplicate application name: " + app.name);
+      }
+      env.apps.push_back(std::move(app));
     } else if (s.name == "failures") {
       env.failures.data_object_rate =
           s.get_double_or("data_object_rate", env.failures.data_object_rate);

@@ -331,6 +331,53 @@ void IncrementalEvaluator::commit_trial() {
   for (auto& entry : entries_) entry.trial_saved = false;
 }
 
+void IncrementalEvaluator::remap_apps(const std::vector<int>& new_of_old) {
+  DEPSTOR_EXPECTS_MSG(!trial_, "cannot remap during a probe trial");
+  const int old_count = static_cast<int>(new_of_old.size());
+  const auto map_id = [&](int id) {
+    return (id >= 0 && id < old_count)
+               ? new_of_old[static_cast<std::size_t>(id)]
+               : id;
+  };
+  for (auto& entry : entries_) {
+    if (!entry.valid) {
+      entry.key = 0;
+      continue;
+    }
+    bool keep = true;
+    // Data-object scenarios are keyed by the failed app; rewrite (or drop).
+    const auto scope = static_cast<FailureScope>(entry.key >> 32);
+    if (scope == FailureScope::DataObject) {
+      const int old_app = static_cast<int>(entry.key & 0xffffffffu) - 1;
+      const int new_app = map_id(old_app);
+      if (new_app < 0) {
+        keep = false;
+      } else {
+        entry.key = (static_cast<std::uint64_t>(scope) << 32) |
+                    static_cast<std::uint32_t>(new_app + 1);
+      }
+    }
+    if (keep) {
+      for (int& app_id : entry.affected) {
+        app_id = map_id(app_id);
+        if (app_id < 0) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    if (!keep) {
+      entry.valid = false;
+      entry.key = 0;
+      continue;
+    }
+    for (auto& res : entry.results) res.app_id = map_id(res.app_id);
+  }
+  // Force re-enumeration on the next evaluation; align_entries() re-adopts
+  // the surviving entries by their rewritten keys.
+  scenarios_.clear();
+}
+
 void IncrementalEvaluator::invalidate() {
   DEPSTOR_EXPECTS_MSG(!trial_, "cannot invalidate during a probe trial");
   entries_.clear();

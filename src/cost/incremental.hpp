@@ -154,6 +154,17 @@ class IncrementalEvaluator {
   /// Drop all cached state; the next evaluation recomputes everything.
   void invalidate();
 
+  /// Rewrite cached app ids through an old→new id map (-1 = removed) for
+  /// warm-start migration across an environment delta. Entries whose
+  /// affected set contains a removed app are invalidated — their results
+  /// embed that app's recovery contention; every other entry survives with
+  /// its scenario key, affected set, and result app ids rewritten (device
+  /// and site footprints are id-stable across deltas). The map must be
+  /// monotone over surviving ids so sorted app vectors stay sorted. The
+  /// scenario list is cleared; the next (structural) evaluation re-enumerates
+  /// and re-adopts surviving entries by key. Not allowed during a trial.
+  void remap_apps(const std::vector<int>& new_of_old);
+
  private:
   /// Cached state of one failure scenario, positionally aligned with the
   /// current scenario enumeration. The saved_* slots hold the committed

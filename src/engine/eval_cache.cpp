@@ -59,7 +59,13 @@ std::uint64_t fingerprint_environment(const Environment& env) {
   Fnv1a h;
   h.mix(static_cast<std::uint64_t>(env.apps.size()));
   for (const auto& app : env.apps) {
-    h.mix(app.outage_penalty_rate)
+    // Name and type code included: two environments whose apps share every
+    // numeric field are still different environments, and a shared cache
+    // keyed only on numbers would cross-pollinate between them when a delta
+    // later diverges their footprints.
+    h.mix(app.name)
+        .mix(app.type_code)
+        .mix(app.outage_penalty_rate)
         .mix(app.loss_penalty_rate)
         .mix(app.data_size_gb)
         .mix(app.avg_update_mbps)
@@ -108,6 +114,22 @@ std::uint64_t fingerprint_environment(const Environment& env) {
       .mix(p.vault_annual_fee)
       .mix(static_cast<int>(p.recovery_order))
       .mix(p.device_lifetime_years);
+
+  // Category thresholds and policy ranges were missing from the salt: they
+  // change which techniques/configurations the solvers consider — and the
+  // categories the recovery order serializes on — so two environments
+  // differing only here must never share cache entries.
+  h.mix(env.thresholds.gold_min).mix(env.thresholds.silver_min);
+  const PolicyRanges& pol = env.policies;
+  for (const auto* range :
+       {&pol.snapshot_intervals_hours, &pol.backup_intervals_hours,
+        &pol.incremental_intervals_hours}) {
+    h.mix(static_cast<std::uint64_t>(range->size()));
+    for (double v : *range) h.mix(v);
+  }
+  h.mix(pol.allow_incremental_backups)
+      .mix(pol.allow_spare_arrays)
+      .mix(pol.max_resource_increments);
   return h.digest();
 }
 

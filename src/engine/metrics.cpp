@@ -84,7 +84,8 @@ void EngineMetricsSnapshot::to_json(JsonWriter& json) const {
       .field("jobs_per_sec", jobs_per_sec())
       .field("nodes_per_sec", nodes_per_sec())
       .field("p50_job_ms", p50_job_ms)
-      .field("p95_job_ms", p95_job_ms);
+      .field("p95_job_ms", p95_job_ms)
+      .field("job_latency_count", static_cast<long long>(job_latency_count));
   json.key("cache")
       .begin_object()
       .field("hits", static_cast<long long>(cache.hits))
@@ -166,6 +167,7 @@ EngineMetricsSnapshot EngineMetrics::snapshot(
                      std::chrono::steady_clock::now() - start_)
                      .count();
   std::lock_guard<std::mutex> lock(latency_mu_);
+  s.job_latency_count = static_cast<std::int64_t>(latency_ms_.total());
   if (latency_ms_.total() > 0) {
     s.p50_job_ms = latency_ms_.quantile(0.50);
     s.p95_job_ms = latency_ms_.quantile(0.95);

@@ -41,6 +41,10 @@ struct EngineMetricsSnapshot {
   double elapsed_ms = 0.0;  ///< engine lifetime so far
   double p50_job_ms = 0.0;  ///< median job latency (queue + run)
   double p95_job_ms = 0.0;
+  /// Samples behind the latency quantiles. 0 means no job has completed yet
+  /// and the quantiles above are the 0.0 placeholder, not a measurement —
+  /// consumers must check this before trusting p50/p95.
+  std::int64_t job_latency_count = 0;
 
   double jobs_per_sec() const;
   double nodes_per_sec() const;

@@ -129,6 +129,25 @@ void ResourcePool::release_app(int app_id) {
   }
 }
 
+void ResourcePool::remap_app_ids(const std::vector<int>& new_of_old) {
+  const int old_count = static_cast<int>(new_of_old.size());
+  for (auto& list : allocs_) {
+    for (auto& alloc : list) {
+      if (alloc.app_id < 0 || alloc.app_id >= old_count) continue;
+      const int new_id = new_of_old[static_cast<std::size_t>(alloc.app_id)];
+      DEPSTOR_EXPECTS_MSG(new_id >= 0,
+                          "remap_app_ids: removed app still holds "
+                          "allocations — release_app it first");
+      alloc.app_id = new_id;
+    }
+  }
+}
+
+void ResourcePool::set_topology(Topology topology) {
+  DEPSTOR_EXPECTS(topology.sites.size() == topology_.sites.size());
+  topology_ = std::move(topology);
+}
+
 double ResourcePool::used_capacity_gb(int id) const {
   double total = 0.0;
   for (const auto& a : allocations(id)) total += a.capacity_gb;

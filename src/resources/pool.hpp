@@ -80,6 +80,17 @@ class ResourcePool {
   /// shrink unit counts accordingly.
   void release_app(int app_id);
 
+  /// Rewrite allocation owner ids through an old→new app id map (warm-start
+  /// migration across environment deltas). Ids at or above
+  /// `new_of_old.size()` — spare owners — are kept as-is. Allocations owned
+  /// by removed apps (mapped to -1) must have been released beforehand.
+  void remap_app_ids(const std::vector<int>& new_of_old);
+
+  /// Replace the topology (site capacity deltas). Site count, ids, and link
+  /// pairs must be unchanged — only per-site limits may differ; violations
+  /// surface through the next check_feasible().
+  void set_topology(Topology topology);
+
   const std::vector<Allocation>& allocations(int id) const;
 
   double used_capacity_gb(int id) const;

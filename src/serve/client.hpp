@@ -27,6 +27,9 @@ class Client {
   bool send_design(const WireRequest& req) {
     return send_line(build_design_request(req));
   }
+  bool send_resolve(const WireRequest& req) {
+    return send_line(build_resolve_request(req));
+  }
   bool send_cancel() { return send_line(build_cancel_request()); }
   bool request_stats() { return send_line(kStatsRequestLine); }
 

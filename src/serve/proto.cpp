@@ -69,6 +69,8 @@ WireRequest parse_request(const std::string& line, std::size_t max_bytes) {
     } else if (key == "env_ini") {
       req.env_ini = value.as_string();
       have_env = true;
+    } else if (key == "prev_job") {
+      req.prev_job = value.as_string();
     } else if (key == "priority") {
       req.priority = as_int_field(value, key);
     } else if (key == "deadline_ms") {
@@ -89,6 +91,18 @@ WireRequest parse_request(const std::string& line, std::size_t max_bytes) {
     if (!have_env) {
       throw InvalidArgument("design request requires \"env_ini\"");
     }
+    if (!req.prev_job.empty()) {
+      throw InvalidArgument(
+          "\"prev_job\" belongs to resolve requests, not design");
+    }
+  } else if (op == "resolve") {
+    req.op = WireRequest::Op::Resolve;
+    if (!have_env) {
+      throw InvalidArgument("resolve request requires \"env_ini\"");
+    }
+    if (req.prev_job.empty()) {
+      throw InvalidArgument("resolve request requires \"prev_job\"");
+    }
   } else if (op == "cancel") {
     req.op = WireRequest::Op::Cancel;
   } else if (op == "stats") {
@@ -97,16 +111,20 @@ WireRequest parse_request(const std::string& line, std::size_t max_bytes) {
     throw InvalidArgument("request is missing \"op\"");
   } else {
     throw InvalidArgument("unknown request op \"" + op +
-                          "\" (expected design|cancel|stats)");
+                          "\" (expected design|resolve|cancel|stats)");
   }
   return req;
 }
 
-std::string build_design_request(const WireRequest& req) {
+namespace {
+
+std::string build_submit_request(const WireRequest& req, const char* op,
+                                 bool with_prev_job) {
   JsonWriter w;
-  w.begin_object().field("op", "design");
+  w.begin_object().field("op", op);
   if (!req.id.empty()) w.field("id", req.id);
   w.field("env_ini", req.env_ini);
+  if (with_prev_job) w.field("prev_job", req.prev_job);
   if (req.priority != 0) w.field("priority", req.priority);
   if (req.deadline_ms > 0.0) w.field("deadline_ms", req.deadline_ms);
   if (req.deterministic) w.field("deterministic", true);
@@ -122,6 +140,16 @@ std::string build_design_request(const WireRequest& req) {
       .end_object();
   w.end_object();
   return w.str();
+}
+
+}  // namespace
+
+std::string build_design_request(const WireRequest& req) {
+  return build_submit_request(req, "design", /*with_prev_job=*/false);
+}
+
+std::string build_resolve_request(const WireRequest& req) {
+  return build_submit_request(req, "resolve", /*with_prev_job=*/true);
 }
 
 std::string build_cancel_request() {
@@ -189,6 +217,10 @@ std::string event_result(const ResultEvent& r) {
       .field("queue_ms", r.queue_ms)
       .field("run_ms", r.run_ms)
       .field("run_order", static_cast<long long>(r.run_order));
+  if (r.is_resolve) {
+    w.field("warm", r.warm)
+        .field("touched_apps", static_cast<long long>(r.touched_apps));
+  }
   if (!r.error.empty()) w.field("error", r.error);
   w.end_object();
   return w.str();

@@ -12,6 +12,13 @@
 //       server-wide), "deterministic", "options":{seed,breadth,depth,
 //       max_refit_iterations,max_greedy_restarts,max_repetitions,
 //       time_budget_ms}
+//   {"op":"resolve","env_ini":"<INI text>","prev_job":"<job id>", ...}
+//       warm-started re-design: env_ini is the *successor* environment and
+//       prev_job names a completed design/resolve job whose solution the
+//       server still holds (a bounded in-memory store). The server derives
+//       the delta between the stored environment and env_ini itself; the
+//       two may differ only in applications and site capacities. Takes the
+//       same optional keys as "design".
 //   {"op":"cancel"}                                cancel this connection's
 //                                                  in-flight job
 //   {"op":"stats"}  or the literal line  GET /stats
@@ -25,7 +32,8 @@
 //   {"type":"progress","id":...,"status":"queued"|"running","nodes":N}
 //   {"type":"result","id":...,"status":...,"feasible":...,"total_cost":...,
 //       "nodes":N,"cache_hits":N,"cache_misses":N,"refit_fanned":...,
-//       "queue_ms":...,"run_ms":...[,"error":...]}
+//       "queue_ms":...,"run_ms":...[,"warm":...,"touched_apps":N]
+//       [,"error":...]}    (warm/touched_apps only on resolve results)
 //   {"type":"stats","server":{...},"obs":{"counters":{...},"gauges":{...}}}
 //
 // Unknown keys anywhere in a request are rejected (parse errors carry the
@@ -52,10 +60,11 @@ inline constexpr const char* kStatsRequestLine = "GET /stats";
 
 /// One parsed client request.
 struct WireRequest {
-  enum class Op { Design, Cancel, Stats };
+  enum class Op { Design, Resolve, Cancel, Stats };
   Op op = Op::Design;
   std::string id;            ///< client label; server assigns one when empty
   std::string env_ini;       ///< INI environment text (core/env_loader.hpp)
+  std::string prev_job;      ///< resolve only: stored prior solution's job id
   int priority = 0;          ///< higher runs first among queued jobs
   double deadline_ms = 0.0;  ///< from admission; 0 = server default
   bool deterministic = false;
@@ -69,6 +78,8 @@ bool is_stats_line(const std::string& line);
 /// through it exactly). Every option is emitted explicitly so a request is
 /// self-describing regardless of server defaults.
 std::string build_design_request(const WireRequest& req);
+/// Serialize a resolve request (op "resolve"; requires env_ini + prev_job).
+std::string build_resolve_request(const WireRequest& req);
 /// {"op":"cancel"} / {"op":"stats"} one-liners.
 std::string build_cancel_request();
 std::string build_stats_request();
@@ -102,6 +113,12 @@ struct ResultEvent {
   /// 1-based order in which the server's workers claimed jobs — the
   /// observable proof of priority scheduling (tests key off it).
   std::int64_t run_order = 0;
+  /// Resolve results only (is_resolve gates emission): whether the
+  /// warm-started path produced the design (false = cold fallback), and how
+  /// many applications the delta touched.
+  bool is_resolve = false;
+  bool warm = false;
+  std::int64_t touched_apps = 0;
   std::string error;  ///< non-empty only for status "failed"
 };
 std::string event_result(const ResultEvent& r);

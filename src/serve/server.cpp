@@ -38,11 +38,17 @@ struct Server::JobRecord {
   std::int64_t seq = 0;       ///< admission order; priority ties break FIFO
   std::string id;             ///< wire label echoed in every event
   int priority = 0;
-  Environment env;
+  Environment env;            ///< design: the environment; resolve: successor
   DesignSolverOptions options;
   bool deterministic = false;
   double deadline_ms = 0.0;   ///< from admitted_at; 0 = none
   Clock::time_point admitted_at{};
+
+  // Resolve requests only: the stored prior solution (pinned so eviction
+  // cannot free it mid-run) and the delta derived at admission.
+  bool resolve = false;
+  std::shared_ptr<const StoredSolution> prev;
+  EnvDelta delta;
 
   std::atomic<bool> cancel{false};
   std::atomic<std::int64_t> progress{0};
@@ -52,6 +58,21 @@ struct Server::JobRecord {
   std::condition_variable cv;
   bool done = false;          ///< result is final (under mu)
   ResultEvent result;         ///< valid once done
+};
+
+/// A completed job's design, retained for warm-started resolve requests.
+/// `keepalive` owns whatever storage `env` lives in (the JobRecord for
+/// design jobs, the ResolveResult's shared environment for resolve jobs);
+/// `best` is bound to `*env`. Never mutated after construction — resolve
+/// copies its seed.
+struct Server::StoredSolution {
+  std::shared_ptr<const void> keepalive;
+  const Environment* env = nullptr;
+  Candidate best;
+
+  StoredSolution(std::shared_ptr<const void> keep, const Environment* e,
+                 Candidate b)
+      : keepalive(std::move(keep)), env(e), best(std::move(b)) {}
 };
 
 Server::Server(ServeOptions options)
@@ -69,6 +90,8 @@ Server::Server(ServeOptions options)
                       "serve: max_request_bytes must be >= 64");
   DEPSTOR_EXPECTS_MSG(options_.progress_interval_ms > 0.0,
                       "serve: progress_interval_ms must be > 0");
+  DEPSTOR_EXPECTS_MSG(options_.solution_store_cap >= 1,
+                      "serve: solution_store_cap must be >= 1");
 }
 
 Server::~Server() { shutdown(); }
@@ -186,9 +209,10 @@ std::shared_ptr<Server::JobRecord> Server::admit(const std::string& line,
   } catch (const std::exception& e) {
     return reject("", kRejectParse, "parse", e.what());
   }
-  if (req.op != WireRequest::Op::Design) {
+  if (req.op != WireRequest::Op::Design &&
+      req.op != WireRequest::Op::Resolve) {
     return reject(req.id, kRejectParse, "parse",
-                  "expected a design request here");
+                  "expected a design or resolve request here");
   }
 
   // Lint before admission: a request that cannot produce a valid
@@ -218,6 +242,25 @@ std::shared_ptr<Server::JobRecord> Server::admit(const std::string& line,
   rec->deterministic = req.deterministic;
   rec->deadline_ms = req.deadline_ms > 0.0 ? req.deadline_ms
                                            : options_.default_deadline_ms;
+
+  if (req.op == WireRequest::Op::Resolve) {
+    rec->resolve = true;
+    rec->prev = find_solution(req.prev_job);
+    if (rec->prev == nullptr) {
+      return reject(req.id, kRejectLint, "unknown_prev_job",
+                    "no stored solution for job \"" + req.prev_job +
+                        "\" (the server retains the last " +
+                        std::to_string(options_.solution_store_cap) +
+                        " completed feasible designs)");
+    }
+    // Derive the delta here so a successor environment that differs beyond
+    // applications and site capacities is rejected before taking a slot.
+    try {
+      rec->delta = diff_environments(*rec->prev->env, rec->env);
+    } catch (const std::exception& e) {
+      return reject(req.id, kRejectLint, "delta", e.what());
+    }
+  }
 
   int depth = 0;
   {
@@ -329,30 +372,25 @@ void Server::run_job(const std::shared_ptr<JobRecord>& rec) {
     return;
   }
 
-  SolveRequest request;
-  request.env = &rec->env;
-  request.options = rec->options;
-  request.exec.workers = 1;
-  request.exec.intra_node_workers = options_.intra_workers;
-  request.exec.intra_min_fan = options_.intra_min_fan;
-  request.exec.deterministic = rec->deterministic;
-  request.exec.eval_cache = cache_.get();
-  request.exec.cancel = &rec->cancel;
-  request.exec.progress = &rec->progress;
-  if (options_.intra_workers > 1) request.exec.intra_pool = pool_.get();
+  ExecutionOptions exec;
+  exec.workers = 1;
+  exec.intra_node_workers = options_.intra_workers;
+  exec.intra_min_fan = options_.intra_min_fan;
+  exec.deterministic = rec->deterministic;
+  exec.eval_cache = cache_.get();
+  exec.cancel = &rec->cancel;
+  exec.progress = &rec->progress;
+  if (options_.intra_workers > 1) exec.intra_pool = pool_.get();
   if (rec->deadline_ms > 0.0) {
     // Clip the solve budget to the deadline's remainder (engine semantics).
     const double remaining = rec->deadline_ms - queue_ms;
-    request.exec.time_budget_ms =
-        rec->options.time_budget_ms > 0.0
-            ? std::min(rec->options.time_budget_ms, remaining)
-            : remaining;
+    exec.time_budget_ms = rec->options.time_budget_ms > 0.0
+                              ? std::min(rec->options.time_budget_ms,
+                                         remaining)
+                              : remaining;
   }
 
-  rec->running.store(true, std::memory_order_release);
-  const Clock::time_point run_start = Clock::now();
-  try {
-    const SolveResult result = depstor::solve(request);
+  auto fill = [&event](const SolveResult& result) {
     event.status = result.cancelled ? "cancelled" : "completed";
     event.feasible = result.feasible;
     event.total_cost = result.feasible ? result.cost.total() : 0.0;
@@ -360,12 +398,78 @@ void Server::run_job(const std::shared_ptr<JobRecord>& rec) {
     event.cache_hits = result.cache_hits;
     event.cache_misses = result.cache_misses;
     event.refit_fanned = result.refit_fanned;
+  };
+
+  rec->running.store(true, std::memory_order_release);
+  const Clock::time_point run_start = Clock::now();
+  try {
+    if (rec->resolve) {
+      ResolveRequest request;
+      request.prev_env = rec->prev->env;
+      request.prev_solution = &rec->prev->best;
+      request.delta = rec->delta;
+      request.options = rec->options;
+      request.exec = exec;
+      ResolveResult out = depstor::resolve(request);
+      fill(out.result);
+      event.is_resolve = true;
+      event.warm = out.warm;
+      event.touched_apps = out.touched_apps;
+      if (event.status == "completed" && out.result.feasible) {
+        // The successor design becomes resolvable in turn (chained deltas).
+        const Environment* env = out.env.get();
+        store_solution(rec->id, std::make_shared<const StoredSolution>(
+                                    std::move(out.env), env,
+                                    std::move(*out.result.best)));
+      }
+    } else {
+      SolveRequest request;
+      request.env = &rec->env;
+      request.options = rec->options;
+      request.exec = exec;
+      SolveResult result = depstor::solve(request);
+      fill(result);
+      if (event.status == "completed" && result.feasible) {
+        store_solution(rec->id, std::make_shared<const StoredSolution>(
+                                    rec, &rec->env,
+                                    std::move(*result.best)));
+      }
+    }
   } catch (const std::exception& e) {
     event.status = "failed";
     event.error = e.what();
   }
   event.run_ms = ms_since(run_start);
   finish_job(rec, std::move(event));
+}
+
+void Server::store_solution(const std::string& id,
+                            std::shared_ptr<const StoredSolution> sol) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  for (auto& entry : store_) {
+    if (entry.first == id) {
+      entry.second = std::move(sol);
+      return;
+    }
+  }
+  store_.emplace_back(id, std::move(sol));
+  if (store_.size() > static_cast<std::size_t>(options_.solution_store_cap)) {
+    store_.erase(store_.begin());
+  }
+}
+
+std::shared_ptr<const Server::StoredSolution> Server::find_solution(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  for (const auto& entry : store_) {
+    if (entry.first == id) return entry.second;
+  }
+  return nullptr;
+}
+
+int Server::solutions_stored() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return static_cast<int>(store_.size());
 }
 
 void Server::finish_job(const std::shared_ptr<JobRecord>& rec,
@@ -474,6 +578,8 @@ void Server::publish_gauges() const {
     std::lock_guard<std::mutex> lock(latency_mu_);
     reg.set_gauge("serve.p50_job_ms", latency_.quantile(0.5));
     reg.set_gauge("serve.p95_job_ms", latency_.quantile(0.95));
+    reg.set_gauge("serve.job_latency_count",
+                  static_cast<double>(latency_.total()));
   }
   if (cache_ != nullptr) {
     const EvalCacheStats stats = cache_->stats();
@@ -515,8 +621,10 @@ std::string Server::stats_json() const {
   }
   double p50 = 0.0;
   double p95 = 0.0;
+  long long latency_count = 0;
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
+    latency_count = static_cast<long long>(latency_.total());
     p50 = latency_.quantile(0.5);
     p95 = latency_.quantile(0.95);
   }
@@ -543,8 +651,13 @@ std::string Server::stats_json() const {
              static_cast<long long>(reg.value("serve.jobs_failed")))
       .field("jobs_rejected",
              static_cast<long long>(reg.value("serve.jobs_rejected")))
+      .field("solutions_stored", solutions_stored())
+      // job_latency_count disambiguates the quantiles: a fresh daemon
+      // reports p50 = p95 = 0.0 with count 0 (no samples), which is not the
+      // same claim as "the median job took 0 ms".
       .field("p50_job_ms", p50)
-      .field("p95_job_ms", p95);
+      .field("p95_job_ms", p95)
+      .field("job_latency_count", latency_count);
   if (cache_ != nullptr) {
     const EvalCacheStats stats = cache_->stats();
     const std::int64_t lookups = stats.hits + stats.misses;

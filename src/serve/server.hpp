@@ -68,6 +68,9 @@ struct ServeOptions {
   double default_deadline_ms = 0.0;  ///< per-job deadline when the request
                                      ///< carries none; 0 = none
   double progress_interval_ms = 25.0;  ///< progress-event cadence
+  /// Completed feasible designs retained in memory for warm-started
+  /// "resolve" requests (prev_job lookup), evicted FIFO beyond the cap.
+  int solution_store_cap = 16;
   std::string final_stats_path;  ///< write the last stats JSON on shutdown
   std::string final_trace_path;  ///< write a Chrome trace on shutdown
 };
@@ -108,8 +111,12 @@ class Server {
   void pause_dispatch();
   void resume_dispatch();
 
+  /// Solutions currently retained for resolve-by-job-id (test hook).
+  int solutions_stored() const;
+
  private:
   struct JobRecord;
+  struct StoredSolution;
 
   void accept_loop();
   void connection_loop(ScopedFd fd);
@@ -126,6 +133,13 @@ class Server {
   void run_job(const std::shared_ptr<JobRecord>& rec);
   void finish_job(const std::shared_ptr<JobRecord>& rec, ResultEvent event);
   void publish_gauges() const;
+
+  /// Retain a completed job's design for later resolve requests (FIFO
+  /// eviction beyond solution_store_cap; same id overwrites in place).
+  void store_solution(const std::string& id,
+                      std::shared_ptr<const StoredSolution> sol);
+  std::shared_ptr<const StoredSolution> find_solution(
+      const std::string& id) const;
 
   ServeOptions options_;
   int port_ = 0;
@@ -154,6 +168,10 @@ class Server {
 
   mutable std::mutex latency_mu_;
   LogHistogram latency_;  ///< end-to-end admission→terminal, ms
+
+  mutable std::mutex store_mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<const StoredSolution>>>
+      store_;  ///< insertion-ordered; front is oldest
 
   std::mutex shutdown_mu_;
   bool shutdown_done_ = false;

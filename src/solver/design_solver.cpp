@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -131,10 +132,12 @@ class NodeArena {
 class SolveRun {
  public:
   SolveRun(const Environment* env, const DesignSolverOptions& options,
-           const ExecutionOptions& exec)
+           const ExecutionOptions& exec,
+           const detail::WarmStart* warm = nullptr)
       : env_(env),
         options_(options),
         exec_(exec),
+        warm_(warm),
         time_budget_ms_(exec.time_budget_ms > 0.0 ? exec.time_budget_ms
                                                   : options.time_budget_ms) {
     if (exec_.eval_cache != nullptr) {
@@ -152,6 +155,9 @@ class SolveRun {
       }
     }
     if (exec_.intra_min_fan >= 1) effective_min_fan_ = exec_.intra_min_fan;
+    refit_iterations_budget_ = options_.max_refit_iterations;
+    refit_walks_ = options_.breadth;
+    refit_depth_ = options_.depth;
   }
 
   SolveResult run();
@@ -192,6 +198,7 @@ class SolveRun {
     DEPSTOR_TRACE_SPAN("reconfigure");
     Rng rng(derive_seed(options_.seed, {rep, iter, sibling, level, slot}));
     Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
+    if (warm_ != nullptr) reconfigurator.restrict_to(warm_->focus_apps);
     const ConfigSolver solver(env_, exec_.eval_cache, env_salt_);
     const int app =
         reconfigurator.pick_app_to_reconfigure(node.candidate, node.cost);
@@ -202,6 +209,7 @@ class SolveRun {
   }
 
   std::optional<Node> greedy_stage(std::uint64_t rep);
+  std::optional<Node> warm_stage();
   NodeArena::Lease sibling_walk(const Node& initial, std::uint64_t rep,
                                 std::uint64_t iter, std::uint64_t sibling);
   bool refit_iteration(Node& best, std::uint64_t rep, std::uint64_t iter);
@@ -245,8 +253,19 @@ class SolveRun {
   const Environment* env_;
   const DesignSolverOptions& options_;
   const ExecutionOptions& exec_;
+  const detail::WarmStart* warm_ = nullptr;
   const double time_budget_ms_;
   const Clock::time_point start_ = Clock::now();
+
+  /// Refit budget actually explored. Cold solves use the full options; warm
+  /// solves scale each dimension by the focus share before refit (see
+  /// run()) — a delta touching a sixth of the environment gets roughly a
+  /// sixth the iterations, sibling walks, and walk depth. The per-level
+  /// slot fan keeps options_.breadth so node coordinates (and thus their
+  /// derived RNG streams) mean the same thing in both modes.
+  int refit_iterations_budget_ = 0;
+  int refit_walks_ = 0;
+  int refit_depth_ = 0;
 
   std::uint64_t env_salt_ = 0;
   std::unique_ptr<WorkerPool> owned_pool_;
@@ -321,6 +340,52 @@ std::optional<Node> SolveRun::greedy_stage(std::uint64_t rep) {
   return out;
 }
 
+// ---- Warm start (depstor::resolve): the seed replaces greedy ----
+// The seed is a prior solution migrated onto this environment; its
+// incremental evaluator arrives with every scenario the delta did not touch
+// still cached, so pricing it re-simulates only the dirtied scenarios. Apps
+// the delta left unassigned (additions, failed re-placements of resized
+// apps) are placed penalty-descending with the same operator greedy uses;
+// scoped configuration passes then refresh the focus apps' chains. Returns
+// nullopt when a placement fails — the caller falls back to a cold solve.
+std::optional<Node> SolveRun::warm_stage() {
+  DEPSTOR_TRACE_SPAN("warm_seed");
+  Node node{*warm_->seed, CostBreakdown{}};
+  // Same non-colliding RNG path as greedy ({rep=0, ~0}): warm runs exactly
+  // one repetition, so the stream is unique within the solve.
+  Rng rng(derive_seed(options_.seed, {0, ~std::uint64_t{0}}));
+  Reconfigurator reconfigurator(env_, &rng, options_.reconfigure);
+  const ConfigSolver solver(env_, exec_.eval_cache, env_salt_);
+  auto unassigned = node.candidate.unassigned_apps();
+  std::sort(unassigned.begin(), unassigned.end(), [&](int a, int b) {
+    return env_->app(a).penalty_rate_sum() > env_->app(b).penalty_rate_sum();
+  });
+  bool priced = false;
+  bool ok = true;
+  for (int id : unassigned) {
+    if (cancelled() || !reconfigurator.reconfigure_app(node.candidate, id)) {
+      ok = false;
+      break;
+    }
+    node.cost = complete_node(solver, node.candidate, id);
+    priced = true;
+  }
+  if (ok && warm_->focus_apps != nullptr) {
+    // Ascending id order: deterministic, and resized apps re-tune their
+    // backup chains against the new specs before refit perturbs layouts.
+    for (int id : *warm_->focus_apps) {
+      if (!node.candidate.is_assigned(id)) continue;
+      nodes_evaluated_.fetch_add(1, std::memory_order_relaxed);
+      node.cost = solver.solve_for_app(node.candidate, id);
+      priced = true;
+    }
+  }
+  merge_stats(solver.stats());
+  if (!ok) return std::nullopt;
+  if (!priced) node.cost = node.candidate.evaluate();
+  return node;
+}
+
 /// One depth-`d` walk from a sibling of the incumbent (Algorithm 1 lines
 /// 20-33). The sibling step is node (rep, iter, sibling, 0, 0); each level
 /// then fans `b` neighbor evaluations — slots (rep, iter, sibling, level,
@@ -338,7 +403,7 @@ NodeArena::Lease SolveRun::sibling_walk(const Node& initial,
   if (!reconfig_step(cur.node(), rep, iter, sibling, 0, 0)) return {};
   NodeArena::Lease best = arena_.lease(cur.node());
   const int breadth = options_.breadth;
-  for (int level = 1; level <= options_.depth; ++level) {
+  for (int level = 1; level <= refit_depth_; ++level) {
     if (out_of_time()) break;
     std::vector<NodeArena::Lease> slots(static_cast<std::size_t>(breadth));
     {
@@ -385,14 +450,14 @@ bool SolveRun::refit_iteration(Node& best, std::uint64_t rep,
                                std::uint64_t iter) {
   // Snapshot the incumbent into arena storage; every walk reads it.
   NodeArena::Lease initial = arena_.lease(best);
-  const int breadth = options_.breadth;
-  std::vector<NodeArena::Lease> walk_best(static_cast<std::size_t>(breadth));
+  const int walks = refit_walks_;
+  std::vector<NodeArena::Lease> walk_best(static_cast<std::size_t>(walks));
   {
-    TaskGroup group(fan_pool(breadth));
+    TaskGroup group(fan_pool(walks));
     // Walks are already the coarse grain (a whole depth-d descent each);
     // chunking them coarser would serialize siblings, so each walk is its
     // own claim.
-    group.run_indexed(breadth, 1, [&](int s) {
+    group.run_indexed(walks, 1, [&](int s) {
       walk_best[static_cast<std::size_t>(s)] = sibling_walk(
           initial.node(), rep, iter, static_cast<std::uint64_t>(s));
     });
@@ -462,7 +527,7 @@ Node SolveRun::refit_stage(Node start_node, std::uint64_t rep) {
   DEPSTOR_TRACE_SPAN("refit");
   calibrate_min_fan();
   Node best = std::move(start_node);
-  for (int iter = 0; iter < options_.max_refit_iterations; ++iter) {
+  for (int iter = 0; iter < refit_iterations_budget_; ++iter) {
     if (out_of_time()) break;
     ++result_.refit_iterations;
     if (!refit_iteration(best, rep, static_cast<std::uint64_t>(iter))) {
@@ -524,18 +589,51 @@ SolveResult SolveRun::run() {
           ? 1
           : options_.max_repetitions;
   std::optional<Node> global_best;
-  int repetitions = 0;
-  do {
-    const auto rep = static_cast<std::uint64_t>(repetitions);
-    ++repetitions;
-    std::optional<Node> incumbent = greedy_stage(rep);
-    if (!incumbent) continue;  // restart budget burned; retry while time lasts
-    Node local = refit_stage(std::move(*incumbent), rep);
-    if (!global_best || local.cost.total() < global_best->cost.total()) {
-      global_best = std::move(local);
+  if (warm_ != nullptr) {
+    // Warm start: exactly one repetition seeded from the prior solution.
+    // An empty focus set means the delta touched no app's requirements or
+    // footprint — the seed already is the answer, so refit is skipped.
+    std::optional<Node> incumbent = warm_stage();
+    if (incumbent) {
+      const bool skip_refit =
+          warm_->focus_apps != nullptr && warm_->focus_apps->empty();
+      if (!skip_refit && warm_->focus_apps != nullptr &&
+          !env_->apps.empty()) {
+        // Warm refit is a local repair: only the focus apps may move, so a
+        // walk budget sized for the whole environment would mostly re-draw
+        // the same few apps. Scale iterations, sibling walks, and walk
+        // depth by the touched share (each at least 1 — the focus always
+        // gets a real, if small, neighborhood search).
+        const double share =
+            static_cast<double>(warm_->focus_apps->size()) /
+            static_cast<double>(env_->apps.size());
+        const auto scaled = [share](int full) {
+          if (full <= 0) return full;
+          return std::max(
+              1, static_cast<int>(std::ceil(share * static_cast<double>(
+                                                        full))));
+        };
+        refit_iterations_budget_ = scaled(options_.max_refit_iterations);
+        refit_walks_ = scaled(options_.breadth);
+        refit_depth_ = scaled(options_.depth);
+      }
+      global_best = skip_refit ? std::move(*incumbent)
+                               : refit_stage(std::move(*incumbent), 0);
     }
-  } while (!out_of_time() &&
-           (max_repetitions == 0 || repetitions < max_repetitions));
+  } else {
+    int repetitions = 0;
+    do {
+      const auto rep = static_cast<std::uint64_t>(repetitions);
+      ++repetitions;
+      std::optional<Node> incumbent = greedy_stage(rep);
+      if (!incumbent) continue;  // restart budget burned; retry while time lasts
+      Node local = refit_stage(std::move(*incumbent), rep);
+      if (!global_best || local.cost.total() < global_best->cost.total()) {
+        global_best = std::move(local);
+      }
+    } while (!out_of_time() &&
+             (max_repetitions == 0 || repetitions < max_repetitions));
+  }
 
   if (!global_best) {
     result_.elapsed_ms = elapsed_since(start_);
@@ -545,11 +643,22 @@ SolveResult SolveRun::run() {
 
   // Final polish: one full configuration pass over the winner (scoped
   // per-node passes may have left cross-application interval interactions
-  // unexplored).
+  // unexplored). Warm solves polish only the focus apps — untouched
+  // applications kept their previously polished configurations, and a full
+  // pass here would cost what the warm start just saved.
   {
     DEPSTOR_TRACE_SPAN("polish");
     const ConfigSolver solver(env_, exec_.eval_cache, env_salt_);
-    global_best->cost = solver.solve(global_best->candidate);
+    if (warm_ != nullptr && warm_->focus_apps != nullptr) {
+      for (int id : *warm_->focus_apps) {
+        if (!global_best->candidate.is_assigned(id)) continue;
+        nodes_evaluated_.fetch_add(1, std::memory_order_relaxed);
+        global_best->cost =
+            solver.solve_for_app(global_best->candidate, id);
+      }
+    } else {
+      global_best->cost = solver.solve(global_best->candidate);
+    }
     merge_stats(solver.stats());
   }
   result_.elapsed_ms = elapsed_since(start_);
@@ -593,9 +702,21 @@ namespace detail {
 
 SolveResult solve_impl(const Environment* env,
                        const DesignSolverOptions& options,
-                       const ExecutionOptions& exec) {
+                       const ExecutionOptions& exec, const WarmStart* warm) {
   validate(env, options, exec);
-  SolveRun run(env, options, exec);
+  if (warm != nullptr) {
+    DEPSTOR_EXPECTS_MSG(warm->seed != nullptr,
+                        "warm start needs a seed candidate");
+    DEPSTOR_EXPECTS_MSG(&warm->seed->env() == env,
+                        "warm seed must already be migrated onto the target "
+                        "environment");
+    if (warm->focus_apps != nullptr) {
+      DEPSTOR_EXPECTS_MSG(
+          std::is_sorted(warm->focus_apps->begin(), warm->focus_apps->end()),
+          "warm focus_apps must be sorted ascending");
+    }
+  }
+  SolveRun run(env, options, exec, warm);
   return run.run();
 }
 

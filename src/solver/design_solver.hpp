@@ -160,12 +160,32 @@ struct SolveResult {
 };
 
 namespace detail {
+
+/// Warm-start input for a delta re-design (depstor::resolve): `seed` is a
+/// prior solution already migrated onto the target environment (its
+/// incremental-evaluator scenario cache travels with it), and `focus_apps`
+/// — sorted ascending — are the apps the environment delta touched. With a
+/// warm start the solver skips the greedy stage (the seed *is* the start
+/// node, with any still-unassigned apps placed first), restricts refit to
+/// the focus set, and polishes only the focus apps: untouched applications
+/// keep their designs and their cached scenario results. An empty focus set
+/// skips refit entirely. When seeding fails (an unassigned app cannot be
+/// placed), the result comes back infeasible and the caller falls back to a
+/// cold solve.
+struct WarmStart {
+  const Candidate* seed = nullptr;
+  const std::vector<int>* focus_apps = nullptr;
+};
+
 /// Run one greedy+refit solve under `exec` (workers is ignored here — the
-/// seed fan lives in depstor::solve). Internal: callers go through
+/// seed fan lives in depstor::solve). `warm`, when set, replaces the greedy
+/// stage with the warm-start path above. Internal: callers go through
 /// core/api.hpp.
 SolveResult solve_impl(const Environment* env,
                        const DesignSolverOptions& options,
-                       const ExecutionOptions& exec);
+                       const ExecutionOptions& exec,
+                       const WarmStart* warm = nullptr);
+
 }  // namespace detail
 
 class DesignSolver {

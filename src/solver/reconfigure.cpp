@@ -33,20 +33,31 @@ Reconfigurator::Reconfigurator(const Environment* env, Rng* rng,
 
 int Reconfigurator::pick_app_to_reconfigure(const Candidate& candidate,
                                             const CostBreakdown& cost) {
+  const auto in_focus = [&](int app_id) {
+    return focus_ == nullptr ||
+           std::binary_search(focus_->begin(), focus_->end(), app_id);
+  };
   std::vector<int> ids;
   std::vector<double> weights;
-  double max_penalty = 0.0;
-  for (const auto& d : cost.per_app) {
-    if (!candidate.is_assigned(d.app_id)) continue;
-    max_penalty = std::max(max_penalty, d.outage_penalty + d.loss_penalty);
-  }
-  for (const auto& d : cost.per_app) {
-    if (!candidate.is_assigned(d.app_id)) continue;
-    ids.push_back(d.app_id);
-    // Bias toward the big penalty contributors, but keep a floor so cheap
-    // apps can still be perturbed (their layout may block better designs).
-    weights.push_back(d.outage_penalty + d.loss_penalty +
-                      0.01 * max_penalty + 1.0);
+  for (int pass = 0; pass < 2 && ids.empty(); ++pass) {
+    // Pass 0 honors the focus restriction; pass 1 (reached only when no
+    // focus app is assigned) falls back to every assigned app.
+    const bool focused = (pass == 0);
+    double max_penalty = 0.0;
+    for (const auto& d : cost.per_app) {
+      if (!candidate.is_assigned(d.app_id)) continue;
+      if (focused && !in_focus(d.app_id)) continue;
+      max_penalty = std::max(max_penalty, d.outage_penalty + d.loss_penalty);
+    }
+    for (const auto& d : cost.per_app) {
+      if (!candidate.is_assigned(d.app_id)) continue;
+      if (focused && !in_focus(d.app_id)) continue;
+      ids.push_back(d.app_id);
+      // Bias toward the big penalty contributors, but keep a floor so cheap
+      // apps can still be perturbed (their layout may block better designs).
+      weights.push_back(d.outage_penalty + d.loss_penalty +
+                        0.01 * max_penalty + 1.0);
+    }
   }
   DEPSTOR_EXPECTS_MSG(!ids.empty(), "no assigned application to reconfigure");
   return ids[rng_->weighted_index(weights)];

@@ -46,6 +46,15 @@ class Reconfigurator {
   int pick_app_to_reconfigure(const Candidate& candidate,
                               const CostBreakdown& cost);
 
+  /// Restrict pick_app_to_reconfigure to this id set (the warm-start scoped
+  /// refit: only apps the environment delta touched are worth perturbing).
+  /// Ids must be sorted ascending; the vector must outlive the operator.
+  /// Null (the default) or a set with no assigned member falls back to every
+  /// assigned app, so the search never starves.
+  void restrict_to(const std::vector<int>* focus_apps) {
+    focus_ = focus_apps;
+  }
+
   /// Give `app_id` a (new) technique and layout. Works both for unassigned
   /// apps (greedy stage) and assigned ones (refit stage; the old design is
   /// restored on total failure). Returns true on success.
@@ -79,6 +88,7 @@ class Reconfigurator {
   const Environment* env_;
   Rng* rng_;
   ReconfigureOptions options_;
+  const std::vector<int>* focus_ = nullptr;  ///< see restrict_to
   ConfigSolver config_solver_;
   /// app id → resource key → times chosen.
   std::map<int, std::map<std::string, int>> usage_;

@@ -255,6 +255,71 @@ void Candidate::remove_app(int app_id) {
   choices_[static_cast<std::size_t>(app_id)].reset();
 }
 
+void Candidate::migrate(const Environment* new_env,
+                        const std::vector<int>& new_of_old) {
+  DEPSTOR_EXPECTS(new_env != nullptr);
+  DEPSTOR_EXPECTS_MSG(!probe_active_, "cannot migrate inside a probe");
+  DEPSTOR_EXPECTS(new_of_old.size() == assignments_.size());
+  DEPSTOR_EXPECTS_MSG(
+      new_env->topology.sites.size() == env_->topology.sites.size(),
+      "migrate: topology geometry must be unchanged");
+  int prev_new_id = -1;
+  for (int id : new_of_old) {
+    if (id < 0) continue;
+    DEPSTOR_EXPECTS_MSG(id > prev_new_id,
+                        "migrate: new_of_old must be monotone over survivors");
+    prev_new_id = id;
+  }
+
+  // Release removed apps first, while their old ids are still the live ones:
+  // this marks their devices dirty, so every cached scenario contending on
+  // those devices re-simulates even though the entries themselves survive.
+  for (std::size_t i = 0; i < new_of_old.size(); ++i) {
+    if (new_of_old[i] < 0) remove_app(static_cast<int>(i));
+  }
+  pool_.remap_app_ids(new_of_old);
+  pool_.set_topology(new_env->topology);
+
+  std::vector<AppAssignment> assignments(new_env->apps.size());
+  std::vector<std::optional<DesignChoice>> choices(new_env->apps.size());
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    assignments[i].app_id = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < new_of_old.size(); ++i) {
+    const int new_id = new_of_old[i];
+    if (new_id < 0) continue;
+    assignments[static_cast<std::size_t>(new_id)] = std::move(assignments_[i]);
+    assignments[static_cast<std::size_t>(new_id)].app_id = new_id;
+    choices[static_cast<std::size_t>(new_id)] = std::move(choices_[i]);
+  }
+  assignments_ = std::move(assignments);
+  choices_ = std::move(choices);
+
+  env_ = new_env;
+  type_index_.clear();
+  for (const auto& t : env_->array_types) type_index_.emplace(t.name, &t);
+  for (const auto& t : env_->tape_types) type_index_.emplace(t.name, &t);
+  for (const auto& t : env_->network_types) type_index_.emplace(t.name, &t);
+  type_index_.emplace(env_->compute_type.name, &env_->compute_type);
+
+  inc_eval_.remap_apps(new_of_old);
+  // Pending dirty app marks move to their new ids (marks on removed apps
+  // drop — their devices are already marked); the structure bit forces the
+  // next evaluation to re-enumerate scenarios and re-derive affected sets,
+  // which is the safety net under the id rewrite.
+  const int old_count = static_cast<int>(new_of_old.size());
+  std::vector<int> remapped_apps;
+  remapped_apps.reserve(dirty_.apps.size());
+  for (int id : dirty_.apps) {
+    const int mapped = (id >= 0 && id < old_count)
+                           ? new_of_old[static_cast<std::size_t>(id)]
+                           : id;
+    if (mapped >= 0) remapped_apps.push_back(mapped);
+  }
+  dirty_.apps = std::move(remapped_apps);
+  dirty_.mark_structure();
+}
+
 void Candidate::set_backup_config(int app_id,
                                   const BackupChainConfig& config) {
   DEPSTOR_EXPECTS(is_assigned(app_id));

@@ -63,6 +63,22 @@ class Candidate {
   /// cost nothing and keep ids stable).
   void remove_app(int app_id);
 
+  /// Re-bind this candidate to a successor environment produced by
+  /// apply_delta (warm-start migration): removed apps are released,
+  /// surviving assignments move to their new ids, added apps appear
+  /// unassigned, and the incremental evaluator's per-scenario cache is
+  /// carried across — entries whose contention footprint the delta does not
+  /// touch stay valid and will not re-simulate. Resized survivors are *not*
+  /// re-placed here; the caller re-places them against the new specs.
+  ///
+  /// `new_env` must outlive the candidate and share the old environment's
+  /// topology geometry (site count/ids, link pairs — only per-site capacity
+  /// limits may differ). `new_of_old` maps old app ids to new ids (-1 =
+  /// removed) and must be monotone over survivors, as apply_delta
+  /// guarantees. Not allowed inside a probe.
+  void migrate(const Environment* new_env,
+               const std::vector<int>& new_of_old);
+
   /// Re-place the app with a new backup-chain configuration (configuration
   /// solver knob). Throws InfeasibleError with the old config restored.
   void set_backup_config(int app_id, const BackupChainConfig& config);

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
 #include "core/design_tool.hpp"
 #include "engine/worker_pool.hpp"
 #include "test_helpers.hpp"
+#include "util/check.hpp"
 
 namespace depstor {
 namespace {
@@ -40,6 +42,37 @@ std::vector<DesignJob> sweep_jobs(int count, const DesignSolverOptions& o) {
         DesignJob::make(std::move(env), o, "job-" + std::to_string(i)));
   }
   return jobs;
+}
+
+// Pin the worker-count contract: explicit counts pass through untouched,
+// auto (0) resolves to hardware concurrency but never below one thread —
+// std::thread::hardware_concurrency() is allowed to return 0 ("unknown"),
+// and a pool of zero threads would deadlock every submit.
+TEST(WorkerPool, ResolveWorkerCountPassesExplicitCountsThrough) {
+  EXPECT_EQ(resolve_worker_count(1), 1);
+  EXPECT_EQ(resolve_worker_count(3), 3);
+  EXPECT_EQ(resolve_worker_count(64), 64);
+}
+
+TEST(WorkerPool, ResolveWorkerCountAutoClampsToAtLeastOne) {
+  const int resolved = resolve_worker_count(0);
+  EXPECT_GE(resolved, 1);
+  EXPECT_EQ(resolved,
+            std::max(1, static_cast<int>(
+                            std::thread::hardware_concurrency())));
+}
+
+TEST(WorkerPool, ResolveWorkerCountRejectsNegative) {
+  EXPECT_THROW(resolve_worker_count(-1), InvalidArgument);
+}
+
+TEST(WorkerPool, AutoPoolRunsSubmittedWork) {
+  WorkerPool pool(0);  // auto: must come up with >= 1 live thread
+  EXPECT_GE(pool.worker_count(), 1);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.submit([&ran] { ran.fetch_add(1); }));
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(BatchEngine, RunsABatchToCompletion) {

@@ -109,6 +109,48 @@ TEST(EnvLoader, Errors) {
   EXPECT_THROW(load_environment("/nonexistent/path.ini"), InvalidArgument);
 }
 
+// Duplicate names used to silently overwrite (last section won); they are
+// now a hard loader error with the section/line locus in the message.
+TEST(EnvLoader, RejectsDuplicateSiteName) {
+  try {
+    environment_from_ini(std::string(kMinimalEnv) + "[site]\nname = east\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate site name"), std::string::npos) << what;
+    EXPECT_NE(what.find("[site]"), std::string::npos) << what;
+    EXPECT_NE(what.find("line"), std::string::npos) << what;
+  }
+}
+
+TEST(EnvLoader, RejectsDuplicateApplicationName) {
+  const std::string text = std::string(kMinimalEnv) +
+                           "[application]\nname = billing\n"
+                           "outage_penalty_rate = 1\nloss_penalty_rate = 1\n"
+                           "data_size_gb = 10\navg_update_mbps = 1\n";
+  try {
+    environment_from_ini(text);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate application name"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("billing"), std::string::npos) << what;
+  }
+}
+
+TEST(EnvLoader, RejectsDuplicateCatalogDevice) {
+  try {
+    environment_from_ini(std::string(kMinimalEnv) +
+                         "[catalog]\narrays = XP1200, XP1200\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate device type"), std::string::npos) << what;
+    EXPECT_NE(what.find("XP1200"), std::string::npos) << what;
+  }
+}
+
 TEST(EnvLoader, LoadedEnvironmentIsDesignable) {
   Environment env = environment_from_ini(kMinimalEnv);
   DesignTool tool(std::move(env));

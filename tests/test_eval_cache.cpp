@@ -82,6 +82,42 @@ TEST(Fingerprint, EnvironmentSaltSeparatesEnvironments) {
             fingerprint_candidate(cand, fingerprint_environment(b)));
 }
 
+// Regression: fields once missing from the environment salt. Two
+// environments differing only in these must never share cache entries —
+// each changes what the solvers compute without changing any numeric
+// workload field the salt already covered.
+TEST(Fingerprint, EnvironmentCoversAppIdentity) {
+  Environment a = peer_env(4);
+  Environment b = a;
+  b.apps[2].name = "renamed";
+  EXPECT_NE(fingerprint_environment(a), fingerprint_environment(b));
+
+  Environment c = a;
+  c.apps[1].type_code = "other-class";
+  EXPECT_NE(fingerprint_environment(a), fingerprint_environment(c));
+}
+
+TEST(Fingerprint, EnvironmentCoversThresholdsAndPolicies) {
+  const Environment base = peer_env(4);
+  const std::uint64_t ref = fingerprint_environment(base);
+
+  Environment thresholds = base;
+  thresholds.thresholds.gold_min *= 2.0;
+  EXPECT_NE(fingerprint_environment(thresholds), ref);
+
+  Environment intervals = base;
+  intervals.policies.snapshot_intervals_hours.push_back(48.0);
+  EXPECT_NE(fingerprint_environment(intervals), ref);
+
+  Environment increments = base;
+  increments.policies.max_resource_increments += 1;
+  EXPECT_NE(fingerprint_environment(increments), ref);
+
+  Environment spares = base;
+  spares.policies.allow_spare_arrays = !spares.policies.allow_spare_arrays;
+  EXPECT_NE(fingerprint_environment(spares), ref);
+}
+
 TEST(Fingerprint, SensitiveToProvisionedExtras) {
   const Environment env = peer_env(4);
   const std::uint64_t salt = fingerprint_environment(env);

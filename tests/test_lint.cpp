@@ -121,6 +121,26 @@ TEST(Lint, DuplicateSiteName) {
   EXPECT_TRUE(rep.has_rule(rules::kDuplicateSiteName)) << rep.render_text();
 }
 
+TEST(Lint, DuplicateApplicationName) {
+  const auto rep = lint(good_env() + R"(
+[application]
+name = app1
+outage_penalty_rate = 1
+loss_penalty_rate = 1
+data_size_gb = 10
+avg_update_mbps = 1
+)");
+  EXPECT_TRUE(rep.has_rule(rules::kDuplicateApplicationName))
+      << rep.render_text();
+}
+
+TEST(Lint, DuplicateCatalogDevice) {
+  const auto rep =
+      lint(good_env() + "\n[catalog]\narrays = XP1200, XP1200\n");
+  EXPECT_TRUE(rep.has_rule(rules::kDuplicateCatalogDevice))
+      << rep.render_text();
+}
+
 TEST(Lint, SelfLink) {
   const auto rep =
       lint(good_env() + "\n[link]\na = alpha\nb = alpha\nmax_links = 2\n");

@@ -1,0 +1,439 @@
+// Warm-start re-design (core/env_delta.hpp + depstor::resolve): delta
+// validation, solution migration, and the cross-solve cache-correctness
+// contract — warm totals must be bit-identical to a cold (incremental-off)
+// re-evaluation of the same design, including over a long randomized churn
+// of adds/removes/resizes.
+#include "core/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/eval_cache.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+using testing::peer_env;
+
+// The warm path's internal oracle (audit_warm_totals) only arms under
+// DEPSTOR_AUDIT; set it before the first solve so debug_audit_enabled()'s
+// cached read sees it in release builds too.
+const bool kAuditArmed = [] {
+  ::setenv("DEPSTOR_AUDIT", "1", 1);
+  return true;
+}();
+
+DesignSolverOptions fast_options(std::uint64_t seed = 1) {
+  DesignSolverOptions options;
+  options.seed = seed;
+  options.breadth = 2;
+  options.depth = 2;
+  options.max_refit_iterations = 2;
+  options.max_greedy_restarts = 5;
+  options.max_repetitions = 1;
+  return options;
+}
+
+ExecutionOptions det_exec() {
+  ExecutionOptions exec;
+  exec.deterministic = true;
+  return exec;
+}
+
+/// Cold re-evaluation of a result's design: incremental evaluator off, no
+/// cache — the ground truth the warm path must reproduce exactly.
+void expect_cold_totals_match(const SolveResult& result) {
+  ASSERT_TRUE(result.feasible);
+  Candidate fresh = *result.best;
+  fresh.set_incremental_enabled(false);
+  const CostBreakdown full = fresh.evaluate();
+  EXPECT_EQ(full.outlay, result.cost.outlay);
+  EXPECT_EQ(full.outage_penalty, result.cost.outage_penalty);
+  EXPECT_EQ(full.loss_penalty, result.cost.loss_penalty);
+}
+
+// ---------------------------------------------------------------------------
+// apply_delta validation
+// ---------------------------------------------------------------------------
+
+TEST(ApplyDelta, SurvivorsKeepOrderAndAdditionsAppend) {
+  const Environment prev = peer_env(4);
+  EnvDelta delta;
+  delta.remove = {prev.apps[1].name};
+  ApplicationSpec added = prev.apps[0];
+  added.name = "fresh-app";
+  delta.add = {added};
+
+  const DeltaPlan plan = apply_delta(prev, delta);
+  ASSERT_EQ(plan.env.apps.size(), 4u);
+  EXPECT_EQ(plan.env.apps[0].name, prev.apps[0].name);
+  EXPECT_EQ(plan.env.apps[1].name, prev.apps[2].name);
+  EXPECT_EQ(plan.env.apps[2].name, prev.apps[3].name);
+  EXPECT_EQ(plan.env.apps[3].name, "fresh-app");
+  EXPECT_EQ(plan.new_of_old, (std::vector<int>{0, -1, 1, 2}));
+  EXPECT_EQ(plan.added_apps, (std::vector<int>{3}));
+  EXPECT_TRUE(plan.resized_apps.empty());
+}
+
+TEST(ApplyDelta, ResizeSwapsSpecInPlace) {
+  const Environment prev = peer_env(3);
+  EnvDelta delta;
+  ApplicationSpec bigger = prev.apps[2];
+  bigger.data_size_gb *= 1.5;
+  delta.resize = {bigger};
+
+  const DeltaPlan plan = apply_delta(prev, delta);
+  ASSERT_EQ(plan.env.apps.size(), 3u);
+  EXPECT_EQ(plan.resized_apps, (std::vector<int>{2}));
+  EXPECT_DOUBLE_EQ(plan.env.apps[2].data_size_gb, bigger.data_size_gb);
+  EXPECT_EQ(plan.new_of_old, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ApplyDelta, SiteCapacityChangeByName) {
+  const Environment prev = peer_env(2);
+  EnvDelta delta;
+  SiteCapacityChange change;
+  change.site = prev.topology.site(1).name;
+  change.max_disk_arrays = 4;
+  delta.site_changes = {change};
+
+  const DeltaPlan plan = apply_delta(prev, delta);
+  EXPECT_EQ(plan.env.topology.site(1).max_disk_arrays, 4);
+  EXPECT_EQ(plan.changed_sites, (std::vector<int>{1}));
+}
+
+TEST(ApplyDelta, RejectsUnknownRemove) {
+  const Environment prev = peer_env(2);
+  EnvDelta delta;
+  delta.remove = {"no-such-app"};
+  EXPECT_THROW(apply_delta(prev, delta), InvalidArgument);
+}
+
+TEST(ApplyDelta, RejectsResizePastPoolCapacity) {
+  const Environment prev = peer_env(2);
+  EnvDelta delta;
+  ApplicationSpec huge = prev.apps[0];
+  huge.data_size_gb = 1e9;
+  delta.resize = {huge};
+  try {
+    apply_delta(prev, delta);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("resize past pool capacity"),
+              std::string::npos);
+  }
+}
+
+TEST(ApplyDelta, RejectsRemoveAndResizeOfSameApp) {
+  const Environment prev = peer_env(2);
+  EnvDelta delta;
+  delta.remove = {prev.apps[0].name};
+  delta.resize = {prev.apps[0]};
+  EXPECT_THROW(apply_delta(prev, delta), InvalidArgument);
+}
+
+TEST(ApplyDelta, RejectsDuplicateAdd) {
+  const Environment prev = peer_env(2);
+  EnvDelta delta;
+  ApplicationSpec a = prev.apps[0];
+  a.name = "twin";
+  delta.add = {a, a};
+  EXPECT_THROW(apply_delta(prev, delta), InvalidArgument);
+}
+
+TEST(ApplyDelta, RejectsAddOfExistingName) {
+  const Environment prev = peer_env(2);
+  EnvDelta delta;
+  delta.add = {prev.apps[1]};
+  EXPECT_THROW(apply_delta(prev, delta), InvalidArgument);
+}
+
+TEST(ApplyDelta, RejectsUnknownOrNegativeSiteChange) {
+  const Environment prev = peer_env(2);
+  EnvDelta unknown;
+  unknown.site_changes = {{"atlantis", std::nullopt, std::nullopt,
+                           std::nullopt, std::nullopt}};
+  EXPECT_THROW(apply_delta(prev, unknown), InvalidArgument);
+
+  EnvDelta negative;
+  SiteCapacityChange change;
+  change.site = prev.topology.site(0).name;
+  change.max_tape_libraries = -1;
+  negative.site_changes = {change};
+  EXPECT_THROW(apply_delta(prev, negative), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// diff_environments
+// ---------------------------------------------------------------------------
+
+TEST(DiffEnvironments, RoundTripsAnAppliedDelta) {
+  const Environment prev = peer_env(4);
+  EnvDelta delta;
+  delta.remove = {prev.apps[0].name};
+  ApplicationSpec resized = prev.apps[2];
+  resized.data_size_gb *= 0.5;
+  delta.resize = {resized};
+  ApplicationSpec added = prev.apps[3];
+  added.name = "newcomer";
+  delta.add = {added};
+  SiteCapacityChange change;
+  change.site = prev.topology.site(0).name;
+  change.max_spare_arrays = 3;
+  delta.site_changes = {change};
+
+  const DeltaPlan plan = apply_delta(prev, delta);
+  const EnvDelta recovered = diff_environments(prev, plan.env);
+  ASSERT_EQ(recovered.remove, delta.remove);
+  ASSERT_EQ(recovered.add.size(), 1u);
+  EXPECT_EQ(recovered.add[0].name, "newcomer");
+  ASSERT_EQ(recovered.resize.size(), 1u);
+  EXPECT_EQ(recovered.resize[0].name, prev.apps[2].name);
+  EXPECT_DOUBLE_EQ(recovered.resize[0].data_size_gb, resized.data_size_gb);
+  ASSERT_EQ(recovered.site_changes.size(), 1u);
+  EXPECT_EQ(recovered.site_changes[0].site, change.site);
+  ASSERT_TRUE(recovered.site_changes[0].max_spare_arrays.has_value());
+  EXPECT_EQ(*recovered.site_changes[0].max_spare_arrays, 3);
+
+  // Applying the recovered delta reproduces the successor exactly.
+  const DeltaPlan replay = apply_delta(prev, recovered);
+  EXPECT_EQ(fingerprint_environment(replay.env),
+            fingerprint_environment(plan.env));
+}
+
+TEST(DiffEnvironments, RejectsNonDeltaChanges) {
+  const Environment prev = peer_env(2);
+  Environment next = prev;
+  next.failures.disk_array_rate *= 2.0;
+  EXPECT_THROW(diff_environments(prev, next), InvalidArgument);
+
+  Environment reordered = prev;
+  std::swap(reordered.apps[0], reordered.apps[1]);
+  workload::assign_ids(reordered.apps);
+  EXPECT_THROW(diff_environments(prev, reordered), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Candidate::migrate
+// ---------------------------------------------------------------------------
+
+TEST(Migrate, CarriesSurvivorsAndTotalsExactly) {
+  auto prev_env = std::make_shared<const Environment>(peer_env(4));
+  SolveRequest cold;
+  cold.env = prev_env.get();
+  cold.options = fast_options();
+  cold.exec = det_exec();
+  const SolveResult seed_result = solve(cold);
+  ASSERT_TRUE(seed_result.feasible);
+
+  EnvDelta delta;
+  delta.remove = {prev_env->apps[1].name};
+  DeltaPlan plan = apply_delta(*prev_env, delta);
+  auto next_env = std::make_shared<const Environment>(std::move(plan.env));
+
+  Candidate migrated = *seed_result.best;
+  migrated.migrate(next_env.get(), plan.new_of_old);
+  EXPECT_EQ(&migrated.env(), next_env.get());
+  // Survivors keep their assignments under the new ids.
+  for (std::size_t old_id = 0; old_id < plan.new_of_old.size(); ++old_id) {
+    const int new_id = plan.new_of_old[old_id];
+    if (new_id < 0) continue;
+    EXPECT_EQ(migrated.is_assigned(new_id),
+              seed_result.best->is_assigned(static_cast<int>(old_id)));
+  }
+  EXPECT_NO_THROW(migrated.check_feasible());
+
+  // The migrated incremental state must price the design exactly like a
+  // from-scratch evaluation on the successor environment.
+  const CostBreakdown warm_cost = migrated.evaluate();
+  Candidate fresh = migrated;
+  fresh.set_incremental_enabled(false);
+  const CostBreakdown cold_cost = fresh.evaluate();
+  EXPECT_EQ(warm_cost.outlay, cold_cost.outlay);
+  EXPECT_EQ(warm_cost.outage_penalty, cold_cost.outage_penalty);
+  EXPECT_EQ(warm_cost.loss_penalty, cold_cost.loss_penalty);
+}
+
+// ---------------------------------------------------------------------------
+// depstor::resolve
+// ---------------------------------------------------------------------------
+
+TEST(Resolve, EmptyDeltaKeepsThePriorDesign) {
+  auto prev_env = std::make_shared<const Environment>(peer_env(4));
+  SolveRequest cold;
+  cold.env = prev_env.get();
+  cold.options = fast_options();
+  cold.exec = det_exec();
+  const SolveResult prior = solve(cold);
+  ASSERT_TRUE(prior.feasible);
+
+  ResolveRequest request;
+  request.prev_env = prev_env.get();
+  request.prev_solution = &*prior.best;
+  request.options = fast_options();
+  request.exec = det_exec();
+  const ResolveResult out = resolve(request);
+  ASSERT_TRUE(out.result.feasible);
+  EXPECT_TRUE(out.warm);
+  EXPECT_EQ(out.touched_apps, 0);
+  // Nothing changed, nothing touched: the design and its totals carry over
+  // bit-for-bit.
+  EXPECT_EQ(out.result.cost.total(), prior.cost.total());
+  expect_cold_totals_match(out.result);
+}
+
+TEST(Resolve, WarmHandlesAddRemoveResize) {
+  auto prev_env = std::make_shared<const Environment>(peer_env(5));
+  SolveRequest cold;
+  cold.env = prev_env.get();
+  cold.options = fast_options();
+  cold.exec = det_exec();
+  const SolveResult prior = solve(cold);
+  ASSERT_TRUE(prior.feasible);
+
+  EnvDelta delta;
+  delta.remove = {prev_env->apps[0].name};
+  ApplicationSpec resized = prev_env->apps[3];
+  resized.data_size_gb *= 1.25;
+  delta.resize = {resized};
+  ApplicationSpec added = prev_env->apps[2];
+  added.name = "arrival";
+  delta.add = {added};
+
+  ResolveRequest request;
+  request.prev_env = prev_env.get();
+  request.prev_solution = &*prior.best;
+  request.delta = delta;
+  request.options = fast_options();
+  request.exec = det_exec();
+  const ResolveResult out = resolve(request);
+  ASSERT_TRUE(out.result.feasible);
+  EXPECT_TRUE(out.warm);
+  EXPECT_GE(out.touched_apps, 2);  // at least the added + resized apps
+  EXPECT_EQ(static_cast<int>(out.env->apps.size()), 5);
+  expect_cold_totals_match(out.result);
+}
+
+TEST(Resolve, FallsBackToColdWhenTheDeltaBreaksTheSeed) {
+  auto prev_env = std::make_shared<const Environment>(peer_env(4));
+  SolveRequest cold;
+  cold.env = prev_env.get();
+  cold.options = fast_options();
+  cold.exec = det_exec();
+  const SolveResult prior = solve(cold);
+  ASSERT_TRUE(prior.feasible);
+
+  // Claw back every disk array at both sites: whatever the prior layout
+  // used, the migrated seed cannot be feasible, so resolve must fall back.
+  EnvDelta delta;
+  for (const auto& site : prev_env->topology.sites) {
+    SiteCapacityChange change;
+    change.site = site.name;
+    change.max_disk_arrays = 0;
+    change.max_spare_arrays = 0;
+    delta.site_changes.push_back(change);
+  }
+
+  ResolveRequest request;
+  request.prev_env = prev_env.get();
+  request.prev_solution = &*prior.best;
+  request.delta = delta;
+  request.options = fast_options();
+  request.exec = det_exec();
+  const ResolveResult out = resolve(request);
+  EXPECT_FALSE(out.warm);  // the cold path answered (feasible or not)
+}
+
+TEST(Resolve, RejectsMalformedRequests) {
+  auto prev_env = std::make_shared<const Environment>(peer_env(2));
+  SolveRequest cold;
+  cold.env = prev_env.get();
+  cold.options = fast_options();
+  cold.exec = det_exec();
+  const SolveResult prior = solve(cold);
+  ASSERT_TRUE(prior.feasible);
+
+  ResolveRequest request;
+  request.prev_env = prev_env.get();
+  request.prev_solution = &*prior.best;
+  request.options = fast_options();
+  request.exec = det_exec();
+  request.exec.workers = 4;  // warm solves are single-search by contract
+  EXPECT_THROW(resolve(request), InvalidArgument);
+
+  ResolveRequest null_prev;
+  null_prev.prev_env = prev_env.get();
+  EXPECT_THROW(resolve(null_prev), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized churn oracle
+// ---------------------------------------------------------------------------
+
+// 100 steps of random adds/removes/resizes, every step warm-started from the
+// last and cross-checked against a cold evaluation. With DEPSTOR_AUDIT armed
+// (above), resolve() additionally runs its internal bit-identical totals
+// oracle on every warm result.
+TEST(Resolve, ChurnOracleHundredSteps) {
+  auto cur_env = std::make_shared<const Environment>(peer_env(6));
+  SolveRequest cold;
+  cold.env = cur_env.get();
+  cold.options = fast_options();
+  cold.exec = det_exec();
+  SolveResult first = solve(cold);
+  ASSERT_TRUE(first.feasible);
+  std::optional<Candidate> cur_best = std::move(first.best);
+
+  std::mt19937 rng(20060625);  // the paper's conference date as a seed
+  int warm_steps = 0;
+  int next_name = 0;
+  for (int step = 0; step < 100; ++step) {
+    const int app_count = static_cast<int>(cur_env->apps.size());
+    EnvDelta delta;
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0 && app_count < 10) {
+      ApplicationSpec added =
+          cur_env->apps[rng() % cur_env->apps.size()];
+      added.name = "churn-" + std::to_string(next_name++);
+      delta.add = {added};
+    } else if (op == 1 && app_count > 3) {
+      delta.remove = {cur_env->apps[rng() % cur_env->apps.size()].name};
+    } else {
+      ApplicationSpec resized =
+          cur_env->apps[rng() % cur_env->apps.size()];
+      const double scale = 0.7 + 0.6 * (static_cast<double>(rng() % 1000) /
+                                        1000.0);
+      resized.data_size_gb =
+          std::min(2000.0, std::max(50.0, resized.data_size_gb * scale));
+      delta.resize = {resized};
+    }
+
+    ResolveRequest request;
+    request.prev_env = cur_env.get();
+    request.prev_solution = &*cur_best;
+    request.delta = delta;
+    request.options = fast_options(static_cast<std::uint64_t>(step + 1));
+    request.exec = det_exec();
+    ResolveResult out = resolve(request);
+    ASSERT_TRUE(out.result.feasible) << "step " << step;
+    expect_cold_totals_match(out.result);
+    if (out.warm) ++warm_steps;
+
+    cur_env = out.env;
+    cur_best = std::move(out.result.best);
+  }
+  // Single-app deltas on a healthy environment should warm-start nearly
+  // always; a majority bar catches a systematically broken warm path while
+  // tolerating occasional legitimate cold fallbacks.
+  EXPECT_GE(warm_steps, 50);
+}
+
+}  // namespace
+}  // namespace depstor

@@ -350,6 +350,121 @@ TEST(Serve, StatsReflectOutcomes) {
   server.shutdown();
 }
 
+// A fresh daemon has no latency samples: the quantiles must read 0 with an
+// explicit count of 0 — not a saturated histogram maximum — so dashboards
+// can tell "no data" from "instant jobs".
+TEST(Serve, FreshStatsReportZeroLatencyWithZeroCount) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.request_stats());
+  JsonValue stats;
+  for (int spins = 0; spins < 200; ++spins) {
+    const auto event = client.next_event(50.0);
+    if (event.has_value() && event->at("type").as_string() == "stats") {
+      stats = *event;
+      break;
+    }
+  }
+  ASSERT_EQ(stats.at("type").as_string(), "stats");
+  const JsonValue& srv = stats.at("server");
+  EXPECT_EQ(srv.at("job_latency_count").as_number(), 0.0);
+  EXPECT_EQ(srv.at("p50_job_ms").as_number(), 0.0);
+  EXPECT_EQ(srv.at("p95_job_ms").as_number(), 0.0);
+  EXPECT_EQ(srv.at("solutions_stored").as_number(), 0.0);
+  server.shutdown();
+}
+
+// The successor environment for resolve round-trips: kEnvIni plus one added
+// application (a pure-addition delta).
+std::string env_ini_with_extra_app() {
+  return std::string(kEnvIni) +
+         R"(
+[application]
+name = reports
+outage_penalty_rate = 5e4
+loss_penalty_rate = 1e5
+data_size_gb = 300
+avg_update_mbps = 1
+)";
+}
+
+TEST(Serve, ResolveWarmRoundTrip) {
+  Server server(test_options());
+  server.start();
+
+  Client designer("127.0.0.1", server.port());
+  ASSERT_TRUE(designer.send_design(small_request("base")));
+  const JsonValue base = await_terminal(designer);
+  ASSERT_EQ(base.at("status").as_string(), "completed");
+  ASSERT_TRUE(base.at("feasible").as_bool());
+  EXPECT_GE(server.solutions_stored(), 1);
+
+  Client resolver("127.0.0.1", server.port());
+  WireRequest req = small_request("delta-1");
+  req.env_ini = env_ini_with_extra_app();
+  req.prev_job = "base";
+  ASSERT_TRUE(resolver.send_resolve(req));
+  const JsonValue result = await_terminal(resolver);
+  ASSERT_EQ(result.at("type").as_string(), "result");
+  EXPECT_EQ(result.at("status").as_string(), "completed");
+  EXPECT_TRUE(result.at("feasible").as_bool());
+  EXPECT_TRUE(result.at("warm").as_bool());
+  EXPECT_GE(result.at("touched_apps").as_number(), 1.0);
+  EXPECT_GT(result.at("total_cost").as_number(), 0.0);
+
+  // The resolved design is stored in turn: a second delta can chain off it.
+  Client chained("127.0.0.1", server.port());
+  WireRequest next = small_request("delta-2");
+  next.env_ini = kEnvIni;  // remove "reports" again
+  next.prev_job = "delta-1";
+  ASSERT_TRUE(chained.send_resolve(next));
+  const JsonValue chained_result = await_terminal(chained);
+  ASSERT_EQ(chained_result.at("type").as_string(), "result");
+  EXPECT_EQ(chained_result.at("status").as_string(), "completed");
+  server.shutdown();
+}
+
+TEST(Serve, ResolveUnknownPrevJobRejected) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  WireRequest req = small_request("orphan");
+  req.prev_job = "never-ran";
+  ASSERT_TRUE(client.send_resolve(req));
+  const auto event = await_terminal(client);
+  ASSERT_EQ(event.at("type").as_string(), "rejected");
+  EXPECT_EQ(event.at("code").as_number(), kRejectLint);
+  EXPECT_EQ(event.at("reason").as_string(), "unknown_prev_job");
+  server.shutdown();
+}
+
+TEST(Serve, ResolveNonDeltaSuccessorRejected) {
+  Server server(test_options());
+  server.start();
+  Client designer("127.0.0.1", server.port());
+  ASSERT_TRUE(designer.send_design(small_request("base2")));
+  ASSERT_EQ(await_terminal(designer).at("status").as_string(), "completed");
+
+  // A successor whose failure rates changed is beyond what a delta can
+  // express; admission must reject it before it takes a queue slot.
+  Client client("127.0.0.1", server.port());
+  WireRequest req = small_request("bad-delta");
+  std::string env = req.env_ini;
+  const auto pos = env.find("data_object_rate = 1.0");
+  ASSERT_NE(pos, std::string::npos);
+  env.replace(pos, std::string("data_object_rate = 1.0").size(),
+              "data_object_rate = 2.0");
+  req.env_ini = env;
+  req.prev_job = "base2";
+  ASSERT_TRUE(client.send_resolve(req));
+  const auto event = await_terminal(client);
+  ASSERT_EQ(event.at("type").as_string(), "rejected");
+  EXPECT_EQ(event.at("code").as_number(), kRejectLint);
+  EXPECT_EQ(event.at("reason").as_string(), "delta");
+  server.shutdown();
+}
+
 TEST(Serve, DrainsQueuedJobsOnShutdown) {
   ServeOptions options = test_options();
   options.workers = 1;
@@ -416,6 +531,26 @@ TEST(ServeProto, DesignRequestRoundTrips) {
   EXPECT_EQ(parse_request(build_stats_request(), 1024).op,
             WireRequest::Op::Stats);
   EXPECT_TRUE(is_stats_line(kStatsRequestLine));
+}
+
+TEST(ServeProto, ResolveRequestRoundTrips) {
+  WireRequest req = small_request("warm", 3);
+  req.prev_job = "job-7";
+  const WireRequest parsed =
+      parse_request(build_resolve_request(req), 1 << 20);
+  EXPECT_EQ(parsed.op, WireRequest::Op::Resolve);
+  EXPECT_EQ(parsed.id, "warm");
+  EXPECT_EQ(parsed.prev_job, "job-7");
+  EXPECT_EQ(parsed.env_ini, req.env_ini);
+  EXPECT_EQ(parsed.priority, 3);
+
+  // resolve requires prev_job; design must not carry one.
+  EXPECT_THROW(
+      parse_request(R"({"op":"resolve","env_ini":"x"})", 1024),
+      InvalidArgument);
+  EXPECT_THROW(
+      parse_request(R"({"op":"design","env_ini":"x","prev_job":"j"})", 1024),
+      InvalidArgument);
 }
 
 TEST(ServeSocket, LineReaderFramesAndOverflows) {
