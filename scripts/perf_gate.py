@@ -13,6 +13,10 @@ Fails (exit 1) when:
     small deltas (the churn probe's deltas touch at most 4 of 24 apps per
     step, so the floor is algorithmic and applies on any hardware);
   * the serve probe dropped or rejected any request;
+  * `totals_match` is false on the correlation probe (the degenerate
+    failure-domain tree must price bit-identically to the flat model —
+    enforced unconditionally), or the tree-model evaluation overhead
+    exceeds 1.15x the flat path on the 24-app environment;
   * on a capable host only (hardware_threads >= intra_workers): the
     forced-fan speedup at 4 workers falls below the gate floor (1.8x —
     below the 2.0x local bar to absorb CI-runner noise), or speedup fails
@@ -42,6 +46,10 @@ CHURN_SMALL_DELTA_APPS_PER_STEP = 4
 # Scale probes may jitter a few percent run to run; "grows with scale"
 # tolerates that without letting a real regression through.
 SCALE_TOLERANCE = 0.05
+# Ceiling on degenerate-tree evaluation time relative to the flat path.
+# The tree walk adds a correlation-chain product and a node indirection per
+# scenario; that must stay in the noise, not become a tax on every solve.
+CORRELATION_OVERHEAD_CEILING = 1.15
 
 
 def require(obj, path, key):
@@ -129,6 +137,21 @@ def main():
             f"{CHURN_SPEEDUP_FLOOR}x — warm re-design lost its "
             "algorithmic advantage over cold solves on small deltas")
 
+    corr = require(doc, "$", "correlation_probe")
+    corr_overhead = float(require(corr, "correlation_probe", "overhead"))
+    require(corr, "correlation_probe", "flat_eval_ms")
+    require(corr, "correlation_probe", "tree_eval_ms")
+    require(corr, "correlation_probe", "sweep")
+    require(corr, "correlation_probe", "design_shifted")
+    if require(corr, "correlation_probe", "totals_match") is not True:
+        failures.append("correlation_probe.totals_match is false — the "
+                        "degenerate tree diverged from the flat model")
+    if corr_overhead > CORRELATION_OVERHEAD_CEILING:
+        failures.append(
+            f"correlation_probe.overhead {corr_overhead:.2f}x > "
+            f"{CORRELATION_OVERHEAD_CEILING}x — tree-model evaluation "
+            "became a tax on every solve")
+
     serve = require(doc, "$", "serve_probe")
     if require(serve, "serve_probe", "errors") != 0:
         failures.append("serve_probe.errors != 0")
@@ -152,6 +175,10 @@ def main():
           f"({churn_speedup:.2f}x, {churn_warm} warm, "
           f"{churn_touched} apps touched, "
           f"totals_match={churn['totals_match']})")
+    print(f"  correlation: flat {corr['flat_eval_ms']:.1f} ms vs tree "
+          f"{corr['tree_eval_ms']:.1f} ms ({corr_overhead:.2f}x), "
+          f"totals_match={corr['totals_match']}, "
+          f"design_shifted={corr['design_shifted']}")
     print(f"  serve: {serve['completed']}/{expected} completed, "
           f"{serve['jobs_per_sec']:.1f} jobs/s")
 

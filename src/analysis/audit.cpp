@@ -175,12 +175,12 @@ void audit_pool(const ResourcePool& pool, DiagnosticReport& rep) {
   }
 }
 
-void audit_cost(const Environment& env,
+void audit_cost(const Environment& env, const ScenarioModel& model,
                 const std::vector<AppAssignment>& assignments,
                 const ResourcePool& pool, const CostBreakdown& reported,
                 double rel_tol, DiagnosticReport& rep) {
-  const CostBreakdown actual = evaluate_cost(env.apps, assignments, pool,
-                                             env.failures, env.params);
+  const CostBreakdown actual =
+      evaluate_cost(env.apps, assignments, pool, model, env.params);
   auto mismatch = [&](const char* what, double want, double got) {
     const double scale = std::max({std::fabs(want), std::fabs(got), 1.0});
     if (std::fabs(want - got) <= rel_tol * scale) return;
@@ -224,8 +224,8 @@ DiagnosticReport audit_design(const Environment& env,
   }
   audit_pool(pool, rep);
   if (reported != nullptr) {
-    audit_cost(env, assignments, pool, *reported, options.cost_rel_tolerance,
-               rep);
+    audit_cost(env, env.scenario_model(), assignments, pool, *reported,
+               options.cost_rel_tolerance, rep);
   }
   return rep;
 }
@@ -233,8 +233,18 @@ DiagnosticReport audit_design(const Environment& env,
 DiagnosticReport audit_candidate(const Candidate& candidate,
                                  const CostBreakdown* reported,
                                  const AuditOptions& options) {
-  return audit_design(candidate.env(), candidate.assignments(),
-                      candidate.pool(), reported, options);
+  // Same checks as audit_design, but the cost recomputation prices against
+  // the candidate's own scenario model — which a SolveRequest may have
+  // overridden away from the environment's.
+  DiagnosticReport rep = audit_design(candidate.env(),
+                                      candidate.assignments(),
+                                      candidate.pool(), nullptr, options);
+  if (reported != nullptr) {
+    audit_cost(candidate.env(), candidate.scenario_model(),
+               candidate.assignments(), candidate.pool(), *reported,
+               options.cost_rel_tolerance, rep);
+  }
+  return rep;
 }
 
 bool debug_audit_enabled() {

@@ -18,7 +18,7 @@
 //   cost-mismatch         (E) reported cost != outlays + penalties recomputed
 //
 // Audits run standalone (tests, the depstor_lint CLI) and as a debug-mode
-// post-check wired into DesignSolver::solve, ConfigSolver::solve and the
+// post-check wired into the depstor::solve path, ConfigSolver::solve and the
 // batch engine: enabled by default in !NDEBUG builds, overridable either way
 // with DEPSTOR_AUDIT=0/1 in the process environment.
 #pragma once

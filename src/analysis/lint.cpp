@@ -25,6 +25,7 @@ using rules::kAllFailureRatesZero;
 using rules::kBackupWindowOverrun;
 using rules::kBadCategoryThresholds;
 using rules::kBadDeviceSpec;
+using rules::kBadDomainDecl;
 using rules::kBadFailureRate;
 using rules::kBadLinkLimit;
 using rules::kBadNumber;
@@ -43,6 +44,7 @@ using rules::kGlobalFailureFootprint;
 using rules::kIniParseError;
 using rules::kInfeasibleCatalog;
 using rules::kInsufficientCompute;
+using rules::kLegacyFlatScenarios;
 using rules::kLoadFailed;
 using rules::kMirrorBandwidthUnreachable;
 using rules::kMissingKey;
@@ -71,6 +73,10 @@ const std::map<std::string, std::set<std::string>>& known_keys() {
       {"failures",
        {"data_object_rate", "disk_array_rate", "site_disaster_rate",
         "regional_disaster_rate"}},
+      {"failure_domains", {"version", "data_object_rate", "disk_array_rate"}},
+      {"domain",
+       {"level", "name", "region", "site", "sites", "rate", "outage_rate",
+        "correlation", "repair_hours"}},
       {"catalog", {"arrays", "tapes", "networks"}},
   };
   return keys;
@@ -99,7 +105,8 @@ class IniLinter {
       } else if (!known_keys().count(s.name)) {
         rep_.add(Severity::Error, kUnknownSection,
                  "unknown section [" + s.name + "]",
-                 "expected site, link, application, failures or catalog",
+                 "expected site, link, application, failures, "
+                 "failure_domains, domain or catalog",
                  at(s));
       }
     }
@@ -118,6 +125,8 @@ class IniLinter {
         lint_application(s);
       } else if (s.name == "failures") {
         lint_failures(s);
+      } else if (s.name == "domain") {
+        lint_domain(s);
       } else if (s.name == "catalog") {
         lint_catalog(s);
       }
@@ -318,6 +327,42 @@ class IniLinter {
                  std::string(key) + " = " + s.get_string(key) +
                      " is negative",
                  "failure likelihoods are events/year and must be >= 0",
+                 at(s));
+      }
+    }
+  }
+
+  void lint_domain(const IniSection& s) {
+    const std::string level = s.has("level") ? s.get_string("level") : "";
+    static const std::map<std::string, std::vector<const char*>> required = {
+        {"region", {"region"}},
+        {"zone", {"region", "sites", "name"}},
+        {"site", {"site"}},
+        {"room", {"site", "name"}},
+    };
+    const auto it = required.find(level);
+    if (it == required.end()) {
+      rep_.add(Severity::Error, kBadDomainDecl,
+               level.empty()
+                   ? std::string("[domain] has no level")
+                   : "[domain] level `" + level + "` is unknown",
+               "level must be region, zone, site or room", at(s));
+      return;
+    }
+    for (const char* key : it->second) {
+      if (!s.has(key)) {
+        rep_.add(Severity::Error, kBadDomainDecl,
+                 "[domain] level " + level + " requires key `" + key + "`",
+                 {}, at(s));
+      }
+    }
+    for (const char* key :
+         {"rate", "outage_rate", "correlation", "repair_hours"}) {
+      if (const auto v = number(s, key); v && *v < 0.0) {
+        rep_.add(Severity::Error, kBadDomainDecl,
+                 std::string(key) + " = " + s.get_string(key) +
+                     " is negative",
+                 "domain rates, correlations and repair leads are >= 0",
                  at(s));
       }
     }
@@ -540,6 +585,18 @@ DiagnosticReport lint_environment(const Environment& env,
               "degenerates to minimizing outlays",
               "use FailureModel::baseline() rates unless this is intended",
               at);
+    }
+    // Compatibility note, not a defect: flat-only environments evaluate
+    // through the degenerate two-level tree with bit-identical totals.
+    if (env.failure_domains == nullptr ||
+        env.failure_domains->degenerate_shape()) {
+      rep.add(Severity::Note, kLegacyFlatScenarios,
+              "failures are described by flat scopes only (no "
+              "[failure_domains] tree)",
+              "declare a [failure_domains] section (version = 1) with "
+              "[domain] nodes to model zones, rooms, outages and "
+              "correlated subtree failures",
+              {filename, "failures", 0});
     }
   }
 

@@ -48,6 +48,12 @@
 //   insufficient-compute     (W) fewer compute slots than applications
 //   bad-failure-rate         (E) failure rate negative or NaN
 //   all-failure-rates-zero   (W) the failure model is vacuous
+//   bad-domain-decl          (E) [domain] level missing/unknown, or a
+//                                required key for that level is absent
+//   legacy-flat-scenarios    (N) the environment describes failures with
+//                                flat scopes only (no [failure_domains]
+//                                tree); it evaluates through the degenerate
+//                                compatibility tree
 //   global-failure-footprint (W) every shared-failure scenario spans all
 //                                applications (one site, or one region with
 //                                regional disasters on): incremental cost
@@ -102,6 +108,8 @@ inline constexpr const char* kUnmirrorableTopology = "unmirrorable-topology";
 inline constexpr const char* kInsufficientCompute = "insufficient-compute";
 inline constexpr const char* kBadFailureRate = "bad-failure-rate";
 inline constexpr const char* kAllFailureRatesZero = "all-failure-rates-zero";
+inline constexpr const char* kBadDomainDecl = "bad-domain-decl";
+inline constexpr const char* kLegacyFlatScenarios = "legacy-flat-scenarios";
 inline constexpr const char* kGlobalFailureFootprint =
     "global-failure-footprint";
 inline constexpr const char* kBadPolicyRange = "bad-policy-range";

@@ -47,6 +47,7 @@ SolveResult solve_fan(const SolveRequest& request) {
     job.exec.intra_min_fan = exec.intra_min_fan;
     job.exec.deterministic = exec.deterministic;
     job.exec.time_budget_ms = exec.time_budget_ms;
+    job.scenarios = request.scenarios;
     ids.push_back(engine.submit(std::move(job)));
   }
 
@@ -123,7 +124,9 @@ SolveResult solve(const SolveRequest& request) {
   DEPSTOR_EXPECTS_MSG(request.exec.intra_min_fan >= 0,
                       "SolveRequest intra_min_fan must be >= 0 (0 = auto)");
   if (request.exec.workers == 1) {
-    return detail::solve_impl(request.env, request.options, request.exec);
+    return detail::solve_impl(
+        request.env, request.options, request.exec, nullptr,
+        request.scenarios ? &*request.scenarios : nullptr);
   }
   return solve_fan(request);
 }
@@ -229,9 +232,9 @@ ResolveResult resolve(const ResolveRequest& request) {
 
   if (seed_ok) {
     const detail::WarmStart warm{&seed, &focus};
-    out.result =
-        detail::solve_impl(out.env.get(), request.options, request.exec,
-                           &warm);
+    out.result = detail::solve_impl(
+        out.env.get(), request.options, request.exec, &warm,
+        request.scenarios ? &*request.scenarios : nullptr);
     if (out.result.feasible) {
       audit_warm_totals(out.result, "resolve");
       out.warm = true;
@@ -246,6 +249,7 @@ ResolveResult resolve(const ResolveRequest& request) {
   cold.env = out.env.get();
   cold.options = request.options;
   cold.exec = request.exec;
+  cold.scenarios = request.scenarios;
   out.result = solve(cold);
   out.warm = false;
   return out;

@@ -15,11 +15,13 @@
 //   req.exec.intra_node_workers = 4;  // 4 threads inside each refit search
 //   SolveResult result = depstor::solve(req);
 //
-// Old entry points survive as thin deprecated wrappers (see README's
-// migration table); new code should not call them.
+// The old entry points are gone (removed after a deprecation cycle — see
+// README's migration table); `depstor::solve` / `depstor::resolve` are the
+// only ways to run the search.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/env_delta.hpp"
 #include "core/environment.hpp"
@@ -35,6 +37,13 @@ struct SolveRequest {
   DesignSolverOptions options;
   /// How to execute the search (threads, determinism, runtime hooks).
   ExecutionOptions exec;
+  /// Scenario source of truth for every candidate the search prices. Unset
+  /// (the default): the environment's own model — the failure-domain tree
+  /// when the env carries one, the legacy flat scopes otherwise
+  /// (Environment::scenario_model). Set it to price the same environment
+  /// under a what-if failure model (e.g. the correlation-sensitivity bench
+  /// sweeping subtree correlations) without cloning the environment.
+  std::optional<ScenarioModel> scenarios;
 };
 
 /// Run the design search described by `request`.
@@ -68,6 +77,10 @@ struct ResolveRequest {
   /// exactly what a warm start avoids); `exec.workers` must be 1.
   /// intra_node_workers parallelism applies as usual.
   ExecutionOptions exec;
+  /// As SolveRequest::scenarios. Overriding on a warm solve forfeits the
+  /// migrated scenario cache (every cached result embeds the old model's
+  /// rates), so set it only when the what-if model truly differs.
+  std::optional<ScenarioModel> scenarios;
 };
 
 struct ResolveResult {

@@ -171,6 +171,30 @@ DeltaPlan apply_delta(const Environment& prev, const EnvDelta& delta) {
 }
 
 EnvDelta diff_environments(const Environment& prev, const Environment& next) {
+  // Failure-model drift gets its own rejection ahead of the generic
+  // fingerprint replay: clients that bumped a rate or re-shaped the domain
+  // tree should learn that directly (serve surfaces the reason code in its
+  // 422), not as an anonymous "differ beyond apps" failure.
+  const FailureModel& pf = prev.failures;
+  const FailureModel& nf = next.failures;
+  const std::uint64_t prev_tree =
+      prev.failure_domains != nullptr ? prev.failure_domains->fingerprint()
+                                      : 0;
+  const std::uint64_t next_tree =
+      next.failure_domains != nullptr ? next.failure_domains->fingerprint()
+                                      : 0;
+  if (pf.data_object_rate != nf.data_object_rate ||
+      pf.disk_array_rate != nf.disk_array_rate ||
+      pf.site_disaster_rate != nf.site_disaster_rate ||
+      pf.regional_disaster_rate != nf.regional_disaster_rate ||
+      prev_tree != next_tree) {
+    throw NonDeltaError(
+        kReasonFailureModelChanged,
+        "env diff: the failure model changed (flat failure rates or the "
+        "failure-domain tree) — rate drift is not expressible as a delta; "
+        "submit as a fresh design, not a revision");
+  }
+
   EnvDelta delta;
   const auto prev_by_name = index_by_name(prev.apps);
   const auto next_by_name = index_by_name(next.apps);

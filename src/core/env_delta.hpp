@@ -14,11 +14,31 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/environment.hpp"
+#include "util/check.hpp"
 
 namespace depstor {
+
+/// Machine-readable reason code of a NonDeltaError: the failure model (flat
+/// rates or the failure-domain tree) drifted between the environments.
+inline constexpr const char* kReasonFailureModelChanged =
+    "failure_model_changed";
+
+/// diff_environments rejection that carries a reason code alongside the
+/// human-readable message, so the serve layer's 422 can tell clients *why*
+/// the successor is not reachable by a delta.
+class NonDeltaError : public InvalidArgument {
+ public:
+  NonDeltaError(std::string reason, const std::string& what)
+      : InvalidArgument(what), reason_(std::move(reason)) {}
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
 
 /// Capacity changes for one site, addressed by name. Absent fields keep the
 /// previous value. Geometry (region, fixed cost) is not expressible as a

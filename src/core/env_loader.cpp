@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "model/domain.hpp"
 #include "resources/catalog.hpp"
 #include "util/check.hpp"
 #include "util/ini.hpp"
@@ -82,6 +83,44 @@ std::vector<DeviceTypeSpec> parse_catalog_list(const IniSection& s,
   return out;
 }
 
+/// One `[domain]` section → a DomainDecl. `level` picks the kind; the
+/// remaining keys mirror DomainDecl's fields.
+DomainDecl parse_domain(const IniSection& s) {
+  DomainDecl d;
+  const std::string level = s.get_string("level");
+  if (level == "region") {
+    d.kind = DomainDecl::Kind::Region;
+    d.region = s.get_int("region");
+  } else if (level == "zone") {
+    d.kind = DomainDecl::Kind::Zone;
+    d.region = s.get_int("region");
+    d.sites = split_list(s.get_string("sites"));
+  } else if (level == "site") {
+    d.kind = DomainDecl::Kind::Site;
+    d.site = s.get_string("site");
+  } else if (level == "room") {
+    d.kind = DomainDecl::Kind::Room;
+    d.site = s.get_string("site");
+  } else {
+    throw InvalidArgument("[domain] (line " + std::to_string(s.line) +
+                          ") level must be region|zone|site|room, got: " +
+                          level);
+  }
+  // Region/site overrides may omit the name (the skeleton node keeps its
+  // generated one); zones and rooms are new nodes, so they must be named.
+  d.name = s.get_string_or("name", "");
+  if (d.name.empty() && (d.kind == DomainDecl::Kind::Zone ||
+                         d.kind == DomainDecl::Kind::Room)) {
+    throw InvalidArgument("[domain] (line " + std::to_string(s.line) +
+                          ") " + level + " domains need a name");
+  }
+  d.rate = s.get_double_or("rate", d.rate);
+  d.outage_rate = s.get_double_or("outage_rate", d.outage_rate);
+  d.correlation = s.get_double_or("correlation", d.correlation);
+  d.repair_hours = s.get_double_or("repair_hours", d.repair_hours);
+  return d;
+}
+
 }  // namespace
 
 Environment environment_from_ini(const std::string& text) {
@@ -113,6 +152,8 @@ Environment environment_from_ini(const std::string& text) {
 
   // Pass 2: everything else.
   std::set<std::string> app_names;
+  std::vector<DomainDecl> domain_decls;
+  bool saw_failure_domains = false;
   for (const auto& s : sections) {
     if (s.name == "site") continue;
     if (s.name == "link") {
@@ -138,6 +179,28 @@ Environment environment_from_ini(const std::string& text) {
           "site_disaster_rate", env.failures.site_disaster_rate);
       env.failures.regional_disaster_rate = s.get_double_or(
           "regional_disaster_rate", env.failures.regional_disaster_rate);
+    } else if (s.name == "failure_domains") {
+      // Versioned header for the domain-tree description. The optional rate
+      // keys override the flat model's equivalents so the tree and the flat
+      // fallback always price data-object/array events identically.
+      if (saw_failure_domains) {
+        throw InvalidArgument("[failure_domains] (line " +
+                              std::to_string(s.line) + ") declared twice");
+      }
+      saw_failure_domains = true;
+      const int version = s.get_int("version");
+      if (version != 1) {
+        throw InvalidArgument("[failure_domains] (line " +
+                              std::to_string(s.line) +
+                              ") unsupported version " +
+                              std::to_string(version) + " (expected 1)");
+      }
+      env.failures.data_object_rate =
+          s.get_double_or("data_object_rate", env.failures.data_object_rate);
+      env.failures.disk_array_rate =
+          s.get_double_or("disk_array_rate", env.failures.disk_array_rate);
+    } else if (s.name == "domain") {
+      domain_decls.push_back(parse_domain(s));
     } else if (s.name == "catalog") {
       if (s.has("arrays")) {
         env.array_types =
@@ -158,7 +221,16 @@ Environment environment_from_ini(const std::string& text) {
   }
   DEPSTOR_EXPECTS_MSG(!env.apps.empty(),
                       "environment file declares no [application]");
+  if (!domain_decls.empty() && !saw_failure_domains) {
+    throw InvalidArgument(
+        "[domain] sections need a [failure_domains] header (version = 1)");
+  }
   workload::assign_ids(env.apps);
+  // Loaded environments always evaluate through the domain tree: explicit
+  // declarations when given, otherwise the degenerate two-level tree that
+  // reproduces the flat model bit for bit.
+  env.failure_domains = std::make_shared<const FailureDomainTree>(
+      FailureDomainTree::build(env.topology, env.failures, domain_decls));
   env.validate();
   return env;
 }

@@ -56,6 +56,7 @@ void Environment::validate() const {
   compute_type.validate();
   DEPSTOR_EXPECTS(compute_type.kind == DeviceKind::Compute);
   failures.validate();
+  if (failure_domains != nullptr) failure_domains->validate(topology);
   params.validate();
   policies.validate();
 }

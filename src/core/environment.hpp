@@ -4,10 +4,12 @@
 // configuration solver may search over.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "model/failure.hpp"
 #include "model/params.hpp"
+#include "model/scenario_model.hpp"
 #include "protection/technique.hpp"
 #include "resources/device.hpp"
 #include "resources/site.hpp"
@@ -46,6 +48,12 @@ struct Environment {
   DeviceTypeSpec compute_type;
 
   FailureModel failures;
+  /// Hierarchical failure domains (model/domain.hpp). Loaded environments
+  /// always carry one — the env loader builds the degenerate two-level tree
+  /// (bit-identical scenarios to `failures`) when the INI declares no
+  /// `[failure_domains]` section. Null on hand-built environments, which
+  /// then evaluate through the legacy flat path.
+  std::shared_ptr<const FailureDomainTree> failure_domains;
   ModelParams params;
   CategoryThresholds thresholds;
   PolicyRanges policies;
@@ -53,6 +61,14 @@ struct Environment {
   const ApplicationSpec& app(int id) const;
   AppCategory app_category(int id) const {
     return app(id).category(thresholds);
+  }
+
+  /// The scenario source of truth a solve over this environment uses:
+  /// tree-driven when `failure_domains` is set, legacy flat otherwise.
+  ScenarioModel scenario_model() const {
+    return failure_domains != nullptr
+               ? ScenarioModel::tree_model(failure_domains, failures)
+               : ScenarioModel::flat_model(failures);
   }
 
   void validate() const;

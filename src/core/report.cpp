@@ -109,13 +109,19 @@ std::string threat_report(const Environment& env,
                           const Candidate& candidate) {
   Table table({"Failure scope", "Scenarios", "Rate/yr each",
                "Outage penalty/yr", "Loss penalty/yr", "Total/yr"});
-  const auto scopes =
-      compute_scope_penalties(env.apps, candidate.assignments(),
-                              candidate.pool(), env.failures, env.params);
+  const auto scopes = compute_scope_penalties(
+      env.apps, candidate.assignments(), candidate.pool(),
+      candidate.scenario_model(), env.params);
   for (const auto& sp : scopes) {
     if (sp.scenarios == 0 && env.failures.rate(sp.scope) <= 0.0) continue;
+    // Tree-driven scopes price each scenario by its own node's effective
+    // rate, so the per-scenario column shows the mean; flat scopes (and
+    // degenerate trees) have uniform rates, making the mean exact.
+    const double rate_each = sp.scenarios > 0
+                                 ? sp.rate_sum / sp.scenarios
+                                 : env.failures.rate(sp.scope);
     table.add_row({to_string(sp.scope), std::to_string(sp.scenarios),
-                   Table::num(env.failures.rate(sp.scope), 3),
+                   Table::num(rate_each, 3),
                    Table::money(sp.outage_penalty),
                    Table::money(sp.loss_penalty), Table::money(sp.total())});
   }
@@ -128,7 +134,7 @@ std::string recovery_report(const Environment& env,
                "Recent loss"});
   const auto scenarios =
       enumerate_scenarios(env.apps, candidate.assignments(), candidate.pool(),
-                          env.failures, /*with_names=*/true);
+                          candidate.scenario_model(), /*with_names=*/true);
   for (const auto& scenario : scenarios) {
     const auto results = simulate_recovery(
         scenario, env.apps, candidate.assignments(), candidate.pool(),

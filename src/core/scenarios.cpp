@@ -1,5 +1,8 @@
 #include "core/scenarios.hpp"
 
+#include <memory>
+
+#include "model/domain.hpp"
 #include "resources/catalog.hpp"
 #include "util/check.hpp"
 #include "workload/generator.hpp"
@@ -46,6 +49,38 @@ Environment multi_site(int app_count, int site_count, int max_links) {
   Environment env = base_environment(app_count);
   env.topology = Topology::fully_connected(
       site_count, site_prototype(kComputeSlotsPerSite), max_links);
+  env.validate();
+  return env;
+}
+
+Environment regional_correlated(int app_count, double correlation) {
+  DEPSTOR_EXPECTS(correlation >= 0.0);
+  Environment env = base_environment(app_count);
+  // Rare enough that at correlation 1 the remote-facility premium outweighs
+  // the correlated-disaster exposure; the sweep's correlation knob scales
+  // this up until the trade flips.
+  env.failures.regional_disaster_rate = 1.0 / 2000.0;
+  env.topology = Topology::fully_connected(
+      4, site_prototype(kComputeSlotsPerSite), /*max_links=*/6);
+  const char* names[] = {"east-a", "east-b", "west-a", "west-b"};
+  for (int s = 0; s < 4; ++s) {
+    env.topology.sites[static_cast<std::size_t>(s)].name = names[s];
+    env.topology.sites[static_cast<std::size_t>(s)].region = s / 2;
+  }
+  // The remote region is the expensive facility the solver must be pushed
+  // into opening: same device catalog, 2.5x the fixed cost.
+  env.topology.sites[2].fixed_cost = 2500000.0;
+  env.topology.sites[3].fixed_cost = 2500000.0;
+
+  std::vector<DomainDecl> decls(2);
+  decls[0].kind = DomainDecl::Kind::Region;
+  decls[0].region = 0;
+  decls[0].correlation = correlation;
+  decls[1].kind = DomainDecl::Kind::Region;
+  decls[1].region = 1;
+  decls[1].correlation = correlation;
+  env.failure_domains = std::make_shared<const FailureDomainTree>(
+      FailureDomainTree::build(env.topology, env.failures, decls));
   env.validate();
   return env;
 }

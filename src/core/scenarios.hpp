@@ -17,6 +17,15 @@ Environment peer_sites(int app_count = 8);
 Environment multi_site(int app_count = 16, int site_count = 4,
                        int max_links = 6);
 
+/// Correlation-sensitivity environment (Fig. 4 analogue for failure
+/// domains): two regions of two sites each, regional disasters on, and a
+/// failure-domain tree whose Region nodes carry `correlation` as their
+/// subtree-likelihood knob. The remote region's facilities cost 2.5× the
+/// local ones, so at correlation 1.0 the cheapest designs keep both copies
+/// in one region; as the knob grows, the scaled site/regional rates force
+/// cross-region mirrors despite the extra fixed cost.
+Environment regional_correlated(int app_count = 8, double correlation = 1.0);
+
 /// Default compute capacity per site used by both factories.
 inline constexpr int kComputeSlotsPerSite = 8;
 

@@ -8,16 +8,25 @@ namespace depstor {
 CostBreakdown evaluate_cost(const ApplicationList& apps,
                             const std::vector<AppAssignment>& assignments,
                             const ResourcePool& pool,
-                            const FailureModel& failures,
+                            const ScenarioModel& model,
                             const ModelParams& params) {
   CostBreakdown cost;
   cost.outlay = annual_outlay(pool, assignments, params);
-  cost.per_app = compute_penalties(apps, assignments, pool, failures, params);
+  cost.per_app = compute_penalties(apps, assignments, pool, model, params);
   for (const auto& d : cost.per_app) {
     cost.outage_penalty += d.outage_penalty;
     cost.loss_penalty += d.loss_penalty;
   }
   return cost;
+}
+
+CostBreakdown evaluate_cost(const ApplicationList& apps,
+                            const std::vector<AppAssignment>& assignments,
+                            const ResourcePool& pool,
+                            const FailureModel& failures,
+                            const ModelParams& params) {
+  return evaluate_cost(apps, assignments, pool,
+                       ScenarioModel::flat_model(failures), params);
 }
 
 }  // namespace depstor

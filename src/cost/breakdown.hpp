@@ -12,6 +12,7 @@
 #include "model/assignment.hpp"
 #include "model/failure.hpp"
 #include "model/params.hpp"
+#include "model/scenario_model.hpp"
 #include "resources/pool.hpp"
 #include "workload/application.hpp"
 
@@ -36,7 +37,15 @@ struct CostBreakdown {
 };
 
 /// Full evaluation of a (possibly partial) candidate: annualized outlays for
-/// everything provisioned plus expected penalties for every assigned app.
+/// everything provisioned plus expected penalties for every assigned app,
+/// over the scenarios of `model` (tree or legacy flat).
+CostBreakdown evaluate_cost(const ApplicationList& apps,
+                            const std::vector<AppAssignment>& assignments,
+                            const ResourcePool& pool,
+                            const ScenarioModel& model,
+                            const ModelParams& params);
+
+/// Legacy-flat convenience: wraps `failures` in a flat ScenarioModel.
 CostBreakdown evaluate_cost(const ApplicationList& apps,
                             const std::vector<AppAssignment>& assignments,
                             const ResourcePool& pool,

@@ -29,6 +29,14 @@ std::uint64_t key_of(const ScenarioSpec& s) {
     case FailureScope::RegionalDisaster:
       entity = s.failed_region;
       break;
+    case FailureScope::Domain:
+      // A tree node can emit both a destroy and an outage scenario; the
+      // data_intact bit keeps their keys distinct.
+      return (static_cast<std::uint64_t>(s.scope) << 32) |
+             (static_cast<std::uint64_t>(
+                  static_cast<std::uint32_t>(s.domain_node + 1))
+              << 1) |
+             (s.data_intact ? 1u : 0u);
   }
   return (static_cast<std::uint64_t>(s.scope) << 32) |
          static_cast<std::uint32_t>(entity + 1);
@@ -93,6 +101,12 @@ void IncrementalEvaluator::rebuild_footprint(
   };
   // The failed array itself: an app moving onto/off it changes who fails.
   add_device(scenario.failed_array);
+  // Domain scenarios fail a precomputed set of arrays/sites (a subtree's
+  // footprint); survival checks compare copy placement against both lists.
+  for (int id : scenario.failed_arrays) add_device(id);
+  for (int site : scenario.failed_sites) {
+    entry.footprint_sites.push_back(site);
+  }
   for (int app_id : entry.affected) {
     const auto& asg = assignments.at(static_cast<std::size_t>(app_id));
     // Every device of an affected app's assignment can influence its
@@ -165,7 +179,7 @@ bool IncrementalEvaluator::evaluate(CostBreakdown& out,
                                     const ApplicationList& apps,
                                     const std::vector<AppAssignment>& assignments,
                                     const ResourcePool& pool,
-                                    const FailureModel& failures,
+                                    const ScenarioModel& model,
                                     const ModelParams& params, DirtySet& dirty,
                                     IncrementalStats* stats) {
   const bool was_full = dirty.all;
@@ -174,7 +188,7 @@ bool IncrementalEvaluator::evaluate(CostBreakdown& out,
   // no mutation since the last evaluation could have changed them.
   const bool structural = dirty.all || dirty.structure || scenarios_.empty();
   if (structural) {
-    enumerate_scenarios_into(scenarios_, apps, assignments, pool, failures,
+    enumerate_scenarios_into(scenarios_, apps, assignments, pool, model,
                              /*with_names=*/false, &scenario_scratch_);
     align_entries();
   }

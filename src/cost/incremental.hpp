@@ -134,7 +134,7 @@ class IncrementalEvaluator {
   /// fully re-simulated evaluation *is* the full computation).
   bool evaluate(CostBreakdown& out, const ApplicationList& apps,
                 const std::vector<AppAssignment>& assignments,
-                const ResourcePool& pool, const FailureModel& failures,
+                const ResourcePool& pool, const ScenarioModel& model,
                 const ModelParams& params, DirtySet& dirty,
                 IncrementalStats* stats = nullptr);
 

@@ -6,7 +6,7 @@ namespace depstor {
 
 std::vector<AppPenaltyDetail> compute_penalties(
     const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
-    const ResourcePool& pool, const FailureModel& failures,
+    const ResourcePool& pool, const ScenarioModel& model,
     const ModelParams& params) {
   std::vector<AppPenaltyDetail> details(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i) {
@@ -18,7 +18,7 @@ std::vector<AppPenaltyDetail> compute_penalties(
   DEPSTOR_TRACE_SPAN_NAMED(sim_span, "scenario_sim");
   std::int64_t simulated = 0;
   for (const auto& scenario :
-       enumerate_scenarios(apps, assignments, pool, failures)) {
+       enumerate_scenarios(apps, assignments, pool, model)) {
     if (scenario.annual_rate <= 0.0) continue;
     ++simulated;
     for (const auto& res :
@@ -37,22 +37,32 @@ std::vector<AppPenaltyDetail> compute_penalties(
   return details;
 }
 
-std::vector<ScopePenalty> compute_scope_penalties(
+std::vector<AppPenaltyDetail> compute_penalties(
     const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
     const ResourcePool& pool, const FailureModel& failures,
+    const ModelParams& params) {
+  return compute_penalties(apps, assignments, pool,
+                           ScenarioModel::flat_model(failures), params);
+}
+
+std::vector<ScopePenalty> compute_scope_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const ScenarioModel& model,
     const ModelParams& params) {
   std::vector<ScopePenalty> out;
   for (FailureScope scope :
        {FailureScope::DataObject, FailureScope::DiskArray,
-        FailureScope::SiteDisaster, FailureScope::RegionalDisaster}) {
+        FailureScope::SiteDisaster, FailureScope::RegionalDisaster,
+        FailureScope::Domain}) {
     ScopePenalty sp;
     sp.scope = scope;
     out.push_back(sp);
   }
   for (const auto& scenario :
-       enumerate_scenarios(apps, assignments, pool, failures)) {
+       enumerate_scenarios(apps, assignments, pool, model)) {
     auto& sp = out.at(static_cast<std::size_t>(scenario.scope));
     ++sp.scenarios;
+    sp.rate_sum += scenario.annual_rate;
     if (scenario.annual_rate <= 0.0) continue;
     for (const auto& res :
          simulate_recovery(scenario, apps, assignments, pool, params)) {
@@ -64,6 +74,14 @@ std::vector<ScopePenalty> compute_scope_penalties(
     }
   }
   return out;
+}
+
+std::vector<ScopePenalty> compute_scope_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const FailureModel& failures,
+    const ModelParams& params) {
+  return compute_scope_penalties(apps, assignments, pool,
+                                 ScenarioModel::flat_model(failures), params);
 }
 
 }  // namespace depstor

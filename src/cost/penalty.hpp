@@ -13,7 +13,13 @@
 namespace depstor {
 
 /// Expected annual penalties per assigned application, summed over all
-/// concrete failure scenarios.
+/// concrete failure scenarios of the scenario model (tree or legacy flat).
+std::vector<AppPenaltyDetail> compute_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const ScenarioModel& model,
+    const ModelParams& params);
+
+/// Legacy-flat convenience: wraps `failures` in a flat ScenarioModel.
 std::vector<AppPenaltyDetail> compute_penalties(
     const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
     const ResourcePool& pool, const FailureModel& failures,
@@ -23,6 +29,7 @@ std::vector<AppPenaltyDetail> compute_penalties(
 struct ScopePenalty {
   FailureScope scope = FailureScope::DataObject;
   int scenarios = 0;             ///< concrete scenarios of this scope
+  double rate_sum = 0.0;         ///< summed annual likelihood of them
   double outage_penalty = 0.0;   ///< expected annual, US$
   double loss_penalty = 0.0;     ///< expected annual, US$
   double total() const { return outage_penalty + loss_penalty; }
@@ -30,7 +37,14 @@ struct ScopePenalty {
 
 /// Penalty attribution by failure scope: answers "what threat drives this
 /// design's expected cost". Scopes with no scenarios still appear (zeroed)
-/// so callers can tabulate uniformly.
+/// so callers can tabulate uniformly; tree-only events (zone/room destroys,
+/// outages) land in the Domain row.
+std::vector<ScopePenalty> compute_scope_penalties(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const ScenarioModel& model,
+    const ModelParams& params);
+
+/// Legacy-flat convenience overload.
 std::vector<ScopePenalty> compute_scope_penalties(
     const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
     const ResourcePool& pool, const FailureModel& failures,

@@ -121,7 +121,9 @@ void BatchEngine::run_job(Record& rec) {
         exec.intra_pool = &pool_;
       }
       try {
-        rec.solve = detail::solve_impl(rec.job.env.get(), opts, exec);
+        rec.solve = detail::solve_impl(
+            rec.job.env.get(), opts, exec, nullptr,
+            rec.job.scenarios ? &*rec.job.scenarios : nullptr);
         if (rec.solve.feasible && analysis::debug_audit_enabled()) {
           // Debug post-check after the result crossed the worker boundary:
           // a race or aliasing bug in the engine would corrupt the design

@@ -96,6 +96,11 @@ std::uint64_t fingerprint_environment(const Environment& env) {
       .mix(env.failures.disk_array_rate)
       .mix(env.failures.site_disaster_rate)
       .mix(env.failures.regional_disaster_rate);
+  // The domain tree changes scenario pricing without touching the flat
+  // rates; two environments differing only in tree structure or correlation
+  // knobs must never share cache entries.
+  h.mix(env.failure_domains != nullptr ? env.failure_domains->fingerprint()
+                                       : std::uint64_t{0});
 
   const ModelParams& p = env.params;
   h.mix(p.failover_hours)

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/environment.hpp"
@@ -35,6 +36,10 @@ struct DesignJob {
   /// help-while-wait keeps that deadlock-free), and `workers` is meaningless
   /// inside a single job.
   ExecutionOptions exec;
+
+  /// Scenario-model override for every candidate this job's solve prices
+  /// (SolveRequest::scenarios). Unset: the environment's own model.
+  std::optional<ScenarioModel> scenarios;
 
   /// true (default): the engine overrides `options.seed` with
   /// `engine seed + submission index`. false: keep `options.seed`.

@@ -1,0 +1,371 @@
+#include "model/domain.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+const char* to_string(DomainLevel level) {
+  switch (level) {
+    case DomainLevel::Root:
+      return "root";
+    case DomainLevel::Region:
+      return "region";
+    case DomainLevel::Zone:
+      return "zone";
+    case DomainLevel::Site:
+      return "site";
+    case DomainLevel::Room:
+      return "room";
+  }
+  return "?";
+}
+
+namespace {
+
+int site_id_by_name(const Topology& topology, const std::string& name,
+                    const std::string& where) {
+  for (const auto& s : topology.sites) {
+    if (s.name == name) return s.id;
+  }
+  throw InvalidArgument("failure domains: " + where + " references unknown "
+                        "site \"" + name + "\"");
+}
+
+}  // namespace
+
+FailureDomainTree FailureDomainTree::degenerate(const Topology& topology,
+                                                const FailureModel& flat) {
+  return build(topology, flat, {});
+}
+
+FailureDomainTree FailureDomainTree::build(
+    const Topology& topology, const FailureModel& flat,
+    const std::vector<DomainDecl>& decls) {
+  topology.validate();
+  flat.validate();
+
+  FailureDomainTree tree;
+  tree.data_object_rate_ = flat.data_object_rate;
+  tree.disk_array_rate_ = flat.disk_array_rate;
+  tree.degenerate_ = decls.empty();
+
+  auto check_name = [&](const std::string& name) {
+    DEPSTOR_EXPECTS_MSG(!name.empty(), "failure domains: empty domain name");
+    for (const auto& n : tree.nodes_) {
+      if (n.name == name) {
+        throw InvalidArgument("failure domains: duplicate domain name \"" +
+                              name + "\"");
+      }
+    }
+  };
+
+  DomainNode root;
+  root.id = 0;
+  root.level = DomainLevel::Root;
+  root.name = "root";
+  tree.nodes_.push_back(std::move(root));
+
+  // Region skeleton: one node per distinct region, ascending region id,
+  // defaulting to the flat regional-disaster rate.
+  std::vector<int> regions;
+  for (const auto& s : topology.sites) regions.push_back(s.region);
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+
+  std::vector<int> region_node(regions.empty() ? 0 : regions.back() + 1, -1);
+  for (int region : regions) {
+    DomainNode n;
+    n.id = static_cast<int>(tree.nodes_.size());
+    n.parent = 0;
+    n.level = DomainLevel::Region;
+    n.region = region;
+    n.rate = flat.regional_disaster_rate;
+    n.name = "region-" + std::to_string(region);
+    const DomainDecl* decl = nullptr;
+    for (const auto& d : decls) {
+      if (d.kind == DomainDecl::Kind::Region && d.region == region) {
+        if (decl != nullptr) {
+          throw InvalidArgument(
+              "failure domains: region " + std::to_string(region) +
+              " declared twice");
+        }
+        decl = &d;
+      }
+    }
+    if (decl != nullptr) {
+      if (!decl->name.empty()) n.name = decl->name;
+      if (decl->rate >= 0.0) n.rate = decl->rate;
+      n.outage_rate = decl->outage_rate;
+      n.correlation = decl->correlation;
+      n.repair_hours = decl->repair_hours;
+    }
+    check_name(n.name);
+    region_node[static_cast<std::size_t>(region)] = n.id;
+    tree.nodes_.push_back(std::move(n));
+  }
+  for (const auto& d : decls) {
+    if (d.kind != DomainDecl::Kind::Region) continue;
+    if (d.region < 0 || d.region >= static_cast<int>(region_node.size()) ||
+        region_node[static_cast<std::size_t>(d.region)] < 0) {
+      throw InvalidArgument("failure domains: region domain \"" + d.name +
+                            "\" names region " + std::to_string(d.region) +
+                            " which no site belongs to");
+    }
+  }
+
+  // Zones: declaration order, each a child of its region node, claiming a
+  // disjoint set of member sites.
+  std::vector<int> zone_of_site(topology.sites.size(), -1);
+  for (const auto& d : decls) {
+    if (d.kind != DomainDecl::Kind::Zone) continue;
+    if (d.region < 0 || d.region >= static_cast<int>(region_node.size()) ||
+        region_node[static_cast<std::size_t>(d.region)] < 0) {
+      throw InvalidArgument("failure domains: zone \"" + d.name +
+                            "\" names region " + std::to_string(d.region) +
+                            " which no site belongs to");
+    }
+    if (d.sites.empty()) {
+      throw InvalidArgument("failure domains: zone \"" + d.name +
+                            "\" lists no member sites");
+    }
+    DomainNode n;
+    n.id = static_cast<int>(tree.nodes_.size());
+    n.parent = region_node[static_cast<std::size_t>(d.region)];
+    n.level = DomainLevel::Zone;
+    n.region = d.region;
+    n.name = d.name;
+    n.rate = std::max(d.rate, 0.0);
+    n.outage_rate = d.outage_rate;
+    n.correlation = d.correlation;
+    n.repair_hours = d.repair_hours;
+    check_name(n.name);
+    for (const auto& member : d.sites) {
+      const int site = site_id_by_name(topology, member, "zone \"" + d.name + "\"");
+      if (topology.site(site).region != d.region) {
+        throw InvalidArgument("failure domains: zone \"" + d.name +
+                              "\" member site \"" + member +
+                              "\" is not in region " + std::to_string(d.region));
+      }
+      if (zone_of_site[static_cast<std::size_t>(site)] >= 0) {
+        throw InvalidArgument("failure domains: site \"" + member +
+                              "\" belongs to more than one zone");
+      }
+      zone_of_site[static_cast<std::size_t>(site)] = n.id;
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+
+  // Site skeleton: ascending site id, parented to the claiming zone (else
+  // the region node), defaulting to the flat site-disaster rate.
+  std::vector<int> site_node(topology.sites.size(), -1);
+  for (const auto& s : topology.sites) {
+    DomainNode n;
+    n.id = static_cast<int>(tree.nodes_.size());
+    const int zone = zone_of_site[static_cast<std::size_t>(s.id)];
+    n.parent = zone >= 0 ? zone : region_node[static_cast<std::size_t>(s.region)];
+    n.level = DomainLevel::Site;
+    n.site = s.id;
+    n.region = s.region;
+    n.rate = flat.site_disaster_rate;
+    n.name = "site-" + s.name;
+    const DomainDecl* decl = nullptr;
+    for (const auto& d : decls) {
+      if (d.kind == DomainDecl::Kind::Site &&
+          site_id_by_name(topology, d.site, "site domain \"" + d.name + "\"") ==
+              s.id) {
+        if (decl != nullptr) {
+          throw InvalidArgument("failure domains: site \"" + s.name +
+                                "\" declared twice");
+        }
+        decl = &d;
+      }
+    }
+    if (decl != nullptr) {
+      if (!decl->name.empty()) n.name = decl->name;
+      if (decl->rate >= 0.0) n.rate = decl->rate;
+      n.outage_rate = decl->outage_rate;
+      n.correlation = decl->correlation;
+      n.repair_hours = decl->repair_hours;
+    }
+    check_name(n.name);
+    site_node[static_cast<std::size_t>(s.id)] = n.id;
+    tree.nodes_.push_back(std::move(n));
+  }
+
+  // Rooms: declaration order, children of their site node. Rooms partition
+  // the site's in-use arrays (by device-id rank modulo room count) — the
+  // partition itself is computed at scenario-enumeration time because it
+  // depends on the candidate's pool, not the environment.
+  for (const auto& d : decls) {
+    if (d.kind != DomainDecl::Kind::Room) continue;
+    const int site = site_id_by_name(topology, d.site, "room \"" + d.name + "\"");
+    DomainNode n;
+    n.id = static_cast<int>(tree.nodes_.size());
+    n.parent = site_node[static_cast<std::size_t>(site)];
+    n.level = DomainLevel::Room;
+    n.site = site;
+    n.region = topology.site(site).region;
+    n.name = d.name;
+    n.rate = d.rate >= 0.0 ? d.rate : flat.disk_array_rate;
+    n.outage_rate = d.outage_rate;
+    n.correlation = d.correlation;
+    n.repair_hours = d.repair_hours;
+    check_name(n.name);
+    tree.nodes_.push_back(std::move(n));
+  }
+
+  tree.finalize(topology);
+  tree.validate(topology);
+  return tree;
+}
+
+void FailureDomainTree::finalize(const Topology& topology) {
+  site_node_.assign(topology.sites.size(), -1);
+  room_counts_.assign(topology.sites.size(), 0);
+  subtree_sites_.assign(nodes_.size(), {});
+  for (auto& n : nodes_) {
+    if (n.level == DomainLevel::Site) {
+      site_node_[static_cast<std::size_t>(n.site)] = n.id;
+    } else if (n.level == DomainLevel::Room) {
+      n.room_index = room_counts_[static_cast<std::size_t>(n.site)]++;
+    }
+  }
+  // A Room fails arrays, not its whole site, so only Site-and-above subtrees
+  // carry site membership. Sites propagate up through zones/regions to root.
+  for (const auto& n : nodes_) {
+    if (n.level != DomainLevel::Site) continue;
+    for (int a = n.id; a >= 0; a = nodes_[static_cast<std::size_t>(a)].parent) {
+      subtree_sites_[static_cast<std::size_t>(a)].push_back(n.site);
+    }
+  }
+  for (auto& sites : subtree_sites_) std::sort(sites.begin(), sites.end());
+}
+
+const DomainNode& FailureDomainTree::node(int id) const {
+  return nodes_.at(static_cast<std::size_t>(id));
+}
+
+int FailureDomainTree::site_node(int site_id) const {
+  return site_node_.at(static_cast<std::size_t>(site_id));
+}
+
+const std::vector<int>& FailureDomainTree::subtree_sites(int id) const {
+  return subtree_sites_.at(static_cast<std::size_t>(id));
+}
+
+int FailureDomainTree::room_count(int site_id) const {
+  return room_counts_.at(static_cast<std::size_t>(site_id));
+}
+
+double FailureDomainTree::correlation_chain(int id) const {
+  double chain = 1.0;
+  for (int a = id; a >= 0; a = nodes_[static_cast<std::size_t>(a)].parent) {
+    chain *= nodes_[static_cast<std::size_t>(a)].correlation;
+  }
+  return chain;
+}
+
+double FailureDomainTree::effective_rate(int id) const {
+  return node(id).rate * correlation_chain(id);
+}
+
+double FailureDomainTree::effective_outage_rate(int id) const {
+  return node(id).outage_rate * correlation_chain(id);
+}
+
+void FailureDomainTree::set_correlation(int id, double correlation) {
+  DEPSTOR_EXPECTS(correlation >= 0.0);
+  nodes_.at(static_cast<std::size_t>(id)).correlation = correlation;
+  if (correlation != 1.0) degenerate_ = false;
+}
+
+void FailureDomainTree::validate(const Topology& topology) const {
+  DEPSTOR_EXPECTS_MSG(!nodes_.empty() &&
+                          nodes_.front().level == DomainLevel::Root,
+                      "failure domains: missing root node");
+  for (const auto& n : nodes_) {
+    DEPSTOR_EXPECTS(n.id == &n - nodes_.data());
+    DEPSTOR_EXPECTS_MSG(n.rate >= 0.0 && n.outage_rate >= 0.0,
+                        "failure domains: negative rate");
+    DEPSTOR_EXPECTS_MSG(n.correlation >= 0.0,
+                        "failure domains: negative correlation");
+    DEPSTOR_EXPECTS_MSG(n.repair_hours >= 0.0,
+                        "failure domains: negative repair lead");
+    if (n.level == DomainLevel::Root) {
+      DEPSTOR_EXPECTS(n.parent < 0);
+      continue;
+    }
+    DEPSTOR_EXPECTS(n.parent >= 0 &&
+                    n.parent < static_cast<int>(nodes_.size()) &&
+                    n.parent < n.id);
+    const DomainNode& p = nodes_[static_cast<std::size_t>(n.parent)];
+    switch (n.level) {
+      case DomainLevel::Region:
+        DEPSTOR_EXPECTS(p.level == DomainLevel::Root);
+        break;
+      case DomainLevel::Zone:
+        DEPSTOR_EXPECTS(p.level == DomainLevel::Region);
+        break;
+      case DomainLevel::Site:
+        DEPSTOR_EXPECTS(p.level == DomainLevel::Region ||
+                        p.level == DomainLevel::Zone);
+        DEPSTOR_EXPECTS(n.site >= 0 && n.site < topology.site_count());
+        break;
+      case DomainLevel::Room:
+        DEPSTOR_EXPECTS(p.level == DomainLevel::Site && n.site == p.site);
+        break;
+      case DomainLevel::Root:
+        break;
+    }
+  }
+  for (const auto& s : topology.sites) {
+    DEPSTOR_EXPECTS_MSG(
+        site_node_.at(static_cast<std::size_t>(s.id)) >= 0,
+        "failure domains: site \"" + s.name + "\" has no domain node");
+  }
+  DEPSTOR_EXPECTS(data_object_rate_ >= 0.0 && disk_array_rate_ >= 0.0);
+}
+
+std::uint64_t FailureDomainTree::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix_u64(bits);
+  };
+  auto mix_str = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0xffu;
+    h *= 1099511628211ull;
+  };
+  mix_double(data_object_rate_);
+  mix_double(disk_array_rate_);
+  mix_u64(degenerate_ ? 1 : 0);
+  mix_u64(nodes_.size());
+  for (const auto& n : nodes_) {
+    mix_u64(static_cast<std::uint64_t>(static_cast<int>(n.level)));
+    mix_u64(static_cast<std::uint64_t>(n.parent + 1));
+    mix_u64(static_cast<std::uint64_t>(n.region + 1));
+    mix_u64(static_cast<std::uint64_t>(n.site + 1));
+    mix_double(n.rate);
+    mix_double(n.outage_rate);
+    mix_double(n.correlation);
+    mix_double(n.repair_hours);
+    mix_str(n.name);
+  }
+  return h;
+}
+
+}  // namespace depstor

@@ -1,0 +1,133 @@
+// Hierarchical failure domains with correlated, cause-linked rates.
+//
+// The paper models three flat failure types (data object, array, site), but
+// shared environments fail along a hierarchy: region → zone → site → room,
+// with whole subtrees taken out by one cause (a regional disaster, a power
+// domain, a network partition). Following the replica-placement work on
+// correlated failures in hierarchical failure domains (Mills et al.), each
+// tree node carries:
+//
+//   * `rate` — annualized likelihood of a *destroy* event that loses every
+//     copy stored inside the subtree (fire, flood, demolition);
+//   * `outage_rate` — annualized likelihood of an *outage* event (power
+//     loss, network partition) that makes the subtree unreachable but
+//     leaves data intact — recovery is fail-over or wait-for-repair;
+//   * `correlation` — a multiplier applied to the effective rate of every
+//     destroy/outage event at or below the node. Correlation > 1 says
+//     "failures in this subtree are more likely than the per-node rates
+//     admit because they share a cause"; the effective rate of node n is
+//     n.rate × Π correlation over the root→n path.
+//
+// A flat FailureModel loads as a *degenerate* tree (root → regions → sites,
+// every correlation 1.0, no zones/rooms, no outage causes). Because ×1.0 is
+// exact in IEEE arithmetic, scenario enumeration from a degenerate tree is
+// bit-identical to the legacy flat enumeration — the parity oracle under
+// DEPSTOR_AUDIT holds the two paths to equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/failure.hpp"
+#include "resources/site.hpp"
+
+namespace depstor {
+
+enum class DomainLevel { Root, Region, Zone, Site, Room };
+
+const char* to_string(DomainLevel level);
+
+struct DomainNode {
+  int id = -1;
+  int parent = -1;  ///< node id; -1 for the root
+  DomainLevel level = DomainLevel::Root;
+  std::string name;
+  int region = -1;      ///< Region nodes: topology region id
+  int site = -1;        ///< Site/Room nodes: topology site id
+  int room_index = -1;  ///< Room nodes: index among the site's rooms
+  double rate = 0.0;        ///< destroy events per year (cause-linked)
+  double outage_rate = 0.0; ///< outage events per year (power/partition)
+  double correlation = 1.0; ///< subtree likelihood multiplier (>= 0)
+  double repair_hours = 24.0;  ///< repair lead for this node's events
+};
+
+/// One `[domain]` declaration — an override or addition applied on top of
+/// the degenerate region/site skeleton that every topology implies.
+struct DomainDecl {
+  enum class Kind { Region, Zone, Site, Room };
+  Kind kind = Kind::Region;
+  std::string name;
+  int region = -1;                 ///< Region: which region; Zone: parent region
+  std::string site;                ///< Site/Room: topology site name
+  std::vector<std::string> sites;  ///< Zone: member site names
+  double rate = -1.0;              ///< < 0 → level default from FailureModel
+  double outage_rate = 0.0;
+  double correlation = 1.0;
+  double repair_hours = 24.0;
+};
+
+/// The failure-domain tree of one environment. Immutable after `finalize()`
+/// except for the correlation knobs (the sensitivity benches sweep them).
+class FailureDomainTree {
+ public:
+  /// The two-level tree a flat FailureModel implies: root → one Region node
+  /// per distinct region (rate = regional_disaster_rate) → one Site node per
+  /// site (rate = site_disaster_rate); all correlations 1.0. Marked
+  /// degenerate, which arms the flat-parity audit oracle.
+  static FailureDomainTree degenerate(const Topology& topology,
+                                      const FailureModel& flat);
+
+  /// Build the region/site skeleton from `topology` + `flat` defaults, then
+  /// apply `decls` (region/site knob overrides, zone and room additions).
+  /// With empty `decls` this is exactly `degenerate()`.
+  static FailureDomainTree build(const Topology& topology,
+                                 const FailureModel& flat,
+                                 const std::vector<DomainDecl>& decls);
+
+  const std::vector<DomainNode>& nodes() const { return nodes_; }
+  const DomainNode& node(int id) const;
+  int root() const { return 0; }
+
+  /// Node id of the Site node covering topology site `site_id`.
+  int site_node(int site_id) const;
+
+  /// Topology site ids inside node `id`'s subtree, ascending.
+  const std::vector<int>& subtree_sites(int id) const;
+
+  /// Number of Room children of `site_node(site_id)` (0 = no room split).
+  int room_count(int site_id) const;
+
+  bool degenerate_shape() const { return degenerate_; }
+  double data_object_rate() const { return data_object_rate_; }
+  double disk_array_rate() const { return disk_array_rate_; }
+
+  /// node.rate (resp. outage_rate) × Π correlation over the root→node path.
+  double effective_rate(int id) const;
+  double effective_outage_rate(int id) const;
+
+  /// Correlation-chain product alone (root→node, inclusive): what array
+  /// scenarios hosted inside the subtree are scaled by.
+  double correlation_chain(int id) const;
+
+  /// Sensitivity knob: reset one node's correlation (must be >= 0). Keeps
+  /// the tree finalized; clears the degenerate flag unless the value is 1.
+  void set_correlation(int id, double correlation);
+
+  void validate(const Topology& topology) const;
+
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::vector<DomainNode> nodes_;
+  std::vector<int> site_node_;                 ///< site id → node id
+  std::vector<std::vector<int>> subtree_sites_;
+  std::vector<int> room_counts_;               ///< site id → room children
+  double data_object_rate_ = 0.0;
+  double disk_array_rate_ = 0.0;
+  bool degenerate_ = false;
+
+  void finalize(const Topology& topology);
+};
+
+}  // namespace depstor

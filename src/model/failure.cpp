@@ -14,6 +14,8 @@ const char* to_string(FailureScope s) {
       return "site-disaster";
     case FailureScope::RegionalDisaster:
       return "regional-disaster";
+    case FailureScope::Domain:
+      return "domain";
   }
   return "?";
 }
@@ -28,6 +30,9 @@ double FailureModel::rate(FailureScope scope) const {
       return site_disaster_rate;
     case FailureScope::RegionalDisaster:
       return regional_disaster_rate;
+    case FailureScope::Domain:
+      // Domain scenarios are rated per tree node, not by a flat knob.
+      return 0.0;
   }
   return 0.0;
 }

@@ -16,7 +16,18 @@
 
 namespace depstor {
 
-enum class FailureScope { DataObject, DiskArray, SiteDisaster, RegionalDisaster };
+/// `Domain` covers failures only the hierarchical tree can express (zone and
+/// room destroys, power/partition outages); it has no flat rate — a Domain
+/// scenario's likelihood comes from its tree node (see model/domain.hpp).
+enum class FailureScope {
+  DataObject,
+  DiskArray,
+  SiteDisaster,
+  RegionalDisaster,
+  Domain,
+};
+
+inline constexpr int kFailureScopeCount = 5;
 
 const char* to_string(FailureScope s);
 

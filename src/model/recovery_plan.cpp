@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "model/recovery_sim.hpp"
 #include "util/check.hpp"
 
 namespace depstor {
@@ -14,6 +15,8 @@ const char* to_string(RecoveryAction a) {
       return "snapshot-revert";
     case RecoveryAction::Reconstruct:
       return "reconstruct";
+    case RecoveryAction::WaitRepair:
+      return "wait-repair";
     case RecoveryAction::Unrecoverable:
       return "unrecoverable";
   }
@@ -32,6 +35,10 @@ double repair_lead_hours(FailureScope scope, const ModelParams& params) {
       return params.repair_site_hours;
     case FailureScope::RegionalDisaster:
       return params.repair_regional_hours;
+    case FailureScope::Domain:
+      // Domain scenarios carry their node's repair lead in the spec; the
+      // scenario-aware planner never consults this table for them.
+      throw InternalError("repair lead of a Domain scenario is per-node");
   }
   return 0.0;
 }
@@ -145,6 +152,121 @@ void plan_recovery_into(RecoveryPlan& out, const ApplicationSpec& app,
     case CopyLevel::None:
       throw InternalError("unreachable: copy == None");
   }
+}
+
+void plan_recovery_into(RecoveryPlan& out, const ApplicationSpec& app,
+                        const AppAssignment& asg, const ResourcePool& pool,
+                        const ScenarioSpec& scenario,
+                        const ModelParams& params) {
+  if (scenario.scope != FailureScope::Domain) {
+    plan_recovery_into(out, app, asg, pool, scenario.scope, params);
+    return;
+  }
+  DEPSTOR_EXPECTS(asg.assigned);
+  DEPSTOR_EXPECTS(app.id == asg.app_id);
+
+  RecoveryPlan& plan = out;
+  plan.shared_devices.clear();  // keep capacity, reset everything else
+  plan.action = RecoveryAction::Unrecoverable;
+  plan.copy = CopyLevel::None;
+  plan.loss_hours = 0.0;
+  plan.lead_hours = 0.0;
+  plan.fixed_restore_hours = 0.0;
+  plan.transfer_gb = 0.0;
+  plan.app_id = app.id;
+  plan.scope = scenario.scope;
+
+  double staleness = 0.0;
+  plan.copy = best_recovery_level(app, asg, pool, scenario, &staleness);
+
+  if (scenario.data_intact) {
+    // Outage (power loss, network partition): every copy is physically
+    // fine, so no data is lost either way. Fail over to a mirror outside
+    // the unreachable domain when the technique allows it; otherwise the
+    // application simply waits out detection + the domain's repair lead.
+    if (asg.technique.recovery == RecoveryMode::Failover &&
+        plan.copy == CopyLevel::Mirror) {
+      plan.action = RecoveryAction::Failover;
+      plan.lead_hours = params.detection_hours;
+      plan.fixed_restore_hours = params.failover_hours;
+      DEPSTOR_ENSURES(asg.failover_compute >= 0);
+      plan.shared_devices.push_back(asg.failover_compute);
+      return;
+    }
+    plan.action = RecoveryAction::WaitRepair;
+    plan.copy = CopyLevel::None;
+    plan.lead_hours = params.detection_hours + scenario.repair_hours;
+    return;
+  }
+
+  // Destroy (zone or room): the legacy flow with the failed subtree's
+  // survival matrix and the node's repair lead.
+  if (plan.copy == CopyLevel::None) {
+    plan.action = RecoveryAction::Unrecoverable;
+    plan.loss_hours = params.unprotected_loss_hours;
+    plan.lead_hours = params.unprotected_loss_hours;
+    return;
+  }
+  plan.loss_hours = staleness;
+
+  if (asg.technique.recovery == RecoveryMode::Failover &&
+      plan.copy == CopyLevel::Mirror) {
+    plan.action = RecoveryAction::Failover;
+    plan.lead_hours = params.detection_hours;
+    plan.fixed_restore_hours = params.failover_hours;
+    DEPSTOR_ENSURES(asg.failover_compute >= 0);
+    plan.shared_devices.push_back(asg.failover_compute);
+    return;
+  }
+
+  plan.action = RecoveryAction::Reconstruct;
+  // Hot spares shorten single-array repairs, not a room or zone loss:
+  // replacing every enclosure of a domain is a build-out, so the node's
+  // repair lead applies untrimmed.
+  plan.lead_hours = params.detection_hours + scenario.repair_hours;
+  plan.transfer_gb = app.data_size_gb;
+  plan.shared_devices.push_back(asg.primary_array);
+  switch (plan.copy) {
+    case CopyLevel::Mirror:
+      DEPSTOR_ENSURES(asg.mirror_array >= 0 && asg.mirror_link >= 0);
+      plan.shared_devices.push_back(asg.mirror_array);
+      plan.shared_devices.push_back(asg.mirror_link);
+      break;
+    case CopyLevel::TapeBackup: {
+      DEPSTOR_ENSURES(asg.tape_library >= 0);
+      plan.shared_devices.push_back(asg.tape_library);
+      plan.fixed_restore_hours = params.tape_load_hours;
+      const int incrementals = asg.backup.incrementals_per_cycle();
+      if (incrementals > 0) {
+        plan.transfer_gb +=
+            incrementals * incremental_size_gb(app, asg.backup);
+        plan.fixed_restore_hours +=
+            incrementals * params.incremental_load_hours;
+      }
+      break;
+    }
+    case CopyLevel::Vault:
+      DEPSTOR_ENSURES(asg.tape_library >= 0);
+      plan.shared_devices.push_back(asg.tape_library);
+      plan.fixed_restore_hours = params.tape_load_hours;
+      plan.lead_hours += params.vault_retrieval_hours;
+      break;
+    case CopyLevel::Snapshot:
+      // A surviving snapshot implies an intact primary array and site, so
+      // the app was not affected by the destroy in the first place.
+      throw InternalError("snapshot reconstruct for a domain destroy");
+    case CopyLevel::None:
+      throw InternalError("unreachable: copy == None");
+  }
+}
+
+RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
+                           const ResourcePool& pool,
+                           const ScenarioSpec& scenario,
+                           const ModelParams& params) {
+  RecoveryPlan plan;
+  plan_recovery_into(plan, app, asg, pool, scenario, params);
+  return plan;
 }
 
 }  // namespace depstor

@@ -27,7 +27,17 @@
 
 namespace depstor {
 
-enum class RecoveryAction { Failover, SnapshotRevert, Reconstruct, Unrecoverable };
+/// `WaitRepair` is the outage answer (Domain scenarios with data intact):
+/// nothing was lost and nothing is restored — the application is simply down
+/// for detection + the domain's repair lead, unless it can fail over to a
+/// mirror outside the unreachable subtree.
+enum class RecoveryAction {
+  Failover,
+  SnapshotRevert,
+  Reconstruct,
+  WaitRepair,
+  Unrecoverable,
+};
 
 const char* to_string(RecoveryAction a);
 
@@ -60,5 +70,23 @@ RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
 void plan_recovery_into(RecoveryPlan& out, const ApplicationSpec& app,
                         const AppAssignment& asg, const ResourcePool& pool,
                         FailureScope scope, const ModelParams& params);
+
+struct ScenarioSpec;  // model/recovery_sim.hpp
+
+/// Scenario-aware planning. Non-Domain scopes delegate to the scope-based
+/// variant above (bit-identical plans). Domain destroys reconstruct with the
+/// node's repair lead and the subtree-aware survival matrix; Domain outages
+/// (data intact) fail over when a mirror outside the domain exists, else
+/// WaitRepair — never Unrecoverable, and never a data loss.
+void plan_recovery_into(RecoveryPlan& out, const ApplicationSpec& app,
+                        const AppAssignment& asg, const ResourcePool& pool,
+                        const ScenarioSpec& scenario,
+                        const ModelParams& params);
+
+/// Allocating wrapper over the scenario-aware `plan_recovery_into`.
+RecoveryPlan plan_recovery(const ApplicationSpec& app, const AppAssignment& asg,
+                           const ResourcePool& pool,
+                           const ScenarioSpec& scenario,
+                           const ModelParams& params);
 
 }  // namespace depstor

@@ -98,6 +98,191 @@ std::vector<ScenarioSpec> enumerate_scenarios(
   return out;
 }
 
+namespace {
+
+bool sorted_intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Arrays a Room node takes out: the site's primary-hosting arrays, ranked
+/// ascending by device id, sliced modulo the site's room count. Recomputed
+/// at enumeration time because it depends on the candidate's pool.
+void room_failed_arrays(std::vector<int>& out, const FailureDomainTree& tree,
+                        const DomainNode& room,
+                        const std::vector<int>& primary_arrays,
+                        const ResourcePool& pool) {
+  out.clear();
+  const int rooms = tree.room_count(room.site);
+  int rank = 0;
+  for (int array_id : primary_arrays) {
+    if (pool.device(array_id).site_id != room.site) continue;
+    if (rank % rooms == room.room_index) out.push_back(array_id);
+    ++rank;
+  }
+}
+
+}  // namespace
+
+void enumerate_scenarios_into(std::vector<ScenarioSpec>& out,
+                              const ApplicationList& apps,
+                              const std::vector<AppAssignment>& assignments,
+                              const ResourcePool& pool,
+                              const ScenarioModel& model, bool with_names,
+                              ScenarioScratch* scratch) {
+  if (!model.has_tree()) {
+    enumerate_scenarios_into(out, apps, assignments, pool, model.flat,
+                             with_names, scratch);
+    return;
+  }
+  const FailureDomainTree& tree = *model.tree;
+  out.clear();
+  ScenarioScratch local;
+  ScenarioScratch& sc = scratch != nullptr ? *scratch : local;
+
+  // Data-object failures are human/software error — not domain-correlated.
+  for (const auto& app : apps) {
+    const auto& asg = assignments.at(static_cast<std::size_t>(app.id));
+    if (!asg.assigned) continue;
+    ScenarioSpec s;
+    s.scope = FailureScope::DataObject;
+    s.failed_app = app.id;
+    s.annual_rate = tree.data_object_rate();
+    if (with_names) s.name = "object(" + app.name + ")";
+    out.push_back(std::move(s));
+  }
+
+  std::vector<int>& primary_arrays = sc.arrays;
+  std::vector<int>& primary_sites = sc.sites;
+  primary_arrays.clear();
+  primary_sites.clear();
+  for (const auto& asg : assignments) {
+    if (!asg.assigned) continue;
+    primary_arrays.push_back(asg.primary_array);
+    primary_sites.push_back(asg.primary_site);
+  }
+  std::sort(primary_arrays.begin(), primary_arrays.end());
+  primary_arrays.erase(
+      std::unique(primary_arrays.begin(), primary_arrays.end()),
+      primary_arrays.end());
+  std::sort(primary_sites.begin(), primary_sites.end());
+  primary_sites.erase(std::unique(primary_sites.begin(), primary_sites.end()),
+                      primary_sites.end());
+
+  // Array failures, scaled by the hosting site's correlation chain (×1.0 —
+  // hence bit-exact — on a degenerate tree).
+  for (int array_id : primary_arrays) {
+    ScenarioSpec s;
+    s.scope = FailureScope::DiskArray;
+    s.failed_array = array_id;
+    const int host = pool.device(array_id).site_id;
+    s.annual_rate =
+        tree.disk_array_rate() * tree.correlation_chain(tree.site_node(host));
+    if (with_names) {
+      s.name = "array(" + pool.device(array_id).type.name + "#" +
+               std::to_string(array_id) + ")";
+    }
+    out.push_back(std::move(s));
+  }
+
+  // Room destroys: each room fails its slice of the site's primary arrays.
+  for (const auto& n : tree.nodes()) {
+    if (n.level != DomainLevel::Room || n.rate <= 0.0) continue;
+    room_failed_arrays(sc.site_arrays, tree, n, primary_arrays, pool);
+    if (sc.site_arrays.empty()) continue;
+    ScenarioSpec s;
+    s.scope = FailureScope::Domain;
+    s.domain_node = n.id;
+    s.repair_hours = n.repair_hours;
+    s.failed_arrays = sc.site_arrays;
+    s.annual_rate = tree.effective_rate(n.id);
+    if (with_names) s.name = "room(" + n.name + ")";
+    out.push_back(std::move(s));
+  }
+
+  // Site disasters keep the legacy scope (and its survival/repair
+  // semantics); the rate comes from the site's node, correlation-scaled.
+  for (int site : primary_sites) {
+    ScenarioSpec s;
+    s.scope = FailureScope::SiteDisaster;
+    s.failed_site = site;
+    s.annual_rate = tree.effective_rate(tree.site_node(site));
+    if (with_names) s.name = "site(" + pool.topology().site(site).name + ")";
+    out.push_back(std::move(s));
+  }
+
+  // Zone destroys: a multi-site disaster over the zone's member sites.
+  for (const auto& n : tree.nodes()) {
+    if (n.level != DomainLevel::Zone || n.rate <= 0.0) continue;
+    if (!sorted_intersects(tree.subtree_sites(n.id), primary_sites)) continue;
+    ScenarioSpec s;
+    s.scope = FailureScope::Domain;
+    s.domain_node = n.id;
+    s.repair_hours = n.repair_hours;
+    s.failed_sites = tree.subtree_sites(n.id);
+    s.annual_rate = tree.effective_rate(n.id);
+    if (with_names) s.name = "zone(" + n.name + ")";
+    out.push_back(std::move(s));
+  }
+
+  // Regional disasters: legacy scope, per-region node. A degenerate tree's
+  // per-node rate equals the flat knob, so the rate>0 gate and the ascending
+  // region order reproduce the flat list exactly.
+  for (const auto& n : tree.nodes()) {
+    if (n.level != DomainLevel::Region || n.rate <= 0.0) continue;
+    if (!sorted_intersects(tree.subtree_sites(n.id), primary_sites)) continue;
+    ScenarioSpec s;
+    s.scope = FailureScope::RegionalDisaster;
+    s.failed_region = n.region;
+    s.annual_rate = tree.effective_rate(n.id);
+    if (with_names) s.name = "region(" + std::to_string(n.region) + ")";
+    out.push_back(std::move(s));
+  }
+
+  // Outage causes (power loss, network partition): the subtree is
+  // unreachable but its data survives — recovery is fail-over or
+  // wait-for-repair. Never present on a degenerate tree.
+  for (const auto& n : tree.nodes()) {
+    if (n.level == DomainLevel::Root || n.outage_rate <= 0.0) continue;
+    ScenarioSpec s;
+    if (n.level == DomainLevel::Room) {
+      room_failed_arrays(sc.site_arrays, tree, n, primary_arrays, pool);
+      if (sc.site_arrays.empty()) continue;
+      s.failed_arrays = sc.site_arrays;
+    } else {
+      if (!sorted_intersects(tree.subtree_sites(n.id), primary_sites)) {
+        continue;
+      }
+      s.failed_sites = tree.subtree_sites(n.id);
+    }
+    s.scope = FailureScope::Domain;
+    s.domain_node = n.id;
+    s.data_intact = true;
+    s.repair_hours = n.repair_hours;
+    s.annual_rate = tree.effective_outage_rate(n.id);
+    if (with_names) s.name = "outage(" + n.name + ")";
+    out.push_back(std::move(s));
+  }
+}
+
+std::vector<ScenarioSpec> enumerate_scenarios(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const ScenarioModel& model, bool with_names) {
+  std::vector<ScenarioSpec> out;
+  enumerate_scenarios_into(out, apps, assignments, pool, model, with_names);
+  return out;
+}
+
 void affected_apps_into(std::vector<int>& out, const ScenarioSpec& scenario,
                         const std::vector<AppAssignment>& assignments,
                         const Topology& topology) {
@@ -121,6 +306,17 @@ void affected_apps_into(std::vector<int>& out, const ScenarioSpec& scenario,
       case FailureScope::RegionalDisaster:
         if (topology.site(asg.primary_site).region ==
             scenario.failed_region) {
+          out.push_back(asg.app_id);
+        }
+        break;
+      case FailureScope::Domain:
+        // The subtree's footprint is precomputed (sorted) at enumeration.
+        if (std::binary_search(scenario.failed_sites.begin(),
+                               scenario.failed_sites.end(),
+                               asg.primary_site) ||
+            std::binary_search(scenario.failed_arrays.begin(),
+                               scenario.failed_arrays.end(),
+                               asg.primary_array)) {
           out.push_back(asg.app_id);
         }
         break;
@@ -198,7 +394,7 @@ void simulate_recovery_into(std::vector<AppRecoveryResult>& out,
     plan_recovery_into(ws.plans[i],
                        apps.at(static_cast<std::size_t>(app_id)),
                        assignments.at(static_cast<std::size_t>(app_id)), pool,
-                       scenario.scope, params);
+                       scenario, params);
   }
 
   // Serialization order on contended resources. The paper's rule: recovery

@@ -19,18 +19,30 @@
 #include "model/failure.hpp"
 #include "model/params.hpp"
 #include "model/recovery_plan.hpp"
+#include "model/scenario_model.hpp"
 #include "resources/pool.hpp"
 #include "workload/application.hpp"
 
 namespace depstor {
 
-/// One concrete failure event: a scope plus the failed entity.
+/// One concrete failure event: a scope plus the failed entity. Domain-scope
+/// scenarios (tree-only: zone/room destroys, power/partition outages)
+/// additionally carry the failed subtree's footprint — the sites and arrays
+/// the event takes out — plus the node's repair lead and whether the data
+/// inside the domain survives (an outage) or is destroyed.
 struct ScenarioSpec {
   FailureScope scope = FailureScope::DataObject;
   int failed_app = -1;     ///< DataObject: the app whose object is corrupted
   int failed_array = -1;   ///< DiskArray: pool device id of the failed array
   int failed_site = -1;    ///< SiteDisaster: the destroyed site
   int failed_region = -1;  ///< RegionalDisaster: the destroyed region
+  int domain_node = -1;    ///< Domain: the failure-domain tree node
+  /// Domain: true for outage causes (power loss, network partition) — every
+  /// copy inside the subtree is intact but unreachable until repair.
+  bool data_intact = false;
+  double repair_hours = 0.0;  ///< Domain: the node's repair lead
+  std::vector<int> failed_sites;   ///< Domain: subtree sites, ascending
+  std::vector<int> failed_arrays;  ///< Domain (rooms): failed arrays, ascending
   double annual_rate = 0.0;
   std::string name;
 };
@@ -42,6 +54,7 @@ struct ScenarioScratch {
   std::vector<int> arrays;
   std::vector<int> sites;
   std::vector<int> regions;
+  std::vector<int> site_arrays;  ///< tree path: per-site array partitioning
 };
 
 /// All concrete failure scenarios of an (assigned subset of a) candidate:
@@ -64,6 +77,27 @@ void enumerate_scenarios_into(std::vector<ScenarioSpec>& out,
                               const FailureModel& failures,
                               bool with_names = false,
                               ScenarioScratch* scratch = nullptr);
+
+/// Scenario-model-driven enumeration. Without a tree this is exactly the
+/// flat path above. With a tree: data-object failures per app, one array
+/// failure per in-use primary array (rate scaled by the hosting site's
+/// correlation chain), room destroys, site disasters (legacy scope, per-node
+/// effective rate), zone destroys, regional disasters (legacy scope), then
+/// outage events for every node with an outage cause. A degenerate tree
+/// reproduces the flat list bit for bit.
+void enumerate_scenarios_into(std::vector<ScenarioSpec>& out,
+                              const ApplicationList& apps,
+                              const std::vector<AppAssignment>& assignments,
+                              const ResourcePool& pool,
+                              const ScenarioModel& model,
+                              bool with_names = false,
+                              ScenarioScratch* scratch = nullptr);
+
+/// Convenience wrapper over the model-driven `enumerate_scenarios_into`.
+std::vector<ScenarioSpec> enumerate_scenarios(
+    const ApplicationList& apps, const std::vector<AppAssignment>& assignments,
+    const ResourcePool& pool, const ScenarioModel& model,
+    bool with_names = false);
 
 /// Ids of the applications whose primary copy the scenario destroys.
 std::vector<int> affected_apps(const ScenarioSpec& scenario,

@@ -1,0 +1,49 @@
+#include "model/scenario_model.hpp"
+
+#include "util/check.hpp"
+
+namespace depstor {
+
+ScenarioModel ScenarioModel::flat_model(const FailureModel& rates) {
+  ScenarioModel m;
+  m.flat = rates;
+  return m;
+}
+
+ScenarioModel ScenarioModel::tree_model(
+    std::shared_ptr<const FailureDomainTree> t, const FailureModel& rates) {
+  DEPSTOR_EXPECTS_MSG(t != nullptr, "tree_model requires a non-null tree");
+  ScenarioModel m;
+  m.flat = rates;
+  m.tree = std::move(t);
+  return m;
+}
+
+void ScenarioModel::validate() const {
+  flat.validate();
+  // Tree invariants are checked against a topology at build/load time;
+  // here only the handle's presence distinguishes the two modes.
+}
+
+std::uint64_t fingerprint_scenarios(const ScenarioModel& model) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix_u64(bits);
+  };
+  mix_double(model.flat.data_object_rate);
+  mix_double(model.flat.disk_array_rate);
+  mix_double(model.flat.site_disaster_rate);
+  mix_double(model.flat.regional_disaster_rate);
+  mix_u64(model.tree != nullptr ? model.tree->fingerprint() : 0);
+  return h;
+}
+
+}  // namespace depstor

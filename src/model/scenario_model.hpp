@@ -1,0 +1,49 @@
+// The scenario source of truth a solve evaluates against.
+//
+// Historically every consumer (enumeration, penalties, the incremental
+// evaluator, Monte Carlo, reports) read rates straight off a flat
+// FailureModel. A ScenarioModel wraps that choice into one value: either a
+// legacy flat model, or a FailureDomainTree whose nodes carry cause-linked
+// destroy/outage rates and correlation knobs. Requests (`SolveRequest`,
+// `ResolveRequest`) can carry one to override the environment's model.
+//
+// A degenerate tree (the two-level shape a flat model implies) enumerates
+// bit-identically to the flat path; `DEPSTOR_AUDIT` cross-checks that
+// equality on every evaluation of a degenerate-tree candidate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "model/domain.hpp"
+#include "model/failure.hpp"
+
+namespace depstor {
+
+struct ScenarioModel {
+  /// Flat rates: the enumeration source when `tree` is null, and the
+  /// data-object / disk-array defaults either way.
+  FailureModel flat;
+  /// When set, scenario enumeration walks the tree instead of the flat
+  /// scopes. Shared (environments and candidates copy the handle, not the
+  /// tree); treat the pointee as immutable while any solve references it.
+  std::shared_ptr<const FailureDomainTree> tree;
+
+  bool has_tree() const { return tree != nullptr; }
+
+  /// Legacy: enumerate the three flat scopes (plus regional) from `rates`.
+  static ScenarioModel flat_model(const FailureModel& rates);
+
+  /// Tree-driven enumeration; `rates` supplies the data-object and
+  /// disk-array base rates for reporting and sensitivity sweeps.
+  static ScenarioModel tree_model(std::shared_ptr<const FailureDomainTree> t,
+                                  const FailureModel& rates);
+
+  void validate() const;
+};
+
+/// Stable content hash (rates + tree shape/knobs): mixed into eval-cache
+/// salts so two solves over different scenario models never alias.
+std::uint64_t fingerprint_scenarios(const ScenarioModel& model);
+
+}  // namespace depstor

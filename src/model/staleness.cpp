@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "model/recovery_sim.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
 
@@ -55,6 +56,11 @@ bool level_survives(CopyLevel level, FailureScope scope) {
       // Without placement information, assume the mirror shares the
       // region: only the vault certainly survives.
       return level == CopyLevel::Vault;
+    case FailureScope::Domain:
+      // Domain scenarios name the exact failed subtree; survival depends
+      // on placement, so the placement-aware overload below must be used.
+      // Without it, only the offsite vault certainly survives.
+      return level == CopyLevel::Vault;
   }
   return false;
 }
@@ -67,6 +73,46 @@ bool level_survives(CopyLevel level, FailureScope scope,
            topology.site(asg.primary_site).region;
   }
   return level_survives(level, scope);
+}
+
+bool level_survives(CopyLevel level, const ScenarioSpec& scenario,
+                    const AppAssignment& asg, const Topology& topology) {
+  if (scenario.scope != FailureScope::Domain) {
+    return level_survives(level, scenario.scope, asg, topology);
+  }
+  auto failed_site = [&](int site) {
+    return std::binary_search(scenario.failed_sites.begin(),
+                              scenario.failed_sites.end(), site);
+  };
+  auto failed_array = [&](int array) {
+    return std::binary_search(scenario.failed_arrays.begin(),
+                              scenario.failed_arrays.end(), array);
+  };
+  if (scenario.data_intact) {
+    // Outage: only a mirror outside the unreachable domain is usable —
+    // restoring from tape/vault while the primary merely waits for power
+    // is never the plan (WaitRepair covers that case).
+    return level == CopyLevel::Mirror && asg.has_mirror() &&
+           !failed_site(asg.secondary_site) && !failed_array(asg.mirror_array);
+  }
+  switch (level) {
+    case CopyLevel::Mirror:
+      return asg.has_mirror() && !failed_site(asg.secondary_site) &&
+             !failed_array(asg.mirror_array);
+    case CopyLevel::Snapshot:
+      // Internal to the primary array.
+      return !failed_site(asg.primary_site) &&
+             !failed_array(asg.primary_array);
+    case CopyLevel::TapeBackup:
+      // The library lives at the primary site; a room destroy (arrays only)
+      // leaves it standing.
+      return !failed_site(asg.primary_site);
+    case CopyLevel::Vault:
+      return true;  // offsite by definition
+    case CopyLevel::None:
+      return false;
+  }
+  return false;
 }
 
 std::vector<CopyLevel> surviving_levels(const TechniqueSpec& technique,
@@ -197,6 +243,31 @@ CopyLevel best_recovery_level(const ApplicationSpec& app,
   CopyLevel best = CopyLevel::None;
   double best_staleness = std::numeric_limits<double>::infinity();
   for (CopyLevel level : surviving_levels(asg, pool.topology(), scope)) {
+    const double s = staleness_hours(level, app, asg, pool);
+    if (s < best_staleness) {
+      best_staleness = s;
+      best = level;
+    }
+  }
+  if (staleness_out) {
+    *staleness_out = best == CopyLevel::None ? 0.0 : best_staleness;
+  }
+  return best;
+}
+
+CopyLevel best_recovery_level(const ApplicationSpec& app,
+                              const AppAssignment& asg,
+                              const ResourcePool& pool,
+                              const ScenarioSpec& scenario,
+                              double* staleness_out) {
+  CopyLevel best = CopyLevel::None;
+  double best_staleness = std::numeric_limits<double>::infinity();
+  for (CopyLevel level : {CopyLevel::Mirror, CopyLevel::Snapshot,
+                          CopyLevel::TapeBackup, CopyLevel::Vault}) {
+    if (!level_maintained(asg.technique, level) ||
+        !level_survives(level, scenario, asg, pool.topology())) {
+      continue;
+    }
     const double s = staleness_hours(level, app, asg, pool);
     if (s < best_staleness) {
       best_staleness = s;

@@ -63,6 +63,19 @@ bool level_survives(CopyLevel level, FailureScope scope);
 bool level_survives(CopyLevel level, FailureScope scope,
                     const AppAssignment& asg, const Topology& topology);
 
+struct ScenarioSpec;  // model/recovery_sim.hpp
+
+/// Scenario-aware survival. Non-Domain scopes delegate to the placement
+/// overload above (identical answers). Domain destroys (zone/room) check the
+/// copy's placement against the failed subtree's site/array footprint:
+/// mirrors survive outside it, snapshots die with the primary, the tape
+/// library dies with the primary site, the vault always survives. Domain
+/// outages (data intact) leave only an out-of-domain mirror *usable* — other
+/// copies are physically fine but recovery from them is pointless while the
+/// primary hardware merely waits for repair (see RecoveryAction::WaitRepair).
+bool level_survives(CopyLevel level, const ScenarioSpec& scenario,
+                    const AppAssignment& asg, const Topology& topology);
+
 /// Levels that are both maintained and surviving, ordered freshest first
 /// (placement-free; conservative for regional disasters).
 std::vector<CopyLevel> surviving_levels(const TechniqueSpec& technique,
@@ -78,6 +91,14 @@ std::vector<CopyLevel> surviving_levels(const AppAssignment& asg,
 CopyLevel best_recovery_level(const ApplicationSpec& app,
                               const AppAssignment& asg,
                               const ResourcePool& pool, FailureScope scope,
+                              double* staleness_out = nullptr);
+
+/// Scenario-aware variant (selection rule identical; survival per the
+/// scenario-aware `level_survives`).
+CopyLevel best_recovery_level(const ApplicationSpec& app,
+                              const AppAssignment& asg,
+                              const ResourcePool& pool,
+                              const ScenarioSpec& scenario,
                               double* staleness_out = nullptr);
 
 /// Time (hours) a full backup of the dataset takes with the tape bandwidth

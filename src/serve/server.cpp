@@ -257,6 +257,10 @@ std::shared_ptr<Server::JobRecord> Server::admit(const std::string& line,
     // applications and site capacities is rejected before taking a slot.
     try {
       rec->delta = diff_environments(*rec->prev->env, rec->env);
+    } catch (const NonDeltaError& e) {
+      // Reason-coded rejection (e.g. failure_model_changed): the 422 tells
+      // the client *why* the revision was refused, not just that it was.
+      return reject(req.id, kRejectLint, e.reason().c_str(), e.what());
     } catch (const std::exception& e) {
       return reject(req.id, kRejectLint, "delta", e.what());
     }

@@ -65,7 +65,7 @@ MonteCarloResult MonteCarloSimulator::run(
 
   const auto scenarios =
       enumerate_scenarios(env_->apps, candidate.assignments(),
-                          candidate.pool(), env_->failures);
+                          candidate.pool(), candidate.scenario_model());
   MonteCarloResult result;
   result.years = options.years;
   result.per_app.resize(env_->apps.size());

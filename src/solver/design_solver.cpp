@@ -133,15 +133,24 @@ class SolveRun {
  public:
   SolveRun(const Environment* env, const DesignSolverOptions& options,
            const ExecutionOptions& exec,
-           const detail::WarmStart* warm = nullptr)
+           const detail::WarmStart* warm = nullptr,
+           const ScenarioModel* scenarios = nullptr)
       : env_(env),
         options_(options),
         exec_(exec),
         warm_(warm),
+        scenarios_(scenarios),
         time_budget_ms_(exec.time_budget_ms > 0.0 ? exec.time_budget_ms
                                                   : options.time_budget_ms) {
     if (exec_.eval_cache != nullptr) {
       env_salt_ = fingerprint_environment(*env_);
+      if (scenarios_ != nullptr) {
+        // An overridden scenario model prices the same design differently;
+        // cache entries must not cross models.
+        const std::uint64_t sfp = fingerprint_scenarios(*scenarios_);
+        env_salt_ ^= sfp + 0x9e3779b97f4a7c15ULL + (env_salt_ << 6) +
+                     (env_salt_ >> 2);
+      }
     }
     if (exec_.intra_node_workers > 1) {
       if (exec_.intra_pool != nullptr) {
@@ -254,6 +263,7 @@ class SolveRun {
   const DesignSolverOptions& options_;
   const ExecutionOptions& exec_;
   const detail::WarmStart* warm_ = nullptr;
+  const ScenarioModel* scenarios_ = nullptr;  ///< request override, or null
   const double time_budget_ms_;
   const Clock::time_point start_ = Clock::now();
 
@@ -299,6 +309,9 @@ std::optional<Node> SolveRun::greedy_stage(std::uint64_t rep) {
   for (int restart = 0; restart < options_.max_greedy_restarts; ++restart) {
     ++result_.greedy_restarts;
     Candidate cand(env_);
+    // A fresh candidate starts fully dirty, so the override costs nothing
+    // extra here.
+    if (scenarios_ != nullptr) cand.set_scenario_model(*scenarios_);
     bool failed = false;
     while (cand.assigned_count() < static_cast<int>(env_->apps.size())) {
       if (cancelled()) {
@@ -351,6 +364,10 @@ std::optional<Node> SolveRun::greedy_stage(std::uint64_t rep) {
 std::optional<Node> SolveRun::warm_stage() {
   DEPSTOR_TRACE_SPAN("warm_seed");
   Node node{*warm_->seed, CostBreakdown{}};
+  // Overriding the seed's scenario model marks everything dirty — correct
+  // (its cached results embed the old rates) but it forfeits the warm
+  // cache, so resolve callers should override only when rates truly differ.
+  if (scenarios_ != nullptr) node.candidate.set_scenario_model(*scenarios_);
   // Same non-colliding RNG path as greedy ({rep=0, ~0}): warm runs exactly
   // one repetition, so the stream is unique within the solve.
   Rng rng(derive_seed(options_.seed, {0, ~std::uint64_t{0}}));
@@ -702,8 +719,10 @@ namespace detail {
 
 SolveResult solve_impl(const Environment* env,
                        const DesignSolverOptions& options,
-                       const ExecutionOptions& exec, const WarmStart* warm) {
+                       const ExecutionOptions& exec, const WarmStart* warm,
+                       const ScenarioModel* scenarios) {
   validate(env, options, exec);
+  if (scenarios != nullptr) scenarios->validate();
   if (warm != nullptr) {
     DEPSTOR_EXPECTS_MSG(warm->seed != nullptr,
                         "warm start needs a seed candidate");
@@ -716,19 +735,10 @@ SolveResult solve_impl(const Environment* env,
           "warm focus_apps must be sorted ascending");
     }
   }
-  SolveRun run(env, options, exec, warm);
+  SolveRun run(env, options, exec, warm, scenarios);
   return run.run();
 }
 
 }  // namespace detail
-
-DesignSolver::DesignSolver(const Environment* env, DesignSolverOptions options)
-    : env_(env), options_(options) {
-  validate(env, options_, ExecutionOptions{});
-}
-
-SolveResult DesignSolver::solve() {
-  return detail::solve_impl(env_, options_, ExecutionOptions{});
-}
 
 }  // namespace depstor

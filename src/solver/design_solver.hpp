@@ -81,7 +81,7 @@ struct DesignSolverOptions {
 /// DesignSolverOptions.
 struct ExecutionOptions {
   /// Independent seed-restart solves run concurrently, merged by minimum
-  /// cost (the old `solve_parallel` fan). Must be >= 1.
+  /// cost (the seed-restart fan). Must be >= 1.
   int workers = 1;
   /// Threads cooperating *inside* each solve's refit stage. 1 = the
   /// sequential path (no pool is created). Must be >= 1.
@@ -179,29 +179,16 @@ struct WarmStart {
 
 /// Run one greedy+refit solve under `exec` (workers is ignored here — the
 /// seed fan lives in depstor::solve). `warm`, when set, replaces the greedy
-/// stage with the warm-start path above. Internal: callers go through
-/// core/api.hpp.
+/// stage with the warm-start path above. `scenarios`, when set, overrides
+/// the environment's scenario model for every candidate the search prices
+/// (SolveRequest::scenarios); it must outlive the call. Internal: callers go
+/// through core/api.hpp.
 SolveResult solve_impl(const Environment* env,
                        const DesignSolverOptions& options,
                        const ExecutionOptions& exec,
-                       const WarmStart* warm = nullptr);
+                       const WarmStart* warm = nullptr,
+                       const ScenarioModel* scenarios = nullptr);
 
 }  // namespace detail
-
-class DesignSolver {
- public:
-  explicit DesignSolver(const Environment* env,
-                        DesignSolverOptions options = {});
-
-  /// Run greedy + refit once within the time budget and return the best
-  /// design found. Never throws for infeasibility — inspect `feasible`.
-  [[deprecated(
-      "use depstor::solve(SolveRequest) from core/api.hpp")]] SolveResult
-  solve();
-
- private:
-  const Environment* env_;
-  DesignSolverOptions options_;
-};
 
 }  // namespace depstor

@@ -37,20 +37,6 @@ std::vector<Result> run_workers(int workers, const Job& job) {
 
 }  // namespace
 
-SolveResult solve_parallel(const Environment* env,
-                           const DesignSolverOptions& options, int workers) {
-  // Deprecated wrapper: the seed fan (job k gets seed `options.seed + k`,
-  // merge by minimum cost, counters summed) now lives behind
-  // depstor::solve. The historical workers >= 1 precondition is preserved.
-  DEPSTOR_EXPECTS(env != nullptr);
-  DEPSTOR_EXPECTS(workers >= 1);
-  SolveRequest request;
-  request.env = env;
-  request.options = options;
-  request.exec.workers = workers;
-  return solve(request);
-}
-
 BaselineResult random_parallel(const Environment* env,
                                const BaselineOptions& options, int workers) {
   DEPSTOR_EXPECTS(env != nullptr);

@@ -6,9 +6,9 @@
 // trivially: each worker gets a derived seed, runs the sequential algorithm,
 // and the results merge by minimum (solver) or concatenation (sampler).
 //
-// The solver fan now lives behind depstor::solve (core/api.hpp) with
-// `exec.workers`; solve_parallel remains as a deprecated wrapper. The
-// baseline/sampler drivers run on the engine's WorkerPool primitive.
+// The solver fan lives behind depstor::solve (core/api.hpp) with
+// `exec.workers`. The baseline/sampler drivers here run on the engine's
+// WorkerPool primitive.
 //
 // Determinism: with a fixed `seed` and `workers`, worker k always receives
 // seed `seed + k`, so results are reproducible regardless of thread
@@ -21,15 +21,6 @@
 #include "solver/design_solver.hpp"
 
 namespace depstor {
-
-/// Run `workers` independent design solvers (seeds seed+0 … seed+workers-1)
-/// concurrently and return the cheapest feasible result. Node/iteration
-/// counters are summed across workers.
-[[deprecated(
-    "use depstor::solve(SolveRequest) with exec.workers from "
-    "core/api.hpp")]] SolveResult
-solve_parallel(const Environment* env, const DesignSolverOptions& options,
-               int workers);
 
 /// Run `workers` independent random-heuristic searches concurrently and
 /// return the best result (design counters summed).

@@ -10,7 +10,9 @@
 namespace depstor {
 
 Candidate::Candidate(const Environment* env)
-    : env_(env), pool_((DEPSTOR_EXPECTS(env != nullptr), env->topology)) {
+    : env_(env),
+      scenarios_((DEPSTOR_EXPECTS(env != nullptr), env->scenario_model())),
+      pool_(env->topology) {
   env_->validate();
   assignments_.resize(env_->apps.size());
   choices_.resize(env_->apps.size());
@@ -296,6 +298,10 @@ void Candidate::migrate(const Environment* new_env,
   choices_ = std::move(choices);
 
   env_ = new_env;
+  // diff_environments rejects failure-model drift (failure_model_changed),
+  // so the successor's scenario model is rate-identical to the current one
+  // and re-binding it invalidates nothing.
+  scenarios_ = env_->scenario_model();
   type_index_.clear();
   for (const auto& t : env_->array_types) type_index_.emplace(t.name, &t);
   for (const auto& t : env_->tape_types) type_index_.emplace(t.name, &t);
@@ -465,20 +471,22 @@ int Candidate::set_extra_capacity_units(int device_id, int extra) {
 
 CostBreakdown Candidate::evaluate(IncrementalStats* stats) const {
   if (!incremental_enabled_) {
-    return evaluate_cost(env_->apps, assignments_, pool_, env_->failures,
-                         env_->params);
+    CostBreakdown cost = evaluate_cost(env_->apps, assignments_, pool_,
+                                       scenarios_, env_->params);
+    audit_flat_parity(cost);
+    return cost;
   }
   CostBreakdown cost;
   const bool reused =
-      inc_eval_.evaluate(cost, env_->apps, assignments_, pool_,
-                         env_->failures, env_->params, dirty_, stats);
+      inc_eval_.evaluate(cost, env_->apps, assignments_, pool_, scenarios_,
+                         env_->params, dirty_, stats);
   if (reused && analysis::debug_audit_enabled()) {
     // Equivalence oracle: whenever cached scenario results were reused, the
     // incremental total must match a from-scratch recompute bit-for-bit. A
     // fully re-simulated evaluation is skipped — it *is* the full
     // computation.
-    const CostBreakdown full = evaluate_cost(
-        env_->apps, assignments_, pool_, env_->failures, env_->params);
+    const CostBreakdown full = evaluate_cost(env_->apps, assignments_, pool_,
+                                             scenarios_, env_->params);
     if (!exactly_equal(cost, full)) {
       throw InternalError(
           "incremental evaluation diverged from full recompute: "
@@ -487,7 +495,35 @@ CostBreakdown Candidate::evaluate(IncrementalStats* stats) const {
           std::to_string(full.total()));
     }
   }
+  audit_flat_parity(cost);
   return cost;
+}
+
+void Candidate::audit_flat_parity(const CostBreakdown& cost) const {
+  // Degenerate-tree oracle (DEPSTOR_AUDIT): a flat environment loaded
+  // through the two-level tree must price bit-identically to the legacy
+  // flat enumeration — the tree is a pure re-encoding, not a new model.
+  if (!analysis::debug_audit_enabled()) return;
+  if (!scenarios_.has_tree() || !scenarios_.tree->degenerate_shape()) return;
+  const CostBreakdown flat =
+      evaluate_cost(env_->apps, assignments_, pool_,
+                    ScenarioModel::flat_model(scenarios_.flat), env_->params);
+  if (!exactly_equal(cost, flat)) {
+    throw InternalError(
+        "degenerate failure-domain tree diverged from the flat model: "
+        "tree total " +
+        std::to_string(cost.total()) + " vs flat " +
+        std::to_string(flat.total()));
+  }
+}
+
+void Candidate::set_scenario_model(ScenarioModel model) {
+  DEPSTOR_EXPECTS_MSG(!probe_active_,
+                      "cannot swap scenario models inside a probe");
+  model.validate();
+  scenarios_ = std::move(model);
+  // Every cached scenario embeds the old model's rates and structure.
+  dirty_.mark_all();
 }
 
 void Candidate::set_incremental_enabled(bool enabled) {

@@ -134,12 +134,26 @@ class Candidate {
   /// Throws InfeasibleError / InvalidArgument on violation.
   void check_feasible() const;
 
+  /// The scenario source of truth this candidate evaluates against.
+  /// Initialized from the environment (`Environment::scenario_model`);
+  /// requests override it per solve (SolveRequest::scenarios).
+  const ScenarioModel& scenario_model() const { return scenarios_; }
+
+  /// Replace the scenario model. Rates embedded in every cached scenario
+  /// become stale, so everything is marked dirty — the next evaluation
+  /// re-enumerates and re-simulates from scratch. Not allowed in a probe.
+  void set_scenario_model(ScenarioModel model);
+
  private:
   int find_or_create_device(const DeviceTypeSpec& type, int site,
                             int site_b = -1);
   const DeviceTypeSpec& type_by_name(const std::string& name) const;
+  /// DEPSTOR_AUDIT oracle: a degenerate tree must price bit-identically to
+  /// the flat model it encodes. No-op otherwise.
+  void audit_flat_parity(const CostBreakdown& cost) const;
 
   const Environment* env_;
+  ScenarioModel scenarios_;  ///< see scenario_model()
   ResourcePool pool_;
   std::vector<AppAssignment> assignments_;
   std::vector<std::optional<DesignChoice>> choices_;

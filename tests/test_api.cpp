@@ -1,18 +1,15 @@
 // The unified entry point (core/api.hpp): SolveRequest validation, the
-// seed-restart fan, and the pinning tests for the deprecated wrappers.
+// seed-restart fan, and the request-level scenario-model override.
 //
-// This file is the one place allowed to call `DesignSolver::solve()` and
-// `solve_parallel()` — it pins the wrappers to the new API bit-for-bit so
-// the deprecation period cannot silently change behavior. Everything else
-// in the tree goes through depstor::solve (CI builds with -Werror, which
-// turns any stray deprecated call into a build break).
+// The deprecated `DesignSolver::solve()` / `solve_parallel()` wrappers were
+// removed after their deprecation cycle (see README's migration table);
+// everything goes through depstor::solve now.
 #include <gtest/gtest.h>
 
 #include <atomic>
 
 #include "core/api.hpp"
 #include "core/scenarios.hpp"
-#include "solver/parallel.hpp"
 #include "test_helpers.hpp"
 
 namespace depstor {
@@ -78,45 +75,39 @@ TEST(SolveRequest, HonorsCancellationHook) {
   EXPECT_TRUE(result.cancelled);
 }
 
-// ------------------------------------------------- deprecated-wrapper pins
+// ------------------------------------------------ scenario-model override
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SolveRequest, ScenarioOverrideMatchesEnvironmentWithThoseRates) {
+  // Solving env A with env B's scenario model must equal solving an
+  // environment that carries B's failure rates natively: the override is a
+  // pure re-pricing, not a different search.
+  Environment env = testing::peer_env(4);
+  Environment shifted = env;
+  shifted.failures.site_disaster_rate *= 4.0;
+  shifted.failures.disk_array_rate *= 2.0;
 
-TEST(DeprecatedWrappers, DesignSolverSolveMatchesUnifiedApi) {
-  const Environment env = testing::peer_env(4);
-  const DesignSolverOptions options = fixed_work_options(5);
+  SolveRequest request;
+  request.env = &env;
+  request.options = fixed_work_options(17);
+  request.scenarios = shifted.scenario_model();
+  const SolveResult overridden = solve(request);
 
-  DesignSolver solver(&env, options);
-  const SolveResult legacy = solver.solve();
-  const SolveResult unified = solve_design(env, options);
-
-  ASSERT_TRUE(legacy.feasible);
-  ASSERT_TRUE(unified.feasible);
-  EXPECT_EQ(legacy.cost.total(), unified.cost.total());
-  EXPECT_EQ(legacy.nodes_evaluated, unified.nodes_evaluated);
-  EXPECT_EQ(legacy.refit_iterations, unified.refit_iterations);
+  const SolveResult native = solve_design(shifted, fixed_work_options(17));
+  ASSERT_TRUE(overridden.feasible);
+  ASSERT_TRUE(native.feasible);
+  EXPECT_EQ(overridden.cost.total(), native.cost.total());
 }
 
-TEST(DeprecatedWrappers, SolveParallelMatchesUnifiedApiFan) {
-  const Environment env = testing::peer_env(4);
-  const DesignSolverOptions options = fixed_work_options(9);
-
-  const SolveResult legacy = solve_parallel(&env, options, 2);
-  const SolveResult unified = solve_fanned(env, options, 2);
-
-  ASSERT_TRUE(legacy.feasible);
-  ASSERT_TRUE(unified.feasible);
-  EXPECT_EQ(legacy.cost.total(), unified.cost.total());
-  EXPECT_EQ(legacy.nodes_evaluated, unified.nodes_evaluated);
-}
-
-TEST(DeprecatedWrappers, SolveParallelStillValidatesWorkers) {
+TEST(SolveRequest, ScenarioOverrideValidatesRates) {
   const Environment env = testing::peer_env(2);
-  EXPECT_THROW(solve_parallel(&env, {}, 0), InvalidArgument);
+  SolveRequest request;
+  request.env = &env;
+  request.options = fixed_work_options(3);
+  ScenarioModel bad = env.scenario_model();
+  bad.flat.site_disaster_rate = -1.0;
+  request.scenarios = bad;
+  EXPECT_THROW(solve(request), InvalidArgument);
 }
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace depstor

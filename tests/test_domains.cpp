@@ -1,0 +1,519 @@
+// Hierarchical failure domains: flat-vs-degenerate-tree parity oracle,
+// subtree-failure survival semantics, correlation-knob monotonicity, the
+// [failure_domains] loader section, and the failure-model-drift rejection.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "core/env_delta.hpp"
+#include "core/env_loader.hpp"
+#include "model/domain.hpp"
+#include "model/recovery_sim.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace depstor {
+namespace {
+
+DesignSolverOptions fast_options(std::uint64_t seed) {
+  DesignSolverOptions o;
+  o.seed = seed;
+  o.max_repetitions = 1;
+  o.time_budget_ms = 1e9;
+  o.breadth = 2;
+  o.depth = 2;
+  o.max_refit_iterations = 2;
+  return o;
+}
+
+ScenarioModel degenerate_model(const Environment& env) {
+  return ScenarioModel::tree_model(
+      std::make_shared<const FailureDomainTree>(
+          FailureDomainTree::degenerate(env.topology, env.failures)),
+      env.failures);
+}
+
+// ------------------------------------------------------------ parity oracle
+
+TEST(DegenerateTreeParity, EnumerationMatchesFlatBitForBit) {
+  const Environment env = testing::peer_env(4);
+  const SolveResult result = testing::solve_design(env, fast_options(3));
+  ASSERT_TRUE(result.feasible);
+  const Candidate& cand = *result.best;
+
+  const auto flat = enumerate_scenarios(env.apps, cand.assignments(),
+                                        cand.pool(), env.failures);
+  const auto tree = enumerate_scenarios(env.apps, cand.assignments(),
+                                        cand.pool(), degenerate_model(env));
+  ASSERT_EQ(flat.size(), tree.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i].scope, tree[i].scope) << "scenario " << i;
+    EXPECT_EQ(flat[i].failed_app, tree[i].failed_app) << "scenario " << i;
+    EXPECT_EQ(flat[i].failed_array, tree[i].failed_array) << "scenario " << i;
+    EXPECT_EQ(flat[i].failed_site, tree[i].failed_site) << "scenario " << i;
+    EXPECT_EQ(flat[i].failed_region, tree[i].failed_region)
+        << "scenario " << i;
+    // Bitwise: the degenerate tree multiplies by exactly 1.0.
+    EXPECT_EQ(flat[i].annual_rate, tree[i].annual_rate) << "scenario " << i;
+  }
+}
+
+TEST(DegenerateTreeParity, SolveTotalsBitIdenticalAcrossSeeds) {
+  const Environment flat_envs[] = {scenarios::peer_sites(4),
+                                   scenarios::multi_site(8, 3, 6)};
+  for (const Environment& flat_env : flat_envs) {
+    Environment tree_env = flat_env;
+    tree_env.failure_domains = std::make_shared<const FailureDomainTree>(
+        FailureDomainTree::degenerate(flat_env.topology, flat_env.failures));
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const SolveResult a =
+          testing::solve_design(flat_env, fast_options(seed));
+      const SolveResult b =
+          testing::solve_design(tree_env, fast_options(seed));
+      ASSERT_TRUE(a.feasible);
+      ASSERT_TRUE(b.feasible);
+      EXPECT_EQ(a.cost.outlay, b.cost.outlay) << "seed " << seed;
+      EXPECT_EQ(a.cost.outage_penalty, b.cost.outage_penalty)
+          << "seed " << seed;
+      EXPECT_EQ(a.cost.loss_penalty, b.cost.loss_penalty) << "seed " << seed;
+      EXPECT_EQ(a.cost.total(), b.cost.total()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DegenerateTreeParity, ExampleEnvironmentsLoadDegenerateAndMatchFlat) {
+  const std::filesystem::path dir =
+      std::filesystem::path(DEPSTOR_SOURCE_DIR) / "examples" / "environments";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ini") continue;
+    const Environment env = load_environment(entry.path().string());
+    ASSERT_NE(env.failure_domains, nullptr) << entry.path();
+    if (!env.failure_domains->degenerate_shape()) continue;
+    const SolveResult result = testing::solve_design(env, fast_options(11));
+    ASSERT_TRUE(result.feasible) << entry.path();
+    // The solve priced through the loaded degenerate tree; the legacy flat
+    // evaluation must reproduce its totals bit for bit.
+    const CostBreakdown flat =
+        evaluate_cost(env.apps, result.best->assignments(),
+                      result.best->pool(), env.failures, env.params);
+    EXPECT_EQ(flat.outlay, result.cost.outlay) << entry.path();
+    EXPECT_EQ(flat.outage_penalty, result.cost.outage_penalty)
+        << entry.path();
+    EXPECT_EQ(flat.loss_penalty, result.cost.loss_penalty) << entry.path();
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+// ------------------------------------------------- subtree failure semantics
+
+/// Two-app candidate on a 4-site environment: app 0 mirrors inside the
+/// zone {P1, P2}, app 1 mirrors out of it (P1 → P3).
+struct ZoneFixture {
+  Environment env = scenarios::multi_site(2, 4, 6);
+  Candidate cand{&env};
+
+  ZoneFixture() {
+    cand.place_app(0, testing::full_choice(testing::sync_f_backup(), 0, 1));
+    cand.place_app(1, testing::full_choice(testing::sync_f_backup(), 0, 2));
+  }
+
+  ScenarioModel model_with(const DomainDecl& decl) const {
+    return ScenarioModel::tree_model(
+        std::make_shared<const FailureDomainTree>(
+            FailureDomainTree::build(env.topology, env.failures, {decl})),
+        env.failures);
+  }
+
+  static DomainDecl zone_decl() {
+    DomainDecl d;
+    d.kind = DomainDecl::Kind::Zone;
+    d.name = "campus";
+    d.region = 0;
+    d.sites = {"P1", "P2"};
+    return d;
+  }
+};
+
+const ScenarioSpec* find_domain_scenario(const std::vector<ScenarioSpec>& all,
+                                         bool data_intact) {
+  for (const auto& s : all) {
+    if (s.scope == FailureScope::Domain && s.data_intact == data_intact) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SubtreeFailures, ZoneDestroyDisqualifiesInZoneMirrors) {
+  ZoneFixture fx;
+  DomainDecl zone = ZoneFixture::zone_decl();
+  zone.rate = 0.05;
+  const auto scenarios = enumerate_scenarios(
+      fx.env.apps, fx.cand.assignments(), fx.cand.pool(), fx.model_with(zone));
+
+  const ScenarioSpec* destroy = find_domain_scenario(scenarios, false);
+  ASSERT_NE(destroy, nullptr);
+  EXPECT_EQ(destroy->annual_rate, 0.05);
+  EXPECT_EQ(destroy->failed_sites, (std::vector<int>{0, 1}));
+
+  const auto recoveries =
+      simulate_recovery(*destroy, fx.env.apps, fx.cand.assignments(),
+                        fx.cand.pool(), fx.env.params);
+  ASSERT_EQ(recoveries.size(), 2u);
+  for (const auto& r : recoveries) {
+    if (r.app_id == 0) {
+      // Mirror and primary both inside the zone; tape library at the failed
+      // primary site. Only the off-site vault survives.
+      EXPECT_EQ(r.copy, CopyLevel::Vault);
+      EXPECT_NE(r.action, RecoveryAction::Unrecoverable);
+    } else {
+      // Out-of-zone mirror survives and carries failover.
+      EXPECT_EQ(r.copy, CopyLevel::Mirror);
+      EXPECT_EQ(r.action, RecoveryAction::Failover);
+    }
+  }
+}
+
+TEST(SubtreeFailures, ZoneOutageKeepsDataIntact) {
+  ZoneFixture fx;
+  DomainDecl zone = ZoneFixture::zone_decl();
+  zone.outage_rate = 0.2;
+  zone.repair_hours = 48.0;
+  const auto scenarios = enumerate_scenarios(
+      fx.env.apps, fx.cand.assignments(), fx.cand.pool(), fx.model_with(zone));
+
+  const ScenarioSpec* outage = find_domain_scenario(scenarios, true);
+  ASSERT_NE(outage, nullptr);
+  EXPECT_EQ(outage->annual_rate, 0.2);
+  EXPECT_EQ(outage->repair_hours, 48.0);
+
+  const auto recoveries =
+      simulate_recovery(*outage, fx.env.apps, fx.cand.assignments(),
+                        fx.cand.pool(), fx.env.params);
+  ASSERT_EQ(recoveries.size(), 2u);
+  for (const auto& r : recoveries) {
+    EXPECT_EQ(r.loss_hours, 0.0) << "outages never lose data";
+    if (r.app_id == 0) {
+      // In-zone mirror is unreachable too: wait out the repair.
+      EXPECT_EQ(r.action, RecoveryAction::WaitRepair);
+      EXPECT_GE(r.outage_hours, 48.0);
+    } else {
+      EXPECT_EQ(r.action, RecoveryAction::Failover);
+      EXPECT_LT(r.outage_hours, 48.0);
+    }
+  }
+}
+
+TEST(SubtreeFailures, RoomDestroysPartitionTheSitesArrays) {
+  ZoneFixture fx;
+  DomainDecl r1;
+  r1.kind = DomainDecl::Kind::Room;
+  r1.name = "p1-room-a";
+  r1.site = "P1";
+  r1.rate = 0.1;
+  DomainDecl r2 = r1;
+  r2.name = "p1-room-b";
+  const ScenarioModel model = ScenarioModel::tree_model(
+      std::make_shared<const FailureDomainTree>(
+          FailureDomainTree::build(fx.env.topology, fx.env.failures,
+                                   {r1, r2})),
+      fx.env.failures);
+  ASSERT_EQ(model.tree->room_count(0), 2);
+
+  const auto scenarios = enumerate_scenarios(
+      fx.env.apps, fx.cand.assignments(), fx.cand.pool(), model);
+  std::vector<const ScenarioSpec*> rooms;
+  for (const auto& s : scenarios) {
+    if (s.scope == FailureScope::Domain && !s.data_intact) {
+      rooms.push_back(&s);
+    }
+  }
+  // Only rooms with at least one in-use array emit a scenario.
+  ASSERT_FALSE(rooms.empty());
+  std::vector<int> site_arrays;
+  for (const auto& dev : fx.cand.pool().devices()) {
+    if (dev.type.kind == DeviceKind::DiskArray && dev.site_id == 0 &&
+        fx.cand.pool().in_use(dev.id)) {
+      site_arrays.push_back(dev.id);
+    }
+  }
+  std::vector<int> covered;
+  for (const ScenarioSpec* room : rooms) {
+    EXPECT_EQ(room->annual_rate, 0.1);
+    EXPECT_FALSE(room->failed_arrays.empty());
+    for (int a : room->failed_arrays) {
+      EXPECT_EQ(std::count(covered.begin(), covered.end(), a), 0)
+          << "rooms must partition disjointly";
+      covered.push_back(a);
+    }
+  }
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, site_arrays);
+
+  // An app whose primary array burns with the room fails over to its mirror
+  // (different site, untouched by a room event).
+  for (const ScenarioSpec* room : rooms) {
+    const auto recoveries =
+        simulate_recovery(*room, fx.env.apps, fx.cand.assignments(),
+                          fx.cand.pool(), fx.env.params);
+    for (const auto& r : recoveries) {
+      EXPECT_EQ(r.copy, CopyLevel::Mirror);
+    }
+  }
+}
+
+// ----------------------------------------------- correlation monotonicity
+
+TEST(CorrelationKnob, PenaltyNeverDecreasesAsCorrelationGrows) {
+  const Environment env = scenarios::regional_correlated(4, 1.0);
+  ASSERT_NE(env.failure_domains, nullptr);
+  const SolveResult result = testing::solve_design(env, fast_options(7));
+  ASSERT_TRUE(result.feasible);
+  const Candidate& cand = *result.best;
+
+  std::mt19937 rng(20260808);
+  std::uniform_real_distribution<double> step(1.0, 4.0);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random non-root node, random increasing correlation ladder.
+    const int node = 1 + static_cast<int>(rng() %
+        (env.failure_domains->nodes().size() - 1));
+    double correlation = 1.0;
+    double last_penalty = -1.0;
+    for (int rung = 0; rung < 5; ++rung) {
+      FailureDomainTree tree = *env.failure_domains;
+      tree.set_correlation(node, correlation);
+      const CostBreakdown cost = evaluate_cost(
+          env.apps, cand.assignments(), cand.pool(),
+          ScenarioModel::tree_model(
+              std::make_shared<const FailureDomainTree>(std::move(tree)),
+              env.failures),
+          env.params);
+      if (last_penalty >= 0.0) {
+        EXPECT_GE(cost.penalty(), last_penalty)
+            << "node " << node << " correlation " << correlation;
+      }
+      last_penalty = cost.penalty();
+      correlation *= step(rng);
+    }
+  }
+}
+
+// -------------------------------------------------------- loader and lint
+
+constexpr const char* kBaseIni = R"(
+[site]
+name = downtown
+region = 0
+
+[site]
+name = riverside
+region = 0
+
+[site]
+name = hilltop
+region = 1
+
+[link]
+a = downtown
+b = riverside
+max_links = 12
+
+[link]
+a = downtown
+b = hilltop
+max_links = 6
+
+[link]
+a = riverside
+b = hilltop
+max_links = 6
+
+[application]
+name = transactions
+type = TXN
+outage_penalty_rate = 3e6
+loss_penalty_rate = 5e6
+data_size_gb = 1200
+avg_update_mbps = 3
+peak_update_mbps = 28
+avg_access_mbps = 35
+
+[failures]
+data_object_rate = 0.333
+disk_array_rate = 0.333
+site_disaster_rate = 0.2
+regional_disaster_rate = 0.05
+)";
+
+TEST(DomainLoader, FlatFileLoadsDegenerateTree) {
+  const Environment env = environment_from_ini(kBaseIni);
+  ASSERT_NE(env.failure_domains, nullptr);
+  EXPECT_TRUE(env.failure_domains->degenerate_shape());
+  // root + 2 regions + 3 sites
+  EXPECT_EQ(env.failure_domains->nodes().size(), 6u);
+  EXPECT_TRUE(env.scenario_model().has_tree());
+}
+
+TEST(DomainLoader, ParsesDomainSections) {
+  const std::string ini = std::string(kBaseIni) + R"(
+[failure_domains]
+version = 1
+disk_array_rate = 0.25
+
+[domain]
+level = region
+region = 0
+correlation = 2.5
+
+[domain]
+level = zone
+name = metro
+region = 0
+sites = downtown, riverside
+rate = 0.01
+outage_rate = 0.3
+repair_hours = 12
+
+[domain]
+level = room
+name = dt-annex
+site = downtown
+rate = 0.05
+)";
+  const Environment env = environment_from_ini(ini);
+  ASSERT_NE(env.failure_domains, nullptr);
+  const FailureDomainTree& tree = *env.failure_domains;
+  EXPECT_FALSE(tree.degenerate_shape());
+  // The header's rate override keeps the flat model in sync with the tree.
+  EXPECT_EQ(env.failures.disk_array_rate, 0.25);
+  EXPECT_EQ(tree.disk_array_rate(), 0.25);
+  EXPECT_EQ(tree.room_count(0), 1);
+
+  const DomainNode* zone = nullptr;
+  for (const auto& n : tree.nodes()) {
+    if (n.name == "metro") zone = &n;
+  }
+  ASSERT_NE(zone, nullptr);
+  EXPECT_EQ(zone->level, DomainLevel::Zone);
+  EXPECT_EQ(zone->rate, 0.01);
+  EXPECT_EQ(zone->outage_rate, 0.3);
+  EXPECT_EQ(zone->repair_hours, 12.0);
+  EXPECT_EQ(tree.subtree_sites(zone->id), (std::vector<int>{0, 1}));
+  // The region's correlation scales the zone's effective rates.
+  EXPECT_EQ(tree.effective_rate(zone->id), 0.01 * 2.5);
+  EXPECT_EQ(tree.effective_outage_rate(zone->id), 0.3 * 2.5);
+}
+
+TEST(DomainLoader, RejectsBadHeaders) {
+  EXPECT_THROW(
+      environment_from_ini(std::string(kBaseIni) +
+                           "\n[failure_domains]\nversion = 2\n"),
+      InvalidArgument);
+  // [domain] without the versioned header.
+  EXPECT_THROW(
+      environment_from_ini(std::string(kBaseIni) +
+                           "\n[domain]\nlevel = region\nregion = 0\n"),
+      InvalidArgument);
+  // Zone member site outside its declared region.
+  EXPECT_THROW(
+      environment_from_ini(
+          std::string(kBaseIni) +
+          "\n[failure_domains]\nversion = 1\n\n[domain]\nlevel = zone\n"
+          "name = bad\nregion = 0\nsites = downtown, hilltop\n"),
+      InvalidArgument);
+}
+
+TEST(DomainLint, FlagsLegacyFlatScenariosAndBadDecls) {
+  using analysis::lint_environment_text;
+  const auto flat_report = lint_environment_text(kBaseIni, "flat.ini");
+  EXPECT_FALSE(flat_report.has_errors()) << flat_report.render_text();
+  bool saw_legacy = false;
+  for (const auto& d : flat_report.diagnostics()) {
+    if (d.rule == analysis::rules::kLegacyFlatScenarios) saw_legacy = true;
+  }
+  EXPECT_TRUE(saw_legacy);
+
+  const std::string treed = std::string(kBaseIni) + R"(
+[failure_domains]
+version = 1
+
+[domain]
+level = zone
+name = metro
+region = 0
+sites = downtown, riverside
+)";
+  const auto tree_report = lint_environment_text(treed, "treed.ini");
+  EXPECT_FALSE(tree_report.has_errors()) << tree_report.render_text();
+  for (const auto& d : tree_report.diagnostics()) {
+    EXPECT_NE(d.rule, analysis::rules::kLegacyFlatScenarios);
+  }
+
+  const std::string bad = std::string(kBaseIni) + R"(
+[failure_domains]
+version = 1
+
+[domain]
+level = tower
+name = nope
+
+[domain]
+level = zone
+name = metro
+region = 0
+sites = downtown
+rate = -3
+)";
+  const auto bad_report = lint_environment_text(bad, "bad.ini");
+  int bad_decls = 0;
+  for (const auto& d : bad_report.diagnostics()) {
+    if (d.rule == analysis::rules::kBadDomainDecl) ++bad_decls;
+  }
+  EXPECT_GE(bad_decls, 2);  // unknown level + negative rate
+}
+
+// ------------------------------------------------- failure-model drift 422
+
+TEST(EnvDelta, FailureModelDriftGetsDedicatedRejection) {
+  const Environment prev = testing::peer_env(2);
+  Environment next = prev;
+  next.failures.site_disaster_rate *= 2.0;
+  try {
+    diff_environments(prev, next);
+    FAIL() << "rate drift must not diff as a delta";
+  } catch (const NonDeltaError& e) {
+    EXPECT_STREQ(e.reason().c_str(), kReasonFailureModelChanged);
+    EXPECT_NE(std::string(e.what()).find("failure model changed"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EnvDelta, TreeDriftAlsoRejectsAsFailureModelChange) {
+  Environment prev = testing::peer_env(2);
+  prev.failure_domains = std::make_shared<const FailureDomainTree>(
+      FailureDomainTree::degenerate(prev.topology, prev.failures));
+  Environment next = prev;
+  FailureDomainTree tree = *prev.failure_domains;
+  tree.set_correlation(1, 3.0);
+  next.failure_domains =
+      std::make_shared<const FailureDomainTree>(std::move(tree));
+  try {
+    diff_environments(prev, next);
+    FAIL() << "tree drift must not diff as a delta";
+  } catch (const NonDeltaError& e) {
+    EXPECT_STREQ(e.reason().c_str(), kReasonFailureModelChanged);
+  }
+}
+
+}  // namespace
+}  // namespace depstor

@@ -19,7 +19,7 @@ inline Environment peer_env(int apps = 8) {
 }
 
 /// Run the design solver through the unified API — the tests' standard
-/// entry point (the deprecated wrappers are exercised only by test_api.cpp).
+/// entry point.
 inline SolveResult solve_design(const Environment& env,
                                 const DesignSolverOptions& options = {},
                                 const ExecutionOptions& exec = {}) {

@@ -31,16 +31,21 @@ TEST(ScopePenalties, SumMatchesTotalPenalties) {
               1e-9 * std::max(1.0, cost.penalty()));
 }
 
-TEST(ScopePenalties, AllFourScopesPresent) {
+TEST(ScopePenalties, AllScopesPresent) {
   Environment env = peer_env(2);
   Candidate cand = design(env);
   const auto scopes = compute_scope_penalties(
       env.apps, cand.assignments(), cand.pool(), env.failures, env.params);
-  ASSERT_EQ(scopes.size(), 4u);
+  ASSERT_EQ(scopes.size(), static_cast<size_t>(kFailureScopeCount));
   EXPECT_EQ(scopes[0].scope, FailureScope::DataObject);
   EXPECT_EQ(scopes[3].scope, FailureScope::RegionalDisaster);
   EXPECT_EQ(scopes[3].scenarios, 0);  // regional disabled by default
   EXPECT_DOUBLE_EQ(scopes[3].total(), 0.0);
+  // A flat model enumerates no Domain-scope scenarios; the row exists so
+  // callers can index by scope unconditionally.
+  EXPECT_EQ(scopes[4].scope, FailureScope::Domain);
+  EXPECT_EQ(scopes[4].scenarios, 0);
+  EXPECT_DOUBLE_EQ(scopes[4].total(), 0.0);
 }
 
 TEST(ScopePenalties, ScenarioCountsMatchEnumeration) {

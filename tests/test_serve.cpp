@@ -18,6 +18,7 @@
 
 #include "util/check.hpp"
 
+#include "core/env_delta.hpp"
 #include "serve/client.hpp"
 #include "serve/proto.hpp"
 #include "serve/socket.hpp"
@@ -447,7 +448,8 @@ TEST(Serve, ResolveNonDeltaSuccessorRejected) {
   ASSERT_EQ(await_terminal(designer).at("status").as_string(), "completed");
 
   // A successor whose failure rates changed is beyond what a delta can
-  // express; admission must reject it before it takes a queue slot.
+  // express; admission must reject it before it takes a queue slot, with
+  // the dedicated reason code and an explanation of why.
   Client client("127.0.0.1", server.port());
   WireRequest req = small_request("bad-delta");
   std::string env = req.env_ini;
@@ -461,7 +463,9 @@ TEST(Serve, ResolveNonDeltaSuccessorRejected) {
   const auto event = await_terminal(client);
   ASSERT_EQ(event.at("type").as_string(), "rejected");
   EXPECT_EQ(event.at("code").as_number(), kRejectLint);
-  EXPECT_EQ(event.at("reason").as_string(), "delta");
+  EXPECT_EQ(event.at("reason").as_string(), kReasonFailureModelChanged);
+  EXPECT_NE(event.at("detail").as_string().find("failure model changed"),
+            std::string::npos);
   server.shutdown();
 }
 
